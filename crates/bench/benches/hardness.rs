@@ -1,0 +1,60 @@
+//! Benches for the §5 reductions: encoding-circuit construction, DPLL
+//! solving, witness transport and verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use revmatch::{check_witness, NnReduction, PpReduction, VerifyMode};
+use revmatch_sat::{planted_unique, Solver};
+
+fn bench_nn_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_reduction");
+    for &n in &[4usize, 8, 12] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let planted = planted_unique(n, 3.min(n), &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| NnReduction::new(planted.cnf.clone()).unwrap());
+        });
+        let red = NnReduction::new(planted.cnf.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("solve_via_sat", n), &n, |b, _| {
+            b.iter(|| red.solve_via_sat().unwrap());
+        });
+        let witness = red.solve_via_sat().unwrap();
+        group.bench_with_input(BenchmarkId::new("verify_sampled", n), &n, |b, _| {
+            b.iter(|| {
+                check_witness(&red.c1, &red.c2, &witness, VerifyMode::Sampled(256), &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pp_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pp_reduction");
+    for &n in &[3usize, 5] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let planted = planted_unique(n, 2.min(n), &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| PpReduction::new(planted.cnf.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpll");
+    for &n in &[8usize, 12, 16] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let planted = planted_unique(n, 3, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("solve_unique", n), &n, |b, _| {
+            b.iter(|| Solver::new(&planted.cnf).solve());
+        });
+        group.bench_with_input(BenchmarkId::new("count_to_2", n), &n, |b, _| {
+            b.iter(|| Solver::new(&planted.cnf).count_models(2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn_reduction, bench_pp_reduction, bench_dpll);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for every Table 1 matcher (wall-clock companion to
+//! the query-count harness in `src/bin/table1.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use revmatch::{
+    solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles,
+};
+
+fn bench_with_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_with_inverse");
+    for name in ["I-N", "N-I", "I-P", "P-I", "I-NP", "NP-I", "P-N", "N-P"] {
+        let e: Equivalence = name.parse().unwrap();
+        for &n in &[8usize, 32] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let inst = revmatch::random_wide_instance(e, n, 3 * n, &mut rng);
+            let c1 = Oracle::new(inst.c1);
+            let c2 = Oracle::new(inst.c2);
+            let c1_inv = c1.inverse_oracle();
+            let c2_inv = c2.inverse_oracle();
+            let config = MatcherConfig::with_epsilon(1e-3);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+                    solve_promise(e, &oracles, &config, &mut rng).expect("promised")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_without_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_without_inverse");
+    for name in ["I-N", "I-P", "I-NP", "P-I", "P-N"] {
+        let e: Equivalence = name.parse().unwrap();
+        for &n in &[8usize, 32] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let inst = revmatch::random_wide_instance(e, n, 3 * n, &mut rng);
+            let c1 = Oracle::new(inst.c1);
+            let c2 = Oracle::new(inst.c2);
+            let config = MatcherConfig::with_epsilon(1e-9);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let oracles = ProblemOracles::without_inverses(&c1, &c2);
+                    // The randomized matchers carry an ε failure budget;
+                    // over criterion's millions of iterations rare
+                    // failures are expected and benign for timing.
+                    solve_promise(e, &oracles, &config, &mut rng).ok()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    for &n in &[3usize, 4] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let e = Equivalence::new(revmatch::Side::Np, revmatch::Side::Np);
+        let inst = revmatch::random_instance(e, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("NP-NP", n), &n, |b, _| {
+            b.iter(|| revmatch::brute_force_match(&inst.c1, &inst.c2, e).unwrap().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_with_inverse,
+    bench_without_inverse,
+    bench_brute_force
+);
+criterion_main!(benches);

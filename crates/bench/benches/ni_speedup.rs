@@ -1,0 +1,63 @@
+//! The Theorem 1 separation as a wall-clock bench: classical collision
+//! search vs quantum Algorithm 1 for N-I matching, per width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use revmatch::{
+    match_n_i_collision, match_n_i_quantum, match_n_i_simon, Equivalence, MatcherConfig, Oracle,
+    Side,
+};
+
+fn bench_classical_collision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ni_classical_collision");
+    group.sample_size(20);
+    for &n in &[6usize, 8, 10, 12] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let inst = revmatch::random_instance(Equivalence::new(Side::N, Side::I), n, &mut rng);
+        let c1 = Oracle::new(inst.c1);
+        let c2 = Oracle::new(inst.c2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| match_n_i_collision(&c1, &c2, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantum_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ni_quantum_algorithm1");
+    group.sample_size(20);
+    let config = MatcherConfig::with_epsilon(1e-3);
+    for &n in &[6usize, 8, 10] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let inst = revmatch::random_instance(Equivalence::new(Side::N, Side::I), n, &mut rng);
+        let c1 = Oracle::new(inst.c1);
+        let c2 = Oracle::new(inst.c2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantum_simon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ni_quantum_simon");
+    group.sample_size(20);
+    for &n in &[4usize, 6, 8] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let inst = revmatch::random_instance(Equivalence::new(Side::N, Side::I), n, &mut rng);
+        let c1 = Oracle::new(inst.c1);
+        let c2 = Oracle::new(inst.c2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| match_n_i_simon(&c1, &c2, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classical_collision,
+    bench_quantum_algorithm1,
+    bench_quantum_simon
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benches for the substrates: circuit simulation, synthesis, truth-table
+//! operations and `.real` I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use revmatch_circuit::{
+    random_circuit, read_real, synthesize, write_real, RandomCircuitSpec, SynthesisStrategy,
+    TruthTable,
+};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_apply");
+    for &(w, g) in &[(16usize, 64usize), (32, 128), (64, 512)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        let spec = RandomCircuitSpec {
+            width: w,
+            gate_count: g,
+            max_controls: 3,
+            allow_negative_controls: true,
+        };
+        let circuit = random_circuit(&spec, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}w_{g}g")),
+            &w,
+            |b, _| {
+                let mut x = 0u64;
+                b.iter(|| {
+                    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15) & revmatch_circuit::width_mask(w);
+                    circuit.apply(x)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(20);
+    for &w in &[4usize, 6, 8] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let tt = TruthTable::random(w, &mut rng);
+        group.bench_with_input(BenchmarkId::new("basic", w), &w, |b, _| {
+            b.iter(|| synthesize(&tt, SynthesisStrategy::Basic).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bidirectional", w), &w, |b, _| {
+            b.iter(|| synthesize(&tt, SynthesisStrategy::Bidirectional).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_io(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+    let circuit = random_circuit(
+        &RandomCircuitSpec {
+            width: 16,
+            gate_count: 256,
+            max_controls: 4,
+            allow_negative_controls: true,
+        },
+        &mut rng,
+    );
+    let text = write_real(&circuit);
+    c.bench_function("real_write_256g", |b| b.iter(|| write_real(&circuit)));
+    c.bench_function("real_parse_256g", |b| b.iter(|| read_real(&text).unwrap()));
+}
+
+criterion_group!(benches, bench_simulation, bench_synthesis, bench_real_io);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benches for the swap-test substrate (Fig. 3): full-circuit simulation
+//! vs the analytic fast path, across qubit counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use revmatch_quantum::{swap_test, ProductState, Qubit, SwapTestMethod};
+
+fn bench_swap_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap_test");
+    for &n in &[2usize, 4, 6, 8] {
+        let s1 = ProductState::uniform(n, Qubit::Plus)
+            .with_qubit(0, Qubit::Zero)
+            .to_state_vector();
+        let s2 = ProductState::uniform(n, Qubit::Plus).to_state_vector();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        group.bench_with_input(BenchmarkId::new("full_circuit", n), &n, |b, _| {
+            b.iter(|| swap_test(SwapTestMethod::FullCircuit, &s1, &s2, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("analytic", n), &n, |b, _| {
+            b.iter(|| swap_test(SwapTestMethod::Analytic, &s1, &s2, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_on_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum_oracle_query");
+    for &n in &[4usize, 8, 12] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let circuit = revmatch_circuit::random_circuit(
+            &revmatch_circuit::RandomCircuitSpec::for_width(n),
+            &mut rng,
+        );
+        let probe = ProductState::uniform(n, Qubit::Plus).with_qubit(0, Qubit::Zero);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                probe
+                    .to_state_vector()
+                    .applied_circuit(&circuit, 0)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swap_test, bench_circuit_on_state);
+criterion_main!(benches);

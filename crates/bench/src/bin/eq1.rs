@@ -1,0 +1,88 @@
+//! Regenerates **Eq. (1)**: the success probability of the randomized I-P
+//! signature-matching algorithm, `Pr >= 1 − n(n−1)/2^k`, versus the
+//! empirically measured failure rate as a function of `k`.
+//!
+//! A failure is a signature collision: two output lines observing the same
+//! bit sequence over the k random probes, which makes π ambiguous. The
+//! matcher detects this itself and reports `RandomizedFailure`.
+//!
+//! Run with: `cargo run --release -p revmatch-bench --bin eq1`
+
+use rand::Rng;
+use revmatch::{ClassicalOracle, Equivalence, MatchError, Oracle, Side};
+use revmatch_bench::harness_rng;
+use revmatch_circuit::width_mask;
+
+const TRIALS: usize = 2000;
+
+/// One trial of the randomized I-P core with a fixed k: returns false on a
+/// signature collision (the failure event of Eq. 1).
+fn trial(n: usize, k: usize, rng: &mut impl Rng) -> bool {
+    // Signature uniqueness depends only on C1's output sequences over
+    // random probes; use a random wide instance for realism.
+    let inst = revmatch::random_wide_instance(
+        Equivalence::new(Side::I, Side::P),
+        n,
+        3 * n,
+        rng,
+    );
+    let c1 = Oracle::new(inst.c1);
+    let mut sigs = vec![0u128; n];
+    for t in 0..k {
+        let x = rng.gen::<u64>() & width_mask(n);
+        let y = c1.query(x);
+        for (q, s) in sigs.iter_mut().enumerate() {
+            *s |= u128::from((y >> q) & 1) << t;
+        }
+    }
+    let mut sorted = sigs;
+    sorted.sort_unstable();
+    sorted.windows(2).all(|w| w[0] != w[1])
+}
+
+fn main() {
+    let mut rng = harness_rng();
+    println!("Eq. (1): randomized I-P success probability vs k ({TRIALS} trials per cell)\n");
+    println!(
+        "{:>3} {:>3} {:>14} {:>14} {:>8}",
+        "n", "k", "empirical Pr", "bound 1-n(n-1)/2^k", "ok"
+    );
+    for n in [8usize, 16, 32] {
+        for k in [4usize, 6, 8, 10, 12, 16, 20] {
+            let successes = (0..TRIALS).filter(|_| trial(n, k, &mut rng)).count();
+            let empirical = successes as f64 / TRIALS as f64;
+            let bound = 1.0 - (n * (n - 1)) as f64 / 2f64.powi(k as i32);
+            // The bound can be vacuous (negative) for small k.
+            let ok = empirical >= bound.max(0.0) - 0.02; // 2% sampling slack
+            println!(
+                "{n:>3} {k:>3} {empirical:>14.4} {:>18.4} {:>8}",
+                bound, ok
+            );
+        }
+        println!();
+    }
+
+    // End-to-end: the full matcher at the auto-chosen k essentially never
+    // fails.
+    println!("full matcher at k = ceil(log2(n(n-1)/eps)), eps = 1e-3:");
+    for n in [8usize, 16, 32] {
+        let mut failures = 0;
+        let runs = 300;
+        for _ in 0..runs {
+            let inst = revmatch::random_wide_instance(
+                Equivalence::new(Side::I, Side::P),
+                n,
+                3 * n,
+                &mut rng,
+            );
+            let c1 = Oracle::new(inst.c1);
+            let c2 = Oracle::new(inst.c2);
+            match revmatch::match_i_p_randomized(&c1, &c2, 1e-3, &mut rng) {
+                Ok(pi) => assert_eq!(&pi, inst.witness.pi_y()),
+                Err(MatchError::RandomizedFailure { .. }) => failures += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        println!("  n={n:<3} failures: {failures}/{runs} (budget eps=1e-3)");
+    }
+}

@@ -1,0 +1,194 @@
+//! Regenerates **Table 1**: measured oracle-query counts for every
+//! tractable equivalence, against the paper's closed-form bounds.
+//!
+//! For each row, random promised instances are generated and the matcher
+//! of that row is run with query-counting oracles. Counts are totals over
+//! all supplied oracles (a composite access charges each underlying box).
+//!
+//! Run with: `cargo run --release -p revmatch-bench --bin table1`
+
+use rand::Rng;
+use revmatch::{solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles};
+use revmatch_bench::{harness_rng, median};
+
+const TRIALS: usize = 9;
+const EPSILON: f64 = 1e-3;
+
+struct Row {
+    inverse: &'static str,
+    equivalence: &'static str,
+    paradigm: &'static str,
+    bound: &'static str,
+    /// Measured (n, median queries) pairs.
+    series: Vec<(usize, u64)>,
+}
+
+fn instance(
+    e: Equivalence,
+    n: usize,
+    rng: &mut impl Rng,
+) -> revmatch::PromiseInstance {
+    if n <= 10 {
+        revmatch::random_instance(e, n, rng)
+    } else {
+        revmatch::random_wide_instance(e, n, 3 * n, rng)
+    }
+}
+
+/// Runs a solve and returns total queries, inverse-assisted variant.
+fn run_with_inverse(e: Equivalence, n: usize, rng: &mut rand::rngs::StdRng) -> u64 {
+    let config = MatcherConfig::with_epsilon(EPSILON);
+    let inst = instance(e, n, rng);
+    let c1 = Oracle::new(inst.c1);
+    let c2 = Oracle::new(inst.c2);
+    let c1_inv = c1.inverse_oracle();
+    let c2_inv = c2.inverse_oracle();
+    let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+    solve_promise(e, &oracles, &config, rng).expect("promised instance must solve");
+    oracles.total_queries()
+}
+
+/// Runs a solve and returns total queries, no inverses.
+fn run_without_inverse(e: Equivalence, n: usize, rng: &mut rand::rngs::StdRng) -> u64 {
+    let config = MatcherConfig::with_epsilon(EPSILON);
+    let inst = instance(e, n, rng);
+    let c1 = Oracle::new(inst.c1);
+    let c2 = Oracle::new(inst.c2);
+    let oracles = ProblemOracles::without_inverses(&c1, &c2);
+    solve_promise(e, &oracles, &config, rng).expect("promised instance must solve");
+    oracles.total_queries()
+}
+
+fn series(
+    ns: &[usize],
+    mut f: impl FnMut(usize, &mut rand::rngs::StdRng) -> u64,
+    rng: &mut rand::rngs::StdRng,
+) -> Vec<(usize, u64)> {
+    ns.iter()
+        .map(|&n| {
+            let samples: Vec<u64> = (0..TRIALS).map(|_| f(n, rng)).collect();
+            (n, median(&samples))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rng = harness_rng();
+    let e = |s: &str| s.parse::<Equivalence>().unwrap();
+    let classical_ns = [4usize, 8, 16, 32, 64];
+    let quantum_ns = [2usize, 4, 6, 8];
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Inverse available -------------------------------------------
+    for name in ["N-I", "I-N"] {
+        rows.push(Row {
+            inverse: "available",
+            equivalence: name,
+            paradigm: "classical",
+            bound: "O(1)",
+            series: series(&classical_ns, |n, r| run_with_inverse(e(name), n, r), &mut rng),
+        });
+    }
+    for name in ["I-P", "P-I", "N-P", "P-N", "I-NP", "NP-I"] {
+        rows.push(Row {
+            inverse: "available",
+            equivalence: name,
+            paradigm: "classical",
+            bound: "O(log n)",
+            series: series(&classical_ns, |n, r| run_with_inverse(e(name), n, r), &mut rng),
+        });
+    }
+
+    // --- Inverse not available ---------------------------------------
+    rows.push(Row {
+        inverse: "not available",
+        equivalence: "I-N",
+        paradigm: "classical",
+        bound: "O(1)",
+        series: series(&classical_ns, |n, r| run_without_inverse(e("I-N"), n, r), &mut rng),
+    });
+    for name in ["I-P", "I-NP"] {
+        rows.push(Row {
+            inverse: "not available",
+            equivalence: name,
+            paradigm: "classical",
+            bound: "O(log n + log 1/eps)",
+            series: series(&classical_ns, |n, r| run_without_inverse(e(name), n, r), &mut rng),
+        });
+    }
+    for name in ["P-I", "P-N"] {
+        rows.push(Row {
+            inverse: "not available",
+            equivalence: name,
+            paradigm: "classical",
+            bound: "O(n)",
+            series: series(&classical_ns, |n, r| run_without_inverse(e(name), n, r), &mut rng),
+        });
+    }
+    rows.push(Row {
+        inverse: "not available",
+        equivalence: "N-I",
+        paradigm: "quantum",
+        bound: "O(n log 1/eps)",
+        series: series(&quantum_ns, |n, r| run_without_inverse(e("N-I"), n, r), &mut rng),
+    });
+    rows.push(Row {
+        inverse: "not available",
+        equivalence: "NP-I",
+        paradigm: "quantum",
+        bound: "O(n^2 log 1/eps)",
+        series: series(&quantum_ns, |n, r| run_without_inverse(e("NP-I"), n, r), &mut rng),
+    });
+
+    // --- Print --------------------------------------------------------
+    println!("Table 1 (reproduced): measured oracle queries, median of {TRIALS} trials, eps = {EPSILON}");
+    println!("k_rand = ceil(log2(n(n-1)/eps)) probes; quantum k = {} swap-test rounds\n",
+             MatcherConfig::with_epsilon(EPSILON).quantum_k);
+    println!(
+        "{:<14} {:<6} {:<10} {:<22} measured queries per n",
+        "inverse", "equiv", "paradigm", "paper bound"
+    );
+    for row in &rows {
+        let series_str: Vec<String> = row
+            .series
+            .iter()
+            .map(|(n, q)| format!("n={n}:{q}"))
+            .collect();
+        println!(
+            "{:<14} {:<6} {:<10} {:<22} {}",
+            row.inverse,
+            row.equivalence,
+            row.paradigm,
+            row.bound,
+            series_str.join("  ")
+        );
+    }
+
+    // --- Shape checks (who wins / scaling), printed for EXPERIMENTS.md.
+    println!("\nshape checks:");
+    let find = |inv: &str, eq_name: &str| {
+        rows.iter()
+            .find(|r| r.inverse == inv && r.equivalence == eq_name)
+            .expect("row exists")
+    };
+    let flat = |r: &Row| r.series.first().unwrap().1 == r.series.last().unwrap().1;
+    println!(
+        "  O(1) rows flat in n:            N-I*: {}, I-N*: {}, I-N: {}",
+        flat(find("available", "N-I")),
+        flat(find("available", "I-N")),
+        flat(find("not available", "I-N")),
+    );
+    let pi = find("not available", "P-I");
+    let linear = pi.series.last().unwrap().1 as f64
+        / pi.series.first().unwrap().1 as f64;
+    println!(
+        "  P-I one-hot grows ~linearly:    {}x queries for 16x larger n",
+        linear
+    );
+    let ip = find("available", "I-P");
+    println!(
+        "  I-P* grows ~logarithmically:    {:?}",
+        ip.series.iter().map(|&(_, q)| q).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,71 @@
+//! # revmatch-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper as a measured artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — query complexity of every tractable equivalence |
+//! | `figure1` | Fig. 1 — domination lattice with empirical edge checks |
+//! | `theorem1` | Thm. 1 / Eq. 2 — classical `2^{n/2}` vs quantum `O(n)` |
+//! | `eq1` | Eq. 1 — randomized I-P success probability vs `k` |
+//! | `figure3` | Fig. 3 — swap-test outcome statistics vs overlap |
+//! | `alg1_confidence` | Algorithm 1 — failure rate `≤ 2^{-k}` |
+//! | `hardness` | Fig. 5 / Thms. 2–3 — UNIQUE-SAT reduction round trips |
+//!
+//! Criterion benches (`cargo bench -p revmatch-bench`) cover the same
+//! algorithms for wall-clock numbers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG used across harness binaries so printed rows are
+/// reproducible run to run.
+pub fn harness_rng() -> StdRng {
+    StdRng::seed_from_u64(0x0DAC_2024)
+}
+
+/// Median of a sample (sorts a copy).
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn median(samples: &[u64]) -> u64 {
+    assert!(!samples.is_empty());
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    s[s.len() / 2]
+}
+
+/// Arithmetic mean of a sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn mean(samples: &[u64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.iter().sum::<u64>() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[4, 1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2, 4]), 3.0);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::Rng;
+        let a: u64 = harness_rng().gen();
+        let b: u64 = harness_rng().gen();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,318 @@
+//! Fixed-width bit patterns.
+//!
+//! A reversible circuit on `n` lines maps `B^n -> B^n`. Patterns are stored
+//! as the low `n` bits of a `u64`, with **line `i` = bit `i`** (LSB-first).
+//! [`Bits`] pairs a value with its width so that patterns from circuits of
+//! different sizes cannot be confused, and provides parsing/formatting used
+//! throughout the examples and the bench harness.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CircuitError;
+
+/// Maximum number of lines supported by the classical representation.
+pub const MAX_WIDTH: usize = 64;
+
+/// Returns a mask with the low `width` bits set.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+#[inline]
+pub fn width_mask(width: usize) -> u64 {
+    assert!(width <= MAX_WIDTH, "width {width} exceeds {MAX_WIDTH}");
+    if width == MAX_WIDTH {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A bit pattern of fixed width.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::Bits;
+///
+/// let b = Bits::new(0b101, 3);
+/// assert!(b.bit(0));
+/// assert!(!b.bit(1));
+/// assert_eq!(b.to_string(), "101"); // line 0 is printed rightmost
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bits {
+    value: u64,
+    width: u8,
+}
+
+impl Bits {
+    /// Creates a pattern from the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits set beyond `width`.
+    pub fn new(value: u64, width: usize) -> Self {
+        assert!(
+            value & !width_mask(width) == 0,
+            "value {value:#x} does not fit in {width} bits"
+        );
+        Self {
+            value,
+            width: width as u8,
+        }
+    }
+
+    /// The all-zeros pattern of the given width.
+    pub fn zeros(width: usize) -> Self {
+        Self::new(0, width)
+    }
+
+    /// The all-ones pattern of the given width.
+    pub fn ones(width: usize) -> Self {
+        Self::new(width_mask(width), width)
+    }
+
+    /// The one-hot pattern with only line `line` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= width`.
+    pub fn one_hot(line: usize, width: usize) -> Self {
+        assert!(line < width, "line {line} out of range for width {width}");
+        Self::new(1u64 << line, width)
+    }
+
+    /// Raw value (low `width` bits).
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn width(self) -> usize {
+        self.width as usize
+    }
+
+    /// Value of line `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= width`.
+    #[inline]
+    pub fn bit(self, line: usize) -> bool {
+        assert!(line < self.width());
+        (self.value >> line) & 1 == 1
+    }
+
+    /// Returns a copy with line `line` set to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= width`.
+    #[must_use]
+    pub fn with_bit(self, line: usize, bit: bool) -> Self {
+        assert!(line < self.width());
+        let mask = 1u64 << line;
+        Self {
+            value: if bit { self.value | mask } else { self.value & !mask },
+            width: self.width,
+        }
+    }
+
+    /// Bitwise XOR with another pattern of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn xor(self, other: Self) -> Self {
+        assert_eq!(self.width, other.width, "width mismatch in xor");
+        Self {
+            value: self.value ^ other.value,
+            width: self.width,
+        }
+    }
+
+    /// Bitwise complement within the width.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self {
+            value: !self.value & width_mask(self.width()),
+            width: self.width,
+        }
+    }
+
+    /// Number of set lines.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.value.count_ones()
+    }
+
+    /// Iterates over the indices of set lines, ascending.
+    pub fn iter_ones(self) -> impl Iterator<Item = usize> {
+        let mut v = self.value;
+        std::iter::from_fn(move || {
+            if v == 0 {
+                None
+            } else {
+                let i = v.trailing_zeros() as usize;
+                v &= v - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits({self}, width={})", self.width)
+    }
+}
+
+/// Displays line `width-1` first and line `0` last ("binary literal" order).
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in (0..self.width()).rev() {
+            f.write_str(if self.bit(line) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::UpperHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.value, f)
+    }
+}
+
+/// Parses a binary string such as `"0101"`, leftmost character = highest line.
+impl FromStr for Bits {
+    type Err = CircuitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let width = s.len();
+        if width == 0 || width > MAX_WIDTH {
+            return Err(CircuitError::ParsePattern {
+                input: s.to_owned(),
+                reason: format!("length must be 1..={MAX_WIDTH}"),
+            });
+        }
+        let mut value = 0u64;
+        for (i, c) in s.chars().enumerate() {
+            let line = width - 1 - i;
+            match c {
+                '0' => {}
+                '1' => value |= 1u64 << line,
+                other => {
+                    return Err(CircuitError::ParsePattern {
+                        input: s.to_owned(),
+                        reason: format!("invalid character {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Self::new(value, width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_mask_limits() {
+        assert_eq!(width_mask(0), 0);
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(3), 0b111);
+        assert_eq!(width_mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn width_mask_too_wide() {
+        width_mask(65);
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = Bits::new(0b1010, 4);
+        assert_eq!(b.value(), 0b1010);
+        assert_eq!(b.width(), 4);
+        assert!(!b.bit(0));
+        assert!(b.bit(1));
+        assert!(!b.bit(2));
+        assert!(b.bit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn construction_rejects_overflow() {
+        let _ = Bits::new(0b100, 2);
+    }
+
+    #[test]
+    fn zeros_ones_one_hot() {
+        assert_eq!(Bits::zeros(5).value(), 0);
+        assert_eq!(Bits::ones(5).value(), 0b11111);
+        assert_eq!(Bits::one_hot(2, 5).value(), 0b00100);
+    }
+
+    #[test]
+    fn with_bit_round_trip() {
+        let b = Bits::zeros(4).with_bit(2, true);
+        assert!(b.bit(2));
+        assert_eq!(b.with_bit(2, false), Bits::zeros(4));
+    }
+
+    #[test]
+    fn xor_and_complement() {
+        let a = Bits::new(0b1100, 4);
+        let b = Bits::new(0b1010, 4);
+        assert_eq!(a.xor(b).value(), 0b0110);
+        assert_eq!(a.complement().value(), 0b0011);
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let b = Bits::new(0b10110, 5);
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![1, 2, 4]);
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let b = Bits::new(0b0101, 4);
+        assert_eq!(b.to_string(), "0101");
+        let parsed: Bits = "0101".parse().unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("".parse::<Bits>().is_err());
+        assert!("01x1".parse::<Bits>().is_err());
+    }
+
+    #[test]
+    fn ordering_follows_value_then_width() {
+        assert!(Bits::new(0, 3) < Bits::new(1, 3));
+        assert!(Bits::new(0b10, 3) < Bits::new(0b11, 3));
+    }
+}

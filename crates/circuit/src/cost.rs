@@ -1,0 +1,180 @@
+//! Cost models and gate-set normalizations.
+//!
+//! RevLib-style **quantum cost** assigns each MCT gate the size of its
+//! standard decomposition into elementary (1- and 2-qubit) gates; toolkits
+//! compare synthesis results by total quantum cost rather than raw gate
+//! count. The table below follows the widely used Barenco-style figures
+//! (as adopted by RevLib):
+//!
+//! | controls | cost |
+//! |---|---|
+//! | 0 (NOT) | 1 |
+//! | 1 (CNOT) | 1 |
+//! | 2 (Toffoli) | 5 |
+//! | 3 | 13 |
+//! | 4 | 29 |
+//! | k ≥ 5 | 2^{k+1} − 3 (no-ancilla bound) |
+//!
+//! Negative controls are free at this abstraction (polarity is absorbed
+//! into the decomposition), but some backends accept only positive
+//! controls; [`without_negative_controls`] rewrites a circuit into that
+//! gate set by sandwiching NOT pairs.
+
+use crate::circuit::Circuit;
+use crate::gate::{Control, Gate, Polarity};
+
+/// Quantum cost of a single MCT gate (see module table).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{gate_quantum_cost, Gate};
+///
+/// assert_eq!(gate_quantum_cost(&Gate::not(0)), 1);
+/// assert_eq!(gate_quantum_cost(&Gate::cnot(0, 1)), 1);
+/// assert_eq!(gate_quantum_cost(&Gate::toffoli(0, 1, 2)), 5);
+/// ```
+pub fn gate_quantum_cost(gate: &Gate) -> u64 {
+    match gate.control_count() {
+        0 | 1 => 1,
+        2 => 5,
+        3 => 13,
+        4 => 29,
+        k => (1u64 << (k + 1)) - 3,
+    }
+}
+
+/// Total quantum cost of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{circuit_quantum_cost, Circuit, Gate};
+///
+/// let c = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2), Gate::not(0)])?;
+/// assert_eq!(circuit_quantum_cost(&c), 6);
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+pub fn circuit_quantum_cost(circuit: &Circuit) -> u64 {
+    circuit.gates().iter().map(gate_quantum_cost).sum()
+}
+
+/// Rewrites every negative control into a positive one by sandwiching the
+/// gate between NOT pairs on the negatively controlled lines.
+///
+/// The result computes the same function using only positive-control MCT
+/// gates (for backends or formats without negative-control support). Gate
+/// count grows by two NOTs per distinct negative control per gate;
+/// adjacent cancellations are *not* performed — run
+/// [`crate::optimize::peephole_optimize`] afterwards if wanted.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{without_negative_controls, Circuit, Control, Gate};
+///
+/// let g = Gate::new([Control::negative(0)], 1)?;
+/// let c = Circuit::from_gates(2, [g])?;
+/// let pos = without_negative_controls(&c);
+/// assert!(pos.functionally_eq(&c));
+/// assert!(pos.gates().iter().all(|g| g.positive_mask() == g.control_mask()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn without_negative_controls(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.width());
+    for gate in circuit.gates() {
+        let negatives: Vec<usize> = gate
+            .controls()
+            .filter(|c| c.polarity == Polarity::Negative)
+            .map(|c| c.line)
+            .collect();
+        for &line in &negatives {
+            out.push(Gate::not(line)).expect("line in range");
+        }
+        let positives: Vec<Control> = gate
+            .controls()
+            .map(|c| Control::positive(c.line))
+            .collect();
+        out.push(Gate::new(positives, gate.target()).expect("same lines"))
+            .expect("line in range");
+        for &line in &negatives {
+            out.push(Gate::not(line)).expect("line in range");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cost_table() {
+        let g5 = Gate::new(
+            (0..5).map(crate::gate::Control::positive),
+            5,
+        )
+        .unwrap();
+        assert_eq!(gate_quantum_cost(&g5), (1 << 6) - 3);
+        let g3 = Gate::new((0..3).map(crate::gate::Control::positive), 4).unwrap();
+        assert_eq!(gate_quantum_cost(&g3), 13);
+    }
+
+    #[test]
+    fn cost_is_additive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = random_circuit(&RandomCircuitSpec::for_width(4), &mut rng);
+        let b = random_circuit(&RandomCircuitSpec::for_width(4), &mut rng);
+        let ab = a.then(&b).unwrap();
+        assert_eq!(
+            circuit_quantum_cost(&ab),
+            circuit_quantum_cost(&a) + circuit_quantum_cost(&b)
+        );
+    }
+
+    #[test]
+    fn polarity_does_not_change_cost() {
+        let pos = Gate::toffoli(0, 1, 2);
+        let neg = pos.with_flipped_polarity(0);
+        assert_eq!(gate_quantum_cost(&pos), gate_quantum_cost(&neg));
+    }
+
+    #[test]
+    fn normalization_preserves_function() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let c = random_circuit(&RandomCircuitSpec::for_width(5), &mut rng);
+            let pos = without_negative_controls(&c);
+            assert!(pos.functionally_eq(&c));
+            for g in pos.gates() {
+                assert_eq!(g.positive_mask(), g.control_mask(), "negative control left");
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_is_identity_on_positive_circuits() {
+        let c = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2), Gate::cnot(0, 1)]).unwrap();
+        let pos = without_negative_controls(&c);
+        assert_eq!(pos.len(), c.len());
+    }
+
+    #[test]
+    fn normalization_overhead_is_two_nots_per_negative() {
+        let g = Gate::new(
+            [
+                crate::gate::Control::negative(0),
+                crate::gate::Control::negative(1),
+                crate::gate::Control::positive(2),
+            ],
+            3,
+        )
+        .unwrap();
+        let c = Circuit::from_gates(4, [g]).unwrap();
+        let pos = without_negative_controls(&c);
+        assert_eq!(pos.len(), 1 + 4);
+    }
+}

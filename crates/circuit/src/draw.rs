@@ -1,0 +1,116 @@
+//! ASCII rendering of reversible circuits.
+//!
+//! Renders circuits in the style of the paper's figures: one row per line,
+//! one column per gate, `*` for positive controls, `o` for negative
+//! controls, `(+)` (printed `+`) for targets, and `|` for the vertical
+//! connector.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::Polarity;
+
+/// Renders a circuit as ASCII art.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{draw, Circuit, Gate};
+///
+/// let c = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)])?;
+/// let art = draw(&c);
+/// assert!(art.contains('*'));
+/// assert!(art.contains('+'));
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+pub fn draw(circuit: &Circuit) -> String {
+    let width = circuit.width();
+    let cols = circuit.len();
+    // Each gate occupies 4 characters: ` X ─` visually; we use '-' wire.
+    let mut rows: Vec<String> = (0..width).map(|i| format!("x{i:<2}: -")).collect();
+    for g in circuit.gates() {
+        let lo = g
+            .controls()
+            .map(|c| c.line)
+            .chain([g.target()])
+            .min()
+            .expect("gate has a target");
+        let hi = g.max_line();
+        for (line, row) in rows.iter_mut().enumerate() {
+            let symbol = if line == g.target() {
+                '+'
+            } else if g.control_mask() >> line & 1 == 1 {
+                match g
+                    .controls()
+                    .find(|c| c.line == line)
+                    .expect("mask bit implies control")
+                    .polarity
+                {
+                    Polarity::Positive => '*',
+                    Polarity::Negative => 'o',
+                }
+            } else if line > lo && line < hi {
+                '|'
+            } else {
+                '-'
+            };
+            let _ = write!(row, "-{symbol}--");
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push_str("-\n");
+    }
+    let _ = writeln!(out, "({} lines, {cols} gates)", width);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::{Control, Gate};
+
+    #[test]
+    fn draws_fig2_toffoli() {
+        let c = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)]).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('*')); // control on x0
+        assert!(lines[1].contains('*')); // control on x1
+        assert!(lines[2].contains('+')); // target on x2
+    }
+
+    #[test]
+    fn draws_negative_control_as_o() {
+        let g = Gate::new([Control::negative(0)], 1).unwrap();
+        let c = Circuit::from_gates(2, [g]).unwrap();
+        let art = draw(&c);
+        assert!(art.lines().next().unwrap().contains('o'));
+    }
+
+    #[test]
+    fn connector_spans_between_control_and_target() {
+        // Control on x0, target on x2: x1 must show '|'.
+        let g = Gate::new([Control::positive(0)], 2).unwrap();
+        let c = Circuit::from_gates(3, [g]).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('|'));
+    }
+
+    #[test]
+    fn uninvolved_line_stays_wire() {
+        let c = Circuit::from_gates(3, [Gate::cnot(1, 2)]).unwrap();
+        let art = draw(&c);
+        let first = art.lines().next().unwrap();
+        assert!(!first.contains('*') && !first.contains('+') && !first.contains('|'));
+    }
+
+    #[test]
+    fn footer_reports_sizes() {
+        let c = Circuit::new(4);
+        assert!(draw(&c).contains("(4 lines, 0 gates)"));
+    }
+}

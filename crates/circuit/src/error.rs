@@ -1,0 +1,110 @@
+//! Error types for the reversible-circuit substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, composing or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate or pattern refers to a line outside the circuit width.
+    LineOutOfRange {
+        /// Offending line index.
+        line: usize,
+        /// Circuit width.
+        width: usize,
+    },
+    /// Two objects of different widths were combined.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A gate's target also appears among its controls.
+    TargetIsControl {
+        /// The conflicting line.
+        line: usize,
+    },
+    /// The same line appears twice in a control list.
+    DuplicateControl {
+        /// The duplicated line.
+        line: usize,
+    },
+    /// A mapping over `B^n` is not a bijection.
+    NotBijective,
+    /// A wire-permutation vector is not a permutation of `0..n`.
+    NotAPermutation,
+    /// A bit-pattern string could not be parsed.
+    ParsePattern {
+        /// The rejected input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A `.real` file could not be parsed.
+    ParseReal {
+        /// 1-based line number in the source.
+        line_no: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested width exceeds what the representation supports.
+    WidthTooLarge {
+        /// Requested width.
+        width: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LineOutOfRange { line, width } => {
+                write!(f, "line {line} out of range for width {width}")
+            }
+            Self::WidthMismatch { left, right } => {
+                write!(f, "width mismatch: {left} vs {right}")
+            }
+            Self::TargetIsControl { line } => {
+                write!(f, "target line {line} also used as control")
+            }
+            Self::DuplicateControl { line } => {
+                write!(f, "line {line} appears twice as a control")
+            }
+            Self::NotBijective => write!(f, "mapping is not a bijection"),
+            Self::NotAPermutation => write!(f, "vector is not a permutation of 0..n"),
+            Self::ParsePattern { input, reason } => {
+                write!(f, "invalid bit pattern {input:?}: {reason}")
+            }
+            Self::ParseReal { line_no, reason } => {
+                write!(f, "invalid .real input at line {line_no}: {reason}")
+            }
+            Self::WidthTooLarge { width, max } => {
+                write!(f, "width {width} exceeds supported maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CircuitError::LineOutOfRange { line: 7, width: 4 };
+        assert_eq!(e.to_string(), "line 7 out of range for width 4");
+        let e = CircuitError::WidthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

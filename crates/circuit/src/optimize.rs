@@ -1,0 +1,193 @@
+//! Peephole optimization of MCT cascades.
+//!
+//! Two local rewrite rules, iterated to a fixpoint:
+//!
+//! 1. **Cancellation** — two identical adjacent gates annihilate (every
+//!    MCT gate is an involution);
+//! 2. **Commutation-aware cancellation** — a gate may slide past a
+//!    neighbour it commutes with, so cancellations hidden behind
+//!    commuting gates are found too.
+//!
+//! Two MCT gates `g`, `h` commute whenever neither target lies in the
+//! other's control set and (if the targets differ) neither target is the
+//! other's target-line control; gates sharing a target always commute
+//! (they XOR the same line).
+//!
+//! This is the cleanup pass a template-based synthesis flow (paper
+//! ref \[10\]) runs after substitution — transform layers produced by
+//! matching often cancel into the neighbouring template gates.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Whether two MCT gates commute (sufficient, syntactic condition).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{gates_commute, Gate};
+///
+/// // Disjoint CNOTs commute; a CNOT and a NOT on its control do not.
+/// assert!(gates_commute(&Gate::cnot(0, 1), &Gate::cnot(2, 3)));
+/// assert!(!gates_commute(&Gate::cnot(0, 1), &Gate::not(0)));
+/// ```
+pub fn gates_commute(g: &Gate, h: &Gate) -> bool {
+    let g_target_bit = 1u64 << g.target();
+    let h_target_bit = 1u64 << h.target();
+    if g.target() == h.target() {
+        // Same target: both XOR the same line; controls cannot include the
+        // target by the gate invariant, so they always commute.
+        return true;
+    }
+    // Neither may control the other's target.
+    g.control_mask() & h_target_bit == 0 && h.control_mask() & g_target_bit == 0
+}
+
+/// Runs the peephole pass until no rewrite applies, returning the
+/// optimized circuit (always functionally equal to the input).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{peephole_optimize, Circuit, Gate};
+///
+/// // NOT(0) · CNOT(1→2) · NOT(0) cancels the NOTs across the commuting
+/// // CNOT, leaving a single gate.
+/// let c = Circuit::from_gates(3, [Gate::not(0), Gate::cnot(1, 2), Gate::not(0)])?;
+/// let opt = peephole_optimize(&c);
+/// assert_eq!(opt.len(), 1);
+/// assert!(opt.functionally_eq(&c));
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+#[must_use]
+pub fn peephole_optimize(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    loop {
+        let before = gates.len();
+        gates = cancel_pass(gates);
+        if gates.len() == before {
+            break;
+        }
+    }
+    Circuit::from_gates(circuit.width(), gates).expect("gates were valid before")
+}
+
+/// One sweep: for each gate, scan forward past commuting gates looking
+/// for an identical partner to cancel with.
+fn cancel_pass(gates: Vec<Gate>) -> Vec<Gate> {
+    let mut out: Vec<Option<Gate>> = gates.into_iter().map(Some).collect();
+    for i in 0..out.len() {
+        let Some(g) = out[i].clone() else { continue };
+        let mut j = i + 1;
+        while j < out.len() {
+            let Some(h) = out[j].clone() else {
+                j += 1;
+                continue;
+            };
+            if h == g {
+                out[i] = None;
+                out[j] = None;
+                break;
+            }
+            if !gates_commute(&g, &h) {
+                break;
+            }
+            j += 1;
+        }
+    }
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Control;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn adjacent_identical_gates_cancel() {
+        let g = Gate::toffoli(0, 1, 2);
+        let c = Circuit::from_gates(3, [g.clone(), g]).unwrap();
+        let opt = peephole_optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn cancellation_through_commuting_gate() {
+        let c = Circuit::from_gates(
+            4,
+            [Gate::not(0), Gate::cnot(2, 3), Gate::cnot(1, 2), Gate::not(0)],
+        )
+        .unwrap();
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 2);
+        assert!(opt.functionally_eq(&c));
+    }
+
+    #[test]
+    fn blocked_cancellation_is_left_alone() {
+        // NOT(0) cannot slide past CNOT(0→1) (line 0 is its control).
+        let c =
+            Circuit::from_gates(2, [Gate::not(0), Gate::cnot(0, 1), Gate::not(0)]).unwrap();
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 3);
+        assert!(opt.functionally_eq(&c));
+    }
+
+    #[test]
+    fn same_target_gates_commute() {
+        let g = Gate::new([Control::positive(0)], 2).unwrap();
+        let h = Gate::new([Control::negative(1)], 2).unwrap();
+        assert!(gates_commute(&g, &h));
+        // And cancellation across them works.
+        let c = Circuit::from_gates(3, [g.clone(), h.clone(), g]).unwrap();
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert!(opt.functionally_eq(&c));
+    }
+
+    #[test]
+    fn commute_rules() {
+        // Target of one is control of the other: no.
+        assert!(!gates_commute(&Gate::cnot(0, 1), &Gate::cnot(1, 2)));
+        // Fully disjoint: yes.
+        assert!(gates_commute(&Gate::toffoli(0, 1, 2), &Gate::not(3)));
+        // Shared controls, distinct targets: yes.
+        assert!(gates_commute(&Gate::cnot(0, 1), &Gate::cnot(0, 2)));
+    }
+
+    #[test]
+    fn optimization_preserves_function_randomly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let c = random_circuit(&RandomCircuitSpec::for_width(5), &mut rng);
+            // Pad with junk that must cancel: g · c · (c reversed) has an
+            // identity tail.
+            let padded = c.then(&c.inverse()).unwrap().then(&c).unwrap();
+            let opt = peephole_optimize(&padded);
+            assert!(opt.functionally_eq(&padded), "function changed");
+            assert!(opt.len() <= padded.len());
+        }
+    }
+
+    #[test]
+    fn transform_layers_shrink_against_inverse() {
+        // A circuit followed by its own inverse collapses substantially
+        // (full collapse needs non-local reasoning; peephole gets the
+        // adjacent pairs at the seam).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = random_circuit(&RandomCircuitSpec::for_width(4), &mut rng);
+        let padded = c.then(&c.inverse()).unwrap();
+        let opt = peephole_optimize(&padded);
+        assert!(opt.len() < padded.len(), "seam pair must cancel");
+        assert!(opt.is_identity());
+    }
+
+    #[test]
+    fn empty_and_single_gate_circuits() {
+        assert!(peephole_optimize(&Circuit::new(3)).is_empty());
+        let c = Circuit::from_gates(3, [Gate::not(1)]).unwrap();
+        assert_eq!(peephole_optimize(&c).len(), 1);
+    }
+}

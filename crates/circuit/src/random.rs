@@ -1,0 +1,151 @@
+//! Random circuit and workload generation.
+//!
+//! Every experiment in the paper operates on *promised-matchable* pairs of
+//! black-box circuits. This module provides the raw generators: random MCT
+//! cascades, random reversible functions realized as circuits, and helpers
+//! shared by the promise-pair builders in the `revmatch` core crate.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::circuit::Circuit;
+use crate::gate::{Control, Gate, Polarity};
+use crate::synthesis::{synthesize, SynthesisStrategy};
+use crate::truth_table::TruthTable;
+
+/// Parameters for random MCT cascades.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomCircuitSpec {
+    /// Number of lines.
+    pub width: usize,
+    /// Number of gates.
+    pub gate_count: usize,
+    /// Maximum controls per gate (clamped to `width - 1`).
+    pub max_controls: usize,
+    /// Whether negative controls may appear.
+    pub allow_negative_controls: bool,
+}
+
+impl RandomCircuitSpec {
+    /// A reasonable default: `3·width` gates, up to 2 controls, mixed
+    /// polarities.
+    pub fn for_width(width: usize) -> Self {
+        Self {
+            width,
+            gate_count: width.saturating_mul(3).max(1),
+            max_controls: 2,
+            allow_negative_controls: true,
+        }
+    }
+}
+
+/// Generates a random MCT cascade.
+///
+/// Gates are drawn independently: a random target, a random set of distinct
+/// control lines of size `0..=max_controls`, random polarities.
+///
+/// # Panics
+///
+/// Panics if `spec.width == 0` or `spec.width > 64`.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{random_circuit, RandomCircuitSpec};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let c = random_circuit(&RandomCircuitSpec::for_width(5), &mut rng);
+/// assert_eq!(c.width(), 5);
+/// assert_eq!(c.len(), 15);
+/// ```
+pub fn random_circuit(spec: &RandomCircuitSpec, rng: &mut impl Rng) -> Circuit {
+    assert!(spec.width >= 1 && spec.width <= crate::bits::MAX_WIDTH);
+    let mut c = Circuit::new(spec.width);
+    let mut lines: Vec<usize> = (0..spec.width).collect();
+    for _ in 0..spec.gate_count {
+        lines.shuffle(rng);
+        let target = lines[0];
+        let k_max = spec.max_controls.min(spec.width - 1);
+        let k = rng.gen_range(0..=k_max);
+        let controls: Vec<Control> = lines[1..=k]
+            .iter()
+            .map(|&line| Control {
+                line,
+                polarity: if spec.allow_negative_controls && rng.gen_bool(0.5) {
+                    Polarity::Negative
+                } else {
+                    Polarity::Positive
+                },
+            })
+            .collect();
+        c.push(Gate::new(controls, target).expect("distinct lines by construction"))
+            .expect("lines < width by construction");
+    }
+    c
+}
+
+/// Generates a circuit computing a uniformly random reversible function.
+///
+/// Unlike [`random_circuit`] (whose function distribution is biased by the
+/// gate distribution), this draws a uniform permutation of `B^width` and
+/// synthesizes it, so the *function* is uniform.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > TruthTable::MAX_WIDTH`.
+pub fn random_function_circuit(width: usize, rng: &mut impl Rng) -> Circuit {
+    let tt = TruthTable::random(width, rng);
+    synthesize(&tt, SynthesisStrategy::Bidirectional).expect("synthesis is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_circuit_respects_spec() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let spec = RandomCircuitSpec {
+            width: 6,
+            gate_count: 40,
+            max_controls: 3,
+            allow_negative_controls: false,
+        };
+        let c = random_circuit(&spec, &mut rng);
+        assert_eq!(c.len(), 40);
+        for g in c.gates() {
+            assert!(g.control_count() <= 3);
+            // No negative controls requested.
+            assert_eq!(g.positive_mask(), g.control_mask());
+        }
+    }
+
+    #[test]
+    fn random_circuit_is_reversible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = random_circuit(&RandomCircuitSpec::for_width(5), &mut rng);
+        let tt = c.truth_table().unwrap();
+        // TruthTable construction validates bijectivity.
+        assert_eq!(tt.len(), 32);
+    }
+
+    #[test]
+    fn random_function_circuit_matches_a_uniform_table() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let c = random_function_circuit(4, &mut rng);
+        assert_eq!(c.width(), 4);
+        let tt = c.truth_table().unwrap();
+        assert_eq!(tt.len(), 16);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_circuits() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(10);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(11);
+        let c1 = random_function_circuit(4, &mut r1);
+        let c2 = random_function_circuit(4, &mut r2);
+        assert!(!c1.functionally_eq(&c2), "collision is vanishingly unlikely");
+    }
+}

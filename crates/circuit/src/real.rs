@@ -1,0 +1,400 @@
+//! RevLib `.real` format reader and writer.
+//!
+//! The `.real` format is the de-facto interchange format for reversible
+//! benchmarks (RevKit, paper reference \[14\]). Supported subset:
+//!
+//! ```text
+//! # comment
+//! .version 2.0
+//! .numvars 3
+//! .variables a b c
+//! .begin
+//! t3 a b c      # MCT gate: controls a, b; target c
+//! t2 -a b       # negative control: leading '-'
+//! t1 c          # NOT
+//! f3 a b c      # Fredkin (controlled swap), decomposed into 3 Toffolis
+//! .end
+//! ```
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::{Control, Gate};
+
+/// Parses a `.real` document into a [`Circuit`].
+///
+/// Fredkin (`f`) gates are decomposed into three Toffoli gates on read;
+/// everything else is kept as a single MCT gate.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ParseReal`] describing the offending line on any
+/// syntax or semantic problem (unknown variable, missing `.numvars`, …).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::read_real;
+///
+/// let src = "\
+/// .numvars 3
+/// .variables a b c
+/// .begin
+/// t3 a b c
+/// .end
+/// ";
+/// let c = read_real(src)?;
+/// assert_eq!(c.width(), 3);
+/// assert_eq!(c.apply(0b011), 0b111);
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+pub fn read_real(source: &str) -> Result<Circuit, CircuitError> {
+    let mut width: Option<usize> = None;
+    let mut vars: HashMap<String, usize> = HashMap::new();
+    let mut circuit: Option<Circuit> = None;
+    let mut in_body = false;
+    let mut ended = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(CircuitError::ParseReal {
+                line_no,
+                reason: "content after .end".to_owned(),
+            });
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            match key {
+                "version" | "inputs" | "outputs" | "constants" | "garbage" | "inputbus"
+                | "outputbus" | "state" | "module" => { /* ignored metadata */ }
+                "numvars" => {
+                    let n: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(CircuitError::ParseReal {
+                            line_no,
+                            reason: ".numvars needs an integer".to_owned(),
+                        })?;
+                    if n == 0 || n > crate::bits::MAX_WIDTH {
+                        return Err(CircuitError::ParseReal {
+                            line_no,
+                            reason: format!("unsupported variable count {n}"),
+                        });
+                    }
+                    width = Some(n);
+                }
+                "variables" => {
+                    let n = width.ok_or(CircuitError::ParseReal {
+                        line_no,
+                        reason: ".variables before .numvars".to_owned(),
+                    })?;
+                    for (i, name) in parts.enumerate() {
+                        if i >= n {
+                            return Err(CircuitError::ParseReal {
+                                line_no,
+                                reason: "more variables than .numvars".to_owned(),
+                            });
+                        }
+                        vars.insert(name.to_owned(), i);
+                    }
+                }
+                "begin" => {
+                    let n = width.ok_or(CircuitError::ParseReal {
+                        line_no,
+                        reason: ".begin before .numvars".to_owned(),
+                    })?;
+                    if vars.is_empty() {
+                        // Default names x0..x{n-1}.
+                        for i in 0..n {
+                            vars.insert(format!("x{i}"), i);
+                        }
+                    }
+                    circuit = Some(Circuit::new(n));
+                    in_body = true;
+                }
+                "end" => {
+                    if !in_body {
+                        return Err(CircuitError::ParseReal {
+                            line_no,
+                            reason: ".end before .begin".to_owned(),
+                        });
+                    }
+                    in_body = false;
+                    ended = true;
+                }
+                other => {
+                    return Err(CircuitError::ParseReal {
+                        line_no,
+                        reason: format!("unknown directive .{other}"),
+                    });
+                }
+            }
+            continue;
+        }
+        if !in_body {
+            return Err(CircuitError::ParseReal {
+                line_no,
+                reason: "gate outside .begin/.end".to_owned(),
+            });
+        }
+        let circuit_ref = circuit.as_mut().expect("in_body implies circuit");
+        parse_gate_line(line, line_no, &vars, circuit_ref)?;
+    }
+
+    circuit.ok_or(CircuitError::ParseReal {
+        line_no: source.lines().count().max(1),
+        reason: "missing .begin section".to_owned(),
+    })
+}
+
+fn lookup(
+    token: &str,
+    line_no: usize,
+    vars: &HashMap<String, usize>,
+) -> Result<(usize, bool), CircuitError> {
+    let (name, negative) = match token.strip_prefix('-') {
+        Some(rest) => (rest, true),
+        None => (token, false),
+    };
+    let line = vars.get(name).copied().ok_or(CircuitError::ParseReal {
+        line_no,
+        reason: format!("unknown variable {name:?}"),
+    })?;
+    Ok((line, negative))
+}
+
+fn parse_gate_line(
+    line: &str,
+    line_no: usize,
+    vars: &HashMap<String, usize>,
+    circuit: &mut Circuit,
+) -> Result<(), CircuitError> {
+    let mut parts = line.split_whitespace();
+    let head = parts.next().expect("non-empty line");
+    let operands: Vec<&str> = parts.collect();
+    let kind = head.chars().next().unwrap_or(' ');
+    let declared: Option<usize> = head[1..].parse().ok();
+    if let Some(d) = declared {
+        if d != operands.len() {
+            return Err(CircuitError::ParseReal {
+                line_no,
+                reason: format!("gate {head} expects {d} operands, got {}", operands.len()),
+            });
+        }
+    }
+    match kind {
+        't' => {
+            if operands.is_empty() {
+                return Err(CircuitError::ParseReal {
+                    line_no,
+                    reason: "toffoli gate needs at least a target".to_owned(),
+                });
+            }
+            let (target, tneg) = lookup(operands[operands.len() - 1], line_no, vars)?;
+            if tneg {
+                return Err(CircuitError::ParseReal {
+                    line_no,
+                    reason: "target cannot be negated".to_owned(),
+                });
+            }
+            let mut controls = Vec::new();
+            for tok in &operands[..operands.len() - 1] {
+                let (l, neg) = lookup(tok, line_no, vars)?;
+                controls.push(if neg {
+                    Control::negative(l)
+                } else {
+                    Control::positive(l)
+                });
+            }
+            let gate = Gate::new(controls, target).map_err(|e| CircuitError::ParseReal {
+                line_no,
+                reason: e.to_string(),
+            })?;
+            circuit.push(gate).map_err(|e| CircuitError::ParseReal {
+                line_no,
+                reason: e.to_string(),
+            })?;
+        }
+        'f' => {
+            // Fredkin: last two operands are swapped under the controls.
+            if operands.len() < 2 {
+                return Err(CircuitError::ParseReal {
+                    line_no,
+                    reason: "fredkin gate needs two targets".to_owned(),
+                });
+            }
+            let (a, an) = lookup(operands[operands.len() - 2], line_no, vars)?;
+            let (b, bn) = lookup(operands[operands.len() - 1], line_no, vars)?;
+            if an || bn {
+                return Err(CircuitError::ParseReal {
+                    line_no,
+                    reason: "swap targets cannot be negated".to_owned(),
+                });
+            }
+            let mut controls = Vec::new();
+            for tok in &operands[..operands.len() - 2] {
+                let (l, neg) = lookup(tok, line_no, vars)?;
+                controls.push(if neg {
+                    Control::negative(l)
+                } else {
+                    Control::positive(l)
+                });
+            }
+            // CSWAP(a,b) = CNOT(b,a) · TOF(controls+a, b) · CNOT(b,a).
+            let mk = |cs: Vec<Control>, t: usize| -> Result<Gate, CircuitError> {
+                Gate::new(cs, t).map_err(|e| CircuitError::ParseReal {
+                    line_no,
+                    reason: e.to_string(),
+                })
+            };
+            let outer1 = mk(vec![Control::positive(b)], a)?;
+            let mut mid_controls = controls.clone();
+            mid_controls.push(Control::positive(a));
+            let mid = mk(mid_controls, b)?;
+            let outer2 = mk(vec![Control::positive(b)], a)?;
+            for g in [outer1, mid, outer2] {
+                circuit.push(g).map_err(|e| CircuitError::ParseReal {
+                    line_no,
+                    reason: e.to_string(),
+                })?;
+            }
+        }
+        other => {
+            return Err(CircuitError::ParseReal {
+                line_no,
+                reason: format!("unsupported gate kind {other:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a circuit to `.real` text with variables `x0, x1, …`.
+///
+/// The output round-trips through [`read_real`].
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{read_real, write_real, Circuit, Gate};
+///
+/// let c = Circuit::from_gates(2, [Gate::cnot(0, 1)])?;
+/// let text = write_real(&c);
+/// assert!(c.functionally_eq(&read_real(&text)?));
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+pub fn write_real(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(".version 2.0\n");
+    let _ = writeln!(out, ".numvars {}", circuit.width());
+    out.push_str(".variables");
+    for i in 0..circuit.width() {
+        let _ = write!(out, " x{i}");
+    }
+    out.push('\n');
+    out.push_str(".begin\n");
+    for g in circuit.gates() {
+        let _ = writeln!(out, "{g}");
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_minimal_toffoli() {
+        let src = ".numvars 3\n.variables a b c\n.begin\nt3 a b c\n.end\n";
+        let c = read_real(src).unwrap();
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.apply(0b011), 0b111);
+    }
+
+    #[test]
+    fn parse_negative_controls() {
+        let src = ".numvars 2\n.variables a b\n.begin\nt2 -a b\n.end\n";
+        let c = read_real(src).unwrap();
+        assert_eq!(c.apply(0b00), 0b10);
+        assert_eq!(c.apply(0b01), 0b01);
+    }
+
+    #[test]
+    fn parse_comments_and_metadata() {
+        let src = "# a comment\n.version 2.0\n.numvars 1\n.variables a\n.inputs a\n.outputs a\n.begin\nt1 a # NOT\n.end\n";
+        let c = read_real(src).unwrap();
+        assert_eq!(c.apply(0), 1);
+    }
+
+    #[test]
+    fn parse_default_variable_names() {
+        let src = ".numvars 2\n.begin\nt2 x0 x1\n.end\n";
+        let c = read_real(src).unwrap();
+        assert_eq!(c.apply(0b01), 0b11);
+    }
+
+    #[test]
+    fn parse_fredkin_swaps_under_control() {
+        let src = ".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end\n";
+        let c = read_real(src).unwrap();
+        // control a=1: swap b and c.
+        assert_eq!(c.apply(0b011), 0b101);
+        // control a=0: no-op.
+        assert_eq!(c.apply(0b010), 0b010);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = ".numvars 2\n.begin\nt2 x0 zz\n.end\n";
+        match read_real(src) {
+            Err(CircuitError::ParseReal { line_no, reason }) => {
+                assert_eq!(line_no, 3);
+                assert!(reason.contains("zz"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_operand_count_mismatch() {
+        let src = ".numvars 2\n.begin\nt3 x0 x1\n.end\n";
+        assert!(matches!(
+            read_real(src),
+            Err(CircuitError::ParseReal { line_no: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_missing_begin() {
+        assert!(read_real(".numvars 2\n").is_err());
+    }
+
+    #[test]
+    fn error_on_gate_outside_body() {
+        assert!(read_real(".numvars 2\nt1 x0\n.begin\n.end\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_random_circuits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let c = random_circuit(&RandomCircuitSpec::for_width(5), &mut rng);
+            let text = write_real(&c);
+            let back = read_real(&text).unwrap();
+            assert!(c.functionally_eq(&back));
+            assert_eq!(c.len(), back.len());
+        }
+    }
+}

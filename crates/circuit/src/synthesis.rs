@@ -1,0 +1,301 @@
+//! Transformation-based reversible synthesis (Miller–Maslov–Dueck).
+//!
+//! Implements the basic and bidirectional variants of the DAC'03
+//! transformation-based algorithm (paper reference \[10\]). Given an explicit
+//! [`TruthTable`], it produces an MCT [`Circuit`] realizing it. This is the
+//! substrate used to turn random permutations into realistic gate-level
+//! circuits for every experiment, and the synthesis engine behind the
+//! template-matching example.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::{Control, Gate};
+use crate::truth_table::TruthTable;
+
+/// Which transformation-based variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthesisStrategy {
+    /// Output-side only (the "basic" MMD algorithm).
+    #[default]
+    Basic,
+    /// Both sides: at each step choose the cheaper of fixing the output or
+    /// the input mapping (the "bidirectional" refinement, usually fewer
+    /// gates).
+    Bidirectional,
+}
+
+/// Synthesizes an MCT circuit computing the given truth table.
+///
+/// The basic algorithm walks inputs `x = 0, 1, 2, …` and appends gates on
+/// the output side that map the current `f(x)` to `x` without disturbing any
+/// already-fixed smaller input; positive controls on the ones of the
+/// intermediate word guarantee non-interference (values affected are always
+/// numerically `>= x`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::WidthTooLarge`] if the table is wider than
+/// [`TruthTable::MAX_WIDTH`] (inherited from the table itself, so in
+/// practice this function is total).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{synthesize, SynthesisStrategy, TruthTable};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let tt = TruthTable::random(4, &mut rng);
+/// let circuit = synthesize(&tt, SynthesisStrategy::Basic)?;
+/// for x in 0..16 {
+///     assert_eq!(circuit.apply(x), tt.apply(x));
+/// }
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+pub fn synthesize(
+    table: &TruthTable,
+    strategy: SynthesisStrategy,
+) -> Result<Circuit, CircuitError> {
+    match strategy {
+        SynthesisStrategy::Basic => synthesize_basic(table),
+        SynthesisStrategy::Bidirectional => synthesize_bidirectional(table),
+    }
+}
+
+/// Gates that map `y` to `x` touching only values `⊇ ones`-wise above, in
+/// the MMD style. Appends to `gates`; returns the updated value.
+///
+/// Step (a): for each bit set in `x` but not `y`, flip it with positive
+/// controls on all current ones of `y`. Step (b): for each bit set in `y`
+/// but not `x`, flip it with positive controls on all ones of `x`.
+fn mmd_step(x: u64, mut y: u64, gates: &mut Vec<Gate>) -> u64 {
+    // (a) set bits of x missing from y; controls = ones(y).
+    let mut need_set = x & !y;
+    while need_set != 0 {
+        let j = need_set.trailing_zeros() as usize;
+        need_set &= need_set - 1;
+        let controls: Vec<Control> = ones(y).map(Control::positive).collect();
+        gates.push(Gate::new(controls, j).expect("target not among controls"));
+        y |= 1u64 << j;
+    }
+    // (b) clear extra bits of y; controls = ones(x).
+    let mut need_clear = y & !x;
+    while need_clear != 0 {
+        let j = need_clear.trailing_zeros() as usize;
+        need_clear &= need_clear - 1;
+        let controls: Vec<Control> = ones(x).map(Control::positive).collect();
+        gates.push(Gate::new(controls, j).expect("target not among controls"));
+        y &= !(1u64 << j);
+    }
+    debug_assert_eq!(y, x);
+    y
+}
+
+fn ones(v: u64) -> impl Iterator<Item = usize> {
+    let mut w = v;
+    std::iter::from_fn(move || {
+        if w == 0 {
+            None
+        } else {
+            let i = w.trailing_zeros() as usize;
+            w &= w - 1;
+            Some(i)
+        }
+    })
+}
+
+fn synthesize_basic(table: &TruthTable) -> Result<Circuit, CircuitError> {
+    let width = table.width();
+    let mut f: Vec<u64> = table.entries().to_vec();
+    // Gates collected here transform f into the identity when applied to the
+    // *outputs*; the final circuit is their reverse.
+    let mut collected: Vec<Gate> = Vec::new();
+    for x in 0..f.len() as u64 {
+        let y = f[x as usize];
+        if y == x {
+            continue;
+        }
+        let mut step_gates = Vec::new();
+        mmd_step(x, y, &mut step_gates);
+        // Apply the new gates to every remaining output.
+        for v in f.iter_mut().skip(x as usize) {
+            for g in &step_gates {
+                *v = g.apply(*v);
+            }
+        }
+        collected.extend(step_gates);
+    }
+    debug_assert!(f.iter().enumerate().all(|(i, &v)| i as u64 == v));
+    collected.reverse();
+    Circuit::from_gates(width, collected)
+}
+
+fn synthesize_bidirectional(table: &TruthTable) -> Result<Circuit, CircuitError> {
+    let width = table.width();
+    let mut f: Vec<u64> = table.entries().to_vec();
+    let mut finv: Vec<u64> = table.inverse().entries().to_vec();
+    // Output-side gates (to be reversed and appended after input-side ones).
+    let mut out_gates: Vec<Gate> = Vec::new();
+    // Input-side gates, in application order.
+    let mut in_gates: Vec<Gate> = Vec::new();
+    for x in 0..f.len() as u64 {
+        let y = f[x as usize];
+        if y == x {
+            continue;
+        }
+        // Cost of fixing on the output side: move y -> x.
+        let cost_out = (x & !y).count_ones() + (y & !x).count_ones();
+        // Cost on the input side: the input currently mapping to x is
+        // finv[x]; move it to x.
+        let z = finv[x as usize];
+        let cost_in = (x & !z).count_ones() + (z & !x).count_ones();
+        if cost_out <= cost_in {
+            let mut step = Vec::new();
+            mmd_step(x, y, &mut step);
+            for v in f.iter_mut() {
+                for g in &step {
+                    *v = g.apply(*v);
+                }
+            }
+            rebuild_inverse(&f, &mut finv);
+            out_gates.extend(step);
+        } else {
+            // Input-side: gates applied to the *inputs* before f. We need
+            // gates g with f(g(x)) landing right: transform finv so that
+            // finv[x] = x, i.e. map z -> x on the input word.
+            let mut step = Vec::new();
+            mmd_step(x, z, &mut step);
+            // Residual update: f ← f ∘ S⁻¹ where S = g_k∘…∘g_1 is the step
+            // composite; S⁻¹ = g_1∘…∘g_k, so fold the gates in step order
+            // (each `permute_by_gate` computes f ∘ g for one involution g).
+            for g in &step {
+                permute_by_gate(&mut f, g);
+            }
+            rebuild_inverse(&f, &mut finv);
+            // The step composite S maps z to x, which is exactly the piece
+            // the circuit prefix must perform next: append S's gates after
+            // all previously chosen input gates, in step order (residual
+            // becomes f ∘ S⁻¹, computed by `permute_by_gate` above).
+            in_gates.extend(step);
+        }
+    }
+    debug_assert!(f.iter().enumerate().all(|(i, &v)| i as u64 == v));
+    out_gates.reverse();
+    let mut gates = in_gates;
+    gates.extend(out_gates);
+    Circuit::from_gates(width, gates)
+}
+
+/// Rewrites `f` as `f ∘ g` (gate applied to inputs first).
+fn permute_by_gate(f: &mut [u64], g: &Gate) {
+    // g is an involution on indices: swap f[v] and f[g(v)] for v < g(v).
+    for v in 0..f.len() as u64 {
+        let w = g.apply(v);
+        if v < w {
+            f.swap(v as usize, w as usize);
+        }
+    }
+}
+
+fn rebuild_inverse(f: &[u64], finv: &mut [u64]) {
+    for (x, &y) in f.iter().enumerate() {
+        finv[y as usize] = x as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn check(tt: &TruthTable, strategy: SynthesisStrategy) -> Circuit {
+        let c = synthesize(tt, strategy).unwrap();
+        for x in 0..tt.len() as u64 {
+            assert_eq!(c.apply(x), tt.apply(x), "strategy {strategy:?} wrong at {x}");
+        }
+        c
+    }
+
+    #[test]
+    fn identity_synthesizes_to_empty() {
+        let tt = TruthTable::identity(4);
+        let c = check(&tt, SynthesisStrategy::Basic);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn not_gate_function() {
+        let tt = TruthTable::from_fn(2, |x| x ^ 0b10).unwrap();
+        let c = check(&tt, SynthesisStrategy::Basic);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn random_tables_basic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for w in 1..=6 {
+            for _ in 0..8 {
+                let tt = TruthTable::random(w, &mut rng);
+                check(&tt, SynthesisStrategy::Basic);
+            }
+        }
+    }
+
+    #[test]
+    fn random_tables_bidirectional() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        for w in 1..=6 {
+            for _ in 0..8 {
+                let tt = TruthTable::random(w, &mut rng);
+                check(&tt, SynthesisStrategy::Bidirectional);
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_not_worse_on_average() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut basic_total = 0usize;
+        let mut bidir_total = 0usize;
+        for _ in 0..20 {
+            let tt = TruthTable::random(5, &mut rng);
+            basic_total += check(&tt, SynthesisStrategy::Basic).len();
+            bidir_total += check(&tt, SynthesisStrategy::Bidirectional).len();
+        }
+        assert!(
+            bidir_total <= basic_total,
+            "bidirectional produced more gates overall: {bidir_total} vs {basic_total}"
+        );
+    }
+
+    #[test]
+    fn synthesized_inverse_matches_table_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let tt = TruthTable::random(4, &mut rng);
+        let c = synthesize(&tt, SynthesisStrategy::Basic).unwrap();
+        let inv = c.inverse();
+        let tt_inv = tt.inverse();
+        for x in 0..16 {
+            assert_eq!(inv.apply(x), tt_inv.apply(x));
+        }
+    }
+
+    #[test]
+    fn cnot_function_synthesizes() {
+        let tt = TruthTable::from_fn(2, |x| {
+            let b0 = x & 1;
+            let b1 = (x >> 1) ^ b0;
+            b0 | (b1 << 1)
+        })
+        .unwrap();
+        check(&tt, SynthesisStrategy::Basic);
+        check(&tt, SynthesisStrategy::Bidirectional);
+    }
+
+    #[test]
+    fn width_one() {
+        let tt = TruthTable::new(1, vec![1, 0]).unwrap();
+        let c = check(&tt, SynthesisStrategy::Basic);
+        assert_eq!(c.len(), 1);
+    }
+}

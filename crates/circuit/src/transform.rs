@@ -1,0 +1,662 @@
+//! Negation masks, wire permutations, and their composites.
+//!
+//! These are the `ν` and `π` of the paper's Problem 1: `ν(i) = 1` means line
+//! `i` is negated; `π(i) = j` means line `i` is routed to line `j`. Their
+//! circuits `C_ν` (a layer of NOT gates) and `C_π` (a wire shuffle) can be
+//! reordered by the Fig. 4 identity, implemented here as
+//! [`NpTransform::exchange`].
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bits::width_mask;
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::truth_table::TruthTable;
+
+/// An input/output negation function `ν`: a mask of lines to flip.
+///
+/// `C_ν(x) = x ⊕ mask`, and `C_ν` is an involution (`C_ν⁻¹ = C_ν`).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::NegationMask;
+///
+/// let nu = NegationMask::new(0b011, 3)?;
+/// assert_eq!(nu.apply(0b101), 0b110);
+/// assert!(nu.bit(0) && nu.bit(1) && !nu.bit(2));
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NegationMask {
+    mask: u64,
+    width: usize,
+}
+
+impl NegationMask {
+    /// Creates a negation mask over `width` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::LineOutOfRange`] if the mask has bits beyond
+    /// `width`.
+    pub fn new(mask: u64, width: usize) -> Result<Self, CircuitError> {
+        if width > crate::bits::MAX_WIDTH {
+            return Err(CircuitError::WidthTooLarge {
+                width,
+                max: crate::bits::MAX_WIDTH,
+            });
+        }
+        if mask & !width_mask(width) != 0 {
+            return Err(CircuitError::LineOutOfRange {
+                line: 63 - mask.leading_zeros() as usize,
+                width,
+            });
+        }
+        Ok(Self { mask, width })
+    }
+
+    /// The identity (no line negated).
+    pub fn identity(width: usize) -> Self {
+        Self { mask: 0, width }
+    }
+
+    /// A uniformly random mask.
+    pub fn random(width: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            mask: rng.gen::<u64>() & width_mask(width),
+            width,
+        }
+    }
+
+    /// The raw mask.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        self.mask
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn width(self) -> usize {
+        self.width
+    }
+
+    /// Whether line `i` is negated (the paper's `ν(i) = 1`).
+    #[inline]
+    pub fn bit(self, i: usize) -> bool {
+        assert!(i < self.width);
+        (self.mask >> i) & 1 == 1
+    }
+
+    /// Whether no line is negated.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self.mask == 0
+    }
+
+    /// Applies `C_ν`: `x ⊕ mask`.
+    #[inline]
+    pub fn apply(self, x: u64) -> u64 {
+        x ^ self.mask
+    }
+
+    /// The circuit `C_ν`: one NOT gate per negated line.
+    pub fn to_circuit(self) -> Circuit {
+        let mut c = Circuit::new(self.width);
+        for line in 0..self.width {
+            if self.bit(line) {
+                c.push(Gate::not(line)).expect("line < width by invariant");
+            }
+        }
+        c
+    }
+
+    /// The truth table of `C_ν`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthTooLarge`] if the width exceeds
+    /// [`TruthTable::MAX_WIDTH`].
+    pub fn to_truth_table(self) -> Result<TruthTable, CircuitError> {
+        TruthTable::from_fn(self.width, |x| self.apply(x))
+    }
+}
+
+impl fmt::Debug for NegationMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NegationMask({self})")
+    }
+}
+
+impl fmt::Display for NegationMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in (0..self.width).rev() {
+            f.write_str(if self.bit(line) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+/// A wire permutation `π`: line `i` is routed to line `π(i)`.
+///
+/// `C_π` maps basis state `x` to `y` with `y[π(i)] = x[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::LinePermutation;
+///
+/// // Rotate lines: 0 -> 1 -> 2 -> 0.
+/// let pi = LinePermutation::new(vec![1, 2, 0])?;
+/// assert_eq!(pi.apply_index(0), 1);
+/// // Bit 0 of the input becomes bit 1 of the output.
+/// assert_eq!(pi.apply(0b001), 0b010);
+/// assert_eq!(pi.inverse().apply(0b010), 0b001);
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinePermutation {
+    /// `map[i] = π(i)`.
+    map: Vec<usize>,
+}
+
+impl LinePermutation {
+    /// Creates a permutation from `map[i] = π(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotAPermutation`] if `map` is not a
+    /// permutation of `0..map.len()`.
+    pub fn new(map: Vec<usize>) -> Result<Self, CircuitError> {
+        if map.len() > crate::bits::MAX_WIDTH {
+            return Err(CircuitError::WidthTooLarge {
+                width: map.len(),
+                max: crate::bits::MAX_WIDTH,
+            });
+        }
+        let mut seen = vec![false; map.len()];
+        for &j in &map {
+            if j >= map.len() || seen[j] {
+                return Err(CircuitError::NotAPermutation);
+            }
+            seen[j] = true;
+        }
+        Ok(Self { map })
+    }
+
+    /// The identity permutation on `width` lines.
+    pub fn identity(width: usize) -> Self {
+        Self {
+            map: (0..width).collect(),
+        }
+    }
+
+    /// A uniformly random permutation (Fisher–Yates).
+    pub fn random(width: usize, rng: &mut impl Rng) -> Self {
+        let mut map: Vec<usize> = (0..width).collect();
+        map.shuffle(rng);
+        Self { map }
+    }
+
+    /// The transposition exchanging `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn transposition(width: usize, a: usize, b: usize) -> Self {
+        assert!(a < width && b < width);
+        let mut map: Vec<usize> = (0..width).collect();
+        map.swap(a, b);
+        Self { map }
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `π(i)`: the destination of line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[inline]
+    pub fn apply_index(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// The mapping vector `[π(0), π(1), …]`.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &j)| i == j)
+    }
+
+    /// Applies `C_π` to a pattern: output bit `π(i)` = input bit `i`.
+    pub fn apply(&self, x: u64) -> u64 {
+        debug_assert_eq!(x & !width_mask(self.width()), 0);
+        let mut y = 0u64;
+        for (i, &j) in self.map.iter().enumerate() {
+            y |= ((x >> i) & 1) << j;
+        }
+        y
+    }
+
+    /// The inverse permutation.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0usize; self.map.len()];
+        for (i, &j) in self.map.iter().enumerate() {
+            inv[j] = i;
+        }
+        Self { map: inv }
+    }
+
+    /// Composition: applies `self` first, then `next` (`(next ∘ self)(i)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthMismatch`] if widths differ.
+    pub fn then(&self, next: &Self) -> Result<Self, CircuitError> {
+        if self.width() != next.width() {
+            return Err(CircuitError::WidthMismatch {
+                left: self.width(),
+                right: next.width(),
+            });
+        }
+        Ok(Self {
+            map: self.map.iter().map(|&j| next.map[j]).collect(),
+        })
+    }
+
+    /// The circuit `C_π`, realized with 3 CNOTs per transposition of a cycle
+    /// decomposition (the standard in-place XOR swap).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.width());
+        // Decompose into transpositions via cycle walking on a scratch copy.
+        let mut current: Vec<usize> = (0..self.width()).collect();
+        // position[v] = where value v currently lives.
+        let mut position: Vec<usize> = (0..self.width()).collect();
+        for i in 0..self.width() {
+            // We want the value that must end up at π-slot: after the
+            // circuit, line π(i) holds old line i. Equivalently, build the
+            // permutation σ = π and sort it with swaps applied to lines.
+            let want = self.inverse().apply_index(i); // value that must land on line i
+            let at = position[want];
+            if at != i {
+                // Swap lines `at` and `i` with 3 CNOTs.
+                c.push(Gate::cnot(at, i)).expect("in range");
+                c.push(Gate::cnot(i, at)).expect("in range");
+                c.push(Gate::cnot(at, i)).expect("in range");
+                let other = current[i];
+                current.swap(i, at);
+                position[want] = i;
+                position[other] = at;
+            }
+        }
+        c
+    }
+
+    /// The truth table of `C_π`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthTooLarge`] if the width exceeds
+    /// [`TruthTable::MAX_WIDTH`].
+    pub fn to_truth_table(&self) -> Result<TruthTable, CircuitError> {
+        TruthTable::from_fn(self.width(), |x| self.apply(x))
+    }
+
+    /// Permutes a mask: bit `π(i)` of the result = bit `i` of `mask`.
+    ///
+    /// This is the mask transport used by the Fig. 4 exchange identity.
+    pub fn permute_mask(&self, mask: u64) -> u64 {
+        self.apply(mask)
+    }
+}
+
+impl fmt::Debug for LinePermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LinePermutation({:?})", self.map)
+    }
+}
+
+impl fmt::Display for LinePermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, &j) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{i}->{j}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A negation followed by a permutation: the composite `C_π C_ν`
+/// (negate first, then shuffle wires).
+///
+/// This is the "NP" condition of the paper. The [`NpTransform::exchange`]
+/// method implements the Fig. 4 identity `C_π C_ν = C_ν′ C_π` with
+/// `ν′ = π(ν)`.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{LinePermutation, NegationMask, NpTransform};
+///
+/// let nu = NegationMask::new(0b01, 2)?;
+/// let pi = LinePermutation::new(vec![1, 0])?;
+/// let t = NpTransform::new(nu, pi)?;
+/// // x=00: negate -> 01, permute(swap) -> 10.
+/// assert_eq!(t.apply(0b00), 0b10);
+///
+/// // Fig. 4: permute-then-negate with the transported mask is identical.
+/// let (nu2, pi2) = t.exchange();
+/// assert_eq!(pi2.apply(0b00) ^ nu2.mask(), 0b10);
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NpTransform {
+    nu: NegationMask,
+    pi: LinePermutation,
+}
+
+impl NpTransform {
+    /// Creates the composite `C_π C_ν`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthMismatch`] if widths differ.
+    pub fn new(nu: NegationMask, pi: LinePermutation) -> Result<Self, CircuitError> {
+        if nu.width() != pi.width() {
+            return Err(CircuitError::WidthMismatch {
+                left: nu.width(),
+                right: pi.width(),
+            });
+        }
+        Ok(Self { nu, pi })
+    }
+
+    /// The identity transform.
+    pub fn identity(width: usize) -> Self {
+        Self {
+            nu: NegationMask::identity(width),
+            pi: LinePermutation::identity(width),
+        }
+    }
+
+    /// A random transform.
+    pub fn random(width: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            nu: NegationMask::random(width, rng),
+            pi: LinePermutation::random(width, rng),
+        }
+    }
+
+    /// The negation component (applied first).
+    #[inline]
+    pub fn negation(&self) -> NegationMask {
+        self.nu
+    }
+
+    /// The permutation component (applied second).
+    #[inline]
+    pub fn permutation(&self) -> &LinePermutation {
+        &self.pi
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.nu.width()
+    }
+
+    /// Whether both components are identities.
+    pub fn is_identity(&self) -> bool {
+        self.nu.is_identity() && self.pi.is_identity()
+    }
+
+    /// Applies `C_π C_ν`: negate, then permute.
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        self.pi.apply(self.nu.apply(x))
+    }
+
+    /// The Fig. 4 exchange: returns `(ν′, π)` with `C_π C_ν = C_ν′ C_π` and
+    /// `ν′ = π(ν)` (negate **after** permuting).
+    pub fn exchange(&self) -> (NegationMask, LinePermutation) {
+        let transported = NegationMask::new(self.pi.permute_mask(self.nu.mask()), self.width())
+            .expect("permuted mask stays in range");
+        (transported, self.pi.clone())
+    }
+
+    /// Builds the transform from the exchanged form `C_ν′ C_π` (permute
+    /// first, then negate), converting back to the canonical `C_π C_ν`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthMismatch`] if widths differ.
+    pub fn from_exchanged(
+        nu_after: NegationMask,
+        pi: LinePermutation,
+    ) -> Result<Self, CircuitError> {
+        if nu_after.width() != pi.width() {
+            return Err(CircuitError::WidthMismatch {
+                left: nu_after.width(),
+                right: pi.width(),
+            });
+        }
+        let nu = NegationMask::new(
+            pi.inverse().permute_mask(nu_after.mask()),
+            nu_after.width(),
+        )?;
+        Self::new(nu, pi)
+    }
+
+    /// The inverse transform (as a composite applied in the same
+    /// negate-then-permute order).
+    ///
+    /// `(C_π C_ν)⁻¹ = C_ν C_π⁻¹ = C_π⁻¹ C_ν″` with `ν″ = π(ν)`.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let (nu_after, pi) = self.exchange();
+        Self {
+            nu: nu_after,
+            pi: pi.inverse(),
+        }
+    }
+
+    /// The circuit `C_π C_ν` (NOT layer followed by wire swaps).
+    pub fn to_circuit(&self) -> Circuit {
+        self.nu
+            .to_circuit()
+            .then(&self.pi.to_circuit())
+            .expect("widths equal by invariant")
+    }
+
+    /// The truth table of the transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthTooLarge`] for widths beyond
+    /// [`TruthTable::MAX_WIDTH`].
+    pub fn to_truth_table(&self) -> Result<TruthTable, CircuitError> {
+        TruthTable::from_fn(self.width(), |x| self.apply(x))
+    }
+}
+
+impl fmt::Debug for NpTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NpTransform(nu={}, pi={})", self.nu, self.pi)
+    }
+}
+
+impl fmt::Display for NpTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nu={} pi={}", self.nu, self.pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn negation_apply_and_involution() {
+        let nu = NegationMask::new(0b101, 3).unwrap();
+        assert_eq!(nu.apply(0b000), 0b101);
+        assert_eq!(nu.apply(nu.apply(0b011)), 0b011);
+    }
+
+    #[test]
+    fn negation_rejects_out_of_range() {
+        assert!(NegationMask::new(0b100, 2).is_err());
+    }
+
+    #[test]
+    fn negation_circuit_matches_mask() {
+        let nu = NegationMask::new(0b110, 3).unwrap();
+        let c = nu.to_circuit();
+        assert_eq!(c.len(), 2);
+        for x in 0..8 {
+            assert_eq!(c.apply(x), nu.apply(x));
+        }
+    }
+
+    #[test]
+    fn permutation_apply_direction() {
+        // π(0)=2: bit 0 of input goes to bit 2 of output.
+        let pi = LinePermutation::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(pi.apply(0b001), 0b100);
+        assert_eq!(pi.apply(0b010), 0b001);
+        assert_eq!(pi.apply(0b100), 0b010);
+    }
+
+    #[test]
+    fn permutation_rejects_bad_map() {
+        assert!(LinePermutation::new(vec![0, 0]).is_err());
+        assert!(LinePermutation::new(vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn permutation_inverse_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let pi = LinePermutation::random(6, &mut rng);
+            let inv = pi.inverse();
+            for x in 0..64u64 {
+                assert_eq!(inv.apply(pi.apply(x)), x);
+            }
+            assert!(pi.then(&inv).unwrap().is_identity());
+        }
+    }
+
+    #[test]
+    fn permutation_composition_order() {
+        let a = LinePermutation::new(vec![1, 0, 2]).unwrap(); // swap 0,1
+        let b = LinePermutation::new(vec![0, 2, 1]).unwrap(); // swap 1,2
+        let ab = a.then(&b).unwrap();
+        // line 0 -> a -> 1 -> b -> 2.
+        assert_eq!(ab.apply_index(0), 2);
+        for x in 0..8u64 {
+            assert_eq!(ab.apply(x), b.apply(a.apply(x)));
+        }
+    }
+
+    #[test]
+    fn permutation_circuit_equals_function() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let pi = LinePermutation::random(5, &mut rng);
+            let c = pi.to_circuit();
+            for x in 0..32u64 {
+                assert_eq!(c.apply(x), pi.apply(x), "pi={pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposition_circuit() {
+        let pi = LinePermutation::transposition(4, 1, 3);
+        let c = pi.to_circuit();
+        assert_eq!(c.len(), 3); // one swap = 3 CNOTs
+        assert_eq!(c.apply(0b0010), 0b1000);
+    }
+
+    #[test]
+    fn np_apply_order_negate_then_permute() {
+        let nu = NegationMask::new(0b01, 2).unwrap();
+        let pi = LinePermutation::new(vec![1, 0]).unwrap();
+        let t = NpTransform::new(nu, pi).unwrap();
+        // 00 -xor-> 01 -swap-> 10.
+        assert_eq!(t.apply(0b00), 0b10);
+    }
+
+    #[test]
+    fn fig4_exchange_identity_exhaustive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = NpTransform::random(6, &mut rng);
+            let (nu2, pi2) = t.exchange();
+            for x in 0..64u64 {
+                assert_eq!(t.apply(x), nu2.apply(pi2.apply(x)), "fig4 violated");
+            }
+            let back = NpTransform::from_exchanged(nu2, pi2).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn np_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let t = NpTransform::random(5, &mut rng);
+            let inv = t.inverse();
+            for x in 0..32u64 {
+                assert_eq!(inv.apply(t.apply(x)), x);
+                assert_eq!(t.apply(inv.apply(x)), x);
+            }
+        }
+    }
+
+    #[test]
+    fn np_circuit_matches_function() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let t = NpTransform::random(5, &mut rng);
+            let c = t.to_circuit();
+            for x in 0..32u64 {
+                assert_eq!(c.apply(x), t.apply(x));
+            }
+        }
+    }
+
+    #[test]
+    fn np_truth_table_is_bijection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let t = NpTransform::random(4, &mut rng);
+        let tt = t.to_truth_table().unwrap();
+        assert!(tt.then(&t.inverse().to_truth_table().unwrap()).unwrap().is_identity());
+    }
+
+    #[test]
+    fn identity_transform() {
+        let t = NpTransform::identity(4);
+        assert!(t.is_identity());
+        for x in 0..16 {
+            assert_eq!(t.apply(x), x);
+        }
+    }
+}

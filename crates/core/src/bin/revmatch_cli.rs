@@ -1,0 +1,187 @@
+//! `revmatch-cli` — Boolean matching of reversible circuits from the
+//! command line.
+//!
+//! ```text
+//! revmatch-cli match    <c1.real> <c2.real> --equiv NP-I [--inverses] [--epsilon 1e-6] [--seed 0]
+//! revmatch-cli identify <c1.real> <c2.real>   find the minimal equivalence class (if any)
+//! revmatch-cli check    <c1.real> <c2.real>   SAT equivalence check (I-I), with counterexample
+//! revmatch-cli draw     <c.real>              ASCII-render a circuit
+//! revmatch-cli lattice                        print the Fig. 1 domination lattice
+//! ```
+//!
+//! Circuits are RevLib `.real` files. `match` prints the recovered
+//! `(ν_x, π_x, ν_y, π_y)` witness, the oracle-query count, and a
+//! verification verdict.
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+use revmatch::{
+    check_equivalence_sat, check_witness, classify, identify_equivalence, render_lattice,
+    solve_promise, Equivalence, IdentifyOptions, MatcherConfig, Oracle, ProblemOracles,
+    SatEquivalence, VerifyMode,
+};
+use revmatch_circuit::{draw, read_real, Circuit};
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    read_real(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  revmatch-cli match <c1.real> <c2.real> --equiv X-Y [--inverses] [--epsilon E] [--seed N]\n  revmatch-cli identify <c1.real> <c2.real> [--seed N]\n  revmatch-cli check <c1.real> <c2.real>\n  revmatch-cli draw <c.real>\n  revmatch-cli lattice"
+    );
+    ExitCode::from(2)
+}
+
+fn run_identify(args: &[String]) -> Result<ExitCode, String> {
+    if args.len() < 2 {
+        return Err("identify needs two .real files".to_owned());
+    }
+    let c1 = load(&args[0])?;
+    let c2 = load(&args[1])?;
+    let mut seed = 0u64;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| "bad seed")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut options = IdentifyOptions::default();
+    if c1.width() > 16 {
+        options.verify = VerifyMode::Sampled(4096);
+    }
+    match identify_equivalence(&c1, &c2, &options, &mut rng).map_err(|e| e.to_string())? {
+        Some(found) => {
+            println!("minimal equivalence: {}", found.equivalence);
+            println!("complexity class:    {}", classify(found.equivalence));
+            println!("witness:             {}", found.witness);
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("no negation/permutation equivalence found");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_match(args: &[String]) -> Result<ExitCode, String> {
+    if args.len() < 2 {
+        return Err("match needs two .real files".to_owned());
+    }
+    let c1 = load(&args[0])?;
+    let c2 = load(&args[1])?;
+    let mut equiv: Option<Equivalence> = None;
+    let mut inverses = false;
+    let mut epsilon = 1e-6f64;
+    let mut seed = 0u64;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--equiv" => {
+                let v = it.next().ok_or("--equiv needs a value like NP-I")?;
+                equiv = Some(v.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--inverses" => inverses = true,
+            "--epsilon" => {
+                let v = it.next().ok_or("--epsilon needs a value")?;
+                epsilon = v.parse().map_err(|_| "bad epsilon")?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| "bad seed")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let equiv = equiv.ok_or("missing --equiv X-Y")?;
+    println!("equivalence {equiv}: {}", classify(equiv));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let config = MatcherConfig::with_epsilon(epsilon);
+    let o1 = Oracle::new(c1.clone());
+    let o2 = Oracle::new(c2.clone());
+    let o1_inv = o1.inverse_oracle();
+    let o2_inv = o2.inverse_oracle();
+    let oracles = if inverses {
+        ProblemOracles::with_inverses(&o1, &o2, &o1_inv, &o2_inv)
+    } else {
+        ProblemOracles::without_inverses(&o1, &o2)
+    };
+    let witness = solve_promise(equiv, &oracles, &config, &mut rng).map_err(|e| e.to_string())?;
+    println!("witness: {witness}");
+    println!("oracle queries: {}", oracles.total_queries());
+
+    // The input files were not necessarily promised-equivalent: validate.
+    let verified = if c1.width() <= 16 {
+        check_witness(&c1, &c2, &witness, VerifyMode::Exhaustive, &mut rng)
+            .map_err(|e| e.to_string())?
+    } else {
+        check_witness(&c1, &c2, &witness, VerifyMode::Sampled(4096), &mut rng)
+            .map_err(|e| e.to_string())?
+    };
+    println!("verified: {verified}");
+    Ok(if verified {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn run_check(args: &[String]) -> Result<ExitCode, String> {
+    if args.len() != 2 {
+        return Err("check needs two .real files".to_owned());
+    }
+    let c1 = load(&args[0])?;
+    let c2 = load(&args[1])?;
+    match check_equivalence_sat(&c1, &c2).map_err(|e| e.to_string())? {
+        SatEquivalence::Equivalent => {
+            println!("equivalent");
+            Ok(ExitCode::SUCCESS)
+        }
+        SatEquivalence::Counterexample { input } => {
+            println!(
+                "NOT equivalent: input {:0w$b} -> {:0w$b} vs {:0w$b}",
+                input,
+                c1.apply(input),
+                c2.apply(input),
+                w = c1.width()
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("match") => run_match(&args[1..]),
+        Some("identify") => run_identify(&args[1..]),
+        Some("check") => run_check(&args[1..]),
+        Some("draw") => match args.get(1) {
+            Some(path) => load(path).map(|c| {
+                print!("{}", draw(&c));
+                ExitCode::SUCCESS
+            }),
+            None => Err("draw needs a .real file".to_owned()),
+        },
+        Some("lattice") => {
+            print!("{}", render_lattice());
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The 16 X-Y equivalence types of the paper's Problem 1.
+//!
+//! `X-Y equivalence` constrains the transforms allowed on the input side
+//! (`X`) and output side (`Y`): `I` (identity), `N` (negation), `P`
+//! (permutation), `NP` (negation + permutation). `C1` and `C2` are X-Y
+//! equivalent iff `C1 = T_Y ∘ C2 ∘ T_X` for transforms in the respective
+//! classes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::MatchError;
+
+/// The condition class allowed on one side of the equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// Identity: no transform.
+    I,
+    /// Negation only (`C_ν`).
+    N,
+    /// Permutation only (`C_π`).
+    P,
+    /// Negation followed by permutation (`C_π C_ν`).
+    Np,
+}
+
+impl Side {
+    /// All four classes, in the paper's order.
+    pub const ALL: [Side; 4] = [Side::I, Side::N, Side::P, Side::Np];
+
+    /// Whether `self` subsumes `other`: every `other`-transform is also a
+    /// `self`-transform.
+    ///
+    /// The subsumption order is `I ⊑ N ⊑ NP` and `I ⊑ P ⊑ NP` (N and P are
+    /// incomparable).
+    pub fn subsumes(self, other: Side) -> bool {
+        matches!(
+            (self, other),
+            (Side::I, Side::I)
+                | (Side::N, Side::I | Side::N)
+                | (Side::P, Side::I | Side::P)
+                | (Side::Np, _)
+        )
+    }
+
+    /// Number of transforms in the class on `width` lines (negations `2^n`,
+    /// permutations `n!`, both `2^n · n!`), **saturating** at `u128::MAX`
+    /// (the factorial overflows past width 33).
+    pub fn class_size(self, width: usize) -> u128 {
+        let negs = 1u128
+            .checked_shl(width as u32)
+            .unwrap_or(u128::MAX);
+        let perms = (1..=width as u128)
+            .try_fold(1u128, |acc, k| acc.checked_mul(k))
+            .unwrap_or(u128::MAX);
+        match self {
+            Side::I => 1,
+            Side::N => negs,
+            Side::P => perms,
+            Side::Np => negs.saturating_mul(perms),
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::I => write!(f, "I"),
+            Side::N => write!(f, "N"),
+            Side::P => write!(f, "P"),
+            Side::Np => write!(f, "NP"),
+        }
+    }
+}
+
+impl FromStr for Side {
+    type Err = MatchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "I" | "i" => Ok(Side::I),
+            "N" | "n" => Ok(Side::N),
+            "P" | "p" => Ok(Side::P),
+            "NP" | "np" | "Np" => Ok(Side::Np),
+            other => Err(MatchError::RandomizedFailure {
+                reason: format!("unknown side {other:?}"),
+            }),
+        }
+    }
+}
+
+/// An X-Y equivalence type: input-side class `x`, output-side class `y`.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{Equivalence, Side};
+///
+/// let e: Equivalence = "N-P".parse()?;
+/// assert_eq!(e, Equivalence::new(Side::N, Side::P));
+/// assert_eq!(e.to_string(), "N-P");
+/// assert!(Equivalence::new(Side::Np, Side::Np).subsumes(e));
+/// # Ok::<(), revmatch::MatchError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Equivalence {
+    /// Input-side class (the paper's `X`).
+    pub x: Side,
+    /// Output-side class (the paper's `Y`).
+    pub y: Side,
+}
+
+impl Equivalence {
+    /// Creates an X-Y equivalence.
+    pub fn new(x: Side, y: Side) -> Self {
+        Self { x, y }
+    }
+
+    /// All 16 equivalence types, row-major in the paper's order.
+    pub fn all() -> impl Iterator<Item = Equivalence> {
+        Side::ALL
+            .into_iter()
+            .flat_map(|x| Side::ALL.into_iter().map(move |y| Equivalence { x, y }))
+    }
+
+    /// Whether `self` subsumes `other` (the Fig. 1 domination relation,
+    /// reflexive-transitively): every `other`-equivalent pair is also
+    /// `self`-equivalent.
+    pub fn subsumes(self, other: Equivalence) -> bool {
+        self.x.subsumes(other.x) && self.y.subsumes(other.y)
+    }
+
+    /// Total number of candidate (input, output) transform pairs on
+    /// `width` lines — the size of the naive search space the paper's §3
+    /// contrasts with. Saturates at `u128::MAX` for very wide circuits.
+    pub fn search_space(self, width: usize) -> u128 {
+        self.x
+            .class_size(width)
+            .saturating_mul(self.y.class_size(width))
+    }
+}
+
+impl fmt::Display for Equivalence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.x, self.y)
+    }
+}
+
+impl FromStr for Equivalence {
+    type Err = MatchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (x, y) = s.split_once('-').ok_or(MatchError::RandomizedFailure {
+            reason: format!("equivalence {s:?} must be of the form X-Y"),
+        })?;
+        Ok(Self {
+            x: x.parse()?,
+            y: y.parse()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_sixteen() {
+        assert_eq!(Equivalence::all().count(), 16);
+    }
+
+    #[test]
+    fn side_subsumption_order() {
+        assert!(Side::Np.subsumes(Side::N));
+        assert!(Side::Np.subsumes(Side::P));
+        assert!(Side::Np.subsumes(Side::I));
+        assert!(Side::N.subsumes(Side::I));
+        assert!(!Side::N.subsumes(Side::P));
+        assert!(!Side::P.subsumes(Side::N));
+        assert!(!Side::I.subsumes(Side::N));
+        for s in Side::ALL {
+            assert!(s.subsumes(s));
+        }
+    }
+
+    #[test]
+    fn equivalence_subsumption_examples_from_fig1() {
+        let e = |s: &str| s.parse::<Equivalence>().unwrap();
+        // NP-NP is the top.
+        for other in Equivalence::all() {
+            assert!(e("NP-NP").subsumes(other));
+        }
+        // I-I is the bottom.
+        for other in Equivalence::all() {
+            assert!(other.subsumes(e("I-I")));
+        }
+        // Fig. 1 edges (a sample).
+        assert!(e("N-NP").subsumes(e("N-N")));
+        assert!(e("NP-N").subsumes(e("N-N")));
+        assert!(e("NP-P").subsumes(e("P-P")));
+        assert!(e("P-NP").subsumes(e("P-P")));
+        // Incomparable pairs.
+        assert!(!e("N-N").subsumes(e("P-P")));
+        assert!(!e("P-P").subsumes(e("N-N")));
+        assert!(!e("I-NP").subsumes(e("NP-I")));
+    }
+
+    #[test]
+    fn class_sizes() {
+        assert_eq!(Side::I.class_size(4), 1);
+        assert_eq!(Side::N.class_size(4), 16);
+        assert_eq!(Side::P.class_size(4), 24);
+        assert_eq!(Side::Np.class_size(4), 384);
+        assert_eq!(
+            Equivalence::new(Side::Np, Side::Np).search_space(4),
+            384 * 384
+        );
+    }
+
+    #[test]
+    fn class_sizes_saturate_instead_of_wrapping() {
+        // 64! overflows u128; the API must saturate, not wrap.
+        assert_eq!(Side::P.class_size(64), u128::MAX);
+        assert_eq!(Side::Np.class_size(64), u128::MAX);
+        assert_eq!(
+            Equivalence::new(Side::Np, Side::Np).search_space(64),
+            u128::MAX
+        );
+        // Still exact where it fits.
+        assert_eq!(Side::P.class_size(33), (1..=33u128).product());
+        // And saturated sizes stay monotone for the identify ordering.
+        assert!(Side::N.class_size(64) < Side::Np.class_size(64));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for e in Equivalence::all() {
+            let s = e.to_string();
+            assert_eq!(s.parse::<Equivalence>().unwrap(), e);
+        }
+        assert!("X-Y".parse::<Equivalence>().is_err());
+        assert!("NP".parse::<Equivalence>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_tolerant() {
+        assert_eq!(
+            "np-i".parse::<Equivalence>().unwrap(),
+            Equivalence::new(Side::Np, Side::I)
+        );
+        assert_eq!(
+            "n-p".parse::<Equivalence>().unwrap(),
+            Equivalence::new(Side::N, Side::P)
+        );
+    }
+
+    #[test]
+    fn subsumption_is_a_partial_order() {
+        // Reflexive, antisymmetric, transitive over all 16² (³) pairs.
+        for a in Equivalence::all() {
+            assert!(a.subsumes(a));
+            for b in Equivalence::all() {
+                if a.subsumes(b) && b.subsumes(a) {
+                    assert_eq!(a, b, "antisymmetry violated");
+                }
+                for c in Equivalence::all() {
+                    if a.subsumes(b) && b.subsumes(c) {
+                        assert!(a.subsumes(c), "transitivity violated: {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_space_is_monotone_in_subsumption() {
+        for a in Equivalence::all() {
+            for b in Equivalence::all() {
+                if a.subsumes(b) {
+                    assert!(
+                        a.search_space(5) >= b.search_space(5),
+                        "{a} subsumes {b} but has smaller space"
+                    );
+                }
+            }
+        }
+    }
+}

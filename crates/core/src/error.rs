@@ -1,0 +1,122 @@
+//! Error types for the matching library.
+
+use std::error::Error;
+use std::fmt;
+
+use revmatch_circuit::CircuitError;
+use revmatch_quantum::QuantumError;
+
+/// Errors produced by matchers and reductions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MatchError {
+    /// The two oracles have different widths.
+    WidthMismatch {
+        /// Width of `C1`.
+        left: usize,
+        /// Width of `C2`.
+        right: usize,
+    },
+    /// A required inverse oracle was not supplied.
+    InverseRequired,
+    /// A randomized algorithm failed (e.g. signature collision in the
+    /// randomized I-P matcher); retry with a larger `k`/smaller `ε`.
+    RandomizedFailure {
+        /// What failed.
+        reason: String,
+    },
+    /// The requested equivalence is UNIQUE-SAT-hard (paper §5); no
+    /// polynomial matcher exists unless the instance is small enough for
+    /// brute force.
+    Intractable {
+        /// The equivalence that was requested.
+        equivalence: String,
+    },
+    /// The promise was violated: no witness exists (detected by brute force
+    /// or by a contradiction during matching).
+    PromiseViolated,
+    /// Brute-force matching was requested beyond the supported width.
+    BruteForceTooWide {
+        /// Requested width.
+        width: usize,
+        /// Supported maximum for this equivalence.
+        max: usize,
+    },
+    /// The quantum complexity of this case is an open problem (paper §4.8).
+    OpenProblem {
+        /// Which case.
+        case: String,
+    },
+    /// An underlying circuit operation failed.
+    Circuit(CircuitError),
+    /// An underlying quantum operation failed.
+    Quantum(QuantumError),
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WidthMismatch { left, right } => {
+                write!(f, "oracle width mismatch: {left} vs {right}")
+            }
+            Self::InverseRequired => write!(f, "this matcher requires an inverse oracle"),
+            Self::RandomizedFailure { reason } => {
+                write!(f, "randomized matcher failed: {reason}")
+            }
+            Self::Intractable { equivalence } => {
+                write!(f, "{equivalence} matching is UNIQUE-SAT-hard")
+            }
+            Self::PromiseViolated => write!(f, "promise violated: circuits are not equivalent"),
+            Self::BruteForceTooWide { width, max } => {
+                write!(f, "brute force limited to width {max}, got {width}")
+            }
+            Self::OpenProblem { case } => {
+                write!(f, "{case} is an open problem in the paper")
+            }
+            Self::Circuit(e) => write!(f, "circuit error: {e}"),
+            Self::Quantum(e) => write!(f, "quantum error: {e}"),
+        }
+    }
+}
+
+impl Error for MatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Quantum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for MatchError {
+    fn from(e: CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<QuantumError> for MatchError {
+    fn from(e: QuantumError) -> Self {
+        Self::Quantum(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MatchError::WidthMismatch { left: 2, right: 3 };
+        assert_eq!(e.to_string(), "oracle width mismatch: 2 vs 3");
+        assert!(std::error::Error::source(&e).is_none());
+        let e: MatchError = CircuitError::NotBijective.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatchError>();
+    }
+}

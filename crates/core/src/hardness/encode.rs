@@ -1,0 +1,364 @@
+//! The Fig. 5 encoding circuits.
+//!
+//! Line layout (0-based, generalizing Fig. 5 to cover both reductions):
+//!
+//! ```text
+//! [ x_0 … x_{n−1} | y_0 … y_{ny−1} | a_0 … a_{m−1} | b | z ]
+//! ```
+//!
+//! `x` lines carry the CNF variables, optional `y` lines the dual-rail
+//! copies (P-P reduction only), one `a` (ancilla) line per clause, plus the
+//! `b` helper and the `z` result line. The UNIQUE-SAT encoding circuit
+//! computes, on the `z` line, `z ⊕ f` with
+//! `f = φ(x, y) ∧ (ā_0 … ā_{m−1})` (Eq. 3) while restoring every other
+//! line — using exactly `8m + 4` MCT gates.
+
+use revmatch_circuit::{Circuit, Control, Gate};
+use revmatch_sat::{Clause, Cnf};
+
+use crate::error::MatchError;
+
+/// Line layout of the Fig. 5 circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatLayout {
+    /// Number of primary variables (`x` lines).
+    pub num_vars: usize,
+    /// Number of dual-rail variables (`y` lines; 0 for the N-N reduction).
+    pub num_dual: usize,
+    /// Number of clauses (`a` lines).
+    pub num_clauses: usize,
+}
+
+impl SatLayout {
+    /// Layout for a plain formula (N-N reduction: no dual rail).
+    pub fn for_cnf(cnf: &Cnf) -> Self {
+        Self {
+            num_vars: cnf.num_vars(),
+            num_dual: 0,
+            num_clauses: cnf.num_clauses(),
+        }
+    }
+
+    /// Layout for a dual-railed formula over `n` primaries (P-P reduction):
+    /// `n` extra `y` lines and the original clause count (which already
+    /// includes the `2n` rail clauses).
+    pub fn for_dual_rail(primary_vars: usize, cnf: &Cnf) -> Self {
+        Self {
+            num_vars: primary_vars,
+            num_dual: primary_vars,
+            num_clauses: cnf.num_clauses(),
+        }
+    }
+
+    /// Line of primary variable `i`.
+    pub fn x_line(&self, i: usize) -> usize {
+        assert!(i < self.num_vars);
+        i
+    }
+
+    /// Line of dual-rail variable `j`.
+    pub fn y_line(&self, j: usize) -> usize {
+        assert!(j < self.num_dual);
+        self.num_vars + j
+    }
+
+    /// Line of CNF variable index `v` (primaries first, then duals).
+    pub fn var_line(&self, v: usize) -> usize {
+        assert!(v < self.num_vars + self.num_dual);
+        v
+    }
+
+    /// Line of clause ancilla `i`.
+    pub fn a_line(&self, i: usize) -> usize {
+        assert!(i < self.num_clauses);
+        self.num_vars + self.num_dual + i
+    }
+
+    /// The helper line `b`.
+    pub fn b_line(&self) -> usize {
+        self.num_vars + self.num_dual + self.num_clauses
+    }
+
+    /// The result line `z`.
+    pub fn z_line(&self) -> usize {
+        self.b_line() + 1
+    }
+
+    /// Total circuit width.
+    pub fn width(&self) -> usize {
+        self.z_line() + 1
+    }
+}
+
+/// Builds the clause-encoding circuit `U(c)` of Fig. 5(b): an MCT gate
+/// whose controls test "every literal false" (positive literal ⇒ negative
+/// control, negative literal ⇒ positive control), targeting the clause
+/// ancilla, followed by a NOT — so the ancilla receives `a ⊕ c`.
+///
+/// # Errors
+///
+/// Returns [`MatchError`] if a literal's variable exceeds the layout.
+pub fn clause_encoder(
+    clause: &Clause,
+    layout: &SatLayout,
+    clause_index: usize,
+) -> Result<[Gate; 2], MatchError> {
+    let controls: Vec<Control> = clause
+        .lits()
+        .iter()
+        .map(|l| {
+            let line = layout.var_line(l.var.0);
+            if l.negative {
+                Control::positive(line)
+            } else {
+                Control::negative(line)
+            }
+        })
+        .collect();
+    let target = layout.a_line(clause_index);
+    let mct = Gate::new(controls, target)?;
+    Ok([mct, Gate::not(target)])
+}
+
+/// Builds `U(φ)`: the concatenation of all clause encoders. Self-inverse
+/// (`U(φ)⁻¹ = U(φ)`), as the paper notes.
+///
+/// # Errors
+///
+/// Returns [`MatchError`] on malformed clauses (duplicate variable within a
+/// clause, variable out of range) or if the layout exceeds the 64-line
+/// classical representation (shrink the formula with
+/// `revmatch_sat::minimize_unique` first).
+pub fn u_phi(cnf: &Cnf, layout: &SatLayout) -> Result<Circuit, MatchError> {
+    check_width(layout)?;
+    let mut c = Circuit::new(layout.width());
+    for (i, clause) in cnf.clauses().iter().enumerate() {
+        for g in clause_encoder(clause, layout, i)? {
+            c.push(g)?;
+        }
+    }
+    Ok(c)
+}
+
+/// Builds the full UNIQUE-SAT encoding circuit `C1` of Fig. 5(a):
+///
+/// ```text
+/// G_b · U(φ) · G_z · U(φ) · G_b · U(φ) · G_z · U(φ)
+/// ```
+///
+/// where `G_b` flips `b` iff all ancillas are 0 (negative controls) and
+/// `G_z` flips `z` iff all ancillas are 1 **and** `b` is 1 (positive
+/// controls). Gate count: `4 · 2m + 4 = 8m + 4`. The output of the `z`
+/// line is `z ⊕ f` with `f = φ(x) ∧ (ā_0 … ā_{m−1})`; every other line is
+/// restored (Eq. 3).
+///
+/// # Errors
+///
+/// Same as [`u_phi`].
+pub fn encode_unique_sat(cnf: &Cnf, layout: &SatLayout) -> Result<Circuit, MatchError> {
+    check_width(layout)?;
+    let u = u_phi(cnf, layout)?;
+    let m = layout.num_clauses;
+    let g_b = Gate::new(
+        (0..m).map(|i| Control::negative(layout.a_line(i))),
+        layout.b_line(),
+    )?;
+    let g_z = Gate::new(
+        (0..m)
+            .map(|i| Control::positive(layout.a_line(i)))
+            .chain([Control::positive(layout.b_line())]),
+        layout.z_line(),
+    )?;
+    let mut c = Circuit::new(layout.width());
+    c.push(g_b.clone())?;
+    let c = c
+        .then(&u)?
+        .then(&Circuit::from_gates(layout.width(), [g_z.clone()])?)?
+        .then(&u)?
+        .then(&Circuit::from_gates(layout.width(), [g_b])?)?
+        .then(&u)?
+        .then(&Circuit::from_gates(layout.width(), [g_z])?)?
+        .then(&u)?;
+    Ok(c)
+}
+
+/// Builds the comparison circuit `C2` of Fig. 5(c): one MCT gate with
+/// positive controls on the `x` lines, negative controls on the `y` and
+/// `a` lines, targeting `z` (the `b` line is uncontrolled). Its `z` output
+/// is `z ⊕ g` with `g = (x_0 … x_{n−1}) ∧ (ȳ…) ∧ (ā…)`.
+///
+/// # Errors
+///
+/// Returns [`MatchError`] only if the layout is degenerate.
+pub fn c2_circuit(layout: &SatLayout) -> Result<Circuit, MatchError> {
+    check_width(layout)?;
+    let controls = (0..layout.num_vars)
+        .map(|i| Control::positive(layout.x_line(i)))
+        .chain((0..layout.num_dual).map(|j| Control::negative(layout.y_line(j))))
+        .chain((0..layout.num_clauses).map(|i| Control::negative(layout.a_line(i))));
+    let gate = Gate::new(controls, layout.z_line())?;
+    Ok(Circuit::from_gates(layout.width(), [gate])?)
+}
+
+fn check_width(layout: &SatLayout) -> Result<(), MatchError> {
+    if layout.width() > revmatch_circuit::MAX_WIDTH {
+        Err(MatchError::Circuit(
+            revmatch_circuit::CircuitError::WidthTooLarge {
+                width: layout.width(),
+                max: revmatch_circuit::MAX_WIDTH,
+            },
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmatch_sat::{Lit, Var};
+
+    fn small_cnf() -> Cnf {
+        // (x0 | !x1) & (x1 | x2)
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::new(vec![
+            Lit::positive(Var(0)),
+            Lit::negative(Var(1)),
+        ]));
+        cnf.add_clause(Clause::new(vec![
+            Lit::positive(Var(1)),
+            Lit::positive(Var(2)),
+        ]));
+        cnf
+    }
+
+    /// Evaluates φ on the x-part of a layout input.
+    fn phi_value(cnf: &Cnf, x: u64) -> bool {
+        let assignment: Vec<bool> = (0..cnf.num_vars()).map(|i| (x >> i) & 1 == 1).collect();
+        cnf.eval(&assignment)
+    }
+
+    #[test]
+    fn layout_lines_are_disjoint_and_ordered() {
+        let cnf = small_cnf();
+        let l = SatLayout::for_cnf(&cnf);
+        assert_eq!(l.width(), 3 + 2 + 2);
+        assert_eq!(l.x_line(2), 2);
+        assert_eq!(l.a_line(0), 3);
+        assert_eq!(l.b_line(), 5);
+        assert_eq!(l.z_line(), 6);
+    }
+
+    #[test]
+    fn clause_encoder_computes_a_xor_c() {
+        let cnf = small_cnf();
+        let l = SatLayout::for_cnf(&cnf);
+        let mut c = Circuit::new(l.width());
+        for g in clause_encoder(&cnf.clauses()[0], &l, 0).unwrap() {
+            c.push(g).unwrap();
+        }
+        for x in 0..8u64 {
+            for a in [0u64, 1] {
+                let input = x | (a << l.a_line(0));
+                let out = c.apply(input);
+                let clause_val = cnf.clauses()[0].eval(
+                    &(0..3).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>(),
+                );
+                let expect_a = a ^ u64::from(clause_val);
+                assert_eq!((out >> l.a_line(0)) & 1, expect_a, "x={x} a={a}");
+                // x lines unchanged.
+                assert_eq!(out & 0b111, x);
+            }
+        }
+    }
+
+    #[test]
+    fn u_phi_is_self_inverse() {
+        let cnf = small_cnf();
+        let l = SatLayout::for_cnf(&cnf);
+        let u = u_phi(&cnf, &l).unwrap();
+        let uu = u.then(&u).unwrap();
+        assert!(uu.is_identity());
+    }
+
+    #[test]
+    fn unique_sat_circuit_gate_count_is_8m_plus_4() {
+        let cnf = small_cnf();
+        let l = SatLayout::for_cnf(&cnf);
+        let c1 = encode_unique_sat(&cnf, &l).unwrap();
+        assert_eq!(c1.len(), 8 * cnf.num_clauses() + 4);
+    }
+
+    #[test]
+    fn unique_sat_circuit_computes_eq3() {
+        let cnf = small_cnf();
+        let l = SatLayout::for_cnf(&cnf);
+        let c1 = encode_unique_sat(&cnf, &l).unwrap();
+        // Check the full Eq. 3 semantics on every input.
+        for input in 0..1u64 << l.width() {
+            let out = c1.apply(input);
+            let x = input & 0b111;
+            let a_all_zero = (0..2).all(|i| (input >> l.a_line(i)) & 1 == 0);
+            let f = phi_value(&cnf, x) && a_all_zero;
+            let expect = input ^ (u64::from(f) << l.z_line());
+            assert_eq!(out, expect, "input={input:b}");
+        }
+    }
+
+    #[test]
+    fn c2_computes_and_of_x_and_not_a() {
+        let cnf = small_cnf();
+        let l = SatLayout::for_cnf(&cnf);
+        let c2 = c2_circuit(&l).unwrap();
+        assert_eq!(c2.len(), 1);
+        for input in 0..1u64 << l.width() {
+            let out = c2.apply(input);
+            let xs_all_one = (0..3).all(|i| (input >> i) & 1 == 1);
+            let a_all_zero = (0..2).all(|i| (input >> l.a_line(i)) & 1 == 0);
+            let g = xs_all_one && a_all_zero;
+            let expect = input ^ (u64::from(g) << l.z_line());
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn dual_rail_layout_lines() {
+        // 2 primaries dual-railed: lines are [x(2) | y(2) | a(m') | b | z].
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+        let dr = crate::hardness::dual_rail(&cnf);
+        let l = SatLayout::for_dual_rail(2, &dr);
+        assert_eq!(l.num_vars, 2);
+        assert_eq!(l.num_dual, 2);
+        assert_eq!(l.x_line(1), 1);
+        assert_eq!(l.y_line(0), 2);
+        assert_eq!(l.a_line(0), 4);
+        assert_eq!(l.width(), 2 + 2 + dr.num_clauses() + 2);
+        // C2 over the dual layout: positive controls on x lines only,
+        // negative on y and a lines, b uncontrolled.
+        let c2 = c2_circuit(&l).unwrap();
+        let g = &c2.gates()[0];
+        assert_eq!(g.positive_mask(), 0b11);
+        assert_eq!(
+            g.control_mask(),
+            (1u64 << l.b_line()) - 1,
+            "controls cover exactly the x, y and a lines"
+        );
+    }
+
+    #[test]
+    fn empty_formula_edge_case() {
+        // No clauses: f = true ∧ (empty ā conjunction) = φ = true for all x
+        // — the z gate fires whenever b-line condition holds. Sanity: the
+        // circuit still builds and restores non-z lines.
+        let cnf = Cnf::new(2);
+        let l = SatLayout::for_cnf(&cnf);
+        let c1 = encode_unique_sat(&cnf, &l).unwrap();
+        assert_eq!(c1.len(), 4);
+        for input in 0..1u64 << l.width() {
+            let out = c1.apply(input);
+            let non_z = (1u64 << l.z_line()) - 1;
+            assert_eq!(out & non_z, input & non_z);
+        }
+    }
+}

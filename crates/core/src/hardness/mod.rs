@@ -1,0 +1,17 @@
+//! Hardness reductions (paper §5): UNIQUE-SAT ≤p N-N and ≤p P-P.
+//!
+//! * [`encode`] builds the Fig. 5 circuits: clause encoders `U(c)`, the
+//!   `8m + 4`-gate UNIQUE-SAT encoding circuit `C1`, and the single-gate
+//!   comparison circuit `C2`.
+//! * [`nn`] is the Theorem 2 driver: CNF → N-N instance, assignment ↔
+//!   negation-witness transport, and a SAT-backed solver.
+//! * [`pp`] is the Theorem 3 driver: dual-rail CNF → P-P instance with
+//!   permutation witnesses.
+
+pub mod encode;
+pub mod nn;
+pub mod pp;
+
+pub use encode::{clause_encoder, encode_unique_sat, u_phi, SatLayout};
+pub use nn::NnReduction;
+pub use pp::{dual_rail, PpReduction};

@@ -1,0 +1,189 @@
+//! Theorem 2: UNIQUE-SAT ≤p N-N matching.
+//!
+//! Given a CNF `φ` promised to have at most one satisfying assignment, the
+//! Fig. 5 circuits `C1` (UNIQUE-SAT encoding) and `C2` (comparison) are
+//! N-N equivalent **iff** `φ` is satisfiable, and any N-N witness reveals
+//! the satisfying assignment: `x*_i = ¬ν_x(i)`.
+
+use revmatch_circuit::{LinePermutation, NegationMask, NpTransform};
+use revmatch_sat::{Cnf, Solver};
+
+use crate::error::MatchError;
+use crate::hardness::encode::{c2_circuit, encode_unique_sat, SatLayout};
+use crate::witness::MatchWitness;
+
+/// A materialized UNIQUE-SAT → N-N reduction instance.
+#[derive(Debug, Clone)]
+pub struct NnReduction {
+    /// The source formula.
+    pub cnf: Cnf,
+    /// Line layout shared by both circuits.
+    pub layout: SatLayout,
+    /// The UNIQUE-SAT encoding circuit (Fig. 5a), `8m + 4` gates.
+    pub c1: revmatch_circuit::Circuit,
+    /// The comparison circuit (Fig. 5c), one gate.
+    pub c2: revmatch_circuit::Circuit,
+}
+
+impl NnReduction {
+    /// Builds the reduction for a formula (promised — but not required —
+    /// to have at most one model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError`] if the formula contains malformed clauses
+    /// (e.g. a repeated variable within one clause).
+    pub fn new(cnf: Cnf) -> Result<Self, MatchError> {
+        let layout = SatLayout::for_cnf(&cnf);
+        let c1 = encode_unique_sat(&cnf, &layout)?;
+        let c2 = c2_circuit(&layout)?;
+        Ok(Self {
+            cnf,
+            layout,
+            c1,
+            c2,
+        })
+    }
+
+    /// Transports a satisfying assignment into the N-N witness
+    /// `(ν_x, ν_y)` with `C1 = C_{ν_y} C2 C_{ν_x}`: negate exactly the
+    /// variable lines whose assignment is 0, identically on both sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != cnf.num_vars()`.
+    pub fn witness_from_assignment(&self, assignment: &[bool]) -> MatchWitness {
+        assert_eq!(assignment.len(), self.cnf.num_vars());
+        let mut mask = 0u64;
+        for (i, &value) in assignment.iter().enumerate() {
+            if !value {
+                mask |= 1 << self.layout.x_line(i);
+            }
+        }
+        let width = self.layout.width();
+        let nu = NegationMask::new(mask, width).expect("x lines within width");
+        let t = NpTransform::new(nu, LinePermutation::identity(width)).expect("same width");
+        MatchWitness {
+            input: t.clone(),
+            output: t,
+        }
+    }
+
+    /// Extracts the satisfying assignment from an N-N witness:
+    /// `x*_i = ¬ν_x(i)` (paper §5.1).
+    pub fn assignment_from_witness(&self, witness: &MatchWitness) -> Vec<bool> {
+        let nu = witness.nu_x();
+        (0..self.cnf.num_vars())
+            .map(|i| !nu.bit(self.layout.x_line(i)))
+            .collect()
+    }
+
+    /// Solves the instance end to end with the DPLL solver: SAT ⇒ a
+    /// verified N-N witness, UNSAT ⇒ `None` (the circuits are then not
+    /// N-N equivalent, by Theorem 2).
+    pub fn solve_via_sat(&self) -> Option<MatchWitness> {
+        Solver::new(&self.cnf)
+            .solve()
+            .witness()
+            .map(|assignment| self.witness_from_assignment(assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::matchers::brute_force_match;
+    use crate::verify::{check_witness, VerifyMode};
+    use rand::SeedableRng;
+    use revmatch_sat::{planted_unique, Clause, Lit, Var};
+
+    fn tiny_unique_cnf() -> (Cnf, Vec<bool>) {
+        // x0 & !x1: unique model (1, 0).
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+        cnf.add_clause(Clause::new(vec![Lit::negative(Var(1))]));
+        (cnf, vec![true, false])
+    }
+
+    #[test]
+    fn witness_from_assignment_verifies() {
+        let (cnf, model) = tiny_unique_cnf();
+        let red = NnReduction::new(cnf).unwrap();
+        let w = red.witness_from_assignment(&model);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(
+            check_witness(&red.c1, &red.c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap(),
+            "assignment-derived witness must make C1 = C_ν C2 C_ν"
+        );
+        // And it is a genuine N-N witness (no permutation component).
+        assert!(w.conforms_to(Equivalence::new(Side::N, Side::N)));
+    }
+
+    #[test]
+    fn assignment_round_trips_through_witness() {
+        let (cnf, model) = tiny_unique_cnf();
+        let red = NnReduction::new(cnf).unwrap();
+        let w = red.witness_from_assignment(&model);
+        assert_eq!(red.assignment_from_witness(&w), model);
+    }
+
+    #[test]
+    fn planted_instances_full_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for n in [2usize, 3] {
+            let planted = planted_unique(n, 2.min(n), &mut rng).unwrap();
+            let red = NnReduction::new(planted.cnf.clone()).unwrap();
+            // Keep the circuit small enough for exhaustive verification.
+            if red.layout.width() > 16 {
+                continue;
+            }
+            let w = red.solve_via_sat().expect("satisfiable by construction");
+            assert!(check_witness(&red.c1, &red.c2, &w, VerifyMode::Exhaustive, &mut rng)
+                .unwrap());
+            assert_eq!(red.assignment_from_witness(&w), planted.assignment);
+        }
+    }
+
+    #[test]
+    fn unsat_formula_is_not_nn_equivalent() {
+        // x0 & !x0 over one variable; tiny enough for brute force.
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+        cnf.add_clause(Clause::new(vec![Lit::negative(Var(0))]));
+        let red = NnReduction::new(cnf).unwrap();
+        assert!(red.solve_via_sat().is_none());
+        // Brute force over all (ν_y, ν_x) confirms non-equivalence
+        // (Theorem 2's "only if" direction).
+        let found = brute_force_match(
+            &red.c1,
+            &red.c2,
+            Equivalence::new(Side::N, Side::N),
+        )
+        .unwrap();
+        assert!(found.is_none(), "UNSAT instance must not match");
+    }
+
+    #[test]
+    fn brute_force_nn_matcher_recovers_assignment() {
+        // Theorem 2's point: an N-N matcher IS a UNIQUE-SAT solver. Here
+        // the brute-force matcher plays that role on a tiny instance.
+        let (cnf, model) = tiny_unique_cnf();
+        let red = NnReduction::new(cnf).unwrap();
+        let w = brute_force_match(&red.c1, &red.c2, Equivalence::new(Side::N, Side::N))
+            .unwrap()
+            .expect("satisfiable instance must match");
+        // Any witness found must decode to the unique model on the
+        // variable lines.
+        assert_eq!(red.assignment_from_witness(&w), model);
+    }
+
+    #[test]
+    fn gate_count_matches_paper() {
+        let (cnf, _) = tiny_unique_cnf();
+        let m = cnf.num_clauses();
+        let red = NnReduction::new(cnf).unwrap();
+        assert_eq!(red.c1.len(), 8 * m + 4);
+        assert_eq!(red.c2.len(), 1);
+    }
+}

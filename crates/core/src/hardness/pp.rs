@@ -1,0 +1,208 @@
+//! Theorem 3: UNIQUE-SAT ≤p P-P matching.
+//!
+//! The formula is first **dual-railed**: for each variable `x_j` a partner
+//! `y_j` with clauses `(x_j ∨ y_j) ∧ (x̄_j ∨ ȳ_j)` forcing `y_j = x̄_j`.
+//! The Fig. 5 circuits over the extended layout are then P-P equivalent
+//! iff `φ` is satisfiable, with the permutation witness swapping the
+//! `x_j`/`y_j` lines exactly where `x*_j = 0` — routing the true rail into
+//! `C2`'s positive-control region.
+
+use revmatch_circuit::{LinePermutation, NegationMask, NpTransform};
+use revmatch_sat::{Clause, Cnf, Lit, Solver, Var};
+
+use crate::error::MatchError;
+use crate::hardness::encode::{c2_circuit, encode_unique_sat, SatLayout};
+use crate::witness::MatchWitness;
+
+/// Dual-rails a formula: variables `0..n` keep their meaning, variables
+/// `n..2n` are the complemented rails, and `2n` rail-consistency clauses
+/// are appended (`φ′ = φ ∧ ⋀_j (x_j ∨ y_j)(x̄_j ∨ ȳ_j)`).
+///
+/// `φ` is satisfiable iff `φ′` is, and models correspond bijectively
+/// (`y_j = x̄_j`).
+pub fn dual_rail(cnf: &Cnf) -> Cnf {
+    let n = cnf.num_vars();
+    let mut out = Cnf::new(2 * n);
+    for c in cnf.clauses() {
+        out.add_clause(c.clone());
+    }
+    for j in 0..n {
+        let x = Var(j);
+        let y = Var(n + j);
+        out.add_clause(Clause::new(vec![Lit::positive(x), Lit::positive(y)]));
+        out.add_clause(Clause::new(vec![Lit::negative(x), Lit::negative(y)]));
+    }
+    out
+}
+
+/// A materialized UNIQUE-SAT → P-P reduction instance.
+#[derive(Debug, Clone)]
+pub struct PpReduction {
+    /// The original (pre-dual-rail) formula.
+    pub cnf: Cnf,
+    /// The dual-railed formula actually encoded.
+    pub cnf_dual: Cnf,
+    /// Line layout (with `y` lines).
+    pub layout: SatLayout,
+    /// The UNIQUE-SAT encoding circuit of `φ′`.
+    pub c1: revmatch_circuit::Circuit,
+    /// The comparison circuit: positive controls on `x` lines, negative on
+    /// `y` and `a` lines.
+    pub c2: revmatch_circuit::Circuit,
+}
+
+impl PpReduction {
+    /// Builds the reduction for a formula (promised to have at most one
+    /// model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError`] on malformed clauses.
+    pub fn new(cnf: Cnf) -> Result<Self, MatchError> {
+        let cnf_dual = dual_rail(&cnf);
+        let layout = SatLayout::for_dual_rail(cnf.num_vars(), &cnf_dual);
+        let c1 = encode_unique_sat(&cnf_dual, &layout)?;
+        let c2 = c2_circuit(&layout)?;
+        Ok(Self {
+            cnf,
+            cnf_dual,
+            layout,
+            c1,
+            c2,
+        })
+    }
+
+    /// Transports a satisfying assignment of `φ` into the P-P witness
+    /// `(π_x, π_y)` with `C1 = C_{π_y} C2 C_{π_x}`: swap the `x_j`/`y_j`
+    /// lines exactly where `x*_j = 0`, identically on both sides (the swap
+    /// set is an involution, so `π_y = π_x⁻¹ = π_x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != cnf.num_vars()`.
+    pub fn witness_from_assignment(&self, assignment: &[bool]) -> MatchWitness {
+        assert_eq!(assignment.len(), self.cnf.num_vars());
+        let width = self.layout.width();
+        let mut map: Vec<usize> = (0..width).collect();
+        for (j, &value) in assignment.iter().enumerate() {
+            if !value {
+                map.swap(self.layout.x_line(j), self.layout.y_line(j));
+            }
+        }
+        let pi = LinePermutation::new(map).expect("swaps preserve permutation");
+        let t = NpTransform::new(NegationMask::identity(width), pi).expect("same width");
+        MatchWitness {
+            input: t.clone(),
+            output: t,
+        }
+    }
+
+    /// Extracts the satisfying assignment from a P-P witness:
+    /// `x*_j = 1` iff line `x_j` stays in the positive-control region
+    /// (`π_x(x_j) < n`, paper §5.2).
+    pub fn assignment_from_witness(&self, witness: &MatchWitness) -> Vec<bool> {
+        let pi = witness.pi_x();
+        (0..self.cnf.num_vars())
+            .map(|j| pi.apply_index(self.layout.x_line(j)) < self.cnf.num_vars())
+            .collect()
+    }
+
+    /// Solves the instance end to end with the DPLL solver.
+    pub fn solve_via_sat(&self) -> Option<MatchWitness> {
+        Solver::new(&self.cnf)
+            .solve()
+            .witness()
+            .map(|assignment| self.witness_from_assignment(assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::verify::{check_witness, VerifyMode};
+    use rand::SeedableRng;
+
+    fn tiny_unique_cnf() -> (Cnf, Vec<bool>) {
+        // x0 & !x1: unique model (1, 0).
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+        cnf.add_clause(Clause::new(vec![Lit::negative(Var(1))]));
+        (cnf, vec![true, false])
+    }
+
+    #[test]
+    fn dual_rail_preserves_satisfiability() {
+        let (cnf, model) = tiny_unique_cnf();
+        let dr = dual_rail(&cnf);
+        assert_eq!(dr.num_vars(), 4);
+        assert_eq!(dr.num_clauses(), cnf.num_clauses() + 4);
+        // The extended model (x*, x̄*) satisfies φ′.
+        let extended: Vec<bool> = model.iter().copied().chain(model.iter().map(|&b| !b)).collect();
+        assert!(dr.eval(&extended));
+        // φ′ has exactly one model too.
+        assert_eq!(dr.count_models_exhaustive(3), 1);
+    }
+
+    #[test]
+    fn witness_from_assignment_verifies() {
+        let (cnf, model) = tiny_unique_cnf();
+        let red = PpReduction::new(cnf).unwrap();
+        // Width = 4n + m + 2 with n=2, m=2 -> 12 lines; exhaustive is fine.
+        assert_eq!(red.layout.width(), 4 * 2 + 2 + 2);
+        let w = red.witness_from_assignment(&model);
+        assert!(w.conforms_to(Equivalence::new(Side::P, Side::P)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(
+            check_witness(&red.c1, &red.c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap(),
+            "assignment-derived permutation witness must verify"
+        );
+    }
+
+    #[test]
+    fn assignment_round_trips() {
+        let (cnf, model) = tiny_unique_cnf();
+        let red = PpReduction::new(cnf).unwrap();
+        let w = red.witness_from_assignment(&model);
+        assert_eq!(red.assignment_from_witness(&w), model);
+    }
+
+    #[test]
+    fn solve_via_sat_end_to_end() {
+        let (cnf, model) = tiny_unique_cnf();
+        let red = PpReduction::new(cnf).unwrap();
+        let w = red.solve_via_sat().unwrap();
+        assert_eq!(red.assignment_from_witness(&w), model);
+    }
+
+    #[test]
+    fn unsat_instance_has_no_pp_witness_among_rail_swaps() {
+        // For UNSAT φ, no rail-swap witness can verify (full brute force
+        // over all permutations is out of reach at width 10, but the
+        // reduction's own witness family is the relevant one).
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+        cnf.add_clause(Clause::new(vec![Lit::negative(Var(0))]));
+        let red = PpReduction::new(cnf).unwrap();
+        assert!(red.solve_via_sat().is_none());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for candidate in [vec![true], vec![false]] {
+            let w = red.witness_from_assignment(&candidate);
+            assert!(
+                !check_witness(&red.c1, &red.c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap(),
+                "UNSAT instance verified a witness"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_count_is_8m_plus_4_over_dual_clauses() {
+        let (cnf, _) = tiny_unique_cnf();
+        let n = cnf.num_vars();
+        let m = cnf.num_clauses();
+        let red = PpReduction::new(cnf).unwrap();
+        assert_eq!(red.c1.len(), 8 * (m + 2 * n) + 4);
+        assert_eq!(red.c2.len(), 1);
+        assert_eq!(red.layout.width(), 4 * n + m + 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Equivalence identification: the non-promise workflow of §3.
+//!
+//! Problem 1 is a promise problem, but the paper observes that a promise
+//! solver plus one round of equivalence checking handles the general case:
+//! *try* the conditions a matcher proposes, *validate* them, and walk on.
+//! [`identify_equivalence`] packages that loop: given two white-box
+//! circuits, it walks the Fig. 1 lattice bottom-up (cheapest classes
+//! first), runs the corresponding tractable matcher with derived inverses,
+//! validates every candidate witness, and returns the **minimal**
+//! equivalence type that explains the pair.
+//!
+//! UNIQUE-SAT-hard classes are reached only through the brute-force
+//! matcher and only at widths where it is feasible — exactly the situation
+//! Theorems 2–3 say one cannot improve in general.
+
+use rand::Rng;
+
+use crate::equivalence::Equivalence;
+use crate::error::MatchError;
+use crate::lattice::classify;
+use crate::matchers::{brute_force_match, solve_promise, MatcherConfig, ProblemOracles};
+use crate::oracle::Oracle;
+use crate::verify::{check_witness, VerifyMode};
+use crate::witness::MatchWitness;
+use revmatch_circuit::Circuit;
+
+/// Result of an identification run.
+#[derive(Debug, Clone)]
+pub struct Identification {
+    /// The minimal equivalence type under which the pair matched.
+    pub equivalence: Equivalence,
+    /// A validated witness for that type.
+    pub witness: MatchWitness,
+}
+
+/// Options for [`identify_equivalence`].
+#[derive(Debug, Clone)]
+pub struct IdentifyOptions {
+    /// Matcher tuning (ε, swap-test rounds).
+    pub config: MatcherConfig,
+    /// Whether the UNIQUE-SAT-hard classes may be attempted by brute
+    /// force when the width allows it.
+    pub allow_brute_force: bool,
+    /// Verification mode for candidate witnesses.
+    pub verify: VerifyMode,
+}
+
+impl Default for IdentifyOptions {
+    fn default() -> Self {
+        Self {
+            config: MatcherConfig::with_epsilon(1e-9),
+            allow_brute_force: true,
+            verify: VerifyMode::Exhaustive,
+        }
+    }
+}
+
+/// Finds the minimal X-Y equivalence relating `c1` and `c2`, if any.
+///
+/// Classes are tried in order of increasing transform-space size, so the
+/// returned type is minimal (no strictly weaker class explains the pair).
+/// Tractable classes use the Table 1 matchers (inverses are derived from
+/// the white boxes, per §3); hard classes fall back to brute force when
+/// permitted and feasible.
+///
+/// Returns `Ok(None)` when no class explains the pair — including the
+/// case where only a hard class might but brute force was not allowed.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] if the circuits disagree on
+/// width; matcher-internal errors are treated as "this class does not
+/// match" and skipped.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{identify_equivalence, Equivalence, IdentifyOptions, Side};
+/// use revmatch_circuit::{Circuit, Gate};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let c2 = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)])?;
+/// let c1 = Circuit::from_gates(3, [Gate::not(0)])?.then(&c2)?;
+/// let found = identify_equivalence(&c1, &c2, &IdentifyOptions::default(), &mut rng)?
+///     .expect("pair is N-I equivalent");
+/// assert_eq!(found.equivalence, Equivalence::new(Side::N, Side::I));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn identify_equivalence(
+    c1: &Circuit,
+    c2: &Circuit,
+    options: &IdentifyOptions,
+    rng: &mut impl Rng,
+) -> Result<Option<Identification>, MatchError> {
+    let n = c1.width();
+    if n != c2.width() {
+        return Err(MatchError::WidthMismatch {
+            left: n,
+            right: c2.width(),
+        });
+    }
+    // Spectral prefilter (white-box, no oracle queries): a Walsh-signature
+    // mismatch refutes every X-Y class at once.
+    if n <= revmatch_circuit::TruthTable::MAX_WIDTH
+        && !revmatch_circuit::signatures_compatible(c1, c2)?
+    {
+        return Ok(None);
+    }
+    let o1 = Oracle::new(c1.clone());
+    let o2 = Oracle::new(c2.clone());
+    let o1_inv = o1.inverse_oracle();
+    let o2_inv = o2.inverse_oracle();
+
+    // Cheapest classes first; ties broken deterministically.
+    let mut classes: Vec<Equivalence> = Equivalence::all().collect();
+    classes.sort_by_key(|e| (e.search_space(n.min(16)), e.to_string()));
+
+    for e in classes {
+        let candidate = if classify(e).is_tractable() {
+            let oracles = ProblemOracles::with_inverses(&o1, &o2, &o1_inv, &o2_inv);
+            solve_promise(e, &oracles, &options.config, rng).ok()
+        } else if options.allow_brute_force
+            && n <= crate::matchers::BRUTE_FORCE_MAX_WIDTH
+        {
+            brute_force_match(c1, c2, e)?
+        } else {
+            None
+        };
+        if let Some(witness) = candidate {
+            if witness.conforms_to(e)
+                && check_witness(c1, c2, &witness, options.verify, rng)?
+            {
+                return Ok(Some(Identification {
+                    equivalence: e,
+                    witness,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::Side;
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identifies_minimal_class_for_planted_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for e in Equivalence::all() {
+            let inst = random_instance(e, 4, &mut rng);
+            let found = identify_equivalence(
+                &inst.c1,
+                &inst.c2,
+                &IdentifyOptions::default(),
+                &mut rng,
+            )
+            .unwrap()
+            .unwrap_or_else(|| panic!("{e}: no class identified"));
+            // The found class must be minimal: it is subsumed by the
+            // planted class OR incomparable-but-valid (both witnessed).
+            assert!(
+                found.witness.conforms_to(found.equivalence),
+                "{e} -> {}",
+                found.equivalence
+            );
+            assert!(
+                check_witness(
+                    &inst.c1,
+                    &inst.c2,
+                    &found.witness,
+                    VerifyMode::Exhaustive,
+                    &mut rng
+                )
+                .unwrap(),
+                "{e} -> {} witness invalid",
+                found.equivalence
+            );
+            // Minimality against the planted witness: the identified
+            // class's search space is never larger than the planted
+            // witness's own minimal class.
+            let planted_min = inst.witness.minimal_equivalence();
+            assert!(
+                found.equivalence.search_space(4) <= planted_min.search_space(4),
+                "{e}: identified {} but planted minimal is {planted_min}",
+                found.equivalence
+            );
+        }
+    }
+
+    #[test]
+    fn identity_pair_identifies_as_i_i() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let found = identify_equivalence(&c, &c, &IdentifyOptions::default(), &mut rng)
+            .unwrap()
+            .unwrap();
+        assert_eq!(found.equivalence, Equivalence::new(Side::I, Side::I));
+    }
+
+    #[test]
+    fn unrelated_pair_identifies_as_nothing() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let found =
+            identify_equivalence(&a, &b, &IdentifyOptions::default(), &mut rng).unwrap();
+        assert!(found.is_none(), "random pair matched: {found:?}");
+    }
+
+    #[test]
+    fn hard_classes_skipped_without_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        // An N-N instance whose ν masks are nontrivial on both sides.
+        let inst = loop {
+            let inst = random_instance(Equivalence::new(Side::N, Side::N), 4, &mut rng);
+            if !inst.witness.nu_x().is_identity() && !inst.witness.nu_y().is_identity() {
+                break inst;
+            }
+        };
+        let mut options = IdentifyOptions {
+            allow_brute_force: false,
+            ..IdentifyOptions::default()
+        };
+        let without = identify_equivalence(&inst.c1, &inst.c2, &options, &mut rng).unwrap();
+        options.allow_brute_force = true;
+        let with = identify_equivalence(&inst.c1, &inst.c2, &options, &mut rng).unwrap();
+        // With brute force the pair is explained; without, usually not
+        // (no tractable class covers generic N-N pairs).
+        assert!(with.is_some());
+        if let Some(found) = without {
+            // If something tractable explained it, it must verify.
+            assert!(check_witness(
+                &inst.c1,
+                &inst.c2,
+                &found.witness,
+                VerifyMode::Exhaustive,
+                &mut rng
+            )
+            .unwrap());
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert!(
+            identify_equivalence(&a, &b, &IdentifyOptions::default(), &mut rng).is_err()
+        );
+    }
+}

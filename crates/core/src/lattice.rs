@@ -1,0 +1,301 @@
+//! The Fig. 1 domination lattice and complexity classification.
+//!
+//! Figure 1 of the paper arranges the 16 equivalences in a Hasse diagram of
+//! the domination (subsumption) relation and colours each node by
+//! complexity: ovals are easy (classical or quantum polynomial time),
+//! rectangles are UNIQUE-SAT-hard, the gray-blue ovals (N-I, NP-I) are
+//! quantum-but-not-classically easy, and the dashed oval (N-P) is
+//! conditionally easy (both inverses required; quantum complexity open).
+
+use std::fmt;
+
+use crate::equivalence::{Equivalence, Side};
+
+/// Complexity classification of an equivalence type (the Fig. 1 colouring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Complexity {
+    /// Classical polynomial-time solvable (plain ovals).
+    ClassicalEasy,
+    /// Quantum polynomial-time solvable; classically exponential without
+    /// inverses (gray-blue ovals: N-I and NP-I, Theorem 1 + Algorithm 1).
+    QuantumEasy,
+    /// Classically easy only when both inverses are available; quantum
+    /// complexity open (dashed oval: N-P, paper §4.8).
+    ConditionallyEasy,
+    /// No easier than UNIQUE-SAT (rectangles, Theorems 2–3 and Fig. 1).
+    UniqueSatHard,
+}
+
+impl Complexity {
+    /// Whether a polynomial-time matcher (of any paradigm, possibly
+    /// requiring inverses) exists.
+    pub fn is_tractable(self) -> bool {
+        !matches!(self, Self::UniqueSatHard)
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ClassicalEasy => write!(f, "classical-poly"),
+            Self::QuantumEasy => write!(f, "quantum-poly (classically exponential)"),
+            Self::ConditionallyEasy => write!(f, "conditional (inverses required; quantum open)"),
+            Self::UniqueSatHard => write!(f, "UNIQUE-SAT-hard"),
+        }
+    }
+}
+
+/// The Fig. 1 classification of an equivalence type.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{classify, Complexity, Equivalence};
+///
+/// let ni: Equivalence = "N-I".parse()?;
+/// assert_eq!(classify(ni), Complexity::QuantumEasy);
+/// let nn: Equivalence = "N-N".parse()?;
+/// assert_eq!(classify(nn), Complexity::UniqueSatHard);
+/// # Ok::<(), revmatch::MatchError>(())
+/// ```
+pub fn classify(e: Equivalence) -> Complexity {
+    use Side::{I, N, Np, P};
+    match (e.x, e.y) {
+        (I, I) | (I, N) | (I, P) | (I, Np) | (P, I) | (P, N) => Complexity::ClassicalEasy,
+        (N, I) | (Np, I) => Complexity::QuantumEasy,
+        (N, P) => Complexity::ConditionallyEasy,
+        // Everything subsuming N-N or P-P: N-N, P-P, N-NP, NP-N, P-NP,
+        // NP-P, NP-NP.
+        _ => Complexity::UniqueSatHard,
+    }
+}
+
+/// An edge of the Fig. 1 Hasse diagram: `from` covers (immediately
+/// dominates) `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DominationEdge {
+    /// The stronger equivalence.
+    pub from: Equivalence,
+    /// The immediately weaker equivalence.
+    pub to: Equivalence,
+}
+
+/// Computes the covering (Hasse) edges of the domination relation — the
+/// arrows drawn in Fig. 1.
+///
+/// `A` covers `B` iff `A ≠ B`, `A` subsumes `B`, and no third `C` sits
+/// strictly between them.
+pub fn hasse_edges() -> Vec<DominationEdge> {
+    let all: Vec<Equivalence> = Equivalence::all().collect();
+    let mut edges = Vec::new();
+    for &a in &all {
+        for &b in &all {
+            if a == b || !a.subsumes(b) {
+                continue;
+            }
+            let covered = !all.iter().any(|&c| {
+                c != a && c != b && a.subsumes(c) && c.subsumes(b)
+            });
+            if covered {
+                edges.push(DominationEdge { from: a, to: b });
+            }
+        }
+    }
+    edges
+}
+
+/// Renders the lattice as text grouped by level (number of strict
+/// dominators), top first — a textual Fig. 1.
+pub fn render_lattice() -> String {
+    use std::fmt::Write as _;
+    let all: Vec<Equivalence> = Equivalence::all().collect();
+    let mut levels: Vec<(usize, Equivalence)> = all
+        .iter()
+        .map(|&e| {
+            let dominators = all.iter().filter(|&&d| d != e && d.subsumes(e)).count();
+            (dominators, e)
+        })
+        .collect();
+    levels.sort();
+    let mut out = String::new();
+    let mut current = usize::MAX;
+    for (dominators, e) in levels {
+        if dominators != current {
+            current = dominators;
+            let _ = writeln!(out);
+        }
+        let marker = match classify(e) {
+            Complexity::ClassicalEasy => "(easy)",
+            Complexity::QuantumEasy => "(quantum easy)",
+            Complexity::ConditionallyEasy => "(conditional)",
+            Complexity::UniqueSatHard => "[HARD]",
+        };
+        let _ = writeln!(out, "  {e:<6} {marker}");
+    }
+    out
+}
+
+/// Renders the lattice as a Graphviz `dot` document reproducing Fig. 1's
+/// conventions: ovals for easy classes, boxes for UNIQUE-SAT-hard ones,
+/// filled ovals for the quantum-easy pair, dashed for the conditional
+/// case.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::lattice::hasse_dot;
+///
+/// let dot = hasse_dot();
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("\"NP-NP\" -> \"N-NP\""));
+/// ```
+pub fn hasse_dot() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("digraph fig1 {\n  rankdir=TB;\n");
+    for e in Equivalence::all() {
+        let attrs = match classify(e) {
+            Complexity::ClassicalEasy => "shape=ellipse",
+            Complexity::QuantumEasy => "shape=ellipse, style=filled, fillcolor=lightsteelblue",
+            Complexity::ConditionallyEasy => "shape=ellipse, style=dashed",
+            Complexity::UniqueSatHard => "shape=box",
+        };
+        let _ = writeln!(out, "  \"{e}\" [{attrs}];");
+    }
+    for edge in hasse_edges() {
+        let _ = writeln!(out, "  \"{}\" -> \"{}\";", edge.from, edge.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: &str) -> Equivalence {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn dot_document_is_complete() {
+        let dot = hasse_dot();
+        for eq in Equivalence::all() {
+            assert!(dot.contains(&format!("\"{eq}\"")), "missing node {eq}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 32);
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("fillcolor=lightsteelblue"));
+    }
+
+    #[test]
+    fn classification_matches_fig1() {
+        use Complexity::*;
+        let expected = [
+            ("I-I", ClassicalEasy),
+            ("I-N", ClassicalEasy),
+            ("I-P", ClassicalEasy),
+            ("I-NP", ClassicalEasy),
+            ("P-I", ClassicalEasy),
+            ("P-N", ClassicalEasy),
+            ("N-I", QuantumEasy),
+            ("NP-I", QuantumEasy),
+            ("N-P", ConditionallyEasy),
+            ("N-N", UniqueSatHard),
+            ("P-P", UniqueSatHard),
+            ("N-NP", UniqueSatHard),
+            ("NP-N", UniqueSatHard),
+            ("P-NP", UniqueSatHard),
+            ("NP-P", UniqueSatHard),
+            ("NP-NP", UniqueSatHard),
+        ];
+        assert_eq!(expected.len(), 16);
+        for (name, complexity) in expected {
+            assert_eq!(classify(e(name)), complexity, "{name}");
+        }
+    }
+
+    #[test]
+    fn hardness_is_upward_closed() {
+        // Everything that subsumes a hard equivalence is hard (paper §5).
+        for a in Equivalence::all() {
+            for b in Equivalence::all() {
+                if a.subsumes(b) && classify(b) == Complexity::UniqueSatHard {
+                    assert_eq!(
+                        classify(a),
+                        Complexity::UniqueSatHard,
+                        "{a} subsumes hard {b} but is not hard"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_hard_class_subsumes_nn_or_pp() {
+        // The paper derives all hardness from N-N and P-P.
+        for a in Equivalence::all() {
+            if classify(a) == Complexity::UniqueSatHard {
+                assert!(
+                    a.subsumes(e("N-N")) || a.subsumes(e("P-P")),
+                    "{a} is hard but subsumes neither N-N nor P-P"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hasse_edge_count_and_shape() {
+        let edges = hasse_edges();
+        // The lattice is a product of two diamonds (I < N,P < NP per side):
+        // each diamond has 4 covering edges, the product has
+        // 4*4 (side-x edges times y-nodes) + 4*4 = 32 edges.
+        assert_eq!(edges.len(), 32);
+        // Top covers exactly its four lower neighbours.
+        let from_top: Vec<&DominationEdge> = edges
+            .iter()
+            .filter(|d| d.from == e("NP-NP"))
+            .collect();
+        assert_eq!(from_top.len(), 4);
+        // Every edge is a strict domination.
+        for d in &edges {
+            assert!(d.from.subsumes(d.to) && d.from != d.to);
+        }
+    }
+
+    #[test]
+    fn hasse_has_no_transitive_shortcuts() {
+        let edges = hasse_edges();
+        for d in &edges {
+            for c in Equivalence::all() {
+                if c != d.from && c != d.to {
+                    assert!(
+                        !(d.from.subsumes(c) && c.subsumes(d.to)),
+                        "{} -> {} has shortcut through {c}",
+                        d.from,
+                        d.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_sixteen() {
+        let s = render_lattice();
+        for eq in Equivalence::all() {
+            assert!(s.contains(&eq.to_string()), "missing {eq}");
+        }
+        assert!(s.contains("[HARD]"));
+        assert!(s.contains("(quantum easy)"));
+    }
+
+    #[test]
+    fn tractable_count() {
+        let tractable = Equivalence::all()
+            .filter(|&q| classify(q).is_tractable())
+            .count();
+        // 8 tractable + N-P conditional = 9 ovals in Fig. 1.
+        assert_eq!(tractable, 9);
+    }
+}

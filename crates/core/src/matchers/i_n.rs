@@ -1,0 +1,99 @@
+//! I-N equivalence: `C1 = C_ν C2` (paper §4.1, Proposition 1).
+//!
+//! Output negation only. One query to each oracle at the all-zeros input
+//! reveals `ν` bit-wise: `ν = C1(0) ⊕ C2(0)` — `O(1)` query complexity.
+
+use revmatch_circuit::NegationMask;
+
+use crate::error::MatchError;
+use crate::matchers::ensure_same_width;
+use crate::oracle::ClassicalOracle;
+
+/// Finds the output negation `ν` with `C1 = C_ν C2`.
+///
+/// Query cost: 1 query to each oracle.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] if the oracles disagree on width.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{match_i_n, Oracle};
+/// use revmatch_circuit::{Circuit, Gate};
+///
+/// let c2 = Circuit::from_gates(3, [Gate::cnot(0, 1)])?;
+/// let c1 = Oracle::new(c2.then(&Circuit::from_gates(3, [Gate::not(2)])?)?);
+/// let c2 = Oracle::new(c2);
+/// let nu = match_i_n(&c1, &c2)?;
+/// assert_eq!(nu.mask(), 0b100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn match_i_n(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<NegationMask, MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let nu = c1.query(0) ^ c2.query(0);
+    NegationMask::new(nu, n).map_err(MatchError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_planted_negation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::N), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let nu = match_i_n(&c1, &c2).unwrap();
+            assert_eq!(nu, inst.witness.nu_y(), "width {w}");
+            assert_eq!(c1.queries() + c2.queries(), 2, "O(1) queries");
+        }
+    }
+
+    #[test]
+    fn identity_instance_gives_zero_mask() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let inst = random_instance(Equivalence::new(Side::I, Side::I), 4, &mut rng);
+        let c1 = Oracle::new(inst.c1);
+        let c2 = Oracle::new(inst.c2);
+        assert!(match_i_n(&c1, &c2).unwrap().is_identity());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let c1 = Oracle::new(revmatch_circuit::Circuit::new(2));
+        let c2 = Oracle::new(revmatch_circuit::Circuit::new(3));
+        assert!(matches!(
+            match_i_n(&c1, &c2),
+            Err(MatchError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn query_count_is_constant_in_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for w in [4, 16, 48] {
+            let inst = crate::promise::random_wide_instance(
+                Equivalence::new(Side::I, Side::N),
+                w,
+                3 * w,
+                &mut rng,
+            );
+            let c1 = Oracle::new(inst.c1);
+            let c2 = Oracle::new(inst.c2);
+            let nu = match_i_n(&c1, &c2).unwrap();
+            assert_eq!(nu, inst.witness.nu_y());
+            assert_eq!(c1.queries() + c2.queries(), 2);
+        }
+    }
+}

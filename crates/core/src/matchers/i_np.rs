@@ -1,0 +1,223 @@
+//! I-NP equivalence: `C1 = C_π C_ν C2` (paper §4.3, Proposition 3).
+//!
+//! With an inverse, the composite `C = C1 ∘ C2⁻¹ = C_π C_ν` is probed at
+//! all-zeros to expose the exchanged negation `ν′ = π(ν)` (Fig. 4), then
+//! binary-code probes (un-flipped by `ν′`) decode `π`; `ν = π⁻¹(ν′)`.
+//! Without inverses, random signatures are matched **up to complement**:
+//! an equal signature means `ν_p = 0`, a bit-flipped one means `ν_p = 1`.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use revmatch_circuit::{width_mask, LinePermutation, NegationMask, NpTransform};
+
+use crate::error::MatchError;
+use crate::matchers::{
+    binary_code_patterns, decode_permutation, ensure_same_width, randomized_rounds,
+};
+use crate::oracle::{ClassicalOracle, ComposedOracle};
+
+/// Finds the output transform `(ν, π)` with `C1 = C_π C_ν C2`, given
+/// `C2⁻¹` — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] or [`MatchError::PromiseViolated`].
+pub fn match_i_np_via_c2_inverse(
+    c1: &dyn ClassicalOracle,
+    c2_inv: &dyn ClassicalOracle,
+) -> Result<NpTransform, MatchError> {
+    let n = ensure_same_width(c1, c2_inv)?;
+    // C(x) = C1(C2⁻¹(x)) = π(x ⊕ ν) = π(x) ⊕ ν′ with ν′ = π(ν).
+    let composite = ComposedOracle::new(c2_inv, c1)?;
+    let nu_after = composite.query(0);
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p) ^ nu_after)
+        .collect();
+    let pi = decode_permutation(n, &responses)?;
+    let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
+    NpTransform::from_exchanged(nu_after, pi).map_err(MatchError::from)
+}
+
+/// Finds the output transform `(ν, π)` with `C1 = C_π C_ν C2`, given
+/// `C1⁻¹` — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Same as [`match_i_np_via_c2_inverse`].
+pub fn match_i_np_via_c1_inverse(
+    c1_inv: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<NpTransform, MatchError> {
+    let n = ensure_same_width(c1_inv, c2)?;
+    // D(x) = C2(C1⁻¹(x)) = ν ⊕ π⁻¹(x): the inverse of the output transform.
+    let composite = ComposedOracle::new(c1_inv, c2)?;
+    let nu = composite.query(0);
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p) ^ nu)
+        .collect();
+    let pi_inv = decode_permutation(n, &responses)?;
+    let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
+    // D = C_ν ∘ C_{π⁻¹} (permute first, then negate) = exchanged form;
+    // the output transform is D⁻¹.
+    let d = NpTransform::from_exchanged(nu, pi_inv)?;
+    Ok(d.inverse())
+}
+
+/// Finds the output transform without inverses, by signature matching up to
+/// complement — `O(log n + log 1/ε)` queries.
+///
+/// # Errors
+///
+/// Returns [`MatchError::RandomizedFailure`] on a signature collision
+/// (probability `< ε`), plus the usual width errors.
+pub fn match_i_np_randomized(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+    epsilon: f64,
+    rng: &mut impl Rng,
+) -> Result<NpTransform, MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let k = randomized_rounds(n, epsilon);
+    let all_ones: u128 = if k == 128 { u128::MAX } else { (1u128 << k) - 1 };
+    let mut sig1 = vec![0u128; n];
+    let mut sig2 = vec![0u128; n];
+    for t in 0..k {
+        let x = rng.gen::<u64>() & width_mask(n);
+        let y1 = c1.query(x);
+        let y2 = c2.query(x);
+        for q in 0..n {
+            sig1[q] |= u128::from((y1 >> q) & 1) << t;
+            sig2[q] |= u128::from((y2 >> q) & 1) << t;
+        }
+    }
+    // C1's output line q carries C2's line p either verbatim (ν_p = 0) or
+    // complemented (ν_p = 1), where π(p) = q.
+    let mut by_sig: HashMap<u128, usize> = HashMap::with_capacity(n);
+    for (q, &s) in sig1.iter().enumerate() {
+        if by_sig.insert(s, q).is_some() {
+            return Err(MatchError::RandomizedFailure {
+                reason: format!("signature collision in C1 after {k} rounds"),
+            });
+        }
+    }
+    let mut map = vec![usize::MAX; n];
+    let mut nu_mask = 0u64;
+    for (p, &s) in sig2.iter().enumerate() {
+        let direct = by_sig.get(&s).copied();
+        let flipped = by_sig.get(&(s ^ all_ones)).copied();
+        match (direct, flipped) {
+            (Some(q), None) => map[p] = q,
+            (None, Some(q)) => {
+                map[p] = q;
+                nu_mask |= 1 << p;
+            }
+            (Some(_), Some(_)) => {
+                return Err(MatchError::RandomizedFailure {
+                    reason: format!("ambiguous signature for C2 line {p}"),
+                })
+            }
+            (None, None) => {
+                return Err(MatchError::RandomizedFailure {
+                    reason: format!("no matching signature for C2 line {p}"),
+                })
+            }
+        }
+    }
+    let pi = LinePermutation::new(map).map_err(|_| MatchError::RandomizedFailure {
+        reason: "signatures did not induce a permutation".to_owned(),
+    })?;
+    let nu = NegationMask::new(nu_mask, n).map_err(|_| MatchError::PromiseViolated)?;
+    NpTransform::new(nu, pi).map_err(MatchError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::{random_instance, random_wide_instance};
+    use crate::verify::{check_witness, VerifyMode};
+    use crate::witness::MatchWitness;
+    use rand::SeedableRng;
+
+    fn assert_valid_output_transform(
+        inst: &crate::promise::PromiseInstance,
+        out: NpTransform,
+        rng: &mut impl rand::Rng,
+    ) {
+        // The planted witness may not be unique; validate functionally.
+        let w = MatchWitness::output_only(out);
+        assert!(
+            check_witness(&inst.c1, &inst.c2, &w, VerifyMode::Exhaustive, rng).unwrap(),
+            "recovered transform does not explain the pair"
+        );
+    }
+
+    #[test]
+    fn via_c2_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::Np), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let out = match_i_np_via_c2_inverse(&c1, &c2_inv).unwrap();
+            assert_eq!(out, inst.witness.output, "width {w}");
+            let rounds = 1 + crate::matchers::ceil_log2(w) as u64;
+            assert_eq!(c1.queries(), rounds);
+        }
+    }
+
+    #[test]
+    fn via_c1_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::Np), w, &mut rng);
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let c2 = Oracle::new(inst.c2.clone());
+            let out = match_i_np_via_c1_inverse(&c1_inv, &c2).unwrap();
+            assert_eq!(out, inst.witness.output, "width {w}");
+        }
+    }
+
+    #[test]
+    fn randomized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for w in 2..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::Np), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let out = match_i_np_randomized(&c1, &c2, 1e-6, &mut rng).unwrap();
+            assert_valid_output_transform(&inst, out, &mut rng);
+        }
+    }
+
+    #[test]
+    fn randomized_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inst = random_wide_instance(Equivalence::new(Side::I, Side::Np), 40, 80, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let out = match_i_np_randomized(&c1, &c2, 1e-9, &mut rng).unwrap();
+        assert_eq!(out, inst.witness.output);
+        assert!(c1.queries() + c2.queries() < 100);
+    }
+
+    #[test]
+    fn pure_negation_special_case() {
+        // ν-only transforms must also be recovered (π = identity).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let base = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let nu = NegationMask::new(0b1010, 4).unwrap();
+        let out = NpTransform::new(nu, LinePermutation::identity(4)).unwrap();
+        let c1_circ = MatchWitness::output_only(out.clone())
+            .surround(&base)
+            .unwrap();
+        let c1 = Oracle::new(c1_circ);
+        let c2_inv = Oracle::new(base.inverse());
+        let got = match_i_np_via_c2_inverse(&c1, &c2_inv).unwrap();
+        assert_eq!(got, out);
+    }
+}

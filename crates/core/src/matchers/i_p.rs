@@ -1,0 +1,215 @@
+//! I-P equivalence: `C1 = C_π C2` (paper §4.2, Proposition 2).
+//!
+//! Output permutation only. With an inverse, the composite
+//! `C = C1 ∘ C2⁻¹` *is* `C_π`, and `⌈log2 n⌉` binary-code probes decode it.
+//! Without inverses, `k = ⌈log2(n(n−1)/ε)⌉` random probes give every output
+//! line a near-unique signature (Eq. 1) that is matched across the two
+//! oracles.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use revmatch_circuit::{width_mask, LinePermutation};
+
+use crate::error::MatchError;
+use crate::matchers::{
+    binary_code_patterns, decode_permutation, ensure_same_width, randomized_rounds,
+};
+use crate::oracle::{ClassicalOracle, ComposedOracle};
+
+/// Finds `π` with `C1 = C_π C2`, given `C2⁻¹` — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement and
+/// [`MatchError::PromiseViolated`] if the responses are not a permutation.
+pub fn match_i_p_via_c2_inverse(
+    c1: &dyn ClassicalOracle,
+    c2_inv: &dyn ClassicalOracle,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(c1, c2_inv)?;
+    // C(x) = C1(C2⁻¹(x)) = π(x).
+    let composite = ComposedOracle::new(c2_inv, c1)?;
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p))
+        .collect();
+    decode_permutation(n, &responses)
+}
+
+/// Finds `π` with `C1 = C_π C2`, given `C1⁻¹` — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Same as [`match_i_p_via_c2_inverse`].
+pub fn match_i_p_via_c1_inverse(
+    c1_inv: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(c1_inv, c2)?;
+    // C(x) = C2(C1⁻¹(x)) = π⁻¹(x).
+    let composite = ComposedOracle::new(c1_inv, c2)?;
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p))
+        .collect();
+    Ok(decode_permutation(n, &responses)?.inverse())
+}
+
+/// Finds `π` with `C1 = C_π C2` without inverses, by random signature
+/// matching — `O(log n + log 1/ε)` queries, success probability `≥ 1 − ε`
+/// (Eq. 1).
+///
+/// # Errors
+///
+/// Returns [`MatchError::RandomizedFailure`] if two lines happened to share
+/// a signature (probability `< ε`; retry with smaller `ε`), plus the usual
+/// width errors.
+pub fn match_i_p_randomized(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+    epsilon: f64,
+    rng: &mut impl Rng,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let k = randomized_rounds(n, epsilon);
+    let mut sig1 = vec![0u128; n];
+    let mut sig2 = vec![0u128; n];
+    for t in 0..k {
+        let x = rng.gen::<u64>() & width_mask(n);
+        let y1 = c1.query(x);
+        let y2 = c2.query(x);
+        for q in 0..n {
+            sig1[q] |= u128::from((y1 >> q) & 1) << t;
+            sig2[q] |= u128::from((y2 >> q) & 1) << t;
+        }
+    }
+    // Map signature of C1's output line q back to C2's line p: π(p) = q.
+    let mut by_sig: HashMap<u128, usize> = HashMap::with_capacity(n);
+    for (q, &s) in sig1.iter().enumerate() {
+        if by_sig.insert(s, q).is_some() {
+            return Err(MatchError::RandomizedFailure {
+                reason: format!("output signature collision in C1 after {k} rounds"),
+            });
+        }
+    }
+    let mut map = vec![usize::MAX; n];
+    for (p, &s) in sig2.iter().enumerate() {
+        match by_sig.get(&s) {
+            Some(&q) => map[p] = q,
+            None => {
+                return Err(MatchError::RandomizedFailure {
+                    reason: format!("no matching signature for C2 line {p}"),
+                })
+            }
+        }
+    }
+    LinePermutation::new(map).map_err(|_| MatchError::RandomizedFailure {
+        reason: "signatures did not induce a permutation".to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::{random_instance, random_wide_instance};
+    use rand::SeedableRng;
+
+    fn planted_pi(inst: &crate::promise::PromiseInstance) -> LinePermutation {
+        inst.witness.pi_y().clone()
+    }
+
+    #[test]
+    fn via_c2_inverse_recovers_pi() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::P), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let pi = match_i_p_via_c2_inverse(&c1, &c2_inv).unwrap();
+            assert_eq!(pi, planted_pi(&inst), "width {w}");
+            // ⌈log2 n⌉ composite queries = that many on each oracle.
+            let rounds = crate::matchers::ceil_log2(w) as u64;
+            assert_eq!(c1.queries(), rounds);
+            assert_eq!(c2_inv.queries(), rounds);
+        }
+    }
+
+    #[test]
+    fn via_c1_inverse_recovers_pi() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for w in 2..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::P), w, &mut rng);
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let c2 = Oracle::new(inst.c2.clone());
+            let pi = match_i_p_via_c1_inverse(&c1_inv, &c2).unwrap();
+            assert_eq!(pi, planted_pi(&inst), "width {w}");
+        }
+    }
+
+    #[test]
+    fn randomized_recovers_pi() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for w in 2..=8 {
+            let inst = random_instance(Equivalence::new(Side::I, Side::P), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let pi = match_i_p_randomized(&c1, &c2, 1e-6, &mut rng).unwrap();
+            assert_eq!(pi, planted_pi(&inst), "width {w}");
+        }
+    }
+
+    #[test]
+    fn randomized_scales_to_wide_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inst = random_wide_instance(Equivalence::new(Side::I, Side::P), 48, 96, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let pi = match_i_p_randomized(&c1, &c2, 1e-9, &mut rng).unwrap();
+        assert_eq!(&pi, inst.witness.pi_y());
+        // Query count is 2k = O(log n + log 1/ε), far below 2^n.
+        assert!(c1.queries() + c2.queries() < 100);
+    }
+
+    #[test]
+    fn identity_circuit_pair() {
+        let c = revmatch_circuit::Circuit::new(4);
+        let c1 = Oracle::new(c.clone());
+        let c2_inv = Oracle::new(c.inverse());
+        let pi = match_i_p_via_c2_inverse(&c1, &c2_inv).unwrap();
+        assert!(pi.is_identity());
+    }
+
+    #[test]
+    fn promise_violation_detected_with_inverse() {
+        // C1 is NOT a permutation of C2's outputs: decode must fail.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = revmatch_circuit::random_function_circuit(3, &mut rng);
+        let b = revmatch_circuit::random_function_circuit(3, &mut rng);
+        let c1 = Oracle::new(a);
+        let c2_inv = Oracle::new(b.inverse());
+        // Either an explicit violation or a wrong permutation; both are
+        // acceptable failure signals, but silence is not: verify the result
+        // if Ok.
+        if let Ok(pi) = match_i_p_via_c2_inverse(&c1, &c2_inv) {
+            let witness = crate::MatchWitness::output_only(
+                revmatch_circuit::NpTransform::new(
+                    revmatch_circuit::NegationMask::identity(3),
+                    pi,
+                )
+                .unwrap(),
+            );
+            let ok = crate::check_witness(
+                c1.circuit(),
+                &c2_inv.circuit().inverse(),
+                &witness,
+                crate::VerifyMode::Exhaustive,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(!ok, "random unrelated circuits matched");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Matching algorithms for the tractable equivalences (paper §4).
+//!
+//! One module per equivalence type, implementing every variant of Table 1:
+//!
+//! | Equivalence | Inverse available | Without inverses |
+//! |---|---|---|
+//! | I-N  | `O(1)` classical ([`match_i_n`])  | same |
+//! | I-P  | `O(log n)` ([`match_i_p_via_c2_inverse`]) | `O(log n + log 1/ε)` randomized ([`match_i_p_randomized`]) |
+//! | I-NP | `O(log n)` ([`match_i_np_via_c2_inverse`]) | `O(log n + log 1/ε)` randomized ([`match_i_np_randomized`]) |
+//! | P-I  | `O(log n)` ([`match_p_i_via_c2_inverse`]) | `O(n)` one-hot ([`match_p_i_one_hot`]) |
+//! | N-I  | `O(1)` ([`match_n_i_via_c2_inverse`]) | quantum `O(n log 1/ε)` ([`match_n_i_quantum`], Algorithm 1); Simon-style `~2(n+1)` ([`match_n_i_simon`], footnote 2); classical `Θ(2^{n/2})` collision ([`match_n_i_collision`], Theorem 1) |
+//! | NP-I | `O(log n)` ([`match_np_i_via_c2_inverse`]) | quantum `O(n² log 1/ε)` ([`match_np_i_quantum`]) |
+//! | P-N  | `O(log n)` ([`match_p_n_via_inverses`]) | `O(n)` ([`match_p_n`]) |
+//! | N-P  | `O(log n)`, both inverses ([`match_n_p_via_inverses`]) | open problem |
+//!
+//! The [`solve_promise`] dispatcher picks the best available variant given
+//! the supplied resources, and [`brute_force_match`] provides the
+//! exponential baseline usable for every equivalence (including the
+//! UNIQUE-SAT-hard ones) at tiny widths.
+
+mod brute;
+mod i_n;
+mod i_np;
+mod i_p;
+mod n_i;
+mod n_i_simon;
+mod n_p;
+mod np_i;
+mod p_i;
+mod p_n;
+
+pub use brute::{brute_force_match, brute_force_match_tables, count_witnesses, BRUTE_FORCE_MAX_WIDTH};
+pub use i_n::match_i_n;
+pub use i_np::{match_i_np_randomized, match_i_np_via_c1_inverse, match_i_np_via_c2_inverse};
+pub use i_p::{match_i_p_randomized, match_i_p_via_c1_inverse, match_i_p_via_c2_inverse};
+pub use n_i::{
+    match_n_i_collision, match_n_i_quantum, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse,
+    CollisionOutcome,
+};
+pub use n_i_simon::{match_n_i_simon, SimonOutcome};
+pub use n_p::match_n_p_via_inverses;
+pub use np_i::{match_np_i_quantum, match_np_i_via_c1_inverse, match_np_i_via_c2_inverse};
+pub use p_i::{match_p_i_one_hot, match_p_i_via_c1_inverse, match_p_i_via_c2_inverse};
+pub use p_n::{match_p_n, match_p_n_via_inverses};
+
+use rand::Rng;
+use revmatch_quantum::SwapTestMethod;
+
+use crate::equivalence::{Equivalence, Side};
+use crate::error::MatchError;
+use crate::oracle::{ClassicalOracle, Oracle};
+use crate::witness::MatchWitness;
+
+/// Tuning knobs shared by the randomized and quantum matchers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatcherConfig {
+    /// Failure-probability budget `ε` for the randomized classical
+    /// matchers (Eq. 1).
+    pub epsilon: f64,
+    /// Swap-test repetitions `k` per decision (paper: `k = ⌈log2(1/ε)⌉`).
+    pub quantum_k: usize,
+    /// How swap tests are executed.
+    pub swap_method: SwapTestMethod,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-6,
+            quantum_k: 20,
+            swap_method: SwapTestMethod::Analytic,
+        }
+    }
+}
+
+impl MatcherConfig {
+    /// A config with failure budget `ε` (sets `quantum_k = ⌈log2(1/ε)⌉`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε < 1`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            epsilon,
+            quantum_k: (1.0 / epsilon).log2().ceil() as usize,
+            swap_method: SwapTestMethod::Analytic,
+        }
+    }
+}
+
+/// The resources handed to the dispatcher: the two black boxes and
+/// optionally their inverses.
+#[derive(Debug)]
+pub struct ProblemOracles<'a> {
+    /// The transformed circuit.
+    pub c1: &'a Oracle,
+    /// The base circuit.
+    pub c2: &'a Oracle,
+    /// `C1⁻¹`, if available.
+    pub c1_inv: Option<&'a Oracle>,
+    /// `C2⁻¹`, if available.
+    pub c2_inv: Option<&'a Oracle>,
+}
+
+impl<'a> ProblemOracles<'a> {
+    /// Oracles without inverses.
+    pub fn without_inverses(c1: &'a Oracle, c2: &'a Oracle) -> Self {
+        Self {
+            c1,
+            c2,
+            c1_inv: None,
+            c2_inv: None,
+        }
+    }
+
+    /// Oracles with both inverses.
+    pub fn with_inverses(
+        c1: &'a Oracle,
+        c2: &'a Oracle,
+        c1_inv: &'a Oracle,
+        c2_inv: &'a Oracle,
+    ) -> Self {
+        Self {
+            c1,
+            c2,
+            c1_inv: Some(c1_inv),
+            c2_inv: Some(c2_inv),
+        }
+    }
+
+    /// Total queries across all supplied oracles.
+    pub fn total_queries(&self) -> u64 {
+        self.c1.queries()
+            + self.c2.queries()
+            + self.c1_inv.map_or(0, Oracle::queries)
+            + self.c2_inv.map_or(0, Oracle::queries)
+    }
+
+    /// Resets every counter.
+    pub fn reset_queries(&self) {
+        self.c1.reset_queries();
+        self.c2.reset_queries();
+        if let Some(o) = self.c1_inv {
+            o.reset_queries();
+        }
+        if let Some(o) = self.c2_inv {
+            o.reset_queries();
+        }
+    }
+}
+
+/// Solves the promise problem for any tractable equivalence, picking the
+/// cheapest variant the supplied resources allow (Table 1).
+///
+/// # Errors
+///
+/// * [`MatchError::Intractable`] for the UNIQUE-SAT-hard types (use
+///   [`brute_force_match`] at tiny widths instead);
+/// * [`MatchError::OpenProblem`] for N-P without both inverses;
+/// * errors from the underlying matchers (randomized failure, promise
+///   violation, width mismatch).
+pub fn solve_promise(
+    equivalence: Equivalence,
+    oracles: &ProblemOracles<'_>,
+    config: &MatcherConfig,
+    rng: &mut impl Rng,
+) -> Result<MatchWitness, MatchError> {
+    use Side::{I, N, Np, P};
+    let width = ClassicalOracle::width(oracles.c1);
+    let make_n = |mask: revmatch_circuit::NegationMask| {
+        revmatch_circuit::NpTransform::new(
+            mask,
+            revmatch_circuit::LinePermutation::identity(width),
+        )
+        .expect("same width")
+    };
+    let make_p = |pi: revmatch_circuit::LinePermutation| {
+        revmatch_circuit::NpTransform::new(
+            revmatch_circuit::NegationMask::identity(width),
+            pi,
+        )
+        .expect("same width")
+    };
+    match (equivalence.x, equivalence.y) {
+        (I, I) => Ok(MatchWitness::identity(width)),
+        (I, N) => Ok(MatchWitness::output_only(make_n(match_i_n(
+            oracles.c1, oracles.c2,
+        )?))),
+        (I, P) => {
+            let pi = if let Some(c2_inv) = oracles.c2_inv {
+                match_i_p_via_c2_inverse(oracles.c1, c2_inv)?
+            } else if let Some(c1_inv) = oracles.c1_inv {
+                match_i_p_via_c1_inverse(c1_inv, oracles.c2)?
+            } else {
+                match_i_p_randomized(oracles.c1, oracles.c2, config.epsilon, rng)?
+            };
+            Ok(MatchWitness::output_only(make_p(pi)))
+        }
+        (I, Np) => {
+            let out = if let Some(c2_inv) = oracles.c2_inv {
+                match_i_np_via_c2_inverse(oracles.c1, c2_inv)?
+            } else if let Some(c1_inv) = oracles.c1_inv {
+                match_i_np_via_c1_inverse(c1_inv, oracles.c2)?
+            } else {
+                match_i_np_randomized(oracles.c1, oracles.c2, config.epsilon, rng)?
+            };
+            Ok(MatchWitness::output_only(out))
+        }
+        (P, I) => {
+            let pi = if let Some(c2_inv) = oracles.c2_inv {
+                match_p_i_via_c2_inverse(oracles.c1, c2_inv)?
+            } else if let Some(c1_inv) = oracles.c1_inv {
+                match_p_i_via_c1_inverse(c1_inv, oracles.c2)?
+            } else {
+                match_p_i_one_hot(oracles.c1, oracles.c2)?
+            };
+            Ok(MatchWitness::input_only(make_p(pi)))
+        }
+        (N, I) => {
+            let nu = if let Some(c2_inv) = oracles.c2_inv {
+                match_n_i_via_c2_inverse(oracles.c1, c2_inv)?
+            } else if let Some(c1_inv) = oracles.c1_inv {
+                match_n_i_via_c1_inverse(c1_inv, oracles.c2)?
+            } else {
+                match_n_i_quantum(oracles.c1, oracles.c2, config, rng)?
+            };
+            Ok(MatchWitness::input_only(make_n(nu)))
+        }
+        (Np, I) => {
+            let input = if let Some(c2_inv) = oracles.c2_inv {
+                match_np_i_via_c2_inverse(oracles.c1, c2_inv)?
+            } else if let Some(c1_inv) = oracles.c1_inv {
+                match_np_i_via_c1_inverse(c1_inv, oracles.c2)?
+            } else {
+                match_np_i_quantum(oracles.c1, oracles.c2, config, rng)?
+            };
+            Ok(MatchWitness::input_only(input))
+        }
+        (P, N) => {
+            let (pi, nu) = if oracles.c1_inv.is_some() || oracles.c2_inv.is_some() {
+                match_p_n_via_inverses(
+                    oracles.c1,
+                    oracles.c2,
+                    oracles.c1_inv.map(|o| o as &dyn ClassicalOracle),
+                    oracles.c2_inv.map(|o| o as &dyn ClassicalOracle),
+                )?
+            } else {
+                match_p_n(oracles.c1, oracles.c2)?
+            };
+            MatchWitness::new(make_p(pi), make_n(nu))
+        }
+        (N, P) => match (oracles.c1, oracles.c1_inv, oracles.c2_inv) {
+            (c1, Some(c1_inv), Some(c2_inv)) => {
+                let (nu, pi) = match_n_p_via_inverses(c1, c1_inv, c2_inv)?;
+                MatchWitness::new(make_n(nu), make_p(pi))
+            }
+            _ => Err(MatchError::OpenProblem {
+                case: "N-P without both inverses".to_owned(),
+            }),
+        },
+        _ => Err(MatchError::Intractable {
+            equivalence: equivalence.to_string(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+/// `⌈log2 n⌉` (0 for `n <= 1`) — the probe count of the binary-code
+/// decoding scheme (§4.2).
+pub fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// The binary-code probe patterns of §4.2: pattern `t` has bit `j` equal to
+/// bit `t` of the binary code of `j`.
+pub(crate) fn binary_code_patterns(n: usize) -> Vec<u64> {
+    let rounds = ceil_log2(n);
+    (0..rounds)
+        .map(|t| {
+            let mut p = 0u64;
+            for j in 0..n {
+                if (j >> t) & 1 == 1 {
+                    p |= 1 << j;
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Decodes a permutation from binary-code responses: `responses[t]` is the
+/// oracle's output on `binary_code_patterns(n)[t]`, for an oracle computing
+/// a pure wire permutation. Returns `π` with `π(p) = q` when input line `p`
+/// feeds output line `q`.
+pub(crate) fn decode_permutation(
+    n: usize,
+    responses: &[u64],
+) -> Result<revmatch_circuit::LinePermutation, MatchError> {
+    // Signature of output line q: the bits observed across rounds, which
+    // spell the binary code of the input line feeding it.
+    let mut map = vec![usize::MAX; n];
+    for q in 0..n {
+        let mut p = 0usize;
+        for (t, resp) in responses.iter().enumerate() {
+            if (resp >> q) & 1 == 1 {
+                p |= 1 << t;
+            }
+        }
+        if p >= n {
+            return Err(MatchError::PromiseViolated);
+        }
+        if map[p] != usize::MAX {
+            return Err(MatchError::PromiseViolated);
+        }
+        map[p] = q;
+    }
+    revmatch_circuit::LinePermutation::new(map).map_err(|_| MatchError::PromiseViolated)
+}
+
+/// The number of random probe rounds `k` needed for success probability
+/// `1 − ε` in the signature-matching argument of Eq. (1):
+/// `k = ⌈log2(n(n−1)/ε)⌉`, at least 1.
+pub(crate) fn randomized_rounds(n: usize, epsilon: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0);
+    let pairs = (n.max(2) * (n.max(2) - 1)) as f64;
+    ((pairs / epsilon).log2().ceil() as usize).clamp(1, 127)
+}
+
+pub(crate) fn ensure_same_width(
+    a: &dyn ClassicalOracle,
+    b: &dyn ClassicalOracle,
+) -> Result<usize, MatchError> {
+    if a.width() != b.width() {
+        Err(MatchError::WidthMismatch {
+            left: a.width(),
+            right: b.width(),
+        })
+    } else {
+        Ok(a.width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn binary_code_patterns_spell_line_indices() {
+        let n = 6;
+        let pats = binary_code_patterns(n);
+        assert_eq!(pats.len(), 3);
+        for j in 0..n {
+            let mut code = 0usize;
+            for (t, p) in pats.iter().enumerate() {
+                if (p >> j) & 1 == 1 {
+                    code |= 1 << t;
+                }
+            }
+            assert_eq!(code, j);
+        }
+    }
+
+    #[test]
+    fn decode_permutation_round_trip() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let pi = revmatch_circuit::LinePermutation::random(n, &mut rng);
+            let pats = binary_code_patterns(n);
+            let responses: Vec<u64> = pats.iter().map(|&p| pi.apply(p)).collect();
+            let decoded = decode_permutation(n, &responses).unwrap();
+            assert_eq!(decoded, pi, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decode_detects_garbage() {
+        // Constant-zero responses make every output line decode to input 0.
+        assert!(decode_permutation(3, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn randomized_rounds_grows_with_n_and_shrinks_with_eps() {
+        assert!(randomized_rounds(8, 1e-3) < randomized_rounds(64, 1e-3));
+        assert!(randomized_rounds(8, 1e-3) < randomized_rounds(8, 1e-9));
+        assert!(randomized_rounds(2, 0.5) >= 1);
+    }
+
+    #[test]
+    fn config_with_epsilon_sets_k() {
+        let c = MatcherConfig::with_epsilon(1e-3);
+        assert_eq!(c.quantum_k, 10);
+    }
+}

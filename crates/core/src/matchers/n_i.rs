@@ -1,0 +1,293 @@
+//! N-I equivalence: `C1 = C2 C_ν` (paper §4.5, Theorem 1, Algorithm 1).
+//!
+//! Input negation only. This is the headline case of the paper:
+//!
+//! * with an inverse, `ν = C2⁻¹(C1(0))` — `O(1)` queries;
+//! * **without** inverses, any classical algorithm needs `Ω(2^{n/2})`
+//!   queries (Theorem 1, a birthday bound); [`match_n_i_collision`]
+//!   implements the optimal collision strategy and exposes its count;
+//! * the quantum Algorithm 1 solves it in `O(n log 1/ε)` queries using
+//!   `|+⟩`-blanket probes and the swap test — an exponential speedup.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use revmatch_circuit::{width_mask, NegationMask};
+use revmatch_quantum::{swap_test, ProductState, Qubit};
+
+use crate::error::MatchError;
+use crate::matchers::{ensure_same_width, MatcherConfig};
+use crate::oracle::{ClassicalOracle, QuantumOracle};
+
+/// Finds `ν` with `C1 = C2 C_ν`, given `C2⁻¹` — `O(1)` queries
+/// (`ν = C2⁻¹(C1(0))`).
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement.
+pub fn match_n_i_via_c2_inverse(
+    c1: &dyn ClassicalOracle,
+    c2_inv: &dyn ClassicalOracle,
+) -> Result<NegationMask, MatchError> {
+    let n = ensure_same_width(c1, c2_inv)?;
+    let nu = c2_inv.query(c1.query(0));
+    NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)
+}
+
+/// Finds `ν` with `C1 = C2 C_ν`, given `C1⁻¹` — `O(1)` queries
+/// (`ν = C1⁻¹(C2(0))`, using `C_ν⁻¹ = C_ν`).
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement.
+pub fn match_n_i_via_c1_inverse(
+    c1_inv: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<NegationMask, MatchError> {
+    let n = ensure_same_width(c1_inv, c2)?;
+    let nu = c1_inv.query(c2.query(0));
+    NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)
+}
+
+/// Result of the classical collision search, with its query count — the
+/// experimental face of Theorem 1's `Ω(2^{n/2})` lower bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollisionOutcome {
+    /// The recovered negation.
+    pub nu: NegationMask,
+    /// Oracle queries spent (birthday-distributed around `√(2^n)`).
+    pub queries: u64,
+}
+
+/// The optimal classical strategy without inverses: query both oracles on
+/// random inputs until an output collision `C1(x1) = C2(x2)` reveals
+/// `ν = x1 ⊕ x2`. Expected `Θ(2^{n/2})` queries (Theorem 1 / Eq. 2).
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement. Does not
+/// terminate if the promise is violated and no collision ever occurs —
+/// callers outside experiments should bound `n`.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{match_n_i_collision, Oracle};
+/// use revmatch_circuit::{Circuit, Gate};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let c2 = Circuit::from_gates(4, [Gate::cnot(0, 3)])?;
+/// let c1 = Circuit::from_gates(4, [Gate::not(1)])?.then(&c2)?;
+/// let outcome = match_n_i_collision(&Oracle::new(c1), &Oracle::new(c2), &mut rng)?;
+/// assert_eq!(outcome.nu.mask(), 0b0010);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn match_n_i_collision(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+    rng: &mut impl Rng,
+) -> Result<CollisionOutcome, MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let mask = width_mask(n);
+    let mut seen1: HashMap<u64, u64> = HashMap::new(); // output -> input of C1
+    let mut seen2: HashMap<u64, u64> = HashMap::new();
+    let mut queries = 0u64;
+    loop {
+        let x1 = rng.gen::<u64>() & mask;
+        let y1 = c1.query(x1);
+        queries += 1;
+        if let Some(&x2) = seen2.get(&y1) {
+            let nu = NegationMask::new(x1 ^ x2, n).map_err(|_| MatchError::PromiseViolated)?;
+            return Ok(CollisionOutcome { nu, queries });
+        }
+        seen1.insert(y1, x1);
+
+        let x2 = rng.gen::<u64>() & mask;
+        let y2 = c2.query(x2);
+        queries += 1;
+        if let Some(&x1) = seen1.get(&y2) {
+            let nu = NegationMask::new(x1 ^ x2, n).map_err(|_| MatchError::PromiseViolated)?;
+            return Ok(CollisionOutcome { nu, queries });
+        }
+        seen2.insert(y2, x2);
+    }
+}
+
+/// **Algorithm 1**: the quantum N-I matcher — `O(n log 1/ε)` queries.
+///
+/// For each line `i`, both circuits are run on the probe
+/// `|+⟩ ⊗ … ⊗ |0⟩_i ⊗ … ⊗ |+⟩`: NOT gates on `|+⟩` lines vanish
+/// (`X|+⟩ = |+⟩`), so only a negation on line `i` has an effect, making the
+/// two outputs orthogonal. Up to `k` swap tests distinguish orthogonal from
+/// identical: any `1` outcome proves `ν(i) = 1`; `k` zeros give
+/// `ν(i) = 0` with confidence `1 − 2^{-k}`.
+///
+/// # Errors
+///
+/// Returns width or simulation errors from the quantum substrate.
+pub fn match_n_i_quantum(
+    c1: &dyn QuantumOracle,
+    c2: &dyn QuantumOracle,
+    config: &MatcherConfig,
+    rng: &mut impl Rng,
+) -> Result<NegationMask, MatchError> {
+    let n = c1.width();
+    if n != c2.width() {
+        return Err(MatchError::WidthMismatch {
+            left: n,
+            right: c2.width(),
+        });
+    }
+    let mut nu = 0u64;
+    for i in 0..n {
+        let probe = ProductState::uniform(n, Qubit::Plus).with_qubit(i, Qubit::Zero);
+        for _ in 0..config.quantum_k {
+            let out1 = c1.query_quantum(&probe)?;
+            let out2 = c2.query_quantum(&probe)?;
+            if swap_test(config.swap_method, &out1, &out2, rng)? {
+                nu |= 1 << i;
+                break;
+            }
+        }
+    }
+    NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+    use revmatch_quantum::SwapTestMethod;
+
+    fn planted_nu(inst: &crate::promise::PromiseInstance) -> NegationMask {
+        inst.witness.nu_x()
+    }
+
+    #[test]
+    fn via_c2_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let nu = match_n_i_via_c2_inverse(&c1, &c2_inv).unwrap();
+            assert_eq!(nu, planted_nu(&inst), "width {w}");
+            assert_eq!(c1.queries() + c2_inv.queries(), 2, "O(1) queries");
+        }
+    }
+
+    #[test]
+    fn via_c1_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let c2 = Oracle::new(inst.c2.clone());
+            let nu = match_n_i_via_c1_inverse(&c1_inv, &c2).unwrap();
+            assert_eq!(nu, planted_nu(&inst), "width {w}");
+        }
+    }
+
+    #[test]
+    fn collision_baseline_recovers_nu() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for w in 2..=8 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let outcome = match_n_i_collision(&c1, &c2, &mut rng).unwrap();
+            assert_eq!(outcome.nu, planted_nu(&inst), "width {w}");
+            assert_eq!(outcome.queries, c1.queries() + c2.queries());
+        }
+    }
+
+    #[test]
+    fn collision_query_count_grows_exponentially() {
+        // Birthday scaling: median queries at width 2w should exceed the
+        // median at width w by roughly 2^{w/2}. We check a weak monotone
+        // version over several trials to keep the test robust.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let median = |w: usize, rng: &mut rand::rngs::StdRng| {
+            let mut counts: Vec<u64> = (0..15)
+                .map(|_| {
+                    let inst = random_instance(Equivalence::new(Side::N, Side::I), w, rng);
+                    let c1 = Oracle::new(inst.c1);
+                    let c2 = Oracle::new(inst.c2);
+                    match_n_i_collision(&c1, &c2, rng).unwrap().queries
+                })
+                .collect();
+            counts.sort_unstable();
+            counts[counts.len() / 2]
+        };
+        let small = median(4, &mut rng);
+        let large = median(10, &mut rng);
+        assert!(
+            large > 2 * small,
+            "collision cost did not grow: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn quantum_algorithm1_recovers_nu() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let config = MatcherConfig::with_epsilon(1e-6);
+        for w in 1..=7 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+            assert_eq!(nu, planted_nu(&inst), "width {w}");
+            // Query bound: per line at most 2k queries.
+            assert!(c1.queries() + c2.queries() <= 2 * (w as u64) * config.quantum_k as u64);
+        }
+    }
+
+    #[test]
+    fn quantum_with_full_circuit_swap_test() {
+        // The honest 2n+1-qubit simulation agrees with the analytic path.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let config = MatcherConfig {
+            epsilon: 1e-6,
+            quantum_k: 20,
+            swap_method: SwapTestMethod::FullCircuit,
+        };
+        for w in 1..=4 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+            assert_eq!(nu, planted_nu(&inst), "width {w}");
+        }
+    }
+
+    #[test]
+    fn quantum_query_count_is_linear_not_exponential() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let config = MatcherConfig::with_epsilon(1e-3);
+        let inst = random_instance(Equivalence::new(Side::N, Side::I), 8, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+        assert_eq!(nu, planted_nu(&inst));
+        let total = c1.queries() + c2.queries();
+        // 2^{8/2} = 16 is the birthday scale; linear-in-n quantum cost with
+        // k = 10 stays at most 2nk = 160 but crucially does not grow with
+        // 2^{n/2} — compare against the collision test above at width 10+.
+        assert!(total <= 2 * 8 * 10);
+    }
+
+    #[test]
+    fn identity_promise_yields_zero_mask() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let config = MatcherConfig::default();
+        let c = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let c1 = Oracle::new(c.clone());
+        let c2 = Oracle::new(c);
+        let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+        assert!(nu.is_identity());
+    }
+}

@@ -1,0 +1,306 @@
+//! The Simon-style quantum N-I matcher (the paper's footnote 2 mentions
+//! two further algorithms "inspired by Simon's algorithm", omitted for
+//! space — this is a faithful reconstruction of the natural one).
+//!
+//! N-I equivalence `C1 = C2 C_ν` means `C1(x) = C2(x ⊕ ν)`: the pair
+//! `(C1, C2)` hides the **shift** `ν`, precisely Simon's hidden-shift
+//! setting for bijections. One round:
+//!
+//! 1. prepare `|b⟩|x⟩|0⟩` with `b` and all of `x` in uniform
+//!    superposition (`H` everywhere);
+//! 2. apply the XOR oracle of `C1` controlled on `b = 0` and of `C2`
+//!    controlled on `b = 1` — one query to each box;
+//! 3. measure the output register: the residual state collapses to
+//!    `(|0⟩|x₀⟩ + |1⟩|x₀ ⊕ ν⟩)/√2`;
+//! 4. apply `H^{⊗(n+1)}` to `(b, x)` and measure: the outcome `(c, y)`
+//!    always satisfies `y·ν ≡ c (mod 2)`.
+//!
+//! Each round yields one GF(2) linear constraint on `ν`; once the `y`
+//! vectors reach rank `n` (expected after `n + O(1)` rounds), Gaussian
+//! elimination recovers `ν` exactly — about `2n` total queries versus
+//! Algorithm 1's `2nk`, and with *certainty* rather than confidence
+//! `1 − 2^{-k}` (the constraints are never wrong; only the round count is
+//! random).
+//!
+//! Oracle model: this algorithm needs the standard XOR oracle
+//! `U_C : |x⟩|o⟩ ↦ |x⟩|o ⊕ C(x)⟩` rather than the in-place permutation
+//! (measuring an in-place register would destroy the shift). `U_C` is the
+//! conventional quantum black box and is constructible from one use of
+//! `C` and one of `C⁻¹` per query when white boxes are available.
+
+use rand::Rng;
+use revmatch_circuit::NegationMask;
+use revmatch_quantum::{StateVector, MAX_QUBITS};
+
+use crate::error::MatchError;
+use crate::oracle::{ClassicalOracle, Oracle};
+
+/// Result of the Simon-style matcher, with its measured cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimonOutcome {
+    /// The recovered shift `ν`.
+    pub nu: NegationMask,
+    /// Sampling rounds performed (each costs one query per box).
+    pub rounds: usize,
+}
+
+/// GF(2) row-echelon accumulator for constraints `y · ν = c`.
+#[derive(Debug, Default)]
+struct Gf2System {
+    /// Rows `(y, c)` with distinct pivot bits, pivot = highest set bit.
+    rows: Vec<(u64, bool)>,
+}
+
+impl Gf2System {
+    /// Reduces and inserts a constraint; returns whether rank increased.
+    ///
+    /// A reduced-to-zero `y` with `c = 1` is an inconsistency (impossible
+    /// under the promise) reported as `Err`.
+    fn insert(&mut self, mut y: u64, mut c: bool) -> Result<bool, MatchError> {
+        for &(row, rc) in &self.rows {
+            let pivot = 63 - row.leading_zeros();
+            if (y >> pivot) & 1 == 1 {
+                y ^= row;
+                c ^= rc;
+            }
+        }
+        if y == 0 {
+            if c {
+                return Err(MatchError::PromiseViolated);
+            }
+            return Ok(false);
+        }
+        self.rows.push((y, c));
+        Ok(true)
+    }
+
+    fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves for the unique `ν` once rank = `n`.
+    fn solve(&self, n: usize) -> u64 {
+        // Back-substitute in ascending pivot order: a row's `y` involves
+        // only bits up to its pivot, so once the lower bits of ν are
+        // fixed, the pivot bit is determined by the row's parity.
+        let mut rows = self.rows.clone();
+        rows.sort_by_key(|&(y, _)| 63 - y.leading_zeros());
+        let mut nu = 0u64;
+        for &(y, c) in rows.iter() {
+            let pivot = 63 - y.leading_zeros();
+            let parity = ((y & nu).count_ones() & 1) == 1;
+            if parity != c {
+                nu |= 1 << pivot;
+            }
+        }
+        debug_assert!(nu < (1u64 << n) || n == 64);
+        nu
+    }
+}
+
+/// Finds `ν` with `C1 = C2 C_ν` by hidden-shift sampling — expected
+/// `n + O(1)` rounds (2 queries each), exact answer.
+///
+/// # Errors
+///
+/// * [`MatchError::WidthMismatch`] on width disagreement;
+/// * [`MatchError::Quantum`] if `2n + 1` qubits exceed the simulator
+///   limit (`n <= 9` for the dense state vector);
+/// * [`MatchError::RandomizedFailure`] if rank `n` is not reached within
+///   `16(n + 4)` rounds (astronomically unlikely under the promise).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{match_n_i_simon, Oracle};
+/// use revmatch_circuit::{Circuit, Gate};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let c2 = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)])?;
+/// let c1 = Circuit::from_gates(3, [Gate::not(1)])?.then(&c2)?;
+/// let outcome = match_n_i_simon(&Oracle::new(c1), &Oracle::new(c2), &mut rng)?;
+/// assert_eq!(outcome.nu.mask(), 0b010);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn match_n_i_simon(
+    c1: &Oracle,
+    c2: &Oracle,
+    rng: &mut impl Rng,
+) -> Result<SimonOutcome, MatchError> {
+    let n = ClassicalOracle::width(c1);
+    if n != ClassicalOracle::width(c2) {
+        return Err(MatchError::WidthMismatch {
+            left: n,
+            right: ClassicalOracle::width(c2),
+        });
+    }
+    if n == 0 {
+        return Ok(SimonOutcome {
+            nu: NegationMask::identity(0),
+            rounds: 0,
+        });
+    }
+    let total_qubits = 2 * n + 1;
+    if total_qubits > MAX_QUBITS {
+        return Err(MatchError::Quantum(
+            revmatch_quantum::QuantumError::TooManyQubits {
+                n: total_qubits,
+                max: MAX_QUBITS,
+            },
+        ));
+    }
+    // Register layout: b at qubit 0, x at 1..=n, out at n+1..=2n.
+    let b_q = 0usize;
+    let x_off = 1usize;
+    let out_off = n + 1;
+
+    let mut system = Gf2System::default();
+    let mut rounds = 0usize;
+    let budget = 16 * (n + 4);
+    while system.rank() < n {
+        if rounds >= budget {
+            return Err(MatchError::RandomizedFailure {
+                reason: format!("Simon sampling did not reach rank {n} in {budget} rounds"),
+            });
+        }
+        rounds += 1;
+        let mut sv = StateVector::basis(0, total_qubits);
+        sv.apply_h(b_q)?;
+        for i in 0..n {
+            sv.apply_h(x_off + i)?;
+        }
+        // One query to each box, as XOR oracles controlled on b.
+        c1.query_quantum_xor(&mut sv, x_off, out_off, Some((b_q, false)))?;
+        c2.query_quantum_xor(&mut sv, x_off, out_off, Some((b_q, true)))?;
+        // Collapse the output register.
+        let _observed = sv.measure_range(out_off, n, rng)?;
+        // Fourier-sample (b, x).
+        sv.apply_h(b_q)?;
+        for i in 0..n {
+            sv.apply_h(x_off + i)?;
+        }
+        let word = sv.measure_range(0, n + 1, rng)?;
+        let c = word & 1 == 1;
+        let y = word >> 1;
+        system.insert(y, c)?;
+    }
+    let nu = NegationMask::new(system.solve(n), n).map_err(|_| MatchError::PromiseViolated)?;
+    Ok(SimonOutcome { nu, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gf2_system_solves_known_shift() {
+        // ν = 0b101 over 3 bits; feed constraints for y = e_i and mixed.
+        let nu = 0b101u64;
+        let mut sys = Gf2System::default();
+        for y in [0b001u64, 0b010, 0b111] {
+            let c = ((y & nu).count_ones() & 1) == 1;
+            assert!(sys.insert(y, c).unwrap());
+        }
+        assert_eq!(sys.rank(), 3);
+        assert_eq!(sys.solve(3), nu);
+    }
+
+    #[test]
+    fn gf2_system_rejects_inconsistency() {
+        let mut sys = Gf2System::default();
+        sys.insert(0b01, false).unwrap();
+        // Same y with flipped parity is inconsistent.
+        assert!(matches!(
+            sys.insert(0b01, true),
+            Err(MatchError::PromiseViolated)
+        ));
+    }
+
+    #[test]
+    fn gf2_dependent_rows_do_not_increase_rank() {
+        let mut sys = Gf2System::default();
+        assert!(sys.insert(0b011, true).unwrap());
+        assert!(sys.insert(0b101, false).unwrap());
+        // 0b110 = 0b011 ^ 0b101, parity true ^ false = true.
+        assert!(!sys.insert(0b110, true).unwrap());
+        assert_eq!(sys.rank(), 2);
+    }
+
+    #[test]
+    fn recovers_planted_shift() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=6 {
+            for _ in 0..3 {
+                let inst =
+                    random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+                let c1 = Oracle::new(inst.c1.clone());
+                let c2 = Oracle::new(inst.c2.clone());
+                let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
+                assert_eq!(outcome.nu, inst.witness.nu_x(), "width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_near_n() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let w = 7;
+        let mut total_rounds = 0usize;
+        let trials = 10;
+        for _ in 0..trials {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
+            assert_eq!(outcome.nu, inst.witness.nu_x());
+            total_rounds += outcome.rounds;
+            // Each round queries both boxes once.
+            assert_eq!(c1.queries() + c2.queries(), 2 * outcome.rounds as u64);
+        }
+        let avg = total_rounds as f64 / trials as f64;
+        // Expected n + ~1.6 rounds; generous bound.
+        assert!(avg < (w + 4) as f64, "average rounds {avg} too high");
+        assert!(avg >= w as f64, "cannot solve with fewer than n constraints");
+    }
+
+    #[test]
+    fn zero_shift_instance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let c = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let c1 = Oracle::new(c.clone());
+        let c2 = Oracle::new(c);
+        let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
+        assert!(outcome.nu.is_identity());
+    }
+
+    #[test]
+    fn width_limits() {
+        let c = revmatch_circuit::Circuit::new(12);
+        let c1 = Oracle::new(c.clone());
+        let c2 = Oracle::new(c);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert!(matches!(
+            match_n_i_simon(&c1, &c2, &mut rng),
+            Err(MatchError::Quantum(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_algorithm1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let config = crate::matchers::MatcherConfig::with_epsilon(1e-9);
+        for w in 2..=5 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().nu;
+            let alg1 =
+                crate::matchers::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+            assert_eq!(simon, alg1, "width {w}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! N-P equivalence: `C1 = C_π C2 C_ν` (paper §4.8, Proposition 8).
+//!
+//! Tractable only when **both** inverses are available: inverting the
+//! relation gives `C1⁻¹ = C_ν C2⁻¹ C_π⁻¹`, a P-N-shaped problem on the
+//! inverse oracles. The all-zeros probe on the inverses reveals `ν`, and a
+//! composite through the forward `C1` decodes `π` directly in `⌈log2 n⌉`
+//! probes. Without both inverses the problem's quantum complexity is the
+//! paper's stated open problem.
+
+use revmatch_circuit::{LinePermutation, NegationMask};
+
+use crate::error::MatchError;
+use crate::matchers::{binary_code_patterns, decode_permutation, ensure_same_width};
+use crate::oracle::{ClassicalOracle, ComposedOracle, XorOutputOracle};
+
+/// Finds `(ν, π)` with `C1 = C_π C2 C_ν`, given both inverses —
+/// `O(log n)` queries.
+///
+/// Derivation: with `B(x) = ν ⊕ C2⁻¹(x)` (a masked view of `C2⁻¹`),
+/// `C1(B(x)) = π(C2(ν ⊕ C2⁻¹(x) ⊕ ν)) = π(x)`, so binary-code probes on
+/// the composite decode `π` directly.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] or [`MatchError::PromiseViolated`].
+pub fn match_n_p_via_inverses(
+    c1: &dyn ClassicalOracle,
+    c1_inv: &dyn ClassicalOracle,
+    c2_inv: &dyn ClassicalOracle,
+) -> Result<(NegationMask, LinePermutation), MatchError> {
+    let n = ensure_same_width(c1_inv, c2_inv)?;
+    if c1.width() != n {
+        return Err(MatchError::WidthMismatch {
+            left: c1.width(),
+            right: n,
+        });
+    }
+    // ν from the inverted pair: C1⁻¹(0) = ν ⊕ C2⁻¹(π⁻¹(0)) and the
+    // all-zeros input erases the permutation: C1⁻¹(0) ⊕ C2⁻¹(0) = ν.
+    let nu_mask = c1_inv.query(0) ^ c2_inv.query(0);
+    let nu = NegationMask::new(nu_mask, n).map_err(|_| MatchError::PromiseViolated)?;
+    // π from the composite C1 ∘ (ν ⊕ C2⁻¹) = C_π.
+    let masked = XorOutputOracle::new(c2_inv, nu_mask);
+    let composite = ComposedOracle::new(&masked, c1)?;
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p))
+        .collect();
+    let pi = decode_permutation(n, &responses)?;
+    Ok((nu, pi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::{random_instance, random_wide_instance};
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_planted_transforms() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::P), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let (nu, pi) = match_n_p_via_inverses(&c1, &c1_inv, &c2_inv).unwrap();
+            assert_eq!(nu, inst.witness.nu_x(), "width {w}");
+            assert_eq!(&pi, inst.witness.pi_y(), "width {w}");
+        }
+    }
+
+    #[test]
+    fn query_count_is_logarithmic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let inst = random_wide_instance(Equivalence::new(Side::N, Side::P), 32, 64, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c1_inv = Oracle::new(inst.c1.inverse());
+        let c2_inv = Oracle::new(inst.c2.inverse());
+        let (nu, pi) = match_n_p_via_inverses(&c1, &c1_inv, &c2_inv).unwrap();
+        assert_eq!(nu, inst.witness.nu_x());
+        assert_eq!(&pi, inst.witness.pi_y());
+        let total = c1.queries() + c1_inv.queries() + c2_inv.queries();
+        // 2 probes for ν + 2·⌈log2 32⌉ for π.
+        assert_eq!(total, 2 + 2 * 5);
+    }
+
+    #[test]
+    fn identity_instance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let c = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let c1 = Oracle::new(c.clone());
+        let c1_inv = Oracle::new(c.inverse());
+        let c2_inv = Oracle::new(c.inverse());
+        let (nu, pi) = match_n_p_via_inverses(&c1, &c1_inv, &c2_inv).unwrap();
+        assert!(nu.is_identity());
+        assert!(pi.is_identity());
+    }
+}

@@ -1,0 +1,233 @@
+//! NP-I equivalence: `C1 = C2 C_π C_ν` (paper §4.6, Proposition 6).
+//!
+//! Input negation and permutation. With an inverse, the composite
+//! `C2⁻¹ ∘ C1 = C_π C_ν` is decoded exactly like the I-NP case. Without
+//! inverses, the quantum matcher first *disables* `C_ν` with `|−⟩`/`|+⟩`
+//! probes (a NOT on `|−⟩` is a global phase) to locate `π` pair-by-pair,
+//! then runs an Algorithm-1-style pass with permuted `|0⟩` probes for `ν` —
+//! `O(n² log 1/ε)` queries total.
+
+use rand::Rng;
+use revmatch_circuit::{NegationMask, NpTransform};
+use revmatch_quantum::{swap_test, ProductState, Qubit};
+
+use crate::error::MatchError;
+use crate::matchers::{
+    binary_code_patterns, decode_permutation, ensure_same_width, MatcherConfig,
+};
+use crate::oracle::{ClassicalOracle, ComposedOracle, QuantumOracle};
+
+/// Finds the input transform `(ν, π)` with `C1 = C2 C_π C_ν`, given `C2⁻¹`
+/// — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] or [`MatchError::PromiseViolated`].
+pub fn match_np_i_via_c2_inverse(
+    c1: &dyn ClassicalOracle,
+    c2_inv: &dyn ClassicalOracle,
+) -> Result<NpTransform, MatchError> {
+    let n = ensure_same_width(c1, c2_inv)?;
+    // C(x) = C2⁻¹(C1(x)) = π(x ⊕ ν) = π(x) ⊕ ν′, ν′ = π(ν).
+    let composite = ComposedOracle::new(c1, c2_inv)?;
+    let nu_after = composite.query(0);
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p) ^ nu_after)
+        .collect();
+    let pi = decode_permutation(n, &responses)?;
+    let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
+    NpTransform::from_exchanged(nu_after, pi).map_err(MatchError::from)
+}
+
+/// Finds the input transform `(ν, π)` with `C1 = C2 C_π C_ν`, given `C1⁻¹`
+/// — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Same as [`match_np_i_via_c2_inverse`].
+pub fn match_np_i_via_c1_inverse(
+    c1_inv: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<NpTransform, MatchError> {
+    let n = ensure_same_width(c1_inv, c2)?;
+    // D(x) = C1⁻¹(C2(x)) = ν ⊕ π⁻¹(x): the inverse input transform.
+    let composite = ComposedOracle::new(c2, c1_inv)?;
+    let nu = composite.query(0);
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p) ^ nu)
+        .collect();
+    let pi_inv = decode_permutation(n, &responses)?;
+    let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
+    // D = (C_π C_ν)⁻¹ in exchanged form (permute by π⁻¹, then negate by ν).
+    let d = NpTransform::from_exchanged(nu, pi_inv)?;
+    Ok(d.inverse())
+}
+
+/// The quantum NP-I matcher — `O(n² log 1/ε)` queries, no inverses needed.
+///
+/// Phase 1 (find `π`): for each candidate pair `(b1, b2)`, probe `C1` with
+/// `|−⟩` on line `b1` and `C2` with `|−⟩` on line `b2` (all other lines
+/// `|+⟩`). `C_ν` contributes only a global phase on such states; `C_π`
+/// relocates the `|−⟩`. The outputs are identical iff `π(b1) = b2`,
+/// confirmed by `k` all-zero swap tests.
+///
+/// Phase 2 (find `ν`): Algorithm 1 with the `|0⟩` probe on `C2`'s side
+/// placed at line `π(i)`.
+///
+/// # Errors
+///
+/// Returns [`MatchError::PromiseViolated`] if no partner line is found for
+/// some `b1` (all swap-test rounds fired), plus width/simulation errors.
+#[allow(clippy::needless_range_loop)] // the dual-indexed (b1, b2) scan reads clearest
+pub fn match_np_i_quantum(
+    c1: &dyn QuantumOracle,
+    c2: &dyn QuantumOracle,
+    config: &MatcherConfig,
+    rng: &mut impl Rng,
+) -> Result<NpTransform, MatchError> {
+    let n = c1.width();
+    if n != c2.width() {
+        return Err(MatchError::WidthMismatch {
+            left: n,
+            right: c2.width(),
+        });
+    }
+    // Phase 1: locate π.
+    let mut map = vec![usize::MAX; n];
+    let mut taken = vec![false; n];
+    for b1 in 0..n {
+        let probe1 = ProductState::uniform(n, Qubit::Plus).with_qubit(b1, Qubit::Minus);
+        let mut found = false;
+        for b2 in 0..n {
+            if taken[b2] {
+                continue;
+            }
+            let probe2 = ProductState::uniform(n, Qubit::Plus).with_qubit(b2, Qubit::Minus);
+            let mut matched = true;
+            for _ in 0..config.quantum_k {
+                let out1 = c1.query_quantum(&probe1)?;
+                let out2 = c2.query_quantum(&probe2)?;
+                if swap_test(config.swap_method, &out1, &out2, rng)? {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                map[b1] = b2;
+                taken[b2] = true;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Err(MatchError::PromiseViolated);
+        }
+    }
+    let pi = revmatch_circuit::LinePermutation::new(map)
+        .map_err(|_| MatchError::PromiseViolated)?;
+    // Phase 2: locate ν with permuted |0⟩ probes.
+    let mut nu = 0u64;
+    for i in 0..n {
+        let probe1 = ProductState::uniform(n, Qubit::Plus).with_qubit(i, Qubit::Zero);
+        let probe2 =
+            ProductState::uniform(n, Qubit::Plus).with_qubit(pi.apply_index(i), Qubit::Zero);
+        for _ in 0..config.quantum_k {
+            let out1 = c1.query_quantum(&probe1)?;
+            let out2 = c2.query_quantum(&probe2)?;
+            if swap_test(config.swap_method, &out1, &out2, rng)? {
+                nu |= 1 << i;
+                break;
+            }
+        }
+    }
+    let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
+    NpTransform::new(nu, pi).map_err(MatchError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+
+    #[test]
+    fn via_c2_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::Np, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let input = match_np_i_via_c2_inverse(&c1, &c2_inv).unwrap();
+            assert_eq!(input, inst.witness.input, "width {w}");
+        }
+    }
+
+    #[test]
+    fn via_c1_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::Np, Side::I), w, &mut rng);
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let c2 = Oracle::new(inst.c2.clone());
+            let input = match_np_i_via_c1_inverse(&c1_inv, &c2).unwrap();
+            assert_eq!(input, inst.witness.input, "width {w}");
+        }
+    }
+
+    #[test]
+    fn quantum_recovers_transform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let config = MatcherConfig::with_epsilon(1e-6);
+        for w in 1..=6 {
+            let inst = random_instance(Equivalence::new(Side::Np, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let input = match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+            assert_eq!(input, inst.witness.input, "width {w}");
+        }
+    }
+
+    #[test]
+    fn quantum_query_count_is_quadratic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let config = MatcherConfig::with_epsilon(1e-3);
+        let w = 6;
+        let inst = random_instance(Equivalence::new(Side::Np, Side::I), w, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let input = match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+        assert_eq!(input, inst.witness.input);
+        let total = c1.queries() + c2.queries();
+        let bound = 2 * (w * w + w) as u64 * config.quantum_k as u64;
+        assert!(total <= bound, "{total} > {bound}");
+    }
+
+    #[test]
+    fn quantum_handles_pure_permutation() {
+        // ν = 0 must come out as the identity mask.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let config = MatcherConfig::with_epsilon(1e-6);
+        let inst = random_instance(Equivalence::new(Side::P, Side::I), 5, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let input = match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+        assert!(input.negation().is_identity());
+        assert_eq!(input.permutation(), inst.witness.pi_x());
+    }
+
+    #[test]
+    fn quantum_handles_pure_negation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let config = MatcherConfig::with_epsilon(1e-6);
+        let inst = random_instance(Equivalence::new(Side::N, Side::I), 5, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let input = match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+        assert!(input.permutation().is_identity());
+        assert_eq!(input.negation(), inst.witness.nu_x());
+    }
+}

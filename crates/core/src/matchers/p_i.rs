@@ -1,0 +1,171 @@
+//! P-I equivalence: `C1 = C2 C_π` (paper §4.4, Proposition 4).
+//!
+//! Input permutation only. With an inverse the composite collapses to a
+//! pure wire permutation decodable in `⌈log2 n⌉` probes; without inverses,
+//! `n` one-hot probes to each oracle and the `M1/M2` table composition find
+//! `π` in `O(n)` queries.
+
+use std::collections::HashMap;
+
+use revmatch_circuit::{Bits, LinePermutation};
+
+use crate::error::MatchError;
+use crate::matchers::{binary_code_patterns, decode_permutation, ensure_same_width};
+use crate::oracle::{ClassicalOracle, ComposedOracle};
+
+/// Finds `π` with `C1 = C2 C_π`, given `C2⁻¹` — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] or [`MatchError::PromiseViolated`].
+pub fn match_p_i_via_c2_inverse(
+    c1: &dyn ClassicalOracle,
+    c2_inv: &dyn ClassicalOracle,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(c1, c2_inv)?;
+    // C(x) = C2⁻¹(C1(x)) = π(x).
+    let composite = ComposedOracle::new(c1, c2_inv)?;
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p))
+        .collect();
+    decode_permutation(n, &responses)
+}
+
+/// Finds `π` with `C1 = C2 C_π`, given `C1⁻¹` — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Same as [`match_p_i_via_c2_inverse`].
+pub fn match_p_i_via_c1_inverse(
+    c1_inv: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(c1_inv, c2)?;
+    // C(x) = C1⁻¹(C2(x)) = π⁻¹(x).
+    let composite = ComposedOracle::new(c2, c1_inv)?;
+    let responses: Vec<u64> = binary_code_patterns(n)
+        .iter()
+        .map(|&p| composite.query(p))
+        .collect();
+    Ok(decode_permutation(n, &responses)?.inverse())
+}
+
+/// Finds `π` with `C1 = C2 C_π` without inverses, using `n` one-hot probes
+/// per oracle — `O(n)` queries, deterministic.
+///
+/// `C1(e_j) = C2(e_{π(j)})`, so tabulating `M1[C1(e_j)] = j` and
+/// `M2[i] = C2(e_i)` yields `π(M1[M2[i]]) = i`.
+///
+/// # Errors
+///
+/// Returns [`MatchError::PromiseViolated`] if the responses are
+/// inconsistent with any permutation.
+pub fn match_p_i_one_hot(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let mut m1: HashMap<u64, usize> = HashMap::with_capacity(n);
+    for j in 0..n {
+        let pattern = Bits::one_hot(j, n).value();
+        m1.insert(c1.query(pattern), j);
+    }
+    let mut map = vec![usize::MAX; n];
+    for i in 0..n {
+        let pattern = Bits::one_hot(i, n).value();
+        let response = c2.query(pattern);
+        let j = *m1.get(&response).ok_or(MatchError::PromiseViolated)?;
+        if map[j] != usize::MAX {
+            return Err(MatchError::PromiseViolated);
+        }
+        map[j] = i;
+    }
+    LinePermutation::new(map).map_err(|_| MatchError::PromiseViolated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::{random_instance, random_wide_instance};
+    use rand::SeedableRng;
+
+    fn planted_pi(inst: &crate::promise::PromiseInstance) -> LinePermutation {
+        inst.witness.pi_x().clone()
+    }
+
+    #[test]
+    fn via_c2_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::P, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let pi = match_p_i_via_c2_inverse(&c1, &c2_inv).unwrap();
+            assert_eq!(pi, planted_pi(&inst), "width {w}");
+        }
+    }
+
+    #[test]
+    fn via_c1_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::P, Side::I), w, &mut rng);
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let c2 = Oracle::new(inst.c2.clone());
+            let pi = match_p_i_via_c1_inverse(&c1_inv, &c2).unwrap();
+            assert_eq!(pi, planted_pi(&inst), "width {w}");
+        }
+    }
+
+    #[test]
+    fn one_hot_without_inverses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::P, Side::I), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let pi = match_p_i_one_hot(&c1, &c2).unwrap();
+            assert_eq!(pi, planted_pi(&inst), "width {w}");
+            // Exactly n queries to each oracle: O(n) total.
+            assert_eq!(c1.queries(), w as u64);
+            assert_eq!(c2.queries(), w as u64);
+        }
+    }
+
+    #[test]
+    fn one_hot_scales_to_wide_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inst = random_wide_instance(Equivalence::new(Side::P, Side::I), 40, 80, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let pi = match_p_i_one_hot(&c1, &c2).unwrap();
+        assert_eq!(&pi, inst.witness.pi_x());
+        assert_eq!(c1.queries() + c2.queries(), 80);
+    }
+
+    #[test]
+    fn one_hot_detects_unrelated_circuits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // Unrelated random functions almost surely break the one-hot
+        // pattern bookkeeping.
+        let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let c1 = Oracle::new(a.clone());
+        let c2 = Oracle::new(b.clone());
+        if let Ok(pi) = match_p_i_one_hot(&c1, &c2) {
+            // If a permutation came out, it must fail verification.
+            let w = crate::MatchWitness::input_only(
+                revmatch_circuit::NpTransform::new(
+                    revmatch_circuit::NegationMask::identity(4),
+                    pi,
+                )
+                .unwrap(),
+            );
+            assert!(!crate::check_witness(&a, &b, &w, crate::VerifyMode::Exhaustive, &mut rng)
+                .unwrap());
+        }
+    }
+}

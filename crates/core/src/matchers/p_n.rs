@@ -1,0 +1,137 @@
+//! P-N equivalence: `C1 = C_ν C2 C_π` (paper §4.7, Proposition 7).
+//!
+//! Reduces to P-I: an all-zeros probe first reveals `ν` (input permutation
+//! has no effect on an all-equal input), then `C3 = C_ν C2` — realized as a
+//! zero-cost output-masked *view* of the `C2` oracle — forms a P-I instance
+//! with `C1`.
+
+use revmatch_circuit::{LinePermutation, NegationMask};
+
+use crate::error::MatchError;
+use crate::matchers::{
+    ensure_same_width, match_p_i_one_hot, match_p_i_via_c1_inverse, match_p_i_via_c2_inverse,
+};
+use crate::oracle::{ClassicalOracle, XorInputOracle, XorOutputOracle};
+
+/// Finds `(π, ν)` with `C1 = C_ν C2 C_π` without inverses — `O(n)` queries
+/// (2 for `ν`, then the one-hot P-I pass).
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] or [`MatchError::PromiseViolated`].
+pub fn match_p_n(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+) -> Result<(LinePermutation, NegationMask), MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let nu_mask = c1.query(0) ^ c2.query(0);
+    let nu = NegationMask::new(nu_mask, n).map_err(|_| MatchError::PromiseViolated)?;
+    let c3 = XorOutputOracle::new(c2, nu_mask);
+    let pi = match_p_i_one_hot(c1, &c3)?;
+    Ok((pi, nu))
+}
+
+/// Finds `(π, ν)` with `C1 = C_ν C2 C_π`, using whichever inverse is
+/// available — `O(log n)` queries.
+///
+/// # Errors
+///
+/// Returns [`MatchError::InverseRequired`] if neither inverse is supplied,
+/// plus the usual width/promise errors.
+pub fn match_p_n_via_inverses(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+    c1_inv: Option<&dyn ClassicalOracle>,
+    c2_inv: Option<&dyn ClassicalOracle>,
+) -> Result<(LinePermutation, NegationMask), MatchError> {
+    let n = ensure_same_width(c1, c2)?;
+    let nu_mask = c1.query(0) ^ c2.query(0);
+    let nu = NegationMask::new(nu_mask, n).map_err(|_| MatchError::PromiseViolated)?;
+    let pi = if let Some(c2_inv) = c2_inv {
+        // C3⁻¹(y) = C2⁻¹(y ⊕ ν).
+        let c3_inv = XorInputOracle::new(c2_inv, nu_mask);
+        match_p_i_via_c2_inverse(c1, &c3_inv)?
+    } else if let Some(c1_inv) = c1_inv {
+        let c3 = XorOutputOracle::new(c2, nu_mask);
+        match_p_i_via_c1_inverse(c1_inv, &c3)?
+    } else {
+        return Err(MatchError::InverseRequired);
+    };
+    Ok((pi, nu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::oracle::Oracle;
+    use crate::promise::{random_instance, random_wide_instance};
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_hot_variant() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::P, Side::N), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let (pi, nu) = match_p_n(&c1, &c2).unwrap();
+            assert_eq!(&pi, inst.witness.pi_x(), "width {w}");
+            assert_eq!(nu, inst.witness.nu_y(), "width {w}");
+            // 2 + 2n queries.
+            assert_eq!(c1.queries() + c2.queries(), 2 + 2 * w as u64);
+        }
+    }
+
+    #[test]
+    fn via_c2_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::P, Side::N), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let c2_inv = Oracle::new(inst.c2.inverse());
+            let (pi, nu) =
+                match_p_n_via_inverses(&c1, &c2, None, Some(&c2_inv)).unwrap();
+            assert_eq!(&pi, inst.witness.pi_x(), "width {w}");
+            assert_eq!(nu, inst.witness.nu_y(), "width {w}");
+        }
+    }
+
+    #[test]
+    fn via_c1_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for w in 1..=8 {
+            let inst = random_instance(Equivalence::new(Side::P, Side::N), w, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let c1_inv = Oracle::new(inst.c1.inverse());
+            let (pi, nu) =
+                match_p_n_via_inverses(&c1, &c2, Some(&c1_inv), None).unwrap();
+            assert_eq!(&pi, inst.witness.pi_x(), "width {w}");
+            assert_eq!(nu, inst.witness.nu_y(), "width {w}");
+        }
+    }
+
+    #[test]
+    fn no_inverse_is_an_error() {
+        let c = revmatch_circuit::Circuit::new(3);
+        let c1 = Oracle::new(c.clone());
+        let c2 = Oracle::new(c);
+        assert!(matches!(
+            match_p_n_via_inverses(&c1, &c2, None, None),
+            Err(MatchError::InverseRequired)
+        ));
+    }
+
+    #[test]
+    fn wide_instance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inst = random_wide_instance(Equivalence::new(Side::P, Side::N), 32, 64, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let (pi, nu) = match_p_n(&c1, &c2).unwrap();
+        assert_eq!(&pi, inst.witness.pi_x());
+        assert_eq!(nu, inst.witness.nu_y());
+    }
+}

@@ -1,0 +1,335 @@
+//! SAT-based equivalence checking of reversible circuits (miters).
+//!
+//! The I-I case of the paper's taxonomy is plain combinational
+//! equivalence checking. This module encodes MCT circuits into CNF
+//! (Tseitin over the gate cascade) and builds a **miter**: a formula
+//! satisfiable exactly by the inputs on which the two circuits differ.
+//! `UNSAT` therefore proves equivalence, and any model is a concrete
+//! counterexample.
+//!
+//! Unlike [`crate::verify::check_witness`] (exhaustive up to 24 lines or
+//! Monte-Carlo), the miter is *complete at any width* — at the price of
+//! NP-hard worst-case solving. Witness transforms are folded into the
+//! miter for free: negations become literal-phase flips and permutations
+//! become index remaps, so `check_witness_sat` proves or refutes a
+//! recovered witness end to end.
+//!
+//! Encoding size: one fresh variable per gate firing condition plus one
+//! per target update — `O(n + g)` variables and `O(Σ controls)` clauses.
+
+use revmatch_circuit::Circuit;
+use revmatch_sat::{Clause, Cnf, Lit, Solver, Var};
+
+use crate::error::MatchError;
+use crate::witness::MatchWitness;
+
+/// Outcome of a SAT equivalence query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatEquivalence {
+    /// The circuits agree on every input (miter UNSAT).
+    Equivalent,
+    /// A distinguishing input was found.
+    Counterexample {
+        /// The input pattern on which the circuits differ.
+        input: u64,
+    },
+}
+
+impl SatEquivalence {
+    /// Whether the verdict is equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Self::Equivalent)
+    }
+}
+
+/// Encodes `circuit` into `cnf`, threading the line state as literals.
+///
+/// `state[i]` is the literal currently carrying line `i`; NOT gates flip
+/// the phase with no new variables, and each controlled gate introduces a
+/// firing variable and an updated target variable.
+fn encode_circuit(circuit: &Circuit, cnf: &mut Cnf, state: &mut [Lit], next_var: &mut usize) {
+    for gate in circuit.gates() {
+        if gate.control_count() == 0 {
+            // NOT: pure phase flip.
+            let t = gate.target();
+            state[t] = state[t].negated();
+            continue;
+        }
+        // fire <-> AND of control literals.
+        let controls: Vec<Lit> = gate
+            .controls()
+            .map(|c| {
+                let l = state[c.line];
+                match c.polarity {
+                    revmatch_circuit::Polarity::Positive => l,
+                    revmatch_circuit::Polarity::Negative => l.negated(),
+                }
+            })
+            .collect();
+        let fire = Lit::positive(Var(*next_var));
+        *next_var += 1;
+        for &c in &controls {
+            cnf.add_clause(Clause::new(vec![fire.negated(), c]));
+        }
+        let mut big = vec![fire];
+        big.extend(controls.iter().map(|c| c.negated()));
+        cnf.add_clause(Clause::new(big));
+        // new_t <-> old_t XOR fire.
+        let old = state[gate.target()];
+        let new = Lit::positive(Var(*next_var));
+        *next_var += 1;
+        cnf.add_clause(Clause::new(vec![new.negated(), old, fire]));
+        cnf.add_clause(Clause::new(vec![new.negated(), old.negated(), fire.negated()]));
+        cnf.add_clause(Clause::new(vec![new, old.negated(), fire]));
+        cnf.add_clause(Clause::new(vec![new, old, fire.negated()]));
+        state[gate.target()] = new;
+    }
+}
+
+/// Builds and solves the miter of `c1` against `witness ∘ c2 ∘ witness`
+/// (pass [`MatchWitness::identity`] for plain equivalence).
+///
+/// The input-side transform is applied by wiring `C2`'s encoding to
+/// permuted/phase-flipped copies of the shared input literals; the
+/// output-side transform by comparing `C1`'s output `i` against the
+/// transformed `C2` output feeding line `i`.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on inconsistent widths.
+pub fn check_witness_sat(
+    c1: &Circuit,
+    c2: &Circuit,
+    witness: &MatchWitness,
+) -> Result<SatEquivalence, MatchError> {
+    let n = c1.width();
+    if n != c2.width() {
+        return Err(MatchError::WidthMismatch {
+            left: n,
+            right: c2.width(),
+        });
+    }
+    if n != witness.width() {
+        return Err(MatchError::WidthMismatch {
+            left: n,
+            right: witness.width(),
+        });
+    }
+    let mut cnf = Cnf::new(n);
+    let mut next_var = n;
+    // Shared inputs: vars 0..n.
+    let inputs: Vec<Lit> = (0..n).map(|i| Lit::positive(Var(i))).collect();
+
+    // C1 runs on the raw inputs.
+    let mut state1 = inputs.clone();
+    encode_circuit(c1, &mut cnf, &mut state1, &mut next_var);
+
+    // C2 runs on T_X(inputs): line j of C2's input carries input line
+    // π_x⁻¹(j), phase-flipped by ν_x at that source line.
+    let pi_x_inv = witness.pi_x().inverse();
+    let nu_x = witness.nu_x();
+    let mut state2: Vec<Lit> = (0..n)
+        .map(|j| {
+            let src = pi_x_inv.apply_index(j);
+            let lit = inputs[src];
+            if nu_x.bit(src) {
+                lit.negated()
+            } else {
+                lit
+            }
+        })
+        .collect();
+    encode_circuit(c2, &mut cnf, &mut state2, &mut next_var);
+
+    // Predicted C1 output line i = T_Y(y) at i = y[π_y⁻¹(i)] ⊕ ν_y[π_y⁻¹(i)].
+    let pi_y_inv = witness.pi_y().inverse();
+    let nu_y = witness.nu_y();
+    // diff_i <-> (out1_i XOR predicted_i); assert OR of diffs.
+    let mut diff_lits = Vec::with_capacity(n);
+    for (i, &a) in state1.iter().enumerate().take(n) {
+        let src = pi_y_inv.apply_index(i);
+        let mut b = state2[src];
+        if nu_y.bit(src) {
+            b = b.negated();
+        }
+        let diff = Lit::positive(Var(next_var));
+        next_var += 1;
+        cnf.add_clause(Clause::new(vec![diff.negated(), a, b]));
+        cnf.add_clause(Clause::new(vec![diff.negated(), a.negated(), b.negated()]));
+        cnf.add_clause(Clause::new(vec![diff, a.negated(), b]));
+        cnf.add_clause(Clause::new(vec![diff, a, b.negated()]));
+        diff_lits.push(diff);
+    }
+    cnf.add_clause(Clause::new(diff_lits));
+
+    match Solver::new(&cnf).solve() {
+        revmatch_sat::Solve::Unsat => Ok(SatEquivalence::Equivalent),
+        revmatch_sat::Solve::Sat(model) => {
+            let mut input = 0u64;
+            for (i, &b) in model.iter().take(n).enumerate() {
+                if b {
+                    input |= 1 << i;
+                }
+            }
+            Ok(SatEquivalence::Counterexample { input })
+        }
+    }
+}
+
+/// SAT-based plain (I-I) equivalence check: `c1 ≡ c2`?
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::miter::{check_equivalence_sat, SatEquivalence};
+/// use revmatch_circuit::{Circuit, Gate};
+///
+/// let a = Circuit::from_gates(2, [Gate::not(0), Gate::not(0)])?;
+/// let b = Circuit::new(2);
+/// assert!(check_equivalence_sat(&a, &b)?.is_equivalent());
+///
+/// let c = Circuit::from_gates(2, [Gate::cnot(0, 1)])?;
+/// match check_equivalence_sat(&b, &c)? {
+///     SatEquivalence::Counterexample { input } => assert_eq!(input & 1, 1),
+///     SatEquivalence::Equivalent => unreachable!(),
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_equivalence_sat(c1: &Circuit, c2: &Circuit) -> Result<SatEquivalence, MatchError> {
+    check_witness_sat(c1, c2, &MatchWitness::identity(c1.width()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::Equivalence;
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+    use revmatch_circuit::Gate;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c = revmatch_circuit::random_function_circuit(4, &mut rng);
+        assert!(check_equivalence_sat(&c, &c).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn structurally_different_equal_functions() {
+        // Double-NOT vs empty; CNOT chain vs its re-synthesis.
+        let a = Circuit::from_gates(3, [Gate::not(1), Gate::not(1)]).unwrap();
+        assert!(check_equivalence_sat(&a, &Circuit::new(3))
+            .unwrap()
+            .is_equivalent());
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let tt = c.truth_table().unwrap();
+        let resynth =
+            revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Basic)
+                .unwrap();
+        assert!(check_equivalence_sat(&c, &resynth).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn counterexample_is_real() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+            let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+            match check_equivalence_sat(&a, &b).unwrap() {
+                SatEquivalence::Equivalent => {
+                    assert!(a.functionally_eq(&b), "SAT claims equivalence wrongly");
+                }
+                SatEquivalence::Counterexample { input } => {
+                    assert_ne!(a.apply(input), b.apply(input), "bogus counterexample");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_miters_accept_planted_witnesses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for e in Equivalence::all() {
+            let inst = random_instance(e, 4, &mut rng);
+            let verdict = check_witness_sat(&inst.c1, &inst.c2, &inst.witness).unwrap();
+            assert!(verdict.is_equivalent(), "{e}: planted witness refuted");
+        }
+    }
+
+    #[test]
+    fn witness_miters_refute_wrong_witnesses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let e: Equivalence = "NP-NP".parse().unwrap();
+        let inst = random_instance(e, 4, &mut rng);
+        let wrong = MatchWitness {
+            input: revmatch_circuit::NpTransform::random(4, &mut rng),
+            output: revmatch_circuit::NpTransform::random(4, &mut rng),
+        };
+        match check_witness_sat(&inst.c1, &inst.c2, &wrong).unwrap() {
+            SatEquivalence::Equivalent => {
+                // Possible but astronomically unlikely; re-verify honestly.
+                let ok = crate::check_witness(
+                    &inst.c1,
+                    &inst.c2,
+                    &wrong,
+                    crate::VerifyMode::Exhaustive,
+                    &mut rng,
+                )
+                .unwrap();
+                assert!(ok);
+            }
+            SatEquivalence::Counterexample { input } => {
+                assert_ne!(
+                    inst.c1.apply(input),
+                    wrong.predict(input, |v| inst.c2.apply(v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sat_agrees_with_exhaustive_on_wider_circuits() {
+        // Proving equivalence (UNSAT) forces the DPLL to cover the input
+        // space with propagation; keep the width moderate.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let e: Equivalence = "N-P".parse().unwrap();
+        let inst = crate::promise::random_wide_instance(e, 10, 24, &mut rng);
+        let verdict = check_witness_sat(&inst.c1, &inst.c2, &inst.witness).unwrap();
+        assert!(verdict.is_equivalent());
+        // Perturb the witness: must be refuted.
+        let mut wrong = inst.witness.clone();
+        wrong.input = revmatch_circuit::NpTransform::new(
+            revmatch_circuit::NegationMask::new(
+                wrong.nu_x().mask() ^ 1,
+                10,
+            )
+            .unwrap(),
+            wrong.pi_x().clone(),
+        )
+        .unwrap();
+        let verdict = check_witness_sat(&inst.c1, &inst.c2, &wrong).unwrap();
+        assert!(!verdict.is_equivalent());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert!(check_equivalence_sat(&a, &b).is_err());
+    }
+
+    #[test]
+    fn not_only_circuits_use_no_gate_variables() {
+        // Pure-NOT circuits encode as phase flips: the miter has only
+        // input + diff variables.
+        let a = Circuit::from_gates(3, [Gate::not(0), Gate::not(2)]).unwrap();
+        let b = Circuit::from_gates(3, [Gate::not(2), Gate::not(0)]).unwrap();
+        assert!(check_equivalence_sat(&a, &b).unwrap().is_equivalent());
+    }
+}

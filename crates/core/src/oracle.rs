@@ -1,0 +1,402 @@
+//! Black-box oracles with query counting.
+//!
+//! The paper measures complexity in **oracle queries** (Problem 1). This
+//! module enforces that discipline: matchers receive oracles, not circuits,
+//! and every classical or quantum access increments a counter. The
+//! experiment harness reads the counters to regenerate Table 1.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use revmatch_circuit::Circuit;
+use revmatch_quantum::{ProductState, StateVector};
+
+use crate::error::MatchError;
+
+/// A classical black box: one output pattern per input query.
+pub trait ClassicalOracle {
+    /// Number of lines.
+    fn width(&self) -> usize;
+
+    /// Queries the box with input `x`, returning the output pattern.
+    /// Each call counts as one oracle query.
+    fn query(&self, x: u64) -> u64;
+}
+
+/// A quantum black box: executes the circuit on a product-state input and
+/// returns the final state (paper §4.5: circuits "can take quantum states
+/// as inputs").
+pub trait QuantumOracle {
+    /// Number of lines.
+    fn width(&self) -> usize;
+
+    /// Runs the box on a prepared product state. Each call consumes the
+    /// input state and counts as one oracle query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the preparation size mismatches the oracle width
+    /// or the state is too large to simulate.
+    fn query_quantum(&self, input: &ProductState) -> Result<StateVector, MatchError>;
+}
+
+/// A counting black box wrapping a reversible circuit.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::Oracle;
+/// use revmatch::oracle::ClassicalOracle;
+/// use revmatch_circuit::{Circuit, Gate};
+///
+/// let oracle = Oracle::new(Circuit::from_gates(2, [Gate::cnot(0, 1)])?);
+/// assert_eq!(oracle.query(0b01), 0b11);
+/// assert_eq!(oracle.queries(), 1);
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+pub struct Oracle {
+    circuit: Circuit,
+    queries: AtomicU64,
+}
+
+impl Oracle {
+    /// Wraps a circuit as a black box with a fresh query counter.
+    pub fn new(circuit: Circuit) -> Self {
+        Self {
+            circuit,
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Derives the inverse black box (`C⁻¹`), with its own counter.
+    ///
+    /// The paper's §3 variant problem supplies inverse circuits explicitly;
+    /// this helper plays that role (legitimate because reversible circuits
+    /// given as white boxes can always be inverted).
+    pub fn inverse_oracle(&self) -> Oracle {
+        Oracle::new(self.circuit.inverse())
+    }
+
+    /// Total queries made so far (classical + quantum).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Resets the query counter.
+    pub fn reset_queries(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+    }
+
+    /// White-box access to the underlying circuit.
+    ///
+    /// Intended for *verification and instance construction only* — a
+    /// matcher that touches this defeats the query-counting model, so
+    /// matchers in this crate never call it.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    fn count(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Applies this box as a standard quantum **XOR oracle**
+    /// `U_C : |x⟩|o⟩ ↦ |x⟩|o ⊕ C(x)⟩` to a (possibly entangled) register,
+    /// optionally controlled on a qubit. Counts **one** query.
+    ///
+    /// This is the conventional quantum black-box formulation (used by
+    /// the Simon-style matcher); for white-box circuits it is
+    /// constructible from one use of `C` and one of `C⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::Quantum`] if the windows do not fit or
+    /// overlap.
+    pub fn query_quantum_xor(
+        &self,
+        state: &mut StateVector,
+        x_offset: usize,
+        out_offset: usize,
+        control: Option<(usize, bool)>,
+    ) -> Result<(), MatchError> {
+        self.count();
+        state.apply_xor_oracle(
+            |x| self.circuit.apply(x),
+            x_offset,
+            self.circuit.width(),
+            out_offset,
+            control,
+        )?;
+        Ok(())
+    }
+}
+
+impl ClassicalOracle for Oracle {
+    fn width(&self) -> usize {
+        self.circuit.width()
+    }
+
+    fn query(&self, x: u64) -> u64 {
+        self.count();
+        self.circuit.apply(x)
+    }
+}
+
+impl QuantumOracle for Oracle {
+    fn width(&self) -> usize {
+        self.circuit.width()
+    }
+
+    fn query_quantum(&self, input: &ProductState) -> Result<StateVector, MatchError> {
+        if input.num_qubits() != self.circuit.width() {
+            return Err(MatchError::WidthMismatch {
+                left: input.num_qubits(),
+                right: self.circuit.width(),
+            });
+        }
+        self.count();
+        let sv = input.to_state_vector();
+        Ok(sv.applied_circuit(&self.circuit, 0)?)
+    }
+}
+
+impl fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Oracle(width={}, queries={})",
+            self.circuit.width(),
+            self.queries()
+        )
+    }
+}
+
+/// An output-masked view of an oracle: `x ↦ oracle(x) ⊕ mask`.
+///
+/// Used by the P-N matcher (paper §4.7): once the output negation `ν` is
+/// known, `C3 = C_ν C2` is realized as a *view* of the `C2` oracle — no
+/// extra queries are charged beyond the underlying accesses.
+pub struct XorOutputOracle<'a> {
+    inner: &'a dyn ClassicalOracle,
+    mask: u64,
+}
+
+impl<'a> XorOutputOracle<'a> {
+    /// Wraps `inner` so every output is XOR-ed with `mask`.
+    pub fn new(inner: &'a dyn ClassicalOracle, mask: u64) -> Self {
+        Self { inner, mask }
+    }
+}
+
+impl ClassicalOracle for XorOutputOracle<'_> {
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn query(&self, x: u64) -> u64 {
+        self.inner.query(x) ^ self.mask
+    }
+}
+
+impl fmt::Debug for XorOutputOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XorOutputOracle(mask={:#x})", self.mask)
+    }
+}
+
+/// An input-masked view of an oracle: `x ↦ oracle(x ⊕ mask)`.
+///
+/// The inverse-side companion of [`XorOutputOracle`]: if `C3 = C_ν C2`,
+/// then `C3⁻¹(y) = C2⁻¹(y ⊕ ν)` is an input-masked view of `C2⁻¹`.
+pub struct XorInputOracle<'a> {
+    inner: &'a dyn ClassicalOracle,
+    mask: u64,
+}
+
+impl<'a> XorInputOracle<'a> {
+    /// Wraps `inner` so every input is XOR-ed with `mask` first.
+    pub fn new(inner: &'a dyn ClassicalOracle, mask: u64) -> Self {
+        Self { inner, mask }
+    }
+}
+
+impl ClassicalOracle for XorInputOracle<'_> {
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn query(&self, x: u64) -> u64 {
+        self.inner.query(x ^ self.mask)
+    }
+}
+
+impl fmt::Debug for XorInputOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XorInputOracle(mask={:#x})", self.mask)
+    }
+}
+
+/// A composed view `x ↦ second(first(x))`, charging one query to each
+/// underlying oracle per access.
+///
+/// Realizes the paper's concatenations like `C = C1 C2⁻¹` used by the
+/// inverse-assisted matchers.
+pub struct ComposedOracle<'a> {
+    first: &'a dyn ClassicalOracle,
+    second: &'a dyn ClassicalOracle,
+}
+
+impl<'a> ComposedOracle<'a> {
+    /// Composes two oracles: `first` is applied first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::WidthMismatch`] if widths differ.
+    pub fn new(
+        first: &'a dyn ClassicalOracle,
+        second: &'a dyn ClassicalOracle,
+    ) -> Result<Self, MatchError> {
+        if first.width() != second.width() {
+            return Err(MatchError::WidthMismatch {
+                left: first.width(),
+                right: second.width(),
+            });
+        }
+        Ok(Self { first, second })
+    }
+}
+
+impl ClassicalOracle for ComposedOracle<'_> {
+    fn width(&self) -> usize {
+        self.first.width()
+    }
+
+    fn query(&self, x: u64) -> u64 {
+        self.second.query(self.first.query(x))
+    }
+}
+
+impl fmt::Debug for ComposedOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ComposedOracle(width={})", self.width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmatch_circuit::Gate;
+    use revmatch_quantum::Qubit;
+
+    fn not0(width: usize) -> Oracle {
+        Oracle::new(Circuit::from_gates(width, [Gate::not(0)]).unwrap())
+    }
+
+    #[test]
+    fn classical_queries_count() {
+        let o = not0(2);
+        assert_eq!(o.queries(), 0);
+        assert_eq!(o.query(0b00), 0b01);
+        assert_eq!(o.query(0b01), 0b00);
+        assert_eq!(o.queries(), 2);
+        o.reset_queries();
+        assert_eq!(o.queries(), 0);
+    }
+
+    #[test]
+    fn quantum_queries_count_and_apply() {
+        let o = not0(1);
+        let out = o
+            .query_quantum(&ProductState::uniform(1, Qubit::Zero))
+            .unwrap();
+        assert!((out.probability(1) - 1.0).abs() < 1e-12);
+        assert_eq!(o.queries(), 1);
+    }
+
+    #[test]
+    fn quantum_rejects_wrong_size() {
+        let o = not0(2);
+        assert!(matches!(
+            o.query_quantum(&ProductState::uniform(3, Qubit::Zero)),
+            Err(MatchError::WidthMismatch { .. })
+        ));
+        // Failed call does not count.
+        assert_eq!(o.queries(), 0);
+    }
+
+    #[test]
+    fn inverse_oracle_inverts() {
+        let c = Circuit::from_gates(3, [Gate::not(0), Gate::cnot(0, 2)]).unwrap();
+        let o = Oracle::new(c);
+        let inv = o.inverse_oracle();
+        for x in 0..8 {
+            assert_eq!(inv.query(o.query(x)), x);
+        }
+        assert_eq!(o.queries(), 8);
+        assert_eq!(inv.queries(), 8);
+    }
+
+    #[test]
+    fn xor_output_view() {
+        let o = not0(2);
+        let masked = XorOutputOracle::new(&o, 0b10);
+        assert_eq!(masked.query(0b00), 0b11);
+        // Charged to the underlying oracle.
+        assert_eq!(o.queries(), 1);
+    }
+
+    #[test]
+    fn composed_view_charges_both() {
+        let a = not0(2);
+        let b = Oracle::new(Circuit::from_gates(2, [Gate::cnot(0, 1)]).unwrap());
+        let c = ComposedOracle::new(&a, &b).unwrap();
+        // x=00 -> NOT0 -> 01 -> CNOT -> 11.
+        assert_eq!(c.query(0b00), 0b11);
+        assert_eq!(a.queries(), 1);
+        assert_eq!(b.queries(), 1);
+    }
+
+    #[test]
+    fn composed_rejects_width_mismatch() {
+        let a = not0(2);
+        let b = not0(3);
+        assert!(ComposedOracle::new(&a, &b).is_err());
+    }
+
+    #[test]
+    fn xor_oracle_access_counts_one_query() {
+        let o = not0(2);
+        // Register: x at 0..2, out at 2..4.
+        let mut sv = StateVector::basis(0b00_01, 4);
+        o.query_quantum_xor(&mut sv, 0, 2, None).unwrap();
+        // f(01) = 00; out ^= 00 — state unchanged... use a nontrivial x.
+        assert_eq!(o.queries(), 1, "one oracle application = one query");
+        let mut sv = StateVector::basis(0b00_10, 4);
+        o.query_quantum_xor(&mut sv, 0, 2, None).unwrap();
+        // f(10) = 11: out = 11.
+        assert!((sv.probability(0b11_10) - 1.0).abs() < 1e-12);
+        assert_eq!(o.queries(), 2);
+    }
+
+    #[test]
+    fn xor_oracle_controlled_access() {
+        let o = not0(1);
+        // Register: x at 0, out at 1, control at 2 (value 0 ⇒ no fire).
+        let mut sv = StateVector::basis(0b0_0_0, 3);
+        o.query_quantum_xor(&mut sv, 0, 1, Some((2, true))).unwrap();
+        assert!((sv.probability(0b0_0_0) - 1.0).abs() < 1e-12);
+        // Even a non-firing application counts as a query (the box ran).
+        assert_eq!(o.queries(), 1);
+    }
+
+    #[test]
+    fn xor_oracle_rejects_bad_windows() {
+        let o = not0(2);
+        let mut sv = StateVector::basis(0, 3);
+        // Out window does not fit.
+        assert!(o.query_quantum_xor(&mut sv, 0, 2, None).is_err());
+        // Overlapping windows.
+        let mut sv = StateVector::basis(0, 4);
+        assert!(o.query_quantum_xor(&mut sv, 0, 1, None).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Promised-matchable instance generation.
+//!
+//! Problem 1 takes circuits *promised* to be X-Y equivalent. These
+//! generators produce such pairs together with the planted witness: draw a
+//! base circuit `C2` (a uniformly random reversible function, synthesized
+//! to gates), draw side transforms allowed by the equivalence type, and
+//! build `C1 = T_Y ∘ C2 ∘ T_X` as a real gate-level circuit.
+//!
+//! Note the planted witness need not be the *unique* witness (e.g. a `C2`
+//! with symmetries admits several); verification must therefore compare
+//! functions, not witnesses.
+
+use rand::Rng;
+use revmatch_circuit::{
+    random_function_circuit, Circuit, LinePermutation, NegationMask, NpTransform,
+};
+
+use crate::equivalence::{Equivalence, Side};
+use crate::witness::MatchWitness;
+
+/// A promised X-Y-equivalent pair with its planted witness.
+#[derive(Debug, Clone)]
+pub struct PromiseInstance {
+    /// The transformed circuit (`T_Y ∘ C2 ∘ T_X`).
+    pub c1: Circuit,
+    /// The base circuit.
+    pub c2: Circuit,
+    /// The planted witness.
+    pub witness: MatchWitness,
+    /// The equivalence the pair is promised to satisfy.
+    pub equivalence: Equivalence,
+}
+
+/// Draws a random transform from the class allowed by `side`.
+pub fn random_side_transform(side: Side, width: usize, rng: &mut impl Rng) -> NpTransform {
+    let nu = match side {
+        Side::N | Side::Np => NegationMask::random(width, rng),
+        Side::I | Side::P => NegationMask::identity(width),
+    };
+    let pi = match side {
+        Side::P | Side::Np => LinePermutation::random(width, rng),
+        Side::I | Side::N => LinePermutation::identity(width),
+    };
+    NpTransform::new(nu, pi).expect("widths equal by construction")
+}
+
+/// Generates a promised instance around a given base circuit.
+///
+/// # Panics
+///
+/// Panics if `c2.width() == 0`.
+pub fn random_instance_from(
+    c2: Circuit,
+    equivalence: Equivalence,
+    rng: &mut impl Rng,
+) -> PromiseInstance {
+    let width = c2.width();
+    assert!(width >= 1);
+    let input = random_side_transform(equivalence.x, width, rng);
+    let output = random_side_transform(equivalence.y, width, rng);
+    let witness = MatchWitness::new(input, output).expect("same width");
+    let c1 = witness.surround(&c2).expect("same width");
+    PromiseInstance {
+        c1,
+        c2,
+        witness,
+        equivalence,
+    }
+}
+
+/// Generates a promised instance over a uniformly random base function.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > TruthTable::MAX_WIDTH` (24).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{random_instance, Equivalence, Side, VerifyMode, check_witness};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let inst = random_instance(Equivalence::new(Side::N, Side::I), 4, &mut rng);
+/// assert!(check_witness(&inst.c1, &inst.c2, &inst.witness,
+///                       VerifyMode::Exhaustive, &mut rng)?);
+/// # Ok::<(), revmatch::MatchError>(())
+/// ```
+pub fn random_instance(
+    equivalence: Equivalence,
+    width: usize,
+    rng: &mut impl Rng,
+) -> PromiseInstance {
+    let c2 = random_function_circuit(width, rng);
+    random_instance_from(c2, equivalence, rng)
+}
+
+/// Generates a *wide* promised instance (up to 64 lines) whose base circuit
+/// is a random MCT cascade rather than a synthesized uniform function.
+///
+/// Useful for query-count experiments at widths where truth tables are not
+/// materializable.
+pub fn random_wide_instance(
+    equivalence: Equivalence,
+    width: usize,
+    gate_count: usize,
+    rng: &mut impl Rng,
+) -> PromiseInstance {
+    let spec = revmatch_circuit::RandomCircuitSpec {
+        width,
+        gate_count,
+        max_controls: 3,
+        allow_negative_controls: true,
+    };
+    let c2 = revmatch_circuit::random_circuit(&spec, rng);
+    random_instance_from(c2, equivalence, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn witness_conforms_to_requested_type() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for e in Equivalence::all() {
+            for _ in 0..5 {
+                let inst = random_instance(e, 4, &mut rng);
+                assert!(
+                    inst.witness.conforms_to(e),
+                    "witness for {e} escapes its class"
+                );
+                assert_eq!(inst.equivalence, e);
+            }
+        }
+    }
+
+    #[test]
+    fn instance_is_functionally_equivalent_under_witness() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for e in Equivalence::all() {
+            let inst = random_instance(e, 4, &mut rng);
+            for x in 0..16u64 {
+                assert_eq!(
+                    inst.c1.apply(x),
+                    inst.witness.predict(x, |v| inst.c2.apply(v)),
+                    "{e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_type_gives_equal_functions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let inst = random_instance(Equivalence::new(Side::I, Side::I), 4, &mut rng);
+        assert!(inst.c1.functionally_eq(&inst.c2));
+    }
+
+    #[test]
+    fn wide_instances_build() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inst = random_wide_instance(Equivalence::new(Side::N, Side::I), 32, 64, &mut rng);
+        assert_eq!(inst.c1.width(), 32);
+        // Spot-check the witness on random points.
+        for _ in 0..32 {
+            let x: u64 = rand::Rng::gen::<u64>(&mut rng) & revmatch_circuit::width_mask(32);
+            assert_eq!(
+                inst.c1.apply(x),
+                inst.witness.predict(x, |v| inst.c2.apply(v))
+            );
+        }
+    }
+
+    #[test]
+    fn side_transform_respects_class() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert!(random_side_transform(Side::I, 5, &mut rng).is_identity());
+            assert!(random_side_transform(Side::N, 5, &mut rng)
+                .permutation()
+                .is_identity());
+            assert!(random_side_transform(Side::P, 5, &mut rng)
+                .negation()
+                .is_identity());
+        }
+    }
+}

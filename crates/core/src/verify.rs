@@ -1,0 +1,153 @@
+//! Witness verification: the single-round equivalence check.
+//!
+//! The paper's §3 observes that solving the *promise* problem suffices for
+//! the general one: with candidate conditions in hand, one round of
+//! equivalence checking validates them. This module is that round.
+
+use rand::Rng;
+use revmatch_circuit::{width_mask, Circuit};
+
+use crate::error::MatchError;
+use crate::witness::MatchWitness;
+
+/// How thoroughly to check a witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Check all `2^n` inputs (exact; `n <= 24`).
+    Exhaustive,
+    /// Check this many uniformly random inputs (Monte-Carlo; no false
+    /// rejections, false acceptance probability `(1 - d)^k` for functions
+    /// differing on a fraction `d` of inputs).
+    Sampled(usize),
+}
+
+/// Checks whether `C1 = output ∘ C2 ∘ input` for the witness.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] if widths are inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{check_witness, MatchWitness, VerifyMode};
+/// use revmatch_circuit::{Circuit, Gate};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let c = Circuit::from_gates(2, [Gate::cnot(0, 1)])?;
+/// let w = MatchWitness::identity(2);
+/// assert!(check_witness(&c, &c, &w, VerifyMode::Exhaustive, &mut rng)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_witness(
+    c1: &Circuit,
+    c2: &Circuit,
+    witness: &MatchWitness,
+    mode: VerifyMode,
+    rng: &mut impl Rng,
+) -> Result<bool, MatchError> {
+    if c1.width() != c2.width() {
+        return Err(MatchError::WidthMismatch {
+            left: c1.width(),
+            right: c2.width(),
+        });
+    }
+    if c1.width() != witness.width() {
+        return Err(MatchError::WidthMismatch {
+            left: c1.width(),
+            right: witness.width(),
+        });
+    }
+    let n = c1.width();
+    let check_one = |x: u64| c1.apply(x) == witness.predict(x, |v| c2.apply(v));
+    match mode {
+        VerifyMode::Exhaustive => {
+            assert!(n <= 24, "exhaustive verification limited to 24 lines");
+            Ok((0..1u64 << n).all(check_one))
+        }
+        VerifyMode::Sampled(k) => {
+            let mask = width_mask(n);
+            Ok((0..k).all(|_| check_one(rng.gen::<u64>() & mask)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{Equivalence, Side};
+    use crate::promise::random_instance;
+    use rand::SeedableRng;
+    use revmatch_circuit::{Gate, NegationMask, NpTransform};
+
+    #[test]
+    fn accepts_planted_witnesses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for e in Equivalence::all() {
+            let inst = random_instance(e, 4, &mut rng);
+            assert!(
+                check_witness(
+                    &inst.c1,
+                    &inst.c2,
+                    &inst.witness,
+                    VerifyMode::Exhaustive,
+                    &mut rng
+                )
+                .unwrap(),
+                "planted witness rejected for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_witness() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c1 = Circuit::from_gates(3, [Gate::not(0)]).unwrap();
+        let c2 = Circuit::new(3);
+        // The correct witness negates line 0; the identity one is wrong.
+        let w = MatchWitness::identity(3);
+        assert!(!check_witness(&c1, &c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap());
+        // The correct one passes.
+        let right = MatchWitness::output_only(
+            NpTransform::new(
+                NegationMask::new(0b1, 3).unwrap(),
+                revmatch_circuit::LinePermutation::identity(3),
+            )
+            .unwrap(),
+        );
+        assert!(check_witness(&c1, &c2, &right, VerifyMode::Exhaustive, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn sampled_mode_accepts_and_rejects() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let inst = random_instance(Equivalence::new(Side::Np, Side::Np), 6, &mut rng);
+        assert!(check_witness(
+            &inst.c1,
+            &inst.c2,
+            &inst.witness,
+            VerifyMode::Sampled(64),
+            &mut rng
+        )
+        .unwrap());
+        // A fresh random witness almost surely fails on 64 samples.
+        let wrong = MatchWitness {
+            input: NpTransform::random(6, &mut rng),
+            output: NpTransform::random(6, &mut rng),
+        };
+        let ok = check_witness(&inst.c1, &inst.c2, &wrong, VerifyMode::Sampled(64), &mut rng)
+            .unwrap();
+        assert!(!ok, "random witness accepted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let c2 = Circuit::new(2);
+        let c3 = Circuit::new(3);
+        let w = MatchWitness::identity(2);
+        assert!(check_witness(&c3, &c2, &w, VerifyMode::Exhaustive, &mut rng).is_err());
+        assert!(check_witness(&c2, &c2, &MatchWitness::identity(3), VerifyMode::Exhaustive, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Match witnesses: the `(ν_x, π_x, ν_y, π_y)` solution of Problem 1.
+
+use std::fmt;
+
+use revmatch_circuit::{Circuit, LinePermutation, NegationMask, NpTransform};
+
+use crate::equivalence::{Equivalence, Side};
+use crate::error::MatchError;
+
+/// A solution to the Boolean matching problem: an input-side and an
+/// output-side transform such that `C1 = output ∘ C2 ∘ input`.
+///
+/// Each side is an [`NpTransform`] (negate, then permute); pure-N, pure-P
+/// and identity conditions are the special cases with trivial components.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch::{Equivalence, MatchWitness, Side};
+/// use revmatch_circuit::{NegationMask, NpTransform, LinePermutation};
+///
+/// let w = MatchWitness::identity(3);
+/// assert!(w.conforms_to(Equivalence::new(Side::I, Side::I)));
+/// assert_eq!(w.predict(0b101, |x| x), 0b101);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct MatchWitness {
+    /// Input-side transform `T_X` (the paper's `C_{π_x} C_{ν_x}`).
+    pub input: NpTransform,
+    /// Output-side transform `T_Y` (the paper's `C_{π_y} C_{ν_y}`).
+    pub output: NpTransform,
+}
+
+impl MatchWitness {
+    /// The trivial witness (both sides identity).
+    pub fn identity(width: usize) -> Self {
+        Self {
+            input: NpTransform::identity(width),
+            output: NpTransform::identity(width),
+        }
+    }
+
+    /// A witness with only an input transform.
+    pub fn input_only(input: NpTransform) -> Self {
+        let width = input.width();
+        Self {
+            input,
+            output: NpTransform::identity(width),
+        }
+    }
+
+    /// A witness with only an output transform.
+    pub fn output_only(output: NpTransform) -> Self {
+        let width = output.width();
+        Self {
+            input: NpTransform::identity(width),
+            output,
+        }
+    }
+
+    /// Creates a witness from both transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::WidthMismatch`] if the sides have different
+    /// widths.
+    pub fn new(input: NpTransform, output: NpTransform) -> Result<Self, MatchError> {
+        if input.width() != output.width() {
+            return Err(MatchError::WidthMismatch {
+                left: input.width(),
+                right: output.width(),
+            });
+        }
+        Ok(Self { input, output })
+    }
+
+    /// Number of lines.
+    pub fn width(&self) -> usize {
+        self.input.width()
+    }
+
+    /// The input negation `ν_x`.
+    pub fn nu_x(&self) -> NegationMask {
+        self.input.negation()
+    }
+
+    /// The input permutation `π_x`.
+    pub fn pi_x(&self) -> &LinePermutation {
+        self.input.permutation()
+    }
+
+    /// The output negation `ν_y`.
+    pub fn nu_y(&self) -> NegationMask {
+        self.output.negation()
+    }
+
+    /// The output permutation `π_y`.
+    pub fn pi_y(&self) -> &LinePermutation {
+        self.output.permutation()
+    }
+
+    /// Whether the witness uses only transforms allowed by the given
+    /// equivalence type.
+    pub fn conforms_to(&self, e: Equivalence) -> bool {
+        fn side_ok(t: &NpTransform, s: Side) -> bool {
+            match s {
+                Side::I => t.is_identity(),
+                Side::N => t.permutation().is_identity(),
+                Side::P => t.negation().is_identity(),
+                Side::Np => true,
+            }
+        }
+        side_ok(&self.input, e.x) && side_ok(&self.output, e.y)
+    }
+
+    /// The minimal equivalence type this witness conforms to.
+    pub fn minimal_equivalence(&self) -> Equivalence {
+        fn side_of(t: &NpTransform) -> Side {
+            match (t.negation().is_identity(), t.permutation().is_identity()) {
+                (true, true) => Side::I,
+                (false, true) => Side::N,
+                (true, false) => Side::P,
+                (false, false) => Side::Np,
+            }
+        }
+        Equivalence::new(side_of(&self.input), side_of(&self.output))
+    }
+
+    /// Predicts `C1(x)` from a `C2` evaluator: `output(c2(input(x)))`.
+    pub fn predict(&self, x: u64, c2: impl FnOnce(u64) -> u64) -> u64 {
+        self.output.apply(c2(self.input.apply(x)))
+    }
+
+    /// Builds the full circuit `T_Y ∘ C2 ∘ T_X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::WidthMismatch`] if `c2`'s width differs from
+    /// the witness width.
+    pub fn surround(&self, c2: &Circuit) -> Result<Circuit, MatchError> {
+        if c2.width() != self.width() {
+            return Err(MatchError::WidthMismatch {
+                left: c2.width(),
+                right: self.width(),
+            });
+        }
+        Ok(self
+            .input
+            .to_circuit()
+            .then(c2)?
+            .then(&self.output.to_circuit())?)
+    }
+}
+
+impl fmt::Debug for MatchWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MatchWitness(input: {}, output: {})",
+            self.input, self.output
+        )
+    }
+}
+
+impl fmt::Display for MatchWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input[{}] output[{}]",
+            self.input, self.output
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use revmatch_circuit::Gate;
+
+    #[test]
+    fn identity_witness() {
+        let w = MatchWitness::identity(4);
+        assert!(w.conforms_to(Equivalence::new(Side::I, Side::I)));
+        assert_eq!(w.minimal_equivalence(), Equivalence::new(Side::I, Side::I));
+        assert_eq!(w.predict(7, |x| x ^ 1), 6);
+    }
+
+    #[test]
+    fn conformance_is_monotone_in_subsumption() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let w = MatchWitness {
+                input: NpTransform::random(4, &mut rng),
+                output: NpTransform::random(4, &mut rng),
+            };
+            let min = w.minimal_equivalence();
+            for e in Equivalence::all() {
+                assert_eq!(
+                    w.conforms_to(e),
+                    e.subsumes(min),
+                    "witness {w:?} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_only_and_output_only() {
+        let nu = NegationMask::new(0b1, 2).unwrap();
+        let t = NpTransform::new(nu, LinePermutation::identity(2)).unwrap();
+        let w = MatchWitness::input_only(t.clone());
+        assert_eq!(w.minimal_equivalence(), Equivalence::new(Side::N, Side::I));
+        let w = MatchWitness::output_only(t);
+        assert_eq!(w.minimal_equivalence(), Equivalence::new(Side::I, Side::N));
+    }
+
+    #[test]
+    fn surround_matches_predict() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c2 = revmatch_circuit::random_function_circuit(4, &mut rng);
+        let w = MatchWitness {
+            input: NpTransform::random(4, &mut rng),
+            output: NpTransform::random(4, &mut rng),
+        };
+        let c1 = w.surround(&c2).unwrap();
+        for x in 0..16 {
+            assert_eq!(c1.apply(x), w.predict(x, |v| c2.apply(v)));
+        }
+    }
+
+    #[test]
+    fn surround_rejects_width_mismatch() {
+        let w = MatchWitness::identity(3);
+        let c2 = Circuit::from_gates(2, [Gate::not(0)]).unwrap();
+        assert!(w.surround(&c2).is_err());
+    }
+
+    #[test]
+    fn new_rejects_width_mismatch() {
+        assert!(MatchWitness::new(NpTransform::identity(2), NpTransform::identity(3)).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_all_four_conditions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let input = NpTransform::random(4, &mut rng);
+        let output = NpTransform::random(4, &mut rng);
+        let w = MatchWitness::new(input.clone(), output.clone()).unwrap();
+        assert_eq!(w.nu_x(), input.negation());
+        assert_eq!(w.pi_x(), input.permutation());
+        assert_eq!(w.nu_y(), output.negation());
+        assert_eq!(w.pi_y(), output.permutation());
+        assert_eq!(w.width(), 4);
+    }
+
+    #[test]
+    fn display_mentions_both_sides() {
+        let w = MatchWitness::identity(2);
+        let s = w.to_string();
+        assert!(s.contains("input") && s.contains("output"));
+    }
+
+    #[test]
+    fn predict_composes_in_paper_order() {
+        // C1 = T_Y ∘ C2 ∘ T_X: input first, then C2, then output.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w = MatchWitness {
+            input: NpTransform::random(3, &mut rng),
+            output: NpTransform::random(3, &mut rng),
+        };
+        let c2 = |v: u64| (v + 3) & 0b111;
+        for x in 0..8u64 {
+            assert_eq!(w.predict(x, c2), w.output.apply(c2(w.input.apply(x))));
+        }
+    }
+}

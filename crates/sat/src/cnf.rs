@@ -1,0 +1,406 @@
+//! CNF formulas: literals, clauses, evaluation, DIMACS I/O.
+//!
+//! The hardness constructions of the paper's §5 encode a CNF formula `φ`
+//! into a reversible circuit. This module is the formula side of that
+//! bridge.
+
+use std::fmt;
+
+use crate::error::SatError;
+
+/// A propositional variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub usize);
+
+/// A literal: a variable or its negation.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_sat::{Lit, Var};
+///
+/// let x = Lit::positive(Var(0));
+/// assert_eq!(x.negated(), Lit::negative(Var(0)));
+/// assert!(x.eval(true));
+/// assert!(!x.negated().eval(true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The underlying variable.
+    pub var: Var,
+    /// Whether the literal is negated (`x̄`).
+    pub negative: bool,
+}
+
+impl Lit {
+    /// The positive literal `x`.
+    pub fn positive(var: Var) -> Self {
+        Self {
+            var,
+            negative: false,
+        }
+    }
+
+    /// The negative literal `x̄`.
+    pub fn negative(var: Var) -> Self {
+        Self {
+            var,
+            negative: true,
+        }
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Self {
+        Self {
+            var: self.var,
+            negative: !self.negative,
+        }
+    }
+
+    /// Evaluates under the given variable value.
+    pub fn eval(self, value: bool) -> bool {
+        value != self.negative
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-x{}", self.var.0)
+        } else {
+            write!(f, "x{}", self.var.0)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(lits: Vec<Lit>) -> Self {
+        Self { lits }
+    }
+
+    /// The literals.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Evaluates under a full assignment (`assignment[v]` = value of var v).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable is out of range.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(assignment[l.var.0]))
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Self {
+            lits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_sat::{Clause, Cnf, Lit, Var};
+///
+/// // (x0 | x1) & (-x0 | x1)
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause(Clause::new(vec![Lit::positive(Var(0)), Lit::positive(Var(1))]));
+/// cnf.add_clause(Clause::new(vec![Lit::negative(Var(0)), Lit::positive(Var(1))]));
+/// assert!(cnf.eval(&[false, true]));
+/// assert!(!cnf.eval(&[true, false]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty formula (trivially satisfiable) over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Appends a clause, growing `num_vars` if the clause mentions new
+    /// variables.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for l in clause.lits() {
+            if l.var.0 >= self.num_vars {
+                self.num_vars = l.var.0 + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates under a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Serializes to DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c.lits() {
+                let v = l.var.0 as i64 + 1;
+                let _ = write!(out, "{} ", if l.negative { -v } else { v });
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses DIMACS text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SatError::ParseDimacs`] on malformed input.
+    pub fn from_dimacs(source: &str) -> Result<Self, SatError> {
+        let mut num_vars: Option<usize> = None;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for (idx, raw) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(SatError::ParseDimacs {
+                        line_no,
+                        reason: "expected `p cnf <vars> <clauses>`".to_owned(),
+                    });
+                }
+                num_vars = Some(parts[1].parse().map_err(|_| SatError::ParseDimacs {
+                    line_no,
+                    reason: "bad variable count".to_owned(),
+                })?);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|_| SatError::ParseDimacs {
+                    line_no,
+                    reason: format!("bad literal {tok:?}"),
+                })?;
+                if v == 0 {
+                    clauses.push(Clause::new(std::mem::take(&mut current)));
+                } else {
+                    let var = Var((v.unsigned_abs() as usize) - 1);
+                    current.push(if v < 0 {
+                        Lit::negative(var)
+                    } else {
+                        Lit::positive(var)
+                    });
+                }
+            }
+        }
+        if !current.is_empty() {
+            clauses.push(Clause::new(current));
+        }
+        let mut cnf = Cnf::new(num_vars.unwrap_or(0));
+        for c in clauses {
+            cnf.add_clause(c);
+        }
+        Ok(cnf)
+    }
+
+    /// Exhaustively counts models, up to `limit` (for uniqueness checks
+    /// use `limit = 2`). Exponential in `num_vars`; intended for `n <= 24`.
+    pub fn count_models_exhaustive(&self, limit: usize) -> usize {
+        assert!(self.num_vars <= 24, "exhaustive count limited to 24 vars");
+        let mut count = 0;
+        let mut assignment = vec![false; self.num_vars];
+        for bits in 0..1u64 << self.num_vars {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = (bits >> i) & 1 == 1;
+            }
+            if self.eval(&assignment) {
+                count += 1;
+                if count >= limit {
+                    return count;
+                }
+            }
+        }
+        count
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i64) -> Lit {
+        let var = Var((v.unsigned_abs() as usize) - 1);
+        if v < 0 {
+            Lit::negative(var)
+        } else {
+            Lit::positive(var)
+        }
+    }
+
+    #[test]
+    fn literal_evaluation() {
+        assert!(lit(1).eval(true));
+        assert!(!lit(1).eval(false));
+        assert!(lit(-1).eval(false));
+        assert!(!lit(-1).eval(true));
+    }
+
+    #[test]
+    fn clause_evaluation() {
+        let c = Clause::new(vec![lit(1), lit(-2)]);
+        assert!(c.eval(&[true, true]));
+        assert!(c.eval(&[false, false]));
+        assert!(!c.eval(&[false, true]));
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let c = Clause::default();
+        assert!(c.is_empty());
+        assert!(!c.eval(&[]));
+    }
+
+    #[test]
+    fn cnf_evaluation() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::new(vec![lit(1), lit(2)]));
+        cnf.add_clause(Clause::new(vec![lit(-1), lit(2)]));
+        assert!(cnf.eval(&[false, true]));
+        assert!(cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(Clause::new(vec![lit(5)]));
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::new(vec![lit(1), lit(-2), lit(3)]));
+        cnf.add_clause(Clause::new(vec![lit(-1)]));
+        let text = cnf.to_dimacs();
+        let back = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(back.num_vars(), 3);
+        assert_eq!(back.num_clauses(), 2);
+        for bits in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(cnf.eval(&a), back.eval(&a));
+        }
+    }
+
+    #[test]
+    fn dimacs_parses_comments_and_blank_lines() {
+        let src = "c a comment\n\np cnf 2 1\n1 -2 0\n";
+        let cnf = Cnf::from_dimacs(src).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.eval(&[true, true]));
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(Cnf::from_dimacs("p cnf x y\n").is_err());
+        assert!(Cnf::from_dimacs("p cnf 2 1\n1 frog 0\n").is_err());
+    }
+
+    #[test]
+    fn model_counting() {
+        // x0 | x1 has 3 models over 2 vars.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::new(vec![lit(1), lit(2)]));
+        assert_eq!(cnf.count_models_exhaustive(10), 3);
+        assert_eq!(cnf.count_models_exhaustive(2), 2); // limit respected
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::new(vec![lit(1), lit(-2)]));
+        assert_eq!(cnf.to_string(), "(x0 | -x1)");
+        assert_eq!(Cnf::new(0).to_string(), "true");
+    }
+}

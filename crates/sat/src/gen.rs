@@ -1,0 +1,247 @@
+//! Random CNF generators: uniform k-SAT and planted unique-solution
+//! instances.
+//!
+//! The paper's §5 reductions start from a CNF *promised* to have at most one
+//! satisfying assignment (UNIQUE-SAT). [`planted_unique`] produces such
+//! instances with a known hidden assignment, which lets the hardness
+//! experiments verify the full round trip: formula → circuits → matching
+//! witness → recovered assignment.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::cnf::{Clause, Cnf, Lit, Var};
+use crate::error::SatError;
+use crate::solver::Solver;
+
+/// Generates a uniformly random k-SAT formula (`num_clauses` clauses of
+/// exactly `k` distinct variables each).
+///
+/// # Panics
+///
+/// Panics if `k > num_vars` or `num_vars == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_sat::random_ksat;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let f = random_ksat(8, 20, 3, &mut rng);
+/// assert_eq!(f.num_clauses(), 20);
+/// ```
+pub fn random_ksat(num_vars: usize, num_clauses: usize, k: usize, rng: &mut impl Rng) -> Cnf {
+    assert!(num_vars >= 1 && k <= num_vars);
+    let mut cnf = Cnf::new(num_vars);
+    let mut vars: Vec<usize> = (0..num_vars).collect();
+    for _ in 0..num_clauses {
+        vars.shuffle(rng);
+        let lits: Vec<Lit> = vars[..k]
+            .iter()
+            .map(|&v| {
+                if rng.gen_bool(0.5) {
+                    Lit::positive(Var(v))
+                } else {
+                    Lit::negative(Var(v))
+                }
+            })
+            .collect();
+        cnf.add_clause(Clause::new(lits));
+    }
+    cnf
+}
+
+/// A planted UNIQUE-SAT instance: a formula together with its (unique)
+/// satisfying assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedUnique {
+    /// The formula.
+    pub cnf: Cnf,
+    /// The unique satisfying assignment.
+    pub assignment: Vec<bool>,
+}
+
+/// Generates a k-SAT formula with **exactly one** satisfying assignment.
+///
+/// Strategy: plant a hidden assignment, repeatedly add random clauses that
+/// the hidden assignment satisfies, and stop once the solver certifies the
+/// model count is 1. Retries with fresh randomness if a round fails to
+/// converge.
+///
+/// # Errors
+///
+/// Returns [`SatError::GenerationFailed`] if no unique instance is found
+/// within the attempt budget (practically unreachable for `num_vars <= 16`).
+///
+/// # Panics
+///
+/// Panics if `k > num_vars`, `num_vars == 0`, or `num_vars > 24` (model
+/// counting would be too slow to certify uniqueness).
+pub fn planted_unique(
+    num_vars: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Result<PlantedUnique, SatError> {
+    assert!(num_vars >= 1 && k <= num_vars && num_vars <= 24);
+    const OUTER_ATTEMPTS: usize = 64;
+    for _ in 0..OUTER_ATTEMPTS {
+        let hidden: Vec<bool> = (0..num_vars).map(|_| rng.gen_bool(0.5)).collect();
+        let mut cnf = Cnf::new(num_vars);
+        let mut vars: Vec<usize> = (0..num_vars).collect();
+        // Enough random satisfied clauses almost surely isolate the planted
+        // assignment; cap the rounds to avoid pathological loops.
+        for _ in 0..(num_vars * num_vars + 16) * 4 {
+            vars.shuffle(rng);
+            let lits: Vec<Lit> = vars[..k]
+                .iter()
+                .map(|&v| {
+                    if rng.gen_bool(0.5) {
+                        Lit::positive(Var(v))
+                    } else {
+                        Lit::negative(Var(v))
+                    }
+                })
+                .collect();
+            let clause = Clause::new(lits);
+            if !clause.eval(&hidden) {
+                continue;
+            }
+            cnf.add_clause(clause);
+            if (cnf.num_clauses().is_multiple_of(4) || cnf.num_clauses() > 2 * num_vars)
+                && Solver::new(&cnf).count_models(2) == 1 {
+                    debug_assert!(cnf.eval(&hidden));
+                    return Ok(PlantedUnique {
+                        cnf: minimize_unique(&cnf),
+                        assignment: hidden,
+                    });
+                }
+        }
+        if Solver::new(&cnf).count_models(2) == 1 {
+            return Ok(PlantedUnique {
+                cnf: minimize_unique(&cnf),
+                assignment: hidden,
+            });
+        }
+    }
+    Err(SatError::GenerationFailed {
+        attempts: OUTER_ATTEMPTS,
+        what: format!("unique {k}-SAT instance over {num_vars} vars"),
+    })
+}
+
+/// Greedily removes clauses that are not needed for uniqueness, returning
+/// an equisatisfiable formula with the same unique model and (often far)
+/// fewer clauses.
+///
+/// Useful because downstream encodings (the Fig. 5 circuits) spend one
+/// ancilla line per clause.
+///
+/// # Panics
+///
+/// Panics if the input does not have exactly one model.
+pub fn minimize_unique(cnf: &Cnf) -> Cnf {
+    assert_eq!(
+        Solver::new(cnf).count_models(2),
+        1,
+        "minimize_unique requires a unique-model formula"
+    );
+    let mut kept: Vec<Clause> = cnf.clauses().to_vec();
+    let mut i = 0;
+    while i < kept.len() {
+        let mut candidate = Cnf::new(cnf.num_vars());
+        for (j, c) in kept.iter().enumerate() {
+            if j != i {
+                candidate.add_clause(c.clone());
+            }
+        }
+        if Solver::new(&candidate).count_models(2) == 1 {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    let mut out = Cnf::new(cnf.num_vars());
+    for c in kept {
+        out.add_clause(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_ksat_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = random_ksat(6, 15, 3, &mut rng);
+        assert_eq!(f.num_vars(), 6);
+        assert_eq!(f.num_clauses(), 15);
+        for c in f.clauses() {
+            assert_eq!(c.len(), 3);
+            // Distinct variables within a clause.
+            let mut vars: Vec<usize> = c.lits().iter().map(|l| l.var.0).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn planted_unique_has_exactly_one_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for n in [3, 5, 8] {
+            let planted = planted_unique(n, 3.min(n), &mut rng).unwrap();
+            assert!(planted.cnf.eval(&planted.assignment));
+            assert_eq!(planted.cnf.count_models_exhaustive(3), 1);
+        }
+    }
+
+    #[test]
+    fn planted_unique_assignment_is_the_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let planted = planted_unique(6, 3, &mut rng).unwrap();
+        let solve = Solver::new(&planted.cnf).solve();
+        assert_eq!(solve.witness(), Some(planted.assignment.as_slice()));
+    }
+
+    #[test]
+    fn planted_unique_various_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for k in [1, 2, 4] {
+            let planted = planted_unique(4, k, &mut rng).unwrap();
+            assert_eq!(planted.cnf.count_models_exhaustive(3), 1);
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_unique_model_and_shrinks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // Build an over-constrained unique formula by hand: unit clauses
+        // plus redundant copies.
+        let mut cnf = Cnf::new(3);
+        for i in 0..3 {
+            cnf.add_clause(Clause::new(vec![Lit::positive(Var(i))]));
+            cnf.add_clause(Clause::new(vec![
+                Lit::positive(Var(i)),
+                Lit::positive(Var((i + 1) % 3)),
+            ]));
+        }
+        let min = minimize_unique(&cnf);
+        assert!(min.num_clauses() < cnf.num_clauses());
+        assert_eq!(min.count_models_exhaustive(3), 1);
+        assert_eq!(
+            Solver::new(&min).solve().witness(),
+            Some(&[true, true, true][..])
+        );
+        // Planted instances stay compact after minimization.
+        let planted = planted_unique(8, 3, &mut rng).unwrap();
+        assert!(
+            planted.cnf.num_clauses() <= 40,
+            "minimization should keep m small, got {}",
+            planted.cnf.num_clauses()
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! A DPLL SAT solver with unit propagation and pure-literal elimination.
+//!
+//! Used to *verify* the paper's §5 reductions end to end: the UNIQUE-SAT
+//! instance is solved here, the satisfying assignment is transported to the
+//! negation/permutation witness of the circuit pair, and the witness is
+//! checked against the circuits. It also powers model counting for the
+//! uniqueness promise.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solve {
+    /// Satisfiable, with a witness assignment (`witness[v]` = value of v).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl Solve {
+    /// The witness if satisfiable.
+    pub fn witness(&self) -> Option<&[bool]> {
+        match self {
+            Self::Sat(w) => Some(w),
+            Self::Unsat => None,
+        }
+    }
+
+    /// Whether the formula was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Self::Sat(_))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+/// A DPLL solver instance over one formula.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_sat::{Clause, Cnf, Lit, Solver, Var};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+/// cnf.add_clause(Clause::new(vec![Lit::negative(Var(0)), Lit::positive(Var(1))]));
+/// let solve = Solver::new(&cnf).solve();
+/// assert_eq!(solve.witness(), Some(&[true, true][..]));
+/// ```
+#[derive(Debug)]
+pub struct Solver<'a> {
+    cnf: &'a Cnf,
+    /// Statistics: number of branching decisions made.
+    decisions: usize,
+    /// Statistics: number of unit propagations.
+    propagations: usize,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver for the formula.
+    pub fn new(cnf: &'a Cnf) -> Self {
+        Self {
+            cnf,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Branching decisions made by the last call.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Unit propagations performed by the last call.
+    pub fn propagations(&self) -> usize {
+        self.propagations
+    }
+
+    /// Decides satisfiability and returns a witness if one exists.
+    pub fn solve(&mut self) -> Solve {
+        let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
+        if self.dpll(&mut values) {
+            Solve::Sat(
+                values
+                    .iter()
+                    .map(|v| matches!(v, Value::True))
+                    .collect(),
+            )
+        } else {
+            Solve::Unsat
+        }
+    }
+
+    /// Counts models up to `limit` (use 2 for uniqueness checks).
+    ///
+    /// Unassigned variables at a satisfying leaf contribute `2^k` models.
+    pub fn count_models(&mut self, limit: usize) -> usize {
+        let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
+        self.count(&mut values, limit)
+    }
+
+    fn count(&mut self, values: &mut [Value], limit: usize) -> usize {
+        match self.propagate_snapshot(values) {
+            Propagation::Conflict => 0,
+            Propagation::Done(local) => {
+                let free = local.iter().filter(|v| matches!(v, Value::Unassigned)).count();
+                if self.all_satisfied(&local) {
+                    let models = 1usize.checked_shl(free as u32).unwrap_or(usize::MAX);
+                    return models.min(limit);
+                }
+                let Some(var) = self.pick_branch_var(&local) else {
+                    // Fully assigned but not all satisfied: conflict.
+                    return 0;
+                };
+                self.decisions += 1;
+                let mut total = 0;
+                for value in [Value::True, Value::False] {
+                    let mut branch = local.clone();
+                    branch[var] = value;
+                    total += self.count(&mut branch, limit - total);
+                    if total >= limit {
+                        return total;
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    fn dpll(&mut self, values: &mut Vec<Value>) -> bool {
+        match self.propagate_snapshot(values) {
+            Propagation::Conflict => false,
+            Propagation::Done(mut local) => {
+                self.assign_pure_literals(&mut local);
+                *values = local;
+                if self.all_satisfied(values) {
+                    // Give unassigned variables a default.
+                    for v in values.iter_mut() {
+                        if matches!(v, Value::Unassigned) {
+                            *v = Value::False;
+                        }
+                    }
+                    return true;
+                }
+                let Some(var) = self.pick_branch_var(values) else {
+                    return false;
+                };
+                self.decisions += 1;
+                for value in [Value::True, Value::False] {
+                    let mut branch = values.clone();
+                    branch[var] = value;
+                    if self.dpll(&mut branch) {
+                        *values = branch;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Runs unit propagation on a copy of the assignment.
+    fn propagate_snapshot(&mut self, values: &[Value]) -> Propagation {
+        let mut local = values.to_vec();
+        loop {
+            let mut changed = false;
+            for clause in self.cnf.clauses() {
+                let mut satisfied = false;
+                let mut unassigned: Option<Lit> = None;
+                let mut unassigned_count = 0;
+                for &l in clause.lits() {
+                    match local[l.var.0] {
+                        Value::Unassigned => {
+                            unassigned_count += 1;
+                            unassigned = Some(l);
+                        }
+                        Value::True => {
+                            if !l.negative {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                        Value::False => {
+                            if l.negative {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return Propagation::Conflict,
+                    1 => {
+                        let l = unassigned.expect("count 1 implies literal");
+                        local[l.var.0] = if l.negative { Value::False } else { Value::True };
+                        self.propagations += 1;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return Propagation::Done(local);
+            }
+        }
+    }
+
+    /// Pure-literal elimination: a variable occurring with only one
+    /// polarity among not-yet-satisfied clauses can be assigned that
+    /// polarity. Sound for satisfiability search (not for counting, so
+    /// `count` does not call this).
+    fn assign_pure_literals(&mut self, values: &mut [Value]) {
+        loop {
+            // polarity bits: 1 = positive seen, 2 = negative seen.
+            let mut seen = vec![0u8; values.len()];
+            for clause in self.cnf.clauses() {
+                let satisfied = clause.lits().iter().any(|l| match values[l.var.0] {
+                    Value::True => !l.negative,
+                    Value::False => l.negative,
+                    Value::Unassigned => false,
+                });
+                if satisfied {
+                    continue;
+                }
+                for l in clause.lits() {
+                    if matches!(values[l.var.0], Value::Unassigned) {
+                        seen[l.var.0] |= if l.negative { 2 } else { 1 };
+                    }
+                }
+            }
+            let mut changed = false;
+            for (v, &polarity) in seen.iter().enumerate() {
+                if matches!(values[v], Value::Unassigned) {
+                    match polarity {
+                        1 => {
+                            values[v] = Value::True;
+                            changed = true;
+                        }
+                        2 => {
+                            values[v] = Value::False;
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    fn all_satisfied(&self, values: &[Value]) -> bool {
+        self.cnf.clauses().iter().all(|c| {
+            c.lits().iter().any(|l| match values[l.var.0] {
+                Value::True => !l.negative,
+                Value::False => l.negative,
+                Value::Unassigned => false,
+            })
+        })
+    }
+
+    /// Picks the unassigned variable occurring in the most clauses.
+    fn pick_branch_var(&self, values: &[Value]) -> Option<usize> {
+        let mut counts = vec![0usize; self.cnf.num_vars()];
+        for c in self.cnf.clauses() {
+            for l in c.lits() {
+                if matches!(values[l.var.0], Value::Unassigned) {
+                    counts[l.var.0] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(v, &c)| c > 0 && matches!(values[v], Value::Unassigned))
+            .max_by_key(|&(_, &c)| c)
+            .map(|(v, _)| v)
+    }
+}
+
+enum Propagation {
+    Conflict,
+    Done(Vec<Value>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Var};
+
+    fn lit(v: i64) -> Lit {
+        let var = Var((v.unsigned_abs() as usize) - 1);
+        if v < 0 {
+            Lit::negative(var)
+        } else {
+            Lit::positive(var)
+        }
+    }
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut f = Cnf::new(0);
+        for c in clauses {
+            f.add_clause(Clause::new(c.iter().map(|&v| lit(v)).collect()));
+        }
+        f
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let f = cnf(&[&[1]]);
+        let solve = Solver::new(&f).solve();
+        assert_eq!(solve.witness(), Some(&[true][..]));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let f = cnf(&[&[1], &[-1]]);
+        assert_eq!(Solver::new(&f).solve(), Solve::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x1, x1->x2, x2->x3 forces all true with zero decisions.
+        let f = cnf(&[&[1], &[-1, 2], &[-2, 3]]);
+        let mut s = Solver::new(&f);
+        let solve = s.solve();
+        assert_eq!(solve.witness(), Some(&[true, true, true][..]));
+        assert_eq!(s.decisions(), 0);
+        assert!(s.propagations() >= 2);
+    }
+
+    #[test]
+    fn witness_satisfies_formula() {
+        let f = cnf(&[&[1, 2, -3], &[-1, 3], &[2, 3], &[-2, -3, 1]]);
+        match Solver::new(&f).solve() {
+            Solve::Sat(w) => assert!(f.eval(&w)),
+            Solve::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p1 and p2 both in hole, but not together.
+        let f = cnf(&[&[1], &[2], &[-1, -2]]);
+        assert_eq!(Solver::new(&f).solve(), Solve::Unsat);
+    }
+
+    #[test]
+    fn count_models_matches_exhaustive() {
+        let f = cnf(&[&[1, 2], &[-1, 3]]);
+        let brute = f.count_models_exhaustive(100);
+        assert_eq!(Solver::new(&f).count_models(100), brute);
+    }
+
+    #[test]
+    fn count_models_respects_limit() {
+        let f = Cnf::new(4); // empty formula: 16 models
+        assert_eq!(Solver::new(&f).count_models(2), 2);
+        assert_eq!(Solver::new(&f).count_models(100), 16);
+    }
+
+    #[test]
+    fn count_unique_model() {
+        // Forcing chain has exactly one model.
+        let f = cnf(&[&[1], &[-1, 2], &[-2, -3]]);
+        assert_eq!(Solver::new(&f).count_models(10), 1);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut f = Cnf::new(1);
+        f.add_clause(Clause::default());
+        assert_eq!(Solver::new(&f).solve(), Solve::Unsat);
+        assert_eq!(Solver::new(&f).count_models(10), 0);
+    }
+
+    #[test]
+    fn pure_literals_solve_without_decisions() {
+        // x1 appears only positively, x2 only negatively, x3 mixed but
+        // becomes pure once the others are satisfied.
+        let f = cnf(&[&[1, 3], &[1, -3], &[-2, 3], &[-2]]);
+        let mut s = Solver::new(&f);
+        let solve = s.solve();
+        assert!(solve.is_sat());
+        assert!(f.eval(solve.witness().unwrap()));
+        assert_eq!(s.decisions(), 0, "pure literals should avoid branching");
+    }
+
+    #[test]
+    fn random_instances_agree_with_exhaustive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..=6);
+            let m = rng.gen_range(1..=12);
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let k = rng.gen_range(1..=3);
+                let mut lits = Vec::new();
+                for _ in 0..k {
+                    let v = Var(rng.gen_range(0..n));
+                    lits.push(if rng.gen_bool(0.5) {
+                        Lit::positive(v)
+                    } else {
+                        Lit::negative(v)
+                    });
+                }
+                f.add_clause(Clause::new(lits));
+            }
+            let brute = f.count_models_exhaustive(1 << n);
+            assert_eq!(
+                Solver::new(&f).count_models(1 << n),
+                brute,
+                "formula: {f}"
+            );
+            assert_eq!(Solver::new(&f).solve().is_sat(), brute > 0);
+        }
+    }
+}

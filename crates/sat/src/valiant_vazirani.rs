@@ -1,0 +1,287 @@
+//! The Valiant–Vazirani isolation reduction (paper reference \[17\]).
+//!
+//! SAT randomly reduces to UNIQUE-SAT: conjoin the formula with `k` random
+//! XOR (parity) constraints drawn from a pairwise-independent family. If the
+//! formula has `S` satisfying assignments and `2^{k-2} <= S <= 2^{k-1}`,
+//! the result has exactly one model with probability at least 1/8. Trying
+//! every `k ∈ {2, …, n+1}` therefore isolates a unique model with
+//! probability Ω(1/n).
+//!
+//! XOR constraints are encoded into CNF with Tseitin chaining: each parity
+//! over `j` literals introduces `j − 1` auxiliary variables and `4(j − 1)`
+//! clauses (plus a final unit clause).
+
+use rand::Rng;
+
+use crate::cnf::{Clause, Cnf, Lit, Var};
+
+/// A random parity constraint `⨁_{i ∈ S} x_i = b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorConstraint {
+    /// Variables in the parity (subset `S`).
+    pub vars: Vec<Var>,
+    /// Required parity bit `b`.
+    pub parity: bool,
+}
+
+impl XorConstraint {
+    /// Draws a uniformly random constraint over `num_vars` variables: each
+    /// variable joins `S` with probability ½, and `b` is a fair coin.
+    pub fn random(num_vars: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            vars: (0..num_vars)
+                .filter(|_| rng.gen_bool(0.5))
+                .map(Var)
+                .collect(),
+            parity: rng.gen_bool(0.5),
+        }
+    }
+
+    /// Evaluates the parity under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        let sum = self
+            .vars
+            .iter()
+            .filter(|v| assignment[v.0])
+            .count();
+        (sum % 2 == 1) == self.parity
+    }
+}
+
+/// Conjoins `phi` with the XOR constraints, Tseitin-encoding each parity.
+///
+/// The returned formula is over the original variables followed by the
+/// auxiliary chain variables; a model restricted to the first
+/// `phi.num_vars()` variables is a model of `phi` satisfying every parity.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_sat::{encode_with_xors, Cnf, Solver, XorConstraint, Var};
+///
+/// let phi = Cnf::new(2); // `true` over 2 vars: 4 models
+/// let xor = XorConstraint { vars: vec![Var(0), Var(1)], parity: true };
+/// let constrained = encode_with_xors(&phi, &[xor]);
+/// // x0 ⊕ x1 = 1 keeps exactly 2 of the 4 models.
+/// assert_eq!(Solver::new(&constrained).count_models(10), 2);
+/// ```
+pub fn encode_with_xors(phi: &Cnf, xors: &[XorConstraint]) -> Cnf {
+    let mut out = Cnf::new(phi.num_vars());
+    for c in phi.clauses() {
+        out.add_clause(c.clone());
+    }
+    let mut next_aux = phi.num_vars();
+    for xor in xors {
+        encode_single_xor(&mut out, xor, &mut next_aux);
+    }
+    out
+}
+
+/// Encodes one parity constraint, allocating auxiliary variables from
+/// `next_aux` upward.
+fn encode_single_xor(out: &mut Cnf, xor: &XorConstraint, next_aux: &mut usize) {
+    match xor.vars.len() {
+        0 => {
+            if xor.parity {
+                // 0 = 1: unsatisfiable; emit the empty clause.
+                out.add_clause(Clause::default());
+            }
+        }
+        1 => {
+            let v = xor.vars[0];
+            out.add_clause(Clause::new(vec![if xor.parity {
+                Lit::positive(v)
+            } else {
+                Lit::negative(v)
+            }]));
+        }
+        _ => {
+            // Chain: t_1 = x_1 ⊕ x_2; t_i = t_{i-1} ⊕ x_{i+1}; final t = b.
+            let mut prev = Lit::positive(xor.vars[0]);
+            for &v in &xor.vars[1..] {
+                let t = Var(*next_aux);
+                *next_aux += 1;
+                let tl = Lit::positive(t);
+                let x = Lit::positive(v);
+                // t <-> prev ⊕ x, as four clauses.
+                out.add_clause(Clause::new(vec![tl.negated(), prev, x]));
+                out.add_clause(Clause::new(vec![tl.negated(), prev.negated(), x.negated()]));
+                out.add_clause(Clause::new(vec![tl, prev.negated(), x]));
+                out.add_clause(Clause::new(vec![tl, prev, x.negated()]));
+                prev = tl;
+            }
+            out.add_clause(Clause::new(vec![if xor.parity {
+                prev
+            } else {
+                prev.negated()
+            }]));
+        }
+    }
+}
+
+/// One trial of the Valiant–Vazirani reduction with a specific `k`: conjoin
+/// `k` random XOR constraints.
+pub fn valiant_vazirani_trial(phi: &Cnf, k: usize, rng: &mut impl Rng) -> Cnf {
+    let xors: Vec<XorConstraint> = (0..k)
+        .map(|_| XorConstraint::random(phi.num_vars(), rng))
+        .collect();
+    encode_with_xors(phi, &xors)
+}
+
+/// Outcome of one full Valiant–Vazirani sweep over `k = 1, …, n + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsolationOutcome {
+    /// The `k` that isolated a unique model, if any.
+    pub isolating_k: Option<usize>,
+    /// Models of the original formula recovered from the isolated instance.
+    pub model: Option<Vec<bool>>,
+}
+
+/// Runs one randomized isolation sweep: for each `k`, builds the
+/// constrained formula and checks (by model counting over the *original*
+/// variables) whether exactly one model of `phi` survives.
+///
+/// Intended for experiment-scale formulas (`num_vars <= 16`).
+pub fn isolate_unique(phi: &Cnf, rng: &mut impl Rng) -> IsolationOutcome {
+    let n = phi.num_vars();
+    for k in 1..=n + 1 {
+        let constrained = valiant_vazirani_trial(phi, k, rng);
+        let survivors = models_projected(&constrained, n, 2);
+        if survivors.len() == 1 {
+            return IsolationOutcome {
+                isolating_k: Some(k),
+                model: Some(survivors.into_iter().next().expect("one survivor")),
+            };
+        }
+    }
+    IsolationOutcome {
+        isolating_k: None,
+        model: None,
+    }
+}
+
+/// Enumerates models of `cnf` projected to the first `n` variables, up to
+/// `limit` distinct projections.
+fn models_projected(cnf: &Cnf, n: usize, limit: usize) -> Vec<Vec<bool>> {
+    assert!(n <= 24);
+    let mut found: Vec<Vec<bool>> = Vec::new();
+    // Enumerate assignments of the first n vars; for each, check whether the
+    // auxiliary chain can be completed (it always can in exactly one way if
+    // the parity holds, so solve the residual formula).
+    let mut assignment = vec![false; cnf.num_vars()];
+    'outer: for bits in 0..1u64 << n {
+        for (i, slot) in assignment.iter_mut().enumerate().take(n) {
+            *slot = (bits >> i) & 1 == 1;
+        }
+        // Fix the first n vars via unit clauses and solve the rest.
+        let mut fixed = Cnf::new(cnf.num_vars());
+        for c in cnf.clauses() {
+            fixed.add_clause(c.clone());
+        }
+        for (i, a) in assignment.iter().enumerate().take(n) {
+            fixed.add_clause(Clause::new(vec![if *a {
+                Lit::positive(Var(i))
+            } else {
+                Lit::negative(Var(i))
+            }]));
+        }
+        if crate::solver::Solver::new(&fixed).solve().is_sat() {
+            found.push(assignment[..n].to_vec());
+            if found.len() >= limit {
+                break 'outer;
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_ksat;
+    use crate::solver::Solver;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xor_eval() {
+        let x = XorConstraint {
+            vars: vec![Var(0), Var(2)],
+            parity: true,
+        };
+        assert!(x.eval(&[true, false, false]));
+        assert!(!x.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn tseitin_preserves_projected_models() {
+        // phi = true over 3 vars; one XOR over all three with parity 0 keeps
+        // the 4 even-weight assignments.
+        let phi = Cnf::new(3);
+        let xor = XorConstraint {
+            vars: vec![Var(0), Var(1), Var(2)],
+            parity: false,
+        };
+        let f = encode_with_xors(&phi, std::slice::from_ref(&xor));
+        let models = models_projected(&f, 3, 100);
+        assert_eq!(models.len(), 4);
+        for m in &models {
+            assert!(xor.eval(m));
+        }
+    }
+
+    #[test]
+    fn empty_xor_with_parity_one_is_unsat() {
+        let phi = Cnf::new(2);
+        let xor = XorConstraint {
+            vars: vec![],
+            parity: true,
+        };
+        let f = encode_with_xors(&phi, &[xor]);
+        assert!(!Solver::new(&f).solve().is_sat());
+    }
+
+    #[test]
+    fn single_var_xor_is_unit() {
+        let phi = Cnf::new(1);
+        let xor = XorConstraint {
+            vars: vec![Var(0)],
+            parity: true,
+        };
+        let f = encode_with_xors(&phi, &[xor]);
+        assert_eq!(
+            Solver::new(&f).solve().witness(),
+            Some(&[true][..])
+        );
+    }
+
+    #[test]
+    fn isolation_recovers_a_model_of_phi() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // A satisfiable-but-loose formula with many models.
+        let phi = random_ksat(5, 4, 3, &mut rng);
+        if !Solver::new(&phi).solve().is_sat() {
+            return; // extremely unlikely with these parameters
+        }
+        let mut isolated = 0;
+        for _ in 0..20 {
+            let outcome = isolate_unique(&phi, &mut rng);
+            if let Some(model) = outcome.model {
+                assert!(phi.eval(&model), "recovered model must satisfy phi");
+                isolated += 1;
+            }
+        }
+        // VV succeeds with constant-ish probability per sweep; 20 sweeps
+        // should essentially always isolate at least once.
+        assert!(isolated > 0, "no sweep isolated a unique model");
+    }
+
+    #[test]
+    fn unsat_formula_never_isolates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut phi = Cnf::new(1);
+        phi.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+        phi.add_clause(Clause::new(vec![Lit::negative(Var(0))]));
+        let outcome = isolate_unique(&phi, &mut rng);
+        assert_eq!(outcome.model, None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Grover search with a *synthesized* reversible oracle — the quantum
+//! application the paper's introduction motivates ("oracle circuits,
+//! which are reversible circuits, as a key building block").
+//!
+//! The pipeline:
+//!
+//! 1. plant a UNIQUE-SAT formula φ with one hidden model;
+//! 2. compile φ into the paper's Fig. 5 reversible encoding circuit
+//!    (`8m + 4` MCT gates computing `z ⊕ φ(x)∧[a = 0]`) — this *is* a
+//!    Grover bit-oracle;
+//! 3. run amplitude amplification: the oracle circuit executes on the
+//!    simulator with its `z` line in `|−⟩` (phase kickback), the
+//!    diffusion operator inverts about the mean on the `x` window;
+//! 4. measure: the hidden model dominates after ⌊π/4·√(2ⁿ)⌋ iterations.
+//!
+//! Run with: `cargo run --release --example grover_search`
+
+use rand::SeedableRng;
+use revmatch::SatLayout;
+use revmatch_quantum::{Qubit, StateVector};
+use revmatch_sat::planted_unique;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+
+    // 1. The hidden needle.
+    let planted = planted_unique(4, 2, &mut rng)?;
+    let n = planted.cnf.num_vars();
+    let hidden: u64 = planted
+        .assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| u64::from(b) << i)
+        .sum();
+    println!("φ = {}", planted.cnf);
+    println!("hidden model: {hidden:0n$b}");
+
+    // 2. The oracle circuit (Fig. 5a).
+    let layout = SatLayout::for_cnf(&planted.cnf);
+    let oracle = revmatch::hardness::encode::encode_unique_sat(&planted.cnf, &layout)?;
+    let width = layout.width();
+    println!(
+        "oracle circuit: {} MCT gates on {width} lines (x:{n} a:{} b:1 z:1)",
+        oracle.len(),
+        planted.cnf.num_clauses()
+    );
+    assert!(width <= revmatch_quantum::MAX_QUBITS, "fits the simulator");
+
+    // 3. Prepare |+>^n on x, |0> ancillas, |−> on z.
+    let z = layout.z_line();
+    let mut qubits = vec![Qubit::Zero; width];
+    for q in qubits.iter_mut().take(n) {
+        *q = Qubit::Plus;
+    }
+    qubits[z] = Qubit::Minus;
+    let prepared = revmatch_quantum::ProductState::from_qubits(qubits);
+
+    let optimal = ((std::f64::consts::PI / 4.0) * (2f64.powi(n as i32)).sqrt()).floor() as usize;
+    println!("optimal Grover iterations: {optimal}");
+
+    let x_mask = (1u64 << n) - 1;
+    let shots = 200;
+    println!("\n{:>5} {:>14} {:>12}", "iters", "Pr[hidden]", "hits/200");
+    for iters in [0, 1, optimal.saturating_sub(1), optimal, optimal + 1] {
+        // Evolve once (deterministic up to measurement), then sample.
+        let mut sv: StateVector = prepared.to_state_vector();
+        for _ in 0..iters {
+            // Oracle: runs the real reversible circuit; phase kickback via
+            // the |−⟩ z-line marks exactly the satisfying x with a=0.
+            sv.apply_circuit(&oracle, 0)?;
+            // Diffusion about the mean on the x window: H^n, flip the
+            // phase of everything except x = 0, H^n (global phase fixed).
+            for q in 0..n {
+                sv.apply_h(q)?;
+            }
+            sv.apply_phase_oracle(|idx| idx & x_mask != 0);
+            for q in 0..n {
+                sv.apply_h(q)?;
+            }
+        }
+        // Probability of measuring the hidden model on the x window.
+        let p_hidden: f64 = (0..1u64 << width)
+            .filter(|idx| idx & x_mask == hidden)
+            .map(|idx| sv.probability(idx))
+            .sum();
+        // And sampled confirmation.
+        let mut hits = 0;
+        for _ in 0..shots {
+            let mut copy = sv.clone();
+            let word = copy.measure_range(0, n, &mut rng)?;
+            if word == hidden {
+                hits += 1;
+            }
+        }
+        println!("{iters:>5} {p_hidden:>14.4} {hits:>12}");
+    }
+
+    // 4. The classical baseline needs ~2^{n-1} oracle evaluations; Grover
+    //    needs ~π/4·√(2^n) — quadratic, complementing the paper's
+    //    *exponential* N-I separation.
+    println!(
+        "\nclassical expected evaluations: {}, Grover iterations: {optimal}",
+        1 << (n - 1)
+    );
+    Ok(())
+}

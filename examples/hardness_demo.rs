@@ -1,0 +1,97 @@
+//! The UNIQUE-SAT reductions of §5, end to end.
+//!
+//! Builds the Fig. 5 encoding circuits for a planted unique-solution CNF,
+//! shows that an N-N (resp. P-P) matching witness is exactly a satisfying
+//! assignment, and demonstrates both directions:
+//!
+//! * SAT → witness: solve φ with DPLL, transport the model into ν/π
+//!   masks, verify `C1 = C_{νy} C2 C_{νx}` exhaustively;
+//! * witness → SAT: run a (brute-force) N-N matcher on the circuits and
+//!   read the satisfying assignment off the recovered ν.
+//!
+//! Run with: `cargo run --release --example hardness_demo`
+
+use rand::SeedableRng;
+use revmatch::{
+    brute_force_match, check_witness, Equivalence, NnReduction, PpReduction, Side, VerifyMode,
+};
+use revmatch_sat::{planted_unique, Solver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+
+    // ---------------------------------------------------------------
+    // A planted UNIQUE-SAT instance.
+    let planted = planted_unique(3, 2, &mut rng)?;
+    println!("φ = {}", planted.cnf);
+    println!("unique model: {:?}", planted.assignment);
+    assert_eq!(Solver::new(&planted.cnf).count_models(2), 1);
+
+    // ---------------------------------------------------------------
+    // Theorem 2: UNIQUE-SAT ≤p N-N.
+    let nn = NnReduction::new(planted.cnf.clone())?;
+    println!(
+        "\n[N-N] C1: {} gates on {} lines (8m+4 = {}), C2: {} gate",
+        nn.c1.len(),
+        nn.layout.width(),
+        8 * planted.cnf.num_clauses() + 4,
+        nn.c2.len()
+    );
+
+    // Direction 1: model -> witness, verified exhaustively.
+    let witness = nn.witness_from_assignment(&planted.assignment);
+    let ok = check_witness(&nn.c1, &nn.c2, &witness, VerifyMode::Exhaustive, &mut rng)?;
+    println!("model → ν-witness verifies: {ok}");
+    assert!(ok);
+
+    // Direction 2: an N-N matcher IS a UNIQUE-SAT solver. At this toy size
+    // the brute-force matcher stands in for the (UNIQUE-SAT-hard) general
+    // matcher.
+    if nn.layout.width() <= 10 {
+        let found = brute_force_match(&nn.c1, &nn.c2, Equivalence::new(Side::N, Side::N))?
+            .expect("satisfiable instance must match");
+        let recovered = nn.assignment_from_witness(&found);
+        println!("N-N matcher recovered assignment: {recovered:?}");
+        assert_eq!(recovered, planted.assignment);
+    } else {
+        println!("(width {} too large for the brute-force matcher — as Theorem 2 predicts, there is no efficient one)", nn.layout.width());
+    }
+
+    // ---------------------------------------------------------------
+    // Theorem 3: UNIQUE-SAT ≤p P-P via dual-rail encoding.
+    let pp = PpReduction::new(planted.cnf.clone())?;
+    println!(
+        "\n[P-P] dual-railed φ': {} vars, {} clauses; C1: {} gates on {} lines (4n+m+2 = {})",
+        pp.cnf_dual.num_vars(),
+        pp.cnf_dual.num_clauses(),
+        pp.c1.len(),
+        pp.layout.width(),
+        4 * planted.cnf.num_vars() + planted.cnf.num_clauses() + 2,
+    );
+    let witness = pp.witness_from_assignment(&planted.assignment);
+    let ok = check_witness(&pp.c1, &pp.c2, &witness, VerifyMode::Exhaustive, &mut rng)?;
+    println!("model → π-witness verifies: {ok}");
+    assert!(ok);
+    let recovered = pp.assignment_from_witness(&witness);
+    println!("assignment read back from π: {recovered:?}");
+    assert_eq!(recovered, planted.assignment);
+
+    // ---------------------------------------------------------------
+    // The unsatisfiable direction: no witness exists.
+    let mut unsat = revmatch_sat::Cnf::new(1);
+    unsat.add_clause(revmatch_sat::Clause::new(vec![revmatch_sat::Lit::positive(
+        revmatch_sat::Var(0),
+    )]));
+    unsat.add_clause(revmatch_sat::Clause::new(vec![revmatch_sat::Lit::negative(
+        revmatch_sat::Var(0),
+    )]));
+    let nn_unsat = NnReduction::new(unsat)?;
+    let found = brute_force_match(
+        &nn_unsat.c1,
+        &nn_unsat.c2,
+        Equivalence::new(Side::N, Side::N),
+    )?;
+    println!("\nUNSAT instance: N-N witness exists = {}", found.is_some());
+    assert!(found.is_none());
+    Ok(())
+}

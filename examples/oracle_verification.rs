@@ -1,0 +1,78 @@
+//! Quantum oracle verification: the exponential speedup in action.
+//!
+//! Grover-style quantum algorithms embed classical predicates as
+//! reversible oracle circuits. When an oracle is recompiled (different
+//! toolchain, different wire polarity conventions), one wants to check the
+//! new circuit is the old one up to input negations — exactly the paper's
+//! N-I matching problem. Without inverse circuits:
+//!
+//! * any classical checker needs Ω(2^{n/2}) queries (Theorem 1);
+//! * the quantum Algorithm 1 needs O(n log 1/ε).
+//!
+//! This example pits the two against each other on the same instances and
+//! prints the measured query counts side by side.
+//!
+//! Run with: `cargo run --release --example oracle_verification`
+
+use rand::SeedableRng;
+use revmatch::{
+    match_n_i_collision, match_n_i_quantum, match_n_i_simon, Equivalence, MatcherConfig, Oracle,
+    Side,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let config = MatcherConfig::with_epsilon(1e-6);
+    let trials = 11;
+
+    println!("N-I matching without inverses: classical collision vs quantum Algorithm 1");
+    println!("(median queries over {trials} trials; k = {} swap-test rounds)\n", config.quantum_k);
+    println!(
+        "{:>4} {:>18} {:>14} {:>14}",
+        "n", "classical (2^n/2)", "Alg. 1 (2nk)", "Simon (~2n+2)"
+    );
+
+    for n in [4usize, 6, 8] {
+        let mut classical = Vec::new();
+        let mut quantum = Vec::new();
+        let mut simon = Vec::new();
+        for _ in 0..trials {
+            let inst = revmatch::random_instance(Equivalence::new(Side::N, Side::I), n, &mut rng);
+
+            // Classical: birthday collision search.
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let outcome = match_n_i_collision(&c1, &c2, &mut rng)?;
+            assert_eq!(outcome.nu, inst.witness.nu_x());
+            classical.push(outcome.queries);
+
+            // Quantum: Algorithm 1 (swap tests on |+>-blanket probes).
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng)?;
+            assert_eq!(nu, inst.witness.nu_x());
+            quantum.push(c1.queries() + c2.queries());
+
+            // Quantum: Simon-style hidden-shift sampling (footnote 2).
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let outcome = match_n_i_simon(&c1, &c2, &mut rng)?;
+            assert_eq!(outcome.nu, inst.witness.nu_x());
+            simon.push(c1.queries() + c2.queries());
+        }
+        classical.sort_unstable();
+        quantum.sort_unstable();
+        simon.sort_unstable();
+        println!(
+            "{n:>4} {:>18} {:>14} {:>14}",
+            classical[trials / 2],
+            quantum[trials / 2],
+            simon[trials / 2]
+        );
+    }
+
+    println!("\nThe classical column doubles roughly every two lines (birthday bound);");
+    println!("both quantum columns grow linearly — the paper's exponential separation —");
+    println!("and the Simon-style sampler needs barely more than one query per line.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's Fig. 2 circuit, hide it behind a random
+//! NP-I transform, and recover the hidden conditions with oracle queries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::SeedableRng;
+use revmatch::{
+    check_witness, solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles, Side,
+    VerifyMode,
+};
+use revmatch_circuit::{draw, Circuit, Gate, LinePermutation, NegationMask, NpTransform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // ---------------------------------------------------------------
+    // 1. The paper's Fig. 2 example: o2 = i2 ⊕ i0·i1.
+    let fig2 = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)])?;
+    println!("Fig. 2 circuit:\n{}", draw(&fig2));
+    println!("simulate 110 (i0=0,i1=1,i2=1): {:03b}", fig2.apply(0b110));
+    println!("simulate 011 (i0=1,i1=1,i2=0): {:03b}\n", fig2.apply(0b011));
+
+    // ---------------------------------------------------------------
+    // 2. Hide the circuit behind an input transform: C1 = C2 ∘ Cπ ∘ Cν.
+    let nu = NegationMask::new(0b101, 3)?;
+    let pi = LinePermutation::new(vec![1, 2, 0])?;
+    let hidden = NpTransform::new(nu, pi)?;
+    let c1_circuit = hidden.to_circuit().then(&fig2)?;
+    println!("hidden input transform: {hidden}");
+
+    // ---------------------------------------------------------------
+    // 3. Wrap both circuits as query-counting black boxes and match.
+    let c1 = Oracle::new(c1_circuit.clone());
+    let c2 = Oracle::new(fig2.clone());
+    let c2_inv = c2.inverse_oracle();
+    let oracles = ProblemOracles {
+        c1: &c1,
+        c2: &c2,
+        c1_inv: None,
+        c2_inv: Some(&c2_inv),
+    };
+    let equivalence = Equivalence::new(Side::Np, Side::I);
+    let witness = solve_promise(equivalence, &oracles, &MatcherConfig::default(), &mut rng)?;
+    println!("recovered witness:      {}", witness.input);
+    println!("oracle queries spent:   {}", oracles.total_queries());
+
+    // ---------------------------------------------------------------
+    // 4. Single-round validation (paper §3).
+    let ok = check_witness(
+        &c1_circuit,
+        &fig2,
+        &witness,
+        VerifyMode::Exhaustive,
+        &mut rng,
+    )?;
+    println!("witness verifies:       {ok}");
+    assert!(ok);
+    assert_eq!(witness.input, hidden);
+    Ok(())
+}

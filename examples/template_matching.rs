@@ -1,0 +1,139 @@
+//! Template-based synthesis with *functional* Boolean matching.
+//!
+//! The paper's introduction motivates Boolean matching by template-based
+//! reversible logic synthesis (ref [10]): a library of optimized template
+//! circuits can replace a target circuit if some template matches it — not
+//! just structurally, but up to input/output negations and permutations.
+//!
+//! This example builds a small template library, synthesizes a "costly"
+//! target circuit for a random function that is NP-I-equivalent to one of
+//! the templates, and uses the matchers to find which template applies and
+//! with which wiring — replacing an expensive synthesis result with a
+//! cheap library circuit plus free wire relabeling/polarity fixes.
+//!
+//! Run with: `cargo run --example template_matching`
+
+use rand::SeedableRng;
+use revmatch::{
+    check_witness, solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles, Side,
+    VerifyMode,
+};
+use revmatch_circuit::{
+    random_function_circuit, synthesize, Circuit, SynthesisStrategy, TruthTable,
+};
+
+/// A named template in the library.
+struct Template {
+    name: &'static str,
+    circuit: Circuit,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let width = 5;
+
+    // ---------------------------------------------------------------
+    // 1. A library of optimized templates (here: random functions
+    //    standing in for hand-optimized blocks).
+    let library: Vec<Template> = (0..6)
+        .map(|i| Template {
+            name: ["adder", "parity", "sbox", "rotator", "encoder", "mixer"][i],
+            circuit: random_function_circuit(width, &mut rng),
+        })
+        .collect();
+    println!("library: {} templates on {width} lines", library.len());
+    for t in &library {
+        println!("  {:<8} {} gates", t.name, t.circuit.len());
+    }
+
+    // ---------------------------------------------------------------
+    // 2. A target arrives: secretly an NP-I relabeling of `sbox`,
+    //    re-synthesized from its truth table (so structure is useless —
+    //    only functional matching can connect it to the library).
+    let secret = revmatch::random_instance_from(
+        library[2].circuit.clone(),
+        Equivalence::new(Side::Np, Side::I),
+        &mut rng,
+    );
+    let target_tt = secret.c1.truth_table()?;
+    let target = synthesize(&TruthTable::new(width, target_tt.entries().to_vec())?,
+                            SynthesisStrategy::Bidirectional)?;
+    println!(
+        "\ntarget: {} gates (resynthesized; planted source hidden)",
+        target.len()
+    );
+
+    // ---------------------------------------------------------------
+    // 3. Prefilter the library with Walsh signatures: a mismatch proves
+    //    non-equivalence under every X-Y class, so those templates are
+    //    skipped without a single oracle query.
+    let target_sig = revmatch_circuit::MatchSignature::of_circuit(&target)?;
+    let survivors: Vec<&Template> = library
+        .iter()
+        .filter(|t| {
+            revmatch_circuit::MatchSignature::of_circuit(&t.circuit)
+                .map(|s| s == target_sig)
+                .unwrap_or(false)
+        })
+        .collect();
+    println!(
+        "\nspectral prefilter kept {}/{} templates",
+        survivors.len(),
+        library.len()
+    );
+
+    // 4. Match the target against the surviving templates, NP-I first,
+    //    falling back to weaker conditions.
+    let config = MatcherConfig::with_epsilon(1e-9);
+    let conditions = [
+        Equivalence::new(Side::Np, Side::I),
+        Equivalence::new(Side::P, Side::I),
+        Equivalence::new(Side::N, Side::I),
+        Equivalence::new(Side::I, Side::I),
+    ];
+    let mut matched = None;
+    'outer: for template in survivors {
+        for &e in &conditions {
+            let c1 = Oracle::new(target.clone());
+            let c2 = Oracle::new(template.circuit.clone());
+            let c2_inv = c2.inverse_oracle();
+            let oracles = ProblemOracles {
+                c1: &c1,
+                c2: &c2,
+                c1_inv: None,
+                c2_inv: Some(&c2_inv),
+            };
+            if let Ok(w) = solve_promise(e, &oracles, &config, &mut rng) {
+                // The promise is not guaranteed here, so validate (§3).
+                if check_witness(
+                    &target,
+                    &template.circuit,
+                    &w,
+                    VerifyMode::Exhaustive,
+                    &mut rng,
+                )? {
+                    println!(
+                        "\nMATCH: target ≡ {} under {e} with witness {w}",
+                        template.name
+                    );
+                    println!("queries spent: {}", oracles.total_queries());
+                    matched = Some((template, w));
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // 5. Rewrite: template circuit + transform layers replaces the target.
+    let (template, witness) = matched.expect("planted template must match");
+    let replacement = witness.surround(&template.circuit)?;
+    assert!(replacement.functionally_eq(&target));
+    println!(
+        "replacement: {} template gates + {} transform gates (vs {} synthesized)",
+        template.circuit.len(),
+        replacement.len() - template.circuit.len(),
+        target.len()
+    );
+    Ok(())
+}

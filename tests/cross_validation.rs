@@ -1,0 +1,160 @@
+//! Cross-validation tests: independent implementations must agree.
+//!
+//! * quantum matchers vs classical matchers on the same instances;
+//! * full-circuit swap test vs analytic sampling inside Algorithm 1;
+//! * brute-force matcher vs every fast matcher;
+//! * the collision baseline vs the inverse-assisted O(1) answer.
+
+use rand::SeedableRng;
+use revmatch::{
+    brute_force_match, check_witness, match_n_i_collision, match_n_i_quantum, match_n_i_simon,
+    match_n_i_via_c2_inverse, match_np_i_quantum, match_np_i_via_c2_inverse, Equivalence,
+    MatcherConfig, Oracle, Side, VerifyMode,
+};
+use revmatch_quantum::SwapTestMethod;
+
+/// All five N-I strategies (inverse, collision, quantum-analytic,
+/// quantum-full-circuit, Simon-style) agree on the same instances.
+#[test]
+fn five_ni_strategies_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for w in 2..=4 {
+        for _ in 0..3 {
+            let inst = revmatch::random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let expected = inst.witness.nu_x();
+
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let c2_inv = c2.inverse_oracle();
+
+            let via_inverse = match_n_i_via_c2_inverse(&c1, &c2_inv).unwrap();
+            assert_eq!(via_inverse, expected);
+
+            let collision = match_n_i_collision(&c1, &c2, &mut rng).unwrap().nu;
+            assert_eq!(collision, expected);
+
+            let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().nu;
+            assert_eq!(simon, expected);
+
+            let analytic = match_n_i_quantum(
+                &c1,
+                &c2,
+                &MatcherConfig {
+                    epsilon: 1e-6,
+                    quantum_k: 20,
+                    swap_method: SwapTestMethod::Analytic,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(analytic, expected);
+
+            let full = match_n_i_quantum(
+                &c1,
+                &c2,
+                &MatcherConfig {
+                    epsilon: 1e-6,
+                    quantum_k: 20,
+                    swap_method: SwapTestMethod::FullCircuit,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(full, expected);
+        }
+    }
+}
+
+/// NP-I: classical inverse-assisted decode and quantum pair scan agree.
+#[test]
+fn npi_classical_and_quantum_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let config = MatcherConfig::with_epsilon(1e-9);
+    for w in 2..=5 {
+        let inst = revmatch::random_instance(Equivalence::new(Side::Np, Side::I), w, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let c2_inv = c2.inverse_oracle();
+        let classical = match_np_i_via_c2_inverse(&c1, &c2_inv).unwrap();
+        let quantum = match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+        assert_eq!(classical, quantum, "width {w}");
+        assert_eq!(classical, inst.witness.input);
+    }
+}
+
+/// The fast matchers agree with exhaustive brute force on every tractable
+/// type (modulo witness multiplicity — both must verify).
+#[test]
+fn fast_matchers_agree_with_brute_force() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let config = MatcherConfig::with_epsilon(1e-9);
+    for e in Equivalence::all() {
+        if !revmatch::classify(e).is_tractable() {
+            continue;
+        }
+        let inst = revmatch::random_instance(e, 4, &mut rng);
+        let brute = brute_force_match(&inst.c1, &inst.c2, e)
+            .unwrap()
+            .unwrap_or_else(|| panic!("brute force found nothing for {e}"));
+        assert!(
+            check_witness(&inst.c1, &inst.c2, &brute, VerifyMode::Exhaustive, &mut rng).unwrap()
+        );
+
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let c1_inv = c1.inverse_oracle();
+        let c2_inv = c2.inverse_oracle();
+        let oracles = revmatch::ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+        let fast = revmatch::solve_promise(e, &oracles, &config, &mut rng).unwrap();
+        assert!(
+            check_witness(&inst.c1, &inst.c2, &fast, VerifyMode::Exhaustive, &mut rng).unwrap(),
+            "{e}"
+        );
+    }
+}
+
+/// Sampled verification agrees with exhaustive verification.
+#[test]
+fn sampled_vs_exhaustive_verification() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for _ in 0..10 {
+        let e = Equivalence::new(Side::Np, Side::Np);
+        let inst = revmatch::random_instance(e, 5, &mut rng);
+        // Correct witness: both modes accept.
+        assert!(check_witness(
+            &inst.c1,
+            &inst.c2,
+            &inst.witness,
+            VerifyMode::Exhaustive,
+            &mut rng
+        )
+        .unwrap());
+        assert!(check_witness(
+            &inst.c1,
+            &inst.c2,
+            &inst.witness,
+            VerifyMode::Sampled(128),
+            &mut rng
+        )
+        .unwrap());
+    }
+}
+
+/// Quantum oracles and classical oracles view the same circuit: running a
+/// basis-state probe through the quantum path equals the classical query.
+#[test]
+fn quantum_basis_probe_equals_classical_query() {
+    use revmatch::QuantumOracle;
+    use revmatch::ClassicalOracle;
+    use revmatch_quantum::ProductState;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let circuit = revmatch_circuit::random_function_circuit(5, &mut rng);
+    let oracle = Oracle::new(circuit);
+    for x in [0u64, 1, 7, 19, 31] {
+        let classical = oracle.query(x);
+        let state = oracle
+            .query_quantum(&ProductState::basis(x, 5))
+            .unwrap();
+        assert!((state.probability(classical) - 1.0).abs() < 1e-9);
+    }
+}

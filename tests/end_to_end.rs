@@ -1,0 +1,186 @@
+//! End-to-end integration tests spanning every crate: circuits are
+//! synthesized from random functions, transformed, wrapped as oracles,
+//! matched, and the witnesses verified — the full pipeline a user of the
+//! library would run.
+
+use rand::SeedableRng;
+use revmatch::{
+    check_witness, classify, random_instance, solve_promise, Equivalence, MatcherConfig, Oracle,
+    ProblemOracles, Side, VerifyMode,
+};
+use revmatch_circuit::{
+    read_real, synthesize, write_real, SynthesisStrategy, TruthTable,
+};
+
+/// Full pipeline: random function → synthesis → transform → `.real`
+/// round trip → oracle matching → verification.
+#[test]
+fn synthesis_serialization_matching_pipeline() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let config = MatcherConfig::with_epsilon(1e-9);
+    for width in [3usize, 5] {
+        // A base circuit synthesized from a uniform random permutation.
+        let tt = TruthTable::random(width, &mut rng);
+        let base = synthesize(&tt, SynthesisStrategy::Bidirectional).expect("synthesis total");
+
+        // Serialize and re-parse (interop with the RevLib ecosystem).
+        let restored = read_real(&write_real(&base)).expect("round trip");
+        assert!(restored.functionally_eq(&base));
+
+        // Transform and match.
+        let e = Equivalence::new(Side::Np, Side::I);
+        let inst = revmatch::random_instance_from(restored, e, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let c2_inv = c2.inverse_oracle();
+        let oracles = ProblemOracles {
+            c1: &c1,
+            c2: &c2,
+            c1_inv: None,
+            c2_inv: Some(&c2_inv),
+        };
+        let witness = solve_promise(e, &oracles, &config, &mut rng).expect("promised instance");
+        assert!(
+            check_witness(&inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, &mut rng)
+                .expect("same widths")
+        );
+    }
+}
+
+/// Every tractable equivalence solves end to end through the dispatcher,
+/// on synthesized instances, both with and without inverses.
+#[test]
+fn dispatcher_all_tractable_types() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let config = MatcherConfig::with_epsilon(1e-9);
+    for e in Equivalence::all() {
+        if !classify(e).is_tractable() {
+            continue;
+        }
+        let inst = random_instance(e, 4, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let c1_inv = c1.inverse_oracle();
+        let c2_inv = c2.inverse_oracle();
+        let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+        let witness = solve_promise(e, &oracles, &config, &mut rng)
+            .unwrap_or_else(|err| panic!("{e}: {err}"));
+        assert!(witness.conforms_to(e));
+        assert!(
+            check_witness(&inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, &mut rng)
+                .unwrap(),
+            "{e}"
+        );
+    }
+}
+
+/// The matchers tolerate non-uniform bases: structured circuits (adders,
+/// parity chains) rather than random permutations.
+#[test]
+fn structured_base_circuits() {
+    use revmatch_circuit::{Circuit, Gate};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let config = MatcherConfig::with_epsilon(1e-9);
+
+    // A ripple parity chain: line i+1 ^= line i.
+    let mut parity = Circuit::new(6);
+    for i in 0..5 {
+        parity.push(Gate::cnot(i, i + 1)).unwrap();
+    }
+    // A reversible half-adder-ish block.
+    let mut adder = Circuit::new(6);
+    adder.push(Gate::toffoli(0, 1, 2)).unwrap();
+    adder.push(Gate::cnot(0, 1)).unwrap();
+    adder.push(Gate::toffoli(1, 2, 3)).unwrap();
+
+    for base in [parity, adder] {
+        for e in [
+            Equivalence::new(Side::N, Side::I),
+            Equivalence::new(Side::I, Side::Np),
+            Equivalence::new(Side::P, Side::N),
+        ] {
+            let inst = revmatch::random_instance_from(base.clone(), e, &mut rng);
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let c1_inv = c1.inverse_oracle();
+            let c2_inv = c2.inverse_oracle();
+            let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+            let witness = solve_promise(e, &oracles, &config, &mut rng)
+                .unwrap_or_else(|err| panic!("{e}: {err}"));
+            assert!(check_witness(
+                &inst.c1,
+                &inst.c2,
+                &witness,
+                VerifyMode::Exhaustive,
+                &mut rng
+            )
+            .unwrap());
+        }
+    }
+}
+
+/// Degenerate instances: width 1, identity transforms, self-matching.
+#[test]
+fn degenerate_instances() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let config = MatcherConfig::default();
+    // Width 1: only two functions exist (id and NOT).
+    for e in Equivalence::all() {
+        if !classify(e).is_tractable() {
+            continue;
+        }
+        let inst = random_instance(e, 1, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let c1_inv = c1.inverse_oracle();
+        let c2_inv = c2.inverse_oracle();
+        let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+        let witness = solve_promise(e, &oracles, &config, &mut rng)
+            .unwrap_or_else(|err| panic!("{e} at width 1: {err}"));
+        assert!(check_witness(
+            &inst.c1,
+            &inst.c2,
+            &witness,
+            VerifyMode::Exhaustive,
+            &mut rng
+        )
+        .unwrap());
+    }
+}
+
+/// Oracle query counts across the dispatcher respect the Table 1 growth
+/// rates on a single set of instances (coarse shape assertions).
+#[test]
+fn query_growth_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let config = MatcherConfig::with_epsilon(1e-3);
+    let measure = |e: Equivalence, n: usize, inverses: bool, rng: &mut rand::rngs::StdRng| {
+        let inst = revmatch::random_wide_instance(e, n, 3 * n, rng);
+        let c1 = Oracle::new(inst.c1);
+        let c2 = Oracle::new(inst.c2);
+        let c1_inv = c1.inverse_oracle();
+        let c2_inv = c2.inverse_oracle();
+        let oracles = if inverses {
+            ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv)
+        } else {
+            ProblemOracles::without_inverses(&c1, &c2)
+        };
+        solve_promise(e, &oracles, &config, rng).expect("promised");
+        oracles.total_queries()
+    };
+
+    // O(1): constant across widths.
+    let a = measure(Equivalence::new(Side::I, Side::N), 8, false, &mut rng);
+    let b = measure(Equivalence::new(Side::I, Side::N), 64, false, &mut rng);
+    assert_eq!(a, b);
+
+    // O(n): linear-ish growth for one-hot P-I.
+    let a = measure(Equivalence::new(Side::P, Side::I), 8, false, &mut rng);
+    let b = measure(Equivalence::new(Side::P, Side::I), 64, false, &mut rng);
+    assert!(b >= 6 * a, "P-I one-hot should grow ~linearly: {a} -> {b}");
+
+    // O(log n): slow growth for inverse-assisted I-P.
+    let a = measure(Equivalence::new(Side::I, Side::P), 8, true, &mut rng);
+    let b = measure(Equivalence::new(Side::I, Side::P), 64, true, &mut rng);
+    assert!(b <= 3 * a, "I-P with inverse should grow ~log: {a} -> {b}");
+}

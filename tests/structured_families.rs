@@ -1,0 +1,212 @@
+//! Matchers on *structured* circuit families, where degeneracies lurk:
+//! linear (CNOT-only) circuits, involutions, permutation-only circuits,
+//! functions with many fixed points, and constant-offset (XOR) circuits.
+//! Random-instance tests miss these corners; each family stresses a
+//! different assumption inside the matchers.
+
+use rand::SeedableRng;
+use revmatch::{
+    check_witness, identify_equivalence, solve_promise, Equivalence, IdentifyOptions,
+    MatcherConfig, Oracle, ProblemOracles, Side, VerifyMode,
+};
+use revmatch_circuit::{Circuit, Gate, LinePermutation, NegationMask};
+
+fn solve_and_check(
+    inst: &revmatch::PromiseInstance,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let config = MatcherConfig::with_epsilon(1e-9);
+    let c1 = Oracle::new(inst.c1.clone());
+    let c2 = Oracle::new(inst.c2.clone());
+    let c1_inv = c1.inverse_oracle();
+    let c2_inv = c2.inverse_oracle();
+    let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
+    let witness = solve_promise(inst.equivalence, &oracles, &config, rng)
+        .unwrap_or_else(|e| panic!("{}: {e}", inst.equivalence));
+    assert!(
+        check_witness(&inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, rng).unwrap(),
+        "{} witness invalid",
+        inst.equivalence
+    );
+}
+
+/// CNOT-only (linear) circuits: every output bit is a parity of inputs.
+/// Signature-degenerate and full of symmetries — witnesses may be highly
+/// non-unique, which the matchers must tolerate.
+#[test]
+fn linear_circuits() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut linear = Circuit::new(5);
+    for i in 0..4 {
+        linear.push(Gate::cnot(i, i + 1)).unwrap();
+    }
+    linear.push(Gate::cnot(4, 0)).unwrap();
+    linear.push(Gate::cnot(2, 0)).unwrap();
+    for e in [
+        Equivalence::new(Side::N, Side::I),
+        Equivalence::new(Side::P, Side::I),
+        Equivalence::new(Side::Np, Side::I),
+        Equivalence::new(Side::I, Side::Np),
+        Equivalence::new(Side::P, Side::N),
+        Equivalence::new(Side::N, Side::P),
+    ] {
+        for _ in 0..3 {
+            let inst = revmatch::random_instance_from(linear.clone(), e, &mut rng);
+            solve_and_check(&inst, &mut rng);
+        }
+    }
+}
+
+/// The identity circuit itself: everything is symmetric; every mask is a
+/// fixed point of conjugation.
+#[test]
+fn identity_base_circuit() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let id = Circuit::new(4);
+    for e in Equivalence::all() {
+        if !revmatch::classify(e).is_tractable() {
+            continue;
+        }
+        let inst = revmatch::random_instance_from(id.clone(), e, &mut rng);
+        solve_and_check(&inst, &mut rng);
+    }
+}
+
+/// An involution (C = C⁻¹): inverse-based matchers see `C1⁻¹ = C1`.
+#[test]
+fn involution_base_circuit() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    // A layer of disjoint swaps + NOTs is an involution.
+    let mut inv = Circuit::new(4);
+    inv.extend([Gate::not(0)]);
+    let swap = LinePermutation::transposition(4, 1, 3).to_circuit();
+    let inv = inv.then(&swap).unwrap();
+    assert!(inv.then(&inv).unwrap().is_identity());
+    for e in [
+        Equivalence::new(Side::Np, Side::I),
+        Equivalence::new(Side::I, Side::Np),
+        Equivalence::new(Side::P, Side::N),
+    ] {
+        let inst = revmatch::random_instance_from(inv.clone(), e, &mut rng);
+        solve_and_check(&inst, &mut rng);
+    }
+}
+
+/// Pure-permutation bases (wire shuffles): composition of transforms may
+/// collapse into smaller classes; identify must find the minimal one.
+#[test]
+fn permutation_only_bases_identify_small() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let pi = LinePermutation::new(vec![2, 0, 1, 3]).unwrap();
+    let base = pi.to_circuit();
+    // Transformed by another permutation on the input side: the composite
+    // is still P-I-explainable (wire relabelings compose).
+    let inst = revmatch::random_instance_from(
+        base.clone(),
+        Equivalence::new(Side::P, Side::I),
+        &mut rng,
+    );
+    let found = identify_equivalence(
+        &inst.c1,
+        &inst.c2,
+        &IdentifyOptions::default(),
+        &mut rng,
+    )
+    .unwrap()
+    .unwrap();
+    // Must be explained by P-I or something no larger.
+    assert!(
+        found.equivalence.search_space(4)
+            <= Equivalence::new(Side::P, Side::I).search_space(4),
+        "identified {}",
+        found.equivalence
+    );
+}
+
+/// XOR-offset circuits (`C(x) = x ⊕ k`): N-I instances built on them have
+/// MANY valid ν witnesses at once; solvers must return *a* valid one.
+#[test]
+fn xor_offset_bases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let base = NegationMask::new(0b0110, 4).unwrap().to_circuit();
+    for e in [
+        Equivalence::new(Side::N, Side::I),
+        Equivalence::new(Side::I, Side::N),
+        Equivalence::new(Side::N, Side::P),
+    ] {
+        let inst = revmatch::random_instance_from(base.clone(), e, &mut rng);
+        solve_and_check(&inst, &mut rng);
+    }
+    // The whole pair collapses to I-N (or smaller): identify agrees.
+    let inst = revmatch::random_instance_from(
+        base,
+        Equivalence::new(Side::N, Side::I),
+        &mut rng,
+    );
+    let found = identify_equivalence(
+        &inst.c1,
+        &inst.c2,
+        &IdentifyOptions::default(),
+        &mut rng,
+    )
+    .unwrap()
+    .unwrap();
+    assert!(
+        found.equivalence.search_space(4)
+            <= Equivalence::new(Side::N, Side::I).search_space(4)
+    );
+}
+
+/// Shift/rotate permutations of the index space (not wire permutations):
+/// nonlinear-looking but highly structured.
+#[test]
+fn modular_increment_base() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    // C(x) = x + 1 mod 16 as a synthesized circuit.
+    let tt = revmatch_circuit::TruthTable::from_fn(4, |x| (x + 1) & 0xF).unwrap();
+    let base =
+        revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Bidirectional)
+            .unwrap();
+    for e in [
+        Equivalence::new(Side::Np, Side::I),
+        Equivalence::new(Side::I, Side::Np),
+        Equivalence::new(Side::P, Side::N),
+        Equivalence::new(Side::N, Side::P),
+    ] {
+        let inst = revmatch::random_instance_from(base.clone(), e, &mut rng);
+        solve_and_check(&inst, &mut rng);
+    }
+}
+
+/// Quantum matchers on structured bases (the |+>-blanket and |−>-marker
+/// arguments must not depend on the base being generic).
+#[test]
+fn quantum_matchers_on_structured_bases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let config = MatcherConfig::with_epsilon(1e-9);
+    let tt = revmatch_circuit::TruthTable::from_fn(4, |x| (x + 5) & 0xF).unwrap();
+    let base =
+        revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Basic).unwrap();
+
+    let inst = revmatch::random_instance_from(
+        base.clone(),
+        Equivalence::new(Side::N, Side::I),
+        &mut rng,
+    );
+    let c1 = Oracle::new(inst.c1.clone());
+    let c2 = Oracle::new(inst.c2.clone());
+    let nu = revmatch::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+    assert_eq!(nu, inst.witness.nu_x());
+    let simon = revmatch::match_n_i_simon(&c1, &c2, &mut rng).unwrap();
+    assert_eq!(simon.nu, inst.witness.nu_x());
+
+    let inst = revmatch::random_instance_from(
+        base,
+        Equivalence::new(Side::Np, Side::I),
+        &mut rng,
+    );
+    let c1 = Oracle::new(inst.c1.clone());
+    let c2 = Oracle::new(inst.c2.clone());
+    let input = revmatch::match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+    assert_eq!(input, inst.witness.input);
+}
