@@ -21,8 +21,14 @@ fn bench_nn_reduction(c: &mut Criterion) {
         let witness = red.solve_via_sat().unwrap();
         group.bench_with_input(BenchmarkId::new("verify_sampled", n), &n, |b, _| {
             b.iter(|| {
-                check_witness(&red.c1, &red.c2, &witness, VerifyMode::Sampled(256), &mut rng)
-                    .unwrap()
+                check_witness(
+                    &red.c1,
+                    &red.c2,
+                    &witness,
+                    VerifyMode::Sampled(256),
+                    &mut rng,
+                )
+                .unwrap()
             });
         });
     }

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
-use revmatch::{
-    solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles,
-};
+use revmatch::{solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles};
 
 fn bench_with_inverse(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_with_inverse");
@@ -62,7 +60,11 @@ fn bench_brute_force(c: &mut Criterion) {
         let e = Equivalence::new(revmatch::Side::Np, revmatch::Side::Np);
         let inst = revmatch::random_instance(e, n, &mut rng);
         group.bench_with_input(BenchmarkId::new("NP-NP", n), &n, |b, _| {
-            b.iter(|| revmatch::brute_force_match(&inst.c1, &inst.c2, e).unwrap().unwrap());
+            b.iter(|| {
+                revmatch::brute_force_match(&inst.c1, &inst.c2, e)
+                    .unwrap()
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -15,26 +15,29 @@
 use std::time::Instant;
 
 use revmatch::{
-    check_witness, check_witness_sat, match_n_i_quantum, Equivalence, MatcherConfig, Oracle,
-    Side, VerifyMode,
+    check_witness, check_witness_sat, match_n_i_quantum, Equivalence, MatcherConfig, Oracle, Side,
+    VerifyMode,
 };
 use revmatch_bench::harness_rng;
-use revmatch_circuit::{
-    peephole_optimize, synthesize, SynthesisStrategy, TruthTable,
-};
+use revmatch_circuit::{peephole_optimize, synthesize, SynthesisStrategy, TruthTable};
 use revmatch_quantum::SwapTestMethod;
 
 fn ablation_synthesis() {
     let mut rng = harness_rng();
     println!("== ablation: synthesis strategy (mean gates over 25 random functions) ==");
-    println!("{:>3} {:>10} {:>14} {:>8}", "n", "basic", "bidirectional", "saving");
+    println!(
+        "{:>3} {:>10} {:>14} {:>8}",
+        "n", "basic", "bidirectional", "saving"
+    );
     for w in [3usize, 4, 5, 6, 7] {
         let (mut basic, mut bidir) = (0usize, 0usize);
         let trials = 25;
         for _ in 0..trials {
             let tt = TruthTable::random(w, &mut rng);
             basic += synthesize(&tt, SynthesisStrategy::Basic).unwrap().len();
-            bidir += synthesize(&tt, SynthesisStrategy::Bidirectional).unwrap().len();
+            bidir += synthesize(&tt, SynthesisStrategy::Bidirectional)
+                .unwrap()
+                .len();
         }
         println!(
             "{w:>3} {:>10.1} {:>14.1} {:>7.1}%",
@@ -86,15 +89,17 @@ fn ablation_verification() {
         "n", "exhaustive", "sampled(1024)", "sat miter"
     );
     for w in [8usize, 10, 12] {
-        let inst = revmatch::random_wide_instance(
-            Equivalence::new(Side::Np, Side::I),
-            w,
-            3 * w,
-            &mut rng,
-        );
+        let inst =
+            revmatch::random_wide_instance(Equivalence::new(Side::Np, Side::I), w, 3 * w, &mut rng);
         let t0 = Instant::now();
-        let a = check_witness(&inst.c1, &inst.c2, &inst.witness, VerifyMode::Exhaustive, &mut rng)
-            .unwrap();
+        let a = check_witness(
+            &inst.c1,
+            &inst.c2,
+            &inst.witness,
+            VerifyMode::Exhaustive,
+            &mut rng,
+        )
+        .unwrap();
         let t_ex = t0.elapsed();
         let t0 = Instant::now();
         let b = check_witness(
@@ -125,8 +130,7 @@ fn ablation_peephole() {
         "n", "rewrite", "optimized", "reclaimed"
     );
     for w in [4usize, 5, 6] {
-        let inst =
-            revmatch::random_instance(Equivalence::new(Side::Np, Side::Np), w, &mut rng);
+        let inst = revmatch::random_instance(Equivalence::new(Side::Np, Side::Np), w, &mut rng);
         // The rewrite a template flow produces: transform layers around the
         // library circuit, followed by the inverse of the same rewrite —
         // i.e. an identity sandwich the optimizer should chew through.

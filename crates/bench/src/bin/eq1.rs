@@ -20,12 +20,7 @@ const TRIALS: usize = 2000;
 fn trial(n: usize, k: usize, rng: &mut impl Rng) -> bool {
     // Signature uniqueness depends only on C1's output sequences over
     // random probes; use a random wide instance for realism.
-    let inst = revmatch::random_wide_instance(
-        Equivalence::new(Side::I, Side::P),
-        n,
-        3 * n,
-        rng,
-    );
+    let inst = revmatch::random_wide_instance(Equivalence::new(Side::I, Side::P), n, 3 * n, rng);
     let c1 = Oracle::new(inst.c1);
     let mut sigs = vec![0u128; n];
     for t in 0..k {
@@ -54,10 +49,7 @@ fn main() {
             let bound = 1.0 - (n * (n - 1)) as f64 / 2f64.powi(k as i32);
             // The bound can be vacuous (negative) for small k.
             let ok = empirical >= bound.max(0.0) - 0.02; // 2% sampling slack
-            println!(
-                "{n:>3} {k:>3} {empirical:>14.4} {:>18.4} {:>8}",
-                bound, ok
-            );
+            println!("{n:>3} {k:>3} {empirical:>14.4} {:>18.4} {:>8}", bound, ok);
         }
         println!();
     }

@@ -19,11 +19,17 @@ const WIDTH: usize = 3;
 const PAIRS_PER_EDGE: usize = 10;
 
 fn main() {
-    println!("Figure 1 (reproduced): domination lattice, top to bottom\n{}", render_lattice());
+    println!(
+        "Figure 1 (reproduced): domination lattice, top to bottom\n{}",
+        render_lattice()
+    );
 
     let mut rng = harness_rng();
     let edges = hasse_edges();
-    println!("Hasse edges: {} (expected 32 for the product of two diamonds)\n", edges.len());
+    println!(
+        "Hasse edges: {} (expected 32 for the product of two diamonds)\n",
+        edges.len()
+    );
 
     // --- Edge verification: B-equivalent pairs are A-matchable. -------
     let mut verified = 0;
@@ -49,7 +55,10 @@ fn main() {
             verified += 1;
         }
     }
-    println!("edge checks: {verified}/{} passed (every B-equivalent pair was A-matchable)", edges.len() * PAIRS_PER_EDGE);
+    println!(
+        "edge checks: {verified}/{} passed (every B-equivalent pair was A-matchable)",
+        edges.len() * PAIRS_PER_EDGE
+    );
 
     // --- Strictness: each edge is strict (some A-pair is not B-matchable).
     let mut strict = 0;
@@ -67,13 +76,24 @@ fn main() {
         if separated {
             strict += 1;
         } else {
-            println!("  note: no separator sampled for {} > {}", edge.from, edge.to);
+            println!(
+                "  note: no separator sampled for {} > {}",
+                edge.from, edge.to
+            );
         }
     }
-    println!("strictness checks: {strict}/{} edges separated by a sampled counterexample", edges.len());
+    println!(
+        "strictness checks: {strict}/{} edges separated by a sampled counterexample",
+        edges.len()
+    );
 
     // --- Incomparability spot checks (N-N vs P-P, I-NP vs NP-I). ------
-    let pairs = [("N-N", "P-P"), ("I-NP", "NP-I"), ("N-I", "I-N"), ("P-I", "I-P")];
+    let pairs = [
+        ("N-N", "P-P"),
+        ("I-NP", "NP-I"),
+        ("N-I", "I-N"),
+        ("P-I", "I-P"),
+    ];
     for (a, b) in pairs {
         let ea: Equivalence = a.parse().unwrap();
         let eb: Equivalence = b.parse().unwrap();

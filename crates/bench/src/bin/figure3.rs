@@ -59,15 +59,13 @@ fn main() {
         let s2 = p2.to_state_vector();
         let overlap_sq = s1.inner_product(&s2).unwrap().norm_sqr();
         let formula = swap_test_probability(&s1, &s2).unwrap();
-        let full = swap_test_shots(SwapTestMethod::FullCircuit, &s1, &s2, SHOTS, &mut rng)
-            .unwrap() as f64
+        let full = swap_test_shots(SwapTestMethod::FullCircuit, &s1, &s2, SHOTS, &mut rng).unwrap()
+            as f64
             / SHOTS as f64;
-        let fast = swap_test_shots(SwapTestMethod::Analytic, &s1, &s2, SHOTS, &mut rng)
-            .unwrap() as f64
+        let fast = swap_test_shots(SwapTestMethod::Analytic, &s1, &s2, SHOTS, &mut rng).unwrap()
+            as f64
             / SHOTS as f64;
-        println!(
-            "{name:<12} {overlap_sq:>10.4} {formula:>12.4} {full:>14.4} {fast:>14.4}"
-        );
+        println!("{name:<12} {overlap_sq:>10.4} {formula:>12.4} {full:>14.4} {fast:>14.4}");
         assert!((full - formula).abs() < 0.02, "full-circuit stats off");
         assert!((fast - formula).abs() < 0.02, "analytic stats off");
     }

@@ -96,7 +96,10 @@ fn run_pp() {
 fn run_vv() {
     let mut rng = harness_rng();
     println!("== ref [17]: Valiant-Vazirani SAT -> UNIQUE-SAT isolation ==");
-    println!("{:>6} {:>8} {:>14} {:>16}", "vars", "clauses", "sat rate", "isolation rate");
+    println!(
+        "{:>6} {:>8} {:>14} {:>16}",
+        "vars", "clauses", "sat rate", "isolation rate"
+    );
     for (n, m) in [(5usize, 6usize), (6, 10), (8, 16)] {
         let runs = 60;
         let mut sat = 0;
@@ -116,7 +119,11 @@ fn run_vv() {
         println!(
             "{n:>6} {m:>8} {:>13.2} {:>15.2}",
             sat as f64 / runs as f64,
-            if sat > 0 { isolated as f64 / sat as f64 } else { 0.0 }
+            if sat > 0 {
+                isolated as f64 / sat as f64
+            } else {
+                0.0
+            }
         );
     }
     println!("each isolation sweep succeeds with Ω(1/n) probability per the VV theorem;");

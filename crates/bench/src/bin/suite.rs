@@ -36,10 +36,8 @@ fn build_suite(width: usize, rng: &mut rand::rngs::StdRng) -> Vec<Entry> {
         circuit: toffoli,
     });
     // Modular increment.
-    let inc = TruthTable::from_fn(width, |x| {
-        (x + 1) & revmatch_circuit::width_mask(width)
-    })
-    .unwrap();
+    let inc =
+        TruthTable::from_fn(width, |x| (x + 1) & revmatch_circuit::width_mask(width)).unwrap();
     suite.push(Entry {
         name: "increment",
         circuit: synthesize(&inc, SynthesisStrategy::Bidirectional).unwrap(),

@@ -23,11 +23,7 @@ struct Row {
     series: Vec<(usize, u64)>,
 }
 
-fn instance(
-    e: Equivalence,
-    n: usize,
-    rng: &mut impl Rng,
-) -> revmatch::PromiseInstance {
+fn instance(e: Equivalence, n: usize, rng: &mut impl Rng) -> revmatch::PromiseInstance {
     if n <= 10 {
         revmatch::random_instance(e, n, rng)
     } else {
@@ -87,7 +83,11 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(1)",
-            series: series(&classical_ns, |n, r| run_with_inverse(e(name), n, r), &mut rng),
+            series: series(
+                &classical_ns,
+                |n, r| run_with_inverse(e(name), n, r),
+                &mut rng,
+            ),
         });
     }
     for name in ["I-P", "P-I", "N-P", "P-N", "I-NP", "NP-I"] {
@@ -96,7 +96,11 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(log n)",
-            series: series(&classical_ns, |n, r| run_with_inverse(e(name), n, r), &mut rng),
+            series: series(
+                &classical_ns,
+                |n, r| run_with_inverse(e(name), n, r),
+                &mut rng,
+            ),
         });
     }
 
@@ -106,7 +110,11 @@ fn main() {
         equivalence: "I-N",
         paradigm: "classical",
         bound: "O(1)",
-        series: series(&classical_ns, |n, r| run_without_inverse(e("I-N"), n, r), &mut rng),
+        series: series(
+            &classical_ns,
+            |n, r| run_without_inverse(e("I-N"), n, r),
+            &mut rng,
+        ),
     });
     for name in ["I-P", "I-NP"] {
         rows.push(Row {
@@ -114,7 +122,11 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(log n + log 1/eps)",
-            series: series(&classical_ns, |n, r| run_without_inverse(e(name), n, r), &mut rng),
+            series: series(
+                &classical_ns,
+                |n, r| run_without_inverse(e(name), n, r),
+                &mut rng,
+            ),
         });
     }
     for name in ["P-I", "P-N"] {
@@ -123,7 +135,11 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(n)",
-            series: series(&classical_ns, |n, r| run_without_inverse(e(name), n, r), &mut rng),
+            series: series(
+                &classical_ns,
+                |n, r| run_without_inverse(e(name), n, r),
+                &mut rng,
+            ),
         });
     }
     rows.push(Row {
@@ -131,20 +147,32 @@ fn main() {
         equivalence: "N-I",
         paradigm: "quantum",
         bound: "O(n log 1/eps)",
-        series: series(&quantum_ns, |n, r| run_without_inverse(e("N-I"), n, r), &mut rng),
+        series: series(
+            &quantum_ns,
+            |n, r| run_without_inverse(e("N-I"), n, r),
+            &mut rng,
+        ),
     });
     rows.push(Row {
         inverse: "not available",
         equivalence: "NP-I",
         paradigm: "quantum",
         bound: "O(n^2 log 1/eps)",
-        series: series(&quantum_ns, |n, r| run_without_inverse(e("NP-I"), n, r), &mut rng),
+        series: series(
+            &quantum_ns,
+            |n, r| run_without_inverse(e("NP-I"), n, r),
+            &mut rng,
+        ),
     });
 
     // --- Print --------------------------------------------------------
-    println!("Table 1 (reproduced): measured oracle queries, median of {TRIALS} trials, eps = {EPSILON}");
-    println!("k_rand = ceil(log2(n(n-1)/eps)) probes; quantum k = {} swap-test rounds\n",
-             MatcherConfig::with_epsilon(EPSILON).quantum_k);
+    println!(
+        "Table 1 (reproduced): measured oracle queries, median of {TRIALS} trials, eps = {EPSILON}"
+    );
+    println!(
+        "k_rand = ceil(log2(n(n-1)/eps)) probes; quantum k = {} swap-test rounds\n",
+        MatcherConfig::with_epsilon(EPSILON).quantum_k
+    );
     println!(
         "{:<14} {:<6} {:<10} {:<22} measured queries per n",
         "inverse", "equiv", "paradigm", "paper bound"
@@ -180,8 +208,7 @@ fn main() {
         flat(find("not available", "I-N")),
     );
     let pi = find("not available", "P-I");
-    let linear = pi.series.last().unwrap().1 as f64
-        / pi.series.first().unwrap().1 as f64;
+    let linear = pi.series.last().unwrap().1 as f64 / pi.series.first().unwrap().1 as f64;
     println!(
         "  P-I one-hot grows ~linearly:    {}x queries for 16x larger n",
         linear

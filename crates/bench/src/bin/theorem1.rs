@@ -75,7 +75,10 @@ fn main() {
         let speedup = if quantum.is_empty() {
             "-".to_owned()
         } else {
-            format!("{:.1}x", median(&classical) as f64 / median(&quantum) as f64)
+            format!(
+                "{:.1}x",
+                median(&classical) as f64 / median(&quantum) as f64
+            )
         };
         println!(
             "{n:>3} {:>12} {:>12.1} {:>12.1} {:>12} {:>12} {:>10}",

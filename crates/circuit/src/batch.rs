@@ -1,0 +1,411 @@
+//! Batched, bit-sliced circuit evaluation.
+//!
+//! The matchers issue probes in well-structured groups (binary-code
+//! rounds, one-hot scans, randomized signature rounds, collision
+//! sweeps), but scalar [`Circuit::apply`] walks the whole gate cascade
+//! once **per probe**. This module evaluates up to 64 probes per gate
+//! walk instead:
+//!
+//! * **Bit slicing** ([`apply_bitsliced`]): 64 input patterns are
+//!   transposed so that lane `i` is a `u64` holding line `i` of all 64
+//!   patterns. An MCT gate then costs one word-AND per control plus one
+//!   word-XOR for the target — the per-probe cost of a gate drops from
+//!   ~3 ops to ~3/64 ops (plus a fixed 64×64 transpose per block).
+//! * **Dense tables** ([`DenseTable`]): for small widths the whole
+//!   function is precompiled into a `2^width` lookup table (built with
+//!   one bit-sliced sweep), making every subsequent probe a single load.
+//!
+//! [`BatchEvaluator`] packages both behind an automatic backend choice;
+//! see [`EvalBackend::select`] for the rule.
+
+use crate::bits::width_mask;
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// Widest circuit a [`DenseTable`] may be compiled for (an 8 MiB table).
+pub const DENSE_MAX_WIDTH: usize = 20;
+
+/// Widest circuit for which [`EvalBackend::select`] picks
+/// [`EvalBackend::DenseTable`] automatically (a 512 KiB table, compiled
+/// in one bit-sliced sweep).
+pub const DENSE_AUTO_MAX_WIDTH: usize = 16;
+
+/// Transposes a 64×64 bit matrix held as 64 `u64` words, in place
+/// (Hacker's Delight 7-3).
+///
+/// The exchange is `bit b of word w ↔ bit (63−w) of word (63−b)`; used
+/// twice it is the identity, and [`apply_bitsliced`] compensates for the
+/// index reversal when addressing lanes.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k | j] >> j)) & m;
+            a[k] ^= t;
+            a[k | j] ^= t << j;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Runs a gate cascade over transposed lanes.
+///
+/// `lanes` must be the output of [`transpose64`] on a block of patterns:
+/// line `l` of the circuit lives in `lanes[63 - l]`, with pattern `j` of
+/// the block at bit `63 - j`. Each gate fires per-pattern where all its
+/// controls match, flipping the target lane at exactly those bits.
+fn eval_gates_on_lanes(gates: &[Gate], lanes: &mut [u64; 64]) {
+    for g in gates {
+        let mut fire = !0u64;
+        let mut controls = g.control_mask();
+        let positives = g.positive_mask();
+        while controls != 0 {
+            let line = controls.trailing_zeros() as usize;
+            let lane = lanes[63 - line];
+            fire &= if positives >> line & 1 == 1 {
+                lane
+            } else {
+                !lane
+            };
+            controls &= controls - 1;
+        }
+        lanes[63 - g.target()] ^= fire;
+    }
+}
+
+/// Evaluates `gates` on every pattern in `xs` using bit-sliced blocks of
+/// 64, writing outputs to `out` (same length as `xs`).
+pub(crate) fn apply_bitsliced_into(gates: &[Gate], xs: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(xs.len(), out.len());
+    let mut block = [0u64; 64];
+    for (chunk, out_chunk) in xs.chunks(64).zip(out.chunks_mut(64)) {
+        let k = chunk.len();
+        block[..k].copy_from_slice(chunk);
+        // Unused tail rows evaluate the circuit on input 0 — harmless.
+        block[k..].fill(0);
+        transpose64(&mut block);
+        eval_gates_on_lanes(gates, &mut block);
+        transpose64(&mut block);
+        out_chunk.copy_from_slice(&block[..k]);
+    }
+}
+
+/// Evaluates `circuit` on every pattern in `xs` with the bit-sliced
+/// kernel, 64 probes per gate walk.
+///
+/// Exposed for benchmarks and tests; [`Circuit::apply_batch`] is the
+/// ergonomic entry point.
+///
+/// # Panics
+///
+/// Panics in debug builds if any pattern has bits beyond the circuit
+/// width.
+pub fn apply_bitsliced(circuit: &Circuit, xs: &[u64]) -> Vec<u64> {
+    debug_assert!(
+        xs.iter().all(|&x| x & !width_mask(circuit.width()) == 0),
+        "input wider than circuit"
+    );
+    let mut out = vec![0u64; xs.len()];
+    apply_bitsliced_into(circuit.gates(), xs, &mut out);
+    out
+}
+
+/// A precompiled `2^width` lookup table for a reversible circuit.
+///
+/// Compilation costs one bit-sliced sweep over all `2^width` inputs;
+/// afterwards every probe is a single indexed load. Worth it when the
+/// expected probe volume exceeds roughly `2^width / 64` (the number of
+/// bit-sliced blocks the compile sweep spends).
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{Circuit, DenseTable, Gate};
+///
+/// let c = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)])?;
+/// let table = DenseTable::compile(&c)?;
+/// assert_eq!(table.apply(0b011), 0b111);
+/// assert_eq!(table.apply_batch(&[0b011, 0b101]), vec![0b111, 0b101]);
+/// # Ok::<(), revmatch_circuit::CircuitError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseTable {
+    width: usize,
+    table: Vec<u64>,
+}
+
+impl DenseTable {
+    /// Compiles the circuit into a dense table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthTooLarge`] beyond
+    /// [`DENSE_MAX_WIDTH`].
+    pub fn compile(circuit: &Circuit) -> Result<Self, CircuitError> {
+        let width = circuit.width();
+        if width > DENSE_MAX_WIDTH {
+            return Err(CircuitError::WidthTooLarge {
+                width,
+                max: DENSE_MAX_WIDTH,
+            });
+        }
+        let size = 1usize << width;
+        let inputs: Vec<u64> = (0..size as u64).collect();
+        let mut table = vec![0u64; size];
+        apply_bitsliced_into(circuit.gates(), &inputs, &mut table);
+        Ok(Self { width, table })
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Looks up one pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has bits beyond the table width.
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        self.table[x as usize]
+    }
+
+    /// Looks up every pattern in `xs`.
+    pub fn apply_batch(&self, xs: &[u64]) -> Vec<u64> {
+        xs.iter().map(|&x| self.table[x as usize]).collect()
+    }
+
+    /// The raw table (`table[x] = C(x)`).
+    pub fn entries(&self) -> &[u64] {
+        &self.table
+    }
+}
+
+impl std::fmt::Debug for DenseTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DenseTable(width={})", self.width)
+    }
+}
+
+/// Which evaluation engine a [`BatchEvaluator`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalBackend {
+    /// Transposed 64-probe-per-word gate walks; no precompute, any
+    /// width up to 64.
+    BitSliced,
+    /// Precompiled `2^width` lookup (widths ≤ [`DENSE_MAX_WIDTH`]).
+    DenseTable,
+}
+
+impl EvalBackend {
+    /// The automatic backend rule: [`EvalBackend::DenseTable`] when
+    /// `width ≤ DENSE_AUTO_MAX_WIDTH` **and** the compile sweep is no
+    /// more than ~64 bit-sliced blocks' worth of work per gate walk
+    /// saved; [`EvalBackend::BitSliced`] otherwise.
+    ///
+    /// In practice: dense for `width ≤ 16` (table ≤ 512 KiB, compiled in
+    /// `2^width / 64` block walks), bit-sliced for wider circuits.
+    pub fn select(width: usize, _gate_count: usize) -> Self {
+        if width <= DENSE_AUTO_MAX_WIDTH {
+            Self::DenseTable
+        } else {
+            Self::BitSliced
+        }
+    }
+}
+
+/// A compiled batch evaluator for one circuit, with automatic backend
+/// selection.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_circuit::{random_circuit, BatchEvaluator, EvalBackend, RandomCircuitSpec};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let c = random_circuit(&RandomCircuitSpec::for_width(12), &mut rng);
+/// let eval = BatchEvaluator::compile(&c);
+/// assert_eq!(eval.backend(), EvalBackend::DenseTable); // width 12 ≤ 16
+/// let xs: Vec<u64> = (0..256).collect();
+/// assert_eq!(eval.apply_batch(&xs), c.apply_batch(&xs));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEvaluator {
+    width: usize,
+    backend: BackendImpl,
+}
+
+#[derive(Debug, Clone)]
+enum BackendImpl {
+    Sliced(Vec<Gate>),
+    Dense(DenseTable),
+}
+
+impl BatchEvaluator {
+    /// Compiles with the backend chosen by [`EvalBackend::select`].
+    pub fn compile(circuit: &Circuit) -> Self {
+        let backend = EvalBackend::select(circuit.width(), circuit.len());
+        Self::with_backend(circuit, backend).expect("selected backend always fits")
+    }
+
+    /// Compiles with an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthTooLarge`] when
+    /// [`EvalBackend::DenseTable`] is requested beyond
+    /// [`DENSE_MAX_WIDTH`].
+    pub fn with_backend(circuit: &Circuit, backend: EvalBackend) -> Result<Self, CircuitError> {
+        let backend = match backend {
+            EvalBackend::BitSliced => BackendImpl::Sliced(circuit.gates().to_vec()),
+            EvalBackend::DenseTable => BackendImpl::Dense(DenseTable::compile(circuit)?),
+        };
+        Ok(Self {
+            width: circuit.width(),
+            backend,
+        })
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> EvalBackend {
+        match self.backend {
+            BackendImpl::Sliced(_) => EvalBackend::BitSliced,
+            BackendImpl::Dense(_) => EvalBackend::DenseTable,
+        }
+    }
+
+    /// Evaluates one pattern.
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        match &self.backend {
+            BackendImpl::Sliced(gates) => gates.iter().fold(x, |v, g| g.apply(v)),
+            BackendImpl::Dense(table) => table.apply(x),
+        }
+    }
+
+    /// Evaluates every pattern in `xs`.
+    pub fn apply_batch(&self, xs: &[u64]) -> Vec<u64> {
+        match &self.backend {
+            BackendImpl::Sliced(gates) => {
+                let mut out = vec![0u64; xs.len()];
+                apply_bitsliced_into(gates, xs, &mut out);
+                out
+            }
+            BackendImpl::Dense(table) => table.apply_batch(xs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn transpose64_is_involutive_and_exchanges_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let original: [u64; 64] = std::array::from_fn(|_| rng.gen());
+        let mut m = original;
+        transpose64(&mut m);
+        for (w, &word) in m.iter().enumerate() {
+            for b in 0..64 {
+                assert_eq!(
+                    word >> b & 1,
+                    original[63 - b] >> (63 - w) & 1,
+                    "w={w} b={b}"
+                );
+            }
+        }
+        transpose64(&mut m);
+        assert_eq!(m, original);
+    }
+
+    #[test]
+    fn bitsliced_matches_scalar_on_blocks_and_tails() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for width in [1usize, 3, 7, 12, 20, 33, 64] {
+            let c = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+            let mask = width_mask(width);
+            for len in [0usize, 1, 5, 63, 64, 65, 200] {
+                let xs: Vec<u64> = (0..len).map(|_| rng.gen::<u64>() & mask).collect();
+                let batched = apply_bitsliced(&c, &xs);
+                let scalar: Vec<u64> = xs.iter().map(|&x| c.apply(x)).collect();
+                assert_eq!(batched, scalar, "width={width} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_table_matches_scalar_exhaustively() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for width in 1..=10usize {
+            let c = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+            let table = DenseTable::compile(&c).unwrap();
+            for x in 0..1u64 << width {
+                assert_eq!(table.apply(x), c.apply(x), "width={width} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_table_rejects_wide_circuits() {
+        let c = Circuit::new(DENSE_MAX_WIDTH + 1);
+        assert!(matches!(
+            DenseTable::compile(&c),
+            Err(CircuitError::WidthTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn backend_selection_rule() {
+        assert_eq!(EvalBackend::select(4, 10), EvalBackend::DenseTable);
+        assert_eq!(
+            EvalBackend::select(DENSE_AUTO_MAX_WIDTH, 10),
+            EvalBackend::DenseTable
+        );
+        assert_eq!(
+            EvalBackend::select(DENSE_AUTO_MAX_WIDTH + 1, 10),
+            EvalBackend::BitSliced
+        );
+        assert_eq!(EvalBackend::select(64, 10), EvalBackend::BitSliced);
+    }
+
+    #[test]
+    fn evaluator_backends_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let c = random_circuit(&RandomCircuitSpec::for_width(9), &mut rng);
+        let auto = BatchEvaluator::compile(&c);
+        let sliced = BatchEvaluator::with_backend(&c, EvalBackend::BitSliced).unwrap();
+        let dense = BatchEvaluator::with_backend(&c, EvalBackend::DenseTable).unwrap();
+        assert_eq!(auto.backend(), EvalBackend::DenseTable);
+        let xs: Vec<u64> = (0..512).collect();
+        let expect: Vec<u64> = xs.iter().map(|&x| c.apply(x)).collect();
+        for (name, eval) in [("auto", &auto), ("sliced", &sliced), ("dense", &dense)] {
+            assert_eq!(eval.apply_batch(&xs), expect, "{name}");
+            assert_eq!(eval.apply(37), c.apply(37), "{name}");
+            assert_eq!(eval.width(), 9, "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let c = Circuit::new(5);
+        assert!(apply_bitsliced(&c, &[]).is_empty());
+        assert!(BatchEvaluator::compile(&c).apply_batch(&[]).is_empty());
+    }
+}

@@ -117,7 +117,11 @@ impl Bits {
         assert!(line < self.width());
         let mask = 1u64 << line;
         Self {
-            value: if bit { self.value | mask } else { self.value & !mask },
+            value: if bit {
+                self.value | mask
+            } else {
+                self.value & !mask
+            },
             width: self.width,
         }
     }

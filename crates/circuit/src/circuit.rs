@@ -132,6 +132,21 @@ impl Circuit {
         v
     }
 
+    /// Applies the circuit to every pattern in `xs`, walking the gate
+    /// cascade once per 64 probes via the bit-sliced evaluator
+    /// (see [`crate::batch`]).
+    ///
+    /// Output order matches input order; `apply_batch(&[x])[0]` equals
+    /// [`Circuit::apply`]`(x)` for every `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any pattern has bits beyond the
+    /// circuit width.
+    pub fn apply_batch(&self, xs: &[u64]) -> Vec<u64> {
+        crate::batch::apply_bitsliced(self, xs)
+    }
+
     /// Applies the circuit to a [`Bits`] pattern.
     ///
     /// # Panics
@@ -201,12 +216,8 @@ impl Circuit {
                 max: TruthTable::MAX_WIDTH,
             });
         }
-        let size = 1usize << self.width;
-        let mut table = Vec::with_capacity(size);
-        for x in 0..size as u64 {
-            table.push(self.apply(x));
-        }
-        TruthTable::new(self.width, table)
+        let inputs: Vec<u64> = (0..1u64 << self.width).collect();
+        TruthTable::new(self.width, self.apply_batch(&inputs))
     }
 
     /// Whether the circuit computes the identity function.
@@ -216,14 +227,15 @@ impl Circuit {
     /// negatives).
     pub fn is_identity(&self) -> bool {
         if self.width <= 20 {
-            (0..1u64 << self.width).all(|x| self.apply(x) == x)
+            let inputs: Vec<u64> = (0..1u64 << self.width).collect();
+            self.apply_batch(&inputs) == inputs
         } else {
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(0x1d3_a11ce);
-            (0..1 << 14).all(|_| {
-                let x: u64 = rng.gen::<u64>() & width_mask(self.width);
-                self.apply(x) == x
-            })
+            let inputs: Vec<u64> = (0..1 << 14)
+                .map(|_| rng.gen::<u64>() & width_mask(self.width))
+                .collect();
+            self.apply_batch(&inputs) == inputs
         }
     }
 
@@ -233,16 +245,16 @@ impl Circuit {
         if self.width != other.width {
             return false;
         }
-        if self.width <= 20 {
-            (0..1u64 << self.width).all(|x| self.apply(x) == other.apply(x))
+        let inputs: Vec<u64> = if self.width <= 20 {
+            (0..1u64 << self.width).collect()
         } else {
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(0xfeed_beef);
-            (0..1 << 14).all(|_| {
-                let x: u64 = rng.gen::<u64>() & width_mask(self.width);
-                self.apply(x) == other.apply(x)
-            })
-        }
+            (0..1 << 14)
+                .map(|_| rng.gen::<u64>() & width_mask(self.width))
+                .collect()
+        };
+        self.apply_batch(&inputs) == other.apply_batch(&inputs)
     }
 
     /// Gate-count statistics.
@@ -251,8 +263,7 @@ impl Circuit {
         let mut negative_controls = 0usize;
         for g in &self.gates {
             *by_controls.entry(g.control_count() as usize).or_insert(0) += 1;
-            negative_controls +=
-                (g.control_count() - g.positive_mask().count_ones()) as usize;
+            negative_controls += (g.control_count() - g.positive_mask().count_ones()) as usize;
         }
         CircuitStats {
             width: self.width,
@@ -276,7 +287,12 @@ impl Extend<Gate> for Circuit {
 
 impl fmt::Debug for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Circuit(width={}, gates={})", self.width, self.gates.len())
+        write!(
+            f,
+            "Circuit(width={}, gates={})",
+            self.width,
+            self.gates.len()
+        )
     }
 }
 

@@ -92,10 +92,7 @@ pub fn without_negative_controls(circuit: &Circuit) -> Circuit {
         for &line in &negatives {
             out.push(Gate::not(line)).expect("line in range");
         }
-        let positives: Vec<Control> = gate
-            .controls()
-            .map(|c| Control::positive(c.line))
-            .collect();
+        let positives: Vec<Control> = gate.controls().map(|c| Control::positive(c.line)).collect();
         out.push(Gate::new(positives, gate.target()).expect("same lines"))
             .expect("line in range");
         for &line in &negatives {
@@ -113,11 +110,7 @@ mod tests {
 
     #[test]
     fn cost_table() {
-        let g5 = Gate::new(
-            (0..5).map(crate::gate::Control::positive),
-            5,
-        )
-        .unwrap();
+        let g5 = Gate::new((0..5).map(crate::gate::Control::positive), 5).unwrap();
         assert_eq!(gate_quantum_cost(&g5), (1 << 6) - 3);
         let g3 = Gate::new((0..3).map(crate::gate::Control::positive), 4).unwrap();
         assert_eq!(gate_quantum_cost(&g3), 13);

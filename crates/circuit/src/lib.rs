@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bits;
 pub mod circuit;
 pub mod cost;
@@ -43,6 +44,10 @@ pub mod transform;
 pub mod truth_table;
 pub mod walsh;
 
+pub use batch::{
+    apply_bitsliced, transpose64, BatchEvaluator, DenseTable, EvalBackend, DENSE_AUTO_MAX_WIDTH,
+    DENSE_MAX_WIDTH,
+};
 pub use bits::{width_mask, Bits, MAX_WIDTH};
 pub use circuit::{Circuit, CircuitStats};
 pub use cost::{circuit_quantum_cost, gate_quantum_cost, without_negative_controls};

@@ -117,7 +117,12 @@ mod tests {
     fn cancellation_through_commuting_gate() {
         let c = Circuit::from_gates(
             4,
-            [Gate::not(0), Gate::cnot(2, 3), Gate::cnot(1, 2), Gate::not(0)],
+            [
+                Gate::not(0),
+                Gate::cnot(2, 3),
+                Gate::cnot(1, 2),
+                Gate::not(0),
+            ],
         )
         .unwrap();
         let opt = peephole_optimize(&c);
@@ -128,8 +133,7 @@ mod tests {
     #[test]
     fn blocked_cancellation_is_left_alone() {
         // NOT(0) cannot slide past CNOT(0→1) (line 0 is its control).
-        let c =
-            Circuit::from_gates(2, [Gate::not(0), Gate::cnot(0, 1), Gate::not(0)]).unwrap();
+        let c = Circuit::from_gates(2, [Gate::not(0), Gate::cnot(0, 1), Gate::not(0)]).unwrap();
         let opt = peephole_optimize(&c);
         assert_eq!(opt.len(), 3);
         assert!(opt.functionally_eq(&c));

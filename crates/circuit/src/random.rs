@@ -146,6 +146,9 @@ mod tests {
         let mut r2 = rand::rngs::StdRng::seed_from_u64(11);
         let c1 = random_function_circuit(4, &mut r1);
         let c2 = random_function_circuit(4, &mut r2);
-        assert!(!c1.functionally_eq(&c2), "collision is vanishingly unlikely");
+        assert!(
+            !c1.functionally_eq(&c2),
+            "collision is vanishingly unlikely"
+        );
     }
 }

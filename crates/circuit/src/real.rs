@@ -75,13 +75,12 @@ pub fn read_real(source: &str) -> Result<Circuit, CircuitError> {
                 "version" | "inputs" | "outputs" | "constants" | "garbage" | "inputbus"
                 | "outputbus" | "state" | "module" => { /* ignored metadata */ }
                 "numvars" => {
-                    let n: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(CircuitError::ParseReal {
+                    let n: usize = parts.next().and_then(|s| s.parse().ok()).ok_or(
+                        CircuitError::ParseReal {
                             line_no,
                             reason: ".numvars needs an integer".to_owned(),
-                        })?;
+                        },
+                    )?;
                     if n == 0 || n > crate::bits::MAX_WIDTH {
                         return Err(CircuitError::ParseReal {
                             line_no,

@@ -211,7 +211,11 @@ mod tests {
     fn check(tt: &TruthTable, strategy: SynthesisStrategy) -> Circuit {
         let c = synthesize(tt, strategy).unwrap();
         for x in 0..tt.len() as u64 {
-            assert_eq!(c.apply(x), tt.apply(x), "strategy {strategy:?} wrong at {x}");
+            assert_eq!(
+                c.apply(x),
+                tt.apply(x),
+                "strategy {strategy:?} wrong at {x}"
+            );
         }
         c
     }

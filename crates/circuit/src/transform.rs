@@ -457,10 +457,7 @@ impl NpTransform {
                 right: pi.width(),
             });
         }
-        let nu = NegationMask::new(
-            pi.inverse().permute_mask(nu_after.mask()),
-            nu_after.width(),
-        )?;
+        let nu = NegationMask::new(pi.inverse().permute_mask(nu_after.mask()), nu_after.width())?;
         Self::new(nu, pi)
     }
 
@@ -648,7 +645,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let t = NpTransform::random(4, &mut rng);
         let tt = t.to_truth_table().unwrap();
-        assert!(tt.then(&t.inverse().to_truth_table().unwrap()).unwrap().is_identity());
+        assert!(tt
+            .then(&t.inverse().to_truth_table().unwrap())
+            .unwrap()
+            .is_identity());
     }
 
     #[test]

@@ -250,13 +250,7 @@ impl fmt::Display for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "x -> f(x)  (width {})", self.width)?;
         for (x, &y) in self.table.iter().enumerate() {
-            writeln!(
-                f,
-                "{:0w$b} -> {:0w$b}",
-                x,
-                y,
-                w = self.width.max(1)
-            )?;
+            writeln!(f, "{:0w$b} -> {:0w$b}", x, y, w = self.width.max(1))?;
         }
         Ok(())
     }
@@ -388,7 +382,10 @@ mod tests {
         let n = 4;
         for k in 0..n {
             let gate = Gate::new((0..k).map(Control::positive), n - 1).unwrap();
-            let tt = Circuit::from_gates(n, [gate]).unwrap().truth_table().unwrap();
+            let tt = Circuit::from_gates(n, [gate])
+                .unwrap()
+                .truth_table()
+                .unwrap();
             assert_eq!(tt.is_even(), k <= n - 2, "k = {k}");
         }
     }

@@ -52,7 +52,12 @@ fn full_adder_semantics() {
 
 #[test]
 fn fixtures_round_trip_through_writer() {
-    for name in ["peres.real", "fredkin3.real", "full_adder.real", "hwb4.real"] {
+    for name in [
+        "peres.real",
+        "fredkin3.real",
+        "full_adder.real",
+        "hwb4.real",
+    ] {
         let c = fixture(name);
         let back = read_real(&write_real(&c)).unwrap();
         assert!(c.functionally_eq(&back), "{name}");
@@ -73,7 +78,12 @@ fn fixtures_resynthesize_exactly() {
 
 #[test]
 fn fixtures_are_bijections() {
-    for name in ["peres.real", "fredkin3.real", "full_adder.real", "hwb4.real"] {
+    for name in [
+        "peres.real",
+        "fredkin3.real",
+        "full_adder.real",
+        "hwb4.real",
+    ] {
         let c = fixture(name);
         // TruthTable construction validates bijectivity.
         assert!(c.truth_table().is_ok(), "{name}");

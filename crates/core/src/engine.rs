@@ -1,0 +1,376 @@
+//! Batch match engine: solve many promise instances concurrently.
+//!
+//! The matchers in this crate solve one promise instance at a time. A
+//! production matching service faces the opposite shape: a stream of
+//! independent instances that should saturate the hardware. This module
+//! is the seed of that serving layer:
+//!
+//! * [`MatchEngine`] fans a slice of [`EngineJob`]s out over a pool of
+//!   OS threads (`std::thread::scope` with an atomic work-stealing
+//!   cursor — no external runtime), one oracle set per job so query
+//!   accounting stays per-instance;
+//! * oracles are optionally **precompiled** ([`Oracle::precompiled`])
+//!   into dense tables, so each probe inside the solvers is a table
+//!   load — combined with the batched probe rounds this is the
+//!   fast path measured by the `batched_oracles` benchmark;
+//! * [`BatchOutcome`] aggregates per-job results with total query and
+//!   wall-clock accounting ([`BatchOutcome::instances_per_sec`]).
+//!
+//! Determinism: job `i` is solved with an RNG seeded from
+//! `seed ⊕ f(i)`, independent of which worker picks it up, so a batch
+//! solve is reproducible under any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use revmatch_circuit::Circuit;
+
+use crate::equivalence::Equivalence;
+use crate::error::MatchError;
+use crate::matchers::{solve_promise, MatcherConfig, ProblemOracles};
+use crate::oracle::Oracle;
+use crate::promise::PromiseInstance;
+use crate::witness::MatchWitness;
+
+/// One matching problem for the engine: a promised pair plus the
+/// resources the solver may assume.
+#[derive(Debug, Clone)]
+pub struct EngineJob {
+    /// The promised equivalence type.
+    pub equivalence: Equivalence,
+    /// The transformed circuit.
+    pub c1: Circuit,
+    /// The base circuit.
+    pub c2: Circuit,
+    /// Whether the solver may derive and use inverse oracles (the
+    /// paper's §3 variant).
+    pub with_inverses: bool,
+}
+
+impl EngineJob {
+    /// Builds a job from a generated [`PromiseInstance`].
+    pub fn from_instance(instance: &PromiseInstance, with_inverses: bool) -> Self {
+        Self {
+            equivalence: instance.equivalence,
+            c1: instance.c1.clone(),
+            c2: instance.c2.clone(),
+            with_inverses,
+        }
+    }
+}
+
+/// Result of one engine job.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The recovered witness, or why matching failed.
+    pub witness: Result<MatchWitness, MatchError>,
+    /// Oracle queries this job spent (across all its oracles).
+    pub queries: u64,
+}
+
+/// Aggregate result of a batch solve.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-job reports, in job order.
+    pub reports: Vec<JobReport>,
+    /// Total oracle queries across all jobs.
+    pub total_queries: u64,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchOutcome {
+    /// Number of jobs whose witness was recovered.
+    pub fn solved(&self) -> usize {
+        self.reports.iter().filter(|r| r.witness.is_ok()).count()
+    }
+
+    /// Batch throughput in instances per second.
+    pub fn instances_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.reports.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A reusable concurrent solver for batches of promise instances.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use revmatch::{random_instance, EngineJob, Equivalence, MatchEngine, MatcherConfig, Side};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let jobs: Vec<EngineJob> = (0..8)
+///     .map(|_| {
+///         let inst = random_instance(Equivalence::new(Side::Np, Side::I), 5, &mut rng);
+///         EngineJob::from_instance(&inst, true)
+///     })
+///     .collect();
+/// let engine = MatchEngine::new(MatcherConfig::default()).with_workers(4);
+/// let outcome = engine.solve_batch(&jobs, 7);
+/// assert_eq!(outcome.solved(), 8);
+/// # Ok::<(), revmatch::MatchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchEngine {
+    config: MatcherConfig,
+    workers: usize,
+    precompile: bool,
+}
+
+impl MatchEngine {
+    /// An engine with one worker per available CPU and precompiled
+    /// oracles enabled.
+    pub fn new(config: MatcherConfig) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self {
+            config,
+            workers,
+            precompile: true,
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables or disables eager [`Oracle::precompiled`] dense-table
+    /// backends (enabled by default; disable to measure the gate-walk
+    /// path or to bound per-job memory).
+    #[must_use]
+    pub fn with_precompiled_oracles(mut self, precompile: bool) -> Self {
+        self.precompile = precompile;
+        self
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Solves one job (the worker body), returning its report.
+    fn solve_job(&self, job: &EngineJob, seed: u64) -> JobReport {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let wrap = |c: Circuit| {
+            if self.precompile {
+                Oracle::precompiled(c)
+            } else {
+                Oracle::new(c)
+            }
+        };
+        let c1 = wrap(job.c1.clone());
+        let c2 = wrap(job.c2.clone());
+        let (c1_inv, c2_inv) = if job.with_inverses {
+            (Some(c1.inverse_oracle()), Some(c2.inverse_oracle()))
+        } else {
+            (None, None)
+        };
+        let oracles = ProblemOracles {
+            c1: &c1,
+            c2: &c2,
+            c1_inv: c1_inv.as_ref(),
+            c2_inv: c2_inv.as_ref(),
+        };
+        let witness = solve_promise(job.equivalence, &oracles, &self.config, &mut rng);
+        JobReport {
+            witness,
+            queries: oracles.total_queries(),
+        }
+    }
+
+    /// Solves every job, fanning out over the worker pool.
+    ///
+    /// Results come back in job order. `seed` makes the whole batch
+    /// deterministic (each job's RNG depends only on `seed` and its
+    /// index, not on scheduling).
+    pub fn solve_batch(&self, jobs: &[EngineJob], seed: u64) -> BatchOutcome {
+        let start = Instant::now();
+        let mut slots: Vec<Option<JobReport>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        let slots = Mutex::new(slots);
+        let cursor = AtomicUsize::new(0);
+        let workers = self.workers.min(jobs.len()).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    // SplitMix-style index whitening keeps per-job seeds
+                    // decorrelated.
+                    let job_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let report = self.solve_job(&jobs[i], job_seed);
+                    slots.lock().expect("no poisoned workers")[i] = Some(report);
+                });
+            }
+        });
+
+        let reports: Vec<JobReport> = slots
+            .into_inner()
+            .expect("scope joined all workers")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
+        let total_queries = reports.iter().map(|r| r.queries).sum();
+        BatchOutcome {
+            reports,
+            total_queries,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Convenience wrapper: solve a slice of generated instances.
+    pub fn solve_instances(
+        &self,
+        instances: &[PromiseInstance],
+        with_inverses: bool,
+        seed: u64,
+    ) -> BatchOutcome {
+        let jobs: Vec<EngineJob> = instances
+            .iter()
+            .map(|inst| EngineJob::from_instance(inst, with_inverses))
+            .collect();
+        self.solve_batch(&jobs, seed)
+    }
+}
+
+/// Generates a reproducible batch of promise instances for load tests
+/// and benchmarks (reproducibility comes from the caller's `rng` seed).
+pub fn random_job_batch(
+    equivalence: Equivalence,
+    width: usize,
+    count: usize,
+    with_inverses: bool,
+    rng: &mut impl Rng,
+) -> Vec<EngineJob> {
+    (0..count)
+        .map(|_| {
+            let inst = crate::promise::random_instance(equivalence, width, rng);
+            EngineJob::from_instance(&inst, with_inverses)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::Side;
+    use crate::lattice::classify;
+    use crate::promise::random_instance;
+    use crate::verify::{check_witness, VerifyMode};
+
+    fn tractable_batch(width: usize, per_type: usize) -> (Vec<EngineJob>, Vec<PromiseInstance>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xE51E);
+        let mut jobs = Vec::new();
+        let mut instances = Vec::new();
+        for e in Equivalence::all() {
+            if !classify(e).is_tractable() {
+                continue;
+            }
+            for _ in 0..per_type {
+                let inst = random_instance(e, width, &mut rng);
+                jobs.push(EngineJob::from_instance(&inst, true));
+                instances.push(inst);
+            }
+        }
+        (jobs, instances)
+    }
+
+    #[test]
+    fn solves_mixed_batch_and_witnesses_verify() {
+        let (jobs, instances) = tractable_batch(5, 2);
+        let engine = MatchEngine::new(MatcherConfig::with_epsilon(1e-6)).with_workers(4);
+        let outcome = engine.solve_batch(&jobs, 99);
+        assert_eq!(outcome.reports.len(), jobs.len());
+        assert_eq!(outcome.solved(), jobs.len());
+        assert!(outcome.total_queries > 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for (report, inst) in outcome.reports.iter().zip(&instances) {
+            let w = report.witness.as_ref().expect("tractable job solved");
+            assert!(
+                check_witness(&inst.c1, &inst.c2, w, VerifyMode::Exhaustive, &mut rng).unwrap(),
+                "{}",
+                inst.equivalence
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_any_worker_count() {
+        let (jobs, _) = tractable_batch(4, 1);
+        let engine = MatchEngine::new(MatcherConfig::with_epsilon(1e-6));
+        let single = engine.clone().with_workers(1).solve_batch(&jobs, 7);
+        let many = engine.with_workers(8).solve_batch(&jobs, 7);
+        for (a, b) in single.reports.iter().zip(&many.reports) {
+            assert_eq!(a.queries, b.queries);
+            match (&a.witness, &b.witness) {
+                (Ok(wa), Ok(wb)) => assert_eq!(wa, wb),
+                (Err(_), Err(_)) => {}
+                _ => panic!("worker count changed a job outcome"),
+            }
+        }
+    }
+
+    #[test]
+    fn precompile_toggle_does_not_change_results_or_counts() {
+        let (jobs, _) = tractable_batch(5, 1);
+        let base = MatchEngine::new(MatcherConfig::with_epsilon(1e-6)).with_workers(2);
+        let fast = base.clone().solve_batch(&jobs, 3);
+        let slow = base.with_precompiled_oracles(false).solve_batch(&jobs, 3);
+        assert_eq!(fast.total_queries, slow.total_queries);
+        for (a, b) in fast.reports.iter().zip(&slow.reports) {
+            assert_eq!(a.witness.as_ref().ok(), b.witness.as_ref().ok());
+        }
+    }
+
+    #[test]
+    fn intractable_jobs_report_errors_not_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let inst = random_instance(Equivalence::new(Side::N, Side::N), 3, &mut rng);
+        let jobs = vec![EngineJob::from_instance(&inst, false)];
+        let outcome = MatchEngine::new(MatcherConfig::default()).solve_batch(&jobs, 0);
+        assert_eq!(outcome.solved(), 0);
+        assert!(matches!(
+            outcome.reports[0].witness,
+            Err(MatchError::Intractable { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let outcome = MatchEngine::new(MatcherConfig::default()).solve_batch(&[], 0);
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.total_queries, 0);
+        assert_eq!(outcome.solved(), 0);
+    }
+
+    #[test]
+    fn throughput_metric_is_positive() {
+        let (jobs, _) = tractable_batch(4, 1);
+        let outcome = MatchEngine::new(MatcherConfig::default()).solve_batch(&jobs, 1);
+        assert!(outcome.instances_per_sec() > 0.0);
+        assert!(outcome.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn random_job_batch_generates_requested_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let jobs = random_job_batch(Equivalence::new(Side::I, Side::P), 4, 6, true, &mut rng);
+        assert_eq!(jobs.len(), 6);
+        assert!(jobs.iter().all(|j| j.c1.width() == 4 && j.with_inverses));
+    }
+}

@@ -47,9 +47,7 @@ impl Side {
     /// permutations `n!`, both `2^n · n!`), **saturating** at `u128::MAX`
     /// (the factorial overflows past width 33).
     pub fn class_size(self, width: usize) -> u128 {
-        let negs = 1u128
-            .checked_shl(width as u32)
-            .unwrap_or(u128::MAX);
+        let negs = 1u128.checked_shl(width as u32).unwrap_or(u128::MAX);
         let perms = (1..=width as u128)
             .try_fold(1u128, |acc, k| acc.checked_mul(k))
             .unwrap_or(u128::MAX);

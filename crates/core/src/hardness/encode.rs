@@ -261,9 +261,8 @@ mod tests {
             for a in [0u64, 1] {
                 let input = x | (a << l.a_line(0));
                 let out = c.apply(input);
-                let clause_val = cnf.clauses()[0].eval(
-                    &(0..3).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>(),
-                );
+                let clause_val =
+                    cnf.clauses()[0].eval(&(0..3).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>());
                 let expect_a = a ^ u64::from(clause_val);
                 assert_eq!((out >> l.a_line(0)) & 1, expect_a, "x={x} a={a}");
                 // x lines unchanged.

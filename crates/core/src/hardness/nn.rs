@@ -139,8 +139,7 @@ mod tests {
                 continue;
             }
             let w = red.solve_via_sat().expect("satisfiable by construction");
-            assert!(check_witness(&red.c1, &red.c2, &w, VerifyMode::Exhaustive, &mut rng)
-                .unwrap());
+            assert!(check_witness(&red.c1, &red.c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap());
             assert_eq!(red.assignment_from_witness(&w), planted.assignment);
         }
     }
@@ -155,12 +154,8 @@ mod tests {
         assert!(red.solve_via_sat().is_none());
         // Brute force over all (ν_y, ν_x) confirms non-equivalence
         // (Theorem 2's "only if" direction).
-        let found = brute_force_match(
-            &red.c1,
-            &red.c2,
-            Equivalence::new(Side::N, Side::N),
-        )
-        .unwrap();
+        let found =
+            brute_force_match(&red.c1, &red.c2, Equivalence::new(Side::N, Side::N)).unwrap();
         assert!(found.is_none(), "UNSAT instance must not match");
     }
 

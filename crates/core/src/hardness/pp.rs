@@ -138,7 +138,11 @@ mod tests {
         assert_eq!(dr.num_vars(), 4);
         assert_eq!(dr.num_clauses(), cnf.num_clauses() + 4);
         // The extended model (x*, x̄*) satisfies φ′.
-        let extended: Vec<bool> = model.iter().copied().chain(model.iter().map(|&b| !b)).collect();
+        let extended: Vec<bool> = model
+            .iter()
+            .copied()
+            .chain(model.iter().map(|&b| !b))
+            .collect();
         assert!(dr.eval(&extended));
         // φ′ has exactly one model too.
         assert_eq!(dr.count_models_exhaustive(3), 1);

@@ -120,17 +120,13 @@ pub fn identify_equivalence(
         let candidate = if classify(e).is_tractable() {
             let oracles = ProblemOracles::with_inverses(&o1, &o2, &o1_inv, &o2_inv);
             solve_promise(e, &oracles, &options.config, rng).ok()
-        } else if options.allow_brute_force
-            && n <= crate::matchers::BRUTE_FORCE_MAX_WIDTH
-        {
+        } else if options.allow_brute_force && n <= crate::matchers::BRUTE_FORCE_MAX_WIDTH {
             brute_force_match(c1, c2, e)?
         } else {
             None
         };
         if let Some(witness) = candidate {
-            if witness.conforms_to(e)
-                && check_witness(c1, c2, &witness, options.verify, rng)?
-            {
+            if witness.conforms_to(e) && check_witness(c1, c2, &witness, options.verify, rng)? {
                 return Ok(Some(Identification {
                     equivalence: e,
                     witness,
@@ -153,14 +149,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for e in Equivalence::all() {
             let inst = random_instance(e, 4, &mut rng);
-            let found = identify_equivalence(
-                &inst.c1,
-                &inst.c2,
-                &IdentifyOptions::default(),
-                &mut rng,
-            )
-            .unwrap()
-            .unwrap_or_else(|| panic!("{e}: no class identified"));
+            let found =
+                identify_equivalence(&inst.c1, &inst.c2, &IdentifyOptions::default(), &mut rng)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{e}: no class identified"));
             // The found class must be minimal: it is subsumed by the
             // planted class OR incomparable-but-valid (both witnessed).
             assert!(
@@ -207,8 +199,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let a = revmatch_circuit::random_function_circuit(4, &mut rng);
         let b = revmatch_circuit::random_function_circuit(4, &mut rng);
-        let found =
-            identify_equivalence(&a, &b, &IdentifyOptions::default(), &mut rng).unwrap();
+        let found = identify_equivalence(&a, &b, &IdentifyOptions::default(), &mut rng).unwrap();
         assert!(found.is_none(), "random pair matched: {found:?}");
     }
 
@@ -250,8 +241,6 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let a = Circuit::new(2);
         let b = Circuit::new(3);
-        assert!(
-            identify_equivalence(&a, &b, &IdentifyOptions::default(), &mut rng).is_err()
-        );
+        assert!(identify_equivalence(&a, &b, &IdentifyOptions::default(), &mut rng).is_err());
     }
 }

@@ -59,7 +59,7 @@ impl fmt::Display for Complexity {
 /// # Ok::<(), revmatch::MatchError>(())
 /// ```
 pub fn classify(e: Equivalence) -> Complexity {
-    use Side::{I, N, Np, P};
+    use Side::{Np, I, N, P};
     match (e.x, e.y) {
         (I, I) | (I, N) | (I, P) | (I, Np) | (P, I) | (P, N) => Complexity::ClassicalEasy,
         (N, I) | (Np, I) => Complexity::QuantumEasy,
@@ -93,9 +93,9 @@ pub fn hasse_edges() -> Vec<DominationEdge> {
             if a == b || !a.subsumes(b) {
                 continue;
             }
-            let covered = !all.iter().any(|&c| {
-                c != a && c != b && a.subsumes(c) && c.subsumes(b)
-            });
+            let covered = !all
+                .iter()
+                .any(|&c| c != a && c != b && a.subsumes(c) && c.subsumes(b));
             if covered {
                 edges.push(DominationEdge { from: a, to: b });
             }
@@ -252,10 +252,8 @@ mod tests {
         // 4*4 (side-x edges times y-nodes) + 4*4 = 32 edges.
         assert_eq!(edges.len(), 32);
         // Top covers exactly its four lower neighbours.
-        let from_top: Vec<&DominationEdge> = edges
-            .iter()
-            .filter(|d| d.from == e("NP-NP"))
-            .collect();
+        let from_top: Vec<&DominationEdge> =
+            edges.iter().filter(|d| d.from == e("NP-NP")).collect();
         assert_eq!(from_top.len(), 4);
         // Every edge is a strict domination.
         for d in &edges {

@@ -56,16 +56,47 @@
 //! * [`matchers`] — every algorithm of Table 1, the classical collision
 //!   baseline of Theorem 1, the Simon-style hidden-shift matcher, a
 //!   brute-force matcher and witness counting;
+//! * [`engine`] — the concurrent batch engine solving many promise
+//!   instances at once with aggregate accounting;
 //! * [`hardness`] — the Fig. 5 UNIQUE-SAT encodings behind Theorems 2–3;
 //! * [`miter`] — complete SAT-based equivalence/witness checking with
 //!   counterexamples;
 //! * [`identify`] — minimal-class identification for non-promised pairs;
 //! * [`promise`], [`verify`], [`witness`] — instance generation, witness
 //!   types and the single-round validation.
+//!
+//! ## Batched probes and backend selection
+//!
+//! Every classical probe loop in [`matchers`] issues its probes through
+//! [`oracle::ClassicalOracle::query_batch`]: the binary-code rounds of
+//! §4.2, the one-hot scans of §4.4, the randomized signature rounds of
+//! Eq. 1 and the Theorem-1 collision sweeps all hand the oracle one
+//! probe group per round. A batch of `k` probes always counts exactly
+//! `k` oracle queries — batching changes execution, never the paper's
+//! accounting.
+//!
+//! Execution backends (see `revmatch_circuit::batch`):
+//!
+//! * **bit-sliced** — 64 probes are transposed into per-line `u64`
+//!   lanes and the gate cascade is walked once per block; the default
+//!   for every [`Oracle`].
+//! * **dense table** — [`Oracle::precompiled`] compiles circuits of
+//!   width ≤ 20 into a `2^n` lookup table (built with one bit-sliced
+//!   sweep), making each probe a single load. The automatic rule
+//!   (`EvalBackend::select`) picks dense tables at width ≤ 16 — the
+//!   table costs ≤ 512 KiB and amortizes after `2^n / 64` probes —
+//!   and bit-slicing beyond.
+//!
+//! The [`engine`] module scales this across instances:
+//! [`MatchEngine::solve_batch`] solves a slice of [`EngineJob`]s on a
+//! thread pool with deterministic per-job seeding and aggregate
+//! query/latency accounting — see its module docs for the serving-layer
+//! design.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod equivalence;
 pub mod error;
 pub mod hardness;
@@ -78,18 +109,18 @@ pub mod promise;
 pub mod verify;
 pub mod witness;
 
+pub use engine::{random_job_batch, BatchOutcome, EngineJob, JobReport, MatchEngine};
 pub use equivalence::{Equivalence, Side};
 pub use error::MatchError;
 pub use hardness::{dual_rail, NnReduction, PpReduction, SatLayout};
 pub use identify::{identify_equivalence, Identification, IdentifyOptions};
 pub use lattice::{classify, hasse_dot, hasse_edges, render_lattice, Complexity, DominationEdge};
 pub use matchers::{
-    brute_force_match, count_witnesses, match_i_n, match_i_np_randomized, match_i_np_via_c1_inverse,
-    match_i_np_via_c2_inverse, match_i_p_randomized, match_i_p_via_c1_inverse,
-    match_i_p_via_c2_inverse, match_n_i_collision, match_n_i_quantum, match_n_i_simon,
-    match_n_i_via_c1_inverse,
-    match_n_i_via_c2_inverse, match_n_p_via_inverses, match_np_i_quantum,
-    match_np_i_via_c1_inverse, match_np_i_via_c2_inverse, match_p_i_one_hot,
+    brute_force_match, count_witnesses, match_i_n, match_i_np_randomized,
+    match_i_np_via_c1_inverse, match_i_np_via_c2_inverse, match_i_p_randomized,
+    match_i_p_via_c1_inverse, match_i_p_via_c2_inverse, match_n_i_collision, match_n_i_quantum,
+    match_n_i_simon, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse, match_n_p_via_inverses,
+    match_np_i_quantum, match_np_i_via_c1_inverse, match_np_i_via_c2_inverse, match_p_i_one_hot,
     match_p_i_via_c1_inverse, match_p_i_via_c2_inverse, match_p_n, match_p_n_via_inverses,
     solve_promise, CollisionOutcome, MatcherConfig, ProblemOracles, SimonOutcome,
 };
@@ -135,8 +166,14 @@ mod dispatcher_tests {
                     .unwrap_or_else(|err| panic!("{e} (inverses: {with_inverses}): {err}"));
                 assert!(witness.conforms_to(e), "{e}");
                 assert!(
-                    check_witness(&inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, &mut rng)
-                        .unwrap(),
+                    check_witness(
+                        &inst.c1,
+                        &inst.c2,
+                        &witness,
+                        VerifyMode::Exhaustive,
+                        &mut rng
+                    )
+                    .unwrap(),
                     "{e} (inverses: {with_inverses}) returned a wrong witness"
                 );
             }
@@ -199,14 +236,10 @@ mod dispatcher_tests {
             let brute = brute_force_match(&inst.c1, &inst.c2, e).unwrap().unwrap();
             // Witnesses may differ; both must verify.
             for w in [fast, brute] {
-                assert!(check_witness(
-                    &inst.c1,
-                    &inst.c2,
-                    &w,
-                    VerifyMode::Exhaustive,
-                    &mut rng
-                )
-                .unwrap());
+                assert!(
+                    check_witness(&inst.c1, &inst.c2, &w, VerifyMode::Exhaustive, &mut rng)
+                        .unwrap()
+                );
             }
         }
     }
@@ -269,7 +302,7 @@ mod proptests {
             // Mix of equivalent and non-equivalent pairs.
             let a = revmatch_circuit::random_circuit(
                 &revmatch_circuit::RandomCircuitSpec::for_width(w), &mut rng);
-            let b = if seed % 2 == 0 {
+            let b = if seed.is_multiple_of(2) {
                 // Structurally different, functionally equal.
                 revmatch_circuit::synthesize(
                     &a.truth_table().unwrap(),

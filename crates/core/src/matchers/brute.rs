@@ -132,11 +132,7 @@ fn recognize_np_map(map: &[u64], n: usize, side: Side) -> Option<NpTransform> {
 
 /// Enumerates every transform in the class `side` over `n` lines, calling
 /// `f` until it returns `true` (found).
-fn for_each_side_transform(
-    side: Side,
-    n: usize,
-    mut f: impl FnMut(&NpTransform) -> bool,
-) -> bool {
+fn for_each_side_transform(side: Side, n: usize, mut f: impl FnMut(&NpTransform) -> bool) -> bool {
     let masks: Box<dyn Iterator<Item = u64>> = match side {
         Side::I | Side::P => Box::new(std::iter::once(0u64)),
         Side::N | Side::Np => Box::new(0..1u64 << n),
@@ -335,8 +331,7 @@ mod tests {
         // equivalent at width 4 (the class has 256 candidates vs 16! pairs).
         let a = revmatch_circuit::random_function_circuit(4, &mut rng);
         let b = revmatch_circuit::random_function_circuit(4, &mut rng);
-        let found =
-            brute_force_match(&a, &b, Equivalence::new(Side::N, Side::N)).unwrap();
+        let found = brute_force_match(&a, &b, Equivalence::new(Side::N, Side::N)).unwrap();
         assert!(found.is_none());
     }
 
@@ -415,11 +410,8 @@ mod tests {
         // A generic random function typically has a unique NP-I witness.
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let c = revmatch_circuit::random_function_circuit(4, &mut rng);
-        let inst = crate::promise::random_instance_from(
-            c,
-            Equivalence::new(Side::Np, Side::I),
-            &mut rng,
-        );
+        let inst =
+            crate::promise::random_instance_from(c, Equivalence::new(Side::Np, Side::I), &mut rng);
         let count =
             count_witnesses(&inst.c1, &inst.c2, Equivalence::new(Side::Np, Side::I)).unwrap();
         assert!(count >= 1);

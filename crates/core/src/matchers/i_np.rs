@@ -29,12 +29,15 @@ pub fn match_i_np_via_c2_inverse(
 ) -> Result<NpTransform, MatchError> {
     let n = ensure_same_width(c1, c2_inv)?;
     // C(x) = C1(C2⁻¹(x)) = π(x ⊕ ν) = π(x) ⊕ ν′ with ν′ = π(ν).
+    // One batched round: the all-zeros probe plus the binary-code probes.
     let composite = ComposedOracle::new(c2_inv, c1)?;
-    let nu_after = composite.query(0);
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p) ^ nu_after)
-        .collect();
+    let mut probes = vec![0u64];
+    probes.extend(binary_code_patterns(n));
+    let mut responses = composite.query_batch(&probes);
+    let nu_after = responses.remove(0);
+    for r in &mut responses {
+        *r ^= nu_after;
+    }
     let pi = decode_permutation(n, &responses)?;
     let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
     NpTransform::from_exchanged(nu_after, pi).map_err(MatchError::from)
@@ -52,12 +55,15 @@ pub fn match_i_np_via_c1_inverse(
 ) -> Result<NpTransform, MatchError> {
     let n = ensure_same_width(c1_inv, c2)?;
     // D(x) = C2(C1⁻¹(x)) = ν ⊕ π⁻¹(x): the inverse of the output transform.
+    // One batched round: the all-zeros probe plus the binary-code probes.
     let composite = ComposedOracle::new(c1_inv, c2)?;
-    let nu = composite.query(0);
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p) ^ nu)
-        .collect();
+    let mut probes = vec![0u64];
+    probes.extend(binary_code_patterns(n));
+    let mut responses = composite.query_batch(&probes);
+    let nu = responses.remove(0);
+    for r in &mut responses {
+        *r ^= nu;
+    }
     let pi_inv = decode_permutation(n, &responses)?;
     let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
     // D = C_ν ∘ C_{π⁻¹} (permute first, then negate) = exchanged form;
@@ -81,13 +87,19 @@ pub fn match_i_np_randomized(
 ) -> Result<NpTransform, MatchError> {
     let n = ensure_same_width(c1, c2)?;
     let k = randomized_rounds(n, epsilon);
-    let all_ones: u128 = if k == 128 { u128::MAX } else { (1u128 << k) - 1 };
+    let all_ones: u128 = if k == 128 {
+        u128::MAX
+    } else {
+        (1u128 << k) - 1
+    };
+    // All k random probes are drawn up front and issued as one batch per
+    // oracle (2k queries total, exactly as the per-probe loop charged).
+    let probes: Vec<u64> = (0..k).map(|_| rng.gen::<u64>() & width_mask(n)).collect();
+    let ys1 = c1.query_batch(&probes);
+    let ys2 = c2.query_batch(&probes);
     let mut sig1 = vec![0u128; n];
     let mut sig2 = vec![0u128; n];
-    for t in 0..k {
-        let x = rng.gen::<u64>() & width_mask(n);
-        let y1 = c1.query(x);
-        let y2 = c2.query(x);
+    for (t, (&y1, &y2)) in ys1.iter().zip(&ys2).enumerate() {
         for q in 0..n {
             sig1[q] |= u128::from((y1 >> q) & 1) << t;
             sig2[q] |= u128::from((y2 >> q) & 1) << t;

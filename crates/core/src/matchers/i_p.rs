@@ -28,12 +28,9 @@ pub fn match_i_p_via_c2_inverse(
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
     let n = ensure_same_width(c1, c2_inv)?;
-    // C(x) = C1(C2⁻¹(x)) = π(x).
+    // C(x) = C1(C2⁻¹(x)) = π(x); one batched round of ⌈log2 n⌉ probes.
     let composite = ComposedOracle::new(c2_inv, c1)?;
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p))
-        .collect();
+    let responses = composite.query_batch(&binary_code_patterns(n));
     decode_permutation(n, &responses)
 }
 
@@ -47,12 +44,9 @@ pub fn match_i_p_via_c1_inverse(
     c2: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
     let n = ensure_same_width(c1_inv, c2)?;
-    // C(x) = C2(C1⁻¹(x)) = π⁻¹(x).
+    // C(x) = C2(C1⁻¹(x)) = π⁻¹(x); one batched round of ⌈log2 n⌉ probes.
     let composite = ComposedOracle::new(c1_inv, c2)?;
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p))
-        .collect();
+    let responses = composite.query_batch(&binary_code_patterns(n));
     Ok(decode_permutation(n, &responses)?.inverse())
 }
 
@@ -73,12 +67,14 @@ pub fn match_i_p_randomized(
 ) -> Result<LinePermutation, MatchError> {
     let n = ensure_same_width(c1, c2)?;
     let k = randomized_rounds(n, epsilon);
+    // All k random probes are drawn up front and issued as one batch per
+    // oracle (2k queries total, exactly as the per-probe loop charged).
+    let probes: Vec<u64> = (0..k).map(|_| rng.gen::<u64>() & width_mask(n)).collect();
+    let ys1 = c1.query_batch(&probes);
+    let ys2 = c2.query_batch(&probes);
     let mut sig1 = vec![0u128; n];
     let mut sig2 = vec![0u128; n];
-    for t in 0..k {
-        let x = rng.gen::<u64>() & width_mask(n);
-        let y1 = c1.query(x);
-        let y2 = c2.query(x);
+    for (t, (&y1, &y2)) in ys1.iter().zip(&ys2).enumerate() {
         for q in 0..n {
             sig1[q] |= u128::from((y1 >> q) & 1) << t;
             sig2[q] |= u128::from((y2 >> q) & 1) << t;
@@ -195,11 +191,8 @@ mod tests {
         // if Ok.
         if let Ok(pi) = match_i_p_via_c2_inverse(&c1, &c2_inv) {
             let witness = crate::MatchWitness::output_only(
-                revmatch_circuit::NpTransform::new(
-                    revmatch_circuit::NegationMask::identity(3),
-                    pi,
-                )
-                .unwrap(),
+                revmatch_circuit::NpTransform::new(revmatch_circuit::NegationMask::identity(3), pi)
+                    .unwrap(),
             );
             let ok = crate::check_witness(
                 c1.circuit(),

@@ -29,7 +29,9 @@ mod np_i;
 mod p_i;
 mod p_n;
 
-pub use brute::{brute_force_match, brute_force_match_tables, count_witnesses, BRUTE_FORCE_MAX_WIDTH};
+pub use brute::{
+    brute_force_match, brute_force_match_tables, count_witnesses, BRUTE_FORCE_MAX_WIDTH,
+};
 pub use i_n::match_i_n;
 pub use i_np::{match_i_np_randomized, match_i_np_via_c1_inverse, match_i_np_via_c2_inverse};
 pub use i_p::{match_i_p_randomized, match_i_p_via_c1_inverse, match_i_p_via_c2_inverse};
@@ -166,21 +168,15 @@ pub fn solve_promise(
     config: &MatcherConfig,
     rng: &mut impl Rng,
 ) -> Result<MatchWitness, MatchError> {
-    use Side::{I, N, Np, P};
+    use Side::{Np, I, N, P};
     let width = ClassicalOracle::width(oracles.c1);
     let make_n = |mask: revmatch_circuit::NegationMask| {
-        revmatch_circuit::NpTransform::new(
-            mask,
-            revmatch_circuit::LinePermutation::identity(width),
-        )
-        .expect("same width")
+        revmatch_circuit::NpTransform::new(mask, revmatch_circuit::LinePermutation::identity(width))
+            .expect("same width")
     };
     let make_p = |pi: revmatch_circuit::LinePermutation| {
-        revmatch_circuit::NpTransform::new(
-            revmatch_circuit::NegationMask::identity(width),
-            pi,
-        )
-        .expect("same width")
+        revmatch_circuit::NpTransform::new(revmatch_circuit::NegationMask::identity(width), pi)
+            .expect("same width")
     };
     match (equivalence.x, equivalence.y) {
         (I, I) => Ok(MatchWitness::identity(width)),

@@ -235,8 +235,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for w in 1..=6 {
             for _ in 0..3 {
-                let inst =
-                    random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+                let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
                 let c1 = Oracle::new(inst.c1.clone());
                 let c2 = Oracle::new(inst.c2.clone());
                 let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
@@ -264,7 +263,10 @@ mod tests {
         let avg = total_rounds as f64 / trials as f64;
         // Expected n + ~1.6 rounds; generous bound.
         assert!(avg < (w + 4) as f64, "average rounds {avg} too high");
-        assert!(avg >= w as f64, "cannot solve with fewer than n constraints");
+        assert!(
+            avg >= w as f64,
+            "cannot solve with fewer than n constraints"
+        );
     }
 
     #[test]
@@ -298,8 +300,7 @@ mod tests {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().nu;
-            let alg1 =
-                crate::matchers::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+            let alg1 = crate::matchers::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
             assert_eq!(simon, alg1, "width {w}");
         }
     }

@@ -39,13 +39,11 @@ pub fn match_n_p_via_inverses(
     // all-zeros input erases the permutation: C1⁻¹(0) ⊕ C2⁻¹(0) = ν.
     let nu_mask = c1_inv.query(0) ^ c2_inv.query(0);
     let nu = NegationMask::new(nu_mask, n).map_err(|_| MatchError::PromiseViolated)?;
-    // π from the composite C1 ∘ (ν ⊕ C2⁻¹) = C_π.
+    // π from the composite C1 ∘ (ν ⊕ C2⁻¹) = C_π, decoded from one
+    // batched round of ⌈log2 n⌉ probes.
     let masked = XorOutputOracle::new(c2_inv, nu_mask);
     let composite = ComposedOracle::new(&masked, c1)?;
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p))
-        .collect();
+    let responses = composite.query_batch(&binary_code_patterns(n));
     let pi = decode_permutation(n, &responses)?;
     Ok((nu, pi))
 }

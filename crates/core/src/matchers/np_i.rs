@@ -12,9 +12,7 @@ use revmatch_circuit::{NegationMask, NpTransform};
 use revmatch_quantum::{swap_test, ProductState, Qubit};
 
 use crate::error::MatchError;
-use crate::matchers::{
-    binary_code_patterns, decode_permutation, ensure_same_width, MatcherConfig,
-};
+use crate::matchers::{binary_code_patterns, decode_permutation, ensure_same_width, MatcherConfig};
 use crate::oracle::{ClassicalOracle, ComposedOracle, QuantumOracle};
 
 /// Finds the input transform `(ν, π)` with `C1 = C2 C_π C_ν`, given `C2⁻¹`
@@ -29,12 +27,15 @@ pub fn match_np_i_via_c2_inverse(
 ) -> Result<NpTransform, MatchError> {
     let n = ensure_same_width(c1, c2_inv)?;
     // C(x) = C2⁻¹(C1(x)) = π(x ⊕ ν) = π(x) ⊕ ν′, ν′ = π(ν).
+    // One batched round: the all-zeros probe plus the binary-code probes.
     let composite = ComposedOracle::new(c1, c2_inv)?;
-    let nu_after = composite.query(0);
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p) ^ nu_after)
-        .collect();
+    let mut probes = vec![0u64];
+    probes.extend(binary_code_patterns(n));
+    let mut responses = composite.query_batch(&probes);
+    let nu_after = responses.remove(0);
+    for r in &mut responses {
+        *r ^= nu_after;
+    }
     let pi = decode_permutation(n, &responses)?;
     let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
     NpTransform::from_exchanged(nu_after, pi).map_err(MatchError::from)
@@ -52,12 +53,15 @@ pub fn match_np_i_via_c1_inverse(
 ) -> Result<NpTransform, MatchError> {
     let n = ensure_same_width(c1_inv, c2)?;
     // D(x) = C1⁻¹(C2(x)) = ν ⊕ π⁻¹(x): the inverse input transform.
+    // One batched round: the all-zeros probe plus the binary-code probes.
     let composite = ComposedOracle::new(c2, c1_inv)?;
-    let nu = composite.query(0);
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p) ^ nu)
-        .collect();
+    let mut probes = vec![0u64];
+    probes.extend(binary_code_patterns(n));
+    let mut responses = composite.query_batch(&probes);
+    let nu = responses.remove(0);
+    for r in &mut responses {
+        *r ^= nu;
+    }
     let pi_inv = decode_permutation(n, &responses)?;
     let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
     // D = (C_π C_ν)⁻¹ in exchanged form (permute by π⁻¹, then negate by ν).
@@ -125,8 +129,8 @@ pub fn match_np_i_quantum(
             return Err(MatchError::PromiseViolated);
         }
     }
-    let pi = revmatch_circuit::LinePermutation::new(map)
-        .map_err(|_| MatchError::PromiseViolated)?;
+    let pi =
+        revmatch_circuit::LinePermutation::new(map).map_err(|_| MatchError::PromiseViolated)?;
     // Phase 2: locate ν with permuted |0⟩ probes.
     let mut nu = 0u64;
     for i in 0..n {

@@ -23,12 +23,9 @@ pub fn match_p_i_via_c2_inverse(
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
     let n = ensure_same_width(c1, c2_inv)?;
-    // C(x) = C2⁻¹(C1(x)) = π(x).
+    // C(x) = C2⁻¹(C1(x)) = π(x); one batched round of ⌈log2 n⌉ probes.
     let composite = ComposedOracle::new(c1, c2_inv)?;
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p))
-        .collect();
+    let responses = composite.query_batch(&binary_code_patterns(n));
     decode_permutation(n, &responses)
 }
 
@@ -42,12 +39,9 @@ pub fn match_p_i_via_c1_inverse(
     c2: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
     let n = ensure_same_width(c1_inv, c2)?;
-    // C(x) = C1⁻¹(C2(x)) = π⁻¹(x).
+    // C(x) = C1⁻¹(C2(x)) = π⁻¹(x); one batched round of ⌈log2 n⌉ probes.
     let composite = ComposedOracle::new(c2, c1_inv)?;
-    let responses: Vec<u64> = binary_code_patterns(n)
-        .iter()
-        .map(|&p| composite.query(p))
-        .collect();
+    let responses = composite.query_batch(&binary_code_patterns(n));
     Ok(decode_permutation(n, &responses)?.inverse())
 }
 
@@ -66,15 +60,16 @@ pub fn match_p_i_one_hot(
     c2: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
     let n = ensure_same_width(c1, c2)?;
+    // One batched one-hot scan per oracle: n probes each.
+    let one_hots: Vec<u64> = (0..n).map(|j| Bits::one_hot(j, n).value()).collect();
+    let ys1 = c1.query_batch(&one_hots);
+    let ys2 = c2.query_batch(&one_hots);
     let mut m1: HashMap<u64, usize> = HashMap::with_capacity(n);
-    for j in 0..n {
-        let pattern = Bits::one_hot(j, n).value();
-        m1.insert(c1.query(pattern), j);
+    for (j, &y) in ys1.iter().enumerate() {
+        m1.insert(y, j);
     }
     let mut map = vec![usize::MAX; n];
-    for i in 0..n {
-        let pattern = Bits::one_hot(i, n).value();
-        let response = c2.query(pattern);
+    for (i, &response) in ys2.iter().enumerate() {
         let j = *m1.get(&response).ok_or(MatchError::PromiseViolated)?;
         if map[j] != usize::MAX {
             return Err(MatchError::PromiseViolated);
@@ -158,14 +153,12 @@ mod tests {
         if let Ok(pi) = match_p_i_one_hot(&c1, &c2) {
             // If a permutation came out, it must fail verification.
             let w = crate::MatchWitness::input_only(
-                revmatch_circuit::NpTransform::new(
-                    revmatch_circuit::NegationMask::identity(4),
-                    pi,
-                )
-                .unwrap(),
+                revmatch_circuit::NpTransform::new(revmatch_circuit::NegationMask::identity(4), pi)
+                    .unwrap(),
             );
-            assert!(!crate::check_witness(&a, &b, &w, crate::VerifyMode::Exhaustive, &mut rng)
-                .unwrap());
+            assert!(
+                !crate::check_witness(&a, &b, &w, crate::VerifyMode::Exhaustive, &mut rng).unwrap()
+            );
         }
     }
 }

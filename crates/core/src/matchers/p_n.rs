@@ -91,8 +91,7 @@ mod tests {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let c2_inv = Oracle::new(inst.c2.inverse());
-            let (pi, nu) =
-                match_p_n_via_inverses(&c1, &c2, None, Some(&c2_inv)).unwrap();
+            let (pi, nu) = match_p_n_via_inverses(&c1, &c2, None, Some(&c2_inv)).unwrap();
             assert_eq!(&pi, inst.witness.pi_x(), "width {w}");
             assert_eq!(nu, inst.witness.nu_y(), "width {w}");
         }
@@ -106,8 +105,7 @@ mod tests {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let c1_inv = Oracle::new(inst.c1.inverse());
-            let (pi, nu) =
-                match_p_n_via_inverses(&c1, &c2, Some(&c1_inv), None).unwrap();
+            let (pi, nu) = match_p_n_via_inverses(&c1, &c2, Some(&c1_inv), None).unwrap();
             assert_eq!(&pi, inst.witness.pi_x(), "width {w}");
             assert_eq!(nu, inst.witness.nu_y(), "width {w}");
         }

@@ -79,7 +79,11 @@ fn encode_circuit(circuit: &Circuit, cnf: &mut Cnf, state: &mut [Lit], next_var:
         let new = Lit::positive(Var(*next_var));
         *next_var += 1;
         cnf.add_clause(Clause::new(vec![new.negated(), old, fire]));
-        cnf.add_clause(Clause::new(vec![new.negated(), old.negated(), fire.negated()]));
+        cnf.add_clause(Clause::new(vec![
+            new.negated(),
+            old.negated(),
+            fire.negated(),
+        ]));
         cnf.add_clause(Clause::new(vec![new, old.negated(), fire]));
         cnf.add_clause(Clause::new(vec![new, old, fire.negated()]));
         state[gate.target()] = new;
@@ -230,8 +234,7 @@ mod tests {
         let c = revmatch_circuit::random_function_circuit(4, &mut rng);
         let tt = c.truth_table().unwrap();
         let resynth =
-            revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Basic)
-                .unwrap();
+            revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Basic).unwrap();
         assert!(check_equivalence_sat(&c, &resynth).unwrap().is_equivalent());
     }
 
@@ -305,11 +308,7 @@ mod tests {
         // Perturb the witness: must be refuted.
         let mut wrong = inst.witness.clone();
         wrong.input = revmatch_circuit::NpTransform::new(
-            revmatch_circuit::NegationMask::new(
-                wrong.nu_x().mask() ^ 1,
-                10,
-            )
-            .unwrap(),
+            revmatch_circuit::NegationMask::new(wrong.nu_x().mask() ^ 1, 10).unwrap(),
             wrong.pi_x().clone(),
         )
         .unwrap();

@@ -4,11 +4,18 @@
 //! module enforces that discipline: matchers receive oracles, not circuits,
 //! and every classical or quantum access increments a counter. The
 //! experiment harness reads the counters to regenerate Table 1.
+//!
+//! Probes may be issued one at a time ([`ClassicalOracle::query`]) or in
+//! groups ([`ClassicalOracle::query_batch`]). A batch of `k` probes
+//! always counts **exactly `k` queries** — batching is an execution
+//! optimization (the [`Oracle`] implementation evaluates 64 probes per
+//! gate walk via the bit-sliced engine in `revmatch_circuit::batch`),
+//! never an accounting discount.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use revmatch_circuit::Circuit;
+use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
 use revmatch_quantum::{ProductState, StateVector};
 
 use crate::error::MatchError;
@@ -21,6 +28,19 @@ pub trait ClassicalOracle {
     /// Queries the box with input `x`, returning the output pattern.
     /// Each call counts as one oracle query.
     fn query(&self, x: u64) -> u64;
+
+    /// Queries the box with every pattern in `xs`, returning the
+    /// outputs in order. A batch of `k` probes counts exactly `k`
+    /// queries.
+    ///
+    /// The default implementation falls back to per-probe [`query`]
+    /// calls (identical results and identical accounting); concrete
+    /// oracles override it with batched evaluation.
+    ///
+    /// [`query`]: ClassicalOracle::query
+    fn query_batch(&self, xs: &[u64]) -> Vec<u64> {
+        xs.iter().map(|&x| self.query(x)).collect()
+    }
 }
 
 /// A quantum black box: executes the circuit on a product-state input and
@@ -57,14 +77,41 @@ pub trait QuantumOracle {
 pub struct Oracle {
     circuit: Circuit,
     queries: AtomicU64,
+    /// Optional precompiled lookup backend (see [`Oracle::precompiled`]).
+    dense: Option<DenseTable>,
 }
 
 impl Oracle {
     /// Wraps a circuit as a black box with a fresh query counter.
+    ///
+    /// Scalar probes walk the gate cascade; batched probes
+    /// ([`ClassicalOracle::query_batch`]) use the bit-sliced engine.
     pub fn new(circuit: Circuit) -> Self {
         Self {
             circuit,
             queries: AtomicU64::new(0),
+            dense: None,
+        }
+    }
+
+    /// Wraps a circuit and eagerly compiles a [`DenseTable`] backend
+    /// when the width permits (≤ `DENSE_MAX_WIDTH`), falling back to
+    /// [`Oracle::new`] otherwise.
+    ///
+    /// Worth it for high-traffic oracles (the compile sweep costs one
+    /// bit-sliced pass over all `2^width` inputs); query accounting is
+    /// unchanged — the compile is white-box instance setup, probes
+    /// still count one each.
+    pub fn precompiled(circuit: Circuit) -> Self {
+        let dense = if circuit.width() <= DENSE_MAX_WIDTH {
+            DenseTable::compile(&circuit).ok()
+        } else {
+            None
+        };
+        Self {
+            circuit,
+            queries: AtomicU64::new(0),
+            dense,
         }
     }
 
@@ -72,9 +119,14 @@ impl Oracle {
     ///
     /// The paper's §3 variant problem supplies inverse circuits explicitly;
     /// this helper plays that role (legitimate because reversible circuits
-    /// given as white boxes can always be inverted).
+    /// given as white boxes can always be inverted). A precompiled oracle
+    /// yields a precompiled inverse.
     pub fn inverse_oracle(&self) -> Oracle {
-        Oracle::new(self.circuit.inverse())
+        if self.dense.is_some() {
+            Oracle::precompiled(self.circuit.inverse())
+        } else {
+            Oracle::new(self.circuit.inverse())
+        }
     }
 
     /// Total queries made so far (classical + quantum).
@@ -98,6 +150,10 @@ impl Oracle {
 
     fn count(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_many(&self, k: u64) {
+        self.queries.fetch_add(k, Ordering::Relaxed);
     }
 
     /// Applies this box as a standard quantum **XOR oracle**
@@ -138,7 +194,18 @@ impl ClassicalOracle for Oracle {
 
     fn query(&self, x: u64) -> u64 {
         self.count();
-        self.circuit.apply(x)
+        match &self.dense {
+            Some(table) => table.apply(x),
+            None => self.circuit.apply(x),
+        }
+    }
+
+    fn query_batch(&self, xs: &[u64]) -> Vec<u64> {
+        self.count_many(xs.len() as u64);
+        match &self.dense {
+            Some(table) => table.apply_batch(xs),
+            None => self.circuit.apply_batch(xs),
+        }
     }
 }
 
@@ -196,6 +263,14 @@ impl ClassicalOracle for XorOutputOracle<'_> {
     fn query(&self, x: u64) -> u64 {
         self.inner.query(x) ^ self.mask
     }
+
+    fn query_batch(&self, xs: &[u64]) -> Vec<u64> {
+        let mut out = self.inner.query_batch(xs);
+        for y in &mut out {
+            *y ^= self.mask;
+        }
+        out
+    }
 }
 
 impl fmt::Debug for XorOutputOracle<'_> {
@@ -227,6 +302,11 @@ impl ClassicalOracle for XorInputOracle<'_> {
 
     fn query(&self, x: u64) -> u64 {
         self.inner.query(x ^ self.mask)
+    }
+
+    fn query_batch(&self, xs: &[u64]) -> Vec<u64> {
+        let masked: Vec<u64> = xs.iter().map(|&x| x ^ self.mask).collect();
+        self.inner.query_batch(&masked)
     }
 }
 
@@ -273,6 +353,10 @@ impl ClassicalOracle for ComposedOracle<'_> {
 
     fn query(&self, x: u64) -> u64 {
         self.second.query(self.first.query(x))
+    }
+
+    fn query_batch(&self, xs: &[u64]) -> Vec<u64> {
+        self.second.query_batch(&self.first.query_batch(xs))
     }
 }
 
@@ -387,6 +471,89 @@ mod tests {
         assert!((sv.probability(0b0_0_0) - 1.0).abs() < 1e-12);
         // Even a non-firing application counts as a query (the box ran).
         assert_eq!(o.queries(), 1);
+    }
+
+    #[test]
+    fn batch_counts_exactly_len_on_every_wrapper() {
+        let base = Circuit::from_gates(3, [Gate::not(0), Gate::cnot(0, 2)]).unwrap();
+        let xs: Vec<u64> = (0..7).collect();
+
+        // Plain oracle.
+        let o = Oracle::new(base.clone());
+        let batched = o.query_batch(&xs);
+        assert_eq!(o.queries(), 7);
+        let scalar: Vec<u64> = xs.iter().map(|&x| o.query(x)).collect();
+        assert_eq!(batched, scalar);
+        assert_eq!(o.queries(), 14);
+
+        // Precompiled oracle: identical answers, identical accounting.
+        let p = Oracle::precompiled(base.clone());
+        assert_eq!(p.query_batch(&xs), batched);
+        assert_eq!(p.queries(), 7);
+
+        // Output-masked view: charged to the inner oracle.
+        let o = Oracle::new(base.clone());
+        let masked = XorOutputOracle::new(&o, 0b101);
+        let got = masked.query_batch(&xs);
+        assert_eq!(o.queries(), 7);
+        assert_eq!(got, batched.iter().map(|&y| y ^ 0b101).collect::<Vec<_>>());
+
+        // Input-masked view.
+        let o = Oracle::new(base.clone());
+        let masked = XorInputOracle::new(&o, 0b011);
+        let got = masked.query_batch(&xs);
+        assert_eq!(o.queries(), 7);
+        let expect: Vec<u64> = xs.iter().map(|&x| base.apply(x ^ 0b011)).collect();
+        assert_eq!(got, expect);
+
+        // Composition: one query to each side per probe.
+        let a = Oracle::new(base.clone());
+        let b = Oracle::new(base.inverse());
+        let composed = ComposedOracle::new(&a, &b).unwrap();
+        let got = composed.query_batch(&xs);
+        assert_eq!(a.queries(), 7);
+        assert_eq!(b.queries(), 7);
+        assert_eq!(got, xs);
+    }
+
+    #[test]
+    fn default_query_batch_matches_scalar_accounting() {
+        // A minimal hand-rolled oracle exercising the trait's default
+        // batched path: k probes = k scalar queries.
+        struct Probe(std::cell::Cell<u64>);
+        impl ClassicalOracle for Probe {
+            fn width(&self) -> usize {
+                4
+            }
+            fn query(&self, x: u64) -> u64 {
+                self.0.set(self.0.get() + 1);
+                x ^ 0b1001
+            }
+        }
+        let p = Probe(std::cell::Cell::new(0));
+        let xs: Vec<u64> = (0..9).collect();
+        let out = p.query_batch(&xs);
+        assert_eq!(p.0.get(), 9);
+        assert_eq!(out, xs.iter().map(|&x| x ^ 0b1001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn precompiled_falls_back_beyond_dense_width() {
+        let mut c = Circuit::new(DENSE_MAX_WIDTH + 4);
+        c.push(Gate::not(2)).unwrap();
+        let o = Oracle::precompiled(c);
+        assert_eq!(o.query(0), 0b100);
+        assert_eq!(o.query_batch(&[0, 0b100]), vec![0b100, 0]);
+        assert_eq!(o.queries(), 3);
+    }
+
+    #[test]
+    fn precompiled_inverse_stays_precompiled_and_inverts() {
+        let c = Circuit::from_gates(4, [Gate::toffoli(0, 1, 3), Gate::not(2)]).unwrap();
+        let o = Oracle::precompiled(c);
+        let inv = o.inverse_oracle();
+        let xs: Vec<u64> = (0..16).collect();
+        assert_eq!(inv.query_batch(&o.query_batch(&xs)), xs);
     }
 
     #[test]

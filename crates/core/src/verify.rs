@@ -60,17 +60,26 @@ pub fn check_witness(
         });
     }
     let n = c1.width();
-    let check_one = |x: u64| c1.apply(x) == witness.predict(x, |v| c2.apply(v));
-    match mode {
+    let inputs: Vec<u64> = match mode {
         VerifyMode::Exhaustive => {
             assert!(n <= 24, "exhaustive verification limited to 24 lines");
-            Ok((0..1u64 << n).all(check_one))
+            (0..1u64 << n).collect()
         }
         VerifyMode::Sampled(k) => {
             let mask = width_mask(n);
-            Ok((0..k).all(|_| check_one(rng.gen::<u64>() & mask)))
+            (0..k).map(|_| rng.gen::<u64>() & mask).collect()
         }
-    }
+    };
+    // Both sides run through the bit-sliced batch evaluator: C1 directly,
+    // C2 inside the witness sandwich (input transform, C2, output
+    // transform are each cheap table/mask operations around the batch).
+    let lhs = c1.apply_batch(&inputs);
+    let transformed: Vec<u64> = inputs.iter().map(|&x| witness.input.apply(x)).collect();
+    let mid = c2.apply_batch(&transformed);
+    Ok(lhs
+        .iter()
+        .zip(&mid)
+        .all(|(&l, &m)| l == witness.output.apply(m)))
 }
 
 #[cfg(test)]
@@ -136,8 +145,14 @@ mod tests {
             input: NpTransform::random(6, &mut rng),
             output: NpTransform::random(6, &mut rng),
         };
-        let ok = check_witness(&inst.c1, &inst.c2, &wrong, VerifyMode::Sampled(64), &mut rng)
-            .unwrap();
+        let ok = check_witness(
+            &inst.c1,
+            &inst.c2,
+            &wrong,
+            VerifyMode::Sampled(64),
+            &mut rng,
+        )
+        .unwrap();
         assert!(!ok, "random witness accepted (astronomically unlikely)");
     }
 
@@ -148,6 +163,13 @@ mod tests {
         let c3 = Circuit::new(3);
         let w = MatchWitness::identity(2);
         assert!(check_witness(&c3, &c2, &w, VerifyMode::Exhaustive, &mut rng).is_err());
-        assert!(check_witness(&c2, &c2, &MatchWitness::identity(3), VerifyMode::Exhaustive, &mut rng).is_err());
+        assert!(check_witness(
+            &c2,
+            &c2,
+            &MatchWitness::identity(3),
+            VerifyMode::Exhaustive,
+            &mut rng
+        )
+        .is_err());
     }
 }

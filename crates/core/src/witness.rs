@@ -164,11 +164,7 @@ impl fmt::Debug for MatchWitness {
 
 impl fmt::Display for MatchWitness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "input[{}] output[{}]",
-            self.input, self.output
-        )
+        write!(f, "input[{}] output[{}]", self.input, self.output)
     }
 }
 
@@ -196,11 +192,7 @@ mod tests {
             };
             let min = w.minimal_equivalence();
             for e in Equivalence::all() {
-                assert_eq!(
-                    w.conforms_to(e),
-                    e.subsumes(min),
-                    "witness {w:?} vs {e}"
-                );
+                assert_eq!(w.conforms_to(e), e.subsumes(min), "witness {w:?} vs {e}");
             }
         }
     }

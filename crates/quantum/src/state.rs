@@ -38,14 +38,8 @@ impl Qubit {
         match self {
             Self::Zero => (Complex::ONE, Complex::ZERO),
             Self::One => (Complex::ZERO, Complex::ONE),
-            Self::Plus => (
-                Complex::real(FRAC_1_SQRT_2),
-                Complex::real(FRAC_1_SQRT_2),
-            ),
-            Self::Minus => (
-                Complex::real(FRAC_1_SQRT_2),
-                Complex::real(-FRAC_1_SQRT_2),
-            ),
+            Self::Plus => (Complex::real(FRAC_1_SQRT_2), Complex::real(FRAC_1_SQRT_2)),
+            Self::Minus => (Complex::real(FRAC_1_SQRT_2), Complex::real(-FRAC_1_SQRT_2)),
         }
     }
 }
@@ -72,9 +66,7 @@ pub struct ProductState {
 impl ProductState {
     /// All qubits in the same basis state.
     pub fn uniform(n: usize, q: Qubit) -> Self {
-        Self {
-            qubits: vec![q; n],
-        }
+        Self { qubits: vec![q; n] }
     }
 
     /// The computational basis state `|x⟩` over `n` qubits.
@@ -397,7 +389,11 @@ impl StateVector {
     /// # Errors
     ///
     /// Same as [`StateVector::apply_circuit`].
-    pub fn applied_circuit(mut self, circuit: &Circuit, offset: usize) -> Result<Self, QuantumError> {
+    pub fn applied_circuit(
+        mut self,
+        circuit: &Circuit,
+        offset: usize,
+    ) -> Result<Self, QuantumError> {
         self.apply_circuit(circuit, offset)?;
         Ok(self)
     }
@@ -540,7 +536,10 @@ impl StateVector {
 
     fn check_qubit(&self, q: usize) -> Result<(), QuantumError> {
         if q >= self.n {
-            Err(QuantumError::QubitOutOfRange { qubit: q, n: self.n })
+            Err(QuantumError::QubitOutOfRange {
+                qubit: q,
+                n: self.n,
+            })
         } else {
             Ok(())
         }
@@ -635,7 +634,10 @@ mod tests {
         let mut plus = ProductState::uniform(1, Qubit::Plus).to_state_vector();
         let orig = plus.clone();
         plus.apply_x(0).unwrap();
-        assert!(plus.inner_product(&orig).unwrap().approx_eq(Complex::ONE, EPS));
+        assert!(plus
+            .inner_product(&orig)
+            .unwrap()
+            .approx_eq(Complex::ONE, EPS));
 
         let mut minus = ProductState::uniform(1, Qubit::Minus).to_state_vector();
         let orig = minus.clone();
@@ -696,7 +698,8 @@ mod tests {
             &revmatch_circuit::RandomCircuitSpec::for_width(4),
             &mut rng,
         );
-        let p1 = ProductState::from_qubits(vec![Qubit::Plus, Qubit::Zero, Qubit::Minus, Qubit::Plus]);
+        let p1 =
+            ProductState::from_qubits(vec![Qubit::Plus, Qubit::Zero, Qubit::Minus, Qubit::Plus]);
         let p2 = ProductState::from_qubits(vec![Qubit::Zero, Qubit::Plus, Qubit::Plus, Qubit::One]);
         let before = p1
             .to_state_vector()
@@ -779,7 +782,8 @@ mod tests {
     #[test]
     fn xor_oracle_preserves_superposition_norm() {
         let mut sv = ProductState::uniform(4, Qubit::Plus).to_state_vector();
-        sv.apply_xor_oracle(|x| (x + 1) & 0b11, 0, 2, 2, None).unwrap();
+        sv.apply_xor_oracle(|x| (x + 1) & 0b11, 0, 2, 2, None)
+            .unwrap();
         assert!((sv.norm_sqr() - 1.0).abs() < EPS);
     }
 
@@ -787,7 +791,9 @@ mod tests {
     fn xor_oracle_rejects_overlap_and_bad_control() {
         let mut sv = StateVector::basis(0, 4);
         assert!(sv.apply_xor_oracle(|x| x, 0, 2, 1, None).is_err());
-        assert!(sv.apply_xor_oracle(|x| x, 0, 2, 2, Some((1, true))).is_err());
+        assert!(sv
+            .apply_xor_oracle(|x| x, 0, 2, 2, Some((1, true)))
+            .is_err());
         assert!(sv.apply_xor_oracle(|x| x, 0, 3, 3, None).is_err());
     }
 
@@ -801,7 +807,10 @@ mod tests {
         // Double application is the identity.
         let orig = ProductState::uniform(2, Qubit::Plus).to_state_vector();
         sv.apply_phase_oracle(|x| x == 0b11);
-        assert!(sv.inner_product(&orig).unwrap().approx_eq(Complex::ONE, EPS));
+        assert!(sv
+            .inner_product(&orig)
+            .unwrap()
+            .approx_eq(Complex::ONE, EPS));
     }
 
     #[test]

@@ -45,10 +45,7 @@ pub enum SwapTestMethod {
 /// assert_eq!(swap_test_probability(&a, &a)?, 0.0); // identical
 /// # Ok::<(), revmatch_quantum::QuantumError>(())
 /// ```
-pub fn swap_test_probability(
-    psi1: &StateVector,
-    psi2: &StateVector,
-) -> Result<f64, QuantumError> {
+pub fn swap_test_probability(psi1: &StateVector, psi2: &StateVector) -> Result<f64, QuantumError> {
     let overlap = psi1.inner_product(psi2)?.norm_sqr();
     Ok((0.5 - 0.5 * overlap).clamp(0.0, 1.0))
 }

@@ -109,13 +109,14 @@ pub fn planted_unique(
             }
             cnf.add_clause(clause);
             if (cnf.num_clauses().is_multiple_of(4) || cnf.num_clauses() > 2 * num_vars)
-                && Solver::new(&cnf).count_models(2) == 1 {
-                    debug_assert!(cnf.eval(&hidden));
-                    return Ok(PlantedUnique {
-                        cnf: minimize_unique(&cnf),
-                        assignment: hidden,
-                    });
-                }
+                && Solver::new(&cnf).count_models(2) == 1
+            {
+                debug_assert!(cnf.eval(&hidden));
+                return Ok(PlantedUnique {
+                    cnf: minimize_unique(&cnf),
+                    assignment: hidden,
+                });
+            }
         }
         if Solver::new(&cnf).count_models(2) == 1 {
             return Ok(PlantedUnique {

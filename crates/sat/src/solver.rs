@@ -85,12 +85,7 @@ impl<'a> Solver<'a> {
     pub fn solve(&mut self) -> Solve {
         let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
         if self.dpll(&mut values) {
-            Solve::Sat(
-                values
-                    .iter()
-                    .map(|v| matches!(v, Value::True))
-                    .collect(),
-            )
+            Solve::Sat(values.iter().map(|v| matches!(v, Value::True)).collect())
         } else {
             Solve::Unsat
         }
@@ -108,7 +103,10 @@ impl<'a> Solver<'a> {
         match self.propagate_snapshot(values) {
             Propagation::Conflict => 0,
             Propagation::Done(local) => {
-                let free = local.iter().filter(|v| matches!(v, Value::Unassigned)).count();
+                let free = local
+                    .iter()
+                    .filter(|v| matches!(v, Value::Unassigned))
+                    .count();
                 if self.all_satisfied(&local) {
                     let models = 1usize.checked_shl(free as u32).unwrap_or(usize::MAX);
                     return models.min(limit);
@@ -200,7 +198,11 @@ impl<'a> Solver<'a> {
                     0 => return Propagation::Conflict,
                     1 => {
                         let l = unassigned.expect("count 1 implies literal");
-                        local[l.var.0] = if l.negative { Value::False } else { Value::True };
+                        local[l.var.0] = if l.negative {
+                            Value::False
+                        } else {
+                            Value::True
+                        };
                         self.propagations += 1;
                         changed = true;
                     }
@@ -417,11 +419,7 @@ mod tests {
                 f.add_clause(Clause::new(lits));
             }
             let brute = f.count_models_exhaustive(1 << n);
-            assert_eq!(
-                Solver::new(&f).count_models(1 << n),
-                brute,
-                "formula: {f}"
-            );
+            assert_eq!(Solver::new(&f).count_models(1 << n), brute, "formula: {f}");
             assert_eq!(Solver::new(&f).solve().is_sat(), brute > 0);
         }
     }

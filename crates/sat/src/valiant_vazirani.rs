@@ -39,11 +39,7 @@ impl XorConstraint {
 
     /// Evaluates the parity under an assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        let sum = self
-            .vars
-            .iter()
-            .filter(|v| assignment[v.0])
-            .count();
+        let sum = self.vars.iter().filter(|v| assignment[v.0]).count();
         (sum % 2 == 1) == self.parity
     }
 }
@@ -248,10 +244,7 @@ mod tests {
             parity: true,
         };
         let f = encode_with_xors(&phi, &[xor]);
-        assert_eq!(
-            Solver::new(&f).solve().witness(),
-            Some(&[true][..])
-        );
+        assert_eq!(Solver::new(&f).solve().witness(), Some(&[true][..]));
     }
 
     #[test]

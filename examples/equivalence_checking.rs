@@ -19,7 +19,11 @@ use revmatch_circuit::{
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let width = 8;
+    // Width 7 keeps the resynthesized cascade small enough for the
+    // educational DPLL miter to prove equivalence in milliseconds; wider
+    // circuits make the UNSAT proof blow up (the solver has no clause
+    // learning).
+    let width = 7;
 
     // A "legacy" circuit with redundancy: random cascade followed by a
     // block and its inverse.
@@ -33,19 +37,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("peephole:       {} gates", optimized.len());
 
     // Pass 2: full resynthesis from the truth table.
-    let resynth = synthesize(
-        &optimized.truth_table()?,
-        SynthesisStrategy::Bidirectional,
-    )?;
+    let resynth = synthesize(&optimized.truth_table()?, SynthesisStrategy::Bidirectional)?;
     println!("resynthesis:    {} gates", resynth.len());
 
     // --- Check the optimization chain with all three engines. ----------
     let identity = MatchWitness::identity(width);
     for (name, candidate) in [("peephole", &optimized), ("resynthesis", &resynth)] {
-        let exhaustive =
-            check_witness(&legacy, candidate, &identity, VerifyMode::Exhaustive, &mut rng)?;
-        let sampled =
-            check_witness(&legacy, candidate, &identity, VerifyMode::Sampled(512), &mut rng)?;
+        let exhaustive = check_witness(
+            &legacy,
+            candidate,
+            &identity,
+            VerifyMode::Exhaustive,
+            &mut rng,
+        )?;
+        let sampled = check_witness(
+            &legacy,
+            candidate,
+            &identity,
+            VerifyMode::Sampled(512),
+            &mut rng,
+        )?;
         let sat = check_equivalence_sat(&legacy, candidate)?.is_equivalent();
         println!("{name:<12} exhaustive={exhaustive} sampled={sampled} sat={sat}");
         assert!(exhaustive && sampled && sat);

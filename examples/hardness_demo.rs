@@ -79,12 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------------
     // The unsatisfiable direction: no witness exists.
     let mut unsat = revmatch_sat::Cnf::new(1);
-    unsat.add_clause(revmatch_sat::Clause::new(vec![revmatch_sat::Lit::positive(
-        revmatch_sat::Var(0),
-    )]));
-    unsat.add_clause(revmatch_sat::Clause::new(vec![revmatch_sat::Lit::negative(
-        revmatch_sat::Var(0),
-    )]));
+    unsat.add_clause(revmatch_sat::Clause::new(vec![
+        revmatch_sat::Lit::positive(revmatch_sat::Var(0)),
+    ]));
+    unsat.add_clause(revmatch_sat::Clause::new(vec![
+        revmatch_sat::Lit::negative(revmatch_sat::Var(0)),
+    ]));
     let nn_unsat = NnReduction::new(unsat)?;
     let found = brute_force_match(
         &nn_unsat.c1,

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = 11;
 
     println!("N-I matching without inverses: classical collision vs quantum Algorithm 1");
-    println!("(median queries over {trials} trials; k = {} swap-test rounds)\n", config.quantum_k);
+    println!(
+        "(median queries over {trials} trials; k = {} swap-test rounds)\n",
+        config.quantum_k
+    );
     println!(
         "{:>4} {:>18} {:>14} {:>14}",
         "n", "classical (2^n/2)", "Alg. 1 (2nk)", "Simon (~2n+2)"

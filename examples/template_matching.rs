@@ -56,8 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     );
     let target_tt = secret.c1.truth_table()?;
-    let target = synthesize(&TruthTable::new(width, target_tt.entries().to_vec())?,
-                            SynthesisStrategy::Bidirectional)?;
+    let target = synthesize(
+        &TruthTable::new(width, target_tt.entries().to_vec())?,
+        SynthesisStrategy::Bidirectional,
+    )?;
     println!(
         "\ntarget: {} gates (resynthesized; planted source hidden)",
         target.len()

@@ -1,0 +1,13 @@
+//! # revmatch-suite — workspace umbrella crate
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). It re-exports the
+//! member crates so examples and tests resolve them through one
+//! dependency graph.
+//!
+//! See the [`revmatch`] crate for the library itself.
+
+pub use revmatch;
+pub use revmatch_circuit;
+pub use revmatch_quantum;
+pub use revmatch_sat;

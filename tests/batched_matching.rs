@@ -1,0 +1,210 @@
+//! Regression tests for the batched probe refactor: for every matcher
+//! the batched path must charge exactly the same number of oracle
+//! queries as the per-probe scalar path, and — under a fixed RNG seed —
+//! return the identical witness.
+//!
+//! The scalar reference is reconstructed with [`ScalarOnly`], a wrapper
+//! that forwards `query` but deliberately inherits the trait's default
+//! per-probe `query_batch`, i.e. the exact pre-refactor execution.
+
+use rand::SeedableRng;
+use revmatch::{
+    match_i_np_randomized, match_i_np_via_c2_inverse, match_i_p_randomized,
+    match_i_p_via_c1_inverse, match_i_p_via_c2_inverse, match_n_i_collision,
+    match_np_i_via_c2_inverse, match_p_i_one_hot, match_p_n, random_instance, ClassicalOracle,
+    Equivalence, Oracle, Side,
+};
+
+/// Forwards scalar queries to an [`Oracle`] but keeps the default
+/// (per-probe) `query_batch`, reproducing the pre-batching execution
+/// and accounting.
+struct ScalarOnly<'a>(&'a Oracle);
+
+impl ClassicalOracle for ScalarOnly<'_> {
+    fn width(&self) -> usize {
+        ClassicalOracle::width(self.0)
+    }
+
+    fn query(&self, x: u64) -> u64 {
+        self.0.query(x)
+    }
+    // No query_batch override: the default loops over `query`.
+}
+
+/// Runs `f` twice — once against batched oracles, once against
+/// scalar-only wrappers of fresh oracles — and asserts identical
+/// witnesses and identical per-oracle query totals.
+fn assert_batched_equals_scalar<W: PartialEq + std::fmt::Debug>(
+    instance: &revmatch::PromiseInstance,
+    invert_a: bool,
+    invert_b: bool,
+    f: impl Fn(&dyn ClassicalOracle, &dyn ClassicalOracle) -> W,
+) {
+    let make = |invert: bool, which_c1: bool| {
+        let c = if which_c1 { &instance.c1 } else { &instance.c2 };
+        Oracle::new(if invert { c.inverse() } else { c.clone() })
+    };
+    let (a, b) = (make(invert_a, true), make(invert_b, false));
+    let batched = f(&a, &b);
+
+    let (a2, b2) = (make(invert_a, true), make(invert_b, false));
+    let scalar = f(&ScalarOnly(&a2), &ScalarOnly(&b2));
+
+    assert_eq!(
+        batched, scalar,
+        "witness diverged for {}",
+        instance.equivalence
+    );
+    assert_eq!(a.queries(), a2.queries(), "C1-side query totals diverged");
+    assert_eq!(b.queries(), b2.queries(), "C2-side query totals diverged");
+}
+
+#[test]
+fn deterministic_matchers_match_scalar_accounting_and_witnesses() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    for w in 1..=9 {
+        let ip = random_instance(Equivalence::new(Side::I, Side::P), w, &mut rng);
+        assert_batched_equals_scalar(&ip, false, true, |a, b| {
+            match_i_p_via_c2_inverse(a, b).unwrap()
+        });
+        assert_batched_equals_scalar(&ip, true, false, |a, b| {
+            match_i_p_via_c1_inverse(a, b).unwrap()
+        });
+
+        let inp = random_instance(Equivalence::new(Side::I, Side::Np), w, &mut rng);
+        assert_batched_equals_scalar(&inp, false, true, |a, b| {
+            match_i_np_via_c2_inverse(a, b).unwrap()
+        });
+
+        let npi = random_instance(Equivalence::new(Side::Np, Side::I), w, &mut rng);
+        assert_batched_equals_scalar(&npi, false, true, |a, b| {
+            match_np_i_via_c2_inverse(a, b).unwrap()
+        });
+
+        let pi = random_instance(Equivalence::new(Side::P, Side::I), w, &mut rng);
+        assert_batched_equals_scalar(&pi, false, false, |a, b| match_p_i_one_hot(a, b).unwrap());
+
+        let pn = random_instance(Equivalence::new(Side::P, Side::N), w, &mut rng);
+        assert_batched_equals_scalar(&pn, false, false, |a, b| match_p_n(a, b).unwrap());
+    }
+}
+
+#[test]
+fn randomized_matchers_match_scalar_under_fixed_seed() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for w in 2..=9 {
+        let ip = random_instance(Equivalence::new(Side::I, Side::P), w, &mut rng);
+        let seeded = |seed: u64| {
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            move |a: &dyn ClassicalOracle, b: &dyn ClassicalOracle| {
+                match_i_p_randomized(a, b, 1e-6, &mut r).unwrap()
+            }
+        };
+        // Same probe seed on both paths: the drawn probes, the witness
+        // and the accounting must all coincide.
+        let c1 = Oracle::new(ip.c1.clone());
+        let c2 = Oracle::new(ip.c2.clone());
+        let mut run = seeded(1000 + w as u64);
+        let batched = run(&c1, &c2);
+        let c1s = Oracle::new(ip.c1.clone());
+        let c2s = Oracle::new(ip.c2.clone());
+        let mut run = seeded(1000 + w as u64);
+        let scalar = run(&ScalarOnly(&c1s), &ScalarOnly(&c2s));
+        assert_eq!(batched, scalar);
+        assert_eq!(c1.queries(), c1s.queries());
+        assert_eq!(c2.queries(), c2s.queries());
+
+        let inp = random_instance(Equivalence::new(Side::I, Side::Np), w, &mut rng);
+        let c1 = Oracle::new(inp.c1.clone());
+        let c2 = Oracle::new(inp.c2.clone());
+        let mut r = rand::rngs::StdRng::seed_from_u64(2000 + w as u64);
+        let batched = match_i_np_randomized(&c1, &c2, 1e-6, &mut r).unwrap();
+        let c1s = Oracle::new(inp.c1.clone());
+        let c2s = Oracle::new(inp.c2.clone());
+        let mut r = rand::rngs::StdRng::seed_from_u64(2000 + w as u64);
+        let scalar =
+            match_i_np_randomized(&ScalarOnly(&c1s), &ScalarOnly(&c2s), 1e-6, &mut r).unwrap();
+        assert_eq!(batched, scalar);
+        assert_eq!(c1.queries() + c2.queries(), c1s.queries() + c2s.queries());
+    }
+}
+
+#[test]
+fn collision_matcher_matches_scalar_metric_under_fixed_seed() {
+    // The batched collision sweep replays responses in the scalar pair
+    // order against the same seen-sets, so both the recovered ν and the
+    // Theorem-1 query metric must be identical to the per-probe scalar
+    // path under the same seed; only `charged_queries` (whole batched
+    // rounds, accounted on the oracle counters) may exceed it.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    for w in 2..=9 {
+        let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let mut r = rand::rngs::StdRng::seed_from_u64(3000 + w as u64);
+        let outcome = match_n_i_collision(&c1, &c2, &mut r).unwrap();
+        assert_eq!(outcome.nu, inst.witness.nu_x(), "width {w}");
+        assert_eq!(outcome.charged_queries, c1.queries() + c2.queries());
+
+        // Scalar reference: same seed, per-probe loop reconstructed
+        // against scalar-only oracles.
+        let c1s = Oracle::new(inst.c1.clone());
+        let c2s = Oracle::new(inst.c2.clone());
+        let mut r = rand::rngs::StdRng::seed_from_u64(3000 + w as u64);
+        let (scalar_nu, scalar_queries) =
+            scalar_collision_reference(&ScalarOnly(&c1s), &ScalarOnly(&c2s), w, &mut r);
+        assert_eq!(outcome.nu.mask(), scalar_nu, "width {w}");
+        assert_eq!(outcome.queries, scalar_queries, "width {w}");
+    }
+}
+
+/// The pre-refactor per-probe collision loop, kept as the accounting
+/// reference for the test above.
+fn scalar_collision_reference(
+    c1: &dyn ClassicalOracle,
+    c2: &dyn ClassicalOracle,
+    width: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> (u64, u64) {
+    use rand::Rng;
+    use std::collections::HashMap;
+    let mask = (1u64 << width) - 1;
+    let mut seen1: HashMap<u64, u64> = HashMap::new();
+    let mut seen2: HashMap<u64, u64> = HashMap::new();
+    let mut queries = 0u64;
+    loop {
+        let x1 = rng.gen::<u64>() & mask;
+        let y1 = c1.query(x1);
+        queries += 1;
+        if let Some(&x2) = seen2.get(&y1) {
+            return (x1 ^ x2, queries);
+        }
+        seen1.insert(y1, x1);
+        let x2 = rng.gen::<u64>() & mask;
+        let y2 = c2.query(x2);
+        queries += 1;
+        if let Some(&x1) = seen1.get(&y2) {
+            return (x1 ^ x2, queries);
+        }
+        seen2.insert(y2, x2);
+    }
+}
+
+#[test]
+fn precompiled_oracles_are_transparent_to_matchers() {
+    // Dense-table oracles must be indistinguishable from gate-walk
+    // oracles in both answers and accounting.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+    for w in 1..=9 {
+        let inst = random_instance(Equivalence::new(Side::P, Side::I), w, &mut rng);
+        let plain_c1 = Oracle::new(inst.c1.clone());
+        let plain_c2 = Oracle::new(inst.c2.clone());
+        let fast_c1 = Oracle::precompiled(inst.c1.clone());
+        let fast_c2 = Oracle::precompiled(inst.c2.clone());
+        let a = match_p_i_one_hot(&plain_c1, &plain_c2).unwrap();
+        let b = match_p_i_one_hot(&fast_c1, &fast_c2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain_c1.queries(), fast_c1.queries());
+        assert_eq!(plain_c2.queries(), fast_c2.queries());
+    }
+}

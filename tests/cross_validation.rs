@@ -144,17 +144,15 @@ fn sampled_vs_exhaustive_verification() {
 /// basis-state probe through the quantum path equals the classical query.
 #[test]
 fn quantum_basis_probe_equals_classical_query() {
-    use revmatch::QuantumOracle;
     use revmatch::ClassicalOracle;
+    use revmatch::QuantumOracle;
     use revmatch_quantum::ProductState;
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let circuit = revmatch_circuit::random_function_circuit(5, &mut rng);
     let oracle = Oracle::new(circuit);
     for x in [0u64, 1, 7, 19, 31] {
         let classical = oracle.query(x);
-        let state = oracle
-            .query_quantum(&ProductState::basis(x, 5))
-            .unwrap();
+        let state = oracle.query_quantum(&ProductState::basis(x, 5)).unwrap();
         assert!((state.probability(classical) - 1.0).abs() < 1e-9);
     }
 }

@@ -8,9 +8,7 @@ use revmatch::{
     check_witness, classify, random_instance, solve_promise, Equivalence, MatcherConfig, Oracle,
     ProblemOracles, Side, VerifyMode,
 };
-use revmatch_circuit::{
-    read_real, synthesize, write_real, SynthesisStrategy, TruthTable,
-};
+use revmatch_circuit::{read_real, synthesize, write_real, SynthesisStrategy, TruthTable};
 
 /// Full pipeline: random function → synthesis → transform → `.real`
 /// round trip → oracle matching → verification.
@@ -40,10 +38,14 @@ fn synthesis_serialization_matching_pipeline() {
             c2_inv: Some(&c2_inv),
         };
         let witness = solve_promise(e, &oracles, &config, &mut rng).expect("promised instance");
-        assert!(
-            check_witness(&inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, &mut rng)
-                .expect("same widths")
-        );
+        assert!(check_witness(
+            &inst.c1,
+            &inst.c2,
+            &witness,
+            VerifyMode::Exhaustive,
+            &mut rng
+        )
+        .expect("same widths"));
     }
 }
 
@@ -67,8 +69,14 @@ fn dispatcher_all_tractable_types() {
             .unwrap_or_else(|err| panic!("{e}: {err}"));
         assert!(witness.conforms_to(e));
         assert!(
-            check_witness(&inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, &mut rng)
-                .unwrap(),
+            check_witness(
+                &inst.c1,
+                &inst.c2,
+                &witness,
+                VerifyMode::Exhaustive,
+                &mut rng
+            )
+            .unwrap(),
             "{e}"
         );
     }

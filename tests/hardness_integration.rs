@@ -33,10 +33,7 @@ fn pp_round_trip_on_planted_instances() {
     for n in [2usize, 3] {
         let planted = planted_unique(n, 2.min(n), &mut rng).unwrap();
         let red = PpReduction::new(planted.cnf.clone()).unwrap();
-        assert_eq!(
-            red.layout.width(),
-            4 * n + planted.cnf.num_clauses() + 2
-        );
+        assert_eq!(red.layout.width(), 4 * n + planted.cnf.num_clauses() + 2);
         let witness = red.solve_via_sat().expect("satisfiable");
         let mode = if red.layout.width() <= 16 {
             VerifyMode::Exhaustive
@@ -62,15 +59,17 @@ fn nn_matcher_decides_unique_sat() {
         .unwrap()
         .expect("satisfiable formula must produce an N-N match");
     let assignment = red.assignment_from_witness(&witness);
-    assert!(sat_cnf.eval(&assignment), "extracted assignment satisfies φ");
+    assert!(
+        sat_cnf.eval(&assignment),
+        "extracted assignment satisfies φ"
+    );
 
     // Unsatisfiable: x0 & !x0.
     let mut unsat_cnf = Cnf::new(1);
     unsat_cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
     unsat_cnf.add_clause(Clause::new(vec![Lit::negative(Var(0))]));
     let red = NnReduction::new(unsat_cnf).unwrap();
-    let witness =
-        brute_force_match(&red.c1, &red.c2, Equivalence::new(Side::N, Side::N)).unwrap();
+    let witness = brute_force_match(&red.c1, &red.c2, Equivalence::new(Side::N, Side::N)).unwrap();
     assert!(witness.is_none(), "UNSAT formula must not match");
 }
 
@@ -125,10 +124,9 @@ fn nn_matching_iff_satisfiable_small_formulas() {
     for cnf in shapes {
         let sat = Solver::new(&cnf).solve().is_sat();
         let red = NnReduction::new(cnf).unwrap();
-        let matched =
-            brute_force_match(&red.c1, &red.c2, Equivalence::new(Side::N, Side::N))
-                .unwrap()
-                .is_some();
+        let matched = brute_force_match(&red.c1, &red.c2, Equivalence::new(Side::N, Side::N))
+            .unwrap()
+            .is_some();
         assert_eq!(sat, matched);
     }
 }

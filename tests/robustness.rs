@@ -7,8 +7,8 @@ use revmatch::{
     check_witness, match_i_n, match_i_np_via_c2_inverse, match_i_p_randomized,
     match_i_p_via_c2_inverse, match_n_i_collision, match_n_i_quantum, match_n_i_simon,
     match_n_i_via_c2_inverse, match_n_p_via_inverses, match_np_i_quantum,
-    match_np_i_via_c2_inverse, match_p_i_one_hot, match_p_i_via_c2_inverse, match_p_n,
-    Equivalence, MatchError, MatcherConfig, Oracle, Side, VerifyMode,
+    match_np_i_via_c2_inverse, match_p_i_one_hot, match_p_i_via_c2_inverse, match_p_n, Equivalence,
+    MatchError, MatcherConfig, Oracle, Side, VerifyMode,
 };
 use revmatch_circuit::Circuit;
 
@@ -25,19 +25,52 @@ fn width_mismatches_are_typed_errors() {
     let is_wm = |e: MatchError| matches!(e, MatchError::WidthMismatch { .. });
 
     assert!(match_i_n(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_i_p_via_c2_inverse(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_i_p_randomized(&a, &b, 1e-3, &mut rng).err().map(is_wm).unwrap_or(false));
-    assert!(match_i_np_via_c2_inverse(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_p_i_via_c2_inverse(&a, &b).err().map(is_wm).unwrap_or(false));
+    assert!(match_i_p_via_c2_inverse(&a, &b)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_i_p_randomized(&a, &b, 1e-3, &mut rng)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_i_np_via_c2_inverse(&a, &b)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_p_i_via_c2_inverse(&a, &b)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
     assert!(match_p_i_one_hot(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_n_i_via_c2_inverse(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_n_i_collision(&a, &b, &mut rng).err().map(is_wm).unwrap_or(false));
-    assert!(match_n_i_quantum(&a, &b, &config, &mut rng).err().map(is_wm).unwrap_or(false));
-    assert!(match_n_i_simon(&a, &b, &mut rng).err().map(is_wm).unwrap_or(false));
-    assert!(match_np_i_via_c2_inverse(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_np_i_quantum(&a, &b, &config, &mut rng).err().map(is_wm).unwrap_or(false));
+    assert!(match_n_i_via_c2_inverse(&a, &b)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_n_i_collision(&a, &b, &mut rng)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_n_i_quantum(&a, &b, &config, &mut rng)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_n_i_simon(&a, &b, &mut rng)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_np_i_via_c2_inverse(&a, &b)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
+    assert!(match_np_i_quantum(&a, &b, &config, &mut rng)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
     assert!(match_p_n(&a, &b).err().map(is_wm).unwrap_or(false));
-    assert!(match_n_p_via_inverses(&a, &a, &b).err().map(is_wm).unwrap_or(false));
+    assert!(match_n_p_via_inverses(&a, &a, &b)
+        .err()
+        .map(is_wm)
+        .unwrap_or(false));
 }
 
 /// Broken promises on deterministic matchers: results, if any, must fail
@@ -59,11 +92,8 @@ fn broken_promises_fail_verification() {
         // must refute it.
         let nu = match_i_n(&c1, &c2).unwrap();
         let w = revmatch::MatchWitness::output_only(
-            revmatch_circuit::NpTransform::new(
-                nu,
-                revmatch_circuit::LinePermutation::identity(4),
-            )
-            .unwrap(),
+            revmatch_circuit::NpTransform::new(nu, revmatch_circuit::LinePermutation::identity(4))
+                .unwrap(),
         );
         assert!(
             !check_witness(&a, &b, &w, VerifyMode::Exhaustive, &mut rng).unwrap(),
@@ -73,11 +103,8 @@ fn broken_promises_fail_verification() {
         // N-I via inverse: same discipline.
         let nu = match_n_i_via_c2_inverse(&c1, &c2_inv).unwrap();
         let w = revmatch::MatchWitness::input_only(
-            revmatch_circuit::NpTransform::new(
-                nu,
-                revmatch_circuit::LinePermutation::identity(4),
-            )
-            .unwrap(),
+            revmatch_circuit::NpTransform::new(nu, revmatch_circuit::LinePermutation::identity(4))
+                .unwrap(),
         );
         assert!(
             !check_witness(&a, &b, &w, VerifyMode::Exhaustive, &mut rng).unwrap(),
@@ -142,11 +169,8 @@ fn quantum_matcher_on_wrong_promise_class() {
         let c2 = Oracle::new(inst.c2.clone());
         let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
         let w = revmatch::MatchWitness::input_only(
-            revmatch_circuit::NpTransform::new(
-                nu,
-                revmatch_circuit::LinePermutation::identity(5),
-            )
-            .unwrap(),
+            revmatch_circuit::NpTransform::new(nu, revmatch_circuit::LinePermutation::identity(5))
+                .unwrap(),
         );
         if !check_witness(&inst.c1, &inst.c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap() {
             refuted += 1;
@@ -163,11 +187,7 @@ fn quantum_matcher_on_wrong_promise_class() {
 fn sampled_verification_has_no_false_rejections() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for _ in 0..20 {
-        let inst = revmatch::random_instance(
-            Equivalence::new(Side::Np, Side::Np),
-            6,
-            &mut rng,
-        );
+        let inst = revmatch::random_instance(Equivalence::new(Side::Np, Side::Np), 6, &mut rng);
         for samples in [1usize, 16, 256] {
             assert!(check_witness(
                 &inst.c1,

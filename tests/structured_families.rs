@@ -11,10 +11,7 @@ use revmatch::{
 };
 use revmatch_circuit::{Circuit, Gate, LinePermutation, NegationMask};
 
-fn solve_and_check(
-    inst: &revmatch::PromiseInstance,
-    rng: &mut rand::rngs::StdRng,
-) {
+fn solve_and_check(inst: &revmatch::PromiseInstance, rng: &mut rand::rngs::StdRng) {
     let config = MatcherConfig::with_epsilon(1e-9);
     let c1 = Oracle::new(inst.c1.clone());
     let c2 = Oracle::new(inst.c2.clone());
@@ -101,23 +98,14 @@ fn permutation_only_bases_identify_small() {
     let base = pi.to_circuit();
     // Transformed by another permutation on the input side: the composite
     // is still P-I-explainable (wire relabelings compose).
-    let inst = revmatch::random_instance_from(
-        base.clone(),
-        Equivalence::new(Side::P, Side::I),
-        &mut rng,
-    );
-    let found = identify_equivalence(
-        &inst.c1,
-        &inst.c2,
-        &IdentifyOptions::default(),
-        &mut rng,
-    )
-    .unwrap()
-    .unwrap();
+    let inst =
+        revmatch::random_instance_from(base.clone(), Equivalence::new(Side::P, Side::I), &mut rng);
+    let found = identify_equivalence(&inst.c1, &inst.c2, &IdentifyOptions::default(), &mut rng)
+        .unwrap()
+        .unwrap();
     // Must be explained by P-I or something no larger.
     assert!(
-        found.equivalence.search_space(4)
-            <= Equivalence::new(Side::P, Side::I).search_space(4),
+        found.equivalence.search_space(4) <= Equivalence::new(Side::P, Side::I).search_space(4),
         "identified {}",
         found.equivalence
     );
@@ -138,22 +126,12 @@ fn xor_offset_bases() {
         solve_and_check(&inst, &mut rng);
     }
     // The whole pair collapses to I-N (or smaller): identify agrees.
-    let inst = revmatch::random_instance_from(
-        base,
-        Equivalence::new(Side::N, Side::I),
-        &mut rng,
-    );
-    let found = identify_equivalence(
-        &inst.c1,
-        &inst.c2,
-        &IdentifyOptions::default(),
-        &mut rng,
-    )
-    .unwrap()
-    .unwrap();
+    let inst = revmatch::random_instance_from(base, Equivalence::new(Side::N, Side::I), &mut rng);
+    let found = identify_equivalence(&inst.c1, &inst.c2, &IdentifyOptions::default(), &mut rng)
+        .unwrap()
+        .unwrap();
     assert!(
-        found.equivalence.search_space(4)
-            <= Equivalence::new(Side::N, Side::I).search_space(4)
+        found.equivalence.search_space(4) <= Equivalence::new(Side::N, Side::I).search_space(4)
     );
 }
 
@@ -188,11 +166,8 @@ fn quantum_matchers_on_structured_bases() {
     let base =
         revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Basic).unwrap();
 
-    let inst = revmatch::random_instance_from(
-        base.clone(),
-        Equivalence::new(Side::N, Side::I),
-        &mut rng,
-    );
+    let inst =
+        revmatch::random_instance_from(base.clone(), Equivalence::new(Side::N, Side::I), &mut rng);
     let c1 = Oracle::new(inst.c1.clone());
     let c2 = Oracle::new(inst.c2.clone());
     let nu = revmatch::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
@@ -200,11 +175,7 @@ fn quantum_matchers_on_structured_bases() {
     let simon = revmatch::match_n_i_simon(&c1, &c2, &mut rng).unwrap();
     assert_eq!(simon.nu, inst.witness.nu_x());
 
-    let inst = revmatch::random_instance_from(
-        base,
-        Equivalence::new(Side::Np, Side::I),
-        &mut rng,
-    );
+    let inst = revmatch::random_instance_from(base, Equivalence::new(Side::Np, Side::I), &mut rng);
     let c1 = Oracle::new(inst.c1.clone());
     let c2 = Oracle::new(inst.c2.clone());
     let input = revmatch::match_np_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
