@@ -12,8 +12,8 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use revmatch::{
-    random_wide_instance, ClassicalOracle, EngineJob, Equivalence, MatchEngine, MatcherConfig,
-    Oracle, Side,
+    job_seed, random_wide_instance, ClassicalOracle, EngineJob, Equivalence, JobReport, JobTicket,
+    MatchEngine, MatchService, MatcherConfig, Oracle, ServiceConfig, Side,
 };
 use revmatch_circuit::{
     random_circuit, width_mask, BatchEvaluator, EvalBackend, RandomCircuitSpec,
@@ -97,6 +97,39 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 });
             },
         );
+        // Same jobs and seeds through a persistent sharded service: no
+        // per-batch thread spawn/join, so this is the serving-layer
+        // fast path `solve_batch` wraps.
+        let service = MatchService::start(
+            ServiceConfig::default()
+                .with_shards(workers)
+                .with_queue_capacity(jobs.len())
+                .with_matcher(MatcherConfig::default()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("service_npi_w16_x64", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let tickets: Vec<JobTicket> = jobs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, job)| {
+                            service
+                                .submit_wait_seeded(black_box(job.clone()), job_seed(7, i as u64))
+                        })
+                        .collect();
+                    let solved = tickets
+                        .into_iter()
+                        .map(JobTicket::wait)
+                        .filter(|r| r.witness.is_ok())
+                        .count();
+                    assert_eq!(solved, jobs.len());
+                    solved
+                });
+            },
+        );
+        service.shutdown();
     }
     group.finish();
 }
@@ -161,15 +194,69 @@ fn speedup_summary() {
         );
     }
 
-    let jobs = engine_jobs(16, 64);
+    // Two job shapes: heavy jobs (width 16, dense-table compile
+    // dominated) where the two paths should tie, and light jobs (width
+    // 6) where `solve_batch`'s per-call service spawn/join is a real
+    // fraction of the work and the persistent service pulls ahead.
+    for (label, jobs) in [
+        ("npi w16 ×64", engine_jobs(16, 64)),
+        ("npi w6 ×256", engine_jobs(6, 256)),
+    ] {
+        println!();
+        serving_comparison(label, &jobs);
+    }
+}
+
+fn serving_comparison(label: &str, jobs: &[EngineJob]) {
     for workers in [1usize, 4] {
+        // Thread-per-batch compatibility wrapper: spawns and joins a
+        // batch-sized service every call.
         let engine = MatchEngine::new(MatcherConfig::default()).with_workers(workers);
-        let outcome = engine.solve_batch(&jobs, 7);
+        let mut batch_best = 0.0f64;
+        let mut outcome = engine.solve_batch(jobs, 7);
+        for _ in 0..5 {
+            let o = engine.solve_batch(jobs, 7);
+            batch_best = batch_best.max(o.instances_per_sec());
+            outcome = o;
+        }
+
+        // Persistent sharded service, same jobs and per-job seeds.
+        let service = MatchService::start(
+            ServiceConfig::default()
+                .with_shards(workers)
+                .with_queue_capacity(jobs.len())
+                .with_matcher(MatcherConfig::default()),
+        );
+        let mut service_best = 0.0f64;
+        let mut reports: Vec<JobReport> = Vec::new();
+        for _ in 0..5 {
+            let start = Instant::now();
+            let tickets: Vec<JobTicket> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(7, i as u64)))
+                .collect();
+            reports = tickets.into_iter().map(JobTicket::wait).collect();
+            let ips = jobs.len() as f64 / start.elapsed().as_secs_f64();
+            service_best = service_best.max(ips);
+        }
+        // Equal seeds ⇒ the two paths must agree bit for bit.
+        assert_eq!(reports.len(), outcome.reports.len());
+        for (a, b) in reports.iter().zip(&outcome.reports) {
+            assert_eq!(a.queries, b.queries, "service vs batch query count");
+            assert_eq!(
+                a.witness.as_ref().ok(),
+                b.witness.as_ref().ok(),
+                "service vs batch witness"
+            );
+        }
+        service.shutdown();
+
         println!(
-            "match engine ({workers} worker{}): {:7.0} instances/sec ({} jobs, {} queries)",
+            "engine {label}, {workers} worker{}: solve_batch {batch_best:7.0} inst/s | \
+             persistent service {service_best:7.0} inst/s ({:4.2}x) | {} queries",
             if workers == 1 { "" } else { "s" },
-            outcome.instances_per_sec(),
-            outcome.reports.len(),
+            service_best / batch_best,
             outcome.total_queries,
         );
     }

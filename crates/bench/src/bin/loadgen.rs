@@ -1,0 +1,155 @@
+//! Open-loop load generator for the serving layer.
+//!
+//! Drives a [`MatchService`] the way production traffic would: jobs
+//! arrive on a fixed schedule (`--rate` per second) regardless of how
+//! fast the service drains them — the open-loop discipline that exposes
+//! real queueing behaviour. Arrivals hitting a full intake are **dropped
+//! and counted** (`QueueFull`), never retried, so the rejection rate is
+//! the backpressure signal.
+//!
+//! The job mix cycles through `--widths` × `--mix` promised instances,
+//! pre-generated deterministically from `--seed`. At the end the
+//! generator drains the service, prints a latency/throughput summary and
+//! the full Prometheus metrics export, and verifies that every accepted
+//! job completed.
+//!
+//! Run with: `cargo run --release -p revmatch-bench --bin loadgen -- \
+//!   --rate 500 --duration-ms 2000 --shards 4 --queue-capacity 64`
+
+use std::time::{Duration, Instant};
+
+use revmatch::{
+    random_instance, EngineJob, Equivalence, MatchService, MatcherConfig, ServiceConfig,
+    SubmitOutcome,
+};
+use revmatch_bench::{service_flags, Flags};
+
+use rand::SeedableRng;
+
+const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
+[--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
+[--seed N] [--epsilon F]";
+
+const KNOWN_FLAGS: [&str; 8] = [
+    "rate",
+    "duration-ms",
+    "shards",
+    "queue-capacity",
+    "widths",
+    "mix",
+    "seed",
+    "epsilon",
+];
+
+/// Pre-generated jobs per (width, equivalence) cell of the mix.
+const POOL_PER_CELL: usize = 4;
+
+fn build_pool(widths: &[usize], mix: &[Equivalence], seed: u64) -> Vec<EngineJob> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pool = Vec::new();
+    for &w in widths {
+        for &e in mix {
+            for _ in 0..POOL_PER_CELL {
+                let inst = random_instance(e, w, &mut rng);
+                pool.push(EngineJob::from_instance(&inst, true));
+            }
+        }
+    }
+    pool
+}
+
+fn main() {
+    let flags = Flags::parse(&KNOWN_FLAGS, USAGE);
+    let rate = flags.get_f64("rate", 500.0);
+    assert!(rate > 0.0, "--rate must be positive");
+    let duration = Duration::from_millis(flags.get_u64("duration-ms", 2000));
+    let (shards, capacity) = service_flags(&flags);
+    let seed = flags.get_u64("seed", 0x10AD);
+    let epsilon = flags.get_f64("epsilon", 1e-6);
+    let widths: Vec<usize> = flags
+        .get_str("widths", "5,6")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--widths: bad width"))
+        .collect();
+    let mix: Vec<Equivalence> = flags
+        .get_str("mix", "NP-I,I-P,P-N")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--mix: bad equivalence"))
+        .collect();
+
+    let pool = build_pool(&widths, &mix, seed);
+    println!(
+        "loadgen: {rate} jobs/s for {:?} over {} shards (lane capacity {capacity}); \
+         pool of {} jobs ({:?} × {:?})",
+        duration,
+        shards,
+        pool.len(),
+        widths,
+        mix.iter().map(ToString::to_string).collect::<Vec<_>>(),
+    );
+
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_queue_capacity(capacity)
+            .with_matcher(MatcherConfig::with_epsilon(epsilon))
+            .with_seed(seed),
+    );
+
+    // Open loop: arrival i is due at start + i/rate, slept to — never
+    // gated on service progress.
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut next_arrival = start;
+    let mut offered = 0u64;
+    while start.elapsed() < duration {
+        let now = Instant::now();
+        if now < next_arrival {
+            std::thread::sleep(next_arrival - now);
+        }
+        next_arrival += interval;
+        let job = pool[offered as usize % pool.len()].clone();
+        offered += 1;
+        match service.submit(job) {
+            SubmitOutcome::Enqueued(ticket) => drop(ticket), // streamed elsewhere
+            SubmitOutcome::QueueFull(_) => {}                // open loop: drop it
+        }
+    }
+    let offered_elapsed = start.elapsed();
+    service.drain();
+    let drained_elapsed = start.elapsed();
+
+    let m = service.metrics();
+    let accepted = m.jobs_submitted();
+    let rejected = m.jobs_rejected();
+    let completed = m.jobs_completed();
+    assert_eq!(offered, accepted + rejected, "every arrival is accounted");
+    assert_eq!(completed, accepted, "drain completed every accepted job");
+    assert_eq!(m.jobs_failed(), 0, "promised instances must all solve");
+
+    let p = |q: f64| match m.latency().quantile_upper_bound(q) {
+        Some(u64::MAX) => "overflow".to_owned(),
+        Some(us) => format!("≤{:.1}ms", us as f64 / 1000.0),
+        None => "n/a".to_owned(),
+    };
+    println!(
+        "\noffered {offered} ({:.0}/s) | accepted {accepted} | rejected {rejected} \
+         ({:.1}% backpressure)",
+        offered as f64 / offered_elapsed.as_secs_f64(),
+        100.0 * rejected as f64 / offered as f64,
+    );
+    println!(
+        "completed {completed} in {:.2}s ({:.0}/s) | {} oracle queries | \
+         latency mean {:.1}ms p50 {} p99 {}",
+        drained_elapsed.as_secs_f64(),
+        completed as f64 / drained_elapsed.as_secs_f64(),
+        m.oracle_queries(),
+        m.latency().sum() as f64 / m.latency().count().max(1) as f64 / 1000.0,
+        p(0.50),
+        p(0.99),
+    );
+
+    println!("\n--- metrics export ---");
+    print!("{}", service.metrics_text());
+    service.shutdown();
+}

@@ -9,14 +9,24 @@
 //! must identify, off-diagonal pairs must be rejected, and the prefilter
 //! must never contradict a successful identification.
 //!
-//! Run with: `cargo run --release -p revmatch-bench --bin suite`
+//! A final serving stage pushes promised NP-I instances built from every
+//! suite circuit through the sharded [`MatchService`] — the continuous
+//! form of the same workload — and reports throughput and verification.
+//!
+//! Run with: `cargo run --release -p revmatch-bench --bin suite -- \
+//!   [--shards N] [--queue-capacity N]`
 
-use revmatch::{identify_equivalence, Equivalence, IdentifyOptions, Side};
-use revmatch_bench::harness_rng;
+use revmatch::{
+    check_witness, identify_equivalence, EngineJob, Equivalence, IdentifyOptions, JobTicket,
+    MatchService, MatcherConfig, ServiceConfig, Side, VerifyMode,
+};
+use revmatch_bench::{harness_rng, service_flags, Flags, SERVICE_FLAGS};
 use revmatch_circuit::{
     circuit_quantum_cost, signatures_compatible, synthesize, Circuit, Gate, SynthesisStrategy,
     TruthTable,
 };
+
+const USAGE: &str = "usage: suite [--shards N] [--queue-capacity N]";
 
 struct Entry {
     name: &'static str,
@@ -68,6 +78,8 @@ fn build_suite(width: usize, rng: &mut rand::rngs::StdRng) -> Vec<Entry> {
 }
 
 fn main() {
+    let flags = Flags::parse(&SERVICE_FLAGS, USAGE);
+    let (shards, queue_capacity) = service_flags(&flags);
     let mut rng = harness_rng();
     let width = 4;
     let suite = build_suite(width, &mut rng);
@@ -148,4 +160,52 @@ fn main() {
     );
     println!("prefilter consistent on {filter_agreements}/{cells} cells");
     println!("(off-diagonal matches, if any, are genuine accidental equivalences — verified)");
+
+    // --- Serving stage: the same suite as continuous promised traffic. --
+    // Each base circuit is hidden behind fresh NP-I transforms and the
+    // promised pairs stream through the sharded service.
+    let per_base = 8;
+    let e_npi = Equivalence::new(Side::Np, Side::I);
+    let mut pairs = Vec::new();
+    for entry in &suite {
+        for _ in 0..per_base {
+            pairs.push(revmatch::random_instance_from(
+                entry.circuit.clone(),
+                e_npi,
+                &mut rng,
+            ));
+        }
+    }
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_queue_capacity(queue_capacity)
+            .with_matcher(MatcherConfig::with_epsilon(1e-6))
+            .with_seed(0x0DAC_2024),
+    );
+    let start = std::time::Instant::now();
+    let tickets: Vec<JobTicket> = pairs
+        .iter()
+        .map(|inst| service.submit_wait(EngineJob::from_instance(inst, true)))
+        .collect();
+    let mut verified = 0;
+    for (ticket, inst) in tickets.into_iter().zip(&pairs) {
+        let report = ticket.wait();
+        let w = report.witness.expect("promised NP-I pair must solve");
+        if check_witness(&inst.c1, &inst.c2, &w, VerifyMode::Exhaustive, &mut rng).unwrap() {
+            verified += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(verified, pairs.len(), "every served witness verifies");
+    println!(
+        "\nserving stage: {} NP-I jobs over {shards} shard{} (lane capacity {queue_capacity}) \
+         in {:.1}ms — {:.0} inst/s, {} oracle queries",
+        pairs.len(),
+        if shards == 1 { "" } else { "s" },
+        elapsed.as_secs_f64() * 1e3,
+        pairs.len() as f64 / elapsed.as_secs_f64(),
+        service.metrics().oracle_queries(),
+    );
+    service.shutdown();
 }

@@ -5,12 +5,17 @@
 //! of that row is run with query-counting oracles. Counts are totals over
 //! all supplied oracles (a composite access charges each underlying box).
 //!
-//! Run with: `cargo run --release -p revmatch-bench --bin table1`
+//! Trials execute on the sharded [`MatchService`] — instance generation
+//! stays sequential (deterministic row values) while solving fans out
+//! over `--shards` workers behind a `--queue-capacity`-bounded intake.
+//!
+//! Run with: `cargo run --release -p revmatch-bench --bin table1 -- \
+//!   [--shards N] [--queue-capacity N]`
 
-use rand::Rng;
-use revmatch::{solve_promise, Equivalence, MatcherConfig, Oracle, ProblemOracles};
-use revmatch_bench::{harness_rng, median};
+use revmatch::{EngineJob, Equivalence, JobTicket, MatchService, MatcherConfig, ServiceConfig};
+use revmatch_bench::{harness_rng, median, service_flags, Flags, SERVICE_FLAGS};
 
+const USAGE: &str = "usage: table1 [--shards N] [--queue-capacity N]";
 const TRIALS: usize = 9;
 const EPSILON: f64 = 1e-3;
 
@@ -23,7 +28,7 @@ struct Row {
     series: Vec<(usize, u64)>,
 }
 
-fn instance(e: Equivalence, n: usize, rng: &mut impl Rng) -> revmatch::PromiseInstance {
+fn instance(e: Equivalence, n: usize, rng: &mut impl rand::Rng) -> revmatch::PromiseInstance {
     if n <= 10 {
         revmatch::random_instance(e, n, rng)
     } else {
@@ -31,44 +36,72 @@ fn instance(e: Equivalence, n: usize, rng: &mut impl Rng) -> revmatch::PromiseIn
     }
 }
 
-/// Runs a solve and returns total queries, inverse-assisted variant.
-fn run_with_inverse(e: Equivalence, n: usize, rng: &mut rand::rngs::StdRng) -> u64 {
-    let config = MatcherConfig::with_epsilon(EPSILON);
-    let inst = instance(e, n, rng);
-    let c1 = Oracle::new(inst.c1);
-    let c2 = Oracle::new(inst.c2);
-    let c1_inv = c1.inverse_oracle();
-    let c2_inv = c2.inverse_oracle();
-    let oracles = ProblemOracles::with_inverses(&c1, &c2, &c1_inv, &c2_inv);
-    solve_promise(e, &oracles, &config, rng).expect("promised instance must solve");
-    oracles.total_queries()
-}
-
-/// Runs a solve and returns total queries, no inverses.
-fn run_without_inverse(e: Equivalence, n: usize, rng: &mut rand::rngs::StdRng) -> u64 {
-    let config = MatcherConfig::with_epsilon(EPSILON);
-    let inst = instance(e, n, rng);
-    let c1 = Oracle::new(inst.c1);
-    let c2 = Oracle::new(inst.c2);
-    let oracles = ProblemOracles::without_inverses(&c1, &c2);
-    solve_promise(e, &oracles, &config, rng).expect("promised instance must solve");
-    oracles.total_queries()
+/// Measures one row cell: `TRIALS` instances of `e` at width `n`,
+/// submitted to the service, median of their per-job query totals.
+///
+/// A `RandomizedFailure` (the ε-probability signature collision of the
+/// Eq. 1 matchers) is retried with a fresh derived seed, and the retry's
+/// queries are charged to the trial — the total cost of solving it.
+fn cell(
+    service: &MatchService,
+    e: Equivalence,
+    n: usize,
+    with_inverses: bool,
+    rng: &mut rand::rngs::StdRng,
+) -> u64 {
+    let jobs: Vec<EngineJob> = (0..TRIALS)
+        .map(|_| EngineJob::from_instance(&instance(e, n, rng), with_inverses))
+        .collect();
+    let tickets: Vec<JobTicket> = jobs
+        .iter()
+        .map(|job| service.submit_wait(job.clone()))
+        .collect();
+    let samples: Vec<u64> = jobs
+        .iter()
+        .zip(tickets)
+        .map(|(job, ticket)| {
+            let mut report = ticket.wait();
+            let mut queries = report.queries;
+            for _ in 0..5 {
+                match &report.witness {
+                    Ok(_) => return queries,
+                    Err(revmatch::MatchError::RandomizedFailure { .. }) => {
+                        report = service.submit_wait(job.clone()).wait();
+                        queries += report.queries;
+                    }
+                    Err(other) => panic!("promised instance must solve: {other}"),
+                }
+            }
+            report.witness.expect("randomized matcher kept failing");
+            queries
+        })
+        .collect();
+    median(&samples)
 }
 
 fn series(
+    service: &MatchService,
+    e: Equivalence,
     ns: &[usize],
-    mut f: impl FnMut(usize, &mut rand::rngs::StdRng) -> u64,
+    with_inverses: bool,
     rng: &mut rand::rngs::StdRng,
 ) -> Vec<(usize, u64)> {
     ns.iter()
-        .map(|&n| {
-            let samples: Vec<u64> = (0..TRIALS).map(|_| f(n, rng)).collect();
-            (n, median(&samples))
-        })
+        .map(|&n| (n, cell(service, e, n, with_inverses, rng)))
         .collect()
 }
 
 fn main() {
+    let flags = Flags::parse(&SERVICE_FLAGS, USAGE);
+    let (shards, capacity) = service_flags(&flags);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_queue_capacity(capacity)
+            .with_matcher(MatcherConfig::with_epsilon(EPSILON))
+            .with_seed(0x0DAC_2024),
+    );
+
     let mut rng = harness_rng();
     let e = |s: &str| s.parse::<Equivalence>().unwrap();
     let classical_ns = [4usize, 8, 16, 32, 64];
@@ -83,11 +116,7 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(1)",
-            series: series(
-                &classical_ns,
-                |n, r| run_with_inverse(e(name), n, r),
-                &mut rng,
-            ),
+            series: series(&service, e(name), &classical_ns, true, &mut rng),
         });
     }
     for name in ["I-P", "P-I", "N-P", "P-N", "I-NP", "NP-I"] {
@@ -96,11 +125,7 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(log n)",
-            series: series(
-                &classical_ns,
-                |n, r| run_with_inverse(e(name), n, r),
-                &mut rng,
-            ),
+            series: series(&service, e(name), &classical_ns, true, &mut rng),
         });
     }
 
@@ -110,11 +135,7 @@ fn main() {
         equivalence: "I-N",
         paradigm: "classical",
         bound: "O(1)",
-        series: series(
-            &classical_ns,
-            |n, r| run_without_inverse(e("I-N"), n, r),
-            &mut rng,
-        ),
+        series: series(&service, e("I-N"), &classical_ns, false, &mut rng),
     });
     for name in ["I-P", "I-NP"] {
         rows.push(Row {
@@ -122,11 +143,7 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(log n + log 1/eps)",
-            series: series(
-                &classical_ns,
-                |n, r| run_without_inverse(e(name), n, r),
-                &mut rng,
-            ),
+            series: series(&service, e(name), &classical_ns, false, &mut rng),
         });
     }
     for name in ["P-I", "P-N"] {
@@ -135,11 +152,7 @@ fn main() {
             equivalence: name,
             paradigm: "classical",
             bound: "O(n)",
-            series: series(
-                &classical_ns,
-                |n, r| run_without_inverse(e(name), n, r),
-                &mut rng,
-            ),
+            series: series(&service, e(name), &classical_ns, false, &mut rng),
         });
     }
     rows.push(Row {
@@ -147,22 +160,14 @@ fn main() {
         equivalence: "N-I",
         paradigm: "quantum",
         bound: "O(n log 1/eps)",
-        series: series(
-            &quantum_ns,
-            |n, r| run_without_inverse(e("N-I"), n, r),
-            &mut rng,
-        ),
+        series: series(&service, e("N-I"), &quantum_ns, false, &mut rng),
     });
     rows.push(Row {
         inverse: "not available",
         equivalence: "NP-I",
         paradigm: "quantum",
         bound: "O(n^2 log 1/eps)",
-        series: series(
-            &quantum_ns,
-            |n, r| run_without_inverse(e("NP-I"), n, r),
-            &mut rng,
-        ),
+        series: series(&service, e("NP-I"), &quantum_ns, false, &mut rng),
     });
 
     // --- Print --------------------------------------------------------
@@ -170,8 +175,14 @@ fn main() {
         "Table 1 (reproduced): measured oracle queries, median of {TRIALS} trials, eps = {EPSILON}"
     );
     println!(
-        "k_rand = ceil(log2(n(n-1)/eps)) probes; quantum k = {} swap-test rounds\n",
+        "k_rand = ceil(log2(n(n-1)/eps)) probes; quantum k = {} swap-test rounds",
         MatcherConfig::with_epsilon(EPSILON).quantum_k
+    );
+    println!(
+        "solved on {} worker shard{} (lane capacity {capacity}), {} jobs total\n",
+        shards,
+        if shards == 1 { "" } else { "s" },
+        service.metrics().jobs_completed(),
     );
     println!(
         "{:<14} {:<6} {:<10} {:<22} measured queries per n",
@@ -218,4 +229,5 @@ fn main() {
         "  I-P* grows ~logarithmically:    {:?}",
         ip.series.iter().map(|&(_, q)| q).collect::<Vec<_>>()
     );
+    service.shutdown();
 }

@@ -1,37 +1,37 @@
 //! Batch match engine: solve many promise instances concurrently.
 //!
-//! The matchers in this crate solve one promise instance at a time. A
-//! production matching service faces the opposite shape: a stream of
-//! independent instances that should saturate the hardware. This module
-//! is the seed of that serving layer:
+//! The matchers in this crate solve one promise instance at a time; the
+//! serving layer in [`crate::service`] runs a persistent sharded worker
+//! pool with an intake queue, backpressure and metrics. This module is
+//! the slice-shaped compatibility surface between the two:
 //!
-//! * [`MatchEngine`] fans a slice of [`EngineJob`]s out over a pool of
-//!   OS threads (`std::thread::scope` with an atomic work-stealing
-//!   cursor — no external runtime), one oracle set per job so query
-//!   accounting stays per-instance;
-//! * oracles are optionally **precompiled** ([`Oracle::precompiled`])
-//!   into dense tables, so each probe inside the solvers is a table
-//!   load — combined with the batched probe rounds this is the
-//!   fast path measured by the `batched_oracles` benchmark;
+//! * [`EngineJob`] / [`JobReport`] are the job and result types shared
+//!   with the service;
+//! * [`MatchEngine::solve_batch`] is a thin wrapper that spins up a
+//!   [`crate::service::MatchService`] sized to the batch, submits every
+//!   job with its deterministic per-index seed, waits for all tickets,
+//!   and shuts the service down — existing batch callers keep working
+//!   unchanged while streaming callers move to the service directly;
 //! * [`BatchOutcome`] aggregates per-job results with total query and
 //!   wall-clock accounting ([`BatchOutcome::instances_per_sec`]).
 //!
 //! Determinism: job `i` is solved with an RNG seeded from
-//! `seed ⊕ f(i)`, independent of which worker picks it up, so a batch
-//! solve is reproducible under any worker count.
+//! `seed ⊕ (i · 0x9E3779B97F4A7C15)`, independent of which worker shard
+//! picks it up, so a batch solve is reproducible under any worker count —
+//! and identical between this wrapper and direct
+//! [`crate::service::MatchService::submit_seeded`] calls with the same
+//! per-job seeds.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use revmatch_circuit::Circuit;
 
 use crate::equivalence::Equivalence;
 use crate::error::MatchError;
-use crate::matchers::{solve_promise, MatcherConfig, ProblemOracles};
-use crate::oracle::Oracle;
+use crate::matchers::MatcherConfig;
 use crate::promise::PromiseInstance;
+use crate::service::{job_seed, JobTicket, MatchService, ServiceConfig};
 use crate::witness::MatchWitness;
 
 /// One matching problem for the engine: a promised pair plus the
@@ -100,6 +100,10 @@ impl BatchOutcome {
 
 /// A reusable concurrent solver for batches of promise instances.
 ///
+/// Each `solve_batch` call runs on a fresh, batch-sized
+/// [`MatchService`]; callers that submit continuously should hold a
+/// long-lived service instead and skip the per-batch spawn/join cost.
+///
 /// # Examples
 ///
 /// ```
@@ -146,9 +150,9 @@ impl MatchEngine {
         self
     }
 
-    /// Enables or disables eager [`Oracle::precompiled`] dense-table
-    /// backends (enabled by default; disable to measure the gate-walk
-    /// path or to bound per-job memory).
+    /// Enables or disables eager [`crate::Oracle::precompiled`]
+    /// dense-table backends (enabled by default; disable to measure the
+    /// gate-walk path or to bound per-job memory).
     #[must_use]
     pub fn with_precompiled_oracles(mut self, precompile: bool) -> Self {
         self.precompile = precompile;
@@ -160,71 +164,37 @@ impl MatchEngine {
         self.workers
     }
 
-    /// Solves one job (the worker body), returning its report.
-    fn solve_job(&self, job: &EngineJob, seed: u64) -> JobReport {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let wrap = |c: Circuit| {
-            if self.precompile {
-                Oracle::precompiled(c)
-            } else {
-                Oracle::new(c)
-            }
-        };
-        let c1 = wrap(job.c1.clone());
-        let c2 = wrap(job.c2.clone());
-        let (c1_inv, c2_inv) = if job.with_inverses {
-            (Some(c1.inverse_oracle()), Some(c2.inverse_oracle()))
-        } else {
-            (None, None)
-        };
-        let oracles = ProblemOracles {
-            c1: &c1,
-            c2: &c2,
-            c1_inv: c1_inv.as_ref(),
-            c2_inv: c2_inv.as_ref(),
-        };
-        let witness = solve_promise(job.equivalence, &oracles, &self.config, &mut rng);
-        JobReport {
-            witness,
-            queries: oracles.total_queries(),
-        }
-    }
-
-    /// Solves every job, fanning out over the worker pool.
+    /// Solves every job on a batch-sized [`MatchService`].
     ///
     /// Results come back in job order. `seed` makes the whole batch
     /// deterministic (each job's RNG depends only on `seed` and its
-    /// index, not on scheduling).
+    /// index, not on scheduling or shard placement).
     pub fn solve_batch(&self, jobs: &[EngineJob], seed: u64) -> BatchOutcome {
         let start = Instant::now();
-        let mut slots: Vec<Option<JobReport>> = Vec::new();
-        slots.resize_with(jobs.len(), || None);
-        let slots = Mutex::new(slots);
-        let cursor = AtomicUsize::new(0);
-        let workers = self.workers.min(jobs.len()).max(1);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    // SplitMix-style index whitening keeps per-job seeds
-                    // decorrelated.
-                    let job_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    let report = self.solve_job(&jobs[i], job_seed);
-                    slots.lock().expect("no poisoned workers")[i] = Some(report);
-                });
-            }
-        });
-
-        let reports: Vec<JobReport> = slots
-            .into_inner()
-            .expect("scope joined all workers")
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
+        if jobs.is_empty() {
+            return BatchOutcome {
+                reports: Vec::new(),
+                total_queries: 0,
+                elapsed: start.elapsed(),
+            };
+        }
+        let shards = self.workers.min(jobs.len()).max(1);
+        let service = MatchService::start(
+            ServiceConfig::default()
+                .with_shards(shards)
+                .with_queue_capacity(jobs.len().div_ceil(shards))
+                .with_matcher(self.config.clone())
+                .with_precompiled_oracles(self.precompile)
+                .with_seed(seed),
+        );
+        // Total intake capacity covers the batch, so no submit blocks.
+        let tickets: Vec<JobTicket> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(seed, i as u64)))
             .collect();
+        let reports: Vec<JobReport> = tickets.into_iter().map(JobTicket::wait).collect();
+        service.shutdown();
         let total_queries = reports.iter().map(|r| r.queries).sum();
         BatchOutcome {
             reports,
@@ -272,6 +242,7 @@ mod tests {
     use crate::lattice::classify;
     use crate::promise::random_instance;
     use crate::verify::{check_witness, VerifyMode};
+    use rand::SeedableRng;
 
     fn tractable_batch(width: usize, per_type: usize) -> (Vec<EngineJob>, Vec<PromiseInstance>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xE51E);
@@ -372,5 +343,31 @@ mod tests {
         let jobs = random_job_batch(Equivalence::new(Side::I, Side::P), 4, 6, true, &mut rng);
         assert_eq!(jobs.len(), 6);
         assert!(jobs.iter().all(|j| j.c1.width() == 4 && j.with_inverses));
+    }
+
+    #[test]
+    fn wrapper_matches_direct_service_submission() {
+        let (jobs, _) = tractable_batch(4, 1);
+        let engine = MatchEngine::new(MatcherConfig::with_epsilon(1e-6)).with_workers(3);
+        let batch = engine.solve_batch(&jobs, 21);
+        let service = MatchService::start(
+            ServiceConfig::default()
+                .with_shards(2)
+                .with_matcher(MatcherConfig::with_epsilon(1e-6)),
+        );
+        let tickets: Vec<JobTicket> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(21, i as u64)))
+            .collect();
+        for (ticket, via_batch) in tickets.into_iter().zip(&batch.reports) {
+            let direct = ticket.wait();
+            assert_eq!(direct.queries, via_batch.queries);
+            assert_eq!(
+                direct.witness.as_ref().ok(),
+                via_batch.witness.as_ref().ok()
+            );
+        }
+        service.shutdown();
     }
 }

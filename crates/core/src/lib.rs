@@ -56,8 +56,11 @@
 //! * [`matchers`] — every algorithm of Table 1, the classical collision
 //!   baseline of Theorem 1, the Simon-style hidden-shift matcher, a
 //!   brute-force matcher and witness counting;
-//! * [`engine`] — the concurrent batch engine solving many promise
-//!   instances at once with aggregate accounting;
+//! * [`engine`] — the batch-shaped front end solving a slice of promise
+//!   instances with aggregate accounting;
+//! * [`service`] — the sharded serving layer underneath it: persistent
+//!   worker shards, a bounded intake queue with backpressure, per-job
+//!   completion tickets and Prometheus-style metrics;
 //! * [`hardness`] — the Fig. 5 UNIQUE-SAT encodings behind Theorems 2–3;
 //! * [`miter`] — complete SAT-based equivalence/witness checking with
 //!   counterexamples;
@@ -87,11 +90,12 @@
 //!   table costs ≤ 512 KiB and amortizes after `2^n / 64` probes —
 //!   and bit-slicing beyond.
 //!
-//! The [`engine`] module scales this across instances:
-//! [`MatchEngine::solve_batch`] solves a slice of [`EngineJob`]s on a
-//! thread pool with deterministic per-job seeding and aggregate
-//! query/latency accounting — see its module docs for the serving-layer
-//! design.
+//! The [`service`] module scales this across instances:
+//! [`MatchService`] runs persistent worker shards behind a bounded
+//! intake queue with explicit backpressure, deterministic per-job
+//! seeding and a metrics registry — see its module docs for the
+//! serving-layer design. [`MatchEngine::solve_batch`] remains the
+//! slice-shaped wrapper over it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -106,6 +110,7 @@ pub mod matchers;
 pub mod miter;
 pub mod oracle;
 pub mod promise;
+pub mod service;
 pub mod verify;
 pub mod witness;
 
@@ -124,11 +129,17 @@ pub use matchers::{
     match_p_i_via_c1_inverse, match_p_i_via_c2_inverse, match_p_n, match_p_n_via_inverses,
     solve_promise, CollisionOutcome, MatcherConfig, ProblemOracles, SimonOutcome,
 };
-pub use miter::{check_equivalence_sat, check_witness_sat, SatEquivalence};
+pub use miter::{
+    check_equivalence_sat, check_equivalence_sat_budgeted, check_witness_sat,
+    check_witness_sat_budgeted, MiterVerdict, SatEquivalence,
+};
 pub use oracle::{
     ClassicalOracle, ComposedOracle, Oracle, QuantumOracle, XorInputOracle, XorOutputOracle,
 };
 pub use promise::{random_instance, random_instance_from, random_wide_instance, PromiseInstance};
+pub use service::{
+    job_seed, Histogram, JobTicket, MatchService, Metrics, ServiceConfig, SubmitOutcome,
+};
 pub use verify::{check_witness, VerifyMode};
 pub use witness::MatchWitness;
 

@@ -16,6 +16,13 @@
 //!
 //! Encoding size: one fresh variable per gate firing condition plus one
 //! per target update — `O(n + g)` variables and `O(Σ controls)` clauses.
+//!
+//! Solving strategy: the DPLL is hinted to branch on the shared input
+//! variables first (every gate variable is propagation-determined once
+//! the inputs are fixed), bounding the miter search at `2^n` nodes; the
+//! `*_budgeted` variants additionally cap decisions + conflicts and
+//! return [`MiterVerdict::Unknown`] instead of searching without bound —
+//! the serving-safe form for untrusted or wide inputs.
 
 use revmatch_circuit::Circuit;
 use revmatch_sat::{Clause, Cnf, Lit, Solver, Var};
@@ -39,6 +46,43 @@ impl SatEquivalence {
     /// Whether the verdict is equivalence.
     pub fn is_equivalent(&self) -> bool {
         matches!(self, Self::Equivalent)
+    }
+}
+
+/// Outcome of a budget-limited SAT equivalence query
+/// ([`check_equivalence_sat_budgeted`]).
+///
+/// Counterexamples are usually cheap to find (the miter is solution-rich
+/// when the circuits differ); it is the UNSAT *proof* of equivalence that
+/// blows up on a DPLL without clause learning. The budget converts that
+/// blow-up into an explicit [`MiterVerdict::Unknown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiterVerdict {
+    /// The circuits agree on every input (miter UNSAT within budget).
+    Equivalent,
+    /// A distinguishing input was found.
+    Counterexample {
+        /// The input pattern on which the circuits differ.
+        input: u64,
+    },
+    /// The search budget ran out before a verdict.
+    Unknown {
+        /// Branching decisions spent before giving up.
+        decisions: usize,
+        /// Conflicts reached before giving up.
+        conflicts: usize,
+    },
+}
+
+impl MiterVerdict {
+    /// Whether the verdict is equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Self::Equivalent)
+    }
+
+    /// Whether the budget ran out before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Self::Unknown { .. })
     }
 }
 
@@ -106,6 +150,77 @@ pub fn check_witness_sat(
     c2: &Circuit,
     witness: &MatchWitness,
 ) -> Result<SatEquivalence, MatchError> {
+    let (cnf, n) = build_miter(c1, c2, witness)?;
+    // Branch on the shared inputs first: every gate variable is
+    // propagation-determined once the inputs are fixed, so the search
+    // tree is bounded by 2^n instead of wandering through the cascade.
+    match Solver::new(&cnf).with_branch_hint((0..n).collect()).solve() {
+        revmatch_sat::Solve::Unsat => Ok(SatEquivalence::Equivalent),
+        revmatch_sat::Solve::Sat(model) => Ok(SatEquivalence::Counterexample {
+            input: model_input(&model, n),
+        }),
+    }
+}
+
+/// Budget-limited form of [`check_witness_sat`]: spends at most `budget`
+/// decisions + conflicts before returning [`MiterVerdict::Unknown`].
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on inconsistent widths.
+pub fn check_witness_sat_budgeted(
+    c1: &Circuit,
+    c2: &Circuit,
+    witness: &MatchWitness,
+    budget: usize,
+) -> Result<MiterVerdict, MatchError> {
+    let (cnf, n) = build_miter(c1, c2, witness)?;
+    let mut solver = Solver::new(&cnf)
+        .with_branch_hint((0..n).collect())
+        .with_budget(budget);
+    Ok(match solver.solve_budgeted() {
+        revmatch_sat::BudgetedSolve::Unsat => MiterVerdict::Equivalent,
+        revmatch_sat::BudgetedSolve::Sat(model) => MiterVerdict::Counterexample {
+            input: model_input(&model, n),
+        },
+        revmatch_sat::BudgetedSolve::Unknown => MiterVerdict::Unknown {
+            decisions: solver.decisions(),
+            conflicts: solver.conflicts(),
+        },
+    })
+}
+
+/// Budget-limited plain (I-I) equivalence check.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement.
+pub fn check_equivalence_sat_budgeted(
+    c1: &Circuit,
+    c2: &Circuit,
+    budget: usize,
+) -> Result<MiterVerdict, MatchError> {
+    check_witness_sat_budgeted(c1, c2, &MatchWitness::identity(c1.width()), budget)
+}
+
+/// Decodes the shared input pattern from a miter model.
+fn model_input(model: &[bool], n: usize) -> u64 {
+    let mut input = 0u64;
+    for (i, &b) in model.iter().take(n).enumerate() {
+        if b {
+            input |= 1 << i;
+        }
+    }
+    input
+}
+
+/// Encodes the full miter of `c1` against `witness ∘ c2 ∘ witness`,
+/// returning the formula and the shared width.
+fn build_miter(
+    c1: &Circuit,
+    c2: &Circuit,
+    witness: &MatchWitness,
+) -> Result<(Cnf, usize), MatchError> {
     let n = c1.width();
     if n != c2.width() {
         return Err(MatchError::WidthMismatch {
@@ -165,19 +280,7 @@ pub fn check_witness_sat(
         diff_lits.push(diff);
     }
     cnf.add_clause(Clause::new(diff_lits));
-
-    match Solver::new(&cnf).solve() {
-        revmatch_sat::Solve::Unsat => Ok(SatEquivalence::Equivalent),
-        revmatch_sat::Solve::Sat(model) => {
-            let mut input = 0u64;
-            for (i, &b) in model.iter().take(n).enumerate() {
-                if b {
-                    input |= 1 << i;
-                }
-            }
-            Ok(SatEquivalence::Counterexample { input })
-        }
-    }
+    Ok((cnf, n))
 }
 
 /// SAT-based plain (I-I) equivalence check: `c1 ≡ c2`?
@@ -321,6 +424,42 @@ mod tests {
         let a = Circuit::new(2);
         let b = Circuit::new(3);
         assert!(check_equivalence_sat(&a, &b).is_err());
+        assert!(check_equivalence_sat_budgeted(&a, &b, 100).is_err());
+    }
+
+    #[test]
+    fn budgeted_miter_agrees_with_complete_when_it_answers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..8 {
+            let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+            let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+            let complete = check_equivalence_sat(&a, &b).unwrap();
+            match check_equivalence_sat_budgeted(&a, &b, 10_000).unwrap() {
+                MiterVerdict::Equivalent => assert!(complete.is_equivalent()),
+                MiterVerdict::Counterexample { input } => {
+                    assert_ne!(a.apply(input), b.apply(input));
+                }
+                MiterVerdict::Unknown { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_reports_unknown_on_hard_equivalence() {
+        // A deep random pair at width 8 needs real branching to prove
+        // equivalent; a zero budget must give up immediately instead.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let c = revmatch_circuit::random_function_circuit(6, &mut rng);
+        let tt = c.truth_table().unwrap();
+        let resynth =
+            revmatch_circuit::synthesize(&tt, revmatch_circuit::SynthesisStrategy::Basic).unwrap();
+        let verdict = check_equivalence_sat_budgeted(&c, &resynth, 0).unwrap();
+        // Either the propagation alone proves it (fine), or we get an
+        // explicit Unknown — never a runaway search or a wrong verdict.
+        match verdict {
+            MiterVerdict::Equivalent | MiterVerdict::Unknown { .. } => {}
+            MiterVerdict::Counterexample { .. } => panic!("bogus counterexample"),
+        }
     }
 
     #[test]

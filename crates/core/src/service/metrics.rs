@@ -1,0 +1,337 @@
+//! Lock-free serving metrics with a Prometheus-style text export.
+//!
+//! [`Metrics`] is a fixed registry for the serving layer: monotonic
+//! counters for job and query totals, one queue-depth gauge per shard, and
+//! two histograms (job latency, intake depth at submit). Everything is
+//! plain atomics — recording a sample is a handful of `fetch_add`s, cheap
+//! enough to leave on in production — and [`Metrics::render`] serializes
+//! the whole registry in the Prometheus text exposition format (`# HELP`
+//! / `# TYPE` headers, `_bucket{le="…"}` cumulative histogram rows), so
+//! the output can be scraped or diffed as-is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket cumulative histogram over `u64` samples.
+///
+/// Buckets are defined by inclusive upper bounds; a sample lands in every
+/// bucket whose bound is ≥ the sample (cumulative, as Prometheus expects).
+/// `sum`/`count` come for free with the observations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be
+    /// ascending).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        let buckets = bounds.iter().map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0 < q <= 1`), or `None` when the histogram is empty. Samples
+    /// past the last bound report `u64::MAX`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(*bound);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Renders the histogram as Prometheus text. `denom` converts the raw
+    /// `u64` samples into the exported unit by division (e.g. `1e6` for
+    /// µs → s; powers of ten divide cleanly, keeping `le` labels short).
+    fn render(&self, out: &mut String, name: &str, help: &str, denom: f64) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = *bound as f64 / denom;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum() as f64 / denom);
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// Latency bucket bounds in microseconds: 50 µs … ~52 s, doubling.
+fn latency_bounds() -> Vec<u64> {
+    (0..21).map(|i| 50u64 << i).collect()
+}
+
+/// Queue-depth bucket bounds: 0, 1, 2, 4, … 1024.
+fn depth_bounds() -> Vec<u64> {
+    std::iter::once(0)
+        .chain((0..11).map(|i| 1u64 << i))
+        .collect()
+}
+
+/// Metrics registry for one [`super::MatchService`].
+///
+/// All counters are monotonic totals since service start; gauges track the
+/// live per-shard intake depth. See [`Metrics::render`] for the export.
+#[derive(Debug)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    queries: AtomicU64,
+    shard_depth: Vec<AtomicU64>,
+    latency: Histogram,
+    intake_depth: Histogram,
+}
+
+impl Metrics {
+    /// A fresh registry for a service with `shards` worker shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            latency: Histogram::new(latency_bounds()),
+            intake_depth: Histogram::new(depth_bounds()),
+        }
+    }
+
+    /// Counts an accepted job. Called from the queue's `on_accept` hook,
+    /// i.e. **under the lane lock with the job not yet poppable**: the
+    /// counter stays monotonic and a concurrent scrape can never observe
+    /// `completed > submitted`. `depth_after` is exact for the same
+    /// reason.
+    pub(crate) fn record_accept(&self, shard: usize, depth_after: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shard_depth[shard].store(depth_after as u64, Ordering::Relaxed);
+        self.intake_depth.observe(depth_after as u64);
+    }
+
+    pub(crate) fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Called from the queue's `on_pop` hook (under the lane lock), so
+    /// per-lane gauge stores are serialized and never stick stale.
+    pub(crate) fn record_dequeue(&self, shard: usize, depth_after: usize) {
+        self.shard_depth[shard].store(depth_after as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completion(&self, failed: bool, queries: u64, latency_micros: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.queries.fetch_add(queries, Ordering::Relaxed);
+        self.latency.observe(latency_micros);
+    }
+
+    /// Jobs accepted into the intake queue.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs rejected with `QueueFull`.
+    pub fn jobs_rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs fully executed (their ticket is resolved).
+    pub fn jobs_completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Completed jobs whose matcher returned an error.
+    pub fn jobs_failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Total oracle queries spent across completed jobs.
+    pub fn oracle_queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The job-latency histogram (accept → completion, microseconds).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// The intake-depth-at-submit histogram.
+    pub fn intake_depth(&self) -> &Histogram {
+        &self.intake_depth
+    }
+
+    /// Serializes every metric in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let counters = [
+            (
+                "revmatch_jobs_submitted_total",
+                "Jobs accepted into the intake queue.",
+                self.jobs_submitted(),
+            ),
+            (
+                "revmatch_jobs_rejected_total",
+                "Jobs rejected because every intake lane was full.",
+                self.jobs_rejected(),
+            ),
+            (
+                "revmatch_jobs_completed_total",
+                "Jobs executed to completion.",
+                self.jobs_completed(),
+            ),
+            (
+                "revmatch_jobs_failed_total",
+                "Completed jobs whose matcher returned an error.",
+                self.jobs_failed(),
+            ),
+            (
+                "revmatch_oracle_queries_total",
+                "Oracle queries spent across completed jobs.",
+                self.oracle_queries(),
+            ),
+        ];
+        for (name, help, value) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP revmatch_shard_queue_depth Live intake depth per worker shard."
+        );
+        let _ = writeln!(out, "# TYPE revmatch_shard_queue_depth gauge");
+        for (i, d) in self.shard_depth.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "revmatch_shard_queue_depth{{shard=\"{i}\"}} {}",
+                d.load(Ordering::Relaxed)
+            );
+        }
+        self.latency.render(
+            &mut out,
+            "revmatch_job_latency_seconds",
+            "Job latency from intake accept to completion.",
+            1e6,
+        );
+        self.intake_depth.render(
+            &mut out,
+            "revmatch_intake_depth",
+            "Intake-lane depth observed at each accepted submit.",
+            1.0,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_is_cumulative_with_overflow() {
+        let h = Histogram::new(vec![1, 10, 100]);
+        for v in [0, 1, 5, 50, 500] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 556);
+        let mut out = String::new();
+        h.render(&mut out, "t", "test", 1.0);
+        assert!(out.contains("t_bucket{le=\"1\"} 2"));
+        assert!(out.contains("t_bucket{le=\"10\"} 3"));
+        assert!(out.contains("t_bucket{le=\"100\"} 4"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 5"));
+        assert!(out.contains("t_count 5"));
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        for v in [5, 50, 50, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_upper_bound(0.25), Some(10));
+        assert_eq!(h.quantile_upper_bound(0.5), Some(100));
+        assert_eq!(h.quantile_upper_bound(0.75), Some(100));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn render_includes_every_family() {
+        let m = Metrics::new(2);
+        m.record_accept(1, 3);
+        m.record_completion(false, 12, 250);
+        m.record_reject();
+        let text = m.render();
+        for needle in [
+            "revmatch_jobs_submitted_total 1",
+            "revmatch_jobs_rejected_total 1",
+            "revmatch_jobs_completed_total 1",
+            "revmatch_jobs_failed_total 0",
+            "revmatch_oracle_queries_total 12",
+            "revmatch_shard_queue_depth{shard=\"1\"} 3",
+            "revmatch_job_latency_seconds_bucket",
+            "revmatch_intake_depth_count 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle}\n{text}");
+        }
+    }
+
+    #[test]
+    fn latency_scale_exports_seconds() {
+        let m = Metrics::new(1);
+        m.record_completion(true, 1, 2_000_000); // 2 s
+        let text = m.render();
+        assert!(text.contains("revmatch_job_latency_seconds_sum 2"));
+        assert!(text.contains("revmatch_jobs_failed_total 1"));
+    }
+}

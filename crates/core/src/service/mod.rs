@@ -1,0 +1,503 @@
+//! The sharded serving layer: continuous matching under load.
+//!
+//! [`crate::engine`] solves a pre-built slice of jobs and returns; a
+//! production matcher faces the opposite shape — clients submit jobs over
+//! time and expect explicit backpressure when they outrun the hardware.
+//! [`MatchService`] is that layer:
+//!
+//! * **N persistent worker shards** (`std::thread`, no external runtime),
+//!   each owning one lane of a bounded MPMC intake queue. Jobs are routed
+//!   by a hash of `(width, equivalence)` so same-shaped work lands on the
+//!   same shard — its dense-table/precompiled-oracle allocations and
+//!   branch history stay hot — and idle workers steal from the fullest
+//!   lane so affinity never costs parallelism.
+//! * **Explicit backpressure**: [`MatchService::submit`] never blocks; it
+//!   returns [`SubmitOutcome::Enqueued`] with a [`JobTicket`] or hands the
+//!   job back as [`SubmitOutcome::QueueFull`]. [`MatchService::submit_wait`]
+//!   is the blocking variant for batch producers.
+//! * **Per-job completion handles**: a [`JobTicket`] resolves to the
+//!   [`JobReport`] for exactly that job — results stream out as they
+//!   finish, in any order, with nothing lost.
+//! * **Graceful teardown**: [`MatchService::drain`] waits until every
+//!   accepted job has completed (the service stays usable);
+//!   [`MatchService::shutdown`] (and `Drop`) closes the intake, finishes
+//!   the backlog, and joins the workers.
+//! * **Metrics**: every accept/reject/completion feeds an atomic
+//!   [`Metrics`] registry with a Prometheus-style text export
+//!   ([`MatchService::metrics_text`]).
+//!
+//! Determinism mirrors the engine contract: a job solved with seed `s`
+//! produces the same witness and query count whichever shard or worker
+//! count executes it ([`MatchService::submit_seeded`]); `submit` derives
+//! seeds from the service seed and the job's accept index, so a fixed
+//! submission order is reproducible end to end.
+//!
+//! ```
+//! use revmatch::{random_job_batch, Equivalence, MatchService, ServiceConfig, Side};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let jobs = random_job_batch(Equivalence::new(Side::Np, Side::I), 5, 4, true, &mut rng);
+//! let service = MatchService::start(ServiceConfig::default().with_shards(2));
+//! let tickets: Vec<_> = jobs
+//!     .into_iter()
+//!     .map(|job| service.submit_wait(job))
+//!     .collect();
+//! for t in tickets {
+//!     assert!(t.wait().witness.is_ok());
+//! }
+//! assert_eq!(service.metrics().jobs_completed(), 4);
+//! service.shutdown();
+//! ```
+
+mod metrics;
+mod queue;
+
+pub use metrics::{Histogram, Metrics};
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rand::SeedableRng;
+
+use crate::engine::{EngineJob, JobReport};
+use crate::matchers::{solve_promise, MatcherConfig, ProblemOracles};
+use crate::oracle::Oracle;
+use queue::ShardedQueue;
+
+/// SplitMix64 increment used to whiten per-job seed indices; shared with
+/// [`crate::engine`] so both paths derive identical seeds.
+const SEED_WHITENER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the RNG seed for the `index`-th job of a stream rooted at
+/// `base` — independent of shard placement and worker count.
+///
+/// [`crate::MatchEngine::solve_batch`] seeds job `i` with
+/// `job_seed(batch_seed, i)`; submitting the same jobs through
+/// [`MatchService::submit_seeded`] with these seeds reproduces its
+/// witnesses and query counts exactly.
+pub fn job_seed(base: u64, index: u64) -> u64 {
+    base ^ index.wrapping_mul(SEED_WHITENER)
+}
+
+/// Configuration for a [`MatchService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker shards (threads). Defaults to
+    /// `available_parallelism`.
+    pub shards: usize,
+    /// Intake capacity **per shard lane**; total capacity is
+    /// `shards × queue_capacity`. Defaults to 64.
+    pub queue_capacity: usize,
+    /// Matcher tuning shared by every worker.
+    pub matcher: MatcherConfig,
+    /// Eagerly compile oracles into dense tables ([`Oracle::precompiled`]).
+    pub precompile: bool,
+    /// Base seed for [`MatchService::submit`]'s derived per-job seeds.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_capacity: 64,
+            matcher: MatcherConfig::default(),
+            precompile: true,
+            seed: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Overrides the shard count (clamped to at least 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the per-lane intake capacity (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the matcher tuning.
+    #[must_use]
+    pub fn with_matcher(mut self, matcher: MatcherConfig) -> Self {
+        self.matcher = matcher;
+        self
+    }
+
+    /// Enables or disables dense-table oracle precompilation.
+    #[must_use]
+    pub fn with_precompiled_oracles(mut self, precompile: bool) -> Self {
+        self.precompile = precompile;
+        self
+    }
+
+    /// Sets the base seed for derived per-job seeds.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// State shared between a ticket and the worker resolving it.
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<JobReport>>,
+    done: Condvar,
+}
+
+/// Completion handle for one accepted job.
+///
+/// Returned by the `submit` family; resolves to the job's [`JobReport`]
+/// via [`JobTicket::wait`]. Tickets outlive the service — a report
+/// produced before shutdown can be claimed after it.
+#[derive(Debug)]
+pub struct JobTicket {
+    id: u64,
+    state: Arc<TicketState>,
+}
+
+impl JobTicket {
+    /// The job's accept index (also the index used for derived seeding).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the job has finished (its report is ready).
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().expect("ticket lock").is_some()
+    }
+
+    /// Blocks until the job completes and returns its report.
+    pub fn wait(self) -> JobReport {
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(report) = slot.take() {
+                return report;
+            }
+            slot = self.state.done.wait(slot).expect("ticket wait");
+        }
+    }
+}
+
+/// Result of a non-blocking [`MatchService::submit`].
+#[derive(Debug)]
+#[must_use = "a rejected job is handed back inside QueueFull"]
+pub enum SubmitOutcome {
+    /// The job was accepted; redeem the ticket for its report.
+    Enqueued(JobTicket),
+    /// Every intake lane is full; the job is returned untouched.
+    QueueFull(EngineJob),
+}
+
+impl SubmitOutcome {
+    /// Whether the job was accepted.
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, Self::Enqueued(_))
+    }
+
+    /// The ticket, if the job was accepted.
+    pub fn ticket(self) -> Option<JobTicket> {
+        match self {
+            Self::Enqueued(t) => Some(t),
+            Self::QueueFull(_) => None,
+        }
+    }
+}
+
+/// One queued unit of work.
+#[derive(Debug)]
+struct Request {
+    job: EngineJob,
+    seed: u64,
+    accepted_at: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// State shared by the service handle and its workers.
+#[derive(Debug)]
+struct Shared {
+    intake: ShardedQueue<Request>,
+    metrics: Metrics,
+    matcher: MatcherConfig,
+    precompile: bool,
+    /// Accepted-but-unfinished jobs, with a condvar for [`MatchService::drain`].
+    in_flight: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Shared {
+    /// Executes one job with a deterministic RNG; the worker body. Takes
+    /// the job by value — the circuits move into the oracles instead of
+    /// being cloned a second time.
+    fn execute(&self, job: EngineJob, seed: u64) -> JobReport {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let wrap = |c: revmatch_circuit::Circuit| {
+            if self.precompile {
+                Oracle::precompiled(c)
+            } else {
+                Oracle::new(c)
+            }
+        };
+        let equivalence = job.equivalence;
+        let c1 = wrap(job.c1);
+        let c2 = wrap(job.c2);
+        let (c1_inv, c2_inv) = if job.with_inverses {
+            (Some(c1.inverse_oracle()), Some(c2.inverse_oracle()))
+        } else {
+            (None, None)
+        };
+        let oracles = ProblemOracles {
+            c1: &c1,
+            c2: &c2,
+            c1_inv: c1_inv.as_ref(),
+            c2_inv: c2_inv.as_ref(),
+        };
+        let witness = solve_promise(equivalence, &oracles, &self.matcher, &mut rng);
+        JobReport {
+            witness,
+            queries: oracles.total_queries(),
+        }
+    }
+
+    /// Worker main loop for shard `shard`.
+    fn run_worker(&self, shard: usize) {
+        while let Some((req, _lane)) = self.intake.pop(shard, |lane, depth| {
+            self.metrics.record_dequeue(lane, depth)
+        }) {
+            let accepted_at = req.accepted_at;
+            let report = self.execute(req.job, req.seed);
+            let latency = accepted_at.elapsed().as_micros() as u64;
+            self.metrics
+                .record_completion(report.witness.is_err(), report.queries, latency);
+            *req.ticket.slot.lock().expect("ticket lock") = Some(report);
+            req.ticket.done.notify_all();
+            let mut in_flight = self.in_flight.lock().expect("in_flight lock");
+            *in_flight -= 1;
+            if *in_flight == 0 {
+                self.idle.notify_all();
+            }
+        }
+    }
+}
+
+/// A long-lived sharded matching service — see the [module docs](self).
+#[derive(Debug)]
+pub struct MatchService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    base_seed: u64,
+}
+
+impl MatchService {
+    /// Spawns the worker shards and opens the intake queue.
+    pub fn start(config: ServiceConfig) -> Self {
+        let shards = config.shards.max(1);
+        let shared = Arc::new(Shared {
+            intake: ShardedQueue::new(shards, config.queue_capacity.max(1)),
+            metrics: Metrics::new(shards),
+            matcher: config.matcher,
+            precompile: config.precompile,
+            in_flight: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let workers = (0..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("revmatch-shard-{shard}"))
+                    .spawn(move || shared.run_worker(shard))
+                    .expect("spawn worker shard")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+            base_seed: config.seed,
+        }
+    }
+
+    /// Worker-shard count.
+    pub fn shards(&self) -> usize {
+        self.shared.intake.shards()
+    }
+
+    /// Jobs currently queued across every intake lane.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.intake.total_depth()
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The metrics registry rendered in the Prometheus text format.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render()
+    }
+
+    /// Routes a job to its preferred shard by `(width, equivalence)`.
+    fn route(&self, job: &EngineJob) -> usize {
+        let mut h = DefaultHasher::new();
+        job.c1.width().hash(&mut h);
+        job.equivalence.hash(&mut h);
+        (h.finish() % self.shards() as u64) as usize
+    }
+
+    /// Allocates the next submit index and builds the request/ticket pair.
+    /// `seed: None` derives the job seed from the service seed and the
+    /// allocated index (so a fixed submit sequence replays exactly).
+    fn make_request(&self, job: EngineJob, seed: Option<u64>) -> (Request, JobTicket) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let seed = seed.unwrap_or_else(|| job_seed(self.base_seed, id));
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        (
+            Request {
+                job,
+                seed,
+                // Provisional; re-stamped under the lane lock at the
+                // moment the request actually enters the intake.
+                accepted_at: Instant::now(),
+                ticket: Arc::clone(&state),
+            },
+            JobTicket { id, state },
+        )
+    }
+
+    /// Non-blocking submit with a seed derived from the service seed and
+    /// the job's submit index (rejected submits consume an index too).
+    pub fn submit(&self, job: EngineJob) -> SubmitOutcome {
+        self.submit_inner(job, None)
+    }
+
+    /// Non-blocking submit with an explicit per-job seed: the job's
+    /// outcome depends only on `(job, seed)`, never on placement.
+    pub fn submit_seeded(&self, job: EngineJob, seed: u64) -> SubmitOutcome {
+        self.submit_inner(job, Some(seed))
+    }
+
+    fn submit_inner(&self, job: EngineJob, seed: Option<u64>) -> SubmitOutcome {
+        let preferred = self.route(&job);
+        {
+            let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
+            *in_flight += 1;
+        }
+        let (request, ticket) = self.make_request(job, seed);
+        // The accept hook runs under the lane lock, before the job is
+        // poppable: the submitted counter stays monotonic yet can never
+        // trail a completion, and the accept timestamp is stamped at the
+        // true enqueue moment.
+        let metrics = &self.shared.metrics;
+        match self
+            .shared
+            .intake
+            .try_push(preferred, request, |req, lane, depth| {
+                req.accepted_at = Instant::now();
+                metrics.record_accept(lane, depth);
+            }) {
+            Ok(_) => SubmitOutcome::Enqueued(ticket),
+            Err(request) => {
+                let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
+                *in_flight -= 1;
+                if *in_flight == 0 {
+                    self.shared.idle.notify_all();
+                }
+                drop(in_flight);
+                self.shared.metrics.record_reject();
+                SubmitOutcome::QueueFull(request.job)
+            }
+        }
+    }
+
+    /// Blocking submit (derived seed): waits for intake space instead of
+    /// rejecting.
+    pub fn submit_wait(&self, job: EngineJob) -> JobTicket {
+        self.submit_wait_inner(job, None)
+    }
+
+    /// Blocking submit with an explicit per-job seed.
+    pub fn submit_wait_seeded(&self, job: EngineJob, seed: u64) -> JobTicket {
+        self.submit_wait_inner(job, Some(seed))
+    }
+
+    fn submit_wait_inner(&self, job: EngineJob, seed: Option<u64>) -> JobTicket {
+        let preferred = self.route(&job);
+        {
+            let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
+            *in_flight += 1;
+        }
+        let (request, ticket) = self.make_request(job, seed);
+        // As in `submit_inner`: the job is only counted and timestamped
+        // at the moment it actually enters a lane — time spent blocked on
+        // a full intake is not billed to the job's latency.
+        let metrics = &self.shared.metrics;
+        match self
+            .shared
+            .intake
+            .push_wait(preferred, request, |req, lane, depth| {
+                req.accepted_at = Instant::now();
+                metrics.record_accept(lane, depth);
+            }) {
+            Ok(_) => ticket,
+            Err(_) => unreachable!("intake is open for the service's lifetime"),
+        }
+    }
+
+    /// Blocks until every accepted job has completed. The service remains
+    /// open: submits racing with `drain` extend the wait.
+    pub fn drain(&self) {
+        let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
+        while *in_flight > 0 {
+            in_flight = self.shared.idle.wait(in_flight).expect("drain wait");
+        }
+    }
+
+    /// Pauses the worker shards (they finish the job in hand and park).
+    /// Submits still enqueue, so a paused service exposes backpressure
+    /// deterministically — used for rebalancing windows and tests.
+    pub fn pause(&self) {
+        self.shared.intake.pause();
+    }
+
+    /// Resumes paused workers.
+    pub fn resume(&self) {
+        self.shared.intake.resume();
+    }
+
+    /// Graceful shutdown: closes the intake, completes the backlog, joins
+    /// the workers. Outstanding tickets resolve before this returns.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.intake.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MatchService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}

@@ -41,7 +41,7 @@ pub mod valiant_vazirani;
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use error::SatError;
 pub use gen::{minimize_unique, planted_unique, random_ksat, PlantedUnique};
-pub use solver::{Solve, Solver};
+pub use solver::{BudgetedSolve, Solve, Solver};
 pub use valiant_vazirani::{
     encode_with_xors, isolate_unique, valiant_vazirani_trial, IsolationOutcome, XorConstraint,
 };

@@ -32,6 +32,39 @@ impl Solve {
     }
 }
 
+/// Result of a budget-limited satisfiability query
+/// ([`Solver::solve_budgeted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetedSolve {
+    /// Satisfiable, with a witness assignment.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable within the budget.
+    Unsat,
+    /// The search budget ran out before a verdict; the formula may be
+    /// either.
+    Unknown,
+}
+
+impl BudgetedSolve {
+    /// The witness if satisfiable.
+    pub fn witness(&self) -> Option<&[bool]> {
+        match self {
+            Self::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether the formula was proven satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Self::Sat(_))
+    }
+
+    /// Whether the budget ran out before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Self::Unknown)
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Value {
     Unassigned,
@@ -57,8 +90,16 @@ pub struct Solver<'a> {
     cnf: &'a Cnf,
     /// Statistics: number of branching decisions made.
     decisions: usize,
+    /// Statistics: number of conflicts reached.
+    conflicts: usize,
     /// Statistics: number of unit propagations.
     propagations: usize,
+    /// Search budget in decisions + conflicts for
+    /// [`Solver::solve_budgeted`] (`None` = unlimited).
+    budget: Option<usize>,
+    /// Static branching preference: variables tried (in order) before the
+    /// occurrence-count heuristic.
+    branch_hint: Vec<usize>,
 }
 
 impl<'a> Solver<'a> {
@@ -67,8 +108,34 @@ impl<'a> Solver<'a> {
         Self {
             cnf,
             decisions: 0,
+            conflicts: 0,
             propagations: 0,
+            budget: None,
+            branch_hint: Vec::new(),
         }
+    }
+
+    /// Prefers branching on `order` (first unassigned, still-relevant
+    /// variable wins) before falling back to the occurrence-count
+    /// heuristic.
+    ///
+    /// Structured encodings care a lot: in a circuit miter every gate
+    /// variable is propagation-determined once the circuit inputs are
+    /// fixed, so hinting the input variables bounds the search tree at
+    /// `2^inputs` nodes instead of branching through the cascade.
+    #[must_use]
+    pub fn with_branch_hint(mut self, order: Vec<usize>) -> Self {
+        self.branch_hint = order;
+        self
+    }
+
+    /// Caps [`Solver::solve_budgeted`] at `units` decisions + conflicts.
+    /// Unit propagation and pure-literal elimination are not charged, so
+    /// propagation-solved formulas always finish under any budget.
+    #[must_use]
+    pub fn with_budget(mut self, units: usize) -> Self {
+        self.budget = Some(units);
+        self
     }
 
     /// Branching decisions made by the last call.
@@ -76,25 +143,68 @@ impl<'a> Solver<'a> {
         self.decisions
     }
 
+    /// Conflicts reached by the last call.
+    pub fn conflicts(&self) -> usize {
+        self.conflicts
+    }
+
     /// Unit propagations performed by the last call.
     pub fn propagations(&self) -> usize {
         self.propagations
     }
 
-    /// Decides satisfiability and returns a witness if one exists.
+    /// Clears the per-call statistics so `decisions()`/`conflicts()`/
+    /// `propagations()` describe (and the budget charges) only the
+    /// upcoming call.
+    fn reset_stats(&mut self) {
+        self.decisions = 0;
+        self.conflicts = 0;
+        self.propagations = 0;
+    }
+
+    /// Decides satisfiability and returns a witness if one exists. Always
+    /// runs to completion, ignoring any configured budget.
     pub fn solve(&mut self) -> Solve {
+        self.reset_stats();
+        let saved = self.budget.take();
         let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
-        if self.dpll(&mut values) {
-            Solve::Sat(values.iter().map(|v| matches!(v, Value::True)).collect())
-        } else {
-            Solve::Unsat
+        let verdict = self.search(&mut values);
+        self.budget = saved;
+        match verdict {
+            Search::Sat => Solve::Sat(values.iter().map(|v| matches!(v, Value::True)).collect()),
+            Search::Unsat => Solve::Unsat,
+            Search::Out => unreachable!("unlimited search cannot exhaust a budget"),
         }
+    }
+
+    /// Decides satisfiability within the configured budget, returning
+    /// [`BudgetedSolve::Unknown`] instead of searching without bound.
+    ///
+    /// UNSAT proofs are where DPLL without clause learning blows up
+    /// (e.g. wide equivalence miters); the budget turns that runaway
+    /// search into an explicit, cheap "don't know".
+    pub fn solve_budgeted(&mut self) -> BudgetedSolve {
+        self.reset_stats();
+        let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
+        match self.search(&mut values) {
+            Search::Sat => {
+                BudgetedSolve::Sat(values.iter().map(|v| matches!(v, Value::True)).collect())
+            }
+            Search::Unsat => BudgetedSolve::Unsat,
+            Search::Out => BudgetedSolve::Unknown,
+        }
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.budget
+            .is_some_and(|b| self.decisions + self.conflicts > b)
     }
 
     /// Counts models up to `limit` (use 2 for uniqueness checks).
     ///
     /// Unassigned variables at a satisfying leaf contribute `2^k` models.
     pub fn count_models(&mut self, limit: usize) -> usize {
+        self.reset_stats();
         let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
         self.count(&mut values, limit)
     }
@@ -130,9 +240,15 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn dpll(&mut self, values: &mut Vec<Value>) -> bool {
+    fn search(&mut self, values: &mut Vec<Value>) -> Search {
+        if self.out_of_budget() {
+            return Search::Out;
+        }
         match self.propagate_snapshot(values) {
-            Propagation::Conflict => false,
+            Propagation::Conflict => {
+                self.conflicts += 1;
+                Search::Unsat
+            }
             Propagation::Done(mut local) => {
                 self.assign_pure_literals(&mut local);
                 *values = local;
@@ -143,21 +259,28 @@ impl<'a> Solver<'a> {
                             *v = Value::False;
                         }
                     }
-                    return true;
+                    return Search::Sat;
                 }
                 let Some(var) = self.pick_branch_var(values) else {
-                    return false;
+                    self.conflicts += 1;
+                    return Search::Unsat;
                 };
                 self.decisions += 1;
                 for value in [Value::True, Value::False] {
                     let mut branch = values.clone();
                     branch[var] = value;
-                    if self.dpll(&mut branch) {
-                        *values = branch;
-                        return true;
+                    match self.search(&mut branch) {
+                        Search::Sat => {
+                            *values = branch;
+                            return Search::Sat;
+                        }
+                        Search::Unsat => {}
+                        // An exhausted branch leaves the other side
+                        // unexplored: no verdict is possible.
+                        Search::Out => return Search::Out,
                     }
                 }
-                false
+                Search::Unsat
             }
         }
     }
@@ -270,7 +393,9 @@ impl<'a> Solver<'a> {
         })
     }
 
-    /// Picks the unassigned variable occurring in the most clauses.
+    /// Picks the next branch variable: the first hinted variable that is
+    /// unassigned and still occurs in a clause, else the unassigned
+    /// variable occurring in the most clauses.
     fn pick_branch_var(&self, values: &[Value]) -> Option<usize> {
         let mut counts = vec![0usize; self.cnf.num_vars()];
         for c in self.cnf.clauses() {
@@ -279,6 +404,13 @@ impl<'a> Solver<'a> {
                     counts[l.var.0] += 1;
                 }
             }
+        }
+        if let Some(&v) = self
+            .branch_hint
+            .iter()
+            .find(|&&v| v < counts.len() && counts[v] > 0 && matches!(values[v], Value::Unassigned))
+        {
+            return Some(v);
         }
         counts
             .iter()
@@ -292,6 +424,14 @@ impl<'a> Solver<'a> {
 enum Propagation {
     Conflict,
     Done(Vec<Value>),
+}
+
+/// Tri-state outcome of the recursive search.
+enum Search {
+    Sat,
+    Unsat,
+    /// The decision/conflict budget ran out.
+    Out,
 }
 
 #[cfg(test)]
@@ -395,6 +535,100 @@ mod tests {
         assert!(solve.is_sat());
         assert!(f.eval(solve.witness().unwrap()));
         assert_eq!(s.decisions(), 0, "pure literals should avoid branching");
+    }
+
+    #[test]
+    fn budget_zero_is_unknown_on_branching_formulas() {
+        // Forces at least one decision: two independent ternary clauses.
+        let f = cnf(&[&[1, 2, 3], &[-1, -2, -3]]);
+        assert_eq!(Solver::new(&f).with_budget(0).solve_budgeted(), {
+            BudgetedSolve::Unknown
+        });
+        // The same formula solves with headroom.
+        assert!(Solver::new(&f).with_budget(1_000).solve_budgeted().is_sat());
+    }
+
+    #[test]
+    fn propagation_only_formulas_ignore_the_budget() {
+        let f = cnf(&[&[1], &[-1, 2], &[-2, 3]]);
+        let mut s = Solver::new(&f).with_budget(0);
+        assert_eq!(s.solve_budgeted().witness(), Some(&[true, true, true][..]));
+        let unsat = cnf(&[&[1], &[-1]]);
+        assert_eq!(
+            Solver::new(&unsat).with_budget(0).solve_budgeted(),
+            BudgetedSolve::Unsat
+        );
+    }
+
+    #[test]
+    fn budgeted_verdicts_are_never_wrong() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=6);
+            let m = rng.gen_range(1..=14);
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let k = rng.gen_range(1..=3);
+                let lits = (0..k)
+                    .map(|_| {
+                        let v = Var(rng.gen_range(0..n));
+                        if rng.gen_bool(0.5) {
+                            Lit::positive(v)
+                        } else {
+                            Lit::negative(v)
+                        }
+                    })
+                    .collect();
+                f.add_clause(Clause::new(lits));
+            }
+            let truth = Solver::new(&f).solve().is_sat();
+            for budget in [0, 1, 2, 8, 1_000] {
+                match Solver::new(&f).with_budget(budget).solve_budgeted() {
+                    BudgetedSolve::Sat(w) => assert!(f.eval(&w), "bogus witness"),
+                    BudgetedSolve::Unsat => assert!(!truth, "wrong UNSAT under budget"),
+                    BudgetedSolve::Unknown => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_hint_steers_first_decision() {
+        // Without a hint, the count heuristic prefers x3 (most clauses);
+        // the hint forces x1 first. Either way the verdicts agree.
+        let f = cnf(&[&[1, 3], &[2, 3], &[-1, -3], &[-2, -3], &[1, 2, 3]]);
+        let plain = Solver::new(&f).solve();
+        let hinted = Solver::new(&f).with_branch_hint(vec![0, 1]).solve();
+        assert_eq!(plain.is_sat(), hinted.is_sat());
+        let w = hinted.witness().unwrap();
+        assert!(f.eval(w));
+        // Out-of-range and assigned hints are skipped without panicking.
+        let odd = Solver::new(&f).with_branch_hint(vec![99, 0]).solve();
+        assert_eq!(odd.is_sat(), plain.is_sat());
+    }
+
+    #[test]
+    fn solver_reuse_resets_budget_accounting() {
+        let f = cnf(&[&[1, 2, 3], &[-1, -2, -3]]);
+        let mut s = Solver::new(&f).with_budget(1_000);
+        assert!(s.solve_budgeted().is_sat());
+        // The second call charges only its own work, not the first's.
+        assert!(s.solve_budgeted().is_sat());
+        // An unbudgeted solve doesn't poison a later budgeted call.
+        let easy = cnf(&[&[1], &[-1, 2]]);
+        let mut s2 = Solver::new(&easy).with_budget(0);
+        assert!(s2.solve().is_sat());
+        assert!(s2.solve_budgeted().is_sat());
+    }
+
+    #[test]
+    fn solve_ignores_the_budget() {
+        let f = cnf(&[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[-1, 2]]);
+        let mut s = Solver::new(&f).with_budget(0);
+        // Complete solve still reaches a verdict.
+        let complete = s.solve();
+        assert_eq!(complete.is_sat(), Solver::new(&f).solve().is_sat());
     }
 
     #[test]

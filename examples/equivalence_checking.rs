@@ -3,7 +3,9 @@
 //!
 //! 1. **exhaustive** simulation (complete, 2^n evaluations);
 //! 2. **Monte-Carlo** sampling (width-independent, one-sided error);
-//! 3. **SAT miter** (complete at any width, counterexample-producing).
+//! 3. **SAT miter** under a decision/conflict **budget** (complete at any
+//!    width when it answers; an explicit `Unknown` instead of runaway
+//!    search when the UNSAT proof outgrows the educational DPLL).
 //!
 //! The scenario: an optimization pass (here the peephole optimizer plus a
 //! resynthesis) claims to preserve a circuit's function; we check the
@@ -12,18 +14,36 @@
 //! Run with: `cargo run --release --example equivalence_checking`
 
 use rand::SeedableRng;
-use revmatch::{check_equivalence_sat, check_witness, MatchWitness, SatEquivalence, VerifyMode};
+use revmatch::{
+    check_equivalence_sat_budgeted, check_witness, MatchWitness, MiterVerdict, VerifyMode,
+};
 use revmatch_circuit::{
     peephole_optimize, random_circuit, synthesize, Gate, RandomCircuitSpec, SynthesisStrategy,
 };
 
+/// Decision + conflict budget for every miter call. Wide UNSAT proofs are
+/// where a DPLL without clause learning blows up; the budget turns that
+/// into a fast, explicit `Unknown` instead of an open-ended search.
+const MITER_BUDGET: usize = 200_000;
+
+fn verdict_str(v: &MiterVerdict) -> String {
+    match v {
+        MiterVerdict::Equivalent => "equivalent".into(),
+        MiterVerdict::Counterexample { input } => format!("counterexample {input:#b}"),
+        MiterVerdict::Unknown {
+            decisions,
+            conflicts,
+        } => format!("unknown (budget exhausted: {decisions} decisions, {conflicts} conflicts)"),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    // Width 7 keeps the resynthesized cascade small enough for the
-    // educational DPLL miter to prove equivalence in milliseconds; wider
-    // circuits make the UNSAT proof blow up (the solver has no clause
-    // learning).
-    let width = 7;
+    // Width 8 — one more line than the unbudgeted version of this example
+    // could afford: if the UNSAT proof fits the budget we get a complete
+    // verdict, and if not we get an honest `Unknown` in bounded time
+    // while the exhaustive/sampled engines still settle the question.
+    let width = 8;
 
     // A "legacy" circuit with redundancy: random cascade followed by a
     // block and its inverse.
@@ -57,9 +77,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             VerifyMode::Sampled(512),
             &mut rng,
         )?;
-        let sat = check_equivalence_sat(&legacy, candidate)?.is_equivalent();
-        println!("{name:<12} exhaustive={exhaustive} sampled={sampled} sat={sat}");
-        assert!(exhaustive && sampled && sat);
+        let sat = check_equivalence_sat_budgeted(&legacy, candidate, MITER_BUDGET)?;
+        println!(
+            "{name:<12} exhaustive={exhaustive} sampled={sampled} sat={}",
+            verdict_str(&sat)
+        );
+        assert!(exhaustive && sampled);
+        // The miter may only time out — it must never refute a true
+        // equivalence.
+        assert!(!matches!(sat, MiterVerdict::Counterexample { .. }));
     }
 
     // --- Inject a bug: drop one gate from the resynthesized circuit. ---
@@ -81,9 +107,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for (name, broken) in [("dropped gate", &buggy), ("flipped polarity", &subtle)] {
-        match check_equivalence_sat(&legacy, broken)? {
-            SatEquivalence::Equivalent => println!("{name}: escaped detection (!)"),
-            SatEquivalence::Counterexample { input } => {
+        match check_equivalence_sat_budgeted(&legacy, broken, MITER_BUDGET)? {
+            MiterVerdict::Equivalent => println!("{name}: escaped detection (!)"),
+            MiterVerdict::Counterexample { input } => {
                 println!(
                     "{name}: caught; input {input:0width$b} maps to {:0width$b} vs {:0width$b}",
                     legacy.apply(input),
@@ -91,13 +117,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
                 assert_ne!(legacy.apply(input), broken.apply(input));
             }
+            v @ MiterVerdict::Unknown { .. } => {
+                // Buggy miters are solution-rich; reaching the budget here
+                // would be surprising, but the exhaustive engine still has
+                // the last word.
+                println!("{name}: {}", verdict_str(&v));
+                assert!(!legacy.functionally_eq(broken));
+            }
         }
     }
 
     // A NOT-only demonstration that phase-encoding keeps miters tiny.
     let a = revmatch_circuit::Circuit::from_gates(width, [Gate::not(3), Gate::not(5)])?;
     let b = revmatch_circuit::Circuit::from_gates(width, [Gate::not(5), Gate::not(3)])?;
-    assert!(check_equivalence_sat(&a, &b)?.is_equivalent());
+    assert!(check_equivalence_sat_budgeted(&a, &b, MITER_BUDGET)?.is_equivalent());
     println!("NOT-reordering check: equivalent (no auxiliary variables needed)");
     Ok(())
 }

@@ -1,0 +1,253 @@
+//! Serving-layer regression tests: determinism across worker/shard
+//! counts, backpressure semantics, and drain/shutdown guarantees.
+
+use rand::SeedableRng;
+use revmatch::{
+    classify, job_seed, random_instance, EngineJob, Equivalence, JobReport, JobTicket, MatchEngine,
+    MatchService, MatcherConfig, ServiceConfig, SubmitOutcome,
+};
+
+/// One job per tractable equivalence type (inverses available).
+fn tractable_jobs(width: usize, per_type: usize) -> Vec<EngineJob> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let mut jobs = Vec::new();
+    for e in Equivalence::all() {
+        if !classify(e).is_tractable() {
+            continue;
+        }
+        for _ in 0..per_type {
+            let inst = random_instance(e, width, &mut rng);
+            jobs.push(EngineJob::from_instance(&inst, true));
+        }
+    }
+    jobs
+}
+
+fn assert_reports_identical(a: &[JobReport], b: &[JobReport], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: report count");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.queries, rb.queries, "{label}: job {i} query count");
+        match (&ra.witness, &rb.witness) {
+            (Ok(wa), Ok(wb)) => assert_eq!(wa, wb, "{label}: job {i} witness"),
+            (Err(_), Err(_)) => {}
+            _ => panic!("{label}: job {i} changed outcome"),
+        }
+    }
+}
+
+/// Identical seed ⇒ identical witnesses and query counts for 1, 2 and
+/// `available_parallelism` workers, through `solve_batch`.
+#[test]
+fn solve_batch_deterministic_across_worker_counts() {
+    let jobs = tractable_jobs(5, 1);
+    let engine = MatchEngine::new(MatcherConfig::with_epsilon(1e-6));
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let baseline = engine.clone().with_workers(1).solve_batch(&jobs, 0xCAFE);
+    for workers in [2, parallelism] {
+        let outcome = engine
+            .clone()
+            .with_workers(workers)
+            .solve_batch(&jobs, 0xCAFE);
+        assert_reports_identical(
+            &baseline.reports,
+            &outcome.reports,
+            &format!("{workers} workers"),
+        );
+    }
+}
+
+/// The same jobs submitted straight to a `MatchService` with the batch
+/// seeds reproduce `solve_batch` exactly, at every shard count.
+#[test]
+fn service_path_matches_solve_batch() {
+    let jobs = tractable_jobs(4, 1);
+    let seed = 0xBEEF;
+    let batch = MatchEngine::new(MatcherConfig::with_epsilon(1e-6))
+        .with_workers(2)
+        .solve_batch(&jobs, seed);
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for shards in [1, 2, parallelism] {
+        let service = MatchService::start(
+            ServiceConfig::default()
+                .with_shards(shards)
+                .with_matcher(MatcherConfig::with_epsilon(1e-6)),
+        );
+        let tickets: Vec<JobTicket> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(seed, i as u64)))
+            .collect();
+        let reports: Vec<JobReport> = tickets.into_iter().map(JobTicket::wait).collect();
+        assert_reports_identical(&batch.reports, &reports, &format!("{shards} shards"));
+        service.shutdown();
+    }
+}
+
+/// A full intake rejects with `QueueFull` and hands the job back; every
+/// *accepted* job still completes.
+#[test]
+fn full_queue_rejects_without_dropping_accepted_jobs() {
+    let jobs = tractable_jobs(4, 2);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(2),
+    );
+    // Parked workers make the backpressure deterministic: nothing drains
+    // while we fill the lanes.
+    service.pause();
+    let capacity = 2 * 2;
+    let mut tickets = Vec::new();
+    let mut rejected = 0;
+    for job in &jobs {
+        match service.submit(job.clone()) {
+            SubmitOutcome::Enqueued(t) => tickets.push(t),
+            SubmitOutcome::QueueFull(handed_back) => {
+                assert_eq!(
+                    handed_back.c1.width(),
+                    job.c1.width(),
+                    "job returned intact"
+                );
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!(tickets.len(), capacity, "accepts exactly the capacity");
+    assert_eq!(rejected, jobs.len() - capacity);
+    assert_eq!(service.metrics().jobs_rejected(), rejected as u64);
+    assert_eq!(service.queue_depth(), capacity);
+
+    service.resume();
+    service.drain();
+    assert_eq!(service.queue_depth(), 0);
+    assert_eq!(service.metrics().jobs_completed(), capacity as u64);
+    for t in tickets {
+        assert!(t.is_done(), "accepted job lost");
+        assert!(t.wait().witness.is_ok());
+    }
+    service.shutdown();
+}
+
+/// `drain` blocks until every accepted job has a resolved ticket.
+#[test]
+fn drain_completes_every_accepted_job() {
+    let jobs = tractable_jobs(5, 2);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(jobs.len()),
+    );
+    let tickets: Vec<JobTicket> = jobs
+        .iter()
+        .map(|job| {
+            service
+                .submit(job.clone())
+                .ticket()
+                .expect("capacity covers the batch")
+        })
+        .collect();
+    service.drain();
+    for t in &tickets {
+        assert!(t.is_done(), "drain returned before a job finished");
+    }
+    assert_eq!(service.metrics().jobs_completed(), jobs.len() as u64);
+    assert_eq!(
+        service.metrics().jobs_submitted(),
+        service.metrics().jobs_completed()
+    );
+    service.shutdown();
+}
+
+/// Concurrent submitters over a tiny queue: blocking submits never lose a
+/// result, and every ticket resolves to a verified witness.
+#[test]
+fn no_result_lost_under_concurrent_submitters() {
+    let jobs = tractable_jobs(4, 1);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(1),
+    );
+    let submitters = 4;
+    let total = submitters * jobs.len();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|s| {
+                let service = &service;
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    jobs.iter()
+                        .enumerate()
+                        .map(|(i, job)| {
+                            service.submit_wait_seeded(
+                                job.clone(),
+                                job_seed(7, (s * jobs.len() + i) as u64),
+                            )
+                        })
+                        .collect::<Vec<JobTicket>>()
+                })
+            })
+            .collect();
+        let mut solved = 0;
+        for handle in handles {
+            for ticket in handle.join().expect("submitter panicked") {
+                if ticket.wait().witness.is_ok() {
+                    solved += 1;
+                }
+            }
+        }
+        assert_eq!(solved, total, "every accepted job resolves with a witness");
+    });
+    assert_eq!(service.metrics().jobs_completed(), total as u64);
+    assert_eq!(service.metrics().jobs_rejected(), 0);
+    service.shutdown();
+}
+
+/// Shutdown finishes the backlog: tickets accepted before `shutdown` are
+/// all resolved after it returns.
+#[test]
+fn shutdown_resolves_outstanding_tickets() {
+    let jobs = tractable_jobs(4, 1);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(jobs.len()),
+    );
+    let tickets: Vec<JobTicket> = jobs
+        .iter()
+        .map(|job| service.submit(job.clone()).ticket().expect("fits"))
+        .collect();
+    service.shutdown();
+    for t in tickets {
+        assert!(t.is_done(), "shutdown dropped a queued job");
+    }
+}
+
+/// The Prometheus export reflects the counters after a drained burst.
+#[test]
+fn metrics_export_matches_counters() {
+    let jobs = tractable_jobs(4, 1);
+    let service = MatchService::start(ServiceConfig::default().with_shards(2));
+    let tickets: Vec<JobTicket> = jobs
+        .iter()
+        .map(|job| service.submit_wait(job.clone()))
+        .collect();
+    service.drain();
+    let text = service.metrics_text();
+    assert!(text.contains(&format!("revmatch_jobs_submitted_total {}", jobs.len())));
+    assert!(text.contains(&format!("revmatch_jobs_completed_total {}", jobs.len())));
+    assert!(text.contains("revmatch_jobs_rejected_total 0"));
+    assert!(text.contains("revmatch_job_latency_seconds_bucket"));
+    assert!(text.contains("revmatch_shard_queue_depth{shard=\"1\"} 0"));
+    assert_eq!(
+        service.metrics().latency().count(),
+        jobs.len() as u64,
+        "one latency sample per job"
+    );
+    drop(tickets);
+    service.shutdown();
+}
