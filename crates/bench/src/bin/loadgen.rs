@@ -8,19 +8,23 @@
 //! the backpressure signal.
 //!
 //! The job mix cycles through `--widths` × `--mix` promised instances,
-//! pre-generated deterministically from `--seed`. At the end the
+//! pre-generated deterministically from `--seed`. With `--sat-verify 1`
+//! every recovered witness is additionally proven by a SAT miter on the
+//! `--backend` solver (`cdcl` default — repeated pool jobs then hit the
+//! per-shard solver cache; `dpll` for differential runs). At the end the
 //! generator drains the service, prints a latency/throughput summary and
 //! the full Prometheus metrics export, and verifies that every accepted
-//! job completed.
+//! job completed (and that no SAT verification refuted a witness).
 //!
 //! Run with: `cargo run --release -p revmatch-bench --bin loadgen -- \
-//!   --rate 500 --duration-ms 2000 --shards 4 --queue-capacity 64`
+//!   --rate 500 --duration-ms 2000 --shards 4 --queue-capacity 64 \
+//!   --sat-verify 1`
 
 use std::time::{Duration, Instant};
 
 use revmatch::{
     random_instance, EngineJob, Equivalence, MatchService, MatcherConfig, ServiceConfig,
-    SubmitOutcome,
+    SolverBackend, SubmitOutcome,
 };
 use revmatch_bench::{service_flags, Flags};
 
@@ -28,9 +32,9 @@ use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
-[--seed N] [--epsilon F]";
+[--seed N] [--epsilon F] [--sat-verify 0|1] [--backend dpll|cdcl]";
 
-const KNOWN_FLAGS: [&str; 8] = [
+const KNOWN_FLAGS: [&str; 10] = [
     "rate",
     "duration-ms",
     "shards",
@@ -39,19 +43,31 @@ const KNOWN_FLAGS: [&str; 8] = [
     "mix",
     "seed",
     "epsilon",
+    "sat-verify",
+    "backend",
 ];
 
 /// Pre-generated jobs per (width, equivalence) cell of the mix.
 const POOL_PER_CELL: usize = 4;
 
-fn build_pool(widths: &[usize], mix: &[Equivalence], seed: u64) -> Vec<EngineJob> {
+fn build_pool(
+    widths: &[usize],
+    mix: &[Equivalence],
+    seed: u64,
+    sat_verify: bool,
+) -> Vec<EngineJob> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut pool = Vec::new();
     for &w in widths {
         for &e in mix {
             for _ in 0..POOL_PER_CELL {
                 let inst = random_instance(e, w, &mut rng);
-                pool.push(EngineJob::from_instance(&inst, true));
+                let job = EngineJob::from_instance(&inst, true);
+                pool.push(if sat_verify {
+                    job.with_sat_verification()
+                } else {
+                    job
+                });
             }
         }
     }
@@ -66,6 +82,11 @@ fn main() {
     let (shards, capacity) = service_flags(&flags);
     let seed = flags.get_u64("seed", 0x10AD);
     let epsilon = flags.get_f64("epsilon", 1e-6);
+    let sat_verify = flags.get_u64("sat-verify", 0) != 0;
+    let backend: SolverBackend = flags
+        .get_str("backend", "cdcl")
+        .parse()
+        .expect("--backend: expected dpll or cdcl");
     let widths: Vec<usize> = flags
         .get_str("widths", "5,6")
         .split(',')
@@ -77,15 +98,20 @@ fn main() {
         .map(|s| s.trim().parse().expect("--mix: bad equivalence"))
         .collect();
 
-    let pool = build_pool(&widths, &mix, seed);
+    let pool = build_pool(&widths, &mix, seed, sat_verify);
     println!(
         "loadgen: {rate} jobs/s for {:?} over {} shards (lane capacity {capacity}); \
-         pool of {} jobs ({:?} × {:?})",
+         pool of {} jobs ({:?} × {:?}){}",
         duration,
         shards,
         pool.len(),
         widths,
         mix.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        if sat_verify {
+            format!("; SAT-verified on {backend}")
+        } else {
+            String::new()
+        },
     );
 
     let service = MatchService::start(
@@ -93,6 +119,7 @@ fn main() {
             .with_shards(shards)
             .with_queue_capacity(capacity)
             .with_matcher(MatcherConfig::with_epsilon(epsilon))
+            .with_solver_backend(backend)
             .with_seed(seed),
     );
 
@@ -125,7 +152,25 @@ fn main() {
     let completed = m.jobs_completed();
     assert_eq!(offered, accepted + rejected, "every arrival is accounted");
     assert_eq!(completed, accepted, "drain completed every accepted job");
-    assert_eq!(m.jobs_failed(), 0, "promised instances must all solve");
+    assert_eq!(
+        m.jobs_failed(),
+        0,
+        "promised instances must all solve (and no witness may be refuted)"
+    );
+    if sat_verify {
+        assert_eq!(
+            m.jobs_sat_verified(),
+            completed,
+            "every completed job must carry a SAT verdict"
+        );
+        println!(
+            "sat-verify [{backend}]: {} verdicts ({} unknown) | caches: {} solver hits, {} table hits",
+            m.jobs_sat_verified(),
+            m.sat_unknown(),
+            m.solver_cache_hits(),
+            m.table_cache_hits(),
+        );
+    }
 
     let p = |q: f64| match m.latency().quantile_upper_bound(q) {
         Some(u64::MAX) => "overflow".to_owned(),

@@ -26,10 +26,12 @@ use std::time::{Duration, Instant};
 
 use rand::Rng;
 use revmatch_circuit::Circuit;
+use revmatch_sat::SolverBackend;
 
 use crate::equivalence::Equivalence;
 use crate::error::MatchError;
 use crate::matchers::MatcherConfig;
+use crate::miter::MiterVerdict;
 use crate::promise::PromiseInstance;
 use crate::service::{job_seed, JobTicket, MatchService, ServiceConfig};
 use crate::witness::MatchWitness;
@@ -47,17 +49,30 @@ pub struct EngineJob {
     /// Whether the solver may derive and use inverse oracles (the
     /// paper's §3 variant).
     pub with_inverses: bool,
+    /// Whether a recovered witness must additionally be proven (or
+    /// refuted) by a SAT miter on the service's configured backend —
+    /// the complete, any-width check behind [`JobReport::miter`].
+    pub sat_verify: bool,
 }
 
 impl EngineJob {
-    /// Builds a job from a generated [`PromiseInstance`].
+    /// Builds a job from a generated [`PromiseInstance`] (no SAT
+    /// verification by default).
     pub fn from_instance(instance: &PromiseInstance, with_inverses: bool) -> Self {
         Self {
             equivalence: instance.equivalence,
             c1: instance.c1.clone(),
             c2: instance.c2.clone(),
             with_inverses,
+            sat_verify: false,
         }
+    }
+
+    /// Requests complete SAT-miter verification of the recovered witness.
+    #[must_use]
+    pub fn with_sat_verification(mut self) -> Self {
+        self.sat_verify = true;
+        self
     }
 }
 
@@ -68,6 +83,12 @@ pub struct JobReport {
     pub witness: Result<MatchWitness, MatchError>,
     /// Oracle queries this job spent (across all its oracles).
     pub queries: u64,
+    /// SAT-miter verdict on the recovered witness, when the job asked
+    /// for verification ([`EngineJob::with_sat_verification`]) and a
+    /// witness was recovered. `Equivalent` proves the witness correct on
+    /// every input; `Counterexample` refutes it (the job counts as
+    /// failed); `Unknown` means the per-job miter budget ran out.
+    pub miter: Option<MiterVerdict>,
 }
 
 /// Aggregate result of a batch solve.
@@ -127,11 +148,12 @@ pub struct MatchEngine {
     config: MatcherConfig,
     workers: usize,
     precompile: bool,
+    solver_backend: SolverBackend,
 }
 
 impl MatchEngine {
-    /// An engine with one worker per available CPU and precompiled
-    /// oracles enabled.
+    /// An engine with one worker per available CPU, precompiled oracles
+    /// enabled, and the CDCL backend for SAT-verified jobs.
     pub fn new(config: MatcherConfig) -> Self {
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -140,7 +162,16 @@ impl MatchEngine {
             config,
             workers,
             precompile: true,
+            solver_backend: SolverBackend::default(),
         }
+    }
+
+    /// Picks the SAT backend used when jobs request miter verification
+    /// ([`EngineJob::with_sat_verification`]).
+    #[must_use]
+    pub fn with_solver_backend(mut self, backend: SolverBackend) -> Self {
+        self.solver_backend = backend;
+        self
     }
 
     /// Overrides the worker count (clamped to at least 1).
@@ -185,6 +216,7 @@ impl MatchEngine {
                 .with_queue_capacity(jobs.len().div_ceil(shards))
                 .with_matcher(self.config.clone())
                 .with_precompiled_oracles(self.precompile)
+                .with_solver_backend(self.solver_backend)
                 .with_seed(seed),
         );
         // Total intake capacity covers the batch, so no submit blocks.

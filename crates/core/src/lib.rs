@@ -63,7 +63,8 @@
 //!   completion tickets and Prometheus-style metrics;
 //! * [`hardness`] — the Fig. 5 UNIQUE-SAT encodings behind Theorems 2–3;
 //! * [`miter`] — complete SAT-based equivalence/witness checking with
-//!   counterexamples;
+//!   counterexamples, backend-parameterized over [`SolverBackend`]
+//!   (CDCL default, DPLL for differential testing);
 //! * [`identify`] — minimal-class identification for non-promised pairs;
 //! * [`promise`], [`verify`], [`witness`] — instance generation, witness
 //!   types and the single-round validation.
@@ -130,15 +131,19 @@ pub use matchers::{
     solve_promise, CollisionOutcome, MatcherConfig, ProblemOracles, SimonOutcome,
 };
 pub use miter::{
-    check_equivalence_sat, check_equivalence_sat_budgeted, check_witness_sat,
-    check_witness_sat_budgeted, MiterVerdict, SatEquivalence,
+    check_equivalence_sat, check_equivalence_sat_budgeted, check_equivalence_sat_budgeted_with,
+    check_equivalence_sat_with, check_witness_sat, check_witness_sat_budgeted,
+    check_witness_sat_budgeted_with, check_witness_sat_with, MiterEncoding, MiterVerdict,
+    SatEquivalence,
 };
 pub use oracle::{
     ClassicalOracle, ComposedOracle, Oracle, QuantumOracle, XorInputOracle, XorOutputOracle,
 };
 pub use promise::{random_instance, random_instance_from, random_wide_instance, PromiseInstance};
+pub use revmatch_sat::SolverBackend;
 pub use service::{
     job_seed, Histogram, JobTicket, MatchService, Metrics, ServiceConfig, SubmitOutcome,
+    DEFAULT_MITER_BUDGET,
 };
 pub use verify::{check_witness, VerifyMode};
 pub use witness::MatchWitness;
@@ -305,7 +310,9 @@ mod proptests {
         }
 
         /// The SAT miter agrees with exhaustive functional comparison on
-        /// arbitrary circuit pairs (equivalent or not).
+        /// arbitrary circuit pairs (equivalent or not), on *both* solver
+        /// backends — the CDCL/DPLL differential for structured (miter)
+        /// encodings.
         #[test]
         fn miter_agrees_with_exhaustive(seed in any::<u64>(), w in 1usize..=5) {
             use rand::SeedableRng;
@@ -323,10 +330,17 @@ mod proptests {
                 revmatch_circuit::random_circuit(
                     &revmatch_circuit::RandomCircuitSpec::for_width(w), &mut rng)
             };
-            let verdict = check_equivalence_sat(&a, &b).unwrap();
-            prop_assert_eq!(verdict.is_equivalent(), a.functionally_eq(&b));
-            if let SatEquivalence::Counterexample { input } = verdict {
-                prop_assert_ne!(a.apply(input), b.apply(input));
+            for backend in SolverBackend::ALL {
+                let verdict = check_equivalence_sat_with(&a, &b, backend).unwrap();
+                prop_assert_eq!(
+                    verdict.is_equivalent(),
+                    a.functionally_eq(&b),
+                    "{} disagrees with exhaustive comparison",
+                    backend
+                );
+                if let SatEquivalence::Counterexample { input } = verdict {
+                    prop_assert_ne!(a.apply(input), b.apply(input));
+                }
             }
         }
 

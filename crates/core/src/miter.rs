@@ -17,15 +17,27 @@
 //! Encoding size: one fresh variable per gate firing condition plus one
 //! per target update — `O(n + g)` variables and `O(Σ controls)` clauses.
 //!
-//! Solving strategy: the DPLL is hinted to branch on the shared input
+//! Solving strategy: every entry point is parameterized over
+//! [`SolverBackend`] with CDCL as the default — clause learning is what
+//! carries complete miter verdicts from width ~8 (the DPLL ceiling) to
+//! width 14–16. The DPLL is hinted to branch on the shared input
 //! variables first (every gate variable is propagation-determined once
-//! the inputs are fixed), bounding the miter search at `2^n` nodes; the
-//! `*_budgeted` variants additionally cap decisions + conflicts and
-//! return [`MiterVerdict::Unknown`] instead of searching without bound —
-//! the serving-safe form for untrusted or wide inputs.
+//! the inputs are fixed, bounding its search at `2^n` nodes); CDCL takes
+//! the hint only as an initial order and lets VSIDS chase the miter's
+//! internal structure — resolution proofs far shorter than input
+//! enumeration. The `*_budgeted`
+//! variants additionally cap decisions + conflicts and return
+//! [`MiterVerdict::Unknown`] instead of searching without bound — the
+//! serving-safe form for untrusted or wide inputs. The DPLL backend is
+//! retained for differential testing ([`SolverBackend::ALL`] sweeps).
+//!
+//! Callers that solve the *same* miter repeatedly (the serving layer's
+//! per-shard verification cache) should build a [`MiterEncoding`] once
+//! and keep a [`revmatch_sat::CdclSolver`] on its formula: learned
+//! clauses persist across calls, so re-verdicts are near-free.
 
 use revmatch_circuit::Circuit;
-use revmatch_sat::{Clause, Cnf, Lit, Solver, Var};
+use revmatch_sat::{BudgetedSolve, Clause, Cnf, Lit, SolveStats, SolverBackend, Var};
 
 use crate::error::MatchError;
 use crate::witness::MatchWitness;
@@ -135,7 +147,8 @@ fn encode_circuit(circuit: &Circuit, cnf: &mut Cnf, state: &mut [Lit], next_var:
 }
 
 /// Builds and solves the miter of `c1` against `witness ∘ c2 ∘ witness`
-/// (pass [`MatchWitness::identity`] for plain equivalence).
+/// (pass [`MatchWitness::identity`] for plain equivalence) on the
+/// default (CDCL) backend.
 ///
 /// The input-side transform is applied by wiring `C2`'s encoding to
 /// permuted/phase-flipped copies of the shared input literals; the
@@ -150,20 +163,34 @@ pub fn check_witness_sat(
     c2: &Circuit,
     witness: &MatchWitness,
 ) -> Result<SatEquivalence, MatchError> {
-    let (cnf, n) = build_miter(c1, c2, witness)?;
+    check_witness_sat_with(c1, c2, witness, SolverBackend::default())
+}
+
+/// [`check_witness_sat`] on an explicit solver backend.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on inconsistent widths.
+pub fn check_witness_sat_with(
+    c1: &Circuit,
+    c2: &Circuit,
+    witness: &MatchWitness,
+    backend: SolverBackend,
+) -> Result<SatEquivalence, MatchError> {
+    let miter = MiterEncoding::build(c1, c2, witness)?;
     // Branch on the shared inputs first: every gate variable is
-    // propagation-determined once the inputs are fixed, so the search
-    // tree is bounded by 2^n instead of wandering through the cascade.
-    match Solver::new(&cnf).with_branch_hint((0..n).collect()).solve() {
+    // propagation-determined once the inputs are fixed.
+    match backend.solve_hinted(&miter.cnf, &miter.input_hint()) {
         revmatch_sat::Solve::Unsat => Ok(SatEquivalence::Equivalent),
         revmatch_sat::Solve::Sat(model) => Ok(SatEquivalence::Counterexample {
-            input: model_input(&model, n),
+            input: miter.decode_input(&model),
         }),
     }
 }
 
 /// Budget-limited form of [`check_witness_sat`]: spends at most `budget`
 /// decisions + conflicts before returning [`MiterVerdict::Unknown`].
+/// Runs on the default (CDCL) backend.
 ///
 /// # Errors
 ///
@@ -174,23 +201,29 @@ pub fn check_witness_sat_budgeted(
     witness: &MatchWitness,
     budget: usize,
 ) -> Result<MiterVerdict, MatchError> {
-    let (cnf, n) = build_miter(c1, c2, witness)?;
-    let mut solver = Solver::new(&cnf)
-        .with_branch_hint((0..n).collect())
-        .with_budget(budget);
-    Ok(match solver.solve_budgeted() {
-        revmatch_sat::BudgetedSolve::Unsat => MiterVerdict::Equivalent,
-        revmatch_sat::BudgetedSolve::Sat(model) => MiterVerdict::Counterexample {
-            input: model_input(&model, n),
-        },
-        revmatch_sat::BudgetedSolve::Unknown => MiterVerdict::Unknown {
-            decisions: solver.decisions(),
-            conflicts: solver.conflicts(),
-        },
-    })
+    check_witness_sat_budgeted_with(c1, c2, witness, budget, SolverBackend::default())
 }
 
-/// Budget-limited plain (I-I) equivalence check.
+/// [`check_witness_sat_budgeted`] on an explicit solver backend.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on inconsistent widths.
+pub fn check_witness_sat_budgeted_with(
+    c1: &Circuit,
+    c2: &Circuit,
+    witness: &MatchWitness,
+    budget: usize,
+    backend: SolverBackend,
+) -> Result<MiterVerdict, MatchError> {
+    let miter = MiterEncoding::build(c1, c2, witness)?;
+    let (verdict, stats) =
+        backend.solve_budgeted_hinted(&miter.cnf, &miter.input_hint(), Some(budget));
+    Ok(miter.verdict_from(verdict, stats))
+}
+
+/// Budget-limited plain (I-I) equivalence check on the default (CDCL)
+/// backend.
 ///
 /// # Errors
 ///
@@ -203,24 +236,83 @@ pub fn check_equivalence_sat_budgeted(
     check_witness_sat_budgeted(c1, c2, &MatchWitness::identity(c1.width()), budget)
 }
 
-/// Decodes the shared input pattern from a miter model.
-fn model_input(model: &[bool], n: usize) -> u64 {
-    let mut input = 0u64;
-    for (i, &b) in model.iter().take(n).enumerate() {
-        if b {
-            input |= 1 << i;
-        }
-    }
-    input
+/// Budget-limited plain (I-I) equivalence check on an explicit backend.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement.
+pub fn check_equivalence_sat_budgeted_with(
+    c1: &Circuit,
+    c2: &Circuit,
+    budget: usize,
+    backend: SolverBackend,
+) -> Result<MiterVerdict, MatchError> {
+    check_witness_sat_budgeted_with(c1, c2, &MatchWitness::identity(c1.width()), budget, backend)
 }
 
-/// Encodes the full miter of `c1` against `witness ∘ c2 ∘ witness`,
-/// returning the formula and the shared width.
+/// A fully-encoded miter: the CNF plus the shared input width needed to
+/// decode counterexamples.
+///
+/// This is the reuse-friendly handle for callers that keep solver state
+/// across repeated verdicts on the same circuit pair (the serving
+/// layer's per-shard solver cache keys on the full [`MiterEncoding::cnf`]
+/// formula, compared by equality so a wrong solver can never be reused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiterEncoding {
+    /// The miter formula: satisfiable exactly on distinguishing inputs.
+    pub cnf: Cnf,
+    /// Number of shared input lines (miter variables `0..inputs`).
+    pub inputs: usize,
+}
+
+impl MiterEncoding {
+    /// Encodes the miter of `c1` against `witness ∘ c2 ∘ witness`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::WidthMismatch`] on inconsistent widths.
+    pub fn build(c1: &Circuit, c2: &Circuit, witness: &MatchWitness) -> Result<Self, MatchError> {
+        build_miter(c1, c2, witness)
+    }
+
+    /// The branch hint: shared input variables first.
+    pub fn input_hint(&self) -> Vec<usize> {
+        (0..self.inputs).collect()
+    }
+
+    /// Decodes the shared input pattern from a model of the miter.
+    pub fn decode_input(&self, model: &[bool]) -> u64 {
+        let mut input = 0u64;
+        for (i, &b) in model.iter().take(self.inputs).enumerate() {
+            if b {
+                input |= 1 << i;
+            }
+        }
+        input
+    }
+
+    /// Converts a budgeted solver verdict on this formula into a
+    /// [`MiterVerdict`].
+    pub fn verdict_from(&self, verdict: BudgetedSolve, stats: SolveStats) -> MiterVerdict {
+        match verdict {
+            BudgetedSolve::Unsat => MiterVerdict::Equivalent,
+            BudgetedSolve::Sat(model) => MiterVerdict::Counterexample {
+                input: self.decode_input(&model),
+            },
+            BudgetedSolve::Unknown => MiterVerdict::Unknown {
+                decisions: stats.decisions,
+                conflicts: stats.conflicts,
+            },
+        }
+    }
+}
+
+/// Encodes the full miter of `c1` against `witness ∘ c2 ∘ witness`.
 fn build_miter(
     c1: &Circuit,
     c2: &Circuit,
     witness: &MatchWitness,
-) -> Result<(Cnf, usize), MatchError> {
+) -> Result<MiterEncoding, MatchError> {
     let n = c1.width();
     if n != c2.width() {
         return Err(MatchError::WidthMismatch {
@@ -280,7 +372,7 @@ fn build_miter(
         diff_lits.push(diff);
     }
     cnf.add_clause(Clause::new(diff_lits));
-    Ok((cnf, n))
+    Ok(MiterEncoding { cnf, inputs: n })
 }
 
 /// SAT-based plain (I-I) equivalence check: `c1 ≡ c2`?
@@ -308,6 +400,19 @@ fn build_miter(
 /// ```
 pub fn check_equivalence_sat(c1: &Circuit, c2: &Circuit) -> Result<SatEquivalence, MatchError> {
     check_witness_sat(c1, c2, &MatchWitness::identity(c1.width()))
+}
+
+/// SAT-based plain (I-I) equivalence check on an explicit backend.
+///
+/// # Errors
+///
+/// Returns [`MatchError::WidthMismatch`] on width disagreement.
+pub fn check_equivalence_sat_with(
+    c1: &Circuit,
+    c2: &Circuit,
+    backend: SolverBackend,
+) -> Result<SatEquivalence, MatchError> {
+    check_witness_sat_with(c1, c2, &MatchWitness::identity(c1.width()), backend)
 }
 
 #[cfg(test)]
@@ -460,6 +565,71 @@ mod tests {
             MiterVerdict::Equivalent | MiterVerdict::Unknown { .. } => {}
             MiterVerdict::Counterexample { .. } => panic!("bogus counterexample"),
         }
+    }
+
+    #[test]
+    fn backends_agree_on_random_miters() {
+        use revmatch_sat::SolverBackend;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for round in 0..10 {
+            let a = revmatch_circuit::random_function_circuit(5, &mut rng);
+            let b = if round % 2 == 0 {
+                // Functionally equal, structurally different.
+                revmatch_circuit::synthesize(
+                    &a.truth_table().unwrap(),
+                    revmatch_circuit::SynthesisStrategy::Basic,
+                )
+                .unwrap()
+            } else {
+                revmatch_circuit::random_function_circuit(5, &mut rng)
+            };
+            let truth = a.functionally_eq(&b);
+            for backend in SolverBackend::ALL {
+                match check_equivalence_sat_with(&a, &b, backend).unwrap() {
+                    SatEquivalence::Equivalent => assert!(truth, "{backend}: round {round}"),
+                    SatEquivalence::Counterexample { input } => {
+                        assert!(!truth, "{backend}: round {round}");
+                        assert_ne!(a.apply(input), b.apply(input), "{backend}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdcl_proves_wide_equivalence_unbudgeted() {
+        // Width 12 is far past the practical DPLL ceiling (~8); CDCL
+        // should finish the complete UNSAT proof without a budget.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let e: Equivalence = "NP-NP".parse().unwrap();
+        let inst = crate::promise::random_wide_instance(e, 12, 30, &mut rng);
+        let verdict = check_witness_sat_with(
+            &inst.c1,
+            &inst.c2,
+            &inst.witness,
+            revmatch_sat::SolverBackend::Cdcl,
+        )
+        .unwrap();
+        assert!(verdict.is_equivalent());
+    }
+
+    #[test]
+    fn miter_encoding_reuse_replays_verdicts() {
+        use revmatch_sat::CdclSolver;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let e: Equivalence = "N-P".parse().unwrap();
+        let inst = crate::promise::random_wide_instance(e, 8, 20, &mut rng);
+        let miter = MiterEncoding::build(&inst.c1, &inst.c2, &inst.witness).unwrap();
+        let mut solver = CdclSolver::new(&miter.cnf).with_branch_hint(miter.input_hint());
+        assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);
+        let cold_conflicts = solver.conflicts();
+        // Second verdict on the retained solver: the learned refutation
+        // answers from the clause database.
+        assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);
+        assert!(
+            solver.conflicts() <= cold_conflicts,
+            "warm solve must not work harder than the cold one"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
 use revmatch_quantum::{ProductState, StateVector};
@@ -78,7 +79,9 @@ pub struct Oracle {
     circuit: Circuit,
     queries: AtomicU64,
     /// Optional precompiled lookup backend (see [`Oracle::precompiled`]).
-    dense: Option<DenseTable>,
+    /// Shared so serving workers can memoize tables across repeated
+    /// circuits ([`Oracle::with_shared_table`]).
+    dense: Option<Arc<DenseTable>>,
 }
 
 impl Oracle {
@@ -104,7 +107,7 @@ impl Oracle {
     /// still count one each.
     pub fn precompiled(circuit: Circuit) -> Self {
         let dense = if circuit.width() <= DENSE_MAX_WIDTH {
-            DenseTable::compile(&circuit).ok()
+            DenseTable::compile(&circuit).ok().map(Arc::new)
         } else {
             None
         };
@@ -112,6 +115,28 @@ impl Oracle {
             circuit,
             queries: AtomicU64::new(0),
             dense,
+        }
+    }
+
+    /// Wraps a circuit around an already-compiled (shared) dense table —
+    /// the memoization path: a serving worker that has seen this circuit
+    /// before hands the cached table in and skips the `2^width` compile
+    /// sweep. Query accounting is identical to [`Oracle::precompiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table width disagrees with the circuit width (a
+    /// cache-keying bug).
+    pub fn with_shared_table(circuit: Circuit, table: Arc<DenseTable>) -> Self {
+        assert_eq!(
+            table.width(),
+            circuit.width(),
+            "shared table width must match the circuit"
+        );
+        Self {
+            circuit,
+            queries: AtomicU64::new(0),
+            dense: Some(table),
         }
     }
 

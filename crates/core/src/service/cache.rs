@@ -1,0 +1,233 @@
+//! Worker-local memoization: dense-table and miter-solver caches.
+//!
+//! The `(width, equivalence)` shard routing in [`super::MatchService`]
+//! means a lane keeps seeing the same circuits — the loadgen pool, a
+//! regression replay, or a client re-checking one miter family. Each
+//! worker therefore carries a [`ShardCaches`]:
+//!
+//! * a **dense-table LRU** keyed by the exact circuit, so a repeated
+//!   circuit reuses its `2^width` lookup table instead of re-running the
+//!   compile sweep (the PR-2 ROADMAP follow-up);
+//! * a **CDCL solver LRU** keyed by the exact miter CNF, so repeated
+//!   SAT verification of the same circuit pair re-enters a solver that
+//!   already holds the learned refutation — the warm path answers from
+//!   the clause database.
+//!
+//! Keys are compared by full equality (not hash), so a collision can
+//! never hand back the wrong table or solver. Table reuse is purely a
+//! speed layer — oracle answers are bit-identical with or without it.
+//! Solver reuse never changes a *completed* verdict either (any verdict
+//! returned is correct), but under a per-verification budget a warm
+//! solver may **resolve** a formula the cold solver had to leave
+//! `Unknown`: its retained learned clauses amount to a head start, so
+//! budget-limited outcomes can improve (never degrade, never flip
+//! between definitive answers) with cache warmth. Caches are
+//! worker-local (no sharing, no locks): shard affinity is what makes
+//! them hit.
+
+use std::sync::Arc;
+
+use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
+use revmatch_sat::{CdclSolver, Cnf};
+
+use crate::miter::MiterEncoding;
+use crate::oracle::Oracle;
+
+/// Resident cost of one cached dense table (`2^width` entries of 8 B).
+fn table_cost(table: &Arc<DenseTable>) -> usize {
+    (1usize << table.width()) * std::mem::size_of::<u64>()
+}
+
+/// A tiny move-to-front LRU with exact-equality keys and a per-entry
+/// cost hook: eviction keeps the total cost within `budget` (a plain
+/// count cap is `cost = |_| 1`).
+#[derive(Debug)]
+struct Lru<K, V> {
+    budget: usize,
+    cost: fn(&V) -> usize,
+    total: usize,
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Clone + PartialEq, V> Lru<K, V> {
+    fn new(budget: usize, cost: fn(&V) -> usize) -> Self {
+        Self {
+            budget: budget.max(1),
+            cost,
+            total: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Returns the cached value for `key` (moved to front), or builds,
+    /// inserts and returns it, evicting from the cold end until the
+    /// total cost fits the budget (the newest entry always stays). The
+    /// flag reports a hit.
+    fn get_or_insert_with(&mut self, key: &K, make: impl FnOnce(&K) -> V) -> (&mut V, bool) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == key) {
+            self.entries[..=i].rotate_right(1);
+            return (&mut self.entries[0].1, true);
+        }
+        let value = make(key);
+        self.total += (self.cost)(&value);
+        self.entries.insert(0, (key.clone(), value));
+        while self.total > self.budget && self.entries.len() > 1 {
+            let (_, evicted) = self.entries.pop().expect("len > 1");
+            self.total -= (self.cost)(&evicted);
+        }
+        (&mut self.entries[0].1, false)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-worker memoization state — see the [module docs](self).
+#[derive(Debug)]
+pub(crate) struct ShardCaches {
+    /// Dense tables, evicted by total size: a `2^w` table costs
+    /// `8·2^w` bytes, so narrow mixes keep hundreds of tables while a
+    /// single width-16 job (512 KiB) still fits comfortably.
+    tables: Lru<Circuit, Arc<DenseTable>>,
+    solvers: Lru<Cnf, CdclSolver>,
+}
+
+/// Byte budget for the per-worker dense-table cache (~16 MiB: 32
+/// width-16 tables, or thousands of narrow ones). A count-based cap
+/// would thrash on cyclic pools of small circuits — the loadgen's exact
+/// access pattern.
+const TABLE_CACHE_BYTES: usize = 16 << 20;
+/// Miter solvers kept per worker (each owns its clause database). Sized
+/// above the loadgen pool's per-shard miter-family count: a cyclic
+/// workload over more families than the capacity would never hit
+/// (sequential scans are LRU's worst case).
+const SOLVER_CACHE_CAP: usize = 32;
+
+impl ShardCaches {
+    pub fn new() -> Self {
+        Self {
+            tables: Lru::new(TABLE_CACHE_BYTES, table_cost),
+            solvers: Lru::new(SOLVER_CACHE_CAP, |_| 1),
+        }
+    }
+
+    /// A precompiled oracle for `circuit`, reusing the cached dense table
+    /// when this worker has compiled the circuit before. Falls back to
+    /// the bit-sliced oracle beyond [`DENSE_MAX_WIDTH`], exactly like
+    /// [`Oracle::precompiled`]. The flag reports a table-cache hit.
+    pub fn oracle_for(&mut self, circuit: Circuit) -> (Oracle, bool) {
+        if circuit.width() > DENSE_MAX_WIDTH {
+            return (Oracle::new(circuit), false);
+        }
+        let (table, hit) = self.tables.get_or_insert_with(&circuit, |c| {
+            Arc::new(DenseTable::compile(c).expect("width checked against DENSE_MAX_WIDTH"))
+        });
+        let table = Arc::clone(table);
+        (Oracle::with_shared_table(circuit, table), hit)
+    }
+
+    /// A CDCL solver owning `miter`'s formula, input-hinted, reused (with
+    /// its learned clauses) when this worker has verified the same miter
+    /// before. The flag reports a solver-cache hit.
+    pub fn solver_for(&mut self, miter: &MiterEncoding) -> (&mut CdclSolver, bool) {
+        self.solvers.get_or_insert_with(&miter.cnf, |cnf| {
+            CdclSolver::new(cnf).with_branch_hint(miter.input_hint())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ClassicalOracle;
+    use crate::witness::MatchWitness;
+    use rand::SeedableRng;
+    use revmatch_circuit::{random_circuit, RandomCircuitSpec};
+
+    #[test]
+    fn lru_hits_evicts_and_moves_to_front() {
+        let mut lru: Lru<u32, u32> = Lru::new(2, |_| 1);
+        assert!(!lru.get_or_insert_with(&1, |_| 10).1);
+        assert!(!lru.get_or_insert_with(&2, |_| 20).1);
+        // Hit 1 (moves to front), insert 3 → 2 is evicted.
+        assert!(lru.get_or_insert_with(&1, |_| 99).1);
+        assert!(!lru.get_or_insert_with(&3, |_| 30).1);
+        assert_eq!(lru.len(), 2);
+        assert!(!lru.get_or_insert_with(&2, |_| 21).1, "2 was evicted");
+    }
+
+    #[test]
+    fn lru_cost_budget_evicts_by_total_and_keeps_newest() {
+        // Cost = the value itself; budget 10.
+        let mut lru: Lru<u32, usize> = Lru::new(10, |v| *v);
+        assert!(!lru.get_or_insert_with(&1, |_| 4).1);
+        assert!(!lru.get_or_insert_with(&2, |_| 4).1); // total 8
+        assert!(!lru.get_or_insert_with(&3, |_| 4).1); // 12 → evict 1
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get_or_insert_with(&2, |_| 99).1, "2 survived");
+        assert!(!lru.get_or_insert_with(&1, |_| 4).1, "1 was evicted");
+        // An over-budget single entry is still admitted (newest stays).
+        assert!(!lru.get_or_insert_with(&9, |_| 50).1);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn cached_oracle_answers_match_fresh_compiles() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let c = random_circuit(&RandomCircuitSpec::for_width(6), &mut rng);
+        let mut caches = ShardCaches::new();
+        let (cold, hit_cold) = caches.oracle_for(c.clone());
+        assert!(!hit_cold);
+        let (warm, hit_warm) = caches.oracle_for(c.clone());
+        assert!(hit_warm);
+        for x in 0..64u64 {
+            assert_eq!(cold.query(x), c.apply(x));
+            assert_eq!(warm.query(x), c.apply(x));
+        }
+    }
+
+    #[test]
+    fn distinct_circuits_never_share_a_table() {
+        // Equal widths, different functions: the exact-equality key must
+        // separate them.
+        let a = Circuit::from_gates(3, [revmatch_circuit::Gate::not(0)]).unwrap();
+        let b = Circuit::from_gates(3, [revmatch_circuit::Gate::not(1)]).unwrap();
+        let mut caches = ShardCaches::new();
+        let (oa, _) = caches.oracle_for(a.clone());
+        let (ob, hit) = caches.oracle_for(b.clone());
+        assert!(!hit);
+        assert_eq!(oa.query(0), 1);
+        assert_eq!(ob.query(0), 2);
+    }
+
+    #[test]
+    fn wide_circuits_bypass_the_table_cache() {
+        let c = Circuit::new(DENSE_MAX_WIDTH + 1);
+        let mut caches = ShardCaches::new();
+        let (_, hit1) = caches.oracle_for(c.clone());
+        let (_, hit2) = caches.oracle_for(c);
+        assert!(!hit1 && !hit2);
+    }
+
+    #[test]
+    fn solver_cache_reuses_learned_state() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let c = random_circuit(&RandomCircuitSpec::for_width(5), &mut rng);
+        let resynth = revmatch_circuit::synthesize(
+            &c.truth_table().unwrap(),
+            revmatch_circuit::SynthesisStrategy::Basic,
+        )
+        .unwrap();
+        let miter = MiterEncoding::build(&c, &resynth, &MatchWitness::identity(c.width())).unwrap();
+        let mut caches = ShardCaches::new();
+        let (solver, hit) = caches.solver_for(&miter);
+        assert!(!hit);
+        assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);
+        let (solver, hit) = caches.solver_for(&miter);
+        assert!(hit);
+        assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);
+        assert_eq!(solver.conflicts(), 0, "warm verdict must be cached");
+    }
+}

@@ -122,6 +122,10 @@ pub struct Metrics {
     completed: AtomicU64,
     failed: AtomicU64,
     queries: AtomicU64,
+    sat_verified: AtomicU64,
+    sat_unknown: AtomicU64,
+    table_cache_hits: AtomicU64,
+    solver_cache_hits: AtomicU64,
     shard_depth: Vec<AtomicU64>,
     latency: Histogram,
     intake_depth: Histogram,
@@ -136,6 +140,10 @@ impl Metrics {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            sat_verified: AtomicU64::new(0),
+            sat_unknown: AtomicU64::new(0),
+            table_cache_hits: AtomicU64::new(0),
+            solver_cache_hits: AtomicU64::new(0),
             shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: Histogram::new(latency_bounds()),
             intake_depth: Histogram::new(depth_bounds()),
@@ -172,6 +180,25 @@ impl Metrics {
         self.latency.observe(latency_micros);
     }
 
+    /// Counts one SAT miter verification of a recovered witness;
+    /// `unknown` records a budget-exhausted (inconclusive) verdict.
+    pub(crate) fn record_sat_verify(&self, unknown: bool) {
+        self.sat_verified.fetch_add(1, Ordering::Relaxed);
+        if unknown {
+            self.sat_unknown.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts dense-table cache hits in a worker's oracle setup.
+    pub(crate) fn record_table_cache_hits(&self, hits: u64) {
+        self.table_cache_hits.fetch_add(hits, Ordering::Relaxed);
+    }
+
+    /// Counts one warm re-entry into a cached miter solver.
+    pub(crate) fn record_solver_cache_hit(&self) {
+        self.solver_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Jobs accepted into the intake queue.
     pub fn jobs_submitted(&self) -> u64 {
         self.submitted.load(Ordering::Relaxed)
@@ -195,6 +222,26 @@ impl Metrics {
     /// Total oracle queries spent across completed jobs.
     pub fn oracle_queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose recovered witness was checked against a SAT miter.
+    pub fn jobs_sat_verified(&self) -> u64 {
+        self.sat_verified.load(Ordering::Relaxed)
+    }
+
+    /// SAT verifications that exhausted their budget (inconclusive).
+    pub fn sat_unknown(&self) -> u64 {
+        self.sat_unknown.load(Ordering::Relaxed)
+    }
+
+    /// Dense-table cache hits across all workers.
+    pub fn table_cache_hits(&self) -> u64 {
+        self.table_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Miter-solver cache hits across all workers.
+    pub fn solver_cache_hits(&self) -> u64 {
+        self.solver_cache_hits.load(Ordering::Relaxed)
     }
 
     /// The job-latency histogram (accept → completion, microseconds).
@@ -236,6 +283,26 @@ impl Metrics {
                 "revmatch_oracle_queries_total",
                 "Oracle queries spent across completed jobs.",
                 self.oracle_queries(),
+            ),
+            (
+                "revmatch_jobs_sat_verified_total",
+                "Jobs whose recovered witness was checked against a SAT miter.",
+                self.jobs_sat_verified(),
+            ),
+            (
+                "revmatch_sat_unknown_total",
+                "SAT verifications that exhausted their budget.",
+                self.sat_unknown(),
+            ),
+            (
+                "revmatch_table_cache_hits_total",
+                "Worker dense-table cache hits.",
+                self.table_cache_hits(),
+            ),
+            (
+                "revmatch_solver_cache_hits_total",
+                "Worker miter-solver cache hits.",
+                self.solver_cache_hits(),
             ),
         ];
         for (name, help, value) in counters {
@@ -311,6 +378,10 @@ mod tests {
         m.record_accept(1, 3);
         m.record_completion(false, 12, 250);
         m.record_reject();
+        m.record_sat_verify(false);
+        m.record_sat_verify(true);
+        m.record_table_cache_hits(4);
+        m.record_solver_cache_hit();
         let text = m.render();
         for needle in [
             "revmatch_jobs_submitted_total 1",
@@ -318,6 +389,10 @@ mod tests {
             "revmatch_jobs_completed_total 1",
             "revmatch_jobs_failed_total 0",
             "revmatch_oracle_queries_total 12",
+            "revmatch_jobs_sat_verified_total 2",
+            "revmatch_sat_unknown_total 1",
+            "revmatch_table_cache_hits_total 4",
+            "revmatch_solver_cache_hits_total 1",
             "revmatch_shard_queue_depth{shard=\"1\"} 3",
             "revmatch_job_latency_seconds_bucket",
             "revmatch_intake_depth_count 1",

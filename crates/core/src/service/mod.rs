@@ -50,6 +50,7 @@
 //! service.shutdown();
 //! ```
 
+mod cache;
 mod metrics;
 mod queue;
 
@@ -62,10 +63,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use rand::SeedableRng;
+use revmatch_sat::{SolveStats, SolverBackend};
 
 use crate::engine::{EngineJob, JobReport};
 use crate::matchers::{solve_promise, MatcherConfig, ProblemOracles};
+use crate::miter::{check_witness_sat_budgeted_with, MiterEncoding, MiterVerdict};
 use crate::oracle::Oracle;
+use crate::witness::MatchWitness;
+use cache::ShardCaches;
 use queue::ShardedQueue;
 
 /// SplitMix64 increment used to whiten per-job seed indices; shared with
@@ -94,11 +99,26 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Matcher tuning shared by every worker.
     pub matcher: MatcherConfig,
-    /// Eagerly compile oracles into dense tables ([`Oracle::precompiled`]).
+    /// Eagerly compile oracles into dense tables ([`Oracle::precompiled`]),
+    /// memoized per worker in a table LRU.
     pub precompile: bool,
     /// Base seed for [`MatchService::submit`]'s derived per-job seeds.
     pub seed: u64,
+    /// SAT backend for jobs requesting miter verification
+    /// ([`EngineJob::with_sat_verification`]). CDCL (the default) gets
+    /// per-worker solver reuse; DPLL is stateless and kept for
+    /// differential runs.
+    pub solver_backend: SolverBackend,
+    /// Decision + conflict budget per miter verification; exhausting it
+    /// yields an explicit [`MiterVerdict::Unknown`] instead of stalling a
+    /// worker shard.
+    pub miter_budget: usize,
 }
+
+/// Default per-verification search budget: generous enough for complete
+/// width-14–16 verdicts on CDCL, while still bounding a worker's worst
+/// case to well under a second.
+pub const DEFAULT_MITER_BUDGET: usize = 2_000_000;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -110,6 +130,8 @@ impl Default for ServiceConfig {
             matcher: MatcherConfig::default(),
             precompile: true,
             seed: 0,
+            solver_backend: SolverBackend::default(),
+            miter_budget: DEFAULT_MITER_BUDGET,
         }
     }
 }
@@ -147,6 +169,20 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Picks the SAT backend for miter-verified jobs.
+    #[must_use]
+    pub fn with_solver_backend(mut self, backend: SolverBackend) -> Self {
+        self.solver_backend = backend;
+        self
+    }
+
+    /// Overrides the per-verification miter budget (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_miter_budget(mut self, budget: usize) -> Self {
+        self.miter_budget = budget.max(1);
         self
     }
 }
@@ -233,6 +269,8 @@ struct Shared {
     metrics: Metrics,
     matcher: MatcherConfig,
     precompile: bool,
+    solver_backend: SolverBackend,
+    miter_budget: usize,
     /// Accepted-but-unfinished jobs, with a condvar for [`MatchService::drain`].
     in_flight: Mutex<usize>,
     idle: Condvar,
@@ -241,24 +279,39 @@ struct Shared {
 impl Shared {
     /// Executes one job with a deterministic RNG; the worker body. Takes
     /// the job by value — the circuits move into the oracles instead of
-    /// being cloned a second time.
-    fn execute(&self, job: EngineJob, seed: u64) -> JobReport {
+    /// being cloned a second time. `caches` is the worker's private
+    /// memoization state (dense tables, miter solvers). Table reuse
+    /// never changes results; solver reuse never changes a *completed*
+    /// verdict, though under a tight miter budget a warm solver may
+    /// resolve a formula a cold one left `Unknown` (see
+    /// [`cache`](self) module docs).
+    fn execute(&self, job: EngineJob, seed: u64, caches: &mut ShardCaches) -> JobReport {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let wrap = |c: revmatch_circuit::Circuit| {
-            if self.precompile {
-                Oracle::precompiled(c)
-            } else {
-                Oracle::new(c)
-            }
-        };
+        let mut table_hits = 0u64;
         let equivalence = job.equivalence;
-        let c1 = wrap(job.c1);
-        let c2 = wrap(job.c2);
-        let (c1_inv, c2_inv) = if job.with_inverses {
-            (Some(c1.inverse_oracle()), Some(c2.inverse_oracle()))
-        } else {
-            (None, None)
+        let (c1, c2, c1_inv, c2_inv) = {
+            let mut wrap = |c: revmatch_circuit::Circuit, caches: &mut ShardCaches| {
+                if self.precompile {
+                    let (oracle, hit) = caches.oracle_for(c);
+                    table_hits += u64::from(hit);
+                    oracle
+                } else {
+                    Oracle::new(c)
+                }
+            };
+            let c1 = wrap(job.c1, caches);
+            let c2 = wrap(job.c2, caches);
+            let (c1_inv, c2_inv) = if job.with_inverses {
+                (
+                    Some(wrap(c1.circuit().inverse(), caches)),
+                    Some(wrap(c2.circuit().inverse(), caches)),
+                )
+            } else {
+                (None, None)
+            };
+            (c1, c2, c1_inv, c2_inv)
         };
+        self.metrics.record_table_cache_hits(table_hits);
         let oracles = ProblemOracles {
             c1: &c1,
             c2: &c2,
@@ -266,22 +319,75 @@ impl Shared {
             c2_inv: c2_inv.as_ref(),
         };
         let witness = solve_promise(equivalence, &oracles, &self.matcher, &mut rng);
+        let miter = if job.sat_verify {
+            witness
+                .as_ref()
+                .ok()
+                .map(|w| self.verify_witness(c1.circuit(), c2.circuit(), w, caches))
+        } else {
+            None
+        };
         JobReport {
             witness,
             queries: oracles.total_queries(),
+            miter,
         }
+    }
+
+    /// Proves (or refutes) a recovered witness on the configured SAT
+    /// backend. CDCL runs warm through the worker's solver cache: the
+    /// same miter family re-enters a solver that already holds the
+    /// learned refutation.
+    fn verify_witness(
+        &self,
+        c1: &revmatch_circuit::Circuit,
+        c2: &revmatch_circuit::Circuit,
+        witness: &MatchWitness,
+        caches: &mut ShardCaches,
+    ) -> MiterVerdict {
+        let verdict = match self.solver_backend {
+            SolverBackend::Dpll => {
+                check_witness_sat_budgeted_with(c1, c2, witness, self.miter_budget, {
+                    SolverBackend::Dpll
+                })
+                .expect("a solved job's circuits share a width")
+            }
+            SolverBackend::Cdcl => {
+                let miter = MiterEncoding::build(c1, c2, witness)
+                    .expect("a solved job's circuits share a width");
+                let (solver, hit) = caches.solver_for(&miter);
+                if hit {
+                    self.metrics.record_solver_cache_hit();
+                }
+                solver.set_budget(Some(self.miter_budget));
+                let outcome = solver.solve_budgeted();
+                let stats = SolveStats {
+                    decisions: solver.decisions(),
+                    conflicts: solver.conflicts(),
+                    propagations: solver.propagations(),
+                };
+                miter.verdict_from(outcome, stats)
+            }
+        };
+        self.metrics.record_sat_verify(verdict.is_unknown());
+        verdict
     }
 
     /// Worker main loop for shard `shard`.
     fn run_worker(&self, shard: usize) {
+        let mut caches = ShardCaches::new();
         while let Some((req, _lane)) = self.intake.pop(shard, |lane, depth| {
             self.metrics.record_dequeue(lane, depth)
         }) {
             let accepted_at = req.accepted_at;
-            let report = self.execute(req.job, req.seed);
+            let report = self.execute(req.job, req.seed, &mut caches);
             let latency = accepted_at.elapsed().as_micros() as u64;
+            // A witness the miter refutes is a failure even though the
+            // matcher reported success — the job's answer is wrong.
+            let failed = report.witness.is_err()
+                || matches!(report.miter, Some(MiterVerdict::Counterexample { .. }));
             self.metrics
-                .record_completion(report.witness.is_err(), report.queries, latency);
+                .record_completion(failed, report.queries, latency);
             *req.ticket.slot.lock().expect("ticket lock") = Some(report);
             req.ticket.done.notify_all();
             let mut in_flight = self.in_flight.lock().expect("in_flight lock");
@@ -311,6 +417,8 @@ impl MatchService {
             metrics: Metrics::new(shards),
             matcher: config.matcher,
             precompile: config.precompile,
+            solver_backend: config.solver_backend,
+            miter_budget: config.miter_budget.max(1),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
         });

@@ -1,0 +1,177 @@
+//! Solver-backend selection: one enum, two engines.
+//!
+//! Everything above the SAT crate (miters, Valiant–Vazirani, the serving
+//! layer) asks for a verdict through [`SolverBackend`] instead of naming
+//! a solver type, so the CDCL core and the educational DPLL stay
+//! interchangeable — CDCL for production, DPLL for differential testing
+//! and model counting.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::cdcl::CdclSolver;
+use crate::cnf::Cnf;
+use crate::error::SatError;
+use crate::solver::{BudgetedSolve, Solve, Solver};
+
+/// Which SAT engine answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverBackend {
+    /// The educational DPLL with unit propagation and pure literals
+    /// ([`Solver`]). Complete but blows up on wide UNSAT proofs.
+    Dpll,
+    /// The conflict-driven clause-learning core ([`CdclSolver`]); the
+    /// default everywhere.
+    #[default]
+    Cdcl,
+}
+
+/// Search-effort statistics from one budgeted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Branching decisions spent.
+    pub decisions: usize,
+    /// Conflicts reached.
+    pub conflicts: usize,
+    /// Unit propagations performed.
+    pub propagations: usize,
+}
+
+impl SolverBackend {
+    /// Every backend, for differential sweeps.
+    pub const ALL: [SolverBackend; 2] = [SolverBackend::Dpll, SolverBackend::Cdcl];
+
+    /// Decides satisfiability with this backend (unbudgeted).
+    pub fn solve(self, cnf: &Cnf) -> Solve {
+        self.solve_hinted(cnf, &[])
+    }
+
+    /// Decides satisfiability, preferring to branch on `hint` first.
+    ///
+    /// The DPLL treats the hint as a strict decision priority; CDCL
+    /// only seeds its initial VSIDS activities with it and stays free to
+    /// chase conflicts (see [`CdclSolver::with_branch_hint`] for why
+    /// that freedom is the speedup).
+    pub fn solve_hinted(self, cnf: &Cnf, hint: &[usize]) -> Solve {
+        match self {
+            Self::Dpll => Solver::new(cnf).with_branch_hint(hint.to_vec()).solve(),
+            Self::Cdcl => CdclSolver::new(cnf).with_branch_hint(hint.to_vec()).solve(),
+        }
+    }
+
+    /// Budget-limited query (`None` = unlimited): at most `budget`
+    /// decisions + conflicts before an explicit
+    /// [`BudgetedSolve::Unknown`]. Returns the verdict plus the search
+    /// effort actually spent.
+    pub fn solve_budgeted_hinted(
+        self,
+        cnf: &Cnf,
+        hint: &[usize],
+        budget: Option<usize>,
+    ) -> (BudgetedSolve, SolveStats) {
+        match self {
+            Self::Dpll => {
+                let mut solver = Solver::new(cnf).with_branch_hint(hint.to_vec());
+                if let Some(b) = budget {
+                    solver = solver.with_budget(b);
+                }
+                let verdict = solver.solve_budgeted();
+                let stats = SolveStats {
+                    decisions: solver.decisions(),
+                    conflicts: solver.conflicts(),
+                    propagations: solver.propagations(),
+                };
+                (verdict, stats)
+            }
+            Self::Cdcl => {
+                let mut solver = CdclSolver::new(cnf).with_branch_hint(hint.to_vec());
+                solver.set_budget(budget);
+                let verdict = solver.solve_budgeted();
+                let stats = SolveStats {
+                    decisions: solver.decisions(),
+                    conflicts: solver.conflicts(),
+                    propagations: solver.propagations(),
+                };
+                (verdict, stats)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dpll => write!(f, "dpll"),
+            Self::Cdcl => write!(f, "cdcl"),
+        }
+    }
+}
+
+impl FromStr for SolverBackend {
+    type Err = SatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "dpll" => Ok(Self::Dpll),
+            "cdcl" => Ok(Self::Cdcl),
+            other => Err(SatError::UnknownBackend {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit, Var};
+
+    fn xor_pair() -> Cnf {
+        let mut f = Cnf::new(2);
+        f.add_clause(Clause::new(vec![
+            Lit::positive(Var(0)),
+            Lit::positive(Var(1)),
+        ]));
+        f.add_clause(Clause::new(vec![
+            Lit::negative(Var(0)),
+            Lit::negative(Var(1)),
+        ]));
+        f
+    }
+
+    #[test]
+    fn both_backends_answer_and_agree() {
+        let f = xor_pair();
+        for backend in SolverBackend::ALL {
+            let solve = backend.solve(&f);
+            assert!(solve.is_sat(), "{backend}");
+            assert!(f.eval(solve.witness().unwrap()), "{backend}");
+        }
+    }
+
+    #[test]
+    fn budgeted_dispatch_reports_stats() {
+        let f = xor_pair();
+        for backend in SolverBackend::ALL {
+            let (verdict, stats) = backend.solve_budgeted_hinted(&f, &[1, 0], Some(1_000));
+            assert!(verdict.is_sat(), "{backend}");
+            assert!(stats.decisions + stats.propagations > 0, "{backend}");
+            let (unknown, _) = backend.solve_budgeted_hinted(&f, &[], Some(0));
+            assert!(unknown.is_unknown(), "{backend} must respect budget 0");
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for backend in SolverBackend::ALL {
+            let parsed: SolverBackend = backend.to_string().parse().unwrap();
+            assert_eq!(parsed, backend);
+        }
+        assert_eq!(
+            "CDCL".parse::<SolverBackend>().unwrap(),
+            SolverBackend::Cdcl
+        );
+        assert!("minisat".parse::<SolverBackend>().is_err());
+        assert_eq!(SolverBackend::default(), SolverBackend::Cdcl);
+    }
+}

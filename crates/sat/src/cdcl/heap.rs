@@ -1,0 +1,147 @@
+//! Activity-ordered variable heap for the VSIDS decision heuristic.
+//!
+//! A classic indexed binary max-heap: `pos[v]` tracks where variable `v`
+//! sits in the heap array so activity bumps re-sift in `O(log n)` without
+//! a search. The comparison key (the activity array) lives in the solver,
+//! so every operation takes it as a parameter — the heap stores only
+//! variable indices.
+
+/// Indexed max-heap over variable indices, ordered by an external
+/// activity array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `NOT_IN_HEAP`.
+    pos: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarHeap {
+    /// A heap sized for `num_vars` variables, initially empty.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(num_vars),
+            pos: vec![NOT_IN_HEAP; num_vars],
+        }
+    }
+
+    /// Whether `v` is currently in the heap.
+    pub fn contains(&self, v: usize) -> bool {
+        self.pos[v] != NOT_IN_HEAP
+    }
+
+    /// Whether the heap is empty.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub fn insert(&mut self, v: usize, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v] = self.heap.len() as u32;
+        self.heap.push(v as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top as usize)
+    }
+
+    /// Restores heap order after `activity[v]` increased.
+    pub fn bumped(&mut self, v: usize, activity: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v] as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                best = right;
+            }
+            if activity[self.heap[best] as usize] <= activity[self.heap[i] as usize] {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = [0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new(4);
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut activity = [0.0, 1.0, 2.0];
+        let mut h = VarHeap::new(3);
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn double_insert_is_idempotent() {
+        let activity = [1.0];
+        let mut h = VarHeap::new(1);
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+}

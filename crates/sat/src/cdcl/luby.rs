@@ -1,0 +1,48 @@
+//! The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4,
+//! 8, … (Luby, Sinclair & Zuckerman 1993), the universally-optimal
+//! schedule for restarting Las Vegas searches.
+
+/// The `i`-th term of the Luby sequence (`i` starting at 0).
+pub(crate) fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing i: the k-th subsequence ends
+    // at index 2^k - 2 and finishes with the value 2^(k-1).
+    let mut k = 1u32;
+    while (1u64 << k) - 1 <= i {
+        k += 1;
+    }
+    // Walk down: either i is the last slot of its subsequence (value
+    // 2^(k-1)) or it recurses into a shorter prefix.
+    loop {
+        if i == (1u64 << k) - 2 {
+            return 1u64 << (k - 1);
+        }
+        if k == 1 {
+            return 1;
+        }
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 <= i {
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn powers_appear_at_subsequence_ends() {
+        // Index 2^k - 2 holds 2^(k-1).
+        for k in 1..=10u32 {
+            assert_eq!(luby((1u64 << k) - 2), 1u64 << (k - 1));
+        }
+    }
+}

@@ -1,0 +1,1119 @@
+//! Conflict-driven clause learning (CDCL) — the production SAT core.
+//!
+//! The educational DPLL in [`crate::solver`] re-discovers the same
+//! conflicts over and over: with no memory of *why* a branch failed, an
+//! UNSAT proof over `n` inputs costs `O(2^n)` node visits even when the
+//! formula has short resolution refutations. This module is the modern
+//! answer, a self-contained CDCL solver with the standard toolkit:
+//!
+//! * **Two-watched-literal propagation** — each clause is watched by two
+//!   literals; assignments only touch clauses whose watch just became
+//!   false, so propagation cost tracks the number of *relevant* clauses,
+//!   not the formula size ([`CdclSolver::propagate`]).
+//! * **First-UIP conflict analysis** with **basic learned-clause
+//!   minimization** — every conflict is resolved back to the first unique
+//!   implication point and self-subsumed literals are stripped before the
+//!   clause is learned ([`CdclSolver::analyze`]).
+//! * **EVSIDS decisions with phase saving** — variable activities decay
+//!   exponentially (bump/decay, rescaled at 1e100) and each variable
+//!   remembers its last polarity, so the search resumes where it left off
+//!   after a restart.
+//! * **Luby restarts** — the universally-optimal restart schedule
+//!   (base 100 conflicts) escapes heavy-tailed runtimes.
+//! * **Activity-based clause-database reduction** — the learned-clause
+//!   store is halved (keeping binaries and the most active clauses) when
+//!   it outgrows its budget, which grows geometrically.
+//!
+//! Clause literals live in one flat arena (`Vec<CLit>` + offset/length
+//! records) rather than one heap allocation per clause: propagation and
+//! analysis walk contiguous memory, and assignments are single-byte
+//! codes so a literal's truth is one XOR — the constant factors that
+//! decide whether a solver core is production-grade.
+//!
+//! The API mirrors [`crate::Solver`]: [`CdclSolver::solve`] /
+//! [`CdclSolver::solve_budgeted`] with the same [`Solve`] /
+//! [`BudgetedSolve`] verdicts, [`CdclSolver::with_budget`] charging
+//! decisions + conflicts, and [`CdclSolver::with_branch_hint`] seeding
+//! the initial decision order (miters hint their input variables; VSIDS
+//! then takes over — see the method docs for why it must stay free).
+//! Unlike the DPLL, a `CdclSolver` *owns* its clause database: learned
+//! clauses persist across `solve` calls, so re-solving the same instance
+//! (the serving layer's per-shard solver cache) replays the proof
+//! instead of re-deriving it.
+//!
+//! ```
+//! use revmatch_sat::{CdclSolver, Clause, Cnf, Lit, Var};
+//!
+//! let mut cnf = Cnf::new(2);
+//! cnf.add_clause(Clause::new(vec![Lit::positive(Var(0))]));
+//! cnf.add_clause(Clause::new(vec![Lit::negative(Var(0)), Lit::positive(Var(1))]));
+//! let solve = CdclSolver::new(&cnf).solve();
+//! assert_eq!(solve.witness(), Some(&[true, true][..]));
+//! ```
+
+mod heap;
+mod luby;
+
+use crate::cnf::Cnf;
+use crate::solver::{BudgetedSolve, Solve};
+use heap::VarHeap;
+use luby::luby;
+
+/// Variable-activity decay factor (EVSIDS): `var_inc` grows by `1/0.95`
+/// per conflict.
+const VAR_DECAY: f64 = 0.95;
+/// Clause-activity decay factor.
+const CLA_DECAY: f32 = 0.999;
+/// Rescale threshold for variable activities.
+const RESCALE_LIMIT: f64 = 1e100;
+/// Rescale threshold for (f32) clause activities.
+const CLA_RESCALE_LIMIT: f32 = 1e20;
+/// Conflicts before the first restart; later restarts follow
+/// `luby(i) * RESTART_BASE`.
+const RESTART_BASE: u64 = 100;
+
+/// An internal literal: `var * 2 + negative`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CLit(u32);
+
+impl CLit {
+    fn new(var: usize, negative: bool) -> Self {
+        Self((var as u32) << 1 | u32::from(negative))
+    }
+
+    fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    fn negated(self) -> Self {
+        Self(self.0 ^ 1)
+    }
+
+    /// Index into watch lists.
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Sign bit: 0 positive, 1 negative.
+    fn sign(self) -> u8 {
+        (self.0 & 1) as u8
+    }
+}
+
+/// Variable assignment codes: the value of a *literal* is
+/// `assign[var] ^ sign`, so `VAL_TRUE`/`VAL_FALSE` compare with one XOR
+/// and anything ≥ `VAL_UNDEF` is unassigned.
+const VAL_TRUE: u8 = 0;
+const VAL_FALSE: u8 = 1;
+const VAL_UNDEF: u8 = 2;
+
+/// One clause record: a slice of the literal arena plus bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct ClauseMeta {
+    start: u32,
+    len: u32,
+    activity: f32,
+    learned: bool,
+}
+
+/// A watch-list entry: the clause plus a cached "blocker" literal whose
+/// truth lets propagation skip the clause without touching its memory.
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: u32,
+    blocker: CLit,
+}
+
+/// Outcome of the internal search loop.
+enum Search {
+    Sat,
+    Unsat,
+    Out,
+}
+
+/// A conflict-driven clause-learning solver instance — see the
+/// [module docs](self).
+///
+/// Construction copies the formula into an owned clause arena; `solve`
+/// may be called repeatedly and learned clauses (plus variable
+/// activities and saved phases) carry over between calls.
+#[derive(Debug)]
+pub struct CdclSolver {
+    num_vars: usize,
+    /// Flat literal arena backing every clause.
+    arena: Vec<CLit>,
+    /// Problem clauses occupy `[0, num_problem)`; learned clauses follow.
+    clauses: Vec<ClauseMeta>,
+    num_problem: usize,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<CLit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// EVSIDS state.
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+    /// Learned-clause activity state.
+    cla_inc: f32,
+    max_learnts: f64,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// `false` once the formula is refuted at level 0.
+    ok: bool,
+    /// Per-call statistics (reset by each solve).
+    decisions: usize,
+    conflicts: usize,
+    propagations: usize,
+    /// Lifetime statistics.
+    restarts: usize,
+    db_reductions: usize,
+    budget: Option<usize>,
+}
+
+impl CdclSolver {
+    /// Builds a solver owning a copy of the formula.
+    ///
+    /// Tautological clauses are dropped and duplicate literals merged;
+    /// unit clauses are queued for top-level propagation.
+    pub fn new(cnf: &Cnf) -> Self {
+        let n = cnf.num_vars();
+        let mut solver = Self {
+            num_vars: n,
+            arena: Vec::new(),
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            num_problem: 0,
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![VAL_UNDEF; n],
+            level: vec![0; n],
+            reason: vec![None; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            order: VarHeap::new(n),
+            saved_phase: vec![false; n],
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            seen: vec![false; n],
+            ok: true,
+            decisions: 0,
+            conflicts: 0,
+            propagations: 0,
+            restarts: 0,
+            db_reductions: 0,
+            budget: None,
+        };
+        for v in 0..n {
+            solver.order.insert(v, &solver.activity);
+        }
+        for clause in cnf.clauses() {
+            let mut lits: Vec<CLit> = clause
+                .lits()
+                .iter()
+                .map(|l| CLit::new(l.var.0, l.negative))
+                .collect();
+            lits.sort_unstable_by_key(|l| l.0);
+            lits.dedup();
+            // x ∨ ¬x: satisfied forever. Complementary codes are adjacent
+            // after the sort.
+            if lits.windows(2).any(|w| w[0].0 ^ w[1].0 == 1) {
+                continue;
+            }
+            solver.add_clause_internal(&lits, false);
+        }
+        solver.num_problem = solver.clauses.len();
+        solver.max_learnts = (solver.num_problem as f64 / 3.0).max(1000.0);
+        solver
+    }
+
+    /// Caps [`CdclSolver::solve_budgeted`] at `units` decisions +
+    /// conflicts per call (propagation is free), mirroring
+    /// [`crate::Solver::with_budget`].
+    #[must_use]
+    pub fn with_budget(mut self, units: usize) -> Self {
+        self.budget = Some(units);
+        self
+    }
+
+    /// Changes (or clears) the per-call budget on an existing solver —
+    /// the reuse-friendly form of [`CdclSolver::with_budget`].
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+    }
+
+    /// Seeds the *initial* decision order: hinted variables start with
+    /// descending activity so the first decisions follow `order`, after
+    /// which conflict-driven bumping takes over.
+    ///
+    /// Deliberately weaker than the DPLL's hard priority: pinning CDCL
+    /// to the miter's input variables would force it to enumerate all
+    /// `2^inputs` cubes exactly like DPLL (each conflict clause is a
+    /// full input cube — nothing prunes). Left free, VSIDS homes in on
+    /// the miter's shared internal structure and finds resolution
+    /// proofs exponentially shorter than input enumeration — that
+    /// freedom is the entire CDCL speedup on equivalence miters.
+    /// Out-of-range entries are ignored.
+    #[must_use]
+    pub fn with_branch_hint(mut self, order: Vec<usize>) -> Self {
+        let len = order.len() as f64;
+        for (i, &v) in order.iter().enumerate() {
+            if v < self.num_vars {
+                // Strictly below one conflict bump so learned structure
+                // immediately outranks the prior.
+                self.activity[v] = (len - i as f64) / (len + 1.0) * 0.5;
+            }
+        }
+        // Re-seat every queued variable under the new activities.
+        self.order = VarHeap::new(self.num_vars);
+        for v in 0..self.num_vars {
+            if self.assign[v] >= VAL_UNDEF {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self
+    }
+
+    /// Branching decisions made by the last solve call.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Conflicts reached by the last solve call.
+    pub fn conflicts(&self) -> usize {
+        self.conflicts
+    }
+
+    /// Unit propagations performed by the last solve call.
+    pub fn propagations(&self) -> usize {
+        self.propagations
+    }
+
+    /// Restarts performed over the solver's lifetime.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Learned clauses currently in the database.
+    pub fn num_learned(&self) -> usize {
+        self.clauses.len() - self.num_problem
+    }
+
+    /// Learned-database reductions performed over the solver's lifetime.
+    pub fn db_reductions(&self) -> usize {
+        self.db_reductions
+    }
+
+    /// Decides satisfiability, ignoring any configured budget. Callable
+    /// repeatedly; learned clauses persist between calls.
+    pub fn solve(&mut self) -> Solve {
+        let saved = self.budget.take();
+        let verdict = self.run();
+        self.budget = saved;
+        match verdict {
+            Search::Sat => Solve::Sat(self.take_model()),
+            Search::Unsat => Solve::Unsat,
+            Search::Out => unreachable!("unlimited search cannot exhaust a budget"),
+        }
+    }
+
+    /// Decides satisfiability within the configured budget, returning
+    /// [`BudgetedSolve::Unknown`] instead of searching without bound.
+    pub fn solve_budgeted(&mut self) -> BudgetedSolve {
+        match self.run() {
+            Search::Sat => BudgetedSolve::Sat(self.take_model()),
+            Search::Unsat => BudgetedSolve::Unsat,
+            Search::Out => BudgetedSolve::Unknown,
+        }
+    }
+
+    /// Shared driver: reset per-call stats, search, and leave the solver
+    /// at level 0 ready for the next call.
+    fn run(&mut self) -> Search {
+        self.decisions = 0;
+        self.conflicts = 0;
+        self.propagations = 0;
+        self.backtrack(0);
+        if !self.ok {
+            return Search::Unsat;
+        }
+        self.search()
+    }
+
+    /// Reads the model off a fully-assigned trail, then backtracks so the
+    /// solver is immediately reusable.
+    fn take_model(&mut self) -> Vec<bool> {
+        let model = self.assign.iter().map(|&v| v == VAL_TRUE).collect();
+        self.backtrack(0);
+        model
+    }
+
+    /// The literal's truth code: `VAL_TRUE`, `VAL_FALSE`, or ≥
+    /// `VAL_UNDEF`.
+    #[inline]
+    fn lit_value(&self, l: CLit) -> u8 {
+        self.assign[l.var()] ^ l.sign()
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.budget
+            .is_some_and(|b| self.decisions + self.conflicts > b)
+    }
+
+    /// Adds a deduplicated clause to the arena. Empty clauses refute the
+    /// formula; units go straight onto the level-0 trail.
+    fn add_clause_internal(&mut self, lits: &[CLit], learned: bool) {
+        match lits.len() {
+            0 => self.ok = false,
+            1 => match self.lit_value(lits[0]) {
+                VAL_TRUE => {}
+                VAL_FALSE => self.ok = false,
+                _ => self.enqueue(lits[0], None),
+            },
+            _ => {
+                let cref = self.clauses.len() as u32;
+                self.watches[lits[0].idx()].push(Watcher {
+                    cref,
+                    blocker: lits[1],
+                });
+                self.watches[lits[1].idx()].push(Watcher {
+                    cref,
+                    blocker: lits[0],
+                });
+                let start = self.arena.len() as u32;
+                self.arena.extend_from_slice(lits);
+                self.clauses.push(ClauseMeta {
+                    start,
+                    len: lits.len() as u32,
+                    activity: if learned { self.cla_inc } else { 0.0 },
+                    learned,
+                });
+            }
+        }
+    }
+
+    /// Puts `l` on the trail as true at the current level.
+    fn enqueue(&mut self, l: CLit, reason: Option<u32>) {
+        debug_assert!(self.lit_value(l) >= VAL_UNDEF);
+        let v = l.var();
+        self.assign[v] = l.sign();
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.saved_phase[v] = l.sign() == 0;
+        self.trail.push(l);
+    }
+
+    /// Unassigns back to `target_level`, saving phases and re-queueing
+    /// variables for decisions.
+    fn backtrack(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let keep = self.trail_lim[target_level];
+        for i in (keep..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v] = VAL_UNDEF;
+            self.reason[v] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    /// Two-watched-literal unit propagation to fixpoint. Returns the
+    /// conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.idx()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Blocker fast path: clause already satisfied.
+                if self.lit_value(w.blocker) == VAL_TRUE {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                let (start, len) = {
+                    let m = &self.clauses[cref];
+                    (m.start as usize, m.len as usize)
+                };
+                // Normalize: the just-falsified watch sits at slot 1.
+                if self.arena[start] == false_lit {
+                    self.arena.swap(start, start + 1);
+                }
+                let first = self.arena[start];
+                if first != w.blocker && self.lit_value(first) == VAL_TRUE {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Hunt for a replacement watch among the tail literals.
+                for k in 2..len {
+                    let cand = self.arena[start + k];
+                    if self.lit_value(cand) != VAL_FALSE {
+                        self.arena.swap(start + 1, start + k);
+                        self.watches[cand.idx()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: the clause is unit or conflicting.
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == VAL_FALSE {
+                    // Conflict: keep the remaining watchers and bail.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[false_lit.idx()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.propagations += 1;
+                self.enqueue(first, Some(w.cref));
+            }
+            ws.truncate(j);
+            self.watches[false_lit.idx()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > CLA_RESCALE_LIMIT {
+            for c in &mut self.clauses[self.num_problem..] {
+                c.activity *= 1.0 / CLA_RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / CLA_RESCALE_LIMIT;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc *= 1.0 / VAR_DECAY;
+        self.cla_inc *= 1.0 / CLA_DECAY;
+    }
+
+    /// First-UIP conflict analysis: resolves the conflict clause against
+    /// reasons back to the first unique implication point, minimizes, and
+    /// returns `(learned clause, backjump level)` with the asserting
+    /// literal at index 0 and a backjump-level literal at index 1.
+    fn analyze(&mut self, conflict: u32) -> (Vec<CLit>, usize) {
+        let mut learnt: Vec<CLit> = vec![CLit(0)]; // slot 0 = asserting literal
+        let mut to_clear: Vec<usize> = Vec::new();
+        let mut path = 0usize; // literals of the conflict level still open
+        let mut confl = conflict as usize;
+        let mut first_round = true;
+        let mut idx = self.trail.len();
+        let current = self.decision_level();
+        loop {
+            if self.clauses[confl].learned {
+                self.bump_clause(confl);
+            }
+            let (start, len) = {
+                let m = &self.clauses[confl];
+                (m.start as usize, m.len as usize)
+            };
+            // A reason clause has its propagated literal at slot 0 —
+            // already resolved away, so skip it after the first round.
+            let skip = usize::from(!first_round);
+            first_round = false;
+            for k in skip..len {
+                let q = self.arena[start + k];
+                let v = q.var();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v] as usize >= current {
+                        path += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            self.seen[p.var()] = false;
+            path -= 1;
+            if path == 0 {
+                learnt[0] = p.negated();
+                break;
+            }
+            confl = self.reason[p.var()].expect("implied literal has a reason") as usize;
+        }
+
+        // Basic self-subsumption minimization: a literal implied entirely
+        // by other learned literals (or level-0 facts) is redundant.
+        // (The recursive ccmin-mode=2 variant was measured here and lost:
+        // reversible-circuit miters have wide XOR implication cones, so
+        // the deep check rarely succeeds but always pays its walk.)
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let q = learnt[i];
+            let v = q.var();
+            let redundant = self.reason[v].is_some_and(|r| {
+                let (start, len) = {
+                    let m = &self.clauses[r as usize];
+                    (m.start as usize, m.len as usize)
+                };
+                self.arena[start..start + len].iter().all(|y| {
+                    let yv = y.var();
+                    yv == v || self.level[yv] == 0 || self.seen[yv]
+                })
+            });
+            if !redundant {
+                learnt[j] = q;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+
+        // Backjump to the second-highest decision level in the clause,
+        // with a literal of that level in the second watch slot.
+        let back_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var()] > self.level[learnt[max_i].var()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var()] as usize
+        };
+        (learnt, back_level)
+    }
+
+    /// Learns the clause produced by [`CdclSolver::analyze`] and asserts
+    /// its UIP literal.
+    fn record_learned(&mut self, learnt: &[CLit]) {
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            match self.lit_value(asserting) {
+                VAL_TRUE => {}
+                VAL_FALSE => self.ok = false,
+                _ => self.enqueue(asserting, None),
+            }
+            return;
+        }
+        let cref = self.clauses.len() as u32;
+        self.add_clause_internal(learnt, true);
+        self.enqueue(asserting, Some(cref));
+    }
+
+    /// Halves the learned-clause database, keeping binary clauses and the
+    /// most active half. Only called at decision level 0, where no clause
+    /// is the reason for any assignment, so physical compaction (and the
+    /// watch rebuild it forces) is safe.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for l in &self.trail {
+            self.reason[l.var()] = None;
+        }
+        let mut learned: Vec<usize> = (self.num_problem..self.clauses.len()).collect();
+        learned.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .total_cmp(&self.clauses[b].activity)
+        });
+        let target = learned.len() / 2;
+        let mut drop_flag = vec![false; self.clauses.len()];
+        let mut dropped = 0;
+        for &ci in &learned {
+            if dropped >= target {
+                break;
+            }
+            if self.clauses[ci].len > 2 {
+                drop_flag[ci] = true;
+                dropped += 1;
+            }
+        }
+        // Compact the clause records and the literal arena together.
+        let mut new_arena = Vec::with_capacity(self.arena.len());
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - dropped);
+        for (ci, meta) in self.clauses.iter().enumerate() {
+            if drop_flag[ci] {
+                continue;
+            }
+            let start = new_arena.len() as u32;
+            let s = meta.start as usize;
+            new_arena.extend_from_slice(&self.arena[s..s + meta.len as usize]);
+            new_clauses.push(ClauseMeta { start, ..*meta });
+        }
+        self.arena = new_arena;
+        self.clauses = new_clauses;
+        self.rebuild_watches();
+        self.max_learnts *= 1.1;
+        self.db_reductions += 1;
+    }
+
+    /// Reconstructs every watch list from scratch (after compaction),
+    /// preferring unfalsified literals in the watch slots, and re-queues
+    /// the whole trail for propagation.
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cref in 0..self.clauses.len() {
+            let (start, len) = {
+                let m = &self.clauses[cref];
+                (m.start as usize, m.len as usize)
+            };
+            // Pull up to two non-false literals into the watch slots.
+            let mut slot = 0;
+            for k in 0..len {
+                if slot >= 2 {
+                    break;
+                }
+                if self.lit_value(self.arena[start + k]) != VAL_FALSE {
+                    self.arena.swap(start + slot, start + k);
+                    slot += 1;
+                }
+            }
+            let (w0, w1) = (self.arena[start], self.arena[start + 1]);
+            self.watches[w0.idx()].push(Watcher {
+                cref: cref as u32,
+                blocker: w1,
+            });
+            self.watches[w1.idx()].push(Watcher {
+                cref: cref as u32,
+                blocker: w0,
+            });
+        }
+        // Re-scan the level-0 trail so units hiding behind the rebuilt
+        // watches are found again.
+        self.qhead = 0;
+    }
+
+    /// Picks the next decision literal: highest-activity unassigned
+    /// variable, in its saved phase.
+    fn pick_branch(&mut self) -> Option<CLit> {
+        loop {
+            let v = self.order.pop_max(&self.activity)?;
+            if self.assign[v] >= VAL_UNDEF {
+                return Some(CLit::new(v, !self.saved_phase[v]));
+            }
+        }
+    }
+
+    /// The main CDCL loop: propagate → (conflict ? analyze/learn/backjump
+    /// : decide), with Luby restarts and DB reductions at restart points.
+    fn search(&mut self) -> Search {
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = luby(self.restarts as u64) * RESTART_BASE;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Search::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(conflict);
+                self.backtrack(back_level);
+                self.record_learned(&learnt);
+                if !self.ok {
+                    return Search::Unsat;
+                }
+                self.decay_activities();
+                if self.out_of_budget() {
+                    self.backtrack(0);
+                    return Search::Out;
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.backtrack(0);
+                    self.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = luby(self.restarts as u64) * RESTART_BASE;
+                    if self.num_learned() as f64 > self.max_learnts {
+                        self.reduce_db();
+                    }
+                    continue;
+                }
+                let Some(decision) = self.pick_branch() else {
+                    return Search::Sat;
+                };
+                self.decisions += 1;
+                if self.out_of_budget() {
+                    // The decision variable was popped but never enqueued:
+                    // put it back or the reused solver would never be able
+                    // to decide it again (and could report a bogus model).
+                    self.order.insert(decision.var(), &self.activity);
+                    self.backtrack(0);
+                    return Search::Out;
+                }
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(decision, None);
+            }
+        }
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit, Var};
+    use crate::solver::Solver;
+
+    fn lit(v: i64) -> Lit {
+        let var = Var((v.unsigned_abs() as usize) - 1);
+        if v < 0 {
+            Lit::negative(var)
+        } else {
+            Lit::positive(var)
+        }
+    }
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut f = Cnf::new(0);
+        for c in clauses {
+            f.add_clause(Clause::new(c.iter().map(|&v| lit(v)).collect()));
+        }
+        f
+    }
+
+    /// The PHP(n+1, n) pigeonhole formula: n+1 pigeons, n holes — UNSAT,
+    /// and exponential for DPLL without learning.
+    fn pigeonhole(holes: usize) -> Cnf {
+        let pigeons = holes + 1;
+        let var = |p: usize, h: usize| Var(p * holes + h);
+        let mut f = Cnf::new(pigeons * holes);
+        for p in 0..pigeons {
+            f.add_clause((0..holes).map(|h| Lit::positive(var(p, h))).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    f.add_clause(Clause::new(vec![
+                        Lit::negative(var(p1, h)),
+                        Lit::negative(var(p2, h)),
+                    ]));
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let f = cnf(&[&[1]]);
+        assert_eq!(CdclSolver::new(&f).solve().witness(), Some(&[true][..]));
+        let g = cnf(&[&[1], &[-1]]);
+        assert_eq!(CdclSolver::new(&g).solve(), Solve::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_and_empty_clause() {
+        assert!(CdclSolver::new(&Cnf::new(3)).solve().is_sat());
+        let mut f = Cnf::new(1);
+        f.add_clause(Clause::default());
+        assert_eq!(CdclSolver::new(&f).solve(), Solve::Unsat);
+    }
+
+    #[test]
+    fn tautological_clauses_are_dropped() {
+        let f = cnf(&[&[1, -1], &[2]]);
+        let mut s = CdclSolver::new(&f);
+        assert_eq!(s.num_problem, 0, "tautology must not enter the arena");
+        let solve = s.solve();
+        assert!(solve.is_sat());
+        assert!(f.eval(solve.witness().unwrap()));
+    }
+
+    #[test]
+    fn unit_propagation_chain_costs_no_decisions() {
+        let f = cnf(&[&[1], &[-1, 2], &[-2, 3]]);
+        let mut s = CdclSolver::new(&f);
+        let solve = s.solve();
+        assert_eq!(solve.witness(), Some(&[true, true, true][..]));
+        assert_eq!(s.decisions(), 0);
+        assert!(s.propagations() >= 2);
+    }
+
+    #[test]
+    fn witness_always_satisfies() {
+        let f = cnf(&[&[1, 2, -3], &[-1, 3], &[2, 3], &[-2, -3, 1]]);
+        match CdclSolver::new(&f).solve() {
+            Solve::Sat(w) => assert!(f.eval(&w)),
+            Solve::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_fast() {
+        // PHP(7,6): hopeless for the naive DPLL in a reasonable node
+        // budget, routine for CDCL.
+        let f = pigeonhole(6);
+        let mut s = CdclSolver::new(&f);
+        assert_eq!(s.solve(), Solve::Unsat);
+        // And the verdict is reproducible on the reused (now trivially
+        // refuted) solver.
+        assert_eq!(s.solve(), Solve::Unsat);
+    }
+
+    #[test]
+    fn agrees_with_dpll_on_random_formulas() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for round in 0..120 {
+            let n = rng.gen_range(2..=8);
+            let m = rng.gen_range(1..=24);
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let k = rng.gen_range(1..=3);
+                let lits = (0..k)
+                    .map(|_| {
+                        let v = Var(rng.gen_range(0..n));
+                        if rng.gen_bool(0.5) {
+                            Lit::positive(v)
+                        } else {
+                            Lit::negative(v)
+                        }
+                    })
+                    .collect();
+                f.add_clause(Clause::new(lits));
+            }
+            let dpll = Solver::new(&f).solve();
+            let cdcl = CdclSolver::new(&f).solve();
+            assert_eq!(dpll.is_sat(), cdcl.is_sat(), "round {round}: {f}");
+            if let Some(w) = cdcl.witness() {
+                assert!(f.eval(w), "round {round}: bogus model for {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_zero_unknown_on_branching_formulas() {
+        let f = cnf(&[&[1, 2, 3], &[-1, -2, -3]]);
+        assert_eq!(
+            CdclSolver::new(&f).with_budget(0).solve_budgeted(),
+            BudgetedSolve::Unknown
+        );
+        assert!(CdclSolver::new(&f)
+            .with_budget(1_000)
+            .solve_budgeted()
+            .is_sat());
+    }
+
+    #[test]
+    fn propagation_only_formulas_ignore_the_budget() {
+        let f = cnf(&[&[1], &[-1, 2], &[-2, 3]]);
+        assert_eq!(
+            CdclSolver::new(&f)
+                .with_budget(0)
+                .solve_budgeted()
+                .witness(),
+            Some(&[true, true, true][..])
+        );
+        let unsat = cnf(&[&[1], &[-1]]);
+        assert_eq!(
+            CdclSolver::new(&unsat).with_budget(0).solve_budgeted(),
+            BudgetedSolve::Unsat
+        );
+    }
+
+    #[test]
+    fn budgeted_verdicts_are_never_wrong() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=6);
+            let m = rng.gen_range(1..=14);
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let k = rng.gen_range(1..=3);
+                let lits = (0..k)
+                    .map(|_| {
+                        let v = Var(rng.gen_range(0..n));
+                        if rng.gen_bool(0.5) {
+                            Lit::positive(v)
+                        } else {
+                            Lit::negative(v)
+                        }
+                    })
+                    .collect();
+                f.add_clause(Clause::new(lits));
+            }
+            let truth = Solver::new(&f).solve().is_sat();
+            for budget in [0, 1, 2, 8, 1_000] {
+                match CdclSolver::new(&f).with_budget(budget).solve_budgeted() {
+                    BudgetedSolve::Sat(w) => assert!(f.eval(&w), "bogus witness"),
+                    BudgetedSolve::Unsat => assert!(!truth, "wrong UNSAT under budget"),
+                    BudgetedSolve::Unknown => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_keeps_learned_clauses_and_resets_stats() {
+        let f = pigeonhole(5);
+        let mut s = CdclSolver::new(&f);
+        assert_eq!(s.solve(), Solve::Unsat);
+        let first_conflicts = s.conflicts();
+        assert!(first_conflicts > 0);
+        // Second run: the level-0 refutation is remembered.
+        assert_eq!(s.solve(), Solve::Unsat);
+        assert_eq!(s.conflicts(), 0, "refutation must be cached");
+
+        // SAT side: re-solving reuses learned clauses, and the budget
+        // accounting is per call.
+        let g = cnf(&[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[-1, 2]]);
+        let mut s = CdclSolver::new(&g).with_budget(1_000);
+        let first = s.solve_budgeted();
+        assert!(first.is_sat());
+        let second = s.solve_budgeted();
+        assert_eq!(first, second, "reused solver must reproduce the model");
+    }
+
+    #[test]
+    fn solve_ignores_the_budget() {
+        let f = cnf(&[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[-1, 2]]);
+        let mut s = CdclSolver::new(&f).with_budget(0);
+        assert_eq!(s.solve().is_sat(), Solver::new(&f).solve().is_sat());
+        // And set_budget can lift the cap for the budgeted entry point.
+        s.set_budget(None);
+        assert!(s.solve_budgeted().is_sat());
+    }
+
+    #[test]
+    fn branch_hint_steers_first_decision_only() {
+        let f = cnf(&[&[1, 3], &[2, 3], &[-1, -3], &[-2, -3], &[1, 2, 3]]);
+        let plain = CdclSolver::new(&f).solve();
+        let hinted = CdclSolver::new(&f).with_branch_hint(vec![0, 1]).solve();
+        assert_eq!(plain.is_sat(), hinted.is_sat());
+        assert!(f.eval(hinted.witness().unwrap()));
+        // Out-of-range hints are ignored without panicking.
+        let odd = CdclSolver::new(&f).with_branch_hint(vec![99, 0]).solve();
+        assert_eq!(odd.is_sat(), plain.is_sat());
+    }
+
+    #[test]
+    fn restarts_and_reductions_fire_on_hard_instances() {
+        // PHP(8,7) needs thousands of conflicts: enough to cross several
+        // Luby restart horizons.
+        let f = pigeonhole(7);
+        let mut s = CdclSolver::new(&f);
+        assert_eq!(s.solve(), Solve::Unsat);
+        assert!(s.restarts() > 0, "expected at least one restart");
+        assert!(s.conflicts() > RESTART_BASE as usize);
+    }
+
+    #[test]
+    fn reduce_db_preserves_correctness() {
+        // Force reductions by shrinking the budget dramatically, then
+        // check verdicts on a mixed bag of formulas.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let n = rng.gen_range(6..=10);
+            let m = rng.gen_range(20..=40);
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let k = rng.gen_range(2..=3);
+                let lits = (0..k)
+                    .map(|_| {
+                        let v = Var(rng.gen_range(0..n));
+                        if rng.gen_bool(0.5) {
+                            Lit::positive(v)
+                        } else {
+                            Lit::negative(v)
+                        }
+                    })
+                    .collect();
+                f.add_clause(Clause::new(lits));
+            }
+            let mut s = CdclSolver::new(&f);
+            s.max_learnts = 1.0; // reduce at every restart
+            let cdcl = s.solve();
+            let dpll = Solver::new(&f).solve();
+            assert_eq!(cdcl.is_sat(), dpll.is_sat(), "{f}");
+            if let Some(w) = cdcl.witness() {
+                assert!(f.eval(w));
+            }
+        }
+        // And the aggressive setting really exercised the reducer on the
+        // pigeonhole formula.
+        let f = pigeonhole(6);
+        let mut s = CdclSolver::new(&f);
+        s.max_learnts = 1.0;
+        assert_eq!(s.solve(), Solve::Unsat);
+        assert!(s.db_reductions() > 0, "reducer never fired");
+    }
+
+    #[test]
+    fn budget_exhaustion_at_a_decision_does_not_lose_the_variable() {
+        // Regression: hitting the budget right after popping a decision
+        // variable used to drop it from the order heap for good, so a
+        // reused solver could later report Sat with a bogus model.
+        let f = cnf(&[&[1, 2], &[3, 4]]);
+        let mut s = CdclSolver::new(&f).with_budget(0);
+        for _ in 0..4 {
+            assert_eq!(s.solve_budgeted(), BudgetedSolve::Unknown);
+        }
+        s.set_budget(None);
+        let solve = s.solve_budgeted();
+        let w = solve.witness().expect("formula is satisfiable");
+        assert!(f.eval(w), "reused solver must return a real model");
+        // And the unbudgeted entry point agrees.
+        assert!(f.eval(s.solve().witness().unwrap()));
+    }
+
+    #[test]
+    fn phase_saving_reproduces_models_across_calls() {
+        let f = cnf(&[&[1, 2], &[-1, 2], &[3, -2, 1]]);
+        let mut s = CdclSolver::new(&f);
+        let a = s.solve();
+        let b = s.solve();
+        assert_eq!(a, b);
+    }
+}

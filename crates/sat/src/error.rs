@@ -21,6 +21,11 @@ pub enum SatError {
         /// What was being generated.
         what: String,
     },
+    /// A solver-backend name did not parse (expected `dpll` or `cdcl`).
+    UnknownBackend {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SatError {
@@ -31,6 +36,9 @@ impl fmt::Display for SatError {
             }
             Self::GenerationFailed { attempts, what } => {
                 write!(f, "failed to generate {what} after {attempts} attempts")
+            }
+            Self::UnknownBackend { name } => {
+                write!(f, "unknown solver backend {name:?} (expected dpll or cdcl)")
             }
         }
     }

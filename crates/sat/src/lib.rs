@@ -5,11 +5,16 @@
 //! constructions and experiments need on the formula side:
 //!
 //! * [`Cnf`], [`Clause`], [`Lit`], [`Var`] with evaluation and DIMACS I/O;
+//! * a production [`CdclSolver`] — conflict-driven clause learning with
+//!   two-watched-literal propagation, first-UIP analysis, EVSIDS + phase
+//!   saving, Luby restarts and learned-clause DB reduction;
 //! * a DPLL [`Solver`] with unit propagation and model counting (used to
-//!   certify uniqueness promises and to verify reductions end to end);
+//!   certify uniqueness promises, differential-test the CDCL core, and
+//!   verify reductions end to end) — pick one via [`SolverBackend`];
 //! * [`random_ksat`] and [`planted_unique`] workload generators;
 //! * the Valiant–Vazirani isolation reduction ([`isolate_unique`], paper
-//!   reference \[17\]) showing SAT randomly reduces to UNIQUE-SAT.
+//!   reference \[17\]) showing SAT randomly reduces to UNIQUE-SAT, with
+//!   its isolation rounds solved on the CDCL core by default.
 //!
 //! ## Example
 //!
@@ -32,18 +37,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
+pub mod cdcl;
 pub mod cnf;
 pub mod error;
 pub mod gen;
 pub mod solver;
 pub mod valiant_vazirani;
 
+pub use backend::{SolveStats, SolverBackend};
+pub use cdcl::CdclSolver;
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use error::SatError;
 pub use gen::{minimize_unique, planted_unique, random_ksat, PlantedUnique};
 pub use solver::{BudgetedSolve, Solve, Solver};
 pub use valiant_vazirani::{
-    encode_with_xors, isolate_unique, valiant_vazirani_trial, IsolationOutcome, XorConstraint,
+    encode_with_xors, isolate_unique, isolate_unique_with, valiant_vazirani_trial,
+    IsolationOutcome, XorConstraint,
 };
 
 #[cfg(test)]
@@ -97,7 +107,8 @@ mod proptests {
             prop_assert_eq!(Solver::new(&cnf).count_models(1 << cnf.num_vars()), brute);
         }
 
-        /// DIMACS round-trips preserve semantics.
+        /// DIMACS round-trips preserve semantics, and a re-imported
+        /// instance replays identically on both solver backends.
         #[test]
         fn dimacs_round_trip(cnf in arb_cnf()) {
             let back = Cnf::from_dimacs(&cnf.to_dimacs()).unwrap();
@@ -105,6 +116,32 @@ mod proptests {
             for bits in 0..1u64 << n {
                 let a: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
                 prop_assert_eq!(cnf.eval(&a), back.eval(&a));
+            }
+            let truth = cnf.count_models_exhaustive(1) > 0;
+            for backend in SolverBackend::ALL {
+                let replay = backend.solve(&back);
+                prop_assert_eq!(replay.is_sat(), truth, "{} on re-imported DIMACS", backend);
+                if let Some(w) = replay.witness() {
+                    prop_assert!(back.eval(w));
+                }
+            }
+        }
+
+        /// CDCL and DPLL agree on SAT/UNSAT for arbitrary formulas, every
+        /// SAT model actually satisfies the formula, and budgeted CDCL
+        /// verdicts are never wrong.
+        #[test]
+        fn cdcl_dpll_differential(cnf in arb_cnf(), budget in 0usize..200) {
+            let dpll = Solver::new(&cnf).solve();
+            let cdcl = CdclSolver::new(&cnf).solve();
+            prop_assert_eq!(dpll.is_sat(), cdcl.is_sat());
+            if let Some(w) = cdcl.witness() {
+                prop_assert!(cnf.eval(w), "CDCL model must satisfy the formula");
+            }
+            match CdclSolver::new(&cnf).with_budget(budget).solve_budgeted() {
+                BudgetedSolve::Sat(w) => prop_assert!(cnf.eval(&w)),
+                BudgetedSolve::Unsat => prop_assert!(!dpll.is_sat()),
+                BudgetedSolve::Unknown => {}
             }
         }
 

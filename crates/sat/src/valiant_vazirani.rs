@@ -13,6 +13,7 @@
 
 use rand::Rng;
 
+use crate::backend::SolverBackend;
 use crate::cnf::{Clause, Cnf, Lit, Var};
 
 /// A random parity constraint `⨁_{i ∈ S} x_i = b`.
@@ -133,16 +134,28 @@ pub struct IsolationOutcome {
     pub model: Option<Vec<bool>>,
 }
 
-/// Runs one randomized isolation sweep: for each `k`, builds the
-/// constrained formula and checks (by model counting over the *original*
-/// variables) whether exactly one model of `phi` survives.
+/// Runs one randomized isolation sweep on the default (CDCL) backend:
+/// for each `k`, builds the constrained formula and checks (by model
+/// counting over the *original* variables) whether exactly one model of
+/// `phi` survives.
 ///
 /// Intended for experiment-scale formulas (`num_vars <= 16`).
 pub fn isolate_unique(phi: &Cnf, rng: &mut impl Rng) -> IsolationOutcome {
+    isolate_unique_with(phi, rng, SolverBackend::default())
+}
+
+/// [`isolate_unique`] with an explicit solver backend for the isolation
+/// rounds' satisfiability queries (the DPLL variant is kept for
+/// differential testing).
+pub fn isolate_unique_with(
+    phi: &Cnf,
+    rng: &mut impl Rng,
+    backend: SolverBackend,
+) -> IsolationOutcome {
     let n = phi.num_vars();
     for k in 1..=n + 1 {
         let constrained = valiant_vazirani_trial(phi, k, rng);
-        let survivors = models_projected(&constrained, n, 2);
+        let survivors = models_projected(&constrained, n, 2, backend);
         if survivors.len() == 1 {
             return IsolationOutcome {
                 isolating_k: Some(k),
@@ -157,8 +170,9 @@ pub fn isolate_unique(phi: &Cnf, rng: &mut impl Rng) -> IsolationOutcome {
 }
 
 /// Enumerates models of `cnf` projected to the first `n` variables, up to
-/// `limit` distinct projections.
-fn models_projected(cnf: &Cnf, n: usize, limit: usize) -> Vec<Vec<bool>> {
+/// `limit` distinct projections, solving each pinned instance with
+/// `backend`.
+fn models_projected(cnf: &Cnf, n: usize, limit: usize, backend: SolverBackend) -> Vec<Vec<bool>> {
     assert!(n <= 24);
     let mut found: Vec<Vec<bool>> = Vec::new();
     // Enumerate assignments of the first n vars; for each, check whether the
@@ -181,7 +195,7 @@ fn models_projected(cnf: &Cnf, n: usize, limit: usize) -> Vec<Vec<bool>> {
                 Lit::negative(Var(i))
             }]));
         }
-        if crate::solver::Solver::new(&fixed).solve().is_sat() {
+        if backend.solve(&fixed).is_sat() {
             found.push(assignment[..n].to_vec());
             if found.len() >= limit {
                 break 'outer;
@@ -218,10 +232,12 @@ mod tests {
             parity: false,
         };
         let f = encode_with_xors(&phi, std::slice::from_ref(&xor));
-        let models = models_projected(&f, 3, 100);
-        assert_eq!(models.len(), 4);
-        for m in &models {
-            assert!(xor.eval(m));
+        for backend in SolverBackend::ALL {
+            let models = models_projected(&f, 3, 100, backend);
+            assert_eq!(models.len(), 4, "{backend}");
+            for m in &models {
+                assert!(xor.eval(m), "{backend}");
+            }
         }
     }
 
@@ -266,6 +282,22 @@ mod tests {
         // VV succeeds with constant-ish probability per sweep; 20 sweeps
         // should essentially always isolate at least once.
         assert!(isolated > 0, "no sweep isolated a unique model");
+    }
+
+    #[test]
+    fn isolation_agrees_across_backends() {
+        use rand::SeedableRng;
+        // Same RNG stream ⇒ identical XOR draws ⇒ the two backends face
+        // the same constrained formulas and must isolate identically.
+        let phi = random_ksat(5, 4, 3, &mut rand::rngs::StdRng::seed_from_u64(8));
+        for seed in 0..6 {
+            let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+            let via_cdcl = isolate_unique_with(&phi, &mut rng_a, SolverBackend::Cdcl);
+            let via_dpll = isolate_unique_with(&phi, &mut rng_b, SolverBackend::Dpll);
+            assert_eq!(via_cdcl.isolating_k, via_dpll.isolating_k);
+            assert_eq!(via_cdcl.model, via_dpll.model);
+        }
     }
 
     #[test]

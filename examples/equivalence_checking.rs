@@ -3,28 +3,39 @@
 //!
 //! 1. **exhaustive** simulation (complete, 2^n evaluations);
 //! 2. **Monte-Carlo** sampling (width-independent, one-sided error);
-//! 3. **SAT miter** under a decision/conflict **budget** (complete at any
-//!    width when it answers; an explicit `Unknown` instead of runaway
-//!    search when the UNSAT proof outgrows the educational DPLL).
+//! 3. **SAT miter** on the CDCL core (complete at any width; the same
+//!    miter is also run on the legacy DPLL backend under a budget to
+//!    show why clause learning is the scaling unlock).
 //!
-//! The scenario: an optimization pass (here the peephole optimizer plus a
-//! resynthesis) claims to preserve a circuit's function; we check the
+//! The scenario: an optimization pass (here the peephole optimizer plus
+//! a rewrite) claims to preserve a circuit's function; we check the
 //! claim, then inject a bug and watch each engine catch it.
+//!
+//! Width 12 is well past the seed solver's ceiling (the unhinted DPLL
+//! blew up past 7 lines; the hinted one needs 2^12 tree nodes here).
+//! CDCL finishes every complete UNSAT proof in milliseconds — each CDCL
+//! verdict below is definitive, which the example asserts.
 //!
 //! Run with: `cargo run --release --example equivalence_checking`
 
+use std::time::Instant;
+
 use rand::SeedableRng;
 use revmatch::{
-    check_equivalence_sat_budgeted, check_witness, MatchWitness, MiterVerdict, VerifyMode,
+    check_equivalence_sat_budgeted_with, check_witness, MatchWitness, MiterVerdict, SolverBackend,
+    VerifyMode,
 };
-use revmatch_circuit::{
-    peephole_optimize, random_circuit, synthesize, Gate, RandomCircuitSpec, SynthesisStrategy,
-};
+use revmatch_circuit::{peephole_optimize, random_circuit, Gate, RandomCircuitSpec};
 
-/// Decision + conflict budget for every miter call. Wide UNSAT proofs are
-/// where a DPLL without clause learning blows up; the budget turns that
-/// into a fast, explicit `Unknown` instead of an open-ended search.
+/// Decision + conflict budget for every miter call: the serving-safe
+/// cap that turns a runaway search into an honest `Unknown`. Both
+/// backends finish the width-12 proofs below well inside it — the
+/// contrast is the wall-clock each needs to get there.
 const MITER_BUDGET: usize = 200_000;
+
+/// One more line than the seed's DPLL-only version of this example could
+/// even attempt — and CDCL still returns only definitive verdicts.
+const WIDTH: usize = 12;
 
 fn verdict_str(v: &MiterVerdict) -> String {
     match v {
@@ -39,11 +50,7 @@ fn verdict_str(v: &MiterVerdict) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    // Width 8 — one more line than the unbudgeted version of this example
-    // could afford: if the UNSAT proof fits the budget we get a complete
-    // verdict, and if not we get an honest `Unknown` in bounded time
-    // while the exhaustive/sampled engines still settle the question.
-    let width = 8;
+    let width = WIDTH;
 
     // A "legacy" circuit with redundancy: random cascade followed by a
     // block and its inverse.
@@ -56,13 +63,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimized = peephole_optimize(&legacy);
     println!("peephole:       {} gates", optimized.len());
 
-    // Pass 2: full resynthesis from the truth table.
-    let resynth = synthesize(&optimized.truth_table()?, SynthesisStrategy::Bidirectional)?;
-    println!("resynthesis:    {} gates", resynth.len());
+    // Pass 2: a deeper rewrite — the optimizer re-routes the circuit
+    // through a detour block it promises to cancel out. (A truth-table
+    // resynthesis at width 12 yields ~18k gates and a propagation-bound
+    // miter; the detour keeps the miter *search*-bound, which is the
+    // regime clause learning actually wins.)
+    let detour = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+    let rewritten = detour.then(&detour.inverse())?.then(&optimized)?;
+    println!("rewrite:        {} gates", rewritten.len());
 
     // --- Check the optimization chain with all three engines. ----------
     let identity = MatchWitness::identity(width);
-    for (name, candidate) in [("peephole", &optimized), ("resynthesis", &resynth)] {
+    for (name, candidate) in [("peephole", &optimized), ("rewrite", &rewritten)] {
         let exhaustive = check_witness(
             &legacy,
             candidate,
@@ -77,28 +89,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             VerifyMode::Sampled(512),
             &mut rng,
         )?;
-        let sat = check_equivalence_sat_budgeted(&legacy, candidate, MITER_BUDGET)?;
+        // The same miter on both SAT backends: CDCL must reach a
+        // definitive verdict at this width; the DPLL shows why it was
+        // retired from the serving path.
+        let started = Instant::now();
+        let cdcl = check_equivalence_sat_budgeted_with(
+            &legacy,
+            candidate,
+            MITER_BUDGET,
+            SolverBackend::Cdcl,
+        )?;
+        let cdcl_ms = started.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        let dpll = check_equivalence_sat_budgeted_with(
+            &legacy,
+            candidate,
+            MITER_BUDGET,
+            SolverBackend::Dpll,
+        )?;
+        let dpll_ms = started.elapsed().as_secs_f64() * 1e3;
         println!(
-            "{name:<12} exhaustive={exhaustive} sampled={sampled} sat={}",
-            verdict_str(&sat)
+            "{name:<12} exhaustive={exhaustive} sampled={sampled}\n\
+             {:<12} cdcl [{cdcl_ms:7.1} ms] {}\n\
+             {:<12} dpll [{dpll_ms:7.1} ms] {}",
+            "",
+            verdict_str(&cdcl),
+            "",
+            verdict_str(&dpll),
         );
         assert!(exhaustive && sampled);
-        // The miter may only time out — it must never refute a true
-        // equivalence.
-        assert!(!matches!(sat, MiterVerdict::Counterexample { .. }));
+        // CDCL must settle the question at width 12 — no Unknowns.
+        assert!(
+            matches!(cdcl, MiterVerdict::Equivalent),
+            "CDCL failed to prove a true equivalence at width {width}"
+        );
+        // The DPLL may only time out — never refute a true equivalence.
+        assert!(!matches!(dpll, MiterVerdict::Counterexample { .. }));
     }
 
-    // --- Inject a bug: drop one gate from the resynthesized circuit. ---
+    // --- Inject a bug: drop one gate from the rewritten circuit. -------
+    // Removing any single (non-identity) MCT gate from a cascade always
+    // changes the function, so both bugs below are real.
     let mut buggy = revmatch_circuit::Circuit::new(width);
-    for (i, g) in resynth.gates().iter().enumerate() {
-        if i != resynth.len() / 2 {
+    for (i, g) in rewritten.gates().iter().enumerate() {
+        if i != rewritten.len() / 2 {
             buggy.push(g.clone())?;
         }
     }
-    // Also a subtler bug: one control polarity flipped.
+    // Also a subtler bug: one control polarity flipped (on the first
+    // controlled gate past the one-third mark).
+    let flip_at = rewritten
+        .gates()
+        .iter()
+        .enumerate()
+        .skip(rewritten.len() / 3)
+        .find(|(_, g)| g.control_count() > 0)
+        .map(|(i, _)| i)
+        .expect("a random cascade has controlled gates");
     let mut subtle = revmatch_circuit::Circuit::new(width);
-    for (i, g) in resynth.gates().iter().enumerate() {
-        if i == resynth.len() / 3 && g.control_count() > 0 {
+    for (i, g) in rewritten.gates().iter().enumerate() {
+        if i == flip_at {
             let line = g.controls().next().expect("has controls").line;
             subtle.push(g.with_flipped_polarity(line))?;
         } else {
@@ -107,8 +157,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for (name, broken) in [("dropped gate", &buggy), ("flipped polarity", &subtle)] {
-        match check_equivalence_sat_budgeted(&legacy, broken, MITER_BUDGET)? {
-            MiterVerdict::Equivalent => println!("{name}: escaped detection (!)"),
+        let verdict = check_equivalence_sat_budgeted_with(
+            &legacy,
+            broken,
+            MITER_BUDGET,
+            SolverBackend::Cdcl,
+        )?;
+        match verdict {
             MiterVerdict::Counterexample { input } => {
                 println!(
                     "{name}: caught; input {input:0width$b} maps to {:0width$b} vs {:0width$b}",
@@ -117,20 +172,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
                 assert_ne!(legacy.apply(input), broken.apply(input));
             }
-            v @ MiterVerdict::Unknown { .. } => {
-                // Buggy miters are solution-rich; reaching the budget here
-                // would be surprising, but the exhaustive engine still has
-                // the last word.
-                println!("{name}: {}", verdict_str(&v));
-                assert!(!legacy.functionally_eq(broken));
-            }
+            v => panic!("{name}: CDCL must find the counterexample, got {}", {
+                verdict_str(&v)
+            }),
         }
     }
 
     // A NOT-only demonstration that phase-encoding keeps miters tiny.
     let a = revmatch_circuit::Circuit::from_gates(width, [Gate::not(3), Gate::not(5)])?;
     let b = revmatch_circuit::Circuit::from_gates(width, [Gate::not(5), Gate::not(3)])?;
-    assert!(check_equivalence_sat_budgeted(&a, &b, MITER_BUDGET)?.is_equivalent());
+    assert!(
+        check_equivalence_sat_budgeted_with(&a, &b, MITER_BUDGET, SolverBackend::Cdcl)?
+            .is_equivalent()
+    );
     println!("NOT-reordering check: equivalent (no auxiliary variables needed)");
     Ok(())
 }

@@ -4,7 +4,7 @@
 use rand::SeedableRng;
 use revmatch::{
     classify, job_seed, random_instance, EngineJob, Equivalence, JobReport, JobTicket, MatchEngine,
-    MatchService, MatcherConfig, ServiceConfig, SubmitOutcome,
+    MatchService, MatcherConfig, MiterVerdict, ServiceConfig, SolverBackend, SubmitOutcome,
 };
 
 /// One job per tractable equivalence type (inverses available).
@@ -249,5 +249,122 @@ fn metrics_export_matches_counters() {
         "one latency sample per job"
     );
     drop(tickets);
+    service.shutdown();
+}
+
+/// SAT-verified jobs come back with a complete `Equivalent` proof for
+/// every recovered witness, on both backends, and the warm (cached)
+/// passes over a repeated pool hit the per-shard solver and table
+/// caches.
+#[test]
+fn sat_verified_jobs_prove_their_witnesses() {
+    let jobs: Vec<EngineJob> = tractable_jobs(5, 1)
+        .into_iter()
+        .map(EngineJob::with_sat_verification)
+        .collect();
+    for backend in SolverBackend::ALL {
+        // One shard: every job hits the same worker-local caches, so the
+        // warm-pass assertions below are deterministic (with more shards,
+        // work stealing may move a repeated job to a cold cache — still
+        // correct, just not guaranteed to hit).
+        let service = MatchService::start(
+            ServiceConfig::default()
+                .with_shards(1)
+                .with_solver_backend(backend)
+                .with_seed(11),
+        );
+        // Two passes over the same pool: the second is the warm one.
+        for pass in 0..2 {
+            let tickets: Vec<JobTicket> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(11, i as u64)))
+                .collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                let report = t.wait();
+                assert!(report.witness.is_ok(), "{backend} pass {pass} job {i}");
+                match report.miter {
+                    Some(MiterVerdict::Equivalent) => {}
+                    other => panic!(
+                        "{backend} pass {pass} job {i}: expected a complete proof, got {other:?}"
+                    ),
+                }
+            }
+        }
+        let m = service.metrics();
+        assert_eq!(m.jobs_sat_verified(), 2 * jobs.len() as u64, "{backend}");
+        assert_eq!(m.sat_unknown(), 0, "{backend}");
+        assert_eq!(m.jobs_failed(), 0, "{backend}");
+        if backend == SolverBackend::Cdcl {
+            assert!(
+                m.solver_cache_hits() >= jobs.len() as u64,
+                "warm pass must re-enter cached miter solvers \
+                 (hits: {})",
+                m.solver_cache_hits()
+            );
+        }
+        assert!(
+            m.table_cache_hits() > 0,
+            "{backend}: repeated circuits must reuse dense tables"
+        );
+        let text = service.metrics_text();
+        assert!(text.contains("revmatch_jobs_sat_verified_total"));
+        service.shutdown();
+    }
+}
+
+/// Unverified jobs never pay for (or report) a miter verdict, and a job
+/// whose matcher fails carries no verdict either.
+#[test]
+fn sat_verification_is_opt_in() {
+    let jobs = tractable_jobs(4, 1);
+    let service = MatchService::start(ServiceConfig::default().with_shards(1));
+    let reports: Vec<JobReport> = jobs
+        .iter()
+        .map(|job| service.submit_wait(job.clone()))
+        .map(JobTicket::wait)
+        .collect();
+    assert!(reports.iter().all(|r| r.miter.is_none()));
+    assert_eq!(service.metrics().jobs_sat_verified(), 0);
+
+    // An intractable job requesting verification: matcher errors, no
+    // miter runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let hard = random_instance(
+        Equivalence::new(revmatch::Side::N, revmatch::Side::N),
+        3,
+        &mut rng,
+    );
+    let job = EngineJob::from_instance(&hard, false).with_sat_verification();
+    let report = service.submit_wait(job).wait();
+    assert!(report.witness.is_err());
+    assert!(report.miter.is_none());
+    assert_eq!(service.metrics().jobs_sat_verified(), 0);
+    service.shutdown();
+}
+
+/// A tiny per-verification budget degrades to an explicit `Unknown`
+/// (counted in the metrics) — never a wrong verdict or a stalled shard.
+#[test]
+fn miter_budget_exhaustion_is_explicit() {
+    let jobs: Vec<EngineJob> = tractable_jobs(6, 1)
+        .into_iter()
+        .map(EngineJob::with_sat_verification)
+        .collect();
+    let service = MatchService::start(ServiceConfig::default().with_shards(1).with_miter_budget(1));
+    let reports: Vec<JobReport> = jobs
+        .iter()
+        .map(|job| service.submit_wait(job.clone()))
+        .map(JobTicket::wait)
+        .collect();
+    for r in &reports {
+        match &r.miter {
+            Some(MiterVerdict::Equivalent) | Some(MiterVerdict::Unknown { .. }) => {}
+            other => panic!("budget-starved miter must not refute a true witness: {other:?}"),
+        }
+    }
+    let m = service.metrics();
+    assert_eq!(m.jobs_sat_verified(), jobs.len() as u64);
+    assert_eq!(m.jobs_failed(), 0);
     service.shutdown();
 }
