@@ -7,23 +7,34 @@
 //! and counted** (`QueueFull`), never retried, so the rejection rate is
 //! the backpressure signal.
 //!
-//! The job mix cycles through `--widths` × `--mix` promised instances,
-//! pre-generated deterministically from `--seed`. With `--sat-verify 1`
-//! every recovered witness is additionally proven by a SAT miter on the
-//! `--backend` solver (`cdcl` default — repeated pool jobs then hit the
-//! per-shard solver cache; `dpll` for differential runs). At the end the
-//! generator drains the service, prints a latency/throughput summary and
-//! the full Prometheus metrics export, and verifies that every accepted
-//! job completed (and that no SAT verification refuted a witness).
+//! The traffic is a cycle over `--widths` × `--mix` promised instances,
+//! pre-generated deterministically from `--seed`, fanned across the
+//! `--job-mix` scenario families (colon-separated `JobSpec` kinds;
+//! repeat a kind to weight it):
+//!
+//! * `promise` — recover the planted witness (add `--sat-verify 1` to
+//!   prove each one by miter on the `--backend` solver);
+//! * `identify` — feed the pair *without* its promise and walk the
+//!   lattice for the minimal class (brute force off to stay
+//!   polynomial);
+//! * `quantum` — inverse-free N-I jobs on the quantum path
+//!   (Simon-style sampling where `2n+1` simulated qubits fit, swap-test
+//!   Algorithm 1 beyond);
+//! * `sat` — complete white-box verdicts on the planted witness.
+//!
+//! At the end the generator drains the service, prints a per-kind and
+//! latency/throughput summary plus the full Prometheus metrics export,
+//! and verifies that every accepted job completed with no failures.
 //!
 //! Run with: `cargo run --release -p revmatch-bench --bin loadgen -- \
 //!   --rate 500 --duration-ms 2000 --shards 4 --queue-capacity 64 \
-//!   --sat-verify 1`
+//!   --job-mix promise:identify:quantum:sat`
 
 use std::time::{Duration, Instant};
 
 use revmatch::{
-    random_instance, EngineJob, Equivalence, MatchService, MatcherConfig, ServiceConfig,
+    random_instance, EngineJob, Equivalence, IdentifyJob, JobKind, JobSpec, MatchService,
+    MatcherConfig, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob, ServiceConfig, Side,
     SolverBackend, SubmitOutcome,
 };
 use revmatch_bench::{service_flags, Flags};
@@ -32,42 +43,96 @@ use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
-[--seed N] [--epsilon F] [--sat-verify 0|1] [--backend dpll|cdcl]";
+[--job-mix KIND[:KIND...]] [--seed N] [--epsilon F] [--sat-verify 0|1] \
+[--backend dpll|cdcl]";
 
-const KNOWN_FLAGS: [&str; 10] = [
+const KNOWN_FLAGS: [&str; 11] = [
     "rate",
     "duration-ms",
     "shards",
     "queue-capacity",
     "widths",
     "mix",
+    "job-mix",
     "seed",
     "epsilon",
     "sat-verify",
     "backend",
 ];
 
-/// Pre-generated jobs per (width, equivalence) cell of the mix.
+/// Pre-generated jobs per (width, equivalence, kind-entry) cell of the
+/// mix. Every `--job-mix` entry gets its own cells, so repeated kinds
+/// weight the traffic and no requested kind can be starved.
 const POOL_PER_CELL: usize = 4;
+
+/// Builds one job of `kind` from a fresh planted instance.
+fn job_for_kind(
+    kind: JobKind,
+    width: usize,
+    equivalence: Equivalence,
+    sat_verify: bool,
+    rng: &mut rand::rngs::StdRng,
+) -> JobSpec {
+    match kind {
+        JobKind::Promise => {
+            let inst = random_instance(equivalence, width, rng);
+            let job = EngineJob::from_instance(&inst, true);
+            JobSpec::Promise(if sat_verify {
+                job.with_sat_verification()
+            } else {
+                job
+            })
+        }
+        // The walk gets the pair without its promise; brute force stays
+        // off so hard-class probing cannot stall a shard.
+        JobKind::Identify => {
+            let inst = random_instance(equivalence, width, rng);
+            JobSpec::Identify(IdentifyJob::new(inst.c1, inst.c2).without_brute_force())
+        }
+        // Quantum-path jobs run the classically-exponential N-I case:
+        // Simon-style sampling while 2n+1 simulated qubits fit, swap-test
+        // Algorithm 1 beyond.
+        JobKind::Quantum => {
+            let e = Equivalence::new(Side::N, Side::I);
+            let inst = random_instance(e, width, rng);
+            let algorithm = if 2 * width < revmatch_quantum::MAX_QUBITS {
+                QuantumAlgorithm::Simon
+            } else {
+                QuantumAlgorithm::SwapTest
+            };
+            JobSpec::QuantumPath(QuantumPathJob {
+                equivalence: e,
+                c1: inst.c1,
+                c2: inst.c2,
+                algorithm,
+            })
+        }
+        JobKind::Sat => {
+            let inst = random_instance(equivalence, width, rng);
+            JobSpec::SatEquivalence(SatEquivalenceJob {
+                c1: inst.c1,
+                c2: inst.c2,
+                witness: Some(inst.witness),
+            })
+        }
+    }
+}
 
 fn build_pool(
     widths: &[usize],
     mix: &[Equivalence],
+    kinds: &[JobKind],
     seed: u64,
     sat_verify: bool,
-) -> Vec<EngineJob> {
+) -> Vec<JobSpec> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut pool = Vec::new();
     for &w in widths {
         for &e in mix {
-            for _ in 0..POOL_PER_CELL {
-                let inst = random_instance(e, w, &mut rng);
-                let job = EngineJob::from_instance(&inst, true);
-                pool.push(if sat_verify {
-                    job.with_sat_verification()
-                } else {
-                    job
-                });
+            for &kind in kinds {
+                for _ in 0..POOL_PER_CELL {
+                    pool.push(job_for_kind(kind, w, e, sat_verify, &mut rng));
+                }
             }
         }
     }
@@ -97,18 +162,32 @@ fn main() {
         .split(',')
         .map(|s| s.trim().parse().expect("--mix: bad equivalence"))
         .collect();
+    let kinds: Vec<JobKind> = flags
+        .get_str("job-mix", "promise")
+        .split(':')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("--job-mix: expected promise|identify|quantum|sat")
+        })
+        .collect();
 
-    let pool = build_pool(&widths, &mix, seed, sat_verify);
+    let pool = build_pool(&widths, &mix, &kinds, seed, sat_verify);
     println!(
         "loadgen: {rate} jobs/s for {:?} over {} shards (lane capacity {capacity}); \
-         pool of {} jobs ({:?} × {:?}){}",
+         pool of {} jobs ({:?} × {:?} × [{}]){}",
         duration,
         shards,
         pool.len(),
         widths,
         mix.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        kinds
+            .iter()
+            .map(|k| k.as_str())
+            .collect::<Vec<_>>()
+            .join(":"),
         if sat_verify {
-            format!("; SAT-verified on {backend}")
+            format!("; promise jobs SAT-verified on {backend}")
         } else {
             String::new()
         },
@@ -155,13 +234,27 @@ fn main() {
     assert_eq!(
         m.jobs_failed(),
         0,
-        "promised instances must all solve (and no witness may be refuted)"
+        "planted instances must all solve (and no witness may be refuted)"
     );
+    let mut by_kind = String::new();
+    for kind in JobKind::ALL {
+        let done = m.jobs_completed_of(kind);
+        if kinds.contains(&kind) {
+            assert!(
+                done > 0 || completed == 0,
+                "requested kind {kind} never completed a job"
+            );
+        }
+        if done > 0 {
+            by_kind.push_str(&format!(" {kind}={done}"));
+        }
+    }
+    println!("per-kind completions:{by_kind}");
     if sat_verify {
         assert_eq!(
             m.jobs_sat_verified(),
-            completed,
-            "every completed job must carry a SAT verdict"
+            m.jobs_completed_of(JobKind::Promise) + m.jobs_completed_of(JobKind::Sat),
+            "every promise job (and sat job) must carry a SAT verdict"
         );
         println!(
             "sat-verify [{backend}]: {} verdicts ({} unknown) | caches: {} solver hits, {} table hits",

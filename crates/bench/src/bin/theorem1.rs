@@ -42,7 +42,11 @@ fn main() {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let outcome = match_n_i_collision(&c1, &c2, &mut rng).expect("same width");
-            assert_eq!(outcome.nu, inst.witness.nu_x(), "collision matcher wrong");
+            assert_eq!(
+                outcome.witness.nu_x(),
+                inst.witness.nu_x(),
+                "collision matcher wrong"
+            );
             classical.push(outcome.queries);
 
             // Quantum path up to 16 lines (analytic swap test keeps the
@@ -60,7 +64,11 @@ fn main() {
                 let c1 = Oracle::new(inst.c1.clone());
                 let c2 = Oracle::new(inst.c2.clone());
                 let outcome = match_n_i_simon(&c1, &c2, &mut rng).expect("simon N-I");
-                assert_eq!(outcome.nu, inst.witness.nu_x(), "Simon matcher wrong");
+                assert_eq!(
+                    outcome.witness.nu_x(),
+                    inst.witness.nu_x(),
+                    "Simon matcher wrong"
+                );
                 simon.push(c1.queries() + c2.queries());
             }
         }

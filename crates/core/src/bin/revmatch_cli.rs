@@ -62,6 +62,11 @@ fn run_identify(args: &[String]) -> Result<ExitCode, String> {
             println!("minimal equivalence: {}", found.equivalence);
             println!("complexity class:    {}", classify(found.equivalence));
             println!("witness:             {}", found.witness);
+            println!(
+                "walk cost:           {} oracle queries over {} classes \
+                 ({} by the winning matcher)",
+                found.queries, found.classes_tried, found.winner_queries
+            );
             Ok(ExitCode::SUCCESS)
         }
         None => {

@@ -80,7 +80,7 @@ impl FromStr for Side {
             "N" | "n" => Ok(Side::N),
             "P" | "p" => Ok(Side::P),
             "NP" | "np" | "Np" => Ok(Side::Np),
-            other => Err(MatchError::RandomizedFailure {
+            other => Err(MatchError::Parse {
                 reason: format!("unknown side {other:?}"),
             }),
         }
@@ -148,7 +148,7 @@ impl FromStr for Equivalence {
     type Err = MatchError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (x, y) = s.split_once('-').ok_or(MatchError::RandomizedFailure {
+        let (x, y) = s.split_once('-').ok_or(MatchError::Parse {
             reason: format!("equivalence {s:?} must be of the form X-Y"),
         })?;
         Ok(Self {

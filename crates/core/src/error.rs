@@ -47,6 +47,18 @@ pub enum MatchError {
         /// Which case.
         case: String,
     },
+    /// A budgeted complete check (SAT miter) ran out of search budget
+    /// before reaching a verdict.
+    Inconclusive,
+    /// Identification walked the whole lattice and no equivalence class
+    /// explains the pair — a clean negative answer, not a failure.
+    NoEquivalence,
+    /// A string failed to parse into a domain type (equivalence names,
+    /// job kinds, CLI flag values).
+    Parse {
+        /// What failed to parse and why.
+        reason: String,
+    },
     /// An underlying circuit operation failed.
     Circuit(CircuitError),
     /// An underlying quantum operation failed.
@@ -73,6 +85,13 @@ impl fmt::Display for MatchError {
             Self::OpenProblem { case } => {
                 write!(f, "{case} is an open problem in the paper")
             }
+            Self::Inconclusive => {
+                write!(f, "budgeted complete check exhausted its search budget")
+            }
+            Self::NoEquivalence => {
+                write!(f, "no equivalence class explains the pair")
+            }
+            Self::Parse { reason } => write!(f, "parse error: {reason}"),
             Self::Circuit(e) => write!(f, "circuit error: {e}"),
             Self::Quantum(e) => write!(f, "quantum error: {e}"),
         }

@@ -24,13 +24,22 @@ use crate::verify::{check_witness, VerifyMode};
 use crate::witness::MatchWitness;
 use revmatch_circuit::Circuit;
 
-/// Result of an identification run.
+/// Result of an identification run, with full walk accounting.
 #[derive(Debug, Clone)]
 pub struct Identification {
     /// The minimal equivalence type under which the pair matched.
     pub equivalence: Equivalence,
     /// A validated witness for that type.
     pub witness: MatchWitness,
+    /// **Total** oracle queries spent across the whole lattice walk —
+    /// every attempted class, not just the winning matcher. This is the
+    /// number a serving layer must charge the job.
+    pub queries: u64,
+    /// Oracle queries spent by the winning class's matcher alone.
+    pub winner_queries: u64,
+    /// Equivalence classes actually attempted (tractable matchers plus
+    /// brute-force passes), including the winner.
+    pub classes_tried: usize,
 }
 
 /// Options for [`identify_equivalence`].
@@ -93,6 +102,34 @@ pub fn identify_equivalence(
     options: &IdentifyOptions,
     rng: &mut impl Rng,
 ) -> Result<Option<Identification>, MatchError> {
+    let o1 = Oracle::new(c1.clone());
+    let o2 = Oracle::new(c2.clone());
+    let o1_inv = o1.inverse_oracle();
+    let o2_inv = o2.inverse_oracle();
+    identify_equivalence_with_oracles(c1, c2, &o1, &o2, &o1_inv, &o2_inv, options, rng)
+}
+
+/// [`identify_equivalence`] over caller-supplied oracles for the white
+/// boxes and their inverses — the serving layer passes precompiled
+/// (dense-table-cached) oracles here so repeated identification jobs
+/// skip the compile sweep. The oracles must compute `c1`, `c2` and their
+/// inverses; query accounting in the returned [`Identification`] is
+/// relative to the counters at entry.
+///
+/// # Errors
+///
+/// Same as [`identify_equivalence`].
+#[allow(clippy::too_many_arguments)] // the four oracles mirror ProblemOracles
+pub fn identify_equivalence_with_oracles(
+    c1: &Circuit,
+    c2: &Circuit,
+    o1: &Oracle,
+    o2: &Oracle,
+    o1_inv: &Oracle,
+    o2_inv: &Oracle,
+    options: &IdentifyOptions,
+    rng: &mut impl Rng,
+) -> Result<Option<Identification>, MatchError> {
     let n = c1.width();
     if n != c2.width() {
         return Err(MatchError::WidthMismatch {
@@ -107,29 +144,34 @@ pub fn identify_equivalence(
     {
         return Ok(None);
     }
-    let o1 = Oracle::new(c1.clone());
-    let o2 = Oracle::new(c2.clone());
-    let o1_inv = o1.inverse_oracle();
-    let o2_inv = o2.inverse_oracle();
+    let oracles = ProblemOracles::with_inverses(o1, o2, o1_inv, o2_inv);
+    let initial_queries = oracles.total_queries();
 
     // Cheapest classes first; ties broken deterministically.
     let mut classes: Vec<Equivalence> = Equivalence::all().collect();
     classes.sort_by_key(|e| (e.search_space(n.min(16)), e.to_string()));
 
+    let mut classes_tried = 0usize;
     for e in classes {
+        let before = oracles.total_queries();
         let candidate = if classify(e).is_tractable() {
-            let oracles = ProblemOracles::with_inverses(&o1, &o2, &o1_inv, &o2_inv);
+            classes_tried += 1;
             solve_promise(e, &oracles, &options.config, rng).ok()
         } else if options.allow_brute_force && n <= crate::matchers::BRUTE_FORCE_MAX_WIDTH {
+            classes_tried += 1;
             brute_force_match(c1, c2, e)?
         } else {
             None
         };
         if let Some(witness) = candidate {
             if witness.conforms_to(e) && check_witness(c1, c2, &witness, options.verify, rng)? {
+                let total = oracles.total_queries();
                 return Ok(Some(Identification {
                     equivalence: e,
                     witness,
+                    queries: total - initial_queries,
+                    winner_queries: total - before,
+                    classes_tried,
                 }));
             }
         }
@@ -182,6 +224,42 @@ mod tests {
                 found.equivalence
             );
         }
+    }
+
+    #[test]
+    fn walk_accounting_covers_every_attempted_class() {
+        // An NP-I pair makes the walk fail through several cheaper
+        // classes first: the total must strictly exceed the winner's own
+        // queries, and both must land on the oracle counters exactly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let inst = random_instance(Equivalence::new(Side::Np, Side::I), 4, &mut rng);
+        let o1 = crate::Oracle::new(inst.c1.clone());
+        let o2 = crate::Oracle::new(inst.c2.clone());
+        let o1_inv = o1.inverse_oracle();
+        let o2_inv = o2.inverse_oracle();
+        let found = identify_equivalence_with_oracles(
+            &inst.c1,
+            &inst.c2,
+            &o1,
+            &o2,
+            &o1_inv,
+            &o2_inv,
+            &IdentifyOptions::default(),
+            &mut rng,
+        )
+        .unwrap()
+        .expect("planted pair identifies");
+        let on_counters = o1.queries() + o2.queries() + o1_inv.queries() + o2_inv.queries();
+        assert_eq!(found.queries, on_counters, "walk total = counter delta");
+        assert!(found.winner_queries > 0);
+        assert!(
+            found.queries > found.winner_queries,
+            "failed classes before the winner must be charged \
+             (total {}, winner {})",
+            found.queries,
+            found.winner_queries
+        );
+        assert!(found.classes_tried > 1, "cheaper classes were attempted");
     }
 
     #[test]

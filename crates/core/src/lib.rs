@@ -55,12 +55,17 @@
 //!   XOR-oracle form used by Simon-style algorithms);
 //! * [`matchers`] — every algorithm of Table 1, the classical collision
 //!   baseline of Theorem 1, the Simon-style hidden-shift matcher, a
-//!   brute-force matcher and witness counting;
-//! * [`engine`] — the batch-shaped front end solving a slice of promise
-//!   instances with aggregate accounting;
+//!   brute-force matcher and witness counting — all registered behind
+//!   the [`Matcher`] trait in a [`MatcherRegistry`] keyed by
+//!   `(Equivalence, InverseAvailability, Path)` and returning a uniform
+//!   [`MatchReport`];
+//! * [`engine`] — the job model ([`JobSpec`]: promise, identify,
+//!   quantum-path and SAT-equivalence jobs) plus the batch-shaped front
+//!   end solving a slice of promise instances with aggregate accounting;
 //! * [`service`] — the sharded serving layer underneath it: persistent
 //!   worker shards, a bounded intake queue with backpressure, per-job
-//!   completion tickets and Prometheus-style metrics;
+//!   completion tickets and Prometheus-style metrics with per-kind
+//!   counters and latency;
 //! * [`hardness`] — the Fig. 5 UNIQUE-SAT encodings behind Theorems 2–3;
 //! * [`miter`] — complete SAT-based equivalence/witness checking with
 //!   counterexamples, backend-parameterized over [`SolverBackend`]
@@ -115,11 +120,16 @@ pub mod service;
 pub mod verify;
 pub mod witness;
 
-pub use engine::{random_job_batch, BatchOutcome, EngineJob, JobReport, MatchEngine};
+pub use engine::{
+    random_job_batch, BatchOutcome, EngineJob, IdentifyJob, JobKind, JobReport, JobSpec,
+    MatchEngine, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
+};
 pub use equivalence::{Equivalence, Side};
 pub use error::MatchError;
 pub use hardness::{dual_rail, NnReduction, PpReduction, SatLayout};
-pub use identify::{identify_equivalence, Identification, IdentifyOptions};
+pub use identify::{
+    identify_equivalence, identify_equivalence_with_oracles, Identification, IdentifyOptions,
+};
 pub use lattice::{classify, hasse_dot, hasse_edges, render_lattice, Complexity, DominationEdge};
 pub use matchers::{
     brute_force_match, count_witnesses, match_i_n, match_i_np_randomized,
@@ -128,7 +138,8 @@ pub use matchers::{
     match_n_i_simon, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse, match_n_p_via_inverses,
     match_np_i_quantum, match_np_i_via_c1_inverse, match_np_i_via_c2_inverse, match_p_i_one_hot,
     match_p_i_via_c1_inverse, match_p_i_via_c2_inverse, match_p_n, match_p_n_via_inverses,
-    solve_promise, CollisionOutcome, MatcherConfig, ProblemOracles, SimonOutcome,
+    solve_promise, solve_promise_report, InverseAvailability, MatchReport, Matcher, MatcherConfig,
+    MatcherRegistry, Path, ProblemOracles, Verdict,
 };
 pub use miter::{
     check_equivalence_sat, check_equivalence_sat_budgeted, check_equivalence_sat_budgeted_with,
@@ -353,7 +364,7 @@ mod proptests {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
-            prop_assert_eq!(outcome.nu, inst.witness.nu_x());
+            prop_assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x());
         }
 
         /// Query counts respect Table 1 bounds (inverse-assisted rows).

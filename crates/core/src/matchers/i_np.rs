@@ -27,20 +27,9 @@ pub fn match_i_np_via_c2_inverse(
     c1: &dyn ClassicalOracle,
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<NpTransform, MatchError> {
-    let n = ensure_same_width(c1, c2_inv)?;
-    // C(x) = C1(C2⁻¹(x)) = π(x ⊕ ν) = π(x) ⊕ ν′ with ν′ = π(ν).
-    // One batched round: the all-zeros probe plus the binary-code probes.
-    let composite = ComposedOracle::new(c2_inv, c1)?;
-    let mut probes = vec![0u64];
-    probes.extend(binary_code_patterns(n));
-    let mut responses = composite.query_batch(&probes);
-    let nu_after = responses.remove(0);
-    for r in &mut responses {
-        *r ^= nu_after;
-    }
-    let pi = decode_permutation(n, &responses)?;
-    let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
-    NpTransform::from_exchanged(nu_after, pi).map_err(MatchError::from)
+    // C(x) = C1(C2⁻¹(x)) = π(x ⊕ ν) = π(x) ⊕ ν′ with ν′ = π(ν): the
+    // composite *is* the output transform in exchanged form.
+    decode_np_composite(c2_inv, c1, false)
 }
 
 /// Finds the output transform `(ν, π)` with `C1 = C_π C_ν C2`, given
@@ -53,23 +42,34 @@ pub fn match_i_np_via_c1_inverse(
     c1_inv: &dyn ClassicalOracle,
     c2: &dyn ClassicalOracle,
 ) -> Result<NpTransform, MatchError> {
-    let n = ensure_same_width(c1_inv, c2)?;
-    // D(x) = C2(C1⁻¹(x)) = ν ⊕ π⁻¹(x): the inverse of the output transform.
-    // One batched round: the all-zeros probe plus the binary-code probes.
-    let composite = ComposedOracle::new(c1_inv, c2)?;
+    // D(x) = C2(C1⁻¹(x)) = ν ⊕ π⁻¹(x): the *inverse* of the output
+    // transform, in exchanged form; `invert` flips it back.
+    decode_np_composite(c1_inv, c2, true)
+}
+
+/// The direction-shared core of the two inverse-assisted variants (and of
+/// the mirror NP-I pair, via [`crate::matchers::np_i`]): the composite
+/// `outer ∘ inner` computes `C_π C_ν` (or its inverse), decoded in one
+/// batched round — the all-zeros probe exposes the exchanged negation
+/// (Fig. 4), then the un-flipped binary-code probes decode `π`.
+pub(crate) fn decode_np_composite(
+    inner: &dyn ClassicalOracle,
+    outer: &dyn ClassicalOracle,
+    invert: bool,
+) -> Result<NpTransform, MatchError> {
+    let n = ensure_same_width(inner, outer)?;
+    let composite = ComposedOracle::new(inner, outer)?;
     let mut probes = vec![0u64];
     probes.extend(binary_code_patterns(n));
     let mut responses = composite.query_batch(&probes);
-    let nu = responses.remove(0);
+    let nu_after = responses.remove(0);
     for r in &mut responses {
-        *r ^= nu;
+        *r ^= nu_after;
     }
-    let pi_inv = decode_permutation(n, &responses)?;
-    let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
-    // D = C_ν ∘ C_{π⁻¹} (permute first, then negate) = exchanged form;
-    // the output transform is D⁻¹.
-    let d = NpTransform::from_exchanged(nu, pi_inv)?;
-    Ok(d.inverse())
+    let pi = decode_permutation(n, &responses)?;
+    let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
+    let t = NpTransform::from_exchanged(nu_after, pi)?;
+    Ok(if invert { t.inverse() } else { t })
 }
 
 /// Finds the output transform without inverses, by signature matching up to

@@ -17,7 +17,25 @@ use crate::matchers::{
 };
 use crate::oracle::{ClassicalOracle, ComposedOracle};
 
-/// Finds `π` with `C1 = C_π C2`, given `C2⁻¹` — `O(log n)` queries.
+/// The direction-shared core of the two inverse-assisted variants: the
+/// composite `outer ∘ inner⁻¹` is a pure wire permutation, decoded from
+/// one batched round of `⌈log2 n⌉` binary-code probes. Composing through
+/// `C2⁻¹` exposes `π` directly; through `C1⁻¹` it exposes `π⁻¹`
+/// (`invert` undoes the mirror).
+fn match_i_p_via_inverse(
+    inv: &dyn ClassicalOracle,
+    outer: &dyn ClassicalOracle,
+    invert: bool,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(inv, outer)?;
+    let composite = ComposedOracle::new(inv, outer)?;
+    let responses = composite.query_batch(&binary_code_patterns(n));
+    let pi = decode_permutation(n, &responses)?;
+    Ok(if invert { pi.inverse() } else { pi })
+}
+
+/// Finds `π` with `C1 = C_π C2`, given `C2⁻¹` — `O(log n)` queries
+/// (`C1(C2⁻¹(x)) = π(x)`).
 ///
 /// # Errors
 ///
@@ -27,14 +45,11 @@ pub fn match_i_p_via_c2_inverse(
     c1: &dyn ClassicalOracle,
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
-    let n = ensure_same_width(c1, c2_inv)?;
-    // C(x) = C1(C2⁻¹(x)) = π(x); one batched round of ⌈log2 n⌉ probes.
-    let composite = ComposedOracle::new(c2_inv, c1)?;
-    let responses = composite.query_batch(&binary_code_patterns(n));
-    decode_permutation(n, &responses)
+    match_i_p_via_inverse(c2_inv, c1, false)
 }
 
-/// Finds `π` with `C1 = C_π C2`, given `C1⁻¹` — `O(log n)` queries.
+/// Finds `π` with `C1 = C_π C2`, given `C1⁻¹` — `O(log n)` queries
+/// (`C2(C1⁻¹(x)) = π⁻¹(x)`).
 ///
 /// # Errors
 ///
@@ -43,11 +58,7 @@ pub fn match_i_p_via_c1_inverse(
     c1_inv: &dyn ClassicalOracle,
     c2: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
-    let n = ensure_same_width(c1_inv, c2)?;
-    // C(x) = C2(C1⁻¹(x)) = π⁻¹(x); one batched round of ⌈log2 n⌉ probes.
-    let composite = ComposedOracle::new(c1_inv, c2)?;
-    let responses = composite.query_batch(&binary_code_patterns(n));
-    Ok(decode_permutation(n, &responses)?.inverse())
+    match_i_p_via_inverse(c1_inv, c2, true)
 }
 
 /// Finds `π` with `C1 = C_π C2` without inverses, by random signature

@@ -17,6 +17,12 @@
 //! the supplied resources, and [`brute_force_match`] provides the
 //! exponential baseline usable for every equivalence (including the
 //! UNIQUE-SAT-hard ones) at tiny widths.
+//!
+//! Dispatch runs through the [`MatcherRegistry`]: every algorithm is
+//! registered as a [`Matcher`] keyed by `(Equivalence,
+//! InverseAvailability, Path)` and returns a uniform [`MatchReport`];
+//! [`solve_promise`] and [`solve_promise_report`] are thin wrappers over
+//! [`MatcherRegistry::global`].
 
 mod brute;
 mod i_n;
@@ -28,6 +34,7 @@ mod n_p;
 mod np_i;
 mod p_i;
 mod p_n;
+mod registry;
 
 pub use brute::{
     brute_force_match, brute_force_match_tables, count_witnesses, BRUTE_FORCE_MAX_WIDTH,
@@ -37,18 +44,18 @@ pub use i_np::{match_i_np_randomized, match_i_np_via_c1_inverse, match_i_np_via_
 pub use i_p::{match_i_p_randomized, match_i_p_via_c1_inverse, match_i_p_via_c2_inverse};
 pub use n_i::{
     match_n_i_collision, match_n_i_quantum, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse,
-    CollisionOutcome,
 };
-pub use n_i_simon::{match_n_i_simon, SimonOutcome};
+pub use n_i_simon::match_n_i_simon;
 pub use n_p::match_n_p_via_inverses;
 pub use np_i::{match_np_i_quantum, match_np_i_via_c1_inverse, match_np_i_via_c2_inverse};
 pub use p_i::{match_p_i_one_hot, match_p_i_via_c1_inverse, match_p_i_via_c2_inverse};
 pub use p_n::{match_p_n, match_p_n_via_inverses};
+pub use registry::{InverseAvailability, MatchReport, Matcher, MatcherRegistry, Path, Verdict};
 
 use rand::Rng;
 use revmatch_quantum::SwapTestMethod;
 
-use crate::equivalence::{Equivalence, Side};
+use crate::equivalence::Equivalence;
 use crate::error::MatchError;
 use crate::oracle::{ClassicalOracle, Oracle};
 use crate::witness::MatchWitness;
@@ -155,6 +162,10 @@ impl<'a> ProblemOracles<'a> {
 /// Solves the promise problem for any tractable equivalence, picking the
 /// cheapest variant the supplied resources allow (Table 1).
 ///
+/// This is [`MatcherRegistry::solve`] on the global registry, keeping
+/// only the witness; use [`solve_promise_report`] for the full
+/// [`MatchReport`] (query accounting, rounds, verdict quality).
+///
 /// # Errors
 ///
 /// * [`MatchError::Intractable`] for the UNIQUE-SAT-hard types (use
@@ -168,97 +179,22 @@ pub fn solve_promise(
     config: &MatcherConfig,
     rng: &mut impl Rng,
 ) -> Result<MatchWitness, MatchError> {
-    use Side::{Np, I, N, P};
-    let width = ClassicalOracle::width(oracles.c1);
-    let make_n = |mask: revmatch_circuit::NegationMask| {
-        revmatch_circuit::NpTransform::new(mask, revmatch_circuit::LinePermutation::identity(width))
-            .expect("same width")
-    };
-    let make_p = |pi: revmatch_circuit::LinePermutation| {
-        revmatch_circuit::NpTransform::new(revmatch_circuit::NegationMask::identity(width), pi)
-            .expect("same width")
-    };
-    match (equivalence.x, equivalence.y) {
-        (I, I) => Ok(MatchWitness::identity(width)),
-        (I, N) => Ok(MatchWitness::output_only(make_n(match_i_n(
-            oracles.c1, oracles.c2,
-        )?))),
-        (I, P) => {
-            let pi = if let Some(c2_inv) = oracles.c2_inv {
-                match_i_p_via_c2_inverse(oracles.c1, c2_inv)?
-            } else if let Some(c1_inv) = oracles.c1_inv {
-                match_i_p_via_c1_inverse(c1_inv, oracles.c2)?
-            } else {
-                match_i_p_randomized(oracles.c1, oracles.c2, config.epsilon, rng)?
-            };
-            Ok(MatchWitness::output_only(make_p(pi)))
-        }
-        (I, Np) => {
-            let out = if let Some(c2_inv) = oracles.c2_inv {
-                match_i_np_via_c2_inverse(oracles.c1, c2_inv)?
-            } else if let Some(c1_inv) = oracles.c1_inv {
-                match_i_np_via_c1_inverse(c1_inv, oracles.c2)?
-            } else {
-                match_i_np_randomized(oracles.c1, oracles.c2, config.epsilon, rng)?
-            };
-            Ok(MatchWitness::output_only(out))
-        }
-        (P, I) => {
-            let pi = if let Some(c2_inv) = oracles.c2_inv {
-                match_p_i_via_c2_inverse(oracles.c1, c2_inv)?
-            } else if let Some(c1_inv) = oracles.c1_inv {
-                match_p_i_via_c1_inverse(c1_inv, oracles.c2)?
-            } else {
-                match_p_i_one_hot(oracles.c1, oracles.c2)?
-            };
-            Ok(MatchWitness::input_only(make_p(pi)))
-        }
-        (N, I) => {
-            let nu = if let Some(c2_inv) = oracles.c2_inv {
-                match_n_i_via_c2_inverse(oracles.c1, c2_inv)?
-            } else if let Some(c1_inv) = oracles.c1_inv {
-                match_n_i_via_c1_inverse(c1_inv, oracles.c2)?
-            } else {
-                match_n_i_quantum(oracles.c1, oracles.c2, config, rng)?
-            };
-            Ok(MatchWitness::input_only(make_n(nu)))
-        }
-        (Np, I) => {
-            let input = if let Some(c2_inv) = oracles.c2_inv {
-                match_np_i_via_c2_inverse(oracles.c1, c2_inv)?
-            } else if let Some(c1_inv) = oracles.c1_inv {
-                match_np_i_via_c1_inverse(c1_inv, oracles.c2)?
-            } else {
-                match_np_i_quantum(oracles.c1, oracles.c2, config, rng)?
-            };
-            Ok(MatchWitness::input_only(input))
-        }
-        (P, N) => {
-            let (pi, nu) = if oracles.c1_inv.is_some() || oracles.c2_inv.is_some() {
-                match_p_n_via_inverses(
-                    oracles.c1,
-                    oracles.c2,
-                    oracles.c1_inv.map(|o| o as &dyn ClassicalOracle),
-                    oracles.c2_inv.map(|o| o as &dyn ClassicalOracle),
-                )?
-            } else {
-                match_p_n(oracles.c1, oracles.c2)?
-            };
-            MatchWitness::new(make_p(pi), make_n(nu))
-        }
-        (N, P) => match (oracles.c1, oracles.c1_inv, oracles.c2_inv) {
-            (c1, Some(c1_inv), Some(c2_inv)) => {
-                let (nu, pi) = match_n_p_via_inverses(c1, c1_inv, c2_inv)?;
-                MatchWitness::new(make_n(nu), make_p(pi))
-            }
-            _ => Err(MatchError::OpenProblem {
-                case: "N-P without both inverses".to_owned(),
-            }),
-        },
-        _ => Err(MatchError::Intractable {
-            equivalence: equivalence.to_string(),
-        }),
-    }
+    solve_promise_report(equivalence, oracles, config, rng).map(|report| report.witness)
+}
+
+/// [`solve_promise`] with the full [`MatchReport`] instead of the bare
+/// witness.
+///
+/// # Errors
+///
+/// Same as [`solve_promise`].
+pub fn solve_promise_report(
+    equivalence: Equivalence,
+    oracles: &ProblemOracles<'_>,
+    config: &MatcherConfig,
+    rng: &mut impl Rng,
+) -> Result<MatchReport, MatchError> {
+    MatcherRegistry::global().solve(equivalence, oracles, config, rng as &mut dyn rand::RngCore)
 }
 
 // ---------------------------------------------------------------------------

@@ -16,8 +16,21 @@ use revmatch_circuit::{width_mask, NegationMask};
 use revmatch_quantum::{swap_test, ProductState, Qubit};
 
 use crate::error::MatchError;
-use crate::matchers::{ensure_same_width, MatcherConfig};
+use crate::matchers::{ensure_same_width, MatchReport, MatcherConfig, Verdict};
 use crate::oracle::{ClassicalOracle, QuantumOracle};
+use crate::witness::MatchWitness;
+
+/// The direction-shared core of the two inverse-assisted variants:
+/// `ν = inv(forward(0))` in one query to each box (`C_ν⁻¹ = C_ν` makes
+/// the two directions literal mirror images).
+fn match_n_i_via_inverse(
+    forward: &dyn ClassicalOracle,
+    inv: &dyn ClassicalOracle,
+) -> Result<NegationMask, MatchError> {
+    let n = ensure_same_width(forward, inv)?;
+    let nu = inv.query(forward.query(0));
+    NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)
+}
 
 /// Finds `ν` with `C1 = C2 C_ν`, given `C2⁻¹` — `O(1)` queries
 /// (`ν = C2⁻¹(C1(0))`).
@@ -29,9 +42,7 @@ pub fn match_n_i_via_c2_inverse(
     c1: &dyn ClassicalOracle,
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<NegationMask, MatchError> {
-    let n = ensure_same_width(c1, c2_inv)?;
-    let nu = c2_inv.query(c1.query(0));
-    NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)
+    match_n_i_via_inverse(c1, c2_inv)
 }
 
 /// Finds `ν` with `C1 = C2 C_ν`, given `C1⁻¹` — `O(1)` queries
@@ -44,27 +55,7 @@ pub fn match_n_i_via_c1_inverse(
     c1_inv: &dyn ClassicalOracle,
     c2: &dyn ClassicalOracle,
 ) -> Result<NegationMask, MatchError> {
-    let n = ensure_same_width(c1_inv, c2)?;
-    let nu = c1_inv.query(c2.query(0));
-    NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)
-}
-
-/// Result of the classical collision search, with its query count — the
-/// experimental face of Theorem 1's `Ω(2^{n/2})` lower bound.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CollisionOutcome {
-    /// The recovered negation.
-    pub nu: NegationMask,
-    /// Probes consumed up to and including the colliding pair —
-    /// exactly what the per-probe scalar loop would have charged
-    /// (birthday-distributed around `√(2^n)`; the Theorem-1 metric).
-    pub queries: u64,
-    /// Probes actually issued, in width-scaled batched rounds: equals
-    /// the underlying oracles' counter delta and exceeds [`queries`]
-    /// by at most one round of overshoot past the first collision.
-    ///
-    /// [`queries`]: CollisionOutcome::queries
-    pub charged_queries: u64,
+    match_n_i_via_inverse(c2, c1_inv)
 }
 
 /// Probes per oracle per batched collision round: `max(4, 2^(n/2) / 4)`,
@@ -74,9 +65,34 @@ fn collision_round_size(n: usize) -> usize {
     (1usize << (n / 2)).div_ceil(4).max(4)
 }
 
+/// Builds the uniform report of a collision search: the witness is the
+/// input negation, `queries` is the Theorem-1 metric (stops at the
+/// colliding pair), `charged_queries` counts whole batched rounds.
+fn collision_report(
+    nu: NegationMask,
+    queries: u64,
+    charged_queries: u64,
+    rounds: u64,
+) -> MatchReport {
+    MatchReport {
+        witness: MatchWitness::input_negation(nu),
+        queries,
+        charged_queries,
+        rounds,
+        verdict: Verdict::Definitive,
+    }
+}
+
 /// The optimal classical strategy without inverses: query both oracles on
 /// random inputs until an output collision `C1(x1) = C2(x2)` reveals
 /// `ν = x1 ⊕ x2`. Expected `Θ(2^{n/2})` queries (Theorem 1 / Eq. 2).
+///
+/// The report's `queries` field is the Theorem-1 metric (probes up to and
+/// including the colliding pair, exactly what the per-probe scalar loop
+/// would have charged); `charged_queries` counts the batched rounds
+/// actually issued (the oracle-counter delta), overshooting the first
+/// collision by at most one round; `rounds` is the number of birthday
+/// rounds.
 ///
 /// # Errors
 ///
@@ -94,22 +110,24 @@ fn collision_round_size(n: usize) -> usize {
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 /// let c2 = Circuit::from_gates(4, [Gate::cnot(0, 3)])?;
 /// let c1 = Circuit::from_gates(4, [Gate::not(1)])?.then(&c2)?;
-/// let outcome = match_n_i_collision(&Oracle::new(c1), &Oracle::new(c2), &mut rng)?;
-/// assert_eq!(outcome.nu.mask(), 0b0010);
+/// let report = match_n_i_collision(&Oracle::new(c1), &Oracle::new(c2), &mut rng)?;
+/// assert_eq!(report.witness.nu_x().mask(), 0b0010);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn match_n_i_collision(
     c1: &dyn ClassicalOracle,
     c2: &dyn ClassicalOracle,
     rng: &mut impl Rng,
-) -> Result<CollisionOutcome, MatchError> {
+) -> Result<MatchReport, MatchError> {
     let n = ensure_same_width(c1, c2)?;
     let mask = width_mask(n);
     let round = collision_round_size(n);
     let mut seen1: HashMap<u64, u64> = HashMap::new(); // output -> input of C1
     let mut seen2: HashMap<u64, u64> = HashMap::new();
     let mut charged_queries = 0u64;
+    let mut rounds = 0u64;
     loop {
+        rounds += 1;
         // Draw one round of probe pairs in the same interleaved order the
         // per-probe loop used (x1_0, x2_0, x1_1, …), then issue each
         // oracle's probes as one batch. Responses are scanned back in
@@ -129,21 +147,23 @@ pub fn match_n_i_collision(
             if let Some(&x2) = seen2.get(&ys1[t]) {
                 let nu =
                     NegationMask::new(xs1[t] ^ x2, n).map_err(|_| MatchError::PromiseViolated)?;
-                return Ok(CollisionOutcome {
+                return Ok(collision_report(
                     nu,
-                    queries: round_base + 2 * t as u64 + 1,
+                    round_base + 2 * t as u64 + 1,
                     charged_queries,
-                });
+                    rounds,
+                ));
             }
             seen1.insert(ys1[t], xs1[t]);
             if let Some(&x1) = seen1.get(&ys2[t]) {
                 let nu =
                     NegationMask::new(x1 ^ xs2[t], n).map_err(|_| MatchError::PromiseViolated)?;
-                return Ok(CollisionOutcome {
+                return Ok(collision_report(
                     nu,
-                    queries: round_base + 2 * t as u64 + 2,
+                    round_base + 2 * t as u64 + 2,
                     charged_queries,
-                });
+                    rounds,
+                ));
             }
             seen2.insert(ys2[t], xs2[t]);
         }
@@ -236,7 +256,8 @@ mod tests {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let outcome = match_n_i_collision(&c1, &c2, &mut rng).unwrap();
-            assert_eq!(outcome.nu, planted_nu(&inst), "width {w}");
+            assert_eq!(outcome.witness.nu_x(), planted_nu(&inst), "width {w}");
+            assert!(outcome.verdict.is_definitive());
             // Every issued probe lands on the oracle counters; the
             // Theorem-1 metric stops at the colliding pair and trails by
             // at most one round of overshoot.
@@ -244,6 +265,7 @@ mod tests {
             assert!(outcome.queries >= 1 && outcome.queries <= outcome.charged_queries);
             let round = 2 * super::collision_round_size(w) as u64;
             assert!(outcome.charged_queries - outcome.queries < round);
+            assert_eq!(outcome.rounds * round, outcome.charged_queries);
         }
     }
 

@@ -33,15 +33,21 @@ use revmatch_circuit::NegationMask;
 use revmatch_quantum::{StateVector, MAX_QUBITS};
 
 use crate::error::MatchError;
+use crate::matchers::{MatchReport, Verdict};
 use crate::oracle::{ClassicalOracle, Oracle};
+use crate::witness::MatchWitness;
 
-/// Result of the Simon-style matcher, with its measured cost.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimonOutcome {
-    /// The recovered shift `ν`.
-    pub nu: NegationMask,
-    /// Sampling rounds performed (each costs one query per box).
-    pub rounds: usize,
+/// Builds the uniform report of a Simon run: each sampling round costs
+/// one query to each box, and the recovered shift is *exact* — only the
+/// round count is random.
+fn simon_report(nu: NegationMask, rounds: u64) -> MatchReport {
+    MatchReport {
+        witness: MatchWitness::input_negation(nu),
+        queries: 2 * rounds,
+        charged_queries: 2 * rounds,
+        rounds,
+        verdict: Verdict::Definitive,
+    }
 }
 
 /// GF(2) row-echelon accumulator for constraints `y · ν = c`.
@@ -99,7 +105,10 @@ impl Gf2System {
 }
 
 /// Finds `ν` with `C1 = C2 C_ν` by hidden-shift sampling — expected
-/// `n + O(1)` rounds (2 queries each), exact answer.
+/// `n + O(1)` rounds (2 queries each), exact answer. The report's
+/// `rounds` field is the number of sampling rounds; `queries` equals
+/// `charged_queries` equals `2 · rounds`, and the verdict is always
+/// [`Verdict::Definitive`] (the GF(2) constraints are never wrong).
 ///
 /// # Errors
 ///
@@ -119,15 +128,15 @@ impl Gf2System {
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
 /// let c2 = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2)])?;
 /// let c1 = Circuit::from_gates(3, [Gate::not(1)])?.then(&c2)?;
-/// let outcome = match_n_i_simon(&Oracle::new(c1), &Oracle::new(c2), &mut rng)?;
-/// assert_eq!(outcome.nu.mask(), 0b010);
+/// let report = match_n_i_simon(&Oracle::new(c1), &Oracle::new(c2), &mut rng)?;
+/// assert_eq!(report.witness.nu_x().mask(), 0b010);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn match_n_i_simon(
     c1: &Oracle,
     c2: &Oracle,
     rng: &mut impl Rng,
-) -> Result<SimonOutcome, MatchError> {
+) -> Result<MatchReport, MatchError> {
     let n = ClassicalOracle::width(c1);
     if n != ClassicalOracle::width(c2) {
         return Err(MatchError::WidthMismatch {
@@ -136,10 +145,7 @@ pub fn match_n_i_simon(
         });
     }
     if n == 0 {
-        return Ok(SimonOutcome {
-            nu: NegationMask::identity(0),
-            rounds: 0,
-        });
+        return Ok(simon_report(NegationMask::identity(0), 0));
     }
     let total_qubits = 2 * n + 1;
     if total_qubits > MAX_QUBITS {
@@ -186,7 +192,7 @@ pub fn match_n_i_simon(
         system.insert(y, c)?;
     }
     let nu = NegationMask::new(system.solve(n), n).map_err(|_| MatchError::PromiseViolated)?;
-    Ok(SimonOutcome { nu, rounds })
+    Ok(simon_report(nu, rounds as u64))
 }
 
 #[cfg(test)]
@@ -239,7 +245,8 @@ mod tests {
                 let c1 = Oracle::new(inst.c1.clone());
                 let c2 = Oracle::new(inst.c2.clone());
                 let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
-                assert_eq!(outcome.nu, inst.witness.nu_x(), "width {w}");
+                assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x(), "width {w}");
+                assert!(outcome.verdict.is_definitive());
             }
         }
     }
@@ -255,10 +262,11 @@ mod tests {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
-            assert_eq!(outcome.nu, inst.witness.nu_x());
-            total_rounds += outcome.rounds;
+            assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x());
+            total_rounds += outcome.rounds as usize;
             // Each round queries both boxes once.
-            assert_eq!(c1.queries() + c2.queries(), 2 * outcome.rounds as u64);
+            assert_eq!(c1.queries() + c2.queries(), 2 * outcome.rounds);
+            assert_eq!(outcome.charged_queries, c1.queries() + c2.queries());
         }
         let avg = total_rounds as f64 / trials as f64;
         // Expected n + ~1.6 rounds; generous bound.
@@ -276,7 +284,7 @@ mod tests {
         let c1 = Oracle::new(c.clone());
         let c2 = Oracle::new(c);
         let outcome = match_n_i_simon(&c1, &c2, &mut rng).unwrap();
-        assert!(outcome.nu.is_identity());
+        assert!(outcome.witness.nu_x().is_identity());
     }
 
     #[test]
@@ -299,7 +307,7 @@ mod tests {
             let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
-            let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().nu;
+            let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().witness.nu_x();
             let alg1 = crate::matchers::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
             assert_eq!(simon, alg1, "width {w}");
         }

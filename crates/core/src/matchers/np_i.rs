@@ -12,8 +12,9 @@ use revmatch_circuit::{NegationMask, NpTransform};
 use revmatch_quantum::{swap_test, ProductState, Qubit};
 
 use crate::error::MatchError;
-use crate::matchers::{binary_code_patterns, decode_permutation, ensure_same_width, MatcherConfig};
-use crate::oracle::{ClassicalOracle, ComposedOracle, QuantumOracle};
+use crate::matchers::i_np::decode_np_composite;
+use crate::matchers::MatcherConfig;
+use crate::oracle::{ClassicalOracle, QuantumOracle};
 
 /// Finds the input transform `(ν, π)` with `C1 = C2 C_π C_ν`, given `C2⁻¹`
 /// — `O(log n)` queries.
@@ -25,20 +26,9 @@ pub fn match_np_i_via_c2_inverse(
     c1: &dyn ClassicalOracle,
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<NpTransform, MatchError> {
-    let n = ensure_same_width(c1, c2_inv)?;
-    // C(x) = C2⁻¹(C1(x)) = π(x ⊕ ν) = π(x) ⊕ ν′, ν′ = π(ν).
-    // One batched round: the all-zeros probe plus the binary-code probes.
-    let composite = ComposedOracle::new(c1, c2_inv)?;
-    let mut probes = vec![0u64];
-    probes.extend(binary_code_patterns(n));
-    let mut responses = composite.query_batch(&probes);
-    let nu_after = responses.remove(0);
-    for r in &mut responses {
-        *r ^= nu_after;
-    }
-    let pi = decode_permutation(n, &responses)?;
-    let nu_after = NegationMask::new(nu_after, n).map_err(|_| MatchError::PromiseViolated)?;
-    NpTransform::from_exchanged(nu_after, pi).map_err(MatchError::from)
+    // C(x) = C2⁻¹(C1(x)) = π(x ⊕ ν) = π(x) ⊕ ν′, ν′ = π(ν): the mirror
+    // image of the I-NP decode, with the composite order swapped.
+    decode_np_composite(c1, c2_inv, false)
 }
 
 /// Finds the input transform `(ν, π)` with `C1 = C2 C_π C_ν`, given `C1⁻¹`
@@ -51,22 +41,8 @@ pub fn match_np_i_via_c1_inverse(
     c1_inv: &dyn ClassicalOracle,
     c2: &dyn ClassicalOracle,
 ) -> Result<NpTransform, MatchError> {
-    let n = ensure_same_width(c1_inv, c2)?;
     // D(x) = C1⁻¹(C2(x)) = ν ⊕ π⁻¹(x): the inverse input transform.
-    // One batched round: the all-zeros probe plus the binary-code probes.
-    let composite = ComposedOracle::new(c2, c1_inv)?;
-    let mut probes = vec![0u64];
-    probes.extend(binary_code_patterns(n));
-    let mut responses = composite.query_batch(&probes);
-    let nu = responses.remove(0);
-    for r in &mut responses {
-        *r ^= nu;
-    }
-    let pi_inv = decode_permutation(n, &responses)?;
-    let nu = NegationMask::new(nu, n).map_err(|_| MatchError::PromiseViolated)?;
-    // D = (C_π C_ν)⁻¹ in exchanged form (permute by π⁻¹, then negate by ν).
-    let d = NpTransform::from_exchanged(nu, pi_inv)?;
-    Ok(d.inverse())
+    decode_np_composite(c2, c1_inv, true)
 }
 
 /// The quantum NP-I matcher — `O(n² log 1/ε)` queries, no inverses needed.

@@ -22,11 +22,8 @@ pub fn match_p_i_via_c2_inverse(
     c1: &dyn ClassicalOracle,
     c2_inv: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
-    let n = ensure_same_width(c1, c2_inv)?;
-    // C(x) = C2⁻¹(C1(x)) = π(x); one batched round of ⌈log2 n⌉ probes.
-    let composite = ComposedOracle::new(c1, c2_inv)?;
-    let responses = composite.query_batch(&binary_code_patterns(n));
-    decode_permutation(n, &responses)
+    // C(x) = C2⁻¹(C1(x)) = π(x).
+    match_p_i_via_inverse(c1, c2_inv, false)
 }
 
 /// Finds `π` with `C1 = C2 C_π`, given `C1⁻¹` — `O(log n)` queries.
@@ -38,11 +35,23 @@ pub fn match_p_i_via_c1_inverse(
     c1_inv: &dyn ClassicalOracle,
     c2: &dyn ClassicalOracle,
 ) -> Result<LinePermutation, MatchError> {
-    let n = ensure_same_width(c1_inv, c2)?;
-    // C(x) = C1⁻¹(C2(x)) = π⁻¹(x); one batched round of ⌈log2 n⌉ probes.
-    let composite = ComposedOracle::new(c2, c1_inv)?;
+    // C(x) = C1⁻¹(C2(x)) = π⁻¹(x); `invert` undoes the mirror.
+    match_p_i_via_inverse(c2, c1_inv, true)
+}
+
+/// The direction-shared core of the two inverse-assisted variants: the
+/// composite `inv ∘ forward` is a pure wire permutation, decoded from one
+/// batched round of `⌈log2 n⌉` binary-code probes.
+fn match_p_i_via_inverse(
+    forward: &dyn ClassicalOracle,
+    inv: &dyn ClassicalOracle,
+    invert: bool,
+) -> Result<LinePermutation, MatchError> {
+    let n = ensure_same_width(forward, inv)?;
+    let composite = ComposedOracle::new(forward, inv)?;
     let responses = composite.query_batch(&binary_code_patterns(n));
-    Ok(decode_permutation(n, &responses)?.inverse())
+    let pi = decode_permutation(n, &responses)?;
+    Ok(if invert { pi.inverse() } else { pi })
 }
 
 /// Finds `π` with `C1 = C2 C_π` without inverses, using `n` one-hot probes

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
 use revmatch_sat::{CdclSolver, Cnf};
 
+use crate::engine::JobKind;
 use crate::miter::MiterEncoding;
 use crate::oracle::Oracle;
 
@@ -49,7 +50,7 @@ struct Lru<K, V> {
     entries: Vec<(K, V)>,
 }
 
-impl<K: Clone + PartialEq, V> Lru<K, V> {
+impl<K: PartialEq, V> Lru<K, V> {
     fn new(budget: usize, cost: fn(&V) -> usize) -> Self {
         Self {
             budget: budget.max(1),
@@ -59,18 +60,24 @@ impl<K: Clone + PartialEq, V> Lru<K, V> {
         }
     }
 
-    /// Returns the cached value for `key` (moved to front), or builds,
-    /// inserts and returns it, evicting from the cold end until the
-    /// total cost fits the budget (the newest entry always stays). The
-    /// flag reports a hit.
-    fn get_or_insert_with(&mut self, key: &K, make: impl FnOnce(&K) -> V) -> (&mut V, bool) {
-        if let Some(i) = self.entries.iter().position(|(k, _)| k == key) {
+    /// Returns the cached value whose key satisfies `probe` (moved to
+    /// front), or builds the `(key, value)` entry, inserts and returns
+    /// it, evicting from the cold end until the total cost fits the
+    /// budget (the newest entry always stays). The flag reports a hit.
+    /// Taking a predicate instead of an owned key keeps the hit path
+    /// allocation-free for expensive keys (circuits, formulas).
+    fn get_or_insert_with(
+        &mut self,
+        probe: impl Fn(&K) -> bool,
+        make: impl FnOnce() -> (K, V),
+    ) -> (&mut V, bool) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| probe(k)) {
             self.entries[..=i].rotate_right(1);
             return (&mut self.entries[0].1, true);
         }
-        let value = make(key);
+        let (key, value) = make();
         self.total += (self.cost)(&value);
-        self.entries.insert(0, (key.clone(), value));
+        self.entries.insert(0, (key, value));
         while self.total > self.budget && self.entries.len() > 1 {
             let (_, evicted) = self.entries.pop().expect("len > 1");
             self.total -= (self.cost)(&evicted);
@@ -89,9 +96,12 @@ impl<K: Clone + PartialEq, V> Lru<K, V> {
 pub(crate) struct ShardCaches {
     /// Dense tables, evicted by total size: a `2^w` table costs
     /// `8·2^w` bytes, so narrow mixes keep hundreds of tables while a
-    /// single width-16 job (512 KiB) still fits comfortably.
-    tables: Lru<Circuit, Arc<DenseTable>>,
-    solvers: Lru<Cnf, CdclSolver>,
+    /// single width-16 job (512 KiB) still fits comfortably. Keys
+    /// include the [`JobKind`] so the per-kind hit metrics stay honest
+    /// and one kind's churn cannot evict another kind's working set
+    /// through shard-stolen work.
+    tables: Lru<(JobKind, Circuit), Arc<DenseTable>>,
+    solvers: Lru<(JobKind, Cnf), CdclSolver>,
 }
 
 /// Byte budget for the per-worker dense-table cache (~16 MiB: 32
@@ -113,28 +123,39 @@ impl ShardCaches {
         }
     }
 
-    /// A precompiled oracle for `circuit`, reusing the cached dense table
-    /// when this worker has compiled the circuit before. Falls back to
-    /// the bit-sliced oracle beyond [`DENSE_MAX_WIDTH`], exactly like
+    /// A precompiled oracle for `circuit` on behalf of a `kind` job,
+    /// reusing the cached dense table when this worker has compiled the
+    /// same `(kind, circuit)` before. Falls back to the bit-sliced
+    /// oracle beyond [`DENSE_MAX_WIDTH`], exactly like
     /// [`Oracle::precompiled`]. The flag reports a table-cache hit.
-    pub fn oracle_for(&mut self, circuit: Circuit) -> (Oracle, bool) {
+    pub fn oracle_for(&mut self, kind: JobKind, circuit: Circuit) -> (Oracle, bool) {
         if circuit.width() > DENSE_MAX_WIDTH {
             return (Oracle::new(circuit), false);
         }
-        let (table, hit) = self.tables.get_or_insert_with(&circuit, |c| {
-            Arc::new(DenseTable::compile(c).expect("width checked against DENSE_MAX_WIDTH"))
-        });
+        let (table, hit) = self.tables.get_or_insert_with(
+            |(k, c)| *k == kind && *c == circuit,
+            || {
+                let table = Arc::new(
+                    DenseTable::compile(&circuit).expect("width checked against DENSE_MAX_WIDTH"),
+                );
+                ((kind, circuit.clone()), table)
+            },
+        );
         let table = Arc::clone(table);
         (Oracle::with_shared_table(circuit, table), hit)
     }
 
     /// A CDCL solver owning `miter`'s formula, input-hinted, reused (with
-    /// its learned clauses) when this worker has verified the same miter
-    /// before. The flag reports a solver-cache hit.
-    pub fn solver_for(&mut self, miter: &MiterEncoding) -> (&mut CdclSolver, bool) {
-        self.solvers.get_or_insert_with(&miter.cnf, |cnf| {
-            CdclSolver::new(cnf).with_branch_hint(miter.input_hint())
-        })
+    /// its learned clauses) when this worker has verified the same
+    /// `(kind, miter)` before. The flag reports a solver-cache hit.
+    pub fn solver_for(&mut self, kind: JobKind, miter: &MiterEncoding) -> (&mut CdclSolver, bool) {
+        self.solvers.get_or_insert_with(
+            |(k, cnf)| *k == kind && *cnf == miter.cnf,
+            || {
+                let solver = CdclSolver::new(&miter.cnf).with_branch_hint(miter.input_hint());
+                ((kind, miter.cnf.clone()), solver)
+            },
+        )
     }
 }
 
@@ -146,30 +167,35 @@ mod tests {
     use rand::SeedableRng;
     use revmatch_circuit::{random_circuit, RandomCircuitSpec};
 
+    /// Probe/insert shorthand for the integer-keyed Lru tests.
+    fn probe(lru: &mut Lru<u32, usize>, key: u32, value: usize) -> bool {
+        lru.get_or_insert_with(|k| *k == key, || (key, value)).1
+    }
+
     #[test]
     fn lru_hits_evicts_and_moves_to_front() {
-        let mut lru: Lru<u32, u32> = Lru::new(2, |_| 1);
-        assert!(!lru.get_or_insert_with(&1, |_| 10).1);
-        assert!(!lru.get_or_insert_with(&2, |_| 20).1);
+        let mut lru: Lru<u32, usize> = Lru::new(2, |_| 1);
+        assert!(!probe(&mut lru, 1, 10));
+        assert!(!probe(&mut lru, 2, 20));
         // Hit 1 (moves to front), insert 3 → 2 is evicted.
-        assert!(lru.get_or_insert_with(&1, |_| 99).1);
-        assert!(!lru.get_or_insert_with(&3, |_| 30).1);
+        assert!(probe(&mut lru, 1, 99));
+        assert!(!probe(&mut lru, 3, 30));
         assert_eq!(lru.len(), 2);
-        assert!(!lru.get_or_insert_with(&2, |_| 21).1, "2 was evicted");
+        assert!(!probe(&mut lru, 2, 21), "2 was evicted");
     }
 
     #[test]
     fn lru_cost_budget_evicts_by_total_and_keeps_newest() {
         // Cost = the value itself; budget 10.
         let mut lru: Lru<u32, usize> = Lru::new(10, |v| *v);
-        assert!(!lru.get_or_insert_with(&1, |_| 4).1);
-        assert!(!lru.get_or_insert_with(&2, |_| 4).1); // total 8
-        assert!(!lru.get_or_insert_with(&3, |_| 4).1); // 12 → evict 1
+        assert!(!probe(&mut lru, 1, 4));
+        assert!(!probe(&mut lru, 2, 4)); // total 8
+        assert!(!probe(&mut lru, 3, 4)); // 12 → evict 1
         assert_eq!(lru.len(), 2);
-        assert!(lru.get_or_insert_with(&2, |_| 99).1, "2 survived");
-        assert!(!lru.get_or_insert_with(&1, |_| 4).1, "1 was evicted");
+        assert!(probe(&mut lru, 2, 99), "2 survived");
+        assert!(!probe(&mut lru, 1, 4), "1 was evicted");
         // An over-budget single entry is still admitted (newest stays).
-        assert!(!lru.get_or_insert_with(&9, |_| 50).1);
+        assert!(!probe(&mut lru, 9, 50));
         assert_eq!(lru.len(), 1);
     }
 
@@ -178,10 +204,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let c = random_circuit(&RandomCircuitSpec::for_width(6), &mut rng);
         let mut caches = ShardCaches::new();
-        let (cold, hit_cold) = caches.oracle_for(c.clone());
+        let (cold, hit_cold) = caches.oracle_for(JobKind::Promise, c.clone());
         assert!(!hit_cold);
-        let (warm, hit_warm) = caches.oracle_for(c.clone());
+        let (warm, hit_warm) = caches.oracle_for(JobKind::Promise, c.clone());
         assert!(hit_warm);
+        // A different kind re-compiles: the key includes the kind.
+        let (_, cross_kind_hit) = caches.oracle_for(JobKind::Identify, c.clone());
+        assert!(!cross_kind_hit);
         for x in 0..64u64 {
             assert_eq!(cold.query(x), c.apply(x));
             assert_eq!(warm.query(x), c.apply(x));
@@ -195,8 +224,8 @@ mod tests {
         let a = Circuit::from_gates(3, [revmatch_circuit::Gate::not(0)]).unwrap();
         let b = Circuit::from_gates(3, [revmatch_circuit::Gate::not(1)]).unwrap();
         let mut caches = ShardCaches::new();
-        let (oa, _) = caches.oracle_for(a.clone());
-        let (ob, hit) = caches.oracle_for(b.clone());
+        let (oa, _) = caches.oracle_for(JobKind::Promise, a.clone());
+        let (ob, hit) = caches.oracle_for(JobKind::Promise, b.clone());
         assert!(!hit);
         assert_eq!(oa.query(0), 1);
         assert_eq!(ob.query(0), 2);
@@ -206,8 +235,8 @@ mod tests {
     fn wide_circuits_bypass_the_table_cache() {
         let c = Circuit::new(DENSE_MAX_WIDTH + 1);
         let mut caches = ShardCaches::new();
-        let (_, hit1) = caches.oracle_for(c.clone());
-        let (_, hit2) = caches.oracle_for(c);
+        let (_, hit1) = caches.oracle_for(JobKind::Promise, c.clone());
+        let (_, hit2) = caches.oracle_for(JobKind::Promise, c);
         assert!(!hit1 && !hit2);
     }
 
@@ -222,10 +251,10 @@ mod tests {
         .unwrap();
         let miter = MiterEncoding::build(&c, &resynth, &MatchWitness::identity(c.width())).unwrap();
         let mut caches = ShardCaches::new();
-        let (solver, hit) = caches.solver_for(&miter);
+        let (solver, hit) = caches.solver_for(JobKind::Promise, &miter);
         assert!(!hit);
         assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);
-        let (solver, hit) = caches.solver_for(&miter);
+        let (solver, hit) = caches.solver_for(JobKind::Promise, &miter);
         assert!(hit);
         assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);
         assert_eq!(solver.conflicts(), 0, "warm verdict must be cached");

@@ -11,6 +11,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::engine::JobKind;
+
 /// A fixed-bucket cumulative histogram over `u64` samples.
 ///
 /// Buckets are defined by inclusive upper bounds; a sample lands in every
@@ -82,20 +84,35 @@ impl Histogram {
     /// Renders the histogram as Prometheus text. `denom` converts the raw
     /// `u64` samples into the exported unit by division (e.g. `1e6` for
     /// µs → s; powers of ten divide cleanly, keeping `le` labels short).
+    /// The header is emitted by the caller when several labeled series
+    /// share one metric family.
     fn render(&self, out: &mut String, name: &str, help: &str, denom: f64) {
         use std::fmt::Write;
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_series(out, name, "", denom);
+    }
+
+    /// Renders the bucket/sum/count rows with an optional extra label
+    /// (e.g. `kind=\"promise\",`) spliced before `le`.
+    fn render_series(&self, out: &mut String, name: &str, label: &str, denom: f64) {
+        use std::fmt::Write;
         let mut cumulative = 0u64;
         for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
             cumulative += bucket.load(Ordering::Relaxed);
             let le = *bound as f64 / denom;
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{label}le=\"{le}\"}} {cumulative}");
         }
         cumulative += self.overflow.load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(out, "{name}_sum {}", self.sum() as f64 / denom);
-        let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_bucket{{{label}le=\"+Inf\"}} {cumulative}");
+        if label.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", self.sum() as f64 / denom);
+            let _ = writeln!(out, "{name}_count {}", self.count());
+        } else {
+            let series = label.trim_end_matches(',');
+            let _ = writeln!(out, "{name}_sum{{{series}}} {}", self.sum() as f64 / denom);
+            let _ = writeln!(out, "{name}_count{{{series}}} {}", self.count());
+        }
     }
 }
 
@@ -126,6 +143,12 @@ pub struct Metrics {
     sat_unknown: AtomicU64,
     table_cache_hits: AtomicU64,
     solver_cache_hits: AtomicU64,
+    /// Completions per [`JobKind`], indexed by `JobKind::index`.
+    completed_by_kind: [AtomicU64; 4],
+    /// Failures per [`JobKind`], indexed by `JobKind::index`.
+    failed_by_kind: [AtomicU64; 4],
+    /// Accept-to-completion latency per [`JobKind`].
+    latency_by_kind: [Histogram; 4],
     shard_depth: Vec<AtomicU64>,
     latency: Histogram,
     intake_depth: Histogram,
@@ -144,6 +167,9 @@ impl Metrics {
             sat_unknown: AtomicU64::new(0),
             table_cache_hits: AtomicU64::new(0),
             solver_cache_hits: AtomicU64::new(0),
+            completed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            failed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_by_kind: std::array::from_fn(|_| Histogram::new(latency_bounds())),
             shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: Histogram::new(latency_bounds()),
             intake_depth: Histogram::new(depth_bounds()),
@@ -171,13 +197,22 @@ impl Metrics {
         self.shard_depth[shard].store(depth_after as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_completion(&self, failed: bool, queries: u64, latency_micros: u64) {
+    pub(crate) fn record_completion(
+        &self,
+        kind: JobKind,
+        failed: bool,
+        queries: u64,
+        latency_micros: u64,
+    ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
         if failed {
             self.failed.fetch_add(1, Ordering::Relaxed);
+            self.failed_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
         }
         self.queries.fetch_add(queries, Ordering::Relaxed);
         self.latency.observe(latency_micros);
+        self.latency_by_kind[kind.index()].observe(latency_micros);
     }
 
     /// Counts one SAT miter verification of a recovered witness;
@@ -212,6 +247,21 @@ impl Metrics {
     /// Jobs fully executed (their ticket is resolved).
     pub fn jobs_completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs of one [`JobKind`] executed to completion.
+    pub fn jobs_completed_of(&self, kind: JobKind) -> u64 {
+        self.completed_by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Failed jobs of one [`JobKind`].
+    pub fn jobs_failed_of(&self, kind: JobKind) -> u64 {
+        self.failed_by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// The accept-to-completion latency histogram of one [`JobKind`].
+    pub fn latency_of(&self, kind: JobKind) -> &Histogram {
+        &self.latency_by_kind[kind.index()]
     }
 
     /// Completed jobs whose matcher returned an error.
@@ -310,6 +360,18 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        // Per-kind completion/failure counters: one metric per kind so
+        // dashboards can alert on a single scenario family.
+        for kind in JobKind::ALL {
+            let name = format!("revmatch_jobs_{kind}_total");
+            let _ = writeln!(out, "# HELP {name} Completed {kind} jobs.");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", self.jobs_completed_of(kind));
+            let name = format!("revmatch_jobs_{kind}_failed_total");
+            let _ = writeln!(out, "# HELP {name} Failed {kind} jobs.");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", self.jobs_failed_of(kind));
+        }
         let _ = writeln!(
             out,
             "# HELP revmatch_shard_queue_depth Live intake depth per worker shard."
@@ -328,6 +390,21 @@ impl Metrics {
             "Job latency from intake accept to completion.",
             1e6,
         );
+        // Per-kind latency as one labeled histogram family.
+        let name = "revmatch_job_kind_latency_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Job latency from intake accept to completion, by job kind."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for kind in JobKind::ALL {
+            self.latency_by_kind[kind.index()].render_series(
+                &mut out,
+                name,
+                &format!("kind=\"{kind}\","),
+                1e6,
+            );
+        }
         self.intake_depth.render(
             &mut out,
             "revmatch_intake_depth",
@@ -376,7 +453,8 @@ mod tests {
     fn render_includes_every_family() {
         let m = Metrics::new(2);
         m.record_accept(1, 3);
-        m.record_completion(false, 12, 250);
+        m.record_completion(JobKind::Promise, false, 12, 250);
+        m.record_completion(JobKind::Identify, true, 3, 100);
         m.record_reject();
         m.record_sat_verify(false);
         m.record_sat_verify(true);
@@ -386,15 +464,22 @@ mod tests {
         for needle in [
             "revmatch_jobs_submitted_total 1",
             "revmatch_jobs_rejected_total 1",
-            "revmatch_jobs_completed_total 1",
-            "revmatch_jobs_failed_total 0",
-            "revmatch_oracle_queries_total 12",
+            "revmatch_jobs_completed_total 2",
+            "revmatch_jobs_failed_total 1",
+            "revmatch_oracle_queries_total 15",
             "revmatch_jobs_sat_verified_total 2",
             "revmatch_sat_unknown_total 1",
             "revmatch_table_cache_hits_total 4",
             "revmatch_solver_cache_hits_total 1",
+            "revmatch_jobs_promise_total 1",
+            "revmatch_jobs_identify_total 1",
+            "revmatch_jobs_identify_failed_total 1",
+            "revmatch_jobs_quantum_total 0",
+            "revmatch_jobs_sat_total 0",
             "revmatch_shard_queue_depth{shard=\"1\"} 3",
             "revmatch_job_latency_seconds_bucket",
+            "revmatch_job_kind_latency_seconds_bucket{kind=\"promise\",le=",
+            "revmatch_job_kind_latency_seconds_count{kind=\"identify\"} 1",
             "revmatch_intake_depth_count 1",
         ] {
             assert!(text.contains(needle), "missing {needle}\n{text}");
@@ -404,7 +489,7 @@ mod tests {
     #[test]
     fn latency_scale_exports_seconds() {
         let m = Metrics::new(1);
-        m.record_completion(true, 1, 2_000_000); // 2 s
+        m.record_completion(JobKind::Sat, true, 1, 2_000_000); // 2 s
         let text = m.render();
         assert!(text.contains("revmatch_job_latency_seconds_sum 2"));
         assert!(text.contains("revmatch_jobs_failed_total 1"));

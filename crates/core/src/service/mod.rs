@@ -5,12 +5,21 @@
 //! time and expect explicit backpressure when they outrun the hardware.
 //! [`MatchService`] is that layer:
 //!
+//! * **One intake, four scenario families**: every [`JobSpec`] kind —
+//!   promise matching, non-promise identification, inverse-free
+//!   quantum-path jobs and direct SAT-equivalence verdicts — flows
+//!   through the same queue, worker shards, caches and metrics. A bare
+//!   [`EngineJob`] still submits directly (it converts to a promise
+//!   job). Matching algorithms are resolved through the
+//!   [`crate::matchers::MatcherRegistry`], so a newly registered
+//!   [`crate::matchers::Matcher`] is servable without touching this
+//!   module.
 //! * **N persistent worker shards** (`std::thread`, no external runtime),
 //!   each owning one lane of a bounded MPMC intake queue. Jobs are routed
-//!   by a hash of `(width, equivalence)` so same-shaped work lands on the
-//!   same shard — its dense-table/precompiled-oracle allocations and
-//!   branch history stay hot — and idle workers steal from the fullest
-//!   lane so affinity never costs parallelism.
+//!   by a hash of `(width, kind, equivalence)` so same-shaped work lands
+//!   on the same shard — its dense-table/precompiled-oracle allocations
+//!   and branch history stay hot — and idle workers steal from the
+//!   fullest lane so affinity never costs parallelism.
 //! * **Explicit backpressure**: [`MatchService::submit`] never blocks; it
 //!   returns [`SubmitOutcome::Enqueued`] with a [`JobTicket`] or hands the
 //!   job back as [`SubmitOutcome::QueueFull`]. [`MatchService::submit_wait`]
@@ -24,7 +33,9 @@
 //!   the backlog, and joins the workers.
 //! * **Metrics**: every accept/reject/completion feeds an atomic
 //!   [`Metrics`] registry with a Prometheus-style text export
-//!   ([`MatchService::metrics_text`]).
+//!   ([`MatchService::metrics_text`]), including per-kind completion
+//!   counters (`revmatch_jobs_{promise,identify,quantum,sat}_total`)
+//!   and a `kind`-labeled latency histogram.
 //!
 //! Determinism mirrors the engine contract: a job solved with seed `s`
 //! produces the same witness and query count whichever shard or worker
@@ -65,10 +76,18 @@ use std::time::Instant;
 use rand::SeedableRng;
 use revmatch_sat::{SolveStats, SolverBackend};
 
-use crate::engine::{EngineJob, JobReport};
-use crate::matchers::{solve_promise, MatcherConfig, ProblemOracles};
+use crate::engine::{
+    EngineJob, IdentifyJob, JobKind, JobReport, JobSpec, QuantumAlgorithm, QuantumPathJob,
+    SatEquivalenceJob,
+};
+use crate::error::MatchError;
+use crate::identify::{identify_equivalence_with_oracles, IdentifyOptions};
+use crate::matchers::{
+    solve_promise_report, InverseAvailability, MatcherConfig, MatcherRegistry, Path, ProblemOracles,
+};
 use crate::miter::{check_witness_sat_budgeted_with, MiterEncoding, MiterVerdict};
 use crate::oracle::Oracle;
+use crate::verify::VerifyMode;
 use crate::witness::MatchWitness;
 use cache::ShardCaches;
 use queue::ShardedQueue;
@@ -235,7 +254,7 @@ pub enum SubmitOutcome {
     /// The job was accepted; redeem the ticket for its report.
     Enqueued(JobTicket),
     /// Every intake lane is full; the job is returned untouched.
-    QueueFull(EngineJob),
+    QueueFull(JobSpec),
 }
 
 impl SubmitOutcome {
@@ -256,7 +275,7 @@ impl SubmitOutcome {
 /// One queued unit of work.
 #[derive(Debug)]
 struct Request {
-    job: EngineJob,
+    job: JobSpec,
     seed: u64,
     accepted_at: Instant,
     ticket: Arc<TicketState>,
@@ -277,6 +296,24 @@ struct Shared {
 }
 
 impl Shared {
+    /// Wraps a circuit in an oracle, going through the worker's
+    /// kind-keyed dense-table cache when precompilation is on.
+    fn oracle(
+        &self,
+        kind: JobKind,
+        circuit: revmatch_circuit::Circuit,
+        caches: &mut ShardCaches,
+        table_hits: &mut u64,
+    ) -> Oracle {
+        if self.precompile {
+            let (oracle, hit) = caches.oracle_for(kind, circuit);
+            *table_hits += u64::from(hit);
+            oracle
+        } else {
+            Oracle::new(circuit)
+        }
+    }
+
     /// Executes one job with a deterministic RNG; the worker body. Takes
     /// the job by value — the circuits move into the oracles instead of
     /// being cloned a second time. `caches` is the worker's private
@@ -285,61 +322,230 @@ impl Shared {
     /// verdict, though under a tight miter budget a warm solver may
     /// resolve a formula a cold one left `Unknown` (see
     /// [`cache`](self) module docs).
-    fn execute(&self, job: EngineJob, seed: u64, caches: &mut ShardCaches) -> JobReport {
+    fn execute(&self, job: JobSpec, seed: u64, caches: &mut ShardCaches) -> JobReport {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut table_hits = 0u64;
-        let equivalence = job.equivalence;
-        let (c1, c2, c1_inv, c2_inv) = {
-            let mut wrap = |c: revmatch_circuit::Circuit, caches: &mut ShardCaches| {
-                if self.precompile {
-                    let (oracle, hit) = caches.oracle_for(c);
-                    table_hits += u64::from(hit);
-                    oracle
-                } else {
-                    Oracle::new(c)
-                }
-            };
-            let c1 = wrap(job.c1, caches);
-            let c2 = wrap(job.c2, caches);
-            let (c1_inv, c2_inv) = if job.with_inverses {
-                (
-                    Some(wrap(c1.circuit().inverse(), caches)),
-                    Some(wrap(c2.circuit().inverse(), caches)),
-                )
-            } else {
-                (None, None)
-            };
-            (c1, c2, c1_inv, c2_inv)
+        let report = match job {
+            JobSpec::Promise(job) => self.execute_promise(job, &mut rng, caches, &mut table_hits),
+            JobSpec::Identify(job) => self.execute_identify(job, &mut rng, caches, &mut table_hits),
+            JobSpec::QuantumPath(job) => self.execute_quantum(job, &mut rng),
+            JobSpec::SatEquivalence(job) => self.execute_sat(job, caches),
         };
         self.metrics.record_table_cache_hits(table_hits);
+        report
+    }
+
+    /// The original promise workload: registry dispatch plus optional
+    /// SAT verification of the recovered witness.
+    fn execute_promise(
+        &self,
+        job: EngineJob,
+        rng: &mut rand::rngs::StdRng,
+        caches: &mut ShardCaches,
+        table_hits: &mut u64,
+    ) -> JobReport {
+        let kind = JobKind::Promise;
+        let equivalence = job.equivalence;
+        let c1 = self.oracle(kind, job.c1, caches, table_hits);
+        let c2 = self.oracle(kind, job.c2, caches, table_hits);
+        let (c1_inv, c2_inv) = if job.with_inverses {
+            (
+                Some(self.oracle(kind, c1.circuit().inverse(), caches, table_hits)),
+                Some(self.oracle(kind, c2.circuit().inverse(), caches, table_hits)),
+            )
+        } else {
+            (None, None)
+        };
         let oracles = ProblemOracles {
             c1: &c1,
             c2: &c2,
             c1_inv: c1_inv.as_ref(),
             c2_inv: c2_inv.as_ref(),
         };
-        let witness = solve_promise(equivalence, &oracles, &self.matcher, &mut rng);
+        let report = solve_promise_report(equivalence, &oracles, &self.matcher, rng);
+        let (witness, rounds) = match report {
+            Ok(r) => (Ok(r.witness), r.rounds),
+            Err(e) => (Err(e), 0),
+        };
         let miter = if job.sat_verify {
             witness
                 .as_ref()
                 .ok()
-                .map(|w| self.verify_witness(c1.circuit(), c2.circuit(), w, caches))
+                .map(|w| self.verify_witness(kind, c1.circuit(), c2.circuit(), w, caches))
         } else {
             None
         };
         JobReport {
+            kind,
             witness,
             queries: oracles.total_queries(),
+            charged_queries: oracles.total_queries(),
+            rounds,
+            identified: None,
             miter,
         }
     }
 
+    /// The §3 non-promise workflow: walk the lattice for the minimal
+    /// class, with derived inverses, charging the whole walk.
+    fn execute_identify(
+        &self,
+        job: IdentifyJob,
+        rng: &mut rand::rngs::StdRng,
+        caches: &mut ShardCaches,
+        table_hits: &mut u64,
+    ) -> JobReport {
+        let kind = JobKind::Identify;
+        let c1 = job.c1;
+        let c2 = job.c2;
+        let (o1, o2, o1_inv, o2_inv) = (
+            self.oracle(kind, c1.clone(), caches, table_hits),
+            self.oracle(kind, c2.clone(), caches, table_hits),
+            self.oracle(kind, c1.inverse(), caches, table_hits),
+            self.oracle(kind, c2.inverse(), caches, table_hits),
+        );
+        let options = IdentifyOptions {
+            config: self.matcher.clone(),
+            allow_brute_force: job.allow_brute_force,
+            verify: VerifyMode::Exhaustive,
+        };
+        let outcome =
+            identify_equivalence_with_oracles(&c1, &c2, &o1, &o2, &o1_inv, &o2_inv, &options, rng);
+        let spent = o1.queries() + o2.queries() + o1_inv.queries() + o2_inv.queries();
+        let (witness, identified, rounds) = match outcome {
+            Ok(Some(id)) => (
+                Ok(id.witness),
+                Some(id.equivalence),
+                id.classes_tried as u64,
+            ),
+            Ok(None) => (Err(MatchError::NoEquivalence), None, 0),
+            Err(e) => (Err(e), None, 0),
+        };
+        JobReport {
+            kind,
+            witness,
+            queries: spent,
+            charged_queries: spent,
+            rounds,
+            identified,
+            miter: None,
+        }
+    }
+
+    /// The inverse-free quantum path: registry lookup on
+    /// `(equivalence, None, Path::Quantum)`, with the Simon specialist
+    /// selected by name. Quantum probes never touch dense tables, so the
+    /// oracles bypass the worker cache.
+    fn execute_quantum(&self, job: QuantumPathJob, rng: &mut rand::rngs::StdRng) -> JobReport {
+        let kind = JobKind::Quantum;
+        let registry = MatcherRegistry::global();
+        let matcher = match job.algorithm {
+            QuantumAlgorithm::SwapTest => {
+                registry.lookup(job.equivalence, InverseAvailability::None, Path::Quantum)
+            }
+            QuantumAlgorithm::Simon => registry
+                .lookup_named("n-i/simon")
+                .filter(|m| m.equivalence() == job.equivalence),
+        };
+        let Some(matcher) = matcher else {
+            return JobReport {
+                kind,
+                witness: Err(MatchError::Intractable {
+                    equivalence: format!("{} on the quantum path ({:?})", job.equivalence, {
+                        job.algorithm
+                    }),
+                }),
+                queries: 0,
+                charged_queries: 0,
+                rounds: 0,
+                identified: None,
+                miter: None,
+            };
+        };
+        let c1 = Oracle::new(job.c1);
+        let c2 = Oracle::new(job.c2);
+        let oracles = ProblemOracles::without_inverses(&c1, &c2);
+        match matcher.run(&oracles, &self.matcher, rng) {
+            Ok(report) => JobReport {
+                kind,
+                witness: Ok(report.witness),
+                queries: report.queries,
+                charged_queries: report.charged_queries,
+                rounds: report.rounds,
+                identified: None,
+                miter: None,
+            },
+            Err(e) => JobReport {
+                kind,
+                witness: Err(e),
+                queries: oracles.total_queries(),
+                charged_queries: oracles.total_queries(),
+                rounds: 0,
+                identified: None,
+                miter: None,
+            },
+        }
+    }
+
+    /// The direct white-box verdict: fold the claimed witness (identity
+    /// when absent) into a miter and solve it on the configured backend
+    /// through the worker's solver cache.
+    fn execute_sat(&self, job: SatEquivalenceJob, caches: &mut ShardCaches) -> JobReport {
+        let kind = JobKind::Sat;
+        let width = job.c1.width();
+        let witness = job.witness.unwrap_or_else(|| MatchWitness::identity(width));
+        if job.c2.width() != width {
+            return JobReport {
+                kind,
+                witness: Err(MatchError::WidthMismatch {
+                    left: width,
+                    right: job.c2.width(),
+                }),
+                queries: 0,
+                charged_queries: 0,
+                rounds: 0,
+                identified: None,
+                miter: None,
+            };
+        }
+        if witness.width() != width {
+            return JobReport {
+                kind,
+                witness: Err(MatchError::WidthMismatch {
+                    left: width,
+                    right: witness.width(),
+                }),
+                queries: 0,
+                charged_queries: 0,
+                rounds: 0,
+                identified: None,
+                miter: None,
+            };
+        }
+        let verdict = self.verify_witness(kind, &job.c1, &job.c2, &witness, caches);
+        let witness = match &verdict {
+            MiterVerdict::Equivalent => Ok(witness),
+            MiterVerdict::Counterexample { .. } => Err(MatchError::PromiseViolated),
+            MiterVerdict::Unknown { .. } => Err(MatchError::Inconclusive),
+        };
+        JobReport {
+            kind,
+            witness,
+            queries: 0,
+            charged_queries: 0,
+            rounds: 0,
+            identified: None,
+            miter: Some(verdict),
+        }
+    }
+
     /// Proves (or refutes) a recovered witness on the configured SAT
-    /// backend. CDCL runs warm through the worker's solver cache: the
-    /// same miter family re-enters a solver that already holds the
-    /// learned refutation.
+    /// backend. CDCL runs warm through the worker's solver cache (keyed
+    /// by `(kind, formula)`): the same miter family re-enters a solver
+    /// that already holds the learned refutation.
     fn verify_witness(
         &self,
+        kind: JobKind,
         c1: &revmatch_circuit::Circuit,
         c2: &revmatch_circuit::Circuit,
         witness: &MatchWitness,
@@ -355,7 +561,7 @@ impl Shared {
             SolverBackend::Cdcl => {
                 let miter = MiterEncoding::build(c1, c2, witness)
                     .expect("a solved job's circuits share a width");
-                let (solver, hit) = caches.solver_for(&miter);
+                let (solver, hit) = caches.solver_for(kind, &miter);
                 if hit {
                     self.metrics.record_solver_cache_hit();
                 }
@@ -382,12 +588,9 @@ impl Shared {
             let accepted_at = req.accepted_at;
             let report = self.execute(req.job, req.seed, &mut caches);
             let latency = accepted_at.elapsed().as_micros() as u64;
-            // A witness the miter refutes is a failure even though the
-            // matcher reported success — the job's answer is wrong.
-            let failed = report.witness.is_err()
-                || matches!(report.miter, Some(MiterVerdict::Counterexample { .. }));
+            let failed = job_failed(&report);
             self.metrics
-                .record_completion(failed, report.queries, latency);
+                .record_completion(report.kind, failed, report.queries, latency);
             *req.ticket.slot.lock().expect("ticket lock") = Some(report);
             req.ticket.done.notify_all();
             let mut in_flight = self.in_flight.lock().expect("in_flight lock");
@@ -396,6 +599,30 @@ impl Shared {
                 self.idle.notify_all();
             }
         }
+    }
+}
+
+/// Whether a completed report counts as a failure in the metrics.
+///
+/// Per kind: a promise/quantum job fails when no witness came back, or
+/// when a requested miter verification *refuted* the witness (the
+/// matcher's answer was wrong). An identification job fails only on a
+/// real error — "no class explains the pair" is a valid answer. A SAT
+/// job fails only when the verdict is `Unknown` (budget ran out); a
+/// counterexample is a definitive, successful verdict.
+fn job_failed(report: &JobReport) -> bool {
+    match report.kind {
+        JobKind::Promise | JobKind::Quantum => {
+            report.witness.is_err()
+                || matches!(report.miter, Some(MiterVerdict::Counterexample { .. }))
+        }
+        JobKind::Identify => {
+            matches!(&report.witness, Err(e) if !matches!(e, MatchError::NoEquivalence))
+        }
+        JobKind::Sat => !matches!(
+            report.miter,
+            Some(MiterVerdict::Equivalent) | Some(MiterVerdict::Counterexample { .. })
+        ),
     }
 }
 
@@ -459,18 +686,21 @@ impl MatchService {
         self.shared.metrics.render()
     }
 
-    /// Routes a job to its preferred shard by `(width, equivalence)`.
-    fn route(&self, job: &EngineJob) -> usize {
+    /// Routes a job to its preferred shard by `(width, kind,
+    /// equivalence)`, so same-shaped work of the same family lands on
+    /// the same shard and its kind-keyed caches stay hot.
+    fn route(&self, job: &JobSpec) -> usize {
         let mut h = DefaultHasher::new();
-        job.c1.width().hash(&mut h);
-        job.equivalence.hash(&mut h);
+        job.width().hash(&mut h);
+        job.kind().hash(&mut h);
+        job.equivalence().hash(&mut h);
         (h.finish() % self.shards() as u64) as usize
     }
 
     /// Allocates the next submit index and builds the request/ticket pair.
     /// `seed: None` derives the job seed from the service seed and the
     /// allocated index (so a fixed submit sequence replays exactly).
-    fn make_request(&self, job: EngineJob, seed: Option<u64>) -> (Request, JobTicket) {
+    fn make_request(&self, job: JobSpec, seed: Option<u64>) -> (Request, JobTicket) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let seed = seed.unwrap_or_else(|| job_seed(self.base_seed, id));
         let state = Arc::new(TicketState {
@@ -492,17 +722,19 @@ impl MatchService {
 
     /// Non-blocking submit with a seed derived from the service seed and
     /// the job's submit index (rejected submits consume an index too).
-    pub fn submit(&self, job: EngineJob) -> SubmitOutcome {
-        self.submit_inner(job, None)
+    /// Accepts any [`JobSpec`] kind (a bare [`EngineJob`] converts to a
+    /// promise job).
+    pub fn submit(&self, job: impl Into<JobSpec>) -> SubmitOutcome {
+        self.submit_inner(job.into(), None)
     }
 
     /// Non-blocking submit with an explicit per-job seed: the job's
     /// outcome depends only on `(job, seed)`, never on placement.
-    pub fn submit_seeded(&self, job: EngineJob, seed: u64) -> SubmitOutcome {
-        self.submit_inner(job, Some(seed))
+    pub fn submit_seeded(&self, job: impl Into<JobSpec>, seed: u64) -> SubmitOutcome {
+        self.submit_inner(job.into(), Some(seed))
     }
 
-    fn submit_inner(&self, job: EngineJob, seed: Option<u64>) -> SubmitOutcome {
+    fn submit_inner(&self, job: JobSpec, seed: Option<u64>) -> SubmitOutcome {
         let preferred = self.route(&job);
         {
             let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
@@ -536,17 +768,17 @@ impl MatchService {
     }
 
     /// Blocking submit (derived seed): waits for intake space instead of
-    /// rejecting.
-    pub fn submit_wait(&self, job: EngineJob) -> JobTicket {
-        self.submit_wait_inner(job, None)
+    /// rejecting. Accepts any [`JobSpec`] kind.
+    pub fn submit_wait(&self, job: impl Into<JobSpec>) -> JobTicket {
+        self.submit_wait_inner(job.into(), None)
     }
 
     /// Blocking submit with an explicit per-job seed.
-    pub fn submit_wait_seeded(&self, job: EngineJob, seed: u64) -> JobTicket {
-        self.submit_wait_inner(job, Some(seed))
+    pub fn submit_wait_seeded(&self, job: impl Into<JobSpec>, seed: u64) -> JobTicket {
+        self.submit_wait_inner(job.into(), Some(seed))
     }
 
-    fn submit_wait_inner(&self, job: EngineJob, seed: Option<u64>) -> JobTicket {
+    fn submit_wait_inner(&self, job: JobSpec, seed: Option<u64>) -> JobTicket {
         let preferred = self.route(&job);
         {
             let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");

@@ -40,6 +40,38 @@ impl MatchWitness {
         }
     }
 
+    /// A witness whose only condition is the input negation `ν_x`.
+    pub fn input_negation(nu: NegationMask) -> Self {
+        let n = nu.width();
+        Self::input_only(
+            NpTransform::new(nu, LinePermutation::identity(n)).expect("identity shares the width"),
+        )
+    }
+
+    /// A witness whose only condition is the output negation `ν_y`.
+    pub fn output_negation(nu: NegationMask) -> Self {
+        let n = nu.width();
+        Self::output_only(
+            NpTransform::new(nu, LinePermutation::identity(n)).expect("identity shares the width"),
+        )
+    }
+
+    /// A witness whose only condition is the input permutation `π_x`.
+    pub fn input_permutation(pi: LinePermutation) -> Self {
+        let n = pi.width();
+        Self::input_only(
+            NpTransform::new(NegationMask::identity(n), pi).expect("identity shares the width"),
+        )
+    }
+
+    /// A witness whose only condition is the output permutation `π_y`.
+    pub fn output_permutation(pi: LinePermutation) -> Self {
+        let n = pi.width();
+        Self::output_only(
+            NpTransform::new(NegationMask::identity(n), pi).expect("identity shares the width"),
+        )
+    }
+
     /// A witness with only an input transform.
     pub fn input_only(input: NpTransform) -> Self {
         let width = input.width();

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let outcome = match_n_i_collision(&c1, &c2, &mut rng)?;
-            assert_eq!(outcome.nu, inst.witness.nu_x());
+            assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x());
             classical.push(outcome.queries);
 
             // Quantum: Algorithm 1 (swap tests on |+>-blanket probes).
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let c1 = Oracle::new(inst.c1.clone());
             let c2 = Oracle::new(inst.c2.clone());
             let outcome = match_n_i_simon(&c1, &c2, &mut rng)?;
-            assert_eq!(outcome.nu, inst.witness.nu_x());
+            assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x());
             simon.push(c1.queries() + c2.queries());
         }
         classical.sort_unstable();

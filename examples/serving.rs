@@ -13,7 +13,8 @@
 
 use rand::SeedableRng;
 use revmatch::{
-    check_witness, random_instance, EngineJob, Equivalence, MatchService, MatcherConfig,
+    check_witness, random_instance, EngineJob, Equivalence, IdentifyJob, JobKind, MatchService,
+    MatcherConfig, MiterVerdict, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
     ServiceConfig, Side, SubmitOutcome, VerifyMode,
 };
 
@@ -90,6 +91,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         instances.len()
     );
 
+    // Second act: the same service carries every `JobSpec` kind — an
+    // identification walk (no promise given), an inverse-free quantum
+    // N-I job, and a complete white-box SAT verdict — side by side with
+    // the promise traffic above.
+    let ident = random_instance(Equivalence::new(Side::P, Side::N), 5, &mut rng);
+    let ni = random_instance(Equivalence::new(Side::N, Side::I), 5, &mut rng);
+    let satp = random_instance(Equivalence::new(Side::I, Side::P), 6, &mut rng);
+
+    let t_ident = service.submit_wait(IdentifyJob::new(ident.c1.clone(), ident.c2.clone()));
+    let t_quantum = service.submit_wait(QuantumPathJob {
+        equivalence: ni.equivalence,
+        c1: ni.c1.clone(),
+        c2: ni.c2.clone(),
+        algorithm: QuantumAlgorithm::Simon,
+    });
+    let t_sat = service.submit_wait(SatEquivalenceJob {
+        c1: satp.c1.clone(),
+        c2: satp.c2.clone(),
+        witness: Some(satp.witness.clone()),
+    });
+
+    let r = t_ident.wait();
+    println!(
+        "identify: planted {} pair recognized as minimal {} in {} queries across the walk",
+        ident.equivalence,
+        r.identified.expect("planted pair identifies"),
+        r.queries,
+    );
+    let r = t_quantum.wait();
+    println!(
+        "quantum (Simon): hidden shift recovered exactly in {} rounds ({} queries, no inverses)",
+        r.rounds, r.queries,
+    );
+    assert_eq!(
+        r.witness.expect("N-I pair solves").nu_x(),
+        ni.witness.nu_x()
+    );
+    let r = t_sat.wait();
+    assert!(matches!(r.miter, Some(MiterVerdict::Equivalent)));
+    println!("sat: planted witness proven equivalent on every input (complete verdict)\n");
+
     // The scrape-ready view of everything that just happened.
     let text = service.metrics_text();
     println!("--- metrics export (counters only) ---");
@@ -97,6 +139,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         !l.starts_with('#') && (l.contains("_total") || l.contains("shard_queue_depth"))
     }) {
         println!("{line}");
+    }
+    for kind in JobKind::ALL {
+        assert!(
+            service.metrics().jobs_completed_of(kind) > 0,
+            "every job kind ran through the shared service"
+        );
     }
     service.shutdown();
     println!("\nservice shut down cleanly");

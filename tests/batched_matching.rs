@@ -143,7 +143,7 @@ fn collision_matcher_matches_scalar_metric_under_fixed_seed() {
         let c2 = Oracle::new(inst.c2.clone());
         let mut r = rand::rngs::StdRng::seed_from_u64(3000 + w as u64);
         let outcome = match_n_i_collision(&c1, &c2, &mut r).unwrap();
-        assert_eq!(outcome.nu, inst.witness.nu_x(), "width {w}");
+        assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x(), "width {w}");
         assert_eq!(outcome.charged_queries, c1.queries() + c2.queries());
 
         // Scalar reference: same seed, per-probe loop reconstructed
@@ -153,7 +153,7 @@ fn collision_matcher_matches_scalar_metric_under_fixed_seed() {
         let mut r = rand::rngs::StdRng::seed_from_u64(3000 + w as u64);
         let (scalar_nu, scalar_queries) =
             scalar_collision_reference(&ScalarOnly(&c1s), &ScalarOnly(&c2s), w, &mut r);
-        assert_eq!(outcome.nu.mask(), scalar_nu, "width {w}");
+        assert_eq!(outcome.witness.nu_x().mask(), scalar_nu, "width {w}");
         assert_eq!(outcome.queries, scalar_queries, "width {w}");
     }
 }

@@ -30,10 +30,13 @@ fn five_ni_strategies_agree() {
             let via_inverse = match_n_i_via_c2_inverse(&c1, &c2_inv).unwrap();
             assert_eq!(via_inverse, expected);
 
-            let collision = match_n_i_collision(&c1, &c2, &mut rng).unwrap().nu;
+            let collision = match_n_i_collision(&c1, &c2, &mut rng)
+                .unwrap()
+                .witness
+                .nu_x();
             assert_eq!(collision, expected);
 
-            let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().nu;
+            let simon = match_n_i_simon(&c1, &c2, &mut rng).unwrap().witness.nu_x();
             assert_eq!(simon, expected);
 
             let analytic = match_n_i_quantum(

@@ -1,0 +1,285 @@
+//! Unified job model regression tests: every [`JobSpec`] kind completes
+//! through the serving layer with bit-identical results under any worker
+//! count, the service's identification path is differentially equal to
+//! the direct library call, and the Simon quantum path is deterministic
+//! under fixed seeds.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use revmatch::{
+    check_witness, identify_equivalence, job_seed, match_n_i_simon, random_instance, EngineJob,
+    Equivalence, IdentifyJob, IdentifyOptions, JobKind, JobReport, JobSpec, JobTicket, MatchError,
+    MatchService, MatcherConfig, MiterVerdict, Oracle, QuantumAlgorithm, QuantumPathJob,
+    SatEquivalenceJob, ServiceConfig, Side, VerifyMode,
+};
+
+fn epsilon() -> f64 {
+    1e-9
+}
+
+fn service(shards: usize) -> MatchService {
+    MatchService::start(
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_matcher(MatcherConfig::with_epsilon(epsilon())),
+    )
+}
+
+/// One job of every kind over deterministically generated instances.
+fn mixed_jobs(width: usize, master_seed: u64) -> Vec<JobSpec> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(master_seed);
+    let promise = random_instance(Equivalence::new(Side::Np, Side::I), width, &mut rng);
+    let ident = random_instance(Equivalence::new(Side::P, Side::N), width, &mut rng);
+    let ni = random_instance(Equivalence::new(Side::N, Side::I), width, &mut rng);
+    let npi = random_instance(Equivalence::new(Side::Np, Side::I), width, &mut rng);
+    let sat = random_instance(Equivalence::new(Side::I, Side::P), width, &mut rng);
+    vec![
+        JobSpec::Promise(EngineJob::from_instance(&promise, true)),
+        JobSpec::Identify(IdentifyJob::new(ident.c1.clone(), ident.c2.clone())),
+        JobSpec::QuantumPath(QuantumPathJob {
+            equivalence: ni.equivalence,
+            c1: ni.c1.clone(),
+            c2: ni.c2.clone(),
+            algorithm: QuantumAlgorithm::Simon,
+        }),
+        JobSpec::QuantumPath(QuantumPathJob {
+            equivalence: npi.equivalence,
+            c1: npi.c1.clone(),
+            c2: npi.c2.clone(),
+            algorithm: QuantumAlgorithm::SwapTest,
+        }),
+        JobSpec::SatEquivalence(SatEquivalenceJob {
+            c1: sat.c1.clone(),
+            c2: sat.c2.clone(),
+            witness: Some(sat.witness.clone()),
+        }),
+    ]
+}
+
+fn run_jobs(jobs: &[JobSpec], shards: usize, seed: u64) -> Vec<JobReport> {
+    let svc = service(shards);
+    let tickets: Vec<JobTicket> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| svc.submit_wait_seeded(job.clone(), job_seed(seed, i as u64)))
+        .collect();
+    let reports: Vec<JobReport> = tickets.into_iter().map(JobTicket::wait).collect();
+    svc.shutdown();
+    reports
+}
+
+/// Acceptance: all four kinds complete with bit-identical results across
+/// 1, 2 and `available_parallelism` workers, and the metrics export
+/// carries nonzero per-kind counters plus per-kind latency series.
+#[test]
+fn all_four_kinds_bit_identical_across_worker_counts() {
+    let jobs = mixed_jobs(4, 0xA11);
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let baseline = run_jobs(&jobs, 1, 77);
+    assert_eq!(baseline.len(), jobs.len());
+    for (i, report) in baseline.iter().enumerate() {
+        assert!(
+            report.witness.is_ok(),
+            "job {i} ({:?}) failed: {:?}",
+            report.kind,
+            report.witness
+        );
+    }
+    assert_eq!(baseline[1].kind, JobKind::Identify);
+    assert!(baseline[1].identified.is_some(), "identify names a class");
+    assert!(
+        matches!(baseline[4].miter, Some(MiterVerdict::Equivalent)),
+        "sat job proves the planted witness"
+    );
+    for shards in [2, parallelism] {
+        let other = run_jobs(&jobs, shards, 77);
+        for (i, (a, b)) in baseline.iter().zip(&other).enumerate() {
+            assert_eq!(a.kind, b.kind, "job {i} kind under {shards} shards");
+            assert_eq!(a.queries, b.queries, "job {i} queries under {shards}");
+            assert_eq!(
+                a.charged_queries, b.charged_queries,
+                "job {i} charged under {shards}"
+            );
+            assert_eq!(a.rounds, b.rounds, "job {i} rounds under {shards}");
+            assert_eq!(a.identified, b.identified, "job {i} class under {shards}");
+            assert_eq!(
+                a.witness.as_ref().ok(),
+                b.witness.as_ref().ok(),
+                "job {i} witness under {shards} shards"
+            );
+            assert_eq!(a.miter, b.miter, "job {i} verdict under {shards}");
+        }
+    }
+
+    // Per-kind metrics: run once more on a kept service and inspect.
+    let svc = service(2);
+    for (i, job) in jobs.iter().enumerate() {
+        let _ = svc
+            .submit_wait_seeded(job.clone(), job_seed(77, i as u64))
+            .wait();
+    }
+    let m = svc.metrics();
+    assert_eq!(m.jobs_completed_of(JobKind::Promise), 1);
+    assert_eq!(m.jobs_completed_of(JobKind::Identify), 1);
+    assert_eq!(m.jobs_completed_of(JobKind::Quantum), 2);
+    assert_eq!(m.jobs_completed_of(JobKind::Sat), 1);
+    assert_eq!(m.jobs_failed(), 0);
+    let text = svc.metrics_text();
+    for needle in [
+        "revmatch_jobs_promise_total 1",
+        "revmatch_jobs_identify_total 1",
+        "revmatch_jobs_quantum_total 2",
+        "revmatch_jobs_sat_total 1",
+        "revmatch_job_kind_latency_seconds_count{kind=\"promise\"} 1",
+        "revmatch_job_kind_latency_seconds_count{kind=\"identify\"} 1",
+        "revmatch_job_kind_latency_seconds_count{kind=\"quantum\"} 2",
+        "revmatch_job_kind_latency_seconds_count{kind=\"sat\"} 1",
+        "revmatch_job_kind_latency_seconds_bucket{kind=\"sat\",le=",
+    ] {
+        assert!(text.contains(needle), "missing {needle}\n{text}");
+    }
+    svc.shutdown();
+}
+
+/// A SAT-equivalence job on an unrelated pair yields a counterexample
+/// verdict — a definitive answer, not a failure.
+#[test]
+fn sat_jobs_report_counterexamples_without_failing() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+    let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+    assert!(!a.functionally_eq(&b), "seed picked an equivalent pair");
+    let svc = service(1);
+    let report = svc
+        .submit_wait(SatEquivalenceJob {
+            c1: a.clone(),
+            c2: b.clone(),
+            witness: None,
+        })
+        .wait();
+    match report.miter {
+        Some(MiterVerdict::Counterexample { input }) => {
+            assert_ne!(a.apply(input), b.apply(input), "counterexample is real");
+        }
+        other => panic!("expected a counterexample, got {other:?}"),
+    }
+    assert!(matches!(report.witness, Err(MatchError::PromiseViolated)));
+    assert_eq!(svc.metrics().jobs_failed(), 0, "a verdict is not a failure");
+    assert_eq!(svc.metrics().jobs_failed_of(JobKind::Sat), 0);
+    svc.shutdown();
+}
+
+/// An identify job on an unrelated pair answers `NoEquivalence` cleanly.
+#[test]
+fn identify_jobs_report_no_equivalence_cleanly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+    let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+    let svc = service(1);
+    let report = svc.submit_wait(IdentifyJob::new(a, b)).wait();
+    assert!(matches!(report.witness, Err(MatchError::NoEquivalence)));
+    assert!(report.identified.is_none());
+    assert_eq!(
+        svc.metrics().jobs_failed(),
+        0,
+        "a clean negative answer is not a failure"
+    );
+    svc.shutdown();
+}
+
+/// The Simon path is deterministic under fixed seeds: the same `(job,
+/// seed)` yields the same witness, rounds and query count, directly and
+/// through the service at every worker count.
+#[test]
+fn simon_path_is_deterministic_under_fixed_seeds() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51A0);
+    for width in [3usize, 5] {
+        let inst = random_instance(Equivalence::new(Side::N, Side::I), width, &mut rng);
+        let job = QuantumPathJob {
+            equivalence: inst.equivalence,
+            c1: inst.c1.clone(),
+            c2: inst.c2.clone(),
+            algorithm: QuantumAlgorithm::Simon,
+        };
+        let seed = 0xD5 + width as u64;
+        // Direct reference run with the same per-job RNG construction.
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let mut job_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let direct = match_n_i_simon(&c1, &c2, &mut job_rng).unwrap();
+        assert_eq!(direct.witness.nu_x(), inst.witness.nu_x());
+        for shards in [1usize, 2, 4] {
+            let svc = service(shards);
+            let report = svc.submit_wait_seeded(job.clone(), seed).wait();
+            let witness = report.witness.expect("promised N-I pair solves");
+            assert_eq!(witness, direct.witness, "width {width}, {shards} shards");
+            assert_eq!(
+                report.rounds, direct.rounds,
+                "width {width}, {shards} shards"
+            );
+            assert_eq!(report.queries, direct.queries);
+            assert_eq!(report.charged_queries, direct.charged_queries);
+            svc.shutdown();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential: `JobSpec::Identify` through the service returns the
+    /// same minimal equivalence, the same validated witness and the same
+    /// walk-wide query total as direct `identify_equivalence`, across
+    /// 1/2/N workers.
+    #[test]
+    fn service_identify_matches_direct_walk(seed in any::<u64>(), w in 3usize..=4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Plant an arbitrary class so the walk exercises different
+        // depths (including hard classes via brute force at this width).
+        let classes: Vec<Equivalence> = Equivalence::all().collect();
+        let planted = classes[(seed % classes.len() as u64) as usize];
+        let inst = random_instance(planted, w, &mut rng);
+        let job_seed_value = seed ^ 0x1DE7;
+
+        // Direct walk with the job's own RNG construction and the same
+        // matcher tuning the service uses.
+        let options = IdentifyOptions {
+            config: MatcherConfig::with_epsilon(epsilon()),
+            allow_brute_force: true,
+            verify: VerifyMode::Exhaustive,
+        };
+        let mut direct_rng = rand::rngs::StdRng::seed_from_u64(job_seed_value);
+        let direct = identify_equivalence(&inst.c1, &inst.c2, &options, &mut direct_rng)
+            .unwrap()
+            .expect("planted pair identifies");
+        prop_assert!(direct.witness.conforms_to(direct.equivalence));
+
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        for shards in [1usize, 2, parallelism] {
+            let svc = service(shards);
+            let report = svc
+                .submit_wait_seeded(
+                    IdentifyJob::new(inst.c1.clone(), inst.c2.clone()),
+                    job_seed_value,
+                )
+                .wait();
+            let witness = report.witness.expect("service walk identifies");
+            prop_assert_eq!(report.identified, Some(direct.equivalence),
+                "minimal class, {} shards", shards);
+            prop_assert_eq!(&witness, &direct.witness, "witness, {} shards", shards);
+            prop_assert_eq!(report.queries, direct.queries,
+                "walk-wide query accounting, {} shards", shards);
+            prop_assert_eq!(report.rounds, direct.classes_tried as u64);
+            // And the witness actually explains the pair.
+            let mut check_rng = rand::rngs::StdRng::seed_from_u64(1);
+            prop_assert!(check_witness(
+                &inst.c1, &inst.c2, &witness, VerifyMode::Exhaustive, &mut check_rng
+            ).unwrap());
+            svc.shutdown();
+        }
+    }
+}

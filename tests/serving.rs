@@ -107,11 +107,7 @@ fn full_queue_rejects_without_dropping_accepted_jobs() {
         match service.submit(job.clone()) {
             SubmitOutcome::Enqueued(t) => tickets.push(t),
             SubmitOutcome::QueueFull(handed_back) => {
-                assert_eq!(
-                    handed_back.c1.width(),
-                    job.c1.width(),
-                    "job returned intact"
-                );
+                assert_eq!(handed_back.width(), job.c1.width(), "job returned intact");
                 rejected += 1;
             }
         }

@@ -173,7 +173,7 @@ fn quantum_matchers_on_structured_bases() {
     let nu = revmatch::match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
     assert_eq!(nu, inst.witness.nu_x());
     let simon = revmatch::match_n_i_simon(&c1, &c2, &mut rng).unwrap();
-    assert_eq!(simon.nu, inst.witness.nu_x());
+    assert_eq!(simon.witness.nu_x(), inst.witness.nu_x());
 
     let inst = revmatch::random_instance_from(base, Equivalence::new(Side::Np, Side::I), &mut rng);
     let c1 = Oracle::new(inst.c1.clone());
