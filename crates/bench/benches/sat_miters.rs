@@ -25,10 +25,11 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use revmatch::{
-    check_witness_sat_budgeted_with, random_wide_instance, Equivalence, MiterEncoding,
-    PromiseInstance, Side, SolverBackend,
+    check_witness_sat_budgeted_with, check_witness_sat_with, random_wide_instance, Equivalence,
+    FamilyMiter, MatchWitness, MiterEncoding, PromiseInstance, Side, SolverBackend, WitnessFamily,
 };
-use revmatch_sat::{CdclSolver, Solve, Solver};
+use revmatch_circuit::NegationMask;
+use revmatch_sat::{AssumedSolve, CdclSolver, Solve, Solver};
 
 /// Budget far above what either backend needs at the measured widths, so
 /// every verdict is definitive and the comparison is apples to apples.
@@ -176,10 +177,179 @@ fn verdict_stream_summary() {
     }
 }
 
+/// The witness-family sweep: verdicts for `FAMILY_CANDIDATES` N-N
+/// witness candidates against one pair, shared-incremental vs 8 cold
+/// solves — the PR-5 headline.
+///
+/// The pair is built with a **planted witness family**: a nonlinear
+/// random cascade on the low `n-3` lines tensored with a linear
+/// (CNOT/NOT) cascade on the top 3. A linear block satisfies
+/// `g(x ⊕ ν) = g(x) ⊕ (g(ν) ⊕ g(0))` for *every* mask, so all 8 masks
+/// over the top lines are genuine N-N witnesses — every candidate
+/// verdict is a full UNSAT equivalence proof, the expensive direction.
+///
+/// The cold path is what pre-enumeration code had to do: a fresh baked
+/// miter and a fresh solver per candidate (`check_witness_sat_with`).
+/// The family path builds one selector-encoded [`FamilyMiter`] plus one
+/// [`CdclSolver`] (both inside the timed region) and answers every
+/// candidate with `solve_under`: the nonlinear block's selectors keep
+/// the same polarity across the whole family, so the clauses learned in
+/// the first proof (~300 conflicts at width 10) collapse the remaining
+/// proofs to a few dozen conflicts each. Candidates are swept in Gray
+/// order so consecutive assumption sets differ in one selector.
+/// The acceptance bar lives here: **≥ 3× at width 10**.
+const FAMILY_CANDIDATES: usize = 8;
+
+/// A reversible product circuit: nonlinear (Toffoli/CNOT/NOT) cascade on
+/// lines `0..split`, linear (CNOT/NOT) cascade on `split..width`, no
+/// gate crossing the cut.
+fn product_circuit(
+    width: usize,
+    split: usize,
+    gates: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> revmatch_circuit::Circuit {
+    use rand::Rng;
+    use revmatch_circuit::Gate;
+    let mut gs = Vec::with_capacity(gates);
+    let other = |t: usize, lo: usize, hi: usize, rng: &mut rand::rngs::StdRng| loop {
+        let a = rng.gen_range(lo..hi);
+        if a != t {
+            return a;
+        }
+    };
+    for _ in 0..gates {
+        if rng.gen_bool(0.25) {
+            // Linear-block gate.
+            let t = rng.gen_range(split..width);
+            if rng.gen_bool(0.3) {
+                gs.push(Gate::not(t));
+            } else {
+                gs.push(Gate::cnot(other(t, split, width, rng), t));
+            }
+        } else {
+            // Nonlinear-block gate.
+            let t = rng.gen_range(0..split);
+            match rng.gen_range(0..3) {
+                0 => gs.push(Gate::not(t)),
+                1 => gs.push(Gate::cnot(other(t, 0, split, rng), t)),
+                _ => {
+                    let a = other(t, 0, split, rng);
+                    let b = loop {
+                        let b = rng.gen_range(0..split);
+                        if b != t && b != a {
+                            break b;
+                        }
+                    };
+                    gs.push(Gate::toffoli(a, b, t));
+                }
+            }
+        }
+    }
+    revmatch_circuit::Circuit::from_gates(width, gs).expect("lines in range")
+}
+
+/// The 8 planted N-N witnesses: Gray-ordered masks over the linear
+/// block, each with its induced output mask `g(ν) ⊕ g(0)`.
+fn family_candidates(c2: &revmatch_circuit::Circuit, split: usize) -> Vec<MatchWitness> {
+    let width = c2.width();
+    let id = revmatch_circuit::LinePermutation::identity(width);
+    let base = c2.apply(0);
+    (0..FAMILY_CANDIDATES as u64)
+        .map(|i| {
+            let nu = (i ^ (i >> 1)) << split;
+            let mu = c2.apply(nu) ^ base;
+            MatchWitness::new(
+                revmatch_circuit::NpTransform::new(
+                    NegationMask::new(nu, width).expect("mask in range"),
+                    id.clone(),
+                )
+                .expect("same width"),
+                revmatch_circuit::NpTransform::new(
+                    NegationMask::new(mu, width).expect("mask in range"),
+                    id.clone(),
+                )
+                .expect("same width"),
+            )
+            .expect("same width")
+        })
+        .collect()
+}
+
+fn family_sweep_summary() {
+    println!(
+        "\n== witness-family sweeps: {FAMILY_CANDIDATES} planted N-N witnesses per pair \
+         (shared incremental solver vs cold miter per candidate) =="
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "width", "cold×8", "family", "speedup"
+    );
+    for width in [8usize, 10, 12] {
+        let split = width - 3;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let c2 = product_circuit(width, split, 3 * width, &mut rng);
+        let c1 = c2.clone();
+        let candidates = family_candidates(&c2, split);
+
+        // Cold baseline: a fresh baked miter + solver per candidate.
+        let mut cold_verdicts = Vec::new();
+        let cold_s = best_secs(3, || {
+            cold_verdicts.clear();
+            for w in &candidates {
+                let verdict =
+                    check_witness_sat_with(&c1, &c2, w, SolverBackend::Cdcl).expect("widths agree");
+                cold_verdicts.push(verdict.is_equivalent());
+            }
+        });
+
+        // Family path: one selector miter, one solver, assumptions per
+        // candidate — encoding and solver construction are in the timed
+        // region.
+        let mut family_verdicts = Vec::new();
+        let family_s = best_secs(3, || {
+            family_verdicts.clear();
+            let miter = FamilyMiter::build(&c1, &c2, WitnessFamily::BothNegations)
+                .expect("width under the family encode cap");
+            let mut solver = CdclSolver::new(&miter.cnf).with_branch_hint(miter.input_hint());
+            for w in &candidates {
+                let assumptions = miter.assumptions(w).expect("candidate in family");
+                let is_witness =
+                    matches!(solver.solve_under(&assumptions), AssumedSolve::Unsat { .. });
+                family_verdicts.push(is_witness);
+            }
+        });
+
+        assert_eq!(
+            cold_verdicts, family_verdicts,
+            "width {width}: family sweep must reproduce the cold verdicts"
+        );
+        assert!(
+            cold_verdicts.iter().all(|&v| v),
+            "width {width}: every planted mask must verify"
+        );
+        let speedup = cold_s / family_s;
+        println!(
+            "{width:>6} {:>10.1}ms {:>10.1}ms {:>8.1}x",
+            cold_s * 1e3,
+            family_s * 1e3,
+            speedup
+        );
+        if width == 10 {
+            assert!(
+                speedup >= 3.0,
+                "acceptance bar: the shared incremental family sweep must be ≥ 3x \
+                 {FAMILY_CANDIDATES} cold solves at width 10 (got {speedup:.1}x)"
+            );
+        }
+    }
+}
+
 criterion_group!(benches, bench_miter_backends);
 
 fn main() {
     benches();
     one_shot_summary();
     verdict_stream_summary();
+    family_sweep_summary();
 }

@@ -20,7 +20,10 @@
 //! * `quantum` — inverse-free N-I jobs on the quantum path
 //!   (Simon-style sampling where `2n+1` simulated qubits fit, swap-test
 //!   Algorithm 1 beyond);
-//! * `sat` — complete white-box verdicts on the planted witness.
+//! * `sat` — complete white-box verdicts on the planted witness;
+//! * `enumerate` — sweep the whole N-I negation-mask family of the
+//!   pair on one incremental-assumption solver, counting *all*
+//!   witnesses (per-shard solver-cache reuse makes repeats warm).
 //!
 //! At the end the generator drains the service, prints a per-kind and
 //! latency/throughput summary plus the full Prometheus metrics export,
@@ -33,9 +36,9 @@
 use std::time::{Duration, Instant};
 
 use revmatch::{
-    random_instance, EngineJob, Equivalence, IdentifyJob, JobKind, JobSpec, MatchService,
-    MatcherConfig, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob, ServiceConfig, Side,
-    SolverBackend, SubmitOutcome,
+    random_instance, EngineJob, EnumerateJob, Equivalence, IdentifyJob, JobKind, JobSpec,
+    MatchService, MatcherConfig, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
+    ServiceConfig, Side, SolverBackend, SubmitOutcome, WitnessFamily,
 };
 use revmatch_bench::{service_flags, Flags};
 
@@ -114,6 +117,18 @@ fn job_for_kind(
                 c2: inst.c2,
                 witness: Some(inst.witness),
             })
+        }
+        // Enumeration jobs sweep the full N-I mask family of a planted
+        // pair on the shared incremental solver (2^width candidates per
+        // job; the cyclic pool makes the per-shard solver cache hit).
+        JobKind::Enumerate => {
+            let e = Equivalence::new(Side::N, Side::I);
+            let inst = random_instance(e, width, rng);
+            JobSpec::Enumerate(EnumerateJob::new(
+                inst.c1,
+                inst.c2,
+                WitnessFamily::InputNegation,
+            ))
         }
     }
 }
@@ -250,6 +265,19 @@ fn main() {
         }
     }
     println!("per-kind completions:{by_kind}");
+    if kinds.contains(&JobKind::Enumerate) {
+        let done = m.jobs_completed_of(JobKind::Enumerate);
+        assert!(
+            done == 0 || m.enumerated_witnesses() >= done,
+            "every planted enumeration job finds at least its planted witness"
+        );
+        println!(
+            "enumerate: {} jobs found {} family witnesses | {} solver cache hits",
+            done,
+            m.enumerated_witnesses(),
+            m.solver_cache_hits(),
+        );
+    }
     if sat_verify {
         assert_eq!(
             m.jobs_sat_verified(),

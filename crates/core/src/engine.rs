@@ -29,6 +29,7 @@ use rand::Rng;
 use revmatch_circuit::Circuit;
 use revmatch_sat::SolverBackend;
 
+use crate::enumerate::WitnessFamily;
 use crate::equivalence::Equivalence;
 use crate::error::MatchError;
 use crate::matchers::MatcherConfig;
@@ -37,7 +38,7 @@ use crate::promise::PromiseInstance;
 use crate::service::{job_seed, JobTicket, MatchService, ServiceConfig};
 use crate::witness::MatchWitness;
 
-/// The four job families the serving stack executes — see [`JobSpec`].
+/// The five job families the serving stack executes — see [`JobSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobKind {
     /// Promise matching: recover the witness of a promised X-Y pair.
@@ -50,15 +51,19 @@ pub enum JobKind {
     Quantum,
     /// Direct complete equivalence check by SAT miter (white box).
     Sat,
+    /// Witness enumeration: count every transform of a family explaining
+    /// the pair, via incremental-assumption SAT over one shared solver.
+    Enumerate,
 }
 
 impl JobKind {
-    /// All four kinds, in metric-export order.
-    pub const ALL: [JobKind; 4] = [
+    /// All five kinds, in metric-export order.
+    pub const ALL: [JobKind; 5] = [
         JobKind::Promise,
         JobKind::Identify,
         JobKind::Quantum,
         JobKind::Sat,
+        JobKind::Enumerate,
     ];
 
     /// The stable lowercase label used in metric names and flags.
@@ -68,16 +73,18 @@ impl JobKind {
             JobKind::Identify => "identify",
             JobKind::Quantum => "quantum",
             JobKind::Sat => "sat",
+            JobKind::Enumerate => "enumerate",
         }
     }
 
-    /// Index into per-kind metric arrays (dense, `0..4`).
+    /// Index into per-kind metric arrays (dense, `0..5`).
     pub(crate) fn index(self) -> usize {
         match self {
             JobKind::Promise => 0,
             JobKind::Identify => 1,
             JobKind::Quantum => 2,
             JobKind::Sat => 3,
+            JobKind::Enumerate => 4,
         }
     }
 }
@@ -97,6 +104,7 @@ impl std::str::FromStr for JobKind {
             "identify" => Ok(JobKind::Identify),
             "quantum" => Ok(JobKind::Quantum),
             "sat" => Ok(JobKind::Sat),
+            "enumerate" => Ok(JobKind::Enumerate),
             other => Err(MatchError::Parse {
                 reason: format!("unknown job kind {other:?}"),
             }),
@@ -213,7 +221,27 @@ pub struct SatEquivalenceJob {
     pub witness: Option<MatchWitness>,
 }
 
-/// A job for the serving stack: one of the four scenario families, all
+/// A witness-enumeration job: count (and exhibit) **every** transform of
+/// `family` explaining the pair, by an incremental-assumption SAT sweep
+/// over one shared solver (see [`crate::enumerate`]).
+#[derive(Debug, Clone)]
+pub struct EnumerateJob {
+    /// The transformed circuit.
+    pub c1: Circuit,
+    /// The base circuit.
+    pub c2: Circuit,
+    /// The candidate family to sweep.
+    pub family: WitnessFamily,
+}
+
+impl EnumerateJob {
+    /// An enumeration job over a circuit pair.
+    pub fn new(c1: Circuit, c2: Circuit, family: WitnessFamily) -> Self {
+        Self { c1, c2, family }
+    }
+}
+
+/// A job for the serving stack: one of the five scenario families, all
 /// flowing through the same intake queue, shard routing, caches and
 /// metrics of [`crate::service::MatchService`].
 ///
@@ -229,6 +257,8 @@ pub enum JobSpec {
     QuantumPath(QuantumPathJob),
     /// Complete white-box equivalence verdict by SAT miter.
     SatEquivalence(SatEquivalenceJob),
+    /// Witness enumeration over a candidate family.
+    Enumerate(EnumerateJob),
 }
 
 impl JobSpec {
@@ -239,6 +269,7 @@ impl JobSpec {
             JobSpec::Identify(_) => JobKind::Identify,
             JobSpec::QuantumPath(_) => JobKind::Quantum,
             JobSpec::SatEquivalence(_) => JobKind::Sat,
+            JobSpec::Enumerate(_) => JobKind::Enumerate,
         }
     }
 
@@ -249,16 +280,17 @@ impl JobSpec {
             JobSpec::Identify(j) => j.c1.width(),
             JobSpec::QuantumPath(j) => j.c1.width(),
             JobSpec::SatEquivalence(j) => j.c1.width(),
+            JobSpec::Enumerate(j) => j.c1.width(),
         }
     }
 
-    /// The promised equivalence, for the kinds that carry one (promise
-    /// and quantum-path jobs; identification and plain SAT checks have
-    /// no a-priori class).
+    /// The promised (or enumerated) equivalence, for the kinds that carry
+    /// one (identification and plain SAT checks have no a-priori class).
     pub fn equivalence(&self) -> Option<Equivalence> {
         match self {
             JobSpec::Promise(j) => Some(j.equivalence),
             JobSpec::QuantumPath(j) => Some(j.equivalence),
+            JobSpec::Enumerate(j) => Some(j.family.equivalence()),
             JobSpec::Identify(_) | JobSpec::SatEquivalence(_) => None,
         }
     }
@@ -285,6 +317,12 @@ impl From<QuantumPathJob> for JobSpec {
 impl From<SatEquivalenceJob> for JobSpec {
     fn from(job: SatEquivalenceJob) -> Self {
         JobSpec::SatEquivalence(job)
+    }
+}
+
+impl From<EnumerateJob> for JobSpec {
+    fn from(job: EnumerateJob) -> Self {
+        JobSpec::Enumerate(job)
     }
 }
 
@@ -315,6 +353,10 @@ pub struct JobReport {
     pub rounds: u64,
     /// The minimal equivalence found, for identification jobs.
     pub identified: Option<Equivalence>,
+    /// Number of family witnesses found, for enumeration jobs (`Some(0)`
+    /// proves the pair is not family-equivalent — a clean negative, with
+    /// [`MatchError::NoEquivalence`] in the witness slot).
+    pub witness_count: Option<u64>,
     /// SAT-miter verdict: present for SAT-equivalence jobs and for
     /// promise jobs that asked for verification
     /// ([`EngineJob::with_sat_verification`]) and recovered a witness.

@@ -50,6 +50,18 @@ pub enum MatchError {
     /// A budgeted complete check (SAT miter) ran out of search budget
     /// before reaching a verdict.
     Inconclusive,
+    /// Witness enumeration was requested beyond the supported width for
+    /// the family (the candidate space grows as `2^n`/`4^n`/`n!`).
+    EnumerationTooWide {
+        /// Requested width.
+        width: usize,
+        /// Supported maximum for this family.
+        max: usize,
+    },
+    /// A candidate witness lies outside the enumerated family's
+    /// equivalence class (e.g. a permutation candidate offered to a
+    /// negation-mask family).
+    FamilyMismatch,
     /// Identification walked the whole lattice and no equivalence class
     /// explains the pair — a clean negative answer, not a failure.
     NoEquivalence,
@@ -87,6 +99,12 @@ impl fmt::Display for MatchError {
             }
             Self::Inconclusive => {
                 write!(f, "budgeted complete check exhausted its search budget")
+            }
+            Self::EnumerationTooWide { width, max } => {
+                write!(f, "witness enumeration limited to width {max}, got {width}")
+            }
+            Self::FamilyMismatch => {
+                write!(f, "candidate witness lies outside the enumerated family")
             }
             Self::NoEquivalence => {
                 write!(f, "no equivalence class explains the pair")

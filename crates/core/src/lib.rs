@@ -107,6 +107,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod enumerate;
 pub mod equivalence;
 pub mod error;
 pub mod hardness;
@@ -121,8 +122,12 @@ pub mod verify;
 pub mod witness;
 
 pub use engine::{
-    random_job_batch, BatchOutcome, EngineJob, IdentifyJob, JobKind, JobReport, JobSpec,
-    MatchEngine, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
+    random_job_batch, BatchOutcome, EngineJob, EnumerateJob, IdentifyJob, JobKind, JobReport,
+    JobSpec, MatchEngine, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
+};
+pub use enumerate::{
+    count_witnesses_sat, enumerate_witnesses_sat, enumerate_witnesses_sat_with, sweep_family,
+    EnumerationStrategy, FamilyMiter, WitnessEnumeration, WitnessFamily,
 };
 pub use equivalence::{Equivalence, Side};
 pub use error::MatchError;

@@ -197,6 +197,27 @@ pub fn solve_promise_report(
     MatcherRegistry::global().solve(equivalence, oracles, config, rng as &mut dyn rand::RngCore)
 }
 
+/// [`solve_promise_report`] returning the selected registry entry's
+/// stable name alongside the report — the serving layer's hook for
+/// per-registry-entry metrics.
+///
+/// # Errors
+///
+/// Same as [`solve_promise`].
+pub fn solve_promise_named(
+    equivalence: Equivalence,
+    oracles: &ProblemOracles<'_>,
+    config: &MatcherConfig,
+    rng: &mut impl Rng,
+) -> Result<(&'static str, MatchReport), MatchError> {
+    MatcherRegistry::global().solve_named(
+        equivalence,
+        oracles,
+        config,
+        rng as &mut dyn rand::RngCore,
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Shared helpers.
 

@@ -326,9 +326,30 @@ impl MatcherRegistry {
         config: &MatcherConfig,
         rng: &mut dyn RngCore,
     ) -> Result<MatchReport, MatchError> {
+        self.solve_named(equivalence, oracles, config, rng)
+            .map(|(_, report)| report)
+    }
+
+    /// [`MatcherRegistry::solve`] returning the selected entry's stable
+    /// [`Matcher::name`] alongside the report — the serving layer keys
+    /// its per-registry-entry metrics on it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MatcherRegistry::solve`].
+    pub fn solve_named(
+        &self,
+        equivalence: Equivalence,
+        oracles: &ProblemOracles<'_>,
+        config: &MatcherConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<(&'static str, MatchReport), MatchError> {
         let availability = InverseAvailability::of(oracles);
         match self.select(equivalence, availability) {
-            Some(matcher) => matcher.run(oracles, config, rng),
+            Some(matcher) => {
+                let name = matcher.name();
+                matcher.run(oracles, config, rng).map(|r| (name, r))
+            }
             None if self.iter().any(|m| m.equivalence() == equivalence) => {
                 Err(MatchError::OpenProblem {
                     case: format!("{equivalence} without the required inverse oracles"),
@@ -402,6 +423,30 @@ fn n_p_witness(
 /// Search budget for the white-box SAT entry (matches the serving
 /// layer's default miter budget).
 const SAT_ENTRY_BUDGET: usize = 2_000_000;
+
+/// Body of the white-box enumeration entries: sweep the family on the
+/// incremental solver and report the first witness of the deterministic
+/// candidate order (no oracle queries; `rounds` counts solver calls).
+fn run_enumeration_entry(
+    oracles: &ProblemOracles<'_>,
+    family: crate::enumerate::WitnessFamily,
+) -> Result<MatchReport, MatchError> {
+    let c1 = oracles.c1.circuit();
+    let c2 = oracles.c2.circuit();
+    let found = crate::enumerate::enumerate_witnesses_sat(c1, c2, family)?;
+    let witness = found
+        .witnesses
+        .first()
+        .cloned()
+        .ok_or(MatchError::PromiseViolated)?;
+    Ok(MatchReport {
+        witness,
+        queries: 0,
+        charged_queries: 0,
+        rounds: found.solves,
+        verdict: Verdict::Definitive,
+    })
+}
 
 fn builtin_entries() -> Vec<Entry> {
     use Side::{Np, I, N, P};
@@ -744,6 +789,48 @@ fn builtin_entries() -> Vec<Entry> {
                         match_n_p_via_inverses(oracles.c1, c1_inv(oracles)?, c2_inv(oracles)?)?;
                     n_p_witness(nu, pi)
                 })
+            },
+        },
+        // --- Witness enumeration via incremental SAT (white box) ---------
+        // Complete family sweeps on the shared-solver assumption path:
+        // the recovered witness is the first of the enumerated set
+        // (deterministic candidate order), and a zero count refutes the
+        // promise outright. Registered after the classical entries so
+        // `select` still prefers the O(1)/O(log n) query algorithms.
+        Entry {
+            name: "n-i/sat-enumerate",
+            equivalence: e(N, I),
+            path: Path::Sat,
+            requires: InverseAvailability::None,
+            run: |oracles, _config, _rng| {
+                run_enumeration_entry(oracles, crate::enumerate::WitnessFamily::InputNegation)
+            },
+        },
+        Entry {
+            name: "i-n/sat-enumerate",
+            equivalence: e(I, N),
+            path: Path::Sat,
+            requires: InverseAvailability::None,
+            run: |oracles, _config, _rng| {
+                run_enumeration_entry(oracles, crate::enumerate::WitnessFamily::OutputNegation)
+            },
+        },
+        Entry {
+            name: "p-i/sat-enumerate",
+            equivalence: e(P, I),
+            path: Path::Sat,
+            requires: InverseAvailability::None,
+            run: |oracles, _config, _rng| {
+                run_enumeration_entry(oracles, crate::enumerate::WitnessFamily::InputPermutation)
+            },
+        },
+        Entry {
+            name: "i-p/sat-enumerate",
+            equivalence: e(I, P),
+            path: Path::Sat,
+            requires: InverseAvailability::None,
+            run: |oracles, _config, _rng| {
+                run_enumeration_entry(oracles, crate::enumerate::WitnessFamily::OutputPermutation)
             },
         },
         // --- I-I via SAT (white box, complete) ---------------------------

@@ -103,7 +103,28 @@ impl MiterVerdict {
 /// `state[i]` is the literal currently carrying line `i`; NOT gates flip
 /// the phase with no new variables, and each controlled gate introduces a
 /// firing variable and an updated target variable.
-fn encode_circuit(circuit: &Circuit, cnf: &mut Cnf, state: &mut [Lit], next_var: &mut usize) {
+///
+/// Tseitin `out ↔ a ⊕ b`; returns `out`. Shared by the baked miter's
+/// diff bits and [`crate::enumerate`]'s selector gadgets, so the two
+/// encodings can never diverge.
+pub(crate) fn encode_xor(cnf: &mut Cnf, a: Lit, b: Lit, next_var: &mut usize) -> Lit {
+    let out = Lit::positive(Var(*next_var));
+    *next_var += 1;
+    cnf.add_clause(Clause::new(vec![out.negated(), a, b]));
+    cnf.add_clause(Clause::new(vec![out.negated(), a.negated(), b.negated()]));
+    cnf.add_clause(Clause::new(vec![out, a.negated(), b]));
+    cnf.add_clause(Clause::new(vec![out, a, b.negated()]));
+    out
+}
+
+/// Shared with [`crate::enumerate`], whose family miters wire the same
+/// gate encoding to selector-controlled input/output transforms.
+pub(crate) fn encode_circuit(
+    circuit: &Circuit,
+    cnf: &mut Cnf,
+    state: &mut [Lit],
+    next_var: &mut usize,
+) {
     for gate in circuit.gates() {
         if gate.control_count() == 0 {
             // NOT: pure phase flip.
@@ -363,13 +384,7 @@ fn build_miter(
         if nu_y.bit(src) {
             b = b.negated();
         }
-        let diff = Lit::positive(Var(next_var));
-        next_var += 1;
-        cnf.add_clause(Clause::new(vec![diff.negated(), a, b]));
-        cnf.add_clause(Clause::new(vec![diff.negated(), a.negated(), b.negated()]));
-        cnf.add_clause(Clause::new(vec![diff, a.negated(), b]));
-        cnf.add_clause(Clause::new(vec![diff, a, b.negated()]));
-        diff_lits.push(diff);
+        diff_lits.push(encode_xor(&mut cnf, a, b, &mut next_var));
     }
     cnf.add_clause(Clause::new(diff_lits));
     Ok(MiterEncoding { cnf, inputs: n })

@@ -149,11 +149,26 @@ impl ShardCaches {
     /// its learned clauses) when this worker has verified the same
     /// `(kind, miter)` before. The flag reports a solver-cache hit.
     pub fn solver_for(&mut self, kind: JobKind, miter: &MiterEncoding) -> (&mut CdclSolver, bool) {
+        self.solver_for_cnf(kind, &miter.cnf, || miter.input_hint())
+    }
+
+    /// The generalized form of [`ShardCaches::solver_for`]: a cached CDCL
+    /// solver for any `(kind, formula)` key — witness-family miters reuse
+    /// it so one solver's learned clauses serve a whole family *across
+    /// jobs*, not just across a single job's candidates (assumption-based
+    /// solving leaves the cached solver clean; blocking clauses would
+    /// not, which is why the service sweeps with assumptions).
+    pub fn solver_for_cnf(
+        &mut self,
+        kind: JobKind,
+        cnf: &Cnf,
+        hint: impl FnOnce() -> Vec<usize>,
+    ) -> (&mut CdclSolver, bool) {
         self.solvers.get_or_insert_with(
-            |(k, cnf)| *k == kind && *cnf == miter.cnf,
+            |(k, cached)| *k == kind && *cached == *cnf,
             || {
-                let solver = CdclSolver::new(&miter.cnf).with_branch_hint(miter.input_hint());
-                ((kind, miter.cnf.clone()), solver)
+                let solver = CdclSolver::new(cnf).with_branch_hint(hint());
+                ((kind, cnf.clone()), solver)
             },
         )
     }

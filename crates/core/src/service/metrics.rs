@@ -4,14 +4,22 @@
 //! counters for job and query totals, one queue-depth gauge per shard, and
 //! two histograms (job latency, intake depth at submit). Everything is
 //! plain atomics — recording a sample is a handful of `fetch_add`s, cheap
-//! enough to leave on in production — and [`Metrics::render`] serializes
+//! enough to leave on in production. The one exception is the
+//! per-registry-entry counter map, whose label set is dynamic (any
+//! registered matcher name): it takes a mutex once per completed job,
+//! far off any hot path. [`Metrics::render`] serializes
 //! the whole registry in the Prometheus text exposition format (`# HELP`
 //! / `# TYPE` headers, `_bucket{le="…"}` cumulative histogram rows), so
 //! the output can be scraped or diffed as-is.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::engine::JobKind;
+
+/// Number of [`JobKind`]s — sizes the dense per-kind metric arrays.
+const KINDS: usize = JobKind::ALL.len();
 
 /// A fixed-bucket cumulative histogram over `u64` samples.
 ///
@@ -143,12 +151,19 @@ pub struct Metrics {
     sat_unknown: AtomicU64,
     table_cache_hits: AtomicU64,
     solver_cache_hits: AtomicU64,
+    /// Family witnesses found across completed enumeration jobs.
+    enumerated_witnesses: AtomicU64,
     /// Completions per [`JobKind`], indexed by `JobKind::index`.
-    completed_by_kind: [AtomicU64; 4],
+    completed_by_kind: [AtomicU64; KINDS],
     /// Failures per [`JobKind`], indexed by `JobKind::index`.
-    failed_by_kind: [AtomicU64; 4],
+    failed_by_kind: [AtomicU64; KINDS],
     /// Accept-to-completion latency per [`JobKind`].
-    latency_by_kind: [Histogram; 4],
+    latency_by_kind: [Histogram; KINDS],
+    /// Completions per registry entry (keyed by the entry's stable
+    /// [`crate::matchers::Matcher::name`]). The label set is dynamic, so
+    /// this is the registry's one mutex — taken once per completed job
+    /// that ran a named matcher, far off any hot path.
+    entry_completions: Mutex<BTreeMap<&'static str, u64>>,
     shard_depth: Vec<AtomicU64>,
     latency: Histogram,
     intake_depth: Histogram,
@@ -167,9 +182,11 @@ impl Metrics {
             sat_unknown: AtomicU64::new(0),
             table_cache_hits: AtomicU64::new(0),
             solver_cache_hits: AtomicU64::new(0),
+            enumerated_witnesses: AtomicU64::new(0),
             completed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             failed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_by_kind: std::array::from_fn(|_| Histogram::new(latency_bounds())),
+            entry_completions: Mutex::new(BTreeMap::new()),
             shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: Histogram::new(latency_bounds()),
             intake_depth: Histogram::new(depth_bounds()),
@@ -234,6 +251,22 @@ impl Metrics {
         self.solver_cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts the witnesses found by one completed enumeration job.
+    pub(crate) fn record_enumeration(&self, witnesses: u64) {
+        self.enumerated_witnesses
+            .fetch_add(witnesses, Ordering::Relaxed);
+    }
+
+    /// Counts one successful run of a named registry entry.
+    pub(crate) fn record_entry_completion(&self, entry: &'static str) {
+        *self
+            .entry_completions
+            .lock()
+            .expect("entry metrics lock")
+            .entry(entry)
+            .or_insert(0) += 1;
+    }
+
     /// Jobs accepted into the intake queue.
     pub fn jobs_submitted(&self) -> u64 {
         self.submitted.load(Ordering::Relaxed)
@@ -292,6 +325,34 @@ impl Metrics {
     /// Miter-solver cache hits across all workers.
     pub fn solver_cache_hits(&self) -> u64 {
         self.solver_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Family witnesses found across completed enumeration jobs.
+    pub fn enumerated_witnesses(&self) -> u64 {
+        self.enumerated_witnesses.load(Ordering::Relaxed)
+    }
+
+    /// Completions of one registry entry (by its stable matcher name),
+    /// counting every job that ran the entry successfully — the
+    /// per-registry-entry view underneath the per-kind counters.
+    pub fn jobs_completed_of_entry(&self, entry: &str) -> u64 {
+        self.entry_completions
+            .lock()
+            .expect("entry metrics lock")
+            .get(entry)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every registry entry that completed at least one job, with its
+    /// count, in stable (sorted-by-name) order.
+    pub fn entry_completions(&self) -> Vec<(&'static str, u64)> {
+        self.entry_completions
+            .lock()
+            .expect("entry metrics lock")
+            .iter()
+            .map(|(&name, &count)| (name, count))
+            .collect()
     }
 
     /// The job-latency histogram (accept → completion, microseconds).
@@ -354,6 +415,11 @@ impl Metrics {
                 "Worker miter-solver cache hits.",
                 self.solver_cache_hits(),
             ),
+            (
+                "revmatch_enumerated_witnesses_total",
+                "Family witnesses found across completed enumeration jobs.",
+                self.enumerated_witnesses(),
+            ),
         ];
         for (name, help, value) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -371,6 +437,21 @@ impl Metrics {
             let _ = writeln!(out, "# HELP {name} Failed {kind} jobs.");
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", self.jobs_failed_of(kind));
+        }
+        // Per-registry-entry completions: one labeled series per matcher
+        // that actually ran, so dashboards can watch a single algorithm.
+        let entries = self.entry_completions();
+        if !entries.is_empty() {
+            let name = "revmatch_registry_entry_jobs_total";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Completed jobs per algorithm entry (registry matcher names; \
+                 enumeration families use their */sat-enumerate name)."
+            );
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (entry, count) in entries {
+                let _ = writeln!(out, "{name}{{entry=\"{entry}\"}} {count}");
+            }
         }
         let _ = writeln!(
             out,

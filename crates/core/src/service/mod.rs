@@ -77,13 +77,14 @@ use rand::SeedableRng;
 use revmatch_sat::{SolveStats, SolverBackend};
 
 use crate::engine::{
-    EngineJob, IdentifyJob, JobKind, JobReport, JobSpec, QuantumAlgorithm, QuantumPathJob,
-    SatEquivalenceJob,
+    EngineJob, EnumerateJob, IdentifyJob, JobKind, JobReport, JobSpec, QuantumAlgorithm,
+    QuantumPathJob, SatEquivalenceJob,
 };
+use crate::enumerate::{sweep_family, sweep_family_dpll, FamilyMiter, WitnessFamily};
 use crate::error::MatchError;
 use crate::identify::{identify_equivalence_with_oracles, IdentifyOptions};
 use crate::matchers::{
-    solve_promise_report, InverseAvailability, MatcherConfig, MatcherRegistry, Path, ProblemOracles,
+    solve_promise_named, InverseAvailability, MatcherConfig, MatcherRegistry, Path, ProblemOracles,
 };
 use crate::miter::{check_witness_sat_budgeted_with, MiterEncoding, MiterVerdict};
 use crate::oracle::Oracle;
@@ -330,6 +331,7 @@ impl Shared {
             JobSpec::Identify(job) => self.execute_identify(job, &mut rng, caches, &mut table_hits),
             JobSpec::QuantumPath(job) => self.execute_quantum(job, &mut rng),
             JobSpec::SatEquivalence(job) => self.execute_sat(job, caches),
+            JobSpec::Enumerate(job) => self.execute_enumerate(job, caches),
         };
         self.metrics.record_table_cache_hits(table_hits);
         report
@@ -362,9 +364,12 @@ impl Shared {
             c1_inv: c1_inv.as_ref(),
             c2_inv: c2_inv.as_ref(),
         };
-        let report = solve_promise_report(equivalence, &oracles, &self.matcher, rng);
+        let report = solve_promise_named(equivalence, &oracles, &self.matcher, rng);
         let (witness, rounds) = match report {
-            Ok(r) => (Ok(r.witness), r.rounds),
+            Ok((entry, r)) => {
+                self.metrics.record_entry_completion(entry);
+                (Ok(r.witness), r.rounds)
+            }
             Err(e) => (Err(e), 0),
         };
         let miter = if job.sat_verify {
@@ -382,6 +387,7 @@ impl Shared {
             charged_queries: oracles.total_queries(),
             rounds,
             identified: None,
+            witness_count: None,
             miter,
         }
     }
@@ -428,6 +434,7 @@ impl Shared {
             charged_queries: spent,
             rounds,
             identified,
+            witness_count: None,
             miter: None,
         }
     }
@@ -459,22 +466,28 @@ impl Shared {
                 charged_queries: 0,
                 rounds: 0,
                 identified: None,
+                witness_count: None,
                 miter: None,
             };
         };
         let c1 = Oracle::new(job.c1);
         let c2 = Oracle::new(job.c2);
         let oracles = ProblemOracles::without_inverses(&c1, &c2);
+        let entry = matcher.name();
         match matcher.run(&oracles, &self.matcher, rng) {
-            Ok(report) => JobReport {
-                kind,
-                witness: Ok(report.witness),
-                queries: report.queries,
-                charged_queries: report.charged_queries,
-                rounds: report.rounds,
-                identified: None,
-                miter: None,
-            },
+            Ok(report) => {
+                self.metrics.record_entry_completion(entry);
+                JobReport {
+                    kind,
+                    witness: Ok(report.witness),
+                    queries: report.queries,
+                    charged_queries: report.charged_queries,
+                    rounds: report.rounds,
+                    identified: None,
+                    witness_count: None,
+                    miter: None,
+                }
+            }
             Err(e) => JobReport {
                 kind,
                 witness: Err(e),
@@ -482,6 +495,7 @@ impl Shared {
                 charged_queries: oracles.total_queries(),
                 rounds: 0,
                 identified: None,
+                witness_count: None,
                 miter: None,
             },
         }
@@ -505,6 +519,7 @@ impl Shared {
                 charged_queries: 0,
                 rounds: 0,
                 identified: None,
+                witness_count: None,
                 miter: None,
             };
         }
@@ -519,6 +534,7 @@ impl Shared {
                 charged_queries: 0,
                 rounds: 0,
                 identified: None,
+                witness_count: None,
                 miter: None,
             };
         }
@@ -535,7 +551,70 @@ impl Shared {
             charged_queries: 0,
             rounds: 0,
             identified: None,
+            witness_count: None,
             miter: Some(verdict),
+        }
+    }
+
+    /// Witness enumeration: sweep the whole candidate family under
+    /// assumptions on one CDCL solver. The solver is cached per
+    /// `(kind, family formula)` — a repeated family re-enters a solver
+    /// whose learned clauses already cover every candidate, so warm
+    /// re-enumerations answer mostly by propagation. (Assumptions never
+    /// poison the cache; this is why the service sweeps instead of
+    /// running blocking-clause mode.) The DPLL backend falls back to the
+    /// stateless per-candidate sweep for differential runs.
+    fn execute_enumerate(&self, job: EnumerateJob, caches: &mut ShardCaches) -> JobReport {
+        let kind = JobKind::Enumerate;
+        let family = job.family;
+        let outcome = FamilyMiter::build(&job.c1, &job.c2, family).and_then(|miter| {
+            match self.solver_backend {
+                SolverBackend::Cdcl => {
+                    let (solver, hit) =
+                        caches.solver_for_cnf(kind, &miter.cnf, || miter.input_hint());
+                    if hit {
+                        self.metrics.record_solver_cache_hit();
+                    }
+                    sweep_family(solver, &miter, Some(self.miter_budget))
+                }
+                // Stateless, but under the same per-solve budget: a hard
+                // family must surface as Inconclusive, not pin a shard.
+                SolverBackend::Dpll => sweep_family_dpll(&miter, Some(self.miter_budget)),
+            }
+        });
+        match outcome {
+            Ok(found) => {
+                let count = found.count();
+                let solves = found.solves;
+                self.metrics.record_enumeration(count);
+                self.metrics
+                    .record_entry_completion(enumeration_entry_name(family));
+                let witness = found
+                    .witnesses
+                    .into_iter()
+                    .next()
+                    .ok_or(MatchError::NoEquivalence);
+                JobReport {
+                    kind,
+                    witness,
+                    queries: 0,
+                    charged_queries: 0,
+                    rounds: solves,
+                    identified: None,
+                    witness_count: Some(count),
+                    miter: None,
+                }
+            }
+            Err(e) => JobReport {
+                kind,
+                witness: Err(e),
+                queries: 0,
+                charged_queries: 0,
+                rounds: 0,
+                identified: None,
+                witness_count: None,
+                miter: None,
+            },
         }
     }
 
@@ -602,6 +681,22 @@ impl Shared {
     }
 }
 
+/// The stable per-entry metric name of an enumeration family. Four of
+/// the five match the registry's `*/sat-enumerate` promise-path entries
+/// by name; `n-n/sat-enumerate` follows the same convention but has no
+/// registry entry — N-N is UNIQUE-SAT-hard, so the registry must not
+/// offer it as a promise matcher, while the enumeration job kind may
+/// still sweep it completely at bounded width.
+fn enumeration_entry_name(family: WitnessFamily) -> &'static str {
+    match family {
+        WitnessFamily::InputNegation => "n-i/sat-enumerate",
+        WitnessFamily::OutputNegation => "i-n/sat-enumerate",
+        WitnessFamily::BothNegations => "n-n/sat-enumerate",
+        WitnessFamily::InputPermutation => "p-i/sat-enumerate",
+        WitnessFamily::OutputPermutation => "i-p/sat-enumerate",
+    }
+}
+
 /// Whether a completed report counts as a failure in the metrics.
 ///
 /// Per kind: a promise/quantum job fails when no witness came back, or
@@ -609,14 +704,16 @@ impl Shared {
 /// matcher's answer was wrong). An identification job fails only on a
 /// real error — "no class explains the pair" is a valid answer. A SAT
 /// job fails only when the verdict is `Unknown` (budget ran out); a
-/// counterexample is a definitive, successful verdict.
+/// counterexample is a definitive, successful verdict. An enumeration
+/// job fails on a real error (budget exhaustion, unsupported width) —
+/// a zero witness count is a complete, valid answer.
 fn job_failed(report: &JobReport) -> bool {
     match report.kind {
         JobKind::Promise | JobKind::Quantum => {
             report.witness.is_err()
                 || matches!(report.miter, Some(MiterVerdict::Counterexample { .. }))
         }
-        JobKind::Identify => {
+        JobKind::Identify | JobKind::Enumerate => {
             matches!(&report.witness, Err(e) if !matches!(e, MatchError::NoEquivalence))
         }
         JobKind::Sat => !matches!(

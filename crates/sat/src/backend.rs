@@ -10,9 +10,9 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::cdcl::CdclSolver;
-use crate::cnf::Cnf;
+use crate::cnf::{Cnf, Lit};
 use crate::error::SatError;
-use crate::solver::{BudgetedSolve, Solve, Solver};
+use crate::solver::{AssumedSolve, BudgetedAssumedSolve, BudgetedSolve, Solve, Solver};
 
 /// Which SAT engine answers a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -56,6 +56,66 @@ impl SolverBackend {
         match self {
             Self::Dpll => Solver::new(cnf).with_branch_hint(hint.to_vec()).solve(),
             Self::Cdcl => CdclSolver::new(cnf).with_branch_hint(hint.to_vec()).solve(),
+        }
+    }
+
+    /// Decides satisfiability of `cnf ∧ assumptions` without mutating the
+    /// formula, preferring to branch on `hint` first.
+    ///
+    /// Both backends return the same SAT/UNSAT verdict with a sound
+    /// conflict core; only core *sharpness* differs (the CDCL core comes
+    /// from final-conflict analysis, the DPLL fallback reports the whole
+    /// assumption set — see [`Solver::solve_under`]).
+    pub fn solve_under_hinted(
+        self,
+        cnf: &Cnf,
+        hint: &[usize],
+        assumptions: &[Lit],
+    ) -> AssumedSolve {
+        match self {
+            Self::Dpll => Solver::new(cnf)
+                .with_branch_hint(hint.to_vec())
+                .solve_under(assumptions),
+            Self::Cdcl => CdclSolver::new(cnf)
+                .with_branch_hint(hint.to_vec())
+                .solve_under(assumptions),
+        }
+    }
+
+    /// Budget-limited [`SolverBackend::solve_under_hinted`] (`None` =
+    /// unlimited), returning the verdict plus the search effort spent.
+    pub fn solve_under_budgeted_hinted(
+        self,
+        cnf: &Cnf,
+        hint: &[usize],
+        assumptions: &[Lit],
+        budget: Option<usize>,
+    ) -> (BudgetedAssumedSolve, SolveStats) {
+        match self {
+            Self::Dpll => {
+                let mut solver = Solver::new(cnf).with_branch_hint(hint.to_vec());
+                if let Some(b) = budget {
+                    solver = solver.with_budget(b);
+                }
+                let verdict = solver.solve_under_budgeted(assumptions);
+                let stats = SolveStats {
+                    decisions: solver.decisions(),
+                    conflicts: solver.conflicts(),
+                    propagations: solver.propagations(),
+                };
+                (verdict, stats)
+            }
+            Self::Cdcl => {
+                let mut solver = CdclSolver::new(cnf).with_branch_hint(hint.to_vec());
+                solver.set_budget(budget);
+                let verdict = solver.solve_under_budgeted(assumptions);
+                let stats = SolveStats {
+                    decisions: solver.decisions(),
+                    conflicts: solver.conflicts(),
+                    propagations: solver.propagations(),
+                };
+                (verdict, stats)
+            }
         }
     }
 

@@ -54,8 +54,8 @@
 mod heap;
 mod luby;
 
-use crate::cnf::Cnf;
-use crate::solver::{BudgetedSolve, Solve};
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::{AssumedSolve, BudgetedAssumedSolve, BudgetedSolve, Solve};
 use heap::VarHeap;
 use luby::luby;
 
@@ -97,6 +97,16 @@ impl CLit {
     /// Sign bit: 0 positive, 1 negative.
     fn sign(self) -> u8 {
         (self.0 & 1) as u8
+    }
+
+    /// Converts back to the public literal type.
+    fn external(self) -> Lit {
+        let var = Var(self.var());
+        if self.0 & 1 == 1 {
+            Lit::negative(var)
+        } else {
+            Lit::positive(var)
+        }
     }
 }
 
@@ -142,9 +152,14 @@ pub struct CdclSolver {
     num_vars: usize,
     /// Flat literal arena backing every clause.
     arena: Vec<CLit>,
-    /// Problem clauses occupy `[0, num_problem)`; learned clauses follow.
+    /// Problem clauses occupy `[0, num_problem)`; learned clauses follow
+    /// (with possible later problem clauses from [`CdclSolver::add_clause`]
+    /// interleaved — the `learned` flag, not position, is authoritative).
     clauses: Vec<ClauseMeta>,
     num_problem: usize,
+    /// Live learned-clause records, maintained in O(1) (the search loop
+    /// checks it against `max_learnts` at every restart).
+    learned_clauses: usize,
     watches: Vec<Vec<Watcher>>,
     assign: Vec<u8>,
     level: Vec<u32>,
@@ -172,6 +187,13 @@ pub struct CdclSolver {
     restarts: usize,
     db_reductions: usize,
     budget: Option<usize>,
+    /// Assumption literals of the current `solve_under` call, placed as
+    /// the first decision levels (empty for plain solves).
+    assumptions: Vec<CLit>,
+    /// Final-conflict core produced by [`CdclSolver::analyze_final`] when
+    /// the assumptions are refuted (empty when the formula itself is
+    /// unsatisfiable).
+    final_core: Vec<Lit>,
 }
 
 impl CdclSolver {
@@ -186,6 +208,7 @@ impl CdclSolver {
             arena: Vec::new(),
             clauses: Vec::with_capacity(cnf.num_clauses()),
             num_problem: 0,
+            learned_clauses: 0,
             watches: vec![Vec::new(); 2 * n],
             assign: vec![VAL_UNDEF; n],
             level: vec![0; n],
@@ -207,6 +230,8 @@ impl CdclSolver {
             restarts: 0,
             db_reductions: 0,
             budget: None,
+            assumptions: Vec::new(),
+            final_core: Vec::new(),
         };
         for v in 0..n {
             solver.order.insert(v, &solver.activity);
@@ -300,7 +325,7 @@ impl CdclSolver {
 
     /// Learned clauses currently in the database.
     pub fn num_learned(&self) -> usize {
-        self.clauses.len() - self.num_problem
+        self.learned_clauses
     }
 
     /// Learned-database reductions performed over the solver's lifetime.
@@ -331,12 +356,131 @@ impl CdclSolver {
         }
     }
 
+    /// Decides satisfiability of `formula ∧ assumptions` **incrementally**:
+    /// the assumptions hold for this call only, learned clauses persist
+    /// across calls (they are resolvents of the clause database alone, so
+    /// they stay sound under any later assumption set). This is how one
+    /// solver serves a whole witness family: encode the family once, fix
+    /// each candidate with assumptions, and let conflicts learned for one
+    /// candidate prune the next.
+    ///
+    /// Assumptions are placed as the first decision levels; first-UIP
+    /// analysis runs unchanged above them. When propagation refutes an
+    /// assumption, [`CdclSolver::analyze_final`] walks the implication
+    /// graph to a **conflict core** — the subset of assumptions that is
+    /// already inconsistent with the formula ([`AssumedSolve::Unsat`]).
+    /// Ignores any configured budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption variable is outside the formula.
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> AssumedSolve {
+        let saved = self.budget.take();
+        let verdict = self.run_under(assumptions);
+        self.budget = saved;
+        match verdict {
+            Search::Sat => AssumedSolve::Sat(self.take_model()),
+            Search::Unsat => AssumedSolve::Unsat {
+                core: std::mem::take(&mut self.final_core),
+            },
+            Search::Out => unreachable!("unlimited search cannot exhaust a budget"),
+        }
+    }
+
+    /// [`CdclSolver::solve_under`] within the configured budget, returning
+    /// [`BudgetedAssumedSolve::Unknown`] instead of searching without
+    /// bound. Placing an assumption is free (it mirrors the unit
+    /// propagation of a baked unit clause); only real decisions and
+    /// conflicts are charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption variable is outside the formula.
+    pub fn solve_under_budgeted(&mut self, assumptions: &[Lit]) -> BudgetedAssumedSolve {
+        match self.run_under(assumptions) {
+            Search::Sat => BudgetedAssumedSolve::Sat(self.take_model()),
+            Search::Unsat => BudgetedAssumedSolve::Unsat {
+                core: std::mem::take(&mut self.final_core),
+            },
+            Search::Out => BudgetedAssumedSolve::Unknown,
+        }
+    }
+
+    /// Installs the assumption prefix, runs the shared driver, and clears
+    /// the prefix again so plain `solve` calls stay unconstrained.
+    fn run_under(&mut self, assumptions: &[Lit]) -> Search {
+        self.assumptions = assumptions
+            .iter()
+            .map(|l| {
+                assert!(
+                    l.var.0 < self.num_vars,
+                    "assumption variable x{} outside the formula ({} vars)",
+                    l.var.0,
+                    self.num_vars
+                );
+                CLit::new(l.var.0, l.negative)
+            })
+            .collect();
+        let verdict = self.run();
+        self.assumptions.clear();
+        verdict
+    }
+
+    /// Adds a **problem** clause to an existing solver — the incremental
+    /// interface behind blocking-clause enumeration. The solver first
+    /// backtracks to level 0 (and refreshes level-0 propagation) so
+    /// literal truth values are permanent facts; satisfied clauses are
+    /// dropped, permanently-false literals are stripped. Learned clauses
+    /// remain valid: adding a clause only strengthens the formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable is outside the formula.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.backtrack(0);
+        if !self.ok {
+            return;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        let mut clause: Vec<CLit> = lits
+            .iter()
+            .map(|l| {
+                assert!(
+                    l.var.0 < self.num_vars,
+                    "clause variable x{} outside the formula ({} vars)",
+                    l.var.0,
+                    self.num_vars
+                );
+                CLit::new(l.var.0, l.negative)
+            })
+            .collect();
+        clause.sort_unstable_by_key(|l| l.0);
+        clause.dedup();
+        if clause.windows(2).any(|w| w[0].0 ^ w[1].0 == 1) {
+            return; // tautology
+        }
+        let mut kept = Vec::with_capacity(clause.len());
+        for &l in &clause {
+            match self.lit_value(l) {
+                // At level 0 every assignment is permanent.
+                VAL_TRUE => return,
+                VAL_FALSE => {}
+                _ => kept.push(l),
+            }
+        }
+        self.add_clause_internal(&kept, false);
+    }
+
     /// Shared driver: reset per-call stats, search, and leave the solver
     /// at level 0 ready for the next call.
     fn run(&mut self) -> Search {
         self.decisions = 0;
         self.conflicts = 0;
         self.propagations = 0;
+        self.final_core.clear();
         self.backtrack(0);
         if !self.ok {
             return Search::Unsat;
@@ -396,6 +540,7 @@ impl CdclSolver {
                     activity: if learned { self.cla_inc } else { 0.0 },
                     learned,
                 });
+                self.learned_clauses += usize::from(learned);
             }
         }
     }
@@ -519,7 +664,10 @@ impl CdclSolver {
     fn bump_clause(&mut self, cref: usize) {
         self.clauses[cref].activity += self.cla_inc;
         if self.clauses[cref].activity > CLA_RESCALE_LIMIT {
-            for c in &mut self.clauses[self.num_problem..] {
+            for c in self.clauses[self.num_problem..]
+                .iter_mut()
+                .filter(|c| c.learned)
+            {
                 c.activity *= 1.0 / CLA_RESCALE_LIMIT;
             }
             self.cla_inc *= 1.0 / CLA_RESCALE_LIMIT;
@@ -632,6 +780,53 @@ impl CdclSolver {
         (learnt, back_level)
     }
 
+    /// Final-conflict analysis (the assumption-refutation counterpart of
+    /// [`CdclSolver::analyze`]): `failed` is an assumption literal that
+    /// propagation forced false. Walks the implication graph of `¬failed`
+    /// backwards; every *decision* encountered is an assumption (the
+    /// prefix levels are the only decisions below the failure point), so
+    /// the set collected is a subset of the assumptions that is already
+    /// inconsistent with the formula. Leaves the core in
+    /// [`CdclSolver::final_core`].
+    fn analyze_final(&mut self, failed: CLit) {
+        self.final_core.clear();
+        self.final_core.push(failed.external());
+        if self.decision_level() == 0 {
+            // ¬failed is a level-0 fact: the formula alone refutes the
+            // assumption, and {failed} is the whole core.
+            return;
+        }
+        self.seen[failed.var()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let p = self.trail[i];
+            let v = p.var();
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                // A decision below the failure point is an assumption,
+                // recorded exactly as it was assumed.
+                None => self.final_core.push(p.external()),
+                Some(r) => {
+                    let (start, len) = {
+                        let m = &self.clauses[r as usize];
+                        (m.start as usize, m.len as usize)
+                    };
+                    // Slot 0 is the propagated literal itself.
+                    for k in 1..len {
+                        let q = self.arena[start + k];
+                        if self.level[q.var()] > 0 {
+                            self.seen[q.var()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // If ¬failed was forced at level 0 the walk never clears it.
+        self.seen[failed.var()] = false;
+    }
+
     /// Learns the clause produced by [`CdclSolver::analyze`] and asserts
     /// its UIP literal.
     fn record_learned(&mut self, learnt: &[CLit]) {
@@ -659,7 +854,12 @@ impl CdclSolver {
         for l in &self.trail {
             self.reason[l.var()] = None;
         }
-        let mut learned: Vec<usize> = (self.num_problem..self.clauses.len()).collect();
+        // Candidates by flag, not position: `add_clause` may have
+        // appended problem clauses (e.g. blocking clauses) after learned
+        // ones, and those must never be dropped.
+        let mut learned: Vec<usize> = (self.num_problem..self.clauses.len())
+            .filter(|&ci| self.clauses[ci].learned)
+            .collect();
         learned.sort_by(|&a, &b| {
             self.clauses[a]
                 .activity
@@ -691,6 +891,7 @@ impl CdclSolver {
         }
         self.arena = new_arena;
         self.clauses = new_clauses;
+        self.learned_clauses -= dropped;
         self.rebuild_watches();
         self.max_learnts *= 1.1;
         self.db_reductions += 1;
@@ -780,18 +981,48 @@ impl CdclSolver {
                     }
                     continue;
                 }
-                let Some(decision) = self.pick_branch() else {
-                    return Search::Sat;
-                };
-                self.decisions += 1;
-                if self.out_of_budget() {
-                    // The decision variable was popped but never enqueued:
-                    // put it back or the reused solver would never be able
-                    // to decide it again (and could report a bogus model).
-                    self.order.insert(decision.var(), &self.activity);
-                    self.backtrack(0);
-                    return Search::Out;
+                // Re-establish the assumption prefix: assumption `i`
+                // owns decision level `i + 1` (restarts and backjumps
+                // peel it off; this loop puts it back). Placements are
+                // not charged as decisions — they mirror the free unit
+                // propagation of baked assumption clauses.
+                let mut next = None;
+                while self.decision_level() < self.assumptions.len() {
+                    let a = self.assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        // Already implied: open an empty level so the
+                        // level↔assumption correspondence stays intact.
+                        VAL_TRUE => self.trail_lim.push(self.trail.len()),
+                        // The formula (plus earlier assumptions) refutes
+                        // this assumption: extract the conflict core.
+                        VAL_FALSE => {
+                            self.analyze_final(a);
+                            return Search::Unsat;
+                        }
+                        _ => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
                 }
+                let decision = if let Some(a) = next {
+                    a
+                } else {
+                    let Some(decision) = self.pick_branch() else {
+                        return Search::Sat;
+                    };
+                    self.decisions += 1;
+                    if self.out_of_budget() {
+                        // The decision variable was popped but never
+                        // enqueued: put it back or the reused solver would
+                        // never be able to decide it again (and could
+                        // report a bogus model).
+                        self.order.insert(decision.var(), &self.activity);
+                        self.backtrack(0);
+                        return Search::Out;
+                    }
+                    decision
+                };
                 self.trail_lim.push(self.trail.len());
                 self.enqueue(decision, None);
             }
@@ -1106,6 +1337,192 @@ mod tests {
         assert!(f.eval(w), "reused solver must return a real model");
         // And the unbudgeted entry point agrees.
         assert!(f.eval(s.solve().witness().unwrap()));
+    }
+
+    #[test]
+    fn solve_under_respects_assumptions_and_reports_cores() {
+        // (x1 ∨ x2) ∧ (¬x1 ∨ x3): free solve is SAT; assuming ¬x2 forces
+        // x1 and x3; assuming {¬x1, ¬x2} is a real conflict with the
+        // first clause.
+        let f = cnf(&[&[1, 2], &[-1, 3]]);
+        let mut s = CdclSolver::new(&f);
+        let sat = s.solve_under(&[lit(-2)]);
+        let w = sat.witness().expect("satisfiable under ¬x2");
+        assert!(!w[1] && w[0] && w[2]);
+        assert!(f.eval(w));
+        match s.solve_under(&[lit(-1), lit(-2)]) {
+            AssumedSolve::Unsat { core } => {
+                assert!(!core.is_empty());
+                assert!(core.iter().all(|l| [lit(-1), lit(-2)].contains(l)));
+                // Baking the core as units must itself be UNSAT.
+                let mut baked = f.clone();
+                for &l in &core {
+                    baked.add_clause(Clause::new(vec![l]));
+                }
+                assert_eq!(Solver::new(&baked).solve(), Solve::Unsat);
+            }
+            other => panic!("expected UNSAT under {{¬x1, ¬x2}}, got {other:?}"),
+        }
+        // The solver is unconstrained again afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn contradictory_assumptions_core_is_the_pair() {
+        let f = cnf(&[&[1, 2, 3]]);
+        let mut s = CdclSolver::new(&f);
+        match s.solve_under(&[lit(2), lit(-2)]) {
+            AssumedSolve::Unsat { core } => {
+                assert!(core.contains(&lit(2)) && core.contains(&lit(-2)));
+            }
+            other => panic!("expected UNSAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_formula_yields_empty_core_under_assumptions() {
+        // The tautological third clause only widens the variable range so
+        // x2 exists to be assumed.
+        let f = cnf(&[&[1], &[-1], &[2, -2]]);
+        let mut s = CdclSolver::new(&f);
+        match s.solve_under(&[lit(2)]) {
+            AssumedSolve::Unsat { core } => {
+                assert!(core.is_empty(), "formula is unsat without help: {core:?}");
+            }
+            other => panic!("expected UNSAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumption_cores_localize_on_independent_blocks() {
+        // Two independent conflicts: x1→x2 with ¬x2 assumed, plus a free
+        // block over x3..x5. The final-conflict core must stay inside the
+        // first block — assumptions about the free block never enter.
+        let f = cnf(&[&[-1, 2], &[3, 4, 5]]);
+        let mut s = CdclSolver::new(&f);
+        match s.solve_under(&[lit(3), lit(4), lit(1), lit(-2)]) {
+            AssumedSolve::Unsat { core } => {
+                assert!(
+                    core.contains(&lit(1)) && core.contains(&lit(-2)),
+                    "{core:?}"
+                );
+                assert!(
+                    !core.contains(&lit(3)) && !core.contains(&lit(4)),
+                    "irrelevant assumptions leaked into the core: {core:?}"
+                );
+            }
+            other => panic!("expected UNSAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn learned_clauses_persist_across_assumption_calls() {
+        // Replaying the same assumptions re-enters the learned refutation
+        // instead of re-deriving it, and clauses learned under one
+        // assumption set stay installed (and sound) for the next.
+        let f = pigeonhole(7);
+        let mut s = CdclSolver::new(&f);
+        assert!(matches!(
+            s.solve_under(&[lit(1)]),
+            AssumedSolve::Unsat { .. }
+        ));
+        let cold = s.conflicts();
+        assert!(cold > 0);
+        assert!(s.num_learned() > 0, "the refutation must leave lemmas");
+        assert!(matches!(
+            s.solve_under(&[lit(1)]),
+            AssumedSolve::Unsat { .. }
+        ));
+        assert!(
+            s.conflicts() < cold,
+            "warm replay ({} conflicts) must undercut the cold solve ({cold})",
+            s.conflicts()
+        );
+        // A different assumption set on the same solver still answers
+        // correctly (the retained lemmas are assumption-free facts).
+        assert!(matches!(
+            s.solve_under(&[lit(-1), lit(2)]),
+            AssumedSolve::Unsat { .. }
+        ));
+        let sat_row = cnf(&[&[1, 2], &[-1, 3]]);
+        let mut s = CdclSolver::new(&sat_row);
+        for a in [&[lit(1)][..], &[lit(-1)], &[lit(2), lit(-3)]] {
+            let solve = s.solve_under(a);
+            let w = solve.witness().expect("satisfiable under every set");
+            assert!(sat_row.eval(w));
+            assert!(a.iter().all(|l| l.eval(w[l.var.0])));
+        }
+    }
+
+    #[test]
+    fn solve_under_budgeted_reports_unknown_not_lies() {
+        let f = cnf(&[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[-1, 2]]);
+        let mut s = CdclSolver::new(&f).with_budget(0);
+        assert_eq!(
+            s.solve_under_budgeted(&[lit(3)]),
+            BudgetedAssumedSolve::Unknown
+        );
+        s.set_budget(Some(1_000));
+        let solve = s.solve_under_budgeted(&[lit(3)]);
+        let w = solve.witness().expect("satisfiable with x3");
+        assert!(w[2] && f.eval(w));
+        // Propagation-refuted assumptions answer under any budget.
+        let g = cnf(&[&[1], &[-1, 2]]);
+        let mut s = CdclSolver::new(&g).with_budget(0);
+        assert!(matches!(
+            s.solve_under_budgeted(&[lit(-2)]),
+            BudgetedAssumedSolve::Unsat { .. }
+        ));
+    }
+
+    #[test]
+    fn incremental_add_clause_strengthens_the_formula() {
+        let f = cnf(&[&[1, 2]]);
+        let mut s = CdclSolver::new(&f);
+        assert!(s.solve().is_sat());
+        s.add_clause(&[lit(-1)]);
+        s.add_clause(&[lit(-2)]);
+        assert_eq!(s.solve(), Solve::Unsat);
+        // Blocking-style clause addition mid-enumeration: models are
+        // excluded one by one until none remain.
+        let g = cnf(&[&[1, 2]]);
+        let mut s = CdclSolver::new(&g);
+        let mut models = 0;
+        while let Solve::Sat(w) = s.solve() {
+            models += 1;
+            assert!(g.eval(&w));
+            let blocking: Vec<Lit> = w
+                .iter()
+                .enumerate()
+                .map(|(v, &b)| {
+                    if b {
+                        Lit::negative(Var(v))
+                    } else {
+                        Lit::positive(Var(v))
+                    }
+                })
+                .collect();
+            s.add_clause(&blocking);
+            assert!(models <= 4, "runaway enumeration");
+        }
+        assert_eq!(models, 3, "x1 ∨ x2 has exactly 3 models");
+    }
+
+    #[test]
+    fn add_clause_interacts_soundly_with_db_reduction() {
+        // Force aggressive reductions, then add problem clauses after
+        // learned ones: the reducer must never drop them.
+        let f = pigeonhole(5);
+        let mut s = CdclSolver::new(&f);
+        s.max_learnts = 1.0;
+        assert_eq!(s.solve(), Solve::Unsat);
+        let g = cnf(&[&[1, 2], &[2, 3], &[3, 1]]);
+        let mut s = CdclSolver::new(&g);
+        s.add_clause(&[lit(-1), lit(-2)]);
+        s.max_learnts = 1.0;
+        let solve = s.solve();
+        let w = solve.witness().expect("still satisfiable");
+        assert!(g.eval(w) && !(w[0] && w[1]));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use cdcl::CdclSolver;
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use error::SatError;
 pub use gen::{minimize_unique, planted_unique, random_ksat, PlantedUnique};
-pub use solver::{BudgetedSolve, Solve, Solver};
+pub use solver::{AssumedSolve, BudgetedAssumedSolve, BudgetedSolve, Solve, Solver};
 pub use valiant_vazirani::{
     encode_with_xors, isolate_unique, isolate_unique_with, valiant_vazirani_trial,
     IsolationOutcome, XorConstraint,
@@ -123,6 +123,78 @@ mod proptests {
                 prop_assert_eq!(replay.is_sat(), truth, "{} on re-imported DIMACS", backend);
                 if let Some(w) = replay.witness() {
                     prop_assert!(back.eval(w));
+                }
+            }
+        }
+
+        /// Differential: `solve_under(assumptions)` is equivalent to a
+        /// fresh solve with the assumptions baked in as unit clauses — on
+        /// random CNFs, on **both** backends, including the budget paths.
+        /// UNSAT cores are additionally checked for soundness: a core is
+        /// a subset of the assumptions, and baking just the core as units
+        /// already refutes the formula.
+        #[test]
+        fn solve_under_matches_baked_units(
+            cnf in arb_cnf(),
+            picks in proptest::collection::vec((0usize..6, any::<bool>()), 0..=5),
+            budget in 0usize..200,
+        ) {
+            let n = cnf.num_vars();
+            let assumptions: Vec<Lit> = picks
+                .into_iter()
+                .filter(|&(v, _)| v < n)
+                .map(|(v, neg)| if neg { Lit::negative(Var(v)) } else { Lit::positive(Var(v)) })
+                .collect();
+            let mut baked = cnf.clone();
+            for &l in &assumptions {
+                baked.add_clause(Clause::new(vec![l]));
+            }
+            let truth = Solver::new(&baked).solve().is_sat();
+            for backend in SolverBackend::ALL {
+                match backend.solve_under_hinted(&cnf, &[], &assumptions) {
+                    AssumedSolve::Sat(w) => {
+                        prop_assert!(truth, "{backend}: SAT but baked formula is UNSAT");
+                        prop_assert!(cnf.eval(&w), "{backend}: model violates the formula");
+                        prop_assert!(
+                            assumptions.iter().all(|l| l.eval(w[l.var.0])),
+                            "{backend}: model violates an assumption"
+                        );
+                    }
+                    AssumedSolve::Unsat { core } => {
+                        prop_assert!(!truth, "{backend}: UNSAT but baked formula is SAT");
+                        prop_assert!(
+                            core.iter().all(|l| assumptions.contains(l)),
+                            "{backend}: core escapes the assumption set"
+                        );
+                        let mut core_baked = cnf.clone();
+                        for &l in &core {
+                            core_baked.add_clause(Clause::new(vec![l]));
+                        }
+                        prop_assert!(
+                            !Solver::new(&core_baked).solve().is_sat(),
+                            "{backend}: core does not refute the formula"
+                        );
+                    }
+                }
+                // Budget path: verdicts under a budget are never wrong,
+                // and zero-budget calls still terminate.
+                let (verdict, stats) =
+                    backend.solve_under_budgeted_hinted(&cnf, &[], &assumptions, Some(budget));
+                match verdict {
+                    BudgetedAssumedSolve::Sat(w) => {
+                        prop_assert!(truth && cnf.eval(&w));
+                        prop_assert!(assumptions.iter().all(|l| l.eval(w[l.var.0])));
+                    }
+                    BudgetedAssumedSolve::Unsat { core } => {
+                        prop_assert!(!truth);
+                        prop_assert!(core.iter().all(|l| assumptions.contains(l)));
+                    }
+                    BudgetedAssumedSolve::Unknown => {
+                        prop_assert!(
+                            stats.decisions + stats.conflicts > budget,
+                            "{backend}: gave up without exhausting the budget"
+                        );
+                    }
                 }
             }
         }

@@ -65,6 +65,89 @@ impl BudgetedSolve {
     }
 }
 
+/// Result of a satisfiability query under assumptions
+/// ([`Solver::solve_under`] / [`crate::CdclSolver::solve_under`]).
+///
+/// Assumptions are temporary facts for one call: the solver decides
+/// whether `cnf ∧ assumptions` is satisfiable without changing the
+/// formula. On UNSAT the verdict carries a **conflict core** — a subset
+/// of the assumptions that is already inconsistent with the formula (an
+/// empty core means the formula is unsatisfiable on its own).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssumedSolve {
+    /// Satisfiable, with a witness assignment extending the assumptions.
+    Sat(Vec<bool>),
+    /// Unsatisfiable under the assumptions.
+    Unsat {
+        /// Assumption literals whose conjunction with the formula is
+        /// already unsatisfiable. The CDCL backend derives it from the
+        /// final conflict (usually a strict subset); the DPLL fallback
+        /// reports the full assumption set — both are sound cores, no
+        /// minimality is promised.
+        core: Vec<Lit>,
+    },
+}
+
+impl AssumedSolve {
+    /// The witness if satisfiable.
+    pub fn witness(&self) -> Option<&[bool]> {
+        match self {
+            Self::Sat(w) => Some(w),
+            Self::Unsat { .. } => None,
+        }
+    }
+
+    /// Whether the formula was satisfiable under the assumptions.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Self::Sat(_))
+    }
+
+    /// The conflict core if unsatisfiable.
+    pub fn core(&self) -> Option<&[Lit]> {
+        match self {
+            Self::Sat(_) => None,
+            Self::Unsat { core } => Some(core),
+        }
+    }
+}
+
+/// Result of a budget-limited satisfiability query under assumptions
+/// ([`Solver::solve_under_budgeted`] /
+/// [`crate::CdclSolver::solve_under_budgeted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetedAssumedSolve {
+    /// Satisfiable, with a witness assignment extending the assumptions.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable under the assumptions within the budget.
+    Unsat {
+        /// Assumption subset already inconsistent with the formula (see
+        /// [`AssumedSolve::Unsat`]).
+        core: Vec<Lit>,
+    },
+    /// The search budget ran out before a verdict.
+    Unknown,
+}
+
+impl BudgetedAssumedSolve {
+    /// The witness if satisfiable.
+    pub fn witness(&self) -> Option<&[bool]> {
+        match self {
+            Self::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether the formula was proven satisfiable under the assumptions.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Self::Sat(_))
+    }
+
+    /// Whether the budget ran out before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Self::Unknown)
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Value {
     Unassigned,
@@ -192,6 +275,86 @@ impl<'a> Solver<'a> {
             }
             Search::Unsat => BudgetedSolve::Unsat,
             Search::Out => BudgetedSolve::Unknown,
+        }
+    }
+
+    /// Decides satisfiability of `cnf ∧ assumptions` without changing the
+    /// formula — the semantics-compatible fallback for
+    /// [`crate::CdclSolver::solve_under`]. Ignores any configured budget.
+    ///
+    /// The DPLL has no conflict analysis, so an UNSAT verdict reports the
+    /// **full** assumption set as its core (a sound, non-minimal core) —
+    /// except for a directly contradictory pair, which is reported alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption variable is outside the formula.
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> AssumedSolve {
+        self.reset_stats();
+        let saved = self.budget.take();
+        let verdict = self.search_under(assumptions);
+        self.budget = saved;
+        match verdict {
+            AssumedSearch::Sat(model) => AssumedSolve::Sat(model),
+            AssumedSearch::Unsat(core) => AssumedSolve::Unsat { core },
+            AssumedSearch::Out => unreachable!("unlimited search cannot exhaust a budget"),
+        }
+    }
+
+    /// [`Solver::solve_under`] within the configured budget, returning
+    /// [`BudgetedAssumedSolve::Unknown`] instead of searching without
+    /// bound. Assumption placement itself is free (it is propagation, not
+    /// branching), matching the budget accounting of units baked into the
+    /// formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption variable is outside the formula.
+    pub fn solve_under_budgeted(&mut self, assumptions: &[Lit]) -> BudgetedAssumedSolve {
+        self.reset_stats();
+        match self.search_under(assumptions) {
+            AssumedSearch::Sat(model) => BudgetedAssumedSolve::Sat(model),
+            AssumedSearch::Unsat(core) => BudgetedAssumedSolve::Unsat { core },
+            AssumedSearch::Out => BudgetedAssumedSolve::Unknown,
+        }
+    }
+
+    /// Shared assumption driver: seed the assignment with the assumption
+    /// literals, then run the ordinary recursive search over the rest.
+    fn search_under(&mut self, assumptions: &[Lit]) -> AssumedSearch {
+        let mut values = vec![Value::Unassigned; self.cnf.num_vars()];
+        for (i, &l) in assumptions.iter().enumerate() {
+            assert!(
+                l.var.0 < values.len(),
+                "assumption variable x{} outside the formula ({} vars)",
+                l.var.0,
+                values.len()
+            );
+            let want = if l.negative {
+                Value::False
+            } else {
+                Value::True
+            };
+            match values[l.var.0] {
+                Value::Unassigned => values[l.var.0] = want,
+                v if v == want => {}
+                _ => {
+                    // x and ¬x both assumed: that pair alone is the core.
+                    let earlier = assumptions[..i]
+                        .iter()
+                        .copied()
+                        .find(|e| e.var == l.var)
+                        .expect("conflicting value came from an earlier assumption");
+                    return AssumedSearch::Unsat(vec![earlier, l]);
+                }
+            }
+        }
+        match self.search(&mut values) {
+            Search::Sat => {
+                AssumedSearch::Sat(values.iter().map(|v| matches!(v, Value::True)).collect())
+            }
+            Search::Unsat => AssumedSearch::Unsat(assumptions.to_vec()),
+            Search::Out => AssumedSearch::Out,
         }
     }
 
@@ -431,6 +594,13 @@ enum Search {
     Sat,
     Unsat,
     /// The decision/conflict budget ran out.
+    Out,
+}
+
+/// Outcome of a search under assumptions (carries the model or core).
+enum AssumedSearch {
+    Sat(Vec<bool>),
+    Unsat(Vec<Lit>),
     Out,
 }
 

@@ -13,9 +13,9 @@
 
 use rand::SeedableRng;
 use revmatch::{
-    check_witness, random_instance, EngineJob, Equivalence, IdentifyJob, JobKind, MatchService,
-    MatcherConfig, MiterVerdict, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
-    ServiceConfig, Side, SubmitOutcome, VerifyMode,
+    check_witness, random_instance, EngineJob, EnumerateJob, Equivalence, IdentifyJob, JobKind,
+    MatchService, MatcherConfig, MiterVerdict, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
+    ServiceConfig, Side, SubmitOutcome, VerifyMode, WitnessFamily,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -93,7 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Second act: the same service carries every `JobSpec` kind — an
     // identification walk (no promise given), an inverse-free quantum
-    // N-I job, and a complete white-box SAT verdict — side by side with
+    // N-I job, a complete white-box SAT verdict, and a witness
+    // enumeration sweeping the whole N-I mask family — side by side with
     // the promise traffic above.
     let ident = random_instance(Equivalence::new(Side::P, Side::N), 5, &mut rng);
     let ni = random_instance(Equivalence::new(Side::N, Side::I), 5, &mut rng);
@@ -111,6 +112,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c2: satp.c2.clone(),
         witness: Some(satp.witness.clone()),
     });
+    let t_enum = service.submit_wait(EnumerateJob::new(
+        ni.c1.clone(),
+        ni.c2.clone(),
+        WitnessFamily::InputNegation,
+    ));
 
     let r = t_ident.wait();
     println!(
@@ -130,7 +136,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let r = t_sat.wait();
     assert!(matches!(r.miter, Some(MiterVerdict::Equivalent)));
-    println!("sat: planted witness proven equivalent on every input (complete verdict)\n");
+    println!("sat: planted witness proven equivalent on every input (complete verdict)");
+    let r = t_enum.wait();
+    let count = r.witness_count.expect("enumeration completes");
+    assert!(count >= 1, "the planted mask is among the witnesses");
+    println!(
+        "enumerate: {} witness(es) in the full 2^5 N-I mask family ({} incremental solves)\n",
+        count, r.rounds,
+    );
 
     // The scrape-ready view of everything that just happened.
     let text = service.metrics_text();

@@ -8,9 +8,9 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use revmatch::{
     check_witness, identify_equivalence, job_seed, match_n_i_simon, random_instance, EngineJob,
-    Equivalence, IdentifyJob, IdentifyOptions, JobKind, JobReport, JobSpec, JobTicket, MatchError,
-    MatchService, MatcherConfig, MiterVerdict, Oracle, QuantumAlgorithm, QuantumPathJob,
-    SatEquivalenceJob, ServiceConfig, Side, VerifyMode,
+    EnumerateJob, Equivalence, IdentifyJob, IdentifyOptions, JobKind, JobReport, JobSpec,
+    JobTicket, MatchError, MatchService, MatcherConfig, MiterVerdict, Oracle, QuantumAlgorithm,
+    QuantumPathJob, SatEquivalenceJob, ServiceConfig, Side, VerifyMode, WitnessFamily,
 };
 
 fn epsilon() -> f64 {
@@ -33,6 +33,7 @@ fn mixed_jobs(width: usize, master_seed: u64) -> Vec<JobSpec> {
     let ni = random_instance(Equivalence::new(Side::N, Side::I), width, &mut rng);
     let npi = random_instance(Equivalence::new(Side::Np, Side::I), width, &mut rng);
     let sat = random_instance(Equivalence::new(Side::I, Side::P), width, &mut rng);
+    let enumerate = random_instance(Equivalence::new(Side::N, Side::I), width, &mut rng);
     vec![
         JobSpec::Promise(EngineJob::from_instance(&promise, true)),
         JobSpec::Identify(IdentifyJob::new(ident.c1.clone(), ident.c2.clone())),
@@ -53,6 +54,11 @@ fn mixed_jobs(width: usize, master_seed: u64) -> Vec<JobSpec> {
             c2: sat.c2.clone(),
             witness: Some(sat.witness.clone()),
         }),
+        JobSpec::Enumerate(EnumerateJob::new(
+            enumerate.c1.clone(),
+            enumerate.c2.clone(),
+            WitnessFamily::InputNegation,
+        )),
     ]
 }
 
@@ -68,11 +74,11 @@ fn run_jobs(jobs: &[JobSpec], shards: usize, seed: u64) -> Vec<JobReport> {
     reports
 }
 
-/// Acceptance: all four kinds complete with bit-identical results across
+/// Acceptance: all five kinds complete with bit-identical results across
 /// 1, 2 and `available_parallelism` workers, and the metrics export
 /// carries nonzero per-kind counters plus per-kind latency series.
 #[test]
-fn all_four_kinds_bit_identical_across_worker_counts() {
+fn all_five_kinds_bit_identical_across_worker_counts() {
     let jobs = mixed_jobs(4, 0xA11);
     let parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -93,6 +99,11 @@ fn all_four_kinds_bit_identical_across_worker_counts() {
         matches!(baseline[4].miter, Some(MiterVerdict::Equivalent)),
         "sat job proves the planted witness"
     );
+    assert_eq!(baseline[5].kind, JobKind::Enumerate);
+    assert!(
+        baseline[5].witness_count.is_some_and(|c| c >= 1),
+        "enumeration counts the planted witness"
+    );
     for shards in [2, parallelism] {
         let other = run_jobs(&jobs, shards, 77);
         for (i, (a, b)) in baseline.iter().zip(&other).enumerate() {
@@ -104,6 +115,10 @@ fn all_four_kinds_bit_identical_across_worker_counts() {
             );
             assert_eq!(a.rounds, b.rounds, "job {i} rounds under {shards}");
             assert_eq!(a.identified, b.identified, "job {i} class under {shards}");
+            assert_eq!(
+                a.witness_count, b.witness_count,
+                "job {i} witness count under {shards}"
+            );
             assert_eq!(
                 a.witness.as_ref().ok(),
                 b.witness.as_ref().ok(),
@@ -125,20 +140,95 @@ fn all_four_kinds_bit_identical_across_worker_counts() {
     assert_eq!(m.jobs_completed_of(JobKind::Identify), 1);
     assert_eq!(m.jobs_completed_of(JobKind::Quantum), 2);
     assert_eq!(m.jobs_completed_of(JobKind::Sat), 1);
+    assert_eq!(m.jobs_completed_of(JobKind::Enumerate), 1);
     assert_eq!(m.jobs_failed(), 0);
+    assert!(
+        m.enumerated_witnesses() >= 1,
+        "the enumeration job's witnesses feed the counter"
+    );
+    // Per-registry-entry counters (not just per-kind): the NP-I promise
+    // job with inverses selects the c2-inverse entry, the two quantum
+    // jobs name their algorithms, and the enumeration job records its
+    // family's sat-enumerate entry. Identification walks many entries
+    // and records none.
+    for (entry, expected) in [
+        ("np-i/c2-inverse", 1),
+        ("n-i/simon", 1),
+        ("np-i/quantum", 1),
+        ("n-i/sat-enumerate", 1),
+        ("i-p/randomized", 0),
+    ] {
+        assert_eq!(
+            m.jobs_completed_of_entry(entry),
+            expected,
+            "per-entry counter for {entry}"
+        );
+    }
     let text = svc.metrics_text();
     for needle in [
         "revmatch_jobs_promise_total 1",
         "revmatch_jobs_identify_total 1",
         "revmatch_jobs_quantum_total 2",
         "revmatch_jobs_sat_total 1",
+        "revmatch_jobs_enumerate_total 1",
+        "revmatch_enumerated_witnesses_total",
+        "revmatch_registry_entry_jobs_total{entry=\"n-i/simon\"} 1",
+        "revmatch_registry_entry_jobs_total{entry=\"np-i/c2-inverse\"} 1",
+        "revmatch_registry_entry_jobs_total{entry=\"n-i/sat-enumerate\"} 1",
         "revmatch_job_kind_latency_seconds_count{kind=\"promise\"} 1",
         "revmatch_job_kind_latency_seconds_count{kind=\"identify\"} 1",
         "revmatch_job_kind_latency_seconds_count{kind=\"quantum\"} 2",
         "revmatch_job_kind_latency_seconds_count{kind=\"sat\"} 1",
+        "revmatch_job_kind_latency_seconds_count{kind=\"enumerate\"} 1",
         "revmatch_job_kind_latency_seconds_bucket{kind=\"sat\",le=",
     ] {
         assert!(text.contains(needle), "missing {needle}\n{text}");
+    }
+    svc.shutdown();
+}
+
+/// Enumeration jobs through the service: a repeated family hits the
+/// per-shard solver cache, and a zero count is a clean negative (not a
+/// metrics failure), mirroring identification semantics.
+#[test]
+fn enumerate_jobs_reuse_solvers_and_report_clean_negatives() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE7);
+    let inst = random_instance(Equivalence::new(Side::N, Side::I), 5, &mut rng);
+    let job = EnumerateJob::new(
+        inst.c1.clone(),
+        inst.c2.clone(),
+        WitnessFamily::InputNegation,
+    );
+    let svc = service(1);
+    let first = svc.submit_wait(job.clone()).wait();
+    let planted_count = first.witness_count.expect("enumeration completes");
+    assert!(planted_count >= 1);
+    assert_eq!(first.kind, JobKind::Enumerate);
+    let second = svc.submit_wait(job).wait();
+    assert_eq!(second.witness_count, Some(planted_count));
+    assert_eq!(
+        second.witness.as_ref().ok(),
+        first.witness.as_ref().ok(),
+        "warm re-enumeration is bit-identical"
+    );
+    assert!(
+        svc.metrics().solver_cache_hits() >= 1,
+        "the second sweep must re-enter the cached family solver"
+    );
+
+    // Unrelated pair: count 0, NoEquivalence, not a failure.
+    let a = revmatch_circuit::random_function_circuit(4, &mut rng);
+    let b = revmatch_circuit::random_function_circuit(4, &mut rng);
+    let report = svc
+        .submit_wait(EnumerateJob::new(a, b, WitnessFamily::InputNegation))
+        .wait();
+    if report.witness_count == Some(0) {
+        assert!(matches!(report.witness, Err(MatchError::NoEquivalence)));
+        assert_eq!(
+            svc.metrics().jobs_failed(),
+            0,
+            "a zero count is a complete answer, not a failure"
+        );
     }
     svc.shutdown();
 }
