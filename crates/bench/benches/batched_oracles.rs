@@ -1,11 +1,16 @@
 //! Benchmarks for the batched oracle engine: per-probe scalar `query`
-//! vs bit-sliced `query_batch` vs precompiled dense tables, plus
-//! end-to-end `MatchEngine` throughput.
+//! vs the bit-sliced kernels (`sliced64`, `wide256` with AVX2 dispatch)
+//! vs precompiled dense tables, plus `DenseTable::compile` old-vs-new
+//! and end-to-end `MatchEngine` throughput.
 //!
-//! Beyond the criterion groups, `main` prints a speedup summary for the
-//! headline comparison (width-12 random circuits, 4096 probes): the
-//! bit-sliced and dense-table paths are expected to beat per-probe
-//! scalar evaluation by well over an order of magnitude.
+//! Beyond the criterion groups, `main` prints speedup summaries and
+//! **asserts** the kernel-layer acceptance floors in-bench: every
+//! kernel's outputs bit-identical to per-probe scalar evaluation
+//! always, and — when the AVX2 path is what dispatch resolves to —
+//! `wide256` ≥ 2× over `sliced64` on width-12 probes and the new
+//! compile ≥ 3× over the old transpose-sweep at width 16. The selected
+//! kernel is logged (`selected kernel: …`) so CI can grep both the
+//! forced-`sliced64` and auto-dispatch runs.
 
 use std::time::Instant;
 
@@ -16,7 +21,8 @@ use revmatch::{
     MatchEngine, MatchService, MatcherConfig, Oracle, ServiceConfig, Side,
 };
 use revmatch_circuit::{
-    random_circuit, width_mask, BatchEvaluator, EvalBackend, RandomCircuitSpec,
+    active_kernel_name, random_circuit, width_mask, BatchEvaluator, DenseTable, EvalBackend,
+    Kernel, RandomCircuitSpec,
 };
 
 const PROBES: usize = 4096;
@@ -58,6 +64,43 @@ fn bench_eval_backends(c: &mut Criterion) {
         let dense = Oracle::precompiled(circuit.clone());
         group.bench_with_input(BenchmarkId::new("batch_dense", width), &width, |b, _| {
             b.iter(|| dense.query_batch(black_box(&xs)));
+        });
+    }
+    group.finish();
+}
+
+/// The kernel × width matrix: every bit-sliced kernel at widths
+/// straddling the packing cutoff (≤ 32 packs) and the dense-auto rule.
+fn bench_kernel_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_kernels");
+    for &width in &[8usize, 12, 16, 20, 33] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let circuit = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+        let xs = probe_set(width, PROBES, 2);
+        for kernel in [Kernel::Sliced64, Kernel::Wide256Portable, Kernel::Wide256] {
+            let eval = BatchEvaluator::with_kernel(&circuit, kernel);
+            group.bench_with_input(BenchmarkId::new(kernel.name(), width), &width, |b, _| {
+                b.iter(|| eval.apply_batch(black_box(&xs)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// `DenseTable::compile` old vs new: the PR-1 transpose-sweep path
+/// (`Kernel::Sliced64`) against the constant-init wide sweep the auto
+/// kernel picks.
+fn bench_table_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_compile");
+    group.sample_size(10);
+    for &width in &[12usize, 16, 20] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let circuit = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+        group.bench_with_input(BenchmarkId::new("sweep_old", width), &width, |b, _| {
+            b.iter(|| DenseTable::compile_with(black_box(&circuit), Kernel::Sliced64).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("wide_new", width), &width, |b, _| {
+            b.iter(|| DenseTable::compile(black_box(&circuit)).unwrap());
         });
     }
     group.finish();
@@ -146,6 +189,90 @@ fn best_ns_per_probe(reps: usize, probes: usize, mut f: impl FnMut() -> u64) -> 
     best
 }
 
+/// Per-kernel ns/probe at one width, with bit-identity asserted against
+/// per-probe scalar `apply` on every kernel.
+fn kernel_row(width: usize) -> (f64, f64, f64, f64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let circuit = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+    let xs = probe_set(width, PROBES, 2);
+    let expect: Vec<u64> = xs.iter().map(|&x| circuit.apply(x)).collect();
+    let mut ns = [0.0f64; 4];
+    for (slot, kernel) in ns.iter_mut().zip(Kernel::ALL) {
+        let eval = BatchEvaluator::with_kernel(&circuit, kernel);
+        assert_eq!(
+            eval.apply_batch(&xs),
+            expect,
+            "kernel {kernel} diverged from scalar at width {width}"
+        );
+        *slot = best_ns_per_probe(20, PROBES, || {
+            eval.apply_batch(&xs).iter().fold(0, |a, &y| a ^ y)
+        });
+    }
+    let [scalar, sliced64, portable, wide] = ns;
+    (scalar, sliced64, portable, wide)
+}
+
+/// The kernel matrix summary plus the width-12 acceptance floor:
+/// `wide256` ≥ 2× over `sliced64`, asserted when dispatch resolves to
+/// the AVX2 path (the portable fallback carries no such guarantee).
+fn kernel_summary() {
+    println!("\n== kernel matrix ({PROBES} probes, 3·width gates, ns/probe) ==");
+    println!("width |   scalar | sliced64 | wide256-portable |  wide256 | wide/sliced");
+    for width in [8usize, 12, 16, 20, 33] {
+        let (scalar, sliced64, portable, wide) = kernel_row(width);
+        let ratio = sliced64 / wide;
+        println!(
+            "{width:5} | {scalar:8.2} | {sliced64:8.2} | {portable:16.2} | {wide:8.2} | {ratio:10.2}x"
+        );
+        if width == 12 && Kernel::Wide256.dispatch_name() == "wide256-avx2" {
+            assert!(
+                ratio >= 2.0,
+                "acceptance: wide256 must be ≥ 2x sliced64 at width 12, got {ratio:.2}x"
+            );
+        }
+    }
+}
+
+/// `DenseTable::compile` old-vs-new summary plus the width-16
+/// acceptance floor (≥ 3× when the AVX2 path is active), with the
+/// tables asserted bit-identical to the scalar compile.
+fn compile_summary() {
+    println!("\n== dense-table compile, old transpose-sweep vs new wide sweep ==");
+    for width in [12usize, 16, 20] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let circuit = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+        let reference = DenseTable::compile_with(&circuit, Kernel::Scalar).unwrap();
+        assert_eq!(
+            DenseTable::compile(&circuit).unwrap(),
+            reference,
+            "new compile diverged from scalar at width {width}"
+        );
+        let reps = 12;
+        let mut old_best = f64::INFINITY;
+        let mut new_best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            black_box(DenseTable::compile_with(black_box(&circuit), Kernel::Sliced64).unwrap());
+            old_best = old_best.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(DenseTable::compile(black_box(&circuit)).unwrap());
+            new_best = new_best.min(start.elapsed().as_secs_f64());
+        }
+        let ratio = old_best / new_best;
+        println!(
+            "width {width:2}: old {:9.1} µs | new {:9.1} µs | {ratio:5.2}x",
+            old_best * 1e6,
+            new_best * 1e6
+        );
+        if width == 16 && active_kernel_name() == "wide256-avx2" {
+            assert!(
+                ratio >= 3.0,
+                "acceptance: new compile must be ≥ 3x the old sweep at width 16, got {ratio:.2}x"
+            );
+        }
+    }
+}
+
 fn speedup_summary() {
     for width in [12usize, 20] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
@@ -185,7 +312,7 @@ fn speedup_summary() {
         );
         println!("scalar oracle query      : {scalar:8.2} ns/probe   1.00x");
         println!(
-            "bit-sliced  query_batch  : {sliced:8.2} ns/probe   {:5.2}x  (raw kernel {raw_sliced:.2} ns)",
+            "batched     query_batch  : {sliced:8.2} ns/probe   {:5.2}x  (raw kernel {raw_sliced:.2} ns)",
             scalar / sliced
         );
         println!(
@@ -262,9 +389,20 @@ fn serving_comparison(label: &str, jobs: &[EngineJob]) {
     }
 }
 
-criterion_group!(benches, bench_eval_backends, bench_engine_throughput);
+criterion_group!(
+    benches,
+    bench_eval_backends,
+    bench_kernel_matrix,
+    bench_table_compile,
+    bench_engine_throughput
+);
 
 fn main() {
+    // The CI smokes grep this line in both the auto-dispatch and the
+    // forced-kernel (REVMATCH_KERNEL) runs.
+    println!("selected kernel: {}", active_kernel_name());
     benches();
+    kernel_summary();
+    compile_summary();
     speedup_summary();
 }

@@ -47,9 +47,9 @@ use rand::SeedableRng;
 const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
 [--job-mix KIND[:KIND...]] [--seed N] [--epsilon F] [--sat-verify 0|1] \
-[--backend dpll|cdcl]";
+[--backend dpll|cdcl] [--kernel scalar|sliced64|wide256-portable|wide256]";
 
-const KNOWN_FLAGS: [&str; 11] = [
+const KNOWN_FLAGS: [&str; 12] = [
     "rate",
     "duration-ms",
     "shards",
@@ -61,6 +61,7 @@ const KNOWN_FLAGS: [&str; 11] = [
     "epsilon",
     "sat-verify",
     "backend",
+    "kernel",
 ];
 
 /// Pre-generated jobs per (width, equivalence, kind-entry) cell of the
@@ -186,6 +187,13 @@ fn main() {
                 .expect("--job-mix: expected promise|identify|quantum|sat")
         })
         .collect();
+    // Kernel forcing: a process-wide override every oracle walk and
+    // table compile in the service then dispatches through.
+    let kernel = flags.get_str("kernel", "");
+    if !kernel.is_empty() {
+        revmatch_circuit::set_kernel_override(Some(kernel.parse().expect("--kernel")));
+    }
+    println!("oracle kernel: {}", revmatch_circuit::active_kernel_name());
 
     let pool = build_pool(&widths, &mix, &kinds, seed, sat_verify);
     println!(
@@ -313,6 +321,20 @@ fn main() {
         m.latency().sum() as f64 / m.latency().count().max(1) as f64 / 1000.0,
         p(0.50),
         p(0.99),
+    );
+    // Warm-up cost: cold dense-table compiles this run (cache misses
+    // that built a table), on the kernel reported above.
+    let tc = m.table_compile();
+    let tc_p99 = match tc.quantile_upper_bound(0.99) {
+        Some(u64::MAX) => "overflow".to_owned(),
+        Some(us) => format!("≤{us}µs"),
+        None => "n/a".to_owned(),
+    };
+    println!(
+        "table compiles: {} cold, {:.2}ms total, p99 {tc_p99} | {} table cache hits",
+        tc.count(),
+        tc.sum() as f64 / 1000.0,
+        m.table_cache_hits(),
     );
 
     println!("\n--- metrics export ---");

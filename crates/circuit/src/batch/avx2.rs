@@ -1,0 +1,253 @@
+//! AVX2 instantiation of the wide-word kernels (x86-64, stable Rust).
+//!
+//! `std::simd` is nightly-only on the pinned toolchain, so the 256-bit
+//! path is built from `core::arch` intrinsics: [`A256`] wraps an
+//! `__m256i` and implements the same [`Word`] trait the portable
+//! `[u64; 4]` type does, and the *identical* generic loops from
+//! [`super::word`] are monomorphized with it. Nothing algorithmic lives
+//! here — only the lane arithmetic — which is what lets the portable
+//! type serve as a bit-exact differential oracle for this one.
+//!
+//! # Dispatch safety
+//!
+//! Every entry point below is a thin safe wrapper that checks
+//! [`available`] (`is_x86_feature_detected!("avx2")`, cached by `std`)
+//! and only then enters a `#[target_feature(enable = "avx2")]` shell.
+//! The generic inner loops are `#[inline(always)]`, so they collapse
+//! into the shell and compile with AVX2 enabled — the per-`u64`-lane
+//! shifts of the shared transpose become single `vpsllq`/`vpsrlq`
+//! instructions, the gate walk becomes `vpand`/`vpxor`. Shift counts
+//! are runtime values (the transpose halves them per round), so the
+//! variable-count `_mm256_sll_epi64`/`_mm256_srl_epi64` forms are used
+//! rather than the const-immediate `slli`/`srli` ones.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use super::word::{apply_gates_in_place_portable, apply_packed_into, apply_wide_into};
+use super::word::{compile_packed_into, Word};
+use crate::gate::Gate;
+
+/// Whether the running CPU has AVX2 (feature detection is cached).
+#[inline]
+pub(super) fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// A 256-bit kernel word backed by an AVX2 register: four `u64` lanes,
+/// the same layout as the portable `W256`.
+#[derive(Clone, Copy)]
+struct A256(__m256i);
+
+// Safety throughout: every method is reached only from the
+// `#[target_feature(enable = "avx2")]` shells at the bottom of this
+// file, which are themselves entered only after `available()`.
+impl Word for A256 {
+    const LANES64: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        unsafe { A256(_mm256_setzero_si256()) }
+    }
+    #[inline(always)]
+    fn ones() -> Self {
+        unsafe { A256(_mm256_set1_epi64x(-1)) }
+    }
+    #[inline(always)]
+    fn splat(x: u64) -> Self {
+        unsafe { A256(_mm256_set1_epi64x(x as i64)) }
+    }
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        unsafe { A256(_mm256_and_si256(self.0, other.0)) }
+    }
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        unsafe { A256(_mm256_xor_si256(self.0, other.0)) }
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        // andnot(a, ones): !a & ones.
+        unsafe { A256(_mm256_andnot_si256(self.0, _mm256_set1_epi64x(-1))) }
+    }
+    #[inline(always)]
+    fn shl(self, k: u32) -> Self {
+        unsafe { A256(_mm256_sll_epi64(self.0, _mm_cvtsi64_si128(k as i64))) }
+    }
+    #[inline(always)]
+    fn shr(self, k: u32) -> Self {
+        unsafe { A256(_mm256_srl_epi64(self.0, _mm_cvtsi64_si128(k as i64))) }
+    }
+    #[inline(always)]
+    fn gather(src: &[u64], base: usize, stride: usize) -> Self {
+        unsafe {
+            if stride == 1 {
+                debug_assert!(base + 4 <= src.len());
+                A256(_mm256_loadu_si256(src.as_ptr().add(base).cast()))
+            } else {
+                A256(_mm256_set_epi64x(
+                    src[base + 3 * stride] as i64,
+                    src[base + 2 * stride] as i64,
+                    src[base + stride] as i64,
+                    src[base] as i64,
+                ))
+            }
+        }
+    }
+    #[inline(always)]
+    fn scatter(self, dst: &mut [u64], base: usize, stride: usize) {
+        unsafe {
+            let mut lanes = [0u64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), self.0);
+            for (i, lane) in lanes.into_iter().enumerate() {
+                dst[base + i * stride] = lane;
+            }
+        }
+    }
+}
+
+/// Unpacked wide kernel, AVX2 lanes. Falls back to the portable word if
+/// the CPU lacks AVX2 so callers never have to branch.
+#[inline]
+pub(super) fn apply_wide(gates: &[Gate], xs: &[u64], out: &mut [u64]) -> bool {
+    if !available() {
+        return false;
+    }
+    // Safety: AVX2 presence checked above.
+    unsafe { apply_wide_avx2(gates, xs, out) }
+    true
+}
+
+/// Half-word packed wide kernel, AVX2 lanes (width ≤ 32).
+#[inline]
+pub(super) fn apply_packed(gates: &[Gate], xs: &[u64], out: &mut [u64]) -> bool {
+    if !available() {
+        return false;
+    }
+    // Safety: AVX2 presence checked above.
+    unsafe { apply_packed_avx2(gates, xs, out) }
+    true
+}
+
+/// Packed constant-init dense-table compile sweep, AVX2 lanes.
+#[inline]
+pub(super) fn compile_packed(gates: &[Gate], width: usize, table: &mut [u64]) -> bool {
+    if !available() {
+        return false;
+    }
+    // Safety: AVX2 presence checked above.
+    unsafe { compile_packed_avx2(gates, width, table) }
+    true
+}
+
+/// In-place whole-table gate application, AVX2: one
+/// `vpand`+`vpcmpeqq`+`vpand`+`vpxor` per four entries per gate.
+#[inline]
+pub(super) fn apply_gates_in_place(gates: &[Gate], table: &mut [u64]) -> bool {
+    if !available() {
+        return false;
+    }
+    // Safety: AVX2 presence checked above.
+    unsafe { apply_gates_in_place_avx2(gates, table) }
+    true
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn apply_wide_avx2(gates: &[Gate], xs: &[u64], out: &mut [u64]) {
+    apply_wide_into::<A256>(gates, xs, out);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn apply_packed_avx2(gates: &[Gate], xs: &[u64], out: &mut [u64]) {
+    apply_packed_into::<A256>(gates, xs, out);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn compile_packed_avx2(gates: &[Gate], width: usize, table: &mut [u64]) {
+    compile_packed_into::<A256>(gates, width, table);
+}
+
+/// Entries per cache-resident chunk, matching the portable twin.
+const IN_PLACE_CHUNK: usize = 1024;
+
+#[target_feature(enable = "avx2")]
+unsafe fn apply_gates_in_place_avx2(gates: &[Gate], table: &mut [u64]) {
+    for chunk in table.chunks_mut(IN_PLACE_CHUNK) {
+        let (quads, tail) = chunk.split_at_mut(chunk.len() / 4 * 4);
+        for g in gates {
+            let mask = _mm256_set1_epi64x(g.control_mask() as i64);
+            let value = _mm256_set1_epi64x(g.positive_mask() as i64);
+            let bit = _mm256_set1_epi64x((1u64 << g.target()) as i64);
+            let mut p = quads.as_mut_ptr();
+            let end = p.add(quads.len());
+            while p < end {
+                let v = _mm256_loadu_si256(p.cast());
+                let fire = _mm256_cmpeq_epi64(_mm256_and_si256(v, mask), value);
+                let flipped = _mm256_xor_si256(v, _mm256_and_si256(fire, bit));
+                _mm256_storeu_si256(p.cast(), flipped);
+                p = p.add(4);
+            }
+        }
+        if !tail.is_empty() {
+            apply_gates_in_place_portable(gates, tail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::width_mask;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use rand::{Rng, SeedableRng};
+
+    fn scalar(gates: &[Gate], xs: &[u64]) -> Vec<u64> {
+        xs.iter()
+            .map(|&x| gates.iter().fold(x, |v, g| g.apply(v)))
+            .collect()
+    }
+
+    #[test]
+    fn avx2_paths_match_scalar_when_available() {
+        if !available() {
+            return;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for width in [1usize, 12, 32, 33, 64] {
+            let c = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+            let mask = width_mask(width);
+            for len in [0usize, 1, 63, 64, 255, 256, 257, 700] {
+                let xs: Vec<u64> = (0..len).map(|_| rng.gen::<u64>() & mask).collect();
+                let expect = scalar(c.gates(), &xs);
+                let mut out = vec![0u64; len];
+                assert!(apply_wide(c.gates(), &xs, &mut out));
+                assert_eq!(out, expect, "avx2 wide width={width} len={len}");
+                if width <= super::super::word::PACK_MAX_WIDTH {
+                    assert!(apply_packed(c.gates(), &xs, &mut out));
+                    assert_eq!(out, expect, "avx2 packed width={width} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_compile_and_in_place_match_scalar_sweep() {
+        if !available() {
+            return;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for width in [9usize, 10, 12] {
+            let c = random_circuit(&RandomCircuitSpec::for_width(width), &mut rng);
+            let size = 1usize << width;
+            let inputs: Vec<u64> = (0..size as u64).collect();
+            let expect = scalar(c.gates(), &inputs);
+            let mut table = vec![0u64; size];
+            assert!(compile_packed(c.gates(), width, &mut table));
+            assert_eq!(table, expect, "avx2 compile width={width}");
+            let mut table = inputs.clone();
+            assert!(apply_gates_in_place(c.gates(), &mut table));
+            assert_eq!(table, expect, "avx2 in-place width={width}");
+        }
+    }
+}

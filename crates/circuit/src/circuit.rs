@@ -133,8 +133,8 @@ impl Circuit {
     }
 
     /// Applies the circuit to every pattern in `xs`, walking the gate
-    /// cascade once per 64 probes via the bit-sliced evaluator
-    /// (see [`crate::batch`]).
+    /// cascade once per block of probes via the bit-sliced kernels
+    /// (see [`crate::batch`]; the kernel is [`crate::batch::Kernel::auto`]).
     ///
     /// Output order matches input order; `apply_batch(&[x])[0]` equals
     /// [`Circuit::apply`]`(x)` for every `x`.
@@ -144,7 +144,7 @@ impl Circuit {
     /// Panics in debug builds if any pattern has bits beyond the
     /// circuit width.
     pub fn apply_batch(&self, xs: &[u64]) -> Vec<u64> {
-        crate::batch::apply_bitsliced(self, xs)
+        crate::batch::apply_kernel(self, crate::batch::Kernel::auto(), xs)
     }
 
     /// Applies the circuit to a [`Bits`] pattern.

@@ -136,6 +136,13 @@ fn depth_bounds() -> Vec<u64> {
         .collect()
 }
 
+/// Table-compile bucket bounds in microseconds: 1 µs … ~1 s, doubling —
+/// a width-12 compile lands in the single-digit-µs buckets, a width-20
+/// one in the millisecond range.
+fn compile_bounds() -> Vec<u64> {
+    (0..21).map(|i| 1u64 << i).collect()
+}
+
 /// Metrics registry for one [`super::MatchService`].
 ///
 /// All counters are monotonic totals since service start; gauges track the
@@ -167,6 +174,9 @@ pub struct Metrics {
     shard_depth: Vec<AtomicU64>,
     latency: Histogram,
     intake_depth: Histogram,
+    /// Cold dense-table compile latency in worker oracle setup (cache
+    /// misses only — hits never compile).
+    table_compile: Histogram,
 }
 
 impl Metrics {
@@ -190,6 +200,7 @@ impl Metrics {
             shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: Histogram::new(latency_bounds()),
             intake_depth: Histogram::new(depth_bounds()),
+            table_compile: Histogram::new(compile_bounds()),
         }
     }
 
@@ -249,6 +260,12 @@ impl Metrics {
     /// Counts one warm re-entry into a cached miter solver.
     pub(crate) fn record_solver_cache_hit(&self) {
         self.solver_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cold dense-table compile (a worker table-cache miss
+    /// that actually built a table).
+    pub(crate) fn record_table_compile(&self, micros: u64) {
+        self.table_compile.observe(micros);
     }
 
     /// Counts the witnesses found by one completed enumeration job.
@@ -363,6 +380,11 @@ impl Metrics {
     /// The intake-depth-at-submit histogram.
     pub fn intake_depth(&self) -> &Histogram {
         &self.intake_depth
+    }
+
+    /// The cold dense-table compile histogram (microseconds).
+    pub fn table_compile(&self) -> &Histogram {
+        &self.table_compile
     }
 
     /// Serializes every metric in the Prometheus text exposition format.
@@ -492,6 +514,26 @@ impl Metrics {
             "Intake-lane depth observed at each accepted submit.",
             1.0,
         );
+        self.table_compile.render(
+            &mut out,
+            "revmatch_table_compile_seconds",
+            "Cold dense-table compile latency in worker oracle setup.",
+            1e6,
+        );
+        // The evaluation kernel the batch entry points dispatch to, as
+        // an info-style gauge (value always 1; the label carries the
+        // resolved name, e.g. wide256-avx2).
+        let name = "revmatch_kernel_info";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Active oracle evaluation kernel (dispatch-resolved)."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(
+            out,
+            "{name}{{kernel=\"{}\"}} 1",
+            revmatch_circuit::active_kernel_name()
+        );
         out
     }
 }
@@ -541,6 +583,7 @@ mod tests {
         m.record_sat_verify(true);
         m.record_table_cache_hits(4);
         m.record_solver_cache_hit();
+        m.record_table_compile(7);
         let text = m.render();
         for needle in [
             "revmatch_jobs_submitted_total 1",
@@ -562,6 +605,8 @@ mod tests {
             "revmatch_job_kind_latency_seconds_bucket{kind=\"promise\",le=",
             "revmatch_job_kind_latency_seconds_count{kind=\"identify\"} 1",
             "revmatch_intake_depth_count 1",
+            "revmatch_table_compile_seconds_count 1",
+            "revmatch_kernel_info{kernel=\"",
         ] {
             assert!(text.contains(needle), "missing {needle}\n{text}");
         }

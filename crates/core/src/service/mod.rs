@@ -298,7 +298,9 @@ struct Shared {
 
 impl Shared {
     /// Wraps a circuit in an oracle, going through the worker's
-    /// kind-keyed dense-table cache when precompilation is on.
+    /// kind-keyed dense-table cache when precompilation is on. A cache
+    /// miss that compiles a table records its latency in the
+    /// `table_compile` histogram (warm-up cost, visible under load).
     fn oracle(
         &self,
         kind: JobKind,
@@ -307,8 +309,15 @@ impl Shared {
         table_hits: &mut u64,
     ) -> Oracle {
         if self.precompile {
+            let compiles = circuit.width() <= revmatch_circuit::DENSE_MAX_WIDTH;
+            let start = Instant::now();
             let (oracle, hit) = caches.oracle_for(kind, circuit);
-            *table_hits += u64::from(hit);
+            if hit {
+                *table_hits += 1;
+            } else if compiles {
+                self.metrics
+                    .record_table_compile(start.elapsed().as_micros() as u64);
+            }
             oracle
         } else {
             Oracle::new(circuit)
