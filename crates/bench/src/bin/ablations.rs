@@ -58,6 +58,7 @@ fn ablation_quantum_k() {
             epsilon: 0.5f64.powi(k as i32),
             quantum_k: k,
             swap_method: SwapTestMethod::Analytic,
+            quantum_backend: None,
         };
         let runs = 400;
         let mut failures = 0;

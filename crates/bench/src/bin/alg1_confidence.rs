@@ -27,6 +27,7 @@ fn main() {
             epsilon: 0.5f64.powi(k as i32),
             quantum_k: k,
             swap_method: SwapTestMethod::Analytic,
+            quantum_backend: None,
         };
         let mut failures = 0;
         for _ in 0..RUNS {

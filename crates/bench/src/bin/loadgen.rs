@@ -41,15 +41,17 @@ use revmatch::{
     ServiceConfig, Side, SolverBackend, SubmitOutcome, WitnessFamily,
 };
 use revmatch_bench::{service_flags, Flags};
+use revmatch_quantum::QuantumBackend;
 
 use rand::SeedableRng;
 
 const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
 [--job-mix KIND[:KIND...]] [--seed N] [--epsilon F] [--sat-verify 0|1] \
-[--backend dpll|cdcl] [--kernel scalar|sliced64|wide256-portable|wide256]";
+[--backend dpll|cdcl] [--kernel scalar|sliced64|wide256-portable|wide256] \
+[--quantum-backend dense|sparse|stabilizer]";
 
-const KNOWN_FLAGS: [&str; 12] = [
+const KNOWN_FLAGS: [&str; 13] = [
     "rate",
     "duration-ms",
     "shards",
@@ -62,6 +64,7 @@ const KNOWN_FLAGS: [&str; 12] = [
     "sat-verify",
     "backend",
     "kernel",
+    "quantum-backend",
 ];
 
 /// Pre-generated jobs per (width, equivalence, kind-entry) cell of the
@@ -94,12 +97,32 @@ fn job_for_kind(
             JobSpec::Identify(IdentifyJob::new(inst.c1, inst.c2).without_brute_force())
         }
         // Quantum-path jobs run the classically-exponential N-I case:
-        // Simon-style sampling while 2n+1 simulated qubits fit, swap-test
-        // Algorithm 1 beyond.
+        // Simon-style sampling while the *planned* simulation backend
+        // (forced via --quantum-backend / REVMATCH_QBACKEND, stabilizer
+        // under auto policy) can hold the round, swap-test Algorithm 1
+        // beyond — so a forced narrow backend degrades to the wider
+        // algorithm instead of submitting jobs that can only fail.
         JobKind::Quantum => {
             let e = Equivalence::new(Side::N, Side::I);
-            let inst = random_instance(e, width, rng);
-            let algorithm = if 2 * width < revmatch_quantum::MAX_QUBITS {
+            // Wide instances (past the dense-table ceiling) come from a
+            // bounded MCT cascade: a synthesized uniform function would
+            // make both pool generation and oracle evaluation quadratic
+            // in the truth table.
+            let inst = if 2 * width < revmatch_quantum::MAX_QUBITS {
+                random_instance(e, width, rng)
+            } else {
+                revmatch::random_wide_instance(e, width, 4 * width, rng)
+            };
+            let simon_cap = match QuantumBackend::forced() {
+                Some(QuantumBackend::Dense) => (revmatch_quantum::MAX_QUBITS - 1) / 2,
+                Some(QuantumBackend::Sparse) => {
+                    revmatch_quantum::SPARSE_MAX_ENTRIES.ilog2() as usize - 1
+                }
+                // Auto resolves Simon to the stabilizer tableau; 31 keeps
+                // the sampled x₀ comfortably inside a u64 word.
+                None | Some(QuantumBackend::Stabilizer) => 31,
+            };
+            let algorithm = if width <= simon_cap {
                 QuantumAlgorithm::Simon
             } else {
                 QuantumAlgorithm::SwapTest
@@ -194,6 +217,19 @@ fn main() {
         revmatch_circuit::set_kernel_override(Some(kernel.parse().expect("--kernel")));
     }
     println!("oracle kernel: {}", revmatch_circuit::active_kernel_name());
+    // Quantum-backend forcing: same shape as --kernel. Unforced, the
+    // per-algorithm auto policy applies (stabilizer for Simon, sparse
+    // for swap tests) and the summary line reads "auto".
+    let qbackend = flags.get_str("quantum-backend", "");
+    if !qbackend.is_empty() {
+        revmatch_quantum::set_quantum_backend_override(Some(
+            qbackend.parse().expect("--quantum-backend"),
+        ));
+    }
+    println!(
+        "quantum backend: {}",
+        revmatch_quantum::active_quantum_backend_name()
+    );
 
     let pool = build_pool(&widths, &mix, &kinds, seed, sat_verify);
     println!(
@@ -273,6 +309,19 @@ fn main() {
         }
     }
     println!("per-kind completions:{by_kind}");
+    if kinds.contains(&JobKind::Quantum) {
+        let mut by_backend = String::new();
+        for backend in QuantumBackend::ALL {
+            let dispatched = m.quantum_jobs_of_backend(backend);
+            if dispatched > 0 {
+                by_backend.push_str(&format!(" {backend}={dispatched}"));
+            }
+        }
+        println!(
+            "quantum dispatch [{}]:{by_backend}",
+            revmatch_quantum::active_quantum_backend_name()
+        );
+    }
     if kinds.contains(&JobKind::Enumerate) {
         let done = m.jobs_completed_of(JobKind::Enumerate);
         assert!(

@@ -390,7 +390,10 @@ fn compile_block_into<W: Word>(gates: &[Gate], width: usize, base: u64, dst: &mu
 #[inline(always)]
 pub(crate) fn compile_packed_into<W: Word>(gates: &[Gate], width: usize, table: &mut [u64]) {
     let span = 128 * W::LANES64;
-    debug_assert!(table.len().is_multiple_of(span), "table must be whole blocks");
+    debug_assert!(
+        table.len().is_multiple_of(span),
+        "table must be whole blocks"
+    );
     let mut base = 0;
     while base < table.len() {
         compile_block_into::<W>(gates, width, base as u64, &mut table[base..base + span]);

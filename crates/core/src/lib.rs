@@ -140,10 +140,11 @@ pub use matchers::{
     brute_force_match, count_witnesses, match_i_n, match_i_np_randomized,
     match_i_np_via_c1_inverse, match_i_np_via_c2_inverse, match_i_p_randomized,
     match_i_p_via_c1_inverse, match_i_p_via_c2_inverse, match_n_i_collision, match_n_i_quantum,
-    match_n_i_simon, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse, match_n_p_via_inverses,
-    match_np_i_quantum, match_np_i_via_c1_inverse, match_np_i_via_c2_inverse, match_p_i_one_hot,
-    match_p_i_via_c1_inverse, match_p_i_via_c2_inverse, match_p_n, match_p_n_via_inverses,
-    solve_promise, solve_promise_report, InverseAvailability, MatchReport, Matcher, MatcherConfig,
+    match_n_i_simon, match_n_i_simon_with, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse,
+    match_n_p_via_inverses, match_np_i_quantum, match_np_i_via_c1_inverse,
+    match_np_i_via_c2_inverse, match_p_i_one_hot, match_p_i_via_c1_inverse,
+    match_p_i_via_c2_inverse, match_p_n, match_p_n_via_inverses, solve_promise,
+    solve_promise_report, InverseAvailability, MatchReport, Matcher, MatcherConfig,
     MatcherRegistry, Path, ProblemOracles, Verdict,
 };
 pub use miter::{

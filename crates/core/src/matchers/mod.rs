@@ -45,7 +45,7 @@ pub use i_p::{match_i_p_randomized, match_i_p_via_c1_inverse, match_i_p_via_c2_i
 pub use n_i::{
     match_n_i_collision, match_n_i_quantum, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse,
 };
-pub use n_i_simon::match_n_i_simon;
+pub use n_i_simon::{match_n_i_simon, match_n_i_simon_with};
 pub use n_p::match_n_p_via_inverses;
 pub use np_i::{match_np_i_quantum, match_np_i_via_c1_inverse, match_np_i_via_c2_inverse};
 pub use p_i::{match_p_i_one_hot, match_p_i_via_c1_inverse, match_p_i_via_c2_inverse};
@@ -53,7 +53,7 @@ pub use p_n::{match_p_n, match_p_n_via_inverses};
 pub use registry::{InverseAvailability, MatchReport, Matcher, MatcherRegistry, Path, Verdict};
 
 use rand::Rng;
-use revmatch_quantum::SwapTestMethod;
+use revmatch_quantum::{QuantumBackend, SwapTestMethod};
 
 use crate::equivalence::Equivalence;
 use crate::error::MatchError;
@@ -70,6 +70,12 @@ pub struct MatcherConfig {
     pub quantum_k: usize,
     /// How swap tests are executed.
     pub swap_method: SwapTestMethod,
+    /// Quantum simulation substrate. `None` (the default) defers to the
+    /// process-wide override ([`QuantumBackend::forced`], settable via
+    /// `REVMATCH_QBACKEND`) and then to the per-algorithm auto policy:
+    /// Stabilizer for the Clifford-only Simon sampler, Sparse for
+    /// swap-test probes.
+    pub quantum_backend: Option<QuantumBackend>,
 }
 
 impl Default for MatcherConfig {
@@ -78,6 +84,7 @@ impl Default for MatcherConfig {
             epsilon: 1e-6,
             quantum_k: 20,
             swap_method: SwapTestMethod::Analytic,
+            quantum_backend: None,
         }
     }
 }
@@ -93,7 +100,28 @@ impl MatcherConfig {
         Self {
             epsilon,
             quantum_k: (1.0 / epsilon).log2().ceil() as usize,
-            swap_method: SwapTestMethod::Analytic,
+            ..Self::default()
+        }
+    }
+
+    /// The resolved substrate for the Simon hidden-shift sampler:
+    /// explicit config choice, then the process-wide force, then
+    /// Stabilizer (the round is pure Clifford, so the tableau wins at
+    /// every width).
+    pub fn simon_backend(&self) -> QuantumBackend {
+        self.quantum_backend
+            .or_else(QuantumBackend::forced)
+            .unwrap_or(QuantumBackend::Stabilizer)
+    }
+
+    /// The resolved substrate for swap-test probes: explicit config
+    /// choice, then the process-wide force, then Sparse. A Stabilizer
+    /// selection falls back to Sparse — the controlled-SWAP is not
+    /// Clifford, so the tableau cannot execute it.
+    pub fn swap_test_backend(&self) -> QuantumBackend {
+        match self.quantum_backend.or_else(QuantumBackend::forced) {
+            Some(QuantumBackend::Stabilizer) | None => QuantumBackend::Sparse,
+            Some(b) => b,
         }
     }
 }
@@ -284,6 +312,41 @@ pub(crate) fn randomized_rounds(n: usize, epsilon: f64) -> usize {
     assert!(epsilon > 0.0 && epsilon < 1.0);
     let pairs = (n.max(2) * (n.max(2) - 1)) as f64;
     ((pairs / epsilon).log2().ceil() as usize).clamp(1, 127)
+}
+
+/// Runs one swap test between `c1(probe1)` and `c2(probe2)` on the
+/// substrate resolved by [`MatcherConfig::swap_test_backend`], returning
+/// the measured ancilla bit. One query to each box either way.
+pub(crate) fn swap_test_probes(
+    c1: &dyn crate::oracle::QuantumOracle,
+    probe1: &revmatch_quantum::ProductState,
+    c2: &dyn crate::oracle::QuantumOracle,
+    probe2: &revmatch_quantum::ProductState,
+    config: &MatcherConfig,
+    rng: &mut impl Rng,
+) -> Result<bool, MatchError> {
+    match config.swap_test_backend() {
+        QuantumBackend::Dense => {
+            let out1 = c1.query_quantum(probe1)?;
+            let out2 = c2.query_quantum(probe2)?;
+            Ok(revmatch_quantum::swap_test(
+                config.swap_method,
+                &out1,
+                &out2,
+                rng,
+            )?)
+        }
+        QuantumBackend::Sparse | QuantumBackend::Stabilizer => {
+            let out1 = c1.query_quantum_sparse(probe1)?;
+            let out2 = c2.query_quantum_sparse(probe2)?;
+            Ok(revmatch_quantum::swap_test_sparse(
+                config.swap_method,
+                &out1,
+                &out2,
+                rng,
+            )?)
+        }
+    }
 }
 
 pub(crate) fn ensure_same_width(

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 use revmatch_circuit::{width_mask, NegationMask};
-use revmatch_quantum::{swap_test, ProductState, Qubit};
+use revmatch_quantum::{ProductState, Qubit};
 
 use crate::error::MatchError;
 use crate::matchers::{ensure_same_width, MatchReport, MatcherConfig, Verdict};
@@ -179,6 +179,13 @@ pub fn match_n_i_collision(
 /// identical: any `1` outcome proves `ν(i) = 1`; `k` zeros give
 /// `ν(i) = 0` with confidence `1 − 2^{-k}`.
 ///
+/// The probe-and-swap-test simulation substrate is resolved through
+/// [`MatcherConfig::swap_test_backend`] (Sparse by default — `|+⟩`-blanket
+/// probes have at most `2^{n−1}` nonzero amplitudes, so the sparse path
+/// both outruns the dense vector and reaches widths it cannot represent;
+/// Stabilizer requests fall back to Sparse because the controlled-SWAP is
+/// not Clifford).
+///
 /// # Errors
 ///
 /// Returns width or simulation errors from the quantum substrate.
@@ -199,9 +206,7 @@ pub fn match_n_i_quantum(
     for i in 0..n {
         let probe = ProductState::uniform(n, Qubit::Plus).with_qubit(i, Qubit::Zero);
         for _ in 0..config.quantum_k {
-            let out1 = c1.query_quantum(&probe)?;
-            let out2 = c2.query_quantum(&probe)?;
-            if swap_test(config.swap_method, &out1, &out2, rng)? {
+            if crate::matchers::swap_test_probes(c1, &probe, c2, &probe, config, rng)? {
                 nu |= 1 << i;
                 break;
             }
@@ -315,9 +320,8 @@ mod tests {
         // The honest 2n+1-qubit simulation agrees with the analytic path.
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let config = MatcherConfig {
-            epsilon: 1e-6,
-            quantum_k: 20,
             swap_method: SwapTestMethod::FullCircuit,
+            ..MatcherConfig::default()
         };
         for w in 1..=4 {
             let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
@@ -342,6 +346,27 @@ mod tests {
         // k = 10 stays at most 2nk = 160 but crucially does not grow with
         // 2^{n/2} — compare against the collision test above at width 10+.
         assert!(total <= 2 * 8 * 10);
+    }
+
+    #[test]
+    fn quantum_backends_recover_the_same_nu() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for w in 2..=6 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            let mut recovered = Vec::new();
+            for backend in revmatch_quantum::QuantumBackend::ALL {
+                let config = MatcherConfig {
+                    quantum_backend: Some(backend),
+                    ..MatcherConfig::default()
+                };
+                let c1 = Oracle::new(inst.c1.clone());
+                let c2 = Oracle::new(inst.c2.clone());
+                let nu = match_n_i_quantum(&c1, &c2, &config, &mut rng).unwrap();
+                assert_eq!(nu, planted_nu(&inst), "width {w}, backend {backend}");
+                recovered.push(nu);
+            }
+            assert!(recovered.windows(2).all(|p| p[0] == p[1]));
+        }
     }
 
     #[test]

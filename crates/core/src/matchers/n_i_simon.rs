@@ -29,8 +29,11 @@
 //! `C` and one of `C⁻¹` per query when white boxes are available.
 
 use rand::Rng;
-use revmatch_circuit::NegationMask;
-use revmatch_quantum::{StateVector, MAX_QUBITS};
+use revmatch_circuit::{width_mask, NegationMask};
+use revmatch_quantum::{
+    QuantumBackend, SparseStateVector, StateVector, Tableau, MAX_QUBITS, SPARSE_MAX_QUBITS,
+    STABILIZER_MAX_QUBITS,
+};
 
 use crate::error::MatchError;
 use crate::matchers::{MatchReport, Verdict};
@@ -137,6 +140,41 @@ pub fn match_n_i_simon(
     c2: &Oracle,
     rng: &mut impl Rng,
 ) -> Result<MatchReport, MatchError> {
+    match_n_i_simon_with(c1, c2, QuantumBackend::Dense, rng)
+}
+
+/// [`match_n_i_simon`] on an explicit simulation substrate.
+///
+/// All three backends sample the identical constraint distribution, so
+/// under the promise the recovered `ν` is **bit-identical** across
+/// backends (the GF(2) system has a unique solution at rank `n`) — only
+/// reachable width and throughput differ:
+///
+/// * [`QuantumBackend::Dense`] — `2^{2n+1}` amplitudes, `n ≤ 9`;
+/// * [`QuantumBackend::Sparse`] — ≤ `2^{n+1}` nonzeros per round,
+///   `n ≤ 19` under the sparse entry budget;
+/// * [`QuantumBackend::Stabilizer`] — the round is reduced to its
+///   Clifford normal form: the oracle queries are evaluated classically
+///   (one to each box per round, identical accounting) to obtain the
+///   collapsed coset pair `(x₀, x₁ = C2⁻¹(C1(x₀)))`, and the residual
+///   state `(|0,x₀⟩ + |1,x₁⟩)/√2` is prepared and Fourier-sampled on an
+///   `(n+1)`-qubit tableau in `O(n²)` bit-packed row updates — `n ≤ 62`.
+///   This uses white-box access to `C2` for the inverse (the same
+///   license [`Oracle::inverse_oracle`] already grants: reversible
+///   white boxes are invertible), and the measured `(c, y)` obeys
+///   exactly the dense path's `y·ν ≡ c (mod 2)` distribution.
+///
+/// # Errors
+///
+/// As [`match_n_i_simon`], with the width limit of the chosen backend;
+/// oversized instances fail with a clean [`MatchError::Quantum`], never
+/// a panic.
+pub fn match_n_i_simon_with(
+    c1: &Oracle,
+    c2: &Oracle,
+    backend: QuantumBackend,
+    rng: &mut impl Rng,
+) -> Result<MatchReport, MatchError> {
     let n = ClassicalOracle::width(c1);
     if n != ClassicalOracle::width(c2) {
         return Err(MatchError::WidthMismatch {
@@ -147,19 +185,13 @@ pub fn match_n_i_simon(
     if n == 0 {
         return Ok(simon_report(NegationMask::identity(0), 0));
     }
-    let total_qubits = 2 * n + 1;
-    if total_qubits > MAX_QUBITS {
-        return Err(MatchError::Quantum(
-            revmatch_quantum::QuantumError::TooManyQubits {
-                n: total_qubits,
-                max: MAX_QUBITS,
-            },
-        ));
-    }
-    // Register layout: b at qubit 0, x at 1..=n, out at n+1..=2n.
-    let b_q = 0usize;
-    let x_off = 1usize;
-    let out_off = n + 1;
+    check_simon_capacity(n, backend)?;
+    // White-box instance setup for the stabilizer reduction (no queries
+    // charged — mirrors dense-table precompilation).
+    let c2_inverse = match backend {
+        QuantumBackend::Stabilizer => Some(c2.circuit().inverse()),
+        _ => None,
+    };
 
     let mut system = Gf2System::default();
     let mut rounds = 0usize;
@@ -171,28 +203,145 @@ pub fn match_n_i_simon(
             });
         }
         rounds += 1;
-        let mut sv = StateVector::basis(0, total_qubits);
-        sv.apply_h(b_q)?;
-        for i in 0..n {
-            sv.apply_h(x_off + i)?;
-        }
-        // One query to each box, as XOR oracles controlled on b.
-        c1.query_quantum_xor(&mut sv, x_off, out_off, Some((b_q, false)))?;
-        c2.query_quantum_xor(&mut sv, x_off, out_off, Some((b_q, true)))?;
-        // Collapse the output register.
-        let _observed = sv.measure_range(out_off, n, rng)?;
-        // Fourier-sample (b, x).
-        sv.apply_h(b_q)?;
-        for i in 0..n {
-            sv.apply_h(x_off + i)?;
-        }
-        let word = sv.measure_range(0, n + 1, rng)?;
+        let word = match backend {
+            QuantumBackend::Dense => simon_round_dense(c1, c2, n, rng)?,
+            QuantumBackend::Sparse => simon_round_sparse(c1, c2, n, rng)?,
+            QuantumBackend::Stabilizer => {
+                simon_round_stabilizer(c1, c2, c2_inverse.as_ref().expect("set above"), n, rng)?
+            }
+        };
         let c = word & 1 == 1;
         let y = word >> 1;
         system.insert(y, c)?;
     }
     let nu = NegationMask::new(system.solve(n), n).map_err(|_| MatchError::PromiseViolated)?;
     Ok(simon_report(nu, rounds as u64))
+}
+
+/// Rejects widths the chosen backend cannot represent, with the same
+/// clean [`MatchError::Quantum`] shape on every path.
+fn check_simon_capacity(n: usize, backend: QuantumBackend) -> Result<(), MatchError> {
+    use revmatch_quantum::QuantumError;
+    let total_qubits = 2 * n + 1;
+    match backend {
+        QuantumBackend::Dense if total_qubits > MAX_QUBITS => {
+            Err(MatchError::Quantum(QuantumError::TooManyQubits {
+                n: total_qubits,
+                max: MAX_QUBITS,
+            }))
+        }
+        QuantumBackend::Sparse if total_qubits > SPARSE_MAX_QUBITS => {
+            Err(MatchError::Quantum(QuantumError::TooManyQubits {
+                n: total_qubits,
+                max: SPARSE_MAX_QUBITS,
+            }))
+        }
+        QuantumBackend::Sparse if 1usize << (n + 1) > revmatch_quantum::SPARSE_MAX_ENTRIES => {
+            // The Hadamard fan-out over (b, x) peaks at 2^{n+1} nonzeros.
+            Err(MatchError::Quantum(QuantumError::StateTooLarge {
+                entries: 1 << (n + 1),
+                max: revmatch_quantum::SPARSE_MAX_ENTRIES,
+            }))
+        }
+        QuantumBackend::Stabilizer if n + 1 > STABILIZER_MAX_QUBITS => {
+            Err(MatchError::Quantum(QuantumError::TooManyQubits {
+                n: n + 1,
+                max: STABILIZER_MAX_QUBITS,
+            }))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// One dense sampling round; returns the measured `(b, x)` word.
+/// Register layout: b at qubit 0, x at 1..=n, out at n+1..=2n.
+fn simon_round_dense(
+    c1: &Oracle,
+    c2: &Oracle,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<u64, MatchError> {
+    let (b_q, x_off, out_off) = (0usize, 1usize, n + 1);
+    let mut sv = StateVector::basis(0, 2 * n + 1);
+    sv.apply_h(b_q)?;
+    for i in 0..n {
+        sv.apply_h(x_off + i)?;
+    }
+    // One query to each box, as XOR oracles controlled on b.
+    c1.query_quantum_xor(&mut sv, x_off, out_off, Some((b_q, false)))?;
+    c2.query_quantum_xor(&mut sv, x_off, out_off, Some((b_q, true)))?;
+    // Collapse the output register.
+    let _observed = sv.measure_range(out_off, n, rng)?;
+    // Fourier-sample (b, x).
+    sv.apply_h(b_q)?;
+    for i in 0..n {
+        sv.apply_h(x_off + i)?;
+    }
+    Ok(sv.measure_range(0, n + 1, rng)?)
+}
+
+/// The sparse twin of [`simon_round_dense`] — gate-for-gate identical,
+/// but the state never holds more than `2^{n+1}` nonzero amplitudes
+/// (the XOR oracles permute basis states; only the `n + 1` Hadamards
+/// fan out).
+fn simon_round_sparse(
+    c1: &Oracle,
+    c2: &Oracle,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<u64, MatchError> {
+    let (b_q, x_off, out_off) = (0usize, 1usize, n + 1);
+    let mut sv = SparseStateVector::basis(0, 2 * n + 1);
+    sv.apply_h(b_q)?;
+    for i in 0..n {
+        sv.apply_h(x_off + i)?;
+    }
+    c1.query_quantum_xor_sparse(&mut sv, x_off, out_off, Some((b_q, false)))?;
+    c2.query_quantum_xor_sparse(&mut sv, x_off, out_off, Some((b_q, true)))?;
+    let _observed = sv.measure_range(out_off, n, rng)?;
+    sv.apply_h(b_q)?;
+    for i in 0..n {
+        sv.apply_h(x_off + i)?;
+    }
+    Ok(sv.measure_range(0, n + 1, rng)?)
+}
+
+/// One stabilizer round: the output-register measurement is commuted to
+/// the front (drawing `x₀` classically), which collapses the round to
+/// preparing the coset state `(|0,x₀⟩ + |1,x₁⟩)/√2` — pure X/H/CNOT —
+/// and Fourier-sampling it on an `(n+1)`-qubit tableau. Charges one
+/// query to each box per round, matching the dense path's accounting.
+fn simon_round_stabilizer(
+    c1: &Oracle,
+    c2: &Oracle,
+    c2_inverse: &revmatch_circuit::Circuit,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<u64, MatchError> {
+    let x0 = rng.gen::<u64>() & width_mask(n);
+    let y0 = c1.query(x0);
+    let x1 = c2_inverse.apply(y0);
+    c2.charge_queries(1);
+    let diff = x0 ^ x1;
+    // Layout: b at qubit 0, x at 1..=n (same convention, no out register).
+    let mut t = Tableau::new(n + 1);
+    for i in 0..n {
+        if (x0 >> i) & 1 == 1 {
+            t.x(1 + i)?;
+        }
+    }
+    t.h(0)?;
+    for i in 0..n {
+        if (diff >> i) & 1 == 1 {
+            t.cnot(0, 1 + i)?;
+        }
+    }
+    // Fourier-sample (b, x).
+    t.h(0)?;
+    for i in 0..n {
+        t.h(1 + i)?;
+    }
+    Ok(t.measure_range(0, n + 1, rng)?)
 }
 
 #[cfg(test)]
@@ -297,6 +446,83 @@ mod tests {
             match_n_i_simon(&c1, &c2, &mut rng),
             Err(MatchError::Quantum(_))
         ));
+    }
+
+    #[test]
+    fn backends_recover_bit_identical_witnesses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for w in 1..=6 {
+            let inst = random_instance(Equivalence::new(Side::N, Side::I), w, &mut rng);
+            for backend in QuantumBackend::ALL {
+                let c1 = Oracle::new(inst.c1.clone());
+                let c2 = Oracle::new(inst.c2.clone());
+                let mut run_rng = rand::rngs::StdRng::seed_from_u64(0xBEEF + w as u64);
+                let outcome = match_n_i_simon_with(&c1, &c2, backend, &mut run_rng).unwrap();
+                assert_eq!(
+                    outcome.witness.nu_x(),
+                    inst.witness.nu_x(),
+                    "width {w}, backend {backend}"
+                );
+                // Accounting is uniform: two queries per round on every
+                // backend, including the stabilizer's classical reduction.
+                assert_eq!(c1.queries() + c2.queries(), 2 * outcome.rounds);
+                assert_eq!(outcome.charged_queries, 2 * outcome.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_stabilizer_run_where_dense_cannot() {
+        use crate::promise::random_wide_instance;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Width 12 (25 total qubits) — dense refuses, sparse/stabilizer
+        // run. A bounded MCT cascade keeps per-entry oracle evaluation
+        // cheap (a synthesized uniform function would dominate the test).
+        let inst = random_wide_instance(Equivalence::new(Side::N, Side::I), 12, 48, &mut rng);
+        for backend in [QuantumBackend::Sparse, QuantumBackend::Stabilizer] {
+            let c1 = Oracle::new(inst.c1.clone());
+            let c2 = Oracle::new(inst.c2.clone());
+            let outcome = match_n_i_simon_with(&c1, &c2, backend, &mut rng).unwrap();
+            assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x(), "{backend}");
+        }
+        // Width 24 — only the stabilizer reaches it.
+        let inst = random_wide_instance(Equivalence::new(Side::N, Side::I), 24, 64, &mut rng);
+        let c1 = Oracle::new(inst.c1.clone());
+        let c2 = Oracle::new(inst.c2.clone());
+        let outcome = match_n_i_simon_with(&c1, &c2, QuantumBackend::Stabilizer, &mut rng).unwrap();
+        assert_eq!(outcome.witness.nu_x(), inst.witness.nu_x());
+    }
+
+    #[test]
+    fn capacity_overflow_is_a_clean_error_per_backend() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let err = |w: usize, backend: QuantumBackend, rng: &mut rand::rngs::StdRng| {
+            let c = revmatch_circuit::Circuit::new(w);
+            match_n_i_simon_with(&Oracle::new(c.clone()), &Oracle::new(c), backend, rng)
+        };
+        assert!(matches!(
+            err(12, QuantumBackend::Dense, &mut rng),
+            Err(MatchError::Quantum(_))
+        ));
+        assert!(matches!(
+            err(20, QuantumBackend::Sparse, &mut rng),
+            Err(MatchError::Quantum(
+                revmatch_quantum::QuantumError::StateTooLarge { .. }
+            ))
+        ));
+        assert!(matches!(
+            err(63, QuantumBackend::Stabilizer, &mut rng),
+            Err(MatchError::Quantum(
+                revmatch_quantum::QuantumError::TooManyQubits { .. }
+            ))
+        ));
+        // In-capacity widths still work on each backend (the sparse
+        // width-19 ceiling is exercised via the capacity check — a full
+        // run at 2^20-entry states belongs in the release-mode bench).
+        assert!(err(9, QuantumBackend::Dense, &mut rng).is_ok());
+        assert!(err(12, QuantumBackend::Sparse, &mut rng).is_ok());
+        assert!(check_simon_capacity(19, QuantumBackend::Sparse).is_ok());
+        assert!(err(31, QuantumBackend::Stabilizer, &mut rng).is_ok());
     }
 
     #[test]

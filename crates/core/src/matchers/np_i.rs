@@ -9,11 +9,11 @@
 
 use rand::Rng;
 use revmatch_circuit::{NegationMask, NpTransform};
-use revmatch_quantum::{swap_test, ProductState, Qubit};
+use revmatch_quantum::{ProductState, Qubit};
 
 use crate::error::MatchError;
 use crate::matchers::i_np::decode_np_composite;
-use crate::matchers::MatcherConfig;
+use crate::matchers::{swap_test_probes, MatcherConfig};
 use crate::oracle::{ClassicalOracle, QuantumOracle};
 
 /// Finds the input transform `(ν, π)` with `C1 = C2 C_π C_ν`, given `C2⁻¹`
@@ -87,9 +87,7 @@ pub fn match_np_i_quantum(
             let probe2 = ProductState::uniform(n, Qubit::Plus).with_qubit(b2, Qubit::Minus);
             let mut matched = true;
             for _ in 0..config.quantum_k {
-                let out1 = c1.query_quantum(&probe1)?;
-                let out2 = c2.query_quantum(&probe2)?;
-                if swap_test(config.swap_method, &out1, &out2, rng)? {
+                if swap_test_probes(c1, &probe1, c2, &probe2, config, rng)? {
                     matched = false;
                     break;
                 }
@@ -114,9 +112,7 @@ pub fn match_np_i_quantum(
         let probe2 =
             ProductState::uniform(n, Qubit::Plus).with_qubit(pi.apply_index(i), Qubit::Zero);
         for _ in 0..config.quantum_k {
-            let out1 = c1.query_quantum(&probe1)?;
-            let out2 = c2.query_quantum(&probe2)?;
-            if swap_test(config.swap_method, &out1, &out2, rng)? {
+            if swap_test_probes(c1, &probe1, c2, &probe2, config, rng)? {
                 nu |= 1 << i;
                 break;
             }

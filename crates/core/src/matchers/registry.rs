@@ -37,7 +37,7 @@ use crate::error::MatchError;
 use crate::matchers::{
     match_i_n, match_i_np_randomized, match_i_np_via_c1_inverse, match_i_np_via_c2_inverse,
     match_i_p_randomized, match_i_p_via_c1_inverse, match_i_p_via_c2_inverse, match_n_i_collision,
-    match_n_i_quantum, match_n_i_simon, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse,
+    match_n_i_quantum, match_n_i_simon_with, match_n_i_via_c1_inverse, match_n_i_via_c2_inverse,
     match_n_p_via_inverses, match_np_i_quantum, match_np_i_via_c1_inverse,
     match_np_i_via_c2_inverse, match_p_i_one_hot, match_p_i_via_c1_inverse,
     match_p_i_via_c2_inverse, match_p_n, match_p_n_via_inverses, randomized_rounds, MatcherConfig,
@@ -675,7 +675,9 @@ fn builtin_entries() -> Vec<Entry> {
             equivalence: e(N, I),
             path: Path::Quantum,
             requires: InverseAvailability::None,
-            run: |oracles, _config, mut rng| match_n_i_simon(oracles.c1, oracles.c2, &mut rng),
+            run: |oracles, config, mut rng| {
+                match_n_i_simon_with(oracles.c1, oracles.c2, config.simon_backend(), &mut rng)
+            },
         },
         Entry {
             name: "n-i/collision",

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
-use revmatch_quantum::{ProductState, StateVector};
+use revmatch_quantum::{ProductState, SparseStateVector, StateVector};
 
 use crate::error::MatchError;
 
@@ -59,6 +59,26 @@ pub trait QuantumOracle {
     /// Returns an error if the preparation size mismatches the oracle width
     /// or the state is too large to simulate.
     fn query_quantum(&self, input: &ProductState) -> Result<StateVector, MatchError>;
+
+    /// Runs the box on a prepared product state using the sparse
+    /// simulation substrate. Identical accounting and semantics to
+    /// [`query_quantum`], but the result stores only nonzero
+    /// amplitudes, so widths past the dense simulator limit stay
+    /// reachable while the state is structurally sparse.
+    ///
+    /// The default implementation routes through the dense path (and
+    /// thus inherits its width limit); [`Oracle`] overrides it with a
+    /// genuinely sparse execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the preparation size mismatches the oracle
+    /// width or the state outgrows the sparse entry budget.
+    ///
+    /// [`query_quantum`]: QuantumOracle::query_quantum
+    fn query_quantum_sparse(&self, input: &ProductState) -> Result<SparseStateVector, MatchError> {
+        Ok(SparseStateVector::from_dense(&self.query_quantum(input)?))
+    }
 }
 
 /// A counting black box wrapping a reversible circuit.
@@ -181,6 +201,24 @@ impl Oracle {
         self.queries.fetch_add(k, Ordering::Relaxed);
     }
 
+    /// Charges `k` oracle queries without executing anything — for
+    /// in-crate matchers whose backend executes the box outside the
+    /// state-vector path (the stabilizer Simon round evaluates the
+    /// reduced Clifford circuit classically but still owes its two
+    /// queries per round).
+    pub(crate) fn charge_queries(&self, k: u64) {
+        self.count_many(k);
+    }
+
+    /// Evaluates the circuit on one input through the fastest available
+    /// backend (dense lookup table when compiled). No query accounting.
+    fn eval(&self, x: u64) -> u64 {
+        match &self.dense {
+            Some(table) => table.apply(x),
+            None => self.circuit.apply(x),
+        }
+    }
+
     /// Applies this box as a standard quantum **XOR oracle**
     /// `U_C : |x⟩|o⟩ ↦ |x⟩|o ⊕ C(x)⟩` to a (possibly entangled) register,
     /// optionally controlled on a qubit. Counts **one** query.
@@ -202,7 +240,33 @@ impl Oracle {
     ) -> Result<(), MatchError> {
         self.count();
         state.apply_xor_oracle(
-            |x| self.circuit.apply(x),
+            |x| self.eval(x),
+            x_offset,
+            self.circuit.width(),
+            out_offset,
+            control,
+        )?;
+        Ok(())
+    }
+
+    /// The sparse-substrate twin of [`Oracle::query_quantum_xor`]:
+    /// applies `U_C` as a key permutation over the stored nonzeros.
+    /// Counts **one** query, identical accounting to the dense path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::Quantum`] if the windows do not fit or
+    /// overlap.
+    pub fn query_quantum_xor_sparse(
+        &self,
+        state: &mut SparseStateVector,
+        x_offset: usize,
+        out_offset: usize,
+        control: Option<(usize, bool)>,
+    ) -> Result<(), MatchError> {
+        self.count();
+        state.apply_xor_oracle(
+            |x| self.eval(x),
             x_offset,
             self.circuit.width(),
             out_offset,
@@ -246,9 +310,22 @@ impl QuantumOracle for Oracle {
                 right: self.circuit.width(),
             });
         }
+        let sv = input.try_to_state_vector()?;
         self.count();
-        let sv = input.to_state_vector();
         Ok(sv.applied_circuit(&self.circuit, 0)?)
+    }
+
+    fn query_quantum_sparse(&self, input: &ProductState) -> Result<SparseStateVector, MatchError> {
+        if input.num_qubits() != self.circuit.width() {
+            return Err(MatchError::WidthMismatch {
+                left: input.num_qubits(),
+                right: self.circuit.width(),
+            });
+        }
+        self.count();
+        let mut sv = SparseStateVector::from_product(input)?;
+        sv.apply_window_permutation(|x| self.eval(x), self.circuit.width(), 0)?;
+        Ok(sv)
     }
 }
 
@@ -579,6 +656,50 @@ mod tests {
         let inv = o.inverse_oracle();
         let xs: Vec<u64> = (0..16).collect();
         assert_eq!(inv.query_batch(&o.query_batch(&xs)), xs);
+    }
+
+    #[test]
+    fn sparse_xor_matches_dense_and_counts_one_query() {
+        let o = not0(2);
+        let mut dense = StateVector::basis(0b00_10, 4);
+        let mut sparse = SparseStateVector::from_dense(&dense);
+        o.query_quantum_xor(&mut dense, 0, 2, None).unwrap();
+        o.query_quantum_xor_sparse(&mut sparse, 0, 2, None).unwrap();
+        assert_eq!(o.queries(), 2);
+        for x in 0..16u64 {
+            assert!(sparse.amplitude(x).approx_eq(dense.amplitude(x), 1e-12));
+        }
+    }
+
+    #[test]
+    fn sparse_quantum_query_scales_past_dense_limit() {
+        // Width 24 — query_quantum fails cleanly, the sparse path runs.
+        let width = 24;
+        let o = Oracle::new(Circuit::from_gates(width, [Gate::cnot(0, 23)]).unwrap());
+        let input = ProductState::uniform(width, Qubit::Zero).with_qubit(0, Qubit::One);
+        assert!(matches!(
+            o.query_quantum(&input),
+            Err(MatchError::Quantum(
+                revmatch_quantum::QuantumError::TooManyQubits { .. }
+            ))
+        ));
+        let out = o.query_quantum_sparse(&input).unwrap();
+        assert!((out.probability(1 | (1 << 23)) - 1.0).abs() < 1e-12);
+        // The failed dense call does not count; the sparse query does.
+        assert_eq!(o.queries(), 1);
+    }
+
+    #[test]
+    fn sparse_quantum_query_matches_dense_on_superpositions() {
+        let c = Circuit::from_gates(3, [Gate::toffoli(0, 1, 2), Gate::not(1)]).unwrap();
+        let o = Oracle::precompiled(c);
+        let input = ProductState::from_qubits(vec![Qubit::Plus, Qubit::One, Qubit::Minus]);
+        let dense = o.query_quantum(&input).unwrap();
+        let sparse = o.query_quantum_sparse(&input).unwrap();
+        for x in 0..8u64 {
+            assert!(sparse.amplitude(x).approx_eq(dense.amplitude(x), 1e-12));
+        }
+        assert_eq!(o.queries(), 2);
     }
 
     #[test]

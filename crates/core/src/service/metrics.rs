@@ -16,10 +16,15 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use revmatch_quantum::QuantumBackend;
+
 use crate::engine::JobKind;
 
 /// Number of [`JobKind`]s — sizes the dense per-kind metric arrays.
 const KINDS: usize = JobKind::ALL.len();
+
+/// Number of [`QuantumBackend`]s — sizes the per-backend job counters.
+const QBACKENDS: usize = QuantumBackend::ALL.len();
 
 /// A fixed-bucket cumulative histogram over `u64` samples.
 ///
@@ -166,6 +171,9 @@ pub struct Metrics {
     failed_by_kind: [AtomicU64; KINDS],
     /// Accept-to-completion latency per [`JobKind`].
     latency_by_kind: [Histogram; KINDS],
+    /// Quantum-path jobs per simulation backend, indexed by
+    /// `QuantumBackend::index`.
+    quantum_by_backend: [AtomicU64; QBACKENDS],
     /// Completions per registry entry (keyed by the entry's stable
     /// [`crate::matchers::Matcher::name`]). The label set is dynamic, so
     /// this is the registry's one mutex — taken once per completed job
@@ -196,6 +204,7 @@ impl Metrics {
             completed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             failed_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_by_kind: std::array::from_fn(|_| Histogram::new(latency_bounds())),
+            quantum_by_backend: std::array::from_fn(|_| AtomicU64::new(0)),
             entry_completions: Mutex::new(BTreeMap::new()),
             shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: Histogram::new(latency_bounds()),
@@ -266,6 +275,12 @@ impl Metrics {
     /// that actually built a table).
     pub(crate) fn record_table_compile(&self, micros: u64) {
         self.table_compile.observe(micros);
+    }
+
+    /// Counts one quantum-path job executed on `backend` (recorded at
+    /// dispatch, whether or not the matcher succeeds).
+    pub(crate) fn record_quantum_backend(&self, backend: QuantumBackend) {
+        self.quantum_by_backend[backend.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts the witnesses found by one completed enumeration job.
@@ -342,6 +357,11 @@ impl Metrics {
     /// Miter-solver cache hits across all workers.
     pub fn solver_cache_hits(&self) -> u64 {
         self.solver_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Quantum-path jobs executed on one simulation backend.
+    pub fn quantum_jobs_of_backend(&self, backend: QuantumBackend) -> u64 {
+        self.quantum_by_backend[backend.index()].load(Ordering::Relaxed)
     }
 
     /// Family witnesses found across completed enumeration jobs.
@@ -460,6 +480,21 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", self.jobs_failed_of(kind));
         }
+        // Per-backend quantum-path dispatch counters: always emitted for
+        // all three backends so dashboards see explicit zeroes.
+        let name = "revmatch_quantum_backend_jobs_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Quantum-path jobs dispatched per simulation backend."
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for backend in QuantumBackend::ALL {
+            let _ = writeln!(
+                out,
+                "{name}{{backend=\"{backend}\"}} {}",
+                self.quantum_jobs_of_backend(backend)
+            );
+        }
         // Per-registry-entry completions: one labeled series per matcher
         // that actually ran, so dashboards can watch a single algorithm.
         let entries = self.entry_completions();
@@ -534,6 +569,19 @@ impl Metrics {
             "{name}{{kernel=\"{}\"}} 1",
             revmatch_circuit::active_kernel_name()
         );
+        // The quantum backend selection mode, mirroring the kernel gauge:
+        // a forced backend's name, or "auto" under per-algorithm policy.
+        let name = "revmatch_quantum_backend_info";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Active quantum backend selection (forced name or auto)."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(
+            out,
+            "{name}{{backend=\"{}\"}} 1",
+            revmatch_quantum::active_quantum_backend_name()
+        );
         out
     }
 }
@@ -584,6 +632,7 @@ mod tests {
         m.record_table_cache_hits(4);
         m.record_solver_cache_hit();
         m.record_table_compile(7);
+        m.record_quantum_backend(QuantumBackend::Stabilizer);
         let text = m.render();
         for needle in [
             "revmatch_jobs_submitted_total 1",
@@ -607,6 +656,9 @@ mod tests {
             "revmatch_intake_depth_count 1",
             "revmatch_table_compile_seconds_count 1",
             "revmatch_kernel_info{kernel=\"",
+            "revmatch_quantum_backend_jobs_total{backend=\"dense\"} 0",
+            "revmatch_quantum_backend_jobs_total{backend=\"stabilizer\"} 1",
+            "revmatch_quantum_backend_info{backend=\"",
         ] {
             assert!(text.contains(needle), "missing {needle}\n{text}");
         }

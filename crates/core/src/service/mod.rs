@@ -205,6 +205,17 @@ impl ServiceConfig {
         self.miter_budget = budget.max(1);
         self
     }
+
+    /// Pins every quantum-path job to one simulation backend, overriding
+    /// both the `REVMATCH_QBACKEND` process override and the
+    /// per-algorithm auto policy (stabilizer for Simon, sparse for swap
+    /// tests). Jobs whose width exceeds the pinned backend's capacity
+    /// complete with a clean error instead of falling back.
+    #[must_use]
+    pub fn with_quantum_backend(mut self, backend: revmatch_quantum::QuantumBackend) -> Self {
+        self.matcher.quantum_backend = Some(backend);
+        self
+    }
 }
 
 /// State shared between a ticket and the worker resolving it.
@@ -338,7 +349,9 @@ impl Shared {
         let report = match job {
             JobSpec::Promise(job) => self.execute_promise(job, &mut rng, caches, &mut table_hits),
             JobSpec::Identify(job) => self.execute_identify(job, &mut rng, caches, &mut table_hits),
-            JobSpec::QuantumPath(job) => self.execute_quantum(job, &mut rng),
+            JobSpec::QuantumPath(job) => {
+                self.execute_quantum(job, &mut rng, caches, &mut table_hits)
+            }
             JobSpec::SatEquivalence(job) => self.execute_sat(job, caches),
             JobSpec::Enumerate(job) => self.execute_enumerate(job, caches),
         };
@@ -450,9 +463,20 @@ impl Shared {
 
     /// The inverse-free quantum path: registry lookup on
     /// `(equivalence, None, Path::Quantum)`, with the Simon specialist
-    /// selected by name. Quantum probes never touch dense tables, so the
-    /// oracles bypass the worker cache.
-    fn execute_quantum(&self, job: QuantumPathJob, rng: &mut rand::rngs::StdRng) -> JobReport {
+    /// selected by name. The simulation backend is resolved per
+    /// algorithm (see [`MatcherConfig::simon_backend`] and
+    /// [`MatcherConfig::swap_test_backend`]) and counted per job in the
+    /// `revmatch_quantum_backend_jobs_total` metric. Oracles go through
+    /// the worker's dense-table cache: Simon's classical oracle queries
+    /// and sparse/dense quantum probes all route window evaluations
+    /// through a compiled table when one exists.
+    fn execute_quantum(
+        &self,
+        job: QuantumPathJob,
+        rng: &mut rand::rngs::StdRng,
+        caches: &mut ShardCaches,
+        table_hits: &mut u64,
+    ) -> JobReport {
         let kind = JobKind::Quantum;
         let registry = MatcherRegistry::global();
         let matcher = match job.algorithm {
@@ -463,6 +487,11 @@ impl Shared {
                 .lookup_named("n-i/simon")
                 .filter(|m| m.equivalence() == job.equivalence),
         };
+        let backend = match job.algorithm {
+            QuantumAlgorithm::SwapTest => self.matcher.swap_test_backend(),
+            QuantumAlgorithm::Simon => self.matcher.simon_backend(),
+        };
+        self.metrics.record_quantum_backend(backend);
         let Some(matcher) = matcher else {
             return JobReport {
                 kind,
@@ -479,8 +508,8 @@ impl Shared {
                 miter: None,
             };
         };
-        let c1 = Oracle::new(job.c1);
-        let c2 = Oracle::new(job.c2);
+        let c1 = self.oracle(kind, job.c1, caches, table_hits);
+        let c2 = self.oracle(kind, job.c2, caches, table_hits);
         let oracles = ProblemOracles::without_inverses(&c1, &c2);
         let entry = matcher.name();
         match matcher.run(&oracles, &self.matcher, rng) {

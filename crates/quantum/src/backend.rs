@@ -1,0 +1,162 @@
+//! Quantum simulation backend dispatch.
+//!
+//! Three interchangeable substrates execute the paper's quantum
+//! algorithms, mirroring the `SolverBackend`/`Kernel` dispatch patterns
+//! elsewhere in the workspace:
+//!
+//! * [`QuantumBackend::Dense`] — the reference `2^n`-amplitude
+//!   [`crate::StateVector`] (exact, but capped at
+//!   [`crate::MAX_QUBITS`] qubits and `O(2^n)` per gate);
+//! * [`QuantumBackend::Sparse`] — a map-keyed
+//!   [`crate::SparseStateVector`] holding only nonzero amplitudes
+//!   (XOR-oracle states after a Hadamard layer have ≤ `2^n` nonzeros,
+//!   not `2^(2n)`);
+//! * [`QuantumBackend::Stabilizer`] — a CHP-style tableau
+//!   ([`crate::Tableau`]) for Clifford-only circuits: the Simon
+//!   sampling round is pure H/CNOT/X, so it runs in `O(n²)` bit-packed
+//!   row updates at any width.
+//!
+//! Selection is automatic per algorithm (Stabilizer for Simon-style
+//! Clifford sampling, Sparse for swap-test probes) and forcible via
+//! [`set_quantum_backend_override`] or the `REVMATCH_QBACKEND`
+//! environment variable (`dense`, `sparse`, `stabilizer`). Every
+//! backend recovers identical Simon witnesses on identical instances —
+//! the differential suites hold them to that.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// The quantum simulation substrate executing a matcher's circuit runs.
+///
+/// All backends recover the same witnesses — the choice trades
+/// generality for throughput and reachable width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantumBackend {
+    /// Dense `2^n`-amplitude state vector (the reference substrate).
+    Dense,
+    /// Map-keyed sparse state vector: only nonzero amplitudes stored.
+    Sparse,
+    /// CHP stabilizer tableau — Clifford circuits only (H/CNOT/X and
+    /// computational-basis measurement), any width up to 63 qubits.
+    Stabilizer,
+}
+
+/// Packed override slot for [`set_quantum_backend_override`]: 0 = none,
+/// else `QuantumBackend` position in [`QuantumBackend::ALL`] plus 1.
+static QBACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+impl QuantumBackend {
+    /// Every backend, in escalation order.
+    pub const ALL: [QuantumBackend; 3] = [
+        QuantumBackend::Dense,
+        QuantumBackend::Sparse,
+        QuantumBackend::Stabilizer,
+    ];
+
+    /// The backend's forcing name (`dense`, `sparse`, `stabilizer`), as
+    /// parsed back by [`FromStr`](std::str::FromStr).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantumBackend::Dense => "dense",
+            QuantumBackend::Sparse => "sparse",
+            QuantumBackend::Stabilizer => "stabilizer",
+        }
+    }
+
+    /// Dense index of the backend (for per-backend metric arrays).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&b| b == self).expect("in ALL")
+    }
+
+    /// The process-wide forced backend, if any: a
+    /// [`set_quantum_backend_override`] wins, then the
+    /// `REVMATCH_QBACKEND` environment variable (read once). `None`
+    /// means callers apply their per-algorithm auto policy (Stabilizer
+    /// for Simon sampling, Sparse for swap-test probes).
+    pub fn forced() -> Option<QuantumBackend> {
+        match QBACKEND_OVERRIDE.load(Ordering::Relaxed) {
+            0 => env_backend(),
+            n => Some(QuantumBackend::ALL[usize::from(n) - 1]),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantumBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for QuantumBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        QuantumBackend::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| {
+                format!("unknown quantum backend {s:?} (expected dense | sparse | stabilizer)")
+            })
+    }
+}
+
+/// Forces every auto-selected quantum simulation in this process onto
+/// `backend` (`None` clears the override). Meant for benches, the load
+/// generator's `--quantum-backend` flag, and differential tests;
+/// recovered witnesses are identical either way.
+pub fn set_quantum_backend_override(backend: Option<QuantumBackend>) {
+    let slot = backend.map_or(0, |b| b.index() as u8 + 1);
+    QBACKEND_OVERRIDE.store(slot, Ordering::Relaxed);
+}
+
+fn env_backend() -> Option<QuantumBackend> {
+    static ENV: OnceLock<Option<QuantumBackend>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("REVMATCH_QBACKEND") {
+        Ok(s) => Some(
+            s.parse()
+                .unwrap_or_else(|e| panic!("REVMATCH_QBACKEND: {e}")),
+        ),
+        Err(_) => None,
+    })
+}
+
+/// The name the serving metrics and bench logs report for the
+/// process-wide backend selection: the forced backend's name, or
+/// `"auto"` when each algorithm picks its own substrate.
+pub fn active_quantum_backend_name() -> &'static str {
+    QuantumBackend::forced().map_or("auto", QuantumBackend::name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in QuantumBackend::ALL {
+            assert_eq!(b.name().parse::<QuantumBackend>().unwrap(), b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!("qft".parse::<QuantumBackend>().is_err());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, b) in QuantumBackend::ALL.into_iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        set_quantum_backend_override(Some(QuantumBackend::Sparse));
+        assert_eq!(QuantumBackend::forced(), Some(QuantumBackend::Sparse));
+        assert_eq!(active_quantum_backend_name(), "sparse");
+        set_quantum_backend_override(None);
+        // With no env var set in tests, forced() falls back to None.
+        if std::env::var("REVMATCH_QBACKEND").is_err() {
+            assert_eq!(QuantumBackend::forced(), None);
+            assert_eq!(active_quantum_backend_name(), "auto");
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! Map-keyed sparse state vectors.
+//!
+//! The dense [`StateVector`] pays `2^n` amplitudes whatever the state
+//! looks like, capping the simulator at [`MAX_QUBITS`] qubits and the
+//! Simon matcher at `n ≤ 9` input lines. But the states the paper's
+//! algorithms actually build are *structurally sparse*: reversible
+//! circuits and XOR oracles permute basis states (the support never
+//! grows), and a Hadamard layer over `m` qubits fans a basis state out
+//! to exactly `2^m` nonzeros. A Simon round over `n` lines therefore
+//! peaks at `2^(n+1)` nonzero amplitudes inside a `2^(2n+1)`-dimensional
+//! space — the sparse representation is exponentially smaller.
+//!
+//! [`SparseStateVector`] stores only the nonzeros in a
+//! `HashMap<u64, Complex>` behind a **deterministic** build hasher (a
+//! fixed-key Fx-style mix), so iteration order — and with it every
+//! floating-point summation and measurement draw — is reproducible run
+//! to run. Amplitudes whose squared magnitude falls below
+//! [`PRUNE_NORM_SQR`] after an interference step are pruned. Growth is
+//! bounded twice over: keys are `u64` basis indices (≤
+//! [`SPARSE_MAX_QUBITS`] qubits) and any operation that would push the
+//! support past [`SPARSE_MAX_ENTRIES`] fails with
+//! [`QuantumError::StateTooLarge`] instead of exhausting memory.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+use rand::Rng;
+use revmatch_circuit::Circuit;
+
+use crate::complex::Complex;
+use crate::error::QuantumError;
+use crate::state::{ProductState, Qubit, StateVector, MAX_QUBITS};
+
+/// Largest qubit count for a sparse state (basis indices are `u64`).
+pub const SPARSE_MAX_QUBITS: usize = 63;
+
+/// Largest nonzero-amplitude count any sparse operation may produce
+/// (`2^20` entries ≈ 16 MiB of amplitudes — the dense ceiling, but now
+/// spent on *support* instead of *dimension*).
+pub const SPARSE_MAX_ENTRIES: usize = 1 << 20;
+
+/// Squared-magnitude floor below which an amplitude is treated as an
+/// exact interference zero and pruned (|a| ≤ 1e-12; genuine amplitudes
+/// of a [`SPARSE_MAX_ENTRIES`]-support state sit at |a|² ≥ ~1e-6).
+pub const PRUNE_NORM_SQR: f64 = 1e-24;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Fx-style 64-bit mixing hasher with a fixed seed: fast on the `u64`
+/// basis keys and — unlike `RandomState` — deterministic across runs,
+/// so map iteration order (and every float sum over it) is stable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeterministicHasher(u64);
+
+impl Hasher for DeterministicHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0.rotate_left(5) ^ x).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+/// [`BuildHasher`] for [`DeterministicHasher`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeterministicState;
+
+impl BuildHasher for DeterministicState {
+    type Hasher = DeterministicHasher;
+
+    fn build_hasher(&self) -> Self::Hasher {
+        DeterministicHasher::default()
+    }
+}
+
+type AmpMap = HashMap<u64, Complex, DeterministicState>;
+
+/// A sparse `n`-qubit state: only nonzero amplitudes stored, basis
+/// index bit `i` = qubit `i`. Mirrors the [`StateVector`] surface.
+///
+/// # Examples
+///
+/// ```
+/// use revmatch_quantum::SparseStateVector;
+/// use revmatch_circuit::{Circuit, Gate};
+///
+/// // A 41-qubit register is far beyond the dense simulator; the basis
+/// // state costs one map entry here.
+/// let c = Circuit::from_gates(41, [Gate::toffoli(0, 1, 40)])?;
+/// let sv = SparseStateVector::basis(0b11, 41).applied_circuit(&c, 0)?;
+/// assert!((sv.probability(0b11 | (1 << 40)) - 1.0).abs() < 1e-12);
+/// assert_eq!(sv.num_entries(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct SparseStateVector {
+    amps: AmpMap,
+    n: usize,
+}
+
+impl SparseStateVector {
+    /// The computational basis state `|x⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > SPARSE_MAX_QUBITS` or `x >= 2^n`.
+    pub fn basis(x: u64, n: usize) -> Self {
+        assert!(
+            n <= SPARSE_MAX_QUBITS,
+            "{n} qubits exceeds SPARSE_MAX_QUBITS"
+        );
+        assert!(n == 64 || x < (1u64 << n));
+        let mut amps = AmpMap::default();
+        amps.insert(x, Complex::ONE);
+        Self { amps, n }
+    }
+
+    /// Expands a product preparation without going through a dense
+    /// vector: the support is `2^s` where `s` counts the `|+⟩`/`|−⟩`
+    /// lines, independent of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] past
+    /// [`SPARSE_MAX_QUBITS`] or [`QuantumError::StateTooLarge`] if the
+    /// support would exceed [`SPARSE_MAX_ENTRIES`].
+    pub fn from_product(p: &ProductState) -> Result<Self, QuantumError> {
+        let n = p.num_qubits();
+        if n > SPARSE_MAX_QUBITS {
+            return Err(QuantumError::TooManyQubits {
+                n,
+                max: SPARSE_MAX_QUBITS,
+            });
+        }
+        let spread = p
+            .qubits()
+            .iter()
+            .filter(|q| matches!(q, Qubit::Plus | Qubit::Minus))
+            .count();
+        if spread >= SPARSE_MAX_ENTRIES.trailing_zeros() as usize {
+            return Err(QuantumError::StateTooLarge {
+                entries: 1usize.checked_shl(spread as u32).unwrap_or(usize::MAX),
+                max: SPARSE_MAX_ENTRIES,
+            });
+        }
+        let mut state = Self::basis(0, n);
+        for (i, q) in p.qubits().iter().enumerate() {
+            match q {
+                Qubit::Zero => {}
+                Qubit::One => state.apply_x(i)?,
+                Qubit::Plus | Qubit::Minus => {
+                    if matches!(q, Qubit::Minus) {
+                        state.apply_x(i)?;
+                    }
+                    state.apply_h(i)?;
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Collects a dense state's nonzero amplitudes.
+    pub fn from_dense(sv: &StateVector) -> Self {
+        let mut amps = AmpMap::default();
+        for (x, &a) in sv.amplitudes().iter().enumerate() {
+            if a.norm_sqr() > PRUNE_NORM_SQR {
+                amps.insert(x as u64, a);
+            }
+        }
+        Self {
+            amps,
+            n: sv.num_qubits(),
+        }
+    }
+
+    /// Expands to a dense [`StateVector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] past the dense limit
+    /// ([`MAX_QUBITS`]).
+    pub fn to_dense(&self) -> Result<StateVector, QuantumError> {
+        if self.n > MAX_QUBITS {
+            return Err(QuantumError::TooManyQubits {
+                n: self.n,
+                max: MAX_QUBITS,
+            });
+        }
+        let mut amps = vec![Complex::ZERO; 1 << self.n];
+        for (&x, &a) in &self.amps {
+            amps[x as usize] = a;
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (nonzero) amplitudes.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The amplitude of basis state `|x⟩` (zero when unstored).
+    #[inline]
+    pub fn amplitude(&self, x: u64) -> Complex {
+        self.amps.get(&x).copied().unwrap_or(Complex::ZERO)
+    }
+
+    /// Born probability of measuring all qubits as `x`.
+    pub fn probability(&self, x: u64) -> f64 {
+        self.amplitude(x).norm_sqr()
+    }
+
+    /// Total squared norm (1 for valid states).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Inner product `⟨self|other⟩`, summed over the support
+    /// intersection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitCountMismatch`] if sizes differ.
+    pub fn inner_product(&self, other: &Self) -> Result<Complex, QuantumError> {
+        if self.n != other.n {
+            return Err(QuantumError::QubitCountMismatch {
+                left: self.n,
+                right: other.n,
+            });
+        }
+        let (small, large, conj_small) = if self.amps.len() <= other.amps.len() {
+            (&self.amps, &other.amps, true)
+        } else {
+            (&other.amps, &self.amps, false)
+        };
+        let mut acc = Complex::ZERO;
+        for (x, &a) in small {
+            if let Some(&b) = large.get(x) {
+                acc += if conj_small {
+                    a.conj() * b
+                } else {
+                    b.conj() * a
+                };
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Tensor product `self ⊗ other`; `other`'s qubits become the high
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] past
+    /// [`SPARSE_MAX_QUBITS`] or [`QuantumError::StateTooLarge`] if the
+    /// product support exceeds [`SPARSE_MAX_ENTRIES`].
+    pub fn tensor(&self, other: &Self) -> Result<Self, QuantumError> {
+        let n = self.n + other.n;
+        if n > SPARSE_MAX_QUBITS {
+            return Err(QuantumError::TooManyQubits {
+                n,
+                max: SPARSE_MAX_QUBITS,
+            });
+        }
+        let entries = self.amps.len().saturating_mul(other.amps.len());
+        if entries > SPARSE_MAX_ENTRIES {
+            return Err(QuantumError::StateTooLarge {
+                entries,
+                max: SPARSE_MAX_ENTRIES,
+            });
+        }
+        let mut amps = AmpMap::default();
+        for (&hi, &b) in &other.amps {
+            for (&lo, &a) in &self.amps {
+                amps.insert((hi << self.n) | lo, a * b);
+            }
+        }
+        Ok(Self { amps, n })
+    }
+
+    /// Applies the Hadamard gate to qubit `q`. The support at most
+    /// doubles; exact cancellations are pruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if `q >= n`, or
+    /// [`QuantumError::StateTooLarge`] if the fan-out would exceed
+    /// [`SPARSE_MAX_ENTRIES`].
+    pub fn apply_h(&mut self, q: usize) -> Result<(), QuantumError> {
+        self.check_qubit(q)?;
+        let entries = self.amps.len().saturating_mul(2);
+        if entries > SPARSE_MAX_ENTRIES {
+            return Err(QuantumError::StateTooLarge {
+                entries,
+                max: SPARSE_MAX_ENTRIES,
+            });
+        }
+        let bit = 1u64 << q;
+        let mut out = AmpMap::default();
+        for (&x, &a) in &self.amps {
+            let scaled = a.scale(FRAC_1_SQRT_2);
+            // |x⟩ → (|x&!bit⟩ ± |x|bit⟩)/√2, sign − when the bit was 1.
+            *out.entry(x & !bit).or_insert(Complex::ZERO) += scaled;
+            let signed = if x & bit == 0 { scaled } else { -scaled };
+            *out.entry(x | bit).or_insert(Complex::ZERO) += signed;
+        }
+        out.retain(|_, a| a.norm_sqr() > PRUNE_NORM_SQR);
+        self.amps = out;
+        Ok(())
+    }
+
+    /// Applies the Pauli-X (NOT) gate to qubit `q` (a key permutation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if `q >= n`.
+    pub fn apply_x(&mut self, q: usize) -> Result<(), QuantumError> {
+        self.check_qubit(q)?;
+        let bit = 1u64 << q;
+        self.permute_keys(|x| x ^ bit);
+        Ok(())
+    }
+
+    /// Applies a controlled swap (Fredkin): swaps qubits `a` and `b`
+    /// when control `c` is 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] on bad indices, or
+    /// [`QuantumError::InvalidAmplitudes`] if the three qubits are not
+    /// distinct.
+    pub fn apply_cswap(&mut self, c: usize, a: usize, b: usize) -> Result<(), QuantumError> {
+        self.check_qubit(c)?;
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        if c == a || c == b || a == b {
+            return Err(QuantumError::InvalidAmplitudes {
+                reason: "cswap qubits must be distinct".to_owned(),
+            });
+        }
+        let (cb, ab, bb) = (1u64 << c, 1u64 << a, 1u64 << b);
+        self.permute_keys(|x| {
+            if x & cb != 0 && ((x >> a) ^ (x >> b)) & 1 == 1 {
+                x ^ ab ^ bb
+            } else {
+                x
+            }
+        });
+        Ok(())
+    }
+
+    /// Applies a reversible circuit to qubits `[offset, offset + width)`
+    /// — a key permutation over the window, support unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if the window does not
+    /// fit.
+    pub fn apply_circuit(&mut self, circuit: &Circuit, offset: usize) -> Result<(), QuantumError> {
+        self.apply_window_permutation(|x| circuit.apply(x), circuit.width(), offset)
+    }
+
+    /// Applies any white-box bijection over `width`-bit words to the
+    /// window at `offset` — the sparse twin of [`StateVector::apply_circuit`]
+    /// for callers holding a lookup table instead of a gate cascade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if the window does not
+    /// fit.
+    pub fn apply_window_permutation(
+        &mut self,
+        f: impl Fn(u64) -> u64,
+        width: usize,
+        offset: usize,
+    ) -> Result<(), QuantumError> {
+        if offset + width > self.n {
+            return Err(QuantumError::QubitOutOfRange {
+                qubit: offset + width,
+                n: self.n,
+            });
+        }
+        let mask = revmatch_circuit::width_mask(width);
+        self.permute_keys(|x| {
+            let window = (x >> offset) & mask;
+            let mapped = f(window) & mask;
+            (x & !(mask << offset)) | (mapped << offset)
+        });
+        Ok(())
+    }
+
+    /// Convenience: returns a new state with the circuit applied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseStateVector::apply_circuit`].
+    pub fn applied_circuit(
+        mut self,
+        circuit: &Circuit,
+        offset: usize,
+    ) -> Result<Self, QuantumError> {
+        self.apply_circuit(circuit, offset)?;
+        Ok(self)
+    }
+
+    /// Applies a **XOR oracle** `U_f : |x⟩|o⟩ ↦ |x⟩|o ⊕ f(x)⟩` for a
+    /// bijection `f` over `width`-bit words, optionally controlled on a
+    /// qubit value — same contract as
+    /// [`StateVector::apply_xor_oracle`], but a key permutation here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if a window or the
+    /// control does not fit, or [`QuantumError::InvalidAmplitudes`] if
+    /// the windows overlap or the control sits inside one.
+    pub fn apply_xor_oracle(
+        &mut self,
+        f: impl Fn(u64) -> u64,
+        x_offset: usize,
+        width: usize,
+        out_offset: usize,
+        control: Option<(usize, bool)>,
+    ) -> Result<(), QuantumError> {
+        if x_offset + width > self.n || out_offset + width > self.n {
+            return Err(QuantumError::QubitOutOfRange {
+                qubit: (x_offset + width).max(out_offset + width),
+                n: self.n,
+            });
+        }
+        let mask = revmatch_circuit::width_mask(width);
+        let x_window = mask << x_offset;
+        let out_window = mask << out_offset;
+        if x_window & out_window != 0 {
+            return Err(QuantumError::InvalidAmplitudes {
+                reason: "xor-oracle windows overlap".to_owned(),
+            });
+        }
+        if let Some((c, _)) = control {
+            self.check_qubit(c)?;
+            if (1u64 << c) & (x_window | out_window) != 0 {
+                return Err(QuantumError::InvalidAmplitudes {
+                    reason: "xor-oracle control inside a window".to_owned(),
+                });
+            }
+        }
+        self.permute_keys(|idx| {
+            let fire = match control {
+                None => true,
+                Some((c, value)) => ((idx >> c) & 1 == 1) == value,
+            };
+            if fire {
+                let x = (idx >> x_offset) & mask;
+                let fx = f(x) & mask;
+                idx ^ (fx << out_offset)
+            } else {
+                idx
+            }
+        });
+        Ok(())
+    }
+
+    /// Applies a **phase oracle**: flips the sign of every stored
+    /// amplitude whose basis index satisfies `predicate`.
+    pub fn apply_phase_oracle(&mut self, predicate: impl Fn(u64) -> bool) {
+        for (&x, a) in self.amps.iter_mut() {
+            if predicate(x) {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// Measures the `width` qubits starting at `offset`, collapsing the
+    /// state; returns the observed word (bit `i` = qubit `offset + i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if the window does not
+    /// fit.
+    pub fn measure_range(
+        &mut self,
+        offset: usize,
+        width: usize,
+        rng: &mut impl Rng,
+    ) -> Result<u64, QuantumError> {
+        let mut word = 0u64;
+        for i in 0..width {
+            if self.measure_qubit(offset + i, rng)? {
+                word |= 1 << i;
+            }
+        }
+        Ok(word)
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the
+    /// state. Returns the observed bit. The collapse only shrinks the
+    /// support.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if `q >= n`.
+    pub fn measure_qubit(&mut self, q: usize, rng: &mut impl Rng) -> Result<bool, QuantumError> {
+        self.check_qubit(q)?;
+        let bit = 1u64 << q;
+        let p1: f64 = self
+            .amps
+            .iter()
+            .filter(|(x, _)| *x & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        let keep_prob = if outcome { p1 } else { 1.0 - p1 };
+        let scale = if keep_prob > 0.0 {
+            1.0 / keep_prob.sqrt()
+        } else {
+            0.0
+        };
+        self.amps.retain(|x, _| (x & bit != 0) == outcome);
+        for a in self.amps.values_mut() {
+            *a = a.scale(scale);
+        }
+        Ok(outcome)
+    }
+
+    /// Rewrites every key through the bijection `f`, merging additively
+    /// (a true permutation never merges; the merge is defense in depth).
+    fn permute_keys(&mut self, f: impl Fn(u64) -> u64) {
+        let mut out = AmpMap::default();
+        for (&x, &a) in &self.amps {
+            *out.entry(f(x)).or_insert(Complex::ZERO) += a;
+        }
+        self.amps = out;
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), QuantumError> {
+        if q >= self.n {
+            Err(QuantumError::QubitOutOfRange {
+                qubit: q,
+                n: self.n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for SparseStateVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SparseStateVector({} qubits, {} entries)",
+            self.n,
+            self.amps.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use revmatch_circuit::Gate;
+
+    const EPS: f64 = 1e-12;
+
+    fn dense_close(sparse: &SparseStateVector, dense: &StateVector) -> bool {
+        (0..1u64 << dense.num_qubits())
+            .all(|x| (sparse.amplitude(x) - dense.amplitude(x)).norm_sqr() < EPS)
+    }
+
+    #[test]
+    fn basis_is_one_entry() {
+        let sv = SparseStateVector::basis(0b10, 2);
+        assert_eq!(sv.num_entries(), 1);
+        assert_eq!(sv.probability(0b10), 1.0);
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn h_fans_out_and_cancels() {
+        let mut sv = SparseStateVector::basis(0, 1);
+        sv.apply_h(0).unwrap();
+        assert_eq!(sv.num_entries(), 2);
+        // |+⟩ → H → |0⟩: the |1⟩ entry cancels exactly and is pruned.
+        sv.apply_h(0).unwrap();
+        assert_eq!(sv.num_entries(), 1);
+        assert!((sv.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn matches_dense_on_gate_sequences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let circ = revmatch_circuit::random_circuit(
+            &revmatch_circuit::RandomCircuitSpec::for_width(4),
+            &mut rng,
+        );
+        let p = ProductState::from_qubits(vec![Qubit::Plus, Qubit::Zero, Qubit::Minus, Qubit::One]);
+        let mut sparse = SparseStateVector::from_product(&p).unwrap();
+        let mut dense = p.to_state_vector();
+        sparse.apply_circuit(&circ, 0).unwrap();
+        dense.apply_circuit(&circ, 0).unwrap();
+        sparse.apply_h(2).unwrap();
+        dense.apply_h(2).unwrap();
+        sparse.apply_x(1).unwrap();
+        dense.apply_x(1).unwrap();
+        assert!(dense_close(&sparse, &dense));
+        assert!(sparse
+            .inner_product(&SparseStateVector::from_dense(&dense))
+            .unwrap()
+            .approx_eq(Complex::ONE, 1e-9));
+    }
+
+    #[test]
+    fn xor_oracle_matches_dense_and_counts_entries() {
+        let f = |x: u64| (x.wrapping_add(1)) & 0b11;
+        let mut sparse =
+            SparseStateVector::from_product(&ProductState::uniform(4, Qubit::Plus)).unwrap();
+        let mut dense = ProductState::uniform(4, Qubit::Plus).to_state_vector();
+        sparse.apply_xor_oracle(f, 0, 2, 2, None).unwrap();
+        dense.apply_xor_oracle(f, 0, 2, 2, None).unwrap();
+        assert!(dense_close(&sparse, &dense));
+        assert_eq!(sparse.num_entries(), 16, "oracle permutes, never grows");
+    }
+
+    #[test]
+    fn cswap_matches_dense() {
+        let p = ProductState::from_qubits(vec![Qubit::Plus, Qubit::One, Qubit::Plus]);
+        let mut sparse = SparseStateVector::from_product(&p).unwrap();
+        let mut dense = p.to_state_vector();
+        sparse.apply_cswap(2, 0, 1).unwrap();
+        dense.apply_cswap(2, 0, 1).unwrap();
+        assert!(dense_close(&sparse, &dense));
+    }
+
+    #[test]
+    fn measurement_collapses_and_normalizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut sv =
+            SparseStateVector::from_product(&ProductState::uniform(3, Qubit::Plus)).unwrap();
+        let word = sv.measure_range(0, 3, &mut rng).unwrap();
+        assert_eq!(sv.num_entries(), 1);
+        assert!((sv.probability(word) - 1.0).abs() < EPS);
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn wide_registers_work_where_dense_cannot() {
+        let c = Circuit::from_gates(40, [Gate::cnot(0, 39)]).unwrap();
+        let mut sv = SparseStateVector::basis(1, 40);
+        sv.apply_h(5).unwrap();
+        sv.apply_circuit(&c, 0).unwrap();
+        let target = 1 | (1 << 39);
+        assert!((sv.probability(target) - 0.5).abs() < EPS);
+        assert!((sv.probability(target | (1 << 5)) - 0.5).abs() < EPS);
+        assert!(sv.to_dense().is_err(), "40 qubits exceed the dense limit");
+    }
+
+    #[test]
+    fn growth_past_entry_cap_is_graceful() {
+        let mut sv = SparseStateVector::basis(0, 25);
+        for q in 0..20 {
+            sv.apply_h(q).unwrap();
+        }
+        assert_eq!(sv.num_entries(), SPARSE_MAX_ENTRIES);
+        assert!(matches!(
+            sv.apply_h(20),
+            Err(QuantumError::StateTooLarge { .. })
+        ));
+        // The state is untouched by the failed fan-out.
+        assert_eq!(sv.num_entries(), SPARSE_MAX_ENTRIES);
+    }
+
+    #[test]
+    fn from_product_rejects_oversized_spread() {
+        let p = ProductState::uniform(24, Qubit::Plus);
+        assert!(matches!(
+            SparseStateVector::from_product(&p),
+            Err(QuantumError::StateTooLarge { .. })
+        ));
+        // All-basis preparations of the same width are one entry.
+        let p = ProductState::uniform(24, Qubit::One);
+        assert_eq!(
+            SparseStateVector::from_product(&p).unwrap().num_entries(),
+            1
+        );
+    }
+
+    #[test]
+    fn deterministic_hasher_is_stable() {
+        let mut a = AmpMap::default();
+        let mut b = AmpMap::default();
+        for x in [7u64, 3, 99, 12, 0, 41] {
+            a.insert(x, Complex::ONE);
+            b.insert(x, Complex::ONE);
+        }
+        let ka: Vec<u64> = a.keys().copied().collect();
+        let kb: Vec<u64> = b.keys().copied().collect();
+        assert_eq!(ka, kb, "same inserts → same iteration order");
+    }
+}

@@ -110,6 +110,22 @@ impl ProductState {
         &self.qubits
     }
 
+    /// Expands to a dense [`StateVector`], failing gracefully past the
+    /// simulator limit — the serving path uses this so an oversized job
+    /// becomes a clean error answer instead of a worker panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] if the state has more
+    /// than [`MAX_QUBITS`] qubits.
+    pub fn try_to_state_vector(&self) -> Result<StateVector, QuantumError> {
+        let n = self.qubits.len();
+        if n > MAX_QUBITS {
+            return Err(QuantumError::TooManyQubits { n, max: MAX_QUBITS });
+        }
+        Ok(self.to_state_vector())
+    }
+
     /// Expands to a dense [`StateVector`].
     ///
     /// # Panics

@@ -46,6 +46,7 @@ fn five_ni_strategies_agree() {
                     epsilon: 1e-6,
                     quantum_k: 20,
                     swap_method: SwapTestMethod::Analytic,
+                    quantum_backend: None,
                 },
                 &mut rng,
             )
@@ -59,6 +60,7 @@ fn five_ni_strategies_agree() {
                     epsilon: 1e-6,
                     quantum_k: 20,
                     swap_method: SwapTestMethod::FullCircuit,
+                    quantum_backend: None,
                 },
                 &mut rng,
             )

@@ -7,10 +7,11 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use revmatch::{
-    check_witness, identify_equivalence, job_seed, match_n_i_simon, random_instance, EngineJob,
-    EnumerateJob, Equivalence, IdentifyJob, IdentifyOptions, JobKind, JobReport, JobSpec,
-    JobTicket, MatchError, MatchService, MatcherConfig, MiterVerdict, Oracle, QuantumAlgorithm,
-    QuantumPathJob, SatEquivalenceJob, ServiceConfig, Side, VerifyMode, WitnessFamily,
+    check_witness, identify_equivalence, job_seed, match_n_i_simon_with, random_instance,
+    EngineJob, EnumerateJob, Equivalence, IdentifyJob, IdentifyOptions, JobKind, JobReport,
+    JobSpec, JobTicket, MatchError, MatchService, MatcherConfig, MiterVerdict, Oracle,
+    QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob, ServiceConfig, Side, VerifyMode,
+    WitnessFamily,
 };
 
 fn epsilon() -> f64 {
@@ -294,11 +295,14 @@ fn simon_path_is_deterministic_under_fixed_seeds() {
             algorithm: QuantumAlgorithm::Simon,
         };
         let seed = 0xD5 + width as u64;
-        // Direct reference run with the same per-job RNG construction.
+        // Direct reference run with the same per-job RNG construction,
+        // on the same backend the service's auto policy resolves for
+        // Simon jobs (the stabilizer tableau).
         let c1 = Oracle::new(inst.c1.clone());
         let c2 = Oracle::new(inst.c2.clone());
         let mut job_rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let direct = match_n_i_simon(&c1, &c2, &mut job_rng).unwrap();
+        let backend = MatcherConfig::default().simon_backend();
+        let direct = match_n_i_simon_with(&c1, &c2, backend, &mut job_rng).unwrap();
         assert_eq!(direct.witness.nu_x(), inst.witness.nu_x());
         for shards in [1usize, 2, 4] {
             let svc = service(shards);
