@@ -1,0 +1,221 @@
+//! Overhead budget for the tracing subsystem: span recording must be
+//! free when off and near-free when sampled.
+//!
+//! The harness drives the same mixed promise/identify/sat/enumerate
+//! workload through three service configurations — tracing off, traced
+//! every job, and traced 1-in-8 (the sampled production setting) — and
+//! **asserts** the acceptance floors in-bench:
+//!
+//! * off is structurally zero-cost: no `Tracer` is allocated, the
+//!   worker hot path degenerates to one `Option` check, and two
+//!   independent off runs (the A/A pair) agree within the measured
+//!   noise band;
+//! * sampled-on throughput stays within `max(5%, A/A noise)` of off —
+//!   the budget the ISSUE sets for `--trace-sample` on a mixed load.
+//!
+//! Full (1-in-1) tracing is timed and printed for reference but not
+//! asserted: its cost is workload-dependent and the production
+//! recommendation at high rates is sampling.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+use rand::SeedableRng;
+use revmatch::{
+    job_seed, random_instance, EngineJob, EnumerateJob, Equivalence, IdentifyJob, JobSpec,
+    JobTicket, MatchService, ServiceConfig, Side, TraceConfig, WitnessFamily,
+};
+
+/// Deterministic mixed pool: the four classical job kinds over widths
+/// 5–6 and a spread of equivalence classes. Quantum jobs are left out —
+/// their round-count variance would dominate the noise band this bench
+/// exists to measure.
+fn mixed_pool(jobs: usize) -> Vec<JobSpec> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7AACE);
+    let classes = [
+        Equivalence::new(Side::Np, Side::I),
+        Equivalence::new(Side::I, Side::P),
+        Equivalence::new(Side::P, Side::N),
+    ];
+    let mut pool = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let width = 5 + i % 2;
+        let e = classes[i % classes.len()];
+        pool.push(match i % 4 {
+            0 => {
+                let inst = random_instance(e, width, &mut rng);
+                JobSpec::Promise(EngineJob::from_instance(&inst, true))
+            }
+            1 => {
+                let inst = random_instance(e, width, &mut rng);
+                JobSpec::Identify(IdentifyJob::new(inst.c1, inst.c2).without_brute_force())
+            }
+            2 => {
+                let inst = random_instance(e, width, &mut rng);
+                JobSpec::SatEquivalence(revmatch::SatEquivalenceJob {
+                    c1: inst.c1,
+                    c2: inst.c2,
+                    witness: Some(inst.witness),
+                })
+            }
+            _ => {
+                let ni = Equivalence::new(Side::N, Side::I);
+                let inst = random_instance(ni, width, &mut rng);
+                JobSpec::Enumerate(EnumerateJob::new(
+                    inst.c1,
+                    inst.c2,
+                    WitnessFamily::InputNegation,
+                ))
+            }
+        });
+    }
+    pool
+}
+
+/// Best-of-`passes` jobs/s for the pool through a service pinned to
+/// `trace`. Each pass submits the whole pool and waits for every
+/// report; the first pass doubles as cache warm-up so the timed best
+/// reflects steady state, not table compiles.
+fn throughput(trace: TraceConfig, pool: &[JobSpec], passes: usize) -> (f64, u64) {
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(pool.len().max(16))
+            .with_trace(trace),
+    );
+    assert_eq!(
+        service.tracer().is_some(),
+        trace.enabled(),
+        "a disabled trace config must not allocate a tracer"
+    );
+    let mut best = 0.0f64;
+    for pass in 0..passes {
+        let start = Instant::now();
+        let tickets: Vec<JobTicket> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(3, i as u64)))
+            .collect();
+        for ticket in tickets {
+            let report = ticket.wait();
+            assert!(report.witness.is_ok(), "planted pool job failed");
+        }
+        if pass > 0 {
+            best = best.max(pool.len() as f64 / start.elapsed().as_secs_f64());
+        }
+    }
+    let spans = service.trace_spans().len() as u64;
+    service.shutdown();
+    (best, spans)
+}
+
+/// Criterion view of the same comparison at a smaller pool, for trend
+/// tracking across commits.
+fn bench_tracing_modes(c: &mut Criterion) {
+    let pool = mixed_pool(32);
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.sample_size(10);
+    for (name, trace) in [
+        ("off", TraceConfig::off()),
+        ("sample8", TraceConfig::sampled(8)),
+        ("all", TraceConfig::all()),
+    ] {
+        group.bench_function(name, |b| {
+            let service = MatchService::start(
+                ServiceConfig::default()
+                    .with_shards(2)
+                    .with_queue_capacity(pool.len())
+                    .with_trace(trace),
+            );
+            b.iter(|| {
+                let tickets: Vec<JobTicket> = pool
+                    .iter()
+                    .enumerate()
+                    .map(|(i, job)| service.submit_wait_seeded(job.clone(), job_seed(3, i as u64)))
+                    .collect();
+                for ticket in tickets {
+                    black_box(ticket.wait());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing_modes);
+
+/// The asserted budget: A/A off runs bound the noise, sampled-on must
+/// land inside `max(5%, noise)` of the better off run.
+///
+/// Each config is measured over `ROUNDS` interleaved service
+/// instantiations (off-A, off-B, sampled, full, repeat) and scored by
+/// its best round. Interleaving matters: machine-level drift between
+/// back-to-back service runs measures at ±15% on a loaded host —
+/// dwarfing any real tracing cost — but it moves slowly, so bests drawn
+/// from the same alternating epochs cancel it.
+fn overhead_summary() {
+    const ROUNDS: usize = 5;
+    let pool = mixed_pool(192);
+    let configs = [
+        TraceConfig::off(),
+        TraceConfig::off(),
+        TraceConfig::sampled(8),
+        TraceConfig::all(),
+    ];
+    let mut best = [0.0f64; 4];
+    let mut spans = [0u64; 4];
+    for _round in 0..ROUNDS {
+        for (i, &trace) in configs.iter().enumerate() {
+            let (jobs_s, n) = throughput(trace, &pool, 2);
+            best[i] = best[i].max(jobs_s);
+            spans[i] += n;
+        }
+    }
+    let [off_a, off_b, sampled, full] = best;
+    let [off_a_spans, off_b_spans, sampled_spans, full_spans] = spans;
+
+    assert_eq!(
+        off_a_spans + off_b_spans,
+        0,
+        "acceptance: tracing off must record zero spans"
+    );
+    assert!(
+        sampled_spans > 0 && full_spans > sampled_spans,
+        "sampling must thin the span stream, not mirror or empty it \
+         (sampled {sampled_spans}, full {full_spans})"
+    );
+
+    let noise = (off_a - off_b).abs() / off_a.max(off_b);
+    let off_best = off_a.max(off_b);
+    let overhead = (off_best - sampled) / off_best;
+    let budget = noise.max(0.05);
+    println!(
+        "tracing overhead (mixed pool, {} jobs, best of {ROUNDS} interleaved rounds):",
+        pool.len(),
+    );
+    println!(
+        "  off A/A     : {off_a:8.0} / {off_b:8.0} jobs/s (noise {:.1}%)",
+        noise * 100.0
+    );
+    println!(
+        "  sampled 1/8 : {sampled:8.0} jobs/s ({:+.1}% vs off, budget {:.1}%) [{sampled_spans} spans]",
+        -overhead * 100.0,
+        budget * 100.0,
+    );
+    println!(
+        "  full 1/1    : {full:8.0} jobs/s ({:+.1}% vs off, unasserted) [{full_spans} spans]",
+        -(off_best - full) / off_best * 100.0,
+    );
+    assert!(
+        overhead <= budget,
+        "acceptance: sampled tracing costs {:.1}%, over the max(5%, A/A noise {:.1}%) budget",
+        overhead * 100.0,
+        noise * 100.0,
+    );
+    println!("acceptance: sampled tracing within the max(5%, A/A noise) budget");
+}
+
+fn main() {
+    benches();
+    overhead_summary();
+}

@@ -25,20 +25,30 @@
 //!   pair on one incremental-assumption solver, counting *all*
 //!   witnesses (per-shard solver-cache reuse makes repeats warm).
 //!
-//! At the end the generator drains the service, prints a per-kind and
+//! At the end the generator drains the service, prints a per-kind
+//! latency table (p50/p90/p99/max), steal/shard accounting, a
 //! latency/throughput summary plus the full Prometheus metrics export,
 //! and verifies that every accepted job completed with no failures.
 //!
+//! With `--trace out.json` the service records lifecycle spans
+//! (`submit → queue_wait → dequeue → cache_probe → table_compile →
+//! execute → report`) and the generator writes them as Chrome
+//! trace-event JSON — load the file in `chrome://tracing` or
+//! <https://ui.perfetto.dev> — plus a top-K slowest-jobs table with
+//! per-stage attribution. `--trace-sample N` traces every N-th job
+//! (default 1 = all) to bound overhead at high rates.
+//!
 //! Run with: `cargo run --release -p revmatch-bench --bin loadgen -- \
 //!   --rate 500 --duration-ms 2000 --shards 4 --queue-capacity 64 \
-//!   --job-mix promise:identify:quantum:sat`
+//!   --job-mix promise:identify:quantum:sat --trace trace.json`
 
 use std::time::{Duration, Instant};
 
 use revmatch::{
-    random_instance, EngineJob, EnumerateJob, Equivalence, IdentifyJob, JobKind, JobSpec,
-    MatchService, MatcherConfig, QuantumAlgorithm, QuantumPathJob, SatEquivalenceJob,
-    ServiceConfig, Side, SolverBackend, SubmitOutcome, WitnessFamily,
+    chrome_trace_json, random_instance, slowest_jobs, EngineJob, EnumerateJob, Equivalence,
+    IdentifyJob, JobKind, JobSpec, MatchService, MatcherConfig, QuantumAlgorithm, QuantumPathJob,
+    SatEquivalenceJob, ServiceConfig, Side, SolverBackend, Stage, SubmitOutcome, TraceConfig,
+    WitnessFamily,
 };
 use revmatch_bench::{service_flags, Flags};
 use revmatch_quantum::QuantumBackend;
@@ -49,9 +59,9 @@ const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
 [--job-mix KIND[:KIND...]] [--seed N] [--epsilon F] [--sat-verify 0|1] \
 [--backend dpll|cdcl] [--kernel scalar|sliced64|wide256-portable|wide256] \
-[--quantum-backend dense|sparse|stabilizer]";
+[--quantum-backend dense|sparse|stabilizer] [--trace OUT.json] [--trace-sample N]";
 
-const KNOWN_FLAGS: [&str; 13] = [
+const KNOWN_FLAGS: [&str; 15] = [
     "rate",
     "duration-ms",
     "shards",
@@ -65,6 +75,8 @@ const KNOWN_FLAGS: [&str; 13] = [
     "backend",
     "kernel",
     "quantum-backend",
+    "trace",
+    "trace-sample",
 ];
 
 /// Pre-generated jobs per (width, equivalence, kind-entry) cell of the
@@ -191,6 +203,17 @@ fn main() {
         .get_str("backend", "cdcl")
         .parse()
         .expect("--backend: expected dpll or cdcl");
+    // --trace OUT.json turns span recording on; --trace-sample N keeps
+    // every N-th job (1 = all). Without --trace the pin is Off, which
+    // also shields the overhead baseline from a stray REVMATCH_TRACE.
+    let trace_path = flags.get_str("trace", "");
+    let trace_sample = flags.get_u64("trace-sample", 1);
+    assert!(trace_sample > 0, "--trace-sample must be positive");
+    let trace_config = if trace_path.is_empty() {
+        TraceConfig::off()
+    } else {
+        TraceConfig::sampled(trace_sample)
+    };
     let widths: Vec<usize> = flags
         .get_str("widths", "5,6")
         .split(',')
@@ -258,7 +281,8 @@ fn main() {
             .with_queue_capacity(capacity)
             .with_matcher(MatcherConfig::with_epsilon(epsilon))
             .with_solver_backend(backend)
-            .with_seed(seed),
+            .with_seed(seed)
+            .with_trace(trace_config),
     );
 
     // Open loop: arrival i is due at start + i/rate, slept to — never
@@ -351,7 +375,6 @@ fn main() {
     }
 
     let p = |q: f64| match m.latency().quantile_upper_bound(q) {
-        Some(u64::MAX) => "overflow".to_owned(),
         Some(us) => format!("≤{:.1}ms", us as f64 / 1000.0),
         None => "n/a".to_owned(),
     };
@@ -375,7 +398,6 @@ fn main() {
     // that built a table), on the kernel reported above.
     let tc = m.table_compile();
     let tc_p99 = match tc.quantile_upper_bound(0.99) {
-        Some(u64::MAX) => "overflow".to_owned(),
         Some(us) => format!("≤{us}µs"),
         None => "n/a".to_owned(),
     };
@@ -385,6 +407,99 @@ fn main() {
         tc.sum() as f64 / 1000.0,
         m.table_cache_hits(),
     );
+
+    // Per-kind accept→completion latency from the kind-labelled
+    // histograms: bucket upper bounds for the quantiles (capped at the
+    // observed max), the max exact.
+    println!("\nper-kind latency (accept→completion):");
+    println!(
+        "  {:<10} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "kind", "count", "p50", "p90", "p99", "max"
+    );
+    for kind in JobKind::ALL {
+        let h = m.latency_of(kind);
+        let Some(q) = h.summary(&[0.5, 0.9, 0.99]) else {
+            continue;
+        };
+        let ms = |us: u64| format!("{:.2}ms", us as f64 / 1000.0);
+        println!(
+            "  {:<10} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            kind.as_str(),
+            h.count(),
+            format!("≤{}", ms(q[0])),
+            format!("≤{}", ms(q[1])),
+            format!("≤{}", ms(q[2])),
+            ms(h.max()),
+        );
+    }
+
+    // Shard-level execution accounting: jobs each worker ran, how many
+    // it stole from other lanes (and lost to thieves), and the split of
+    // its wall time between executing and waiting for work.
+    println!("\nper-shard execution:");
+    println!(
+        "  {:<6} {:>7} {:>7} {:>7} {:>10} {:>10}",
+        "shard", "jobs", "stole", "lost", "busy", "idle"
+    );
+    let mut steals_total = 0u64;
+    for s in 0..m.shards() {
+        steals_total += m.shard_steals(s);
+        println!(
+            "  {:<6} {:>7} {:>7} {:>7} {:>9.2}s {:>9.2}s",
+            s,
+            m.shard_jobs_executed(s),
+            m.shard_steals(s),
+            m.shard_stolen_from(s),
+            m.shard_busy_micros(s) as f64 / 1e6,
+            m.shard_idle_micros(s) as f64 / 1e6,
+        );
+    }
+    println!("  steals total: {steals_total}");
+
+    // Trace drain: write the Chrome trace-event JSON and attribute the
+    // slowest traced jobs stage by stage.
+    if let Some(tracer) = service.tracer() {
+        let spans = service.trace_spans();
+        let json = chrome_trace_json(&spans, m.shards());
+        std::fs::write(&trace_path, &json).expect("--trace: cannot write trace file");
+        println!(
+            "\ntrace: {} spans ({} overwritten in ring) → {trace_path} \
+             [sample 1/{}; load in chrome://tracing or ui.perfetto.dev]",
+            spans.len(),
+            tracer.dropped(),
+            tracer.sample(),
+        );
+        let worst = slowest_jobs(&spans, 5);
+        if !worst.is_empty() {
+            print!(
+                "top {} slowest traced jobs:\n  {:<8} {:<10} {:>10}",
+                worst.len(),
+                "job",
+                "kind",
+                "total"
+            );
+            for stage in Stage::ALL {
+                if stage != Stage::Submit {
+                    print!(" {:>13}", stage.as_str());
+                }
+            }
+            println!();
+            for b in &worst {
+                print!(
+                    "  {:<8} {:<10} {:>9.2}ms",
+                    b.job,
+                    b.kind.as_str(),
+                    b.total_us as f64 / 1000.0
+                );
+                for stage in Stage::ALL {
+                    if stage != Stage::Submit {
+                        print!(" {:>11.2}ms", b.stage(stage) as f64 / 1000.0);
+                    }
+                }
+                println!();
+            }
+        }
+    }
 
     println!("\n--- metrics export ---");
     print!("{}", service.metrics_text());

@@ -325,6 +325,21 @@ impl DenseTable {
         Self::compile_with(circuit, Kernel::auto())
     }
 
+    /// [`DenseTable::compile`] with the sweep's wall-clock measured at
+    /// the compile site, so callers (the serving layer's table cache)
+    /// can attribute the cold-miss cost separately from the lookup
+    /// overhead around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthTooLarge`] beyond
+    /// [`DENSE_MAX_WIDTH`].
+    pub fn compile_timed(circuit: &Circuit) -> Result<(Self, std::time::Duration), CircuitError> {
+        let start = std::time::Instant::now();
+        let table = Self::compile(circuit)?;
+        Ok((table, start.elapsed()))
+    }
+
     /// Compiles with an explicit kernel. [`Kernel::Sliced64`] is the
     /// original transpose-sweep compile path, kept as the old-vs-new
     /// bench reference; every kernel yields bit-identical tables.

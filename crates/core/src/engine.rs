@@ -39,7 +39,7 @@ use crate::service::{job_seed, JobTicket, MatchService, ServiceConfig};
 use crate::witness::MatchWitness;
 
 /// The five job families the serving stack executes — see [`JobSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum JobKind {
     /// Promise matching: recover the witness of a promised X-Y pair.
     Promise,
@@ -364,6 +364,10 @@ pub struct JobReport {
     /// `Counterexample` refutes it (a verified promise job then counts
     /// as failed); `Unknown` means the per-job miter budget ran out.
     pub miter: Option<MiterVerdict>,
+    /// Per-stage wall-clock breakdown, stamped by the service on every
+    /// completed job whether tracing is enabled or not. Engine-batch
+    /// reports (no queue, no service) carry the default zeros.
+    pub timing: crate::observe::JobTiming,
 }
 
 /// Aggregate result of a batch solve.

@@ -66,6 +66,10 @@
 //!   worker shards, a bounded intake queue with backpressure, per-job
 //!   completion tickets and Prometheus-style metrics with per-kind
 //!   counters and latency;
+//! * [`observe`] — opt-in job tracing: lock-free per-shard span rings
+//!   over the `submit → queue_wait → … → execute → report` lifecycle,
+//!   drained to Chrome trace-event JSON, plus the per-job
+//!   [`JobTiming`] breakdown every completed job carries;
 //! * [`hardness`] — the Fig. 5 UNIQUE-SAT encodings behind Theorems 2–3;
 //! * [`miter`] — complete SAT-based equivalence/witness checking with
 //!   counterexamples, backend-parameterized over [`SolverBackend`]
@@ -115,6 +119,7 @@ pub mod identify;
 pub mod lattice;
 pub mod matchers;
 pub mod miter;
+pub mod observe;
 pub mod oracle;
 pub mod promise;
 pub mod service;
@@ -152,6 +157,10 @@ pub use miter::{
     check_equivalence_sat_with, check_witness_sat, check_witness_sat_budgeted,
     check_witness_sat_budgeted_with, check_witness_sat_with, MiterEncoding, MiterVerdict,
     SatEquivalence,
+};
+pub use observe::{
+    chrome_trace_json, slowest_jobs, Detail, JobBreakdown, JobTiming, SpanRecord, Stage,
+    TraceConfig, Tracer,
 };
 pub use oracle::{
     ClassicalOracle, ComposedOracle, Oracle, QuantumOracle, XorInputOracle, XorOutputOracle,

@@ -26,6 +26,7 @@
 //! them hit.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
 use revmatch_sat::{CdclSolver, Cnf};
@@ -37,6 +38,25 @@ use crate::oracle::Oracle;
 /// Resident cost of one cached dense table (`2^width` entries of 8 B).
 fn table_cost(table: &Arc<DenseTable>) -> usize {
     (1usize << table.width()) * std::mem::size_of::<u64>()
+}
+
+/// Outcome of one dense-table cache probe ([`ShardCaches::oracle_for`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TableProbe {
+    /// Whether the table was served from this worker's cache.
+    pub hit: bool,
+    /// Wall-clock of the cold compile sweep, when the probe missed and
+    /// actually built a table (`None` on hits and on wide circuits that
+    /// bypass the cache).
+    pub compile: Option<Duration>,
+}
+
+impl TableProbe {
+    /// A probe that never touched the cache (width past the dense cap).
+    pub const BYPASS: TableProbe = TableProbe {
+        hit: false,
+        compile: None,
+    };
 }
 
 /// A tiny move-to-front LRU with exact-equality keys and a per-entry
@@ -127,22 +147,28 @@ impl ShardCaches {
     /// reusing the cached dense table when this worker has compiled the
     /// same `(kind, circuit)` before. Falls back to the bit-sliced
     /// oracle beyond [`DENSE_MAX_WIDTH`], exactly like
-    /// [`Oracle::precompiled`]. The flag reports a table-cache hit.
-    pub fn oracle_for(&mut self, kind: JobKind, circuit: Circuit) -> (Oracle, bool) {
+    /// [`Oracle::precompiled`]. The probe reports a hit vs the measured
+    /// cold-compile cost, so the caller can attribute the table sweep
+    /// separately from the lookup around it.
+    pub fn oracle_for(&mut self, kind: JobKind, circuit: Circuit) -> (Oracle, TableProbe) {
         if circuit.width() > DENSE_MAX_WIDTH {
-            return (Oracle::new(circuit), false);
+            return (Oracle::new(circuit), TableProbe::BYPASS);
         }
+        let mut compile = None;
         let (table, hit) = self.tables.get_or_insert_with(
             |(k, c)| *k == kind && *c == circuit,
             || {
-                let table = Arc::new(
-                    DenseTable::compile(&circuit).expect("width checked against DENSE_MAX_WIDTH"),
-                );
-                ((kind, circuit.clone()), table)
+                let (table, took) = DenseTable::compile_timed(&circuit)
+                    .expect("width checked against DENSE_MAX_WIDTH");
+                compile = Some(took);
+                ((kind, circuit.clone()), Arc::new(table))
             },
         );
         let table = Arc::clone(table);
-        (Oracle::with_shared_table(circuit, table), hit)
+        (
+            Oracle::with_shared_table(circuit, table),
+            TableProbe { hit, compile },
+        )
     }
 
     /// A CDCL solver owning `miter`'s formula, input-hinted, reused (with
@@ -219,13 +245,18 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let c = random_circuit(&RandomCircuitSpec::for_width(6), &mut rng);
         let mut caches = ShardCaches::new();
-        let (cold, hit_cold) = caches.oracle_for(JobKind::Promise, c.clone());
-        assert!(!hit_cold);
-        let (warm, hit_warm) = caches.oracle_for(JobKind::Promise, c.clone());
-        assert!(hit_warm);
+        let (cold, probe_cold) = caches.oracle_for(JobKind::Promise, c.clone());
+        assert!(!probe_cold.hit);
+        assert!(
+            probe_cold.compile.is_some(),
+            "a cold miss measures its compile"
+        );
+        let (warm, probe_warm) = caches.oracle_for(JobKind::Promise, c.clone());
+        assert!(probe_warm.hit);
+        assert_eq!(probe_warm.compile, None, "a hit never compiles");
         // A different kind re-compiles: the key includes the kind.
-        let (_, cross_kind_hit) = caches.oracle_for(JobKind::Identify, c.clone());
-        assert!(!cross_kind_hit);
+        let (_, cross_kind) = caches.oracle_for(JobKind::Identify, c.clone());
+        assert!(!cross_kind.hit);
         for x in 0..64u64 {
             assert_eq!(cold.query(x), c.apply(x));
             assert_eq!(warm.query(x), c.apply(x));
@@ -240,8 +271,8 @@ mod tests {
         let b = Circuit::from_gates(3, [revmatch_circuit::Gate::not(1)]).unwrap();
         let mut caches = ShardCaches::new();
         let (oa, _) = caches.oracle_for(JobKind::Promise, a.clone());
-        let (ob, hit) = caches.oracle_for(JobKind::Promise, b.clone());
-        assert!(!hit);
+        let (ob, probe) = caches.oracle_for(JobKind::Promise, b.clone());
+        assert!(!probe.hit);
         assert_eq!(oa.query(0), 1);
         assert_eq!(ob.query(0), 2);
     }
@@ -250,9 +281,10 @@ mod tests {
     fn wide_circuits_bypass_the_table_cache() {
         let c = Circuit::new(DENSE_MAX_WIDTH + 1);
         let mut caches = ShardCaches::new();
-        let (_, hit1) = caches.oracle_for(JobKind::Promise, c.clone());
-        let (_, hit2) = caches.oracle_for(JobKind::Promise, c);
-        assert!(!hit1 && !hit2);
+        let (_, probe1) = caches.oracle_for(JobKind::Promise, c.clone());
+        let (_, probe2) = caches.oracle_for(JobKind::Promise, c);
+        assert_eq!(probe1, TableProbe::BYPASS);
+        assert_eq!(probe2, TableProbe::BYPASS);
     }
 
     #[test]

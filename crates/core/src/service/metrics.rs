@@ -38,6 +38,7 @@ pub struct Histogram {
     overflow: AtomicU64,
     sum: AtomicU64,
     count: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Histogram {
@@ -52,6 +53,7 @@ impl Histogram {
             overflow: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -63,6 +65,7 @@ impl Histogram {
         };
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Total number of samples.
@@ -75,9 +78,16 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// The largest sample observed (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
     /// Upper bound of the bucket holding the `q`-quantile sample
     /// (`0 < q <= 1`), or `None` when the histogram is empty. Samples
-    /// past the last bound report `u64::MAX`.
+    /// past the last bound report the **observed maximum** — the old
+    /// `u64::MAX` sentinel forced every consumer to special-case the
+    /// edge and printed as garbage when one forgot.
     pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
         let count = self.count();
         if count == 0 {
@@ -88,10 +98,35 @@ impl Histogram {
         for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
             cumulative += bucket.load(Ordering::Relaxed);
             if cumulative >= rank {
-                return Some(*bound);
+                // The bucket bound can overshoot the true max when every
+                // overflow-free sample sits low in its bucket.
+                return Some((*bound).min(self.max()));
             }
         }
-        Some(u64::MAX)
+        Some(self.max())
+    }
+
+    /// The requested quantile upper bounds in one pass — `None` when the
+    /// histogram is empty, so callers print `—` instead of fake zeros.
+    ///
+    /// ```
+    /// use revmatch::Histogram;
+    /// let h = Histogram::new(vec![10, 100]);
+    /// assert_eq!(h.summary(&[0.5, 0.99]), None);
+    /// for v in [4, 5, 6, 250] { h.observe(v); }
+    /// let s = h.summary(&[0.5, 0.99]).unwrap();
+    /// assert_eq!(s, vec![10, 250]); // p50 in-bucket, p99 at observed max
+    /// ```
+    pub fn summary(&self, quantiles: &[f64]) -> Option<Vec<u64>> {
+        if self.count() == 0 {
+            return None;
+        }
+        Some(
+            quantiles
+                .iter()
+                .map(|&q| self.quantile_upper_bound(q).expect("count checked"))
+                .collect(),
+        )
     }
 
     /// Renders the histogram as Prometheus text. `denom` converts the raw
@@ -180,11 +215,27 @@ pub struct Metrics {
     /// that ran a named matcher, far off any hot path.
     entry_completions: Mutex<BTreeMap<&'static str, u64>>,
     shard_depth: Vec<AtomicU64>,
+    /// Jobs executed per worker shard (by the shard that ran them, not
+    /// the lane they were queued on).
+    shard_jobs: Vec<AtomicU64>,
+    /// Jobs a shard pulled from another shard's lane (steals performed).
+    shard_steals: Vec<AtomicU64>,
+    /// Jobs pulled *out of* a shard's lane by other shards (stolen-from).
+    shard_stolen_from: Vec<AtomicU64>,
+    /// Microseconds each shard spent executing jobs (dequeue → report).
+    shard_busy_us: Vec<AtomicU64>,
+    /// Microseconds each shard spent parked waiting for work.
+    shard_idle_us: Vec<AtomicU64>,
     latency: Histogram,
     intake_depth: Histogram,
     /// Cold dense-table compile latency in worker oracle setup (cache
     /// misses only — hits never compile).
     table_compile: Histogram,
+    /// Accept-to-dequeue wait (the queue_wait stage of every job).
+    queue_wait: Histogram,
+    /// Execute-stage latency per [`JobKind`] (the `execute_*` body
+    /// alone, queue wait excluded).
+    exec_by_kind: [Histogram; KINDS],
 }
 
 impl Metrics {
@@ -207,9 +258,16 @@ impl Metrics {
             quantum_by_backend: std::array::from_fn(|_| AtomicU64::new(0)),
             entry_completions: Mutex::new(BTreeMap::new()),
             shard_depth: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            shard_jobs: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            shard_steals: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            shard_stolen_from: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            shard_busy_us: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            shard_idle_us: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: Histogram::new(latency_bounds()),
             intake_depth: Histogram::new(depth_bounds()),
             table_compile: Histogram::new(compile_bounds()),
+            queue_wait: Histogram::new(latency_bounds()),
+            exec_by_kind: std::array::from_fn(|_| Histogram::new(latency_bounds())),
         }
     }
 
@@ -250,6 +308,37 @@ impl Metrics {
         self.queries.fetch_add(queries, Ordering::Relaxed);
         self.latency.observe(latency_micros);
         self.latency_by_kind[kind.index()].observe(latency_micros);
+    }
+
+    /// Records the per-stage decomposition of one completed job: queue
+    /// wait (accept → dequeue) and the execute-stage body, both in
+    /// microseconds.
+    pub(crate) fn record_stage_timing(&self, kind: JobKind, queue_wait_us: u64, exec_us: u64) {
+        self.queue_wait.observe(queue_wait_us);
+        self.exec_by_kind[kind.index()].observe(exec_us);
+    }
+
+    /// Attributes one executed job to the shard that ran it. `lane` is
+    /// the intake lane it was popped from — a differing lane means the
+    /// job was stolen, counted for the thief (`shard`) and the victim
+    /// (`lane`) both.
+    pub(crate) fn record_execution(&self, shard: usize, lane: usize) {
+        self.shard_jobs[shard].fetch_add(1, Ordering::Relaxed);
+        if lane != shard {
+            self.shard_steals[shard].fetch_add(1, Ordering::Relaxed);
+            self.shard_stolen_from[lane].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds executing time (dequeue → ticket resolved) to a shard's busy
+    /// counter.
+    pub(crate) fn record_shard_busy(&self, shard: usize, micros: u64) {
+        self.shard_busy_us[shard].fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Adds parked-waiting-for-work time to a shard's idle counter.
+    pub(crate) fn record_shard_idle(&self, shard: usize, micros: u64) {
+        self.shard_idle_us[shard].fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Counts one SAT miter verification of a recovered witness;
@@ -407,6 +496,47 @@ impl Metrics {
         &self.table_compile
     }
 
+    /// The accept-to-dequeue queue-wait histogram (microseconds).
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.queue_wait
+    }
+
+    /// The execute-stage latency histogram of one [`JobKind`]
+    /// (microseconds; the `execute_*` body alone).
+    pub fn exec_of(&self, kind: JobKind) -> &Histogram {
+        &self.exec_by_kind[kind.index()]
+    }
+
+    /// Worker-shard count this registry was sized for.
+    pub fn shards(&self) -> usize {
+        self.shard_depth.len()
+    }
+
+    /// Jobs executed by one worker shard.
+    pub fn shard_jobs_executed(&self, shard: usize) -> u64 {
+        self.shard_jobs[shard].load(Ordering::Relaxed)
+    }
+
+    /// Jobs one shard pulled from other shards' lanes (steals performed).
+    pub fn shard_steals(&self, shard: usize) -> u64 {
+        self.shard_steals[shard].load(Ordering::Relaxed)
+    }
+
+    /// Jobs pulled out of one shard's lane by other shards.
+    pub fn shard_stolen_from(&self, shard: usize) -> u64 {
+        self.shard_stolen_from[shard].load(Ordering::Relaxed)
+    }
+
+    /// Microseconds one shard has spent executing jobs.
+    pub fn shard_busy_micros(&self, shard: usize) -> u64 {
+        self.shard_busy_us[shard].load(Ordering::Relaxed)
+    }
+
+    /// Microseconds one shard has spent parked waiting for work.
+    pub fn shard_idle_micros(&self, shard: usize) -> u64 {
+        self.shard_idle_us[shard].load(Ordering::Relaxed)
+    }
+
     /// Serializes every metric in the Prometheus text exposition format.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -522,6 +652,49 @@ impl Metrics {
                 d.load(Ordering::Relaxed)
             );
         }
+        // Per-shard runtime introspection: executed jobs, steal flow in
+        // both directions, and busy/idle seconds — the inputs a
+        // rebalancer (ROADMAP item 1) needs to spot a hot shard.
+        let shard_counters: [(&str, &str, &Vec<AtomicU64>); 5] = [
+            (
+                "revmatch_shard_jobs_total",
+                "Jobs executed per worker shard.",
+                &self.shard_jobs,
+            ),
+            (
+                "revmatch_shard_steals_total",
+                "Jobs a shard pulled from another shard's lane.",
+                &self.shard_steals,
+            ),
+            (
+                "revmatch_shard_stolen_from_total",
+                "Jobs pulled out of a shard's lane by other shards.",
+                &self.shard_stolen_from,
+            ),
+            (
+                "revmatch_shard_busy_seconds_total",
+                "Seconds a shard has spent executing jobs.",
+                &self.shard_busy_us,
+            ),
+            (
+                "revmatch_shard_idle_seconds_total",
+                "Seconds a shard has spent parked waiting for work.",
+                &self.shard_idle_us,
+            ),
+        ];
+        for (name, help, values) in shard_counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let seconds = name.ends_with("_seconds_total");
+            for (i, v) in values.iter().enumerate() {
+                let v = v.load(Ordering::Relaxed);
+                if seconds {
+                    let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", v as f64 / 1e6);
+                } else {
+                    let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {v}");
+                }
+            }
+        }
         self.latency.render(
             &mut out,
             "revmatch_job_latency_seconds",
@@ -555,6 +728,28 @@ impl Metrics {
             "Cold dense-table compile latency in worker oracle setup.",
             1e6,
         );
+        self.queue_wait.render(
+            &mut out,
+            "revmatch_queue_wait_seconds",
+            "Job wait from intake accept to worker dequeue.",
+            1e6,
+        );
+        // Per-kind execute-stage latency as one labeled histogram family
+        // (the execute_* body alone; queue wait reported above).
+        let name = "revmatch_exec_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Execute-stage latency by job kind (queue wait excluded)."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for kind in JobKind::ALL {
+            self.exec_by_kind[kind.index()].render_series(
+                &mut out,
+                name,
+                &format!("kind=\"{kind}\","),
+                1e6,
+            );
+        }
         // The evaluation kernel the batch entry points dispatch to, as
         // an info-style gauge (value always 1; the label carries the
         // resolved name, e.g. wide256-avx2).
@@ -617,7 +812,28 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.25), Some(10));
         assert_eq!(h.quantile_upper_bound(0.5), Some(100));
         assert_eq!(h.quantile_upper_bound(0.75), Some(100));
-        assert_eq!(h.quantile_upper_bound(1.0), Some(u64::MAX));
+        // Past the last bound: the observed maximum, not a u64::MAX
+        // sentinel the caller would print as garbage.
+        assert_eq!(h.quantile_upper_bound(1.0), Some(5000));
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn summary_reports_quantiles_and_caps_at_observed_max() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        assert_eq!(h.summary(&[0.5, 0.99]), None, "empty histogram");
+        for v in [5, 6, 7, 8] {
+            h.observe(v);
+        }
+        // All samples in the first bucket: every quantile is capped at
+        // the observed max (8), not the bucket bound (10).
+        assert_eq!(h.summary(&[0.5, 0.9, 0.99, 1.0]), Some(vec![8, 8, 8, 8]));
+        h.observe(5000);
+        assert_eq!(
+            h.summary(&[0.5, 1.0]),
+            Some(vec![10, 5000]),
+            "p50 back to its bucket bound, overflow max reported exactly"
+        );
     }
 
     #[test]
@@ -633,6 +849,11 @@ mod tests {
         m.record_solver_cache_hit();
         m.record_table_compile(7);
         m.record_quantum_backend(QuantumBackend::Stabilizer);
+        m.record_stage_timing(JobKind::Promise, 40, 210);
+        m.record_execution(0, 0);
+        m.record_execution(0, 1); // shard 0 steals from lane 1
+        m.record_shard_busy(0, 250);
+        m.record_shard_idle(1, 1_000);
         let text = m.render();
         for needle in [
             "revmatch_jobs_submitted_total 1",
@@ -659,6 +880,16 @@ mod tests {
             "revmatch_quantum_backend_jobs_total{backend=\"dense\"} 0",
             "revmatch_quantum_backend_jobs_total{backend=\"stabilizer\"} 1",
             "revmatch_quantum_backend_info{backend=\"",
+            "revmatch_shard_jobs_total{shard=\"0\"} 2",
+            "revmatch_shard_steals_total{shard=\"0\"} 1",
+            "revmatch_shard_steals_total{shard=\"1\"} 0",
+            "revmatch_shard_stolen_from_total{shard=\"1\"} 1",
+            "revmatch_shard_busy_seconds_total{shard=\"0\"} 0.00025",
+            "revmatch_shard_idle_seconds_total{shard=\"1\"} 0.001",
+            "revmatch_queue_wait_seconds_count 1",
+            "revmatch_exec_seconds_bucket{kind=\"promise\",le=",
+            "revmatch_exec_seconds_count{kind=\"promise\"} 1",
+            "revmatch_exec_seconds_count{kind=\"quantum\"} 0",
         ] {
             assert!(text.contains(needle), "missing {needle}\n{text}");
         }

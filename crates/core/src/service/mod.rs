@@ -34,8 +34,15 @@
 //! * **Metrics**: every accept/reject/completion feeds an atomic
 //!   [`Metrics`] registry with a Prometheus-style text export
 //!   ([`MatchService::metrics_text`]), including per-kind completion
-//!   counters (`revmatch_jobs_{promise,identify,quantum,sat}_total`)
-//!   and a `kind`-labeled latency histogram.
+//!   counters (`revmatch_jobs_{promise,identify,quantum,sat}_total`),
+//!   `kind`-labeled latency and execute-stage histograms, queue-wait
+//!   decomposition, and per-shard jobs/steal/busy/idle introspection.
+//! * **Tracing** (opt-in, [`crate::observe`]): with a
+//!   [`ServiceConfig::with_trace`] pin or `REVMATCH_TRACE` set, sampled
+//!   jobs record lifecycle spans into lock-free per-shard rings,
+//!   drained via [`MatchService::trace_spans`] /
+//!   [`MatchService::trace_json`] (Chrome trace-event format). Every
+//!   completed job carries a [`JobTiming`] breakdown regardless.
 //!
 //! Determinism mirrors the engine contract: a job solved with seed `s`
 //! produces the same witness and query count whichever shard or worker
@@ -87,6 +94,7 @@ use crate::matchers::{
     solve_promise_named, InverseAvailability, MatcherConfig, MatcherRegistry, Path, ProblemOracles,
 };
 use crate::miter::{check_witness_sat_budgeted_with, MiterEncoding, MiterVerdict};
+use crate::observe::{Detail, JobTiming, SpanRecord, Stage, TraceConfig, Tracer};
 use crate::oracle::Oracle;
 use crate::verify::VerifyMode;
 use crate::witness::MatchWitness;
@@ -133,6 +141,11 @@ pub struct ServiceConfig {
     /// yields an explicit [`MiterVerdict::Unknown`] instead of stalling a
     /// worker shard.
     pub miter_budget: usize,
+    /// Span tracing: an explicit [`ServiceConfig::with_trace`] pin wins,
+    /// the default defers to the `REVMATCH_TRACE` environment variable
+    /// ([`TraceConfig::from_env`]), and unset means off — an untraced
+    /// service allocates no recorder at all.
+    pub trace: TraceConfig,
 }
 
 /// Default per-verification search budget: generous enough for complete
@@ -152,6 +165,7 @@ impl Default for ServiceConfig {
             seed: 0,
             solver_backend: SolverBackend::default(),
             miter_budget: DEFAULT_MITER_BUDGET,
+            trace: TraceConfig::from_env(),
         }
     }
 }
@@ -203,6 +217,16 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_miter_budget(mut self, budget: usize) -> Self {
         self.miter_budget = budget.max(1);
+        self
+    }
+
+    /// Pins the span-tracing configuration, overriding the
+    /// `REVMATCH_TRACE` environment default (see [`TraceConfig`];
+    /// `TraceConfig::off()` pins tracing off even when the env enables
+    /// it).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -287,10 +311,45 @@ impl SubmitOutcome {
 /// One queued unit of work.
 #[derive(Debug)]
 struct Request {
+    /// The job's accept index (drives derived seeding and trace
+    /// sampling; matches the ticket's [`JobTicket::id`]).
+    id: u64,
     job: JobSpec,
     seed: u64,
     accepted_at: Instant,
     ticket: Arc<TicketState>,
+}
+
+/// Per-job observation state threaded through the `execute_*` paths: the
+/// identity needed to emit spans plus the facts the executors discover
+/// along the way (cache behavior, the substrate that did the work).
+struct JobObs {
+    /// Accept index of the job being executed.
+    id: u64,
+    /// The executing worker shard (the span ring to record into).
+    shard: usize,
+    /// Whether this job is trace-sampled (false with tracing off).
+    traced: bool,
+    /// Dense-table cache hits across the job's oracles.
+    table_hits: u64,
+    /// Whether any oracle was served from the table cache.
+    cache_hit: bool,
+    /// Substrate that executed the job (kernel / SAT / quantum backend),
+    /// stamped by the executor for the execute span's label.
+    detail: Detail,
+}
+
+impl JobObs {
+    fn new(id: u64, shard: usize, traced: bool) -> Self {
+        Self {
+            id,
+            shard,
+            traced,
+            table_hits: 0,
+            cache_hit: false,
+            detail: Detail::NONE,
+        }
+    }
 }
 
 /// State shared by the service handle and its workers.
@@ -302,6 +361,9 @@ struct Shared {
     precompile: bool,
     solver_backend: SolverBackend,
     miter_budget: usize,
+    /// Span recorder; `None` when tracing is off, so the cold path costs
+    /// one pointer check per job.
+    tracer: Option<Tracer>,
     /// Accepted-but-unfinished jobs, with a condvar for [`MatchService::drain`].
     in_flight: Mutex<usize>,
     idle: Condvar,
@@ -310,24 +372,56 @@ struct Shared {
 impl Shared {
     /// Wraps a circuit in an oracle, going through the worker's
     /// kind-keyed dense-table cache when precompilation is on. A cache
-    /// miss that compiles a table records its latency in the
-    /// `table_compile` histogram (warm-up cost, visible under load).
+    /// miss that compiles a table records the compile's own latency in
+    /// the `table_compile` histogram (warm-up cost, visible under
+    /// load); a traced job additionally emits a `cache_probe` span with
+    /// the `table_compile` span nested inside it.
     fn oracle(
         &self,
         kind: JobKind,
         circuit: revmatch_circuit::Circuit,
         caches: &mut ShardCaches,
-        table_hits: &mut u64,
+        obs: &mut JobObs,
     ) -> Oracle {
         if self.precompile {
-            let compiles = circuit.width() <= revmatch_circuit::DENSE_MAX_WIDTH;
             let start = Instant::now();
-            let (oracle, hit) = caches.oracle_for(kind, circuit);
-            if hit {
-                *table_hits += 1;
-            } else if compiles {
+            let (oracle, probe) = caches.oracle_for(kind, circuit);
+            let probe_dur = start.elapsed();
+            if probe.hit {
+                obs.table_hits += 1;
+                obs.cache_hit = true;
+            }
+            if let Some(compile) = probe.compile {
                 self.metrics
-                    .record_table_compile(start.elapsed().as_micros() as u64);
+                    .record_table_compile(compile.as_micros() as u64);
+            }
+            if obs.traced {
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(
+                        obs.shard,
+                        obs.id,
+                        Stage::CacheProbe,
+                        kind,
+                        Detail::NONE,
+                        start,
+                        probe_dur,
+                    );
+                    if let Some(compile) = probe.compile {
+                        // End-aligned within the probe: the compile is
+                        // the tail of the miss path, so the span nests
+                        // under cache_probe in the trace view.
+                        let lead = probe_dur.saturating_sub(compile);
+                        tracer.record(
+                            obs.shard,
+                            obs.id,
+                            Stage::TableCompile,
+                            kind,
+                            Detail::active_kernel(),
+                            start + lead,
+                            compile,
+                        );
+                    }
+                }
             }
             oracle
         } else {
@@ -343,19 +437,22 @@ impl Shared {
     /// verdict, though under a tight miter budget a warm solver may
     /// resolve a formula a cold one left `Unknown` (see
     /// [`cache`](self) module docs).
-    fn execute(&self, job: JobSpec, seed: u64, caches: &mut ShardCaches) -> JobReport {
+    fn execute(
+        &self,
+        job: JobSpec,
+        seed: u64,
+        caches: &mut ShardCaches,
+        obs: &mut JobObs,
+    ) -> JobReport {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut table_hits = 0u64;
         let report = match job {
-            JobSpec::Promise(job) => self.execute_promise(job, &mut rng, caches, &mut table_hits),
-            JobSpec::Identify(job) => self.execute_identify(job, &mut rng, caches, &mut table_hits),
-            JobSpec::QuantumPath(job) => {
-                self.execute_quantum(job, &mut rng, caches, &mut table_hits)
-            }
-            JobSpec::SatEquivalence(job) => self.execute_sat(job, caches),
-            JobSpec::Enumerate(job) => self.execute_enumerate(job, caches),
+            JobSpec::Promise(job) => self.execute_promise(job, &mut rng, caches, obs),
+            JobSpec::Identify(job) => self.execute_identify(job, &mut rng, caches, obs),
+            JobSpec::QuantumPath(job) => self.execute_quantum(job, &mut rng, caches, obs),
+            JobSpec::SatEquivalence(job) => self.execute_sat(job, caches, obs),
+            JobSpec::Enumerate(job) => self.execute_enumerate(job, caches, obs),
         };
-        self.metrics.record_table_cache_hits(table_hits);
+        self.metrics.record_table_cache_hits(obs.table_hits);
         report
     }
 
@@ -366,16 +463,17 @@ impl Shared {
         job: EngineJob,
         rng: &mut rand::rngs::StdRng,
         caches: &mut ShardCaches,
-        table_hits: &mut u64,
+        obs: &mut JobObs,
     ) -> JobReport {
         let kind = JobKind::Promise;
+        obs.detail = Detail::active_kernel();
         let equivalence = job.equivalence;
-        let c1 = self.oracle(kind, job.c1, caches, table_hits);
-        let c2 = self.oracle(kind, job.c2, caches, table_hits);
+        let c1 = self.oracle(kind, job.c1, caches, obs);
+        let c2 = self.oracle(kind, job.c2, caches, obs);
         let (c1_inv, c2_inv) = if job.with_inverses {
             (
-                Some(self.oracle(kind, c1.circuit().inverse(), caches, table_hits)),
-                Some(self.oracle(kind, c2.circuit().inverse(), caches, table_hits)),
+                Some(self.oracle(kind, c1.circuit().inverse(), caches, obs)),
+                Some(self.oracle(kind, c2.circuit().inverse(), caches, obs)),
             )
         } else {
             (None, None)
@@ -411,6 +509,7 @@ impl Shared {
             identified: None,
             witness_count: None,
             miter,
+            timing: JobTiming::default(),
         }
     }
 
@@ -421,16 +520,17 @@ impl Shared {
         job: IdentifyJob,
         rng: &mut rand::rngs::StdRng,
         caches: &mut ShardCaches,
-        table_hits: &mut u64,
+        obs: &mut JobObs,
     ) -> JobReport {
         let kind = JobKind::Identify;
+        obs.detail = Detail::active_kernel();
         let c1 = job.c1;
         let c2 = job.c2;
         let (o1, o2, o1_inv, o2_inv) = (
-            self.oracle(kind, c1.clone(), caches, table_hits),
-            self.oracle(kind, c2.clone(), caches, table_hits),
-            self.oracle(kind, c1.inverse(), caches, table_hits),
-            self.oracle(kind, c2.inverse(), caches, table_hits),
+            self.oracle(kind, c1.clone(), caches, obs),
+            self.oracle(kind, c2.clone(), caches, obs),
+            self.oracle(kind, c1.inverse(), caches, obs),
+            self.oracle(kind, c2.inverse(), caches, obs),
         );
         let options = IdentifyOptions {
             config: self.matcher.clone(),
@@ -458,6 +558,7 @@ impl Shared {
             identified,
             witness_count: None,
             miter: None,
+            timing: JobTiming::default(),
         }
     }
 
@@ -475,7 +576,7 @@ impl Shared {
         job: QuantumPathJob,
         rng: &mut rand::rngs::StdRng,
         caches: &mut ShardCaches,
-        table_hits: &mut u64,
+        obs: &mut JobObs,
     ) -> JobReport {
         let kind = JobKind::Quantum;
         let registry = MatcherRegistry::global();
@@ -492,6 +593,7 @@ impl Shared {
             QuantumAlgorithm::Simon => self.matcher.simon_backend(),
         };
         self.metrics.record_quantum_backend(backend);
+        obs.detail = Detail::quantum(backend);
         let Some(matcher) = matcher else {
             return JobReport {
                 kind,
@@ -506,10 +608,11 @@ impl Shared {
                 identified: None,
                 witness_count: None,
                 miter: None,
+                timing: JobTiming::default(),
             };
         };
-        let c1 = self.oracle(kind, job.c1, caches, table_hits);
-        let c2 = self.oracle(kind, job.c2, caches, table_hits);
+        let c1 = self.oracle(kind, job.c1, caches, obs);
+        let c2 = self.oracle(kind, job.c2, caches, obs);
         let oracles = ProblemOracles::without_inverses(&c1, &c2);
         let entry = matcher.name();
         match matcher.run(&oracles, &self.matcher, rng) {
@@ -524,6 +627,7 @@ impl Shared {
                     identified: None,
                     witness_count: None,
                     miter: None,
+                    timing: JobTiming::default(),
                 }
             }
             Err(e) => JobReport {
@@ -535,6 +639,7 @@ impl Shared {
                 identified: None,
                 witness_count: None,
                 miter: None,
+                timing: JobTiming::default(),
             },
         }
     }
@@ -542,8 +647,14 @@ impl Shared {
     /// The direct white-box verdict: fold the claimed witness (identity
     /// when absent) into a miter and solve it on the configured backend
     /// through the worker's solver cache.
-    fn execute_sat(&self, job: SatEquivalenceJob, caches: &mut ShardCaches) -> JobReport {
+    fn execute_sat(
+        &self,
+        job: SatEquivalenceJob,
+        caches: &mut ShardCaches,
+        obs: &mut JobObs,
+    ) -> JobReport {
         let kind = JobKind::Sat;
+        obs.detail = Detail::solver(self.solver_backend);
         let width = job.c1.width();
         let witness = job.witness.unwrap_or_else(|| MatchWitness::identity(width));
         if job.c2.width() != width {
@@ -559,6 +670,7 @@ impl Shared {
                 identified: None,
                 witness_count: None,
                 miter: None,
+                timing: JobTiming::default(),
             };
         }
         if witness.width() != width {
@@ -574,6 +686,7 @@ impl Shared {
                 identified: None,
                 witness_count: None,
                 miter: None,
+                timing: JobTiming::default(),
             };
         }
         let verdict = self.verify_witness(kind, &job.c1, &job.c2, &witness, caches);
@@ -591,6 +704,7 @@ impl Shared {
             identified: None,
             witness_count: None,
             miter: Some(verdict),
+            timing: JobTiming::default(),
         }
     }
 
@@ -602,8 +716,14 @@ impl Shared {
     /// poison the cache; this is why the service sweeps instead of
     /// running blocking-clause mode.) The DPLL backend falls back to the
     /// stateless per-candidate sweep for differential runs.
-    fn execute_enumerate(&self, job: EnumerateJob, caches: &mut ShardCaches) -> JobReport {
+    fn execute_enumerate(
+        &self,
+        job: EnumerateJob,
+        caches: &mut ShardCaches,
+        obs: &mut JobObs,
+    ) -> JobReport {
         let kind = JobKind::Enumerate;
+        obs.detail = Detail::solver(self.solver_backend);
         let family = job.family;
         let outcome = FamilyMiter::build(&job.c1, &job.c2, family).and_then(|miter| {
             match self.solver_backend {
@@ -641,6 +761,7 @@ impl Shared {
                     identified: None,
                     witness_count: Some(count),
                     miter: None,
+                    timing: JobTiming::default(),
                 }
             }
             Err(e) => JobReport {
@@ -652,6 +773,7 @@ impl Shared {
                 identified: None,
                 witness_count: None,
                 miter: None,
+                timing: JobTiming::default(),
             },
         }
     }
@@ -696,25 +818,103 @@ impl Shared {
         verdict
     }
 
-    /// Worker main loop for shard `shard`.
+    /// Worker main loop for shard `shard`: pop, time every lifecycle
+    /// stage, execute, stamp the report's [`JobTiming`], resolve the
+    /// ticket, and (for sampled jobs) emit the `queue_wait → dequeue →
+    /// execute → report` spans. Timing measurement is unconditional — a
+    /// handful of `Instant` reads per job — so every report carries its
+    /// breakdown even with tracing off; only span *recording* is gated.
     fn run_worker(&self, shard: usize) {
         let mut caches = ShardCaches::new();
-        while let Some((req, _lane)) = self.intake.pop(shard, |lane, depth| {
+        let mut idle_since = Instant::now();
+        while let Some((req, lane)) = self.intake.pop(shard, |lane, depth| {
             self.metrics.record_dequeue(lane, depth)
         }) {
+            let dequeued_at = Instant::now();
+            self.metrics.record_shard_idle(
+                shard,
+                dequeued_at
+                    .saturating_duration_since(idle_since)
+                    .as_micros() as u64,
+            );
+            self.metrics.record_execution(shard, lane);
             let accepted_at = req.accepted_at;
-            let report = self.execute(req.job, req.seed, &mut caches);
+            let queue_wait = dequeued_at.saturating_duration_since(accepted_at);
+            let kind = req.job.kind();
+            let traced = self.tracer.as_ref().is_some_and(|t| t.traced(req.id));
+            let mut obs = JobObs::new(req.id, shard, traced);
+            let exec_start = Instant::now();
+            let mut report = self.execute(req.job, req.seed, &mut caches, &mut obs);
+            let exec_dur = exec_start.elapsed();
+            report.timing = JobTiming {
+                queue_wait_us: queue_wait.as_micros() as u64,
+                exec_us: exec_dur.as_micros() as u64,
+                cache_hit: obs.cache_hit,
+            };
+            self.metrics.record_stage_timing(
+                kind,
+                report.timing.queue_wait_us,
+                report.timing.exec_us,
+            );
             let latency = accepted_at.elapsed().as_micros() as u64;
             let failed = job_failed(&report);
             self.metrics
                 .record_completion(report.kind, failed, report.queries, latency);
+            let report_start = Instant::now();
             *req.ticket.slot.lock().expect("ticket lock") = Some(report);
             req.ticket.done.notify_all();
+            // Spans land before the in-flight count drops so a
+            // `drain()` returning implies every completed job's spans
+            // are already in the rings — `trace_spans` after a drain is
+            // a consistent cut.
+            if traced {
+                if let Some(tracer) = &self.tracer {
+                    let d = Detail::NONE;
+                    tracer.record(shard, req.id, Stage::QueueWait, kind, d, accepted_at, {
+                        queue_wait
+                    });
+                    tracer.record(
+                        shard,
+                        req.id,
+                        Stage::Dequeue,
+                        kind,
+                        d,
+                        dequeued_at,
+                        exec_start.saturating_duration_since(dequeued_at),
+                    );
+                    tracer.record(
+                        shard,
+                        req.id,
+                        Stage::Execute,
+                        kind,
+                        obs.detail,
+                        exec_start,
+                        exec_dur,
+                    );
+                    tracer.record(
+                        shard,
+                        req.id,
+                        Stage::Report,
+                        kind,
+                        d,
+                        report_start,
+                        report_start.elapsed(),
+                    );
+                }
+            }
             let mut in_flight = self.in_flight.lock().expect("in_flight lock");
             *in_flight -= 1;
             if *in_flight == 0 {
                 self.idle.notify_all();
             }
+            drop(in_flight);
+            idle_since = Instant::now();
+            self.metrics.record_shard_busy(
+                shard,
+                idle_since
+                    .saturating_duration_since(dequeued_at)
+                    .as_micros() as u64,
+            );
         }
     }
 }
@@ -781,6 +981,10 @@ impl MatchService {
             precompile: config.precompile,
             solver_backend: config.solver_backend,
             miter_budget: config.miter_budget.max(1),
+            tracer: config
+                .trace
+                .enabled()
+                .then(|| Tracer::new(config.trace, shards)),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
         });
@@ -821,6 +1025,27 @@ impl MatchService {
         self.shared.metrics.render()
     }
 
+    /// The span recorder, when tracing is enabled (`None` otherwise).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.shared.tracer.as_ref()
+    }
+
+    /// Drains every retained span, start-ordered — empty with tracing
+    /// off. See [`Tracer::spans`]. A job's worker-side spans land
+    /// before it leaves the in-flight count, so [`drain`](Self::drain)
+    /// followed by this call is a consistent cut; a ticket resolving is
+    /// *not* yet that guarantee.
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.tracer().map(Tracer::spans).unwrap_or_default()
+    }
+
+    /// The retained spans serialized as Chrome trace-event JSON
+    /// (Perfetto-loadable); `None` with tracing off.
+    pub fn trace_json(&self) -> Option<String> {
+        self.tracer()
+            .map(|t| crate::observe::chrome_trace_json(&t.spans(), self.shards()))
+    }
+
     /// Routes a job to its preferred shard by `(width, kind,
     /// equivalence)`, so same-shaped work of the same family lands on
     /// the same shard and its kind-keyed caches stay hot.
@@ -844,6 +1069,7 @@ impl MatchService {
         });
         (
             Request {
+                id,
                 job,
                 seed,
                 // Provisional; re-stamped under the lane lock at the
@@ -853,6 +1079,24 @@ impl MatchService {
             },
             JobTicket { id, state },
         )
+    }
+
+    /// Records the producer-side `submit` span (routing + enqueue) for a
+    /// sampled accepted job, into the tracer's dedicated submit ring.
+    fn record_submit_span(&self, id: u64, kind: JobKind, start: Instant) {
+        if let Some(tracer) = &self.shared.tracer {
+            if tracer.traced(id) {
+                tracer.record(
+                    tracer.submit_ring(),
+                    id,
+                    Stage::Submit,
+                    kind,
+                    Detail::NONE,
+                    start,
+                    start.elapsed(),
+                );
+            }
+        }
     }
 
     /// Non-blocking submit with a seed derived from the service seed and
@@ -870,6 +1114,8 @@ impl MatchService {
     }
 
     fn submit_inner(&self, job: JobSpec, seed: Option<u64>) -> SubmitOutcome {
+        let submit_start = Instant::now();
+        let kind = job.kind();
         let preferred = self.route(&job);
         {
             let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
@@ -888,7 +1134,10 @@ impl MatchService {
                 req.accepted_at = Instant::now();
                 metrics.record_accept(lane, depth);
             }) {
-            Ok(_) => SubmitOutcome::Enqueued(ticket),
+            Ok(_) => {
+                self.record_submit_span(ticket.id(), kind, submit_start);
+                SubmitOutcome::Enqueued(ticket)
+            }
             Err(request) => {
                 let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
                 *in_flight -= 1;
@@ -914,6 +1163,8 @@ impl MatchService {
     }
 
     fn submit_wait_inner(&self, job: JobSpec, seed: Option<u64>) -> JobTicket {
+        let submit_start = Instant::now();
+        let kind = job.kind();
         let preferred = self.route(&job);
         {
             let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
@@ -931,7 +1182,10 @@ impl MatchService {
                 req.accepted_at = Instant::now();
                 metrics.record_accept(lane, depth);
             }) {
-            Ok(_) => ticket,
+            Ok(_) => {
+                self.record_submit_span(ticket.id(), kind, submit_start);
+                ticket
+            }
             Err(_) => unreachable!("intake is open for the service's lifetime"),
         }
     }
