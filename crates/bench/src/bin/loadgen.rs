@@ -58,10 +58,11 @@ use rand::SeedableRng;
 const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--shards N] [--queue-capacity N] [--widths CSV] [--mix CSV_EQUIVALENCES] \
 [--job-mix KIND[:KIND...]] [--seed N] [--epsilon F] [--sat-verify 0|1] \
-[--backend dpll|cdcl] [--kernel scalar|sliced64|wide256-portable|wide256] \
+[--backend dpll|cdcl] [--sat-opts lbd,inproc,xor|all|none] \
+[--kernel scalar|sliced64|wide256-portable|wide256] \
 [--quantum-backend dense|sparse|stabilizer] [--trace OUT.json] [--trace-sample N]";
 
-const KNOWN_FLAGS: [&str; 15] = [
+const KNOWN_FLAGS: [&str; 16] = [
     "rate",
     "duration-ms",
     "shards",
@@ -73,6 +74,7 @@ const KNOWN_FLAGS: [&str; 15] = [
     "epsilon",
     "sat-verify",
     "backend",
+    "sat-opts",
     "kernel",
     "quantum-backend",
     "trace",
@@ -233,6 +235,18 @@ fn main() {
                 .expect("--job-mix: expected promise|identify|quantum|sat")
         })
         .collect();
+    // SAT feature forcing: same shape as --kernel. The override feeds
+    // ServiceConfig's default (SatOptions::active), so every
+    // worker-cached CDCL solver runs with the requested feature set.
+    let sat_opts = flags.get_str("sat-opts", "");
+    if !sat_opts.is_empty() {
+        revmatch_sat::set_sat_opts_override(Some(
+            sat_opts
+                .parse()
+                .expect("--sat-opts: expected lbd,inproc,xor, all or none"),
+        ));
+    }
+    println!("sat opts: {}", revmatch_sat::active_sat_opts_label());
     // Kernel forcing: a process-wide override every oracle walk and
     // table compile in the service then dispatches through.
     let kernel = flags.get_str("kernel", "");
@@ -371,6 +385,21 @@ fn main() {
             m.sat_unknown(),
             m.solver_cache_hits(),
             m.table_cache_hits(),
+        );
+    }
+
+    // SAT-core introspection: whenever a CDCL solver ran (verification,
+    // direct sat jobs, or enumeration sweeps), report the feature set
+    // and what the options did. Mirrors the revmatch_sat_* metrics.
+    if m.jobs_sat_verified() > 0 || m.jobs_completed_of(JobKind::Enumerate) > 0 {
+        println!(
+            "sat core [{}]: glue kept {} | learned db {} | xors extracted {} | \
+             inprocess {:.2}ms",
+            revmatch_sat::active_sat_opts_label(),
+            m.sat_glue_kept(),
+            m.sat_learned_db_size(),
+            m.sat_xors_extracted(),
+            m.sat_inprocess_micros() as f64 / 1000.0,
         );
     }
 

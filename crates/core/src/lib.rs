@@ -166,7 +166,7 @@ pub use oracle::{
     ClassicalOracle, ComposedOracle, Oracle, QuantumOracle, XorInputOracle, XorOutputOracle,
 };
 pub use promise::{random_instance, random_instance_from, random_wide_instance, PromiseInstance};
-pub use revmatch_sat::SolverBackend;
+pub use revmatch_sat::{SatOptions, SolverBackend};
 pub use service::{
     job_seed, Histogram, JobTicket, MatchService, Metrics, ServiceConfig, SubmitOutcome,
     DEFAULT_MITER_BUDGET,

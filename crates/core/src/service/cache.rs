@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use revmatch_circuit::{Circuit, DenseTable, DENSE_MAX_WIDTH};
-use revmatch_sat::{CdclSolver, Cnf};
+use revmatch_sat::{CdclSolver, Cnf, SatOptions};
 
 use crate::engine::JobKind;
 use crate::miter::MiterEncoding;
@@ -122,6 +122,9 @@ pub(crate) struct ShardCaches {
     /// through shard-stolen work.
     tables: Lru<(JobKind, Circuit), Arc<DenseTable>>,
     solvers: Lru<(JobKind, Cnf), CdclSolver>,
+    /// CDCL feature set stamped onto every solver this worker builds
+    /// (the service's [`revmatch_sat::SatOptions`] selection).
+    sat_opts: SatOptions,
 }
 
 /// Byte budget for the per-worker dense-table cache (~16 MiB: 32
@@ -136,10 +139,11 @@ const TABLE_CACHE_BYTES: usize = 16 << 20;
 const SOLVER_CACHE_CAP: usize = 32;
 
 impl ShardCaches {
-    pub fn new() -> Self {
+    pub fn new(sat_opts: SatOptions) -> Self {
         Self {
             tables: Lru::new(TABLE_CACHE_BYTES, table_cost),
             solvers: Lru::new(SOLVER_CACHE_CAP, |_| 1),
+            sat_opts,
         }
     }
 
@@ -190,10 +194,13 @@ impl ShardCaches {
         cnf: &Cnf,
         hint: impl FnOnce() -> Vec<usize>,
     ) -> (&mut CdclSolver, bool) {
+        let opts = self.sat_opts;
         self.solvers.get_or_insert_with(
             |(k, cached)| *k == kind && *cached == *cnf,
             || {
-                let solver = CdclSolver::new(cnf).with_branch_hint(hint());
+                let solver = CdclSolver::new(cnf)
+                    .with_options(opts)
+                    .with_branch_hint(hint());
                 ((kind, cnf.clone()), solver)
             },
         )
@@ -244,7 +251,7 @@ mod tests {
     fn cached_oracle_answers_match_fresh_compiles() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let c = random_circuit(&RandomCircuitSpec::for_width(6), &mut rng);
-        let mut caches = ShardCaches::new();
+        let mut caches = ShardCaches::new(SatOptions::default());
         let (cold, probe_cold) = caches.oracle_for(JobKind::Promise, c.clone());
         assert!(!probe_cold.hit);
         assert!(
@@ -269,7 +276,7 @@ mod tests {
         // separate them.
         let a = Circuit::from_gates(3, [revmatch_circuit::Gate::not(0)]).unwrap();
         let b = Circuit::from_gates(3, [revmatch_circuit::Gate::not(1)]).unwrap();
-        let mut caches = ShardCaches::new();
+        let mut caches = ShardCaches::new(SatOptions::default());
         let (oa, _) = caches.oracle_for(JobKind::Promise, a.clone());
         let (ob, probe) = caches.oracle_for(JobKind::Promise, b.clone());
         assert!(!probe.hit);
@@ -280,7 +287,7 @@ mod tests {
     #[test]
     fn wide_circuits_bypass_the_table_cache() {
         let c = Circuit::new(DENSE_MAX_WIDTH + 1);
-        let mut caches = ShardCaches::new();
+        let mut caches = ShardCaches::new(SatOptions::default());
         let (_, probe1) = caches.oracle_for(JobKind::Promise, c.clone());
         let (_, probe2) = caches.oracle_for(JobKind::Promise, c);
         assert_eq!(probe1, TableProbe::BYPASS);
@@ -297,7 +304,7 @@ mod tests {
         )
         .unwrap();
         let miter = MiterEncoding::build(&c, &resynth, &MatchWitness::identity(c.width())).unwrap();
-        let mut caches = ShardCaches::new();
+        let mut caches = ShardCaches::new(SatOptions::default());
         let (solver, hit) = caches.solver_for(JobKind::Promise, &miter);
         assert!(!hit);
         assert_eq!(solver.solve(), revmatch_sat::Solve::Unsat);

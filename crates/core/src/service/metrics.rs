@@ -196,6 +196,15 @@ pub struct Metrics {
     queries: AtomicU64,
     sat_verified: AtomicU64,
     sat_unknown: AtomicU64,
+    /// Glue (LBD ≤ 2) clauses held by the most recently sampled cached
+    /// solver — a gauge, not a total: it tracks working-set quality.
+    sat_glue_kept: AtomicU64,
+    /// Learned-DB size of the most recently sampled cached solver.
+    sat_learned_db: AtomicU64,
+    /// XOR constraints extracted across all solver builds.
+    sat_xors_extracted: AtomicU64,
+    /// Microseconds spent in solver inprocessing passes.
+    sat_inprocess_us: AtomicU64,
     table_cache_hits: AtomicU64,
     solver_cache_hits: AtomicU64,
     /// Family witnesses found across completed enumeration jobs.
@@ -249,6 +258,10 @@ impl Metrics {
             queries: AtomicU64::new(0),
             sat_verified: AtomicU64::new(0),
             sat_unknown: AtomicU64::new(0),
+            sat_glue_kept: AtomicU64::new(0),
+            sat_learned_db: AtomicU64::new(0),
+            sat_xors_extracted: AtomicU64::new(0),
+            sat_inprocess_us: AtomicU64::new(0),
             table_cache_hits: AtomicU64::new(0),
             solver_cache_hits: AtomicU64::new(0),
             enumerated_witnesses: AtomicU64::new(0),
@@ -350,6 +363,25 @@ impl Metrics {
         }
     }
 
+    /// Samples a CDCL solver's internals after a solve: glue and
+    /// learned-DB sizes are live gauges (last sample wins — they
+    /// describe the solver the service just ran), while the XOR and
+    /// inprocessing figures are deltas accumulated into totals.
+    pub(crate) fn record_sat_core(
+        &self,
+        glue_kept: u64,
+        learned_db: u64,
+        xors_delta: u64,
+        inprocess_delta_us: u64,
+    ) {
+        self.sat_glue_kept.store(glue_kept, Ordering::Relaxed);
+        self.sat_learned_db.store(learned_db, Ordering::Relaxed);
+        self.sat_xors_extracted
+            .fetch_add(xors_delta, Ordering::Relaxed);
+        self.sat_inprocess_us
+            .fetch_add(inprocess_delta_us, Ordering::Relaxed);
+    }
+
     /// Counts dense-table cache hits in a worker's oracle setup.
     pub(crate) fn record_table_cache_hits(&self, hits: u64) {
         self.table_cache_hits.fetch_add(hits, Ordering::Relaxed);
@@ -436,6 +468,26 @@ impl Metrics {
     /// SAT verifications that exhausted their budget (inconclusive).
     pub fn sat_unknown(&self) -> u64 {
         self.sat_unknown.load(Ordering::Relaxed)
+    }
+
+    /// Glue (LBD ≤ 2) clauses held by the most recently sampled solver.
+    pub fn sat_glue_kept(&self) -> u64 {
+        self.sat_glue_kept.load(Ordering::Relaxed)
+    }
+
+    /// Learned-DB size of the most recently sampled solver.
+    pub fn sat_learned_db_size(&self) -> u64 {
+        self.sat_learned_db.load(Ordering::Relaxed)
+    }
+
+    /// XOR constraints extracted across all solver builds.
+    pub fn sat_xors_extracted(&self) -> u64 {
+        self.sat_xors_extracted.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds spent in solver inprocessing passes.
+    pub fn sat_inprocess_micros(&self) -> u64 {
+        self.sat_inprocess_us.load(Ordering::Relaxed)
     }
 
     /// Dense-table cache hits across all workers.
@@ -576,6 +628,11 @@ impl Metrics {
                 "revmatch_sat_unknown_total",
                 "SAT verifications that exhausted their budget.",
                 self.sat_unknown(),
+            ),
+            (
+                "revmatch_sat_xors_extracted_total",
+                "XOR constraints extracted across all solver builds.",
+                self.sat_xors_extracted(),
             ),
             (
                 "revmatch_table_cache_hits_total",
@@ -750,6 +807,32 @@ impl Metrics {
                 1e6,
             );
         }
+        // SAT-core introspection: inprocessing time as a seconds
+        // counter, the live clause-database shape as gauges.
+        let name = "revmatch_sat_inprocess_seconds_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Seconds spent in solver inprocessing passes."
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", self.sat_inprocess_micros() as f64 / 1e6);
+        let sat_gauges = [
+            (
+                "revmatch_sat_glue_kept",
+                "Glue (low-LBD) clauses held by the most recently sampled solver.",
+                self.sat_glue_kept(),
+            ),
+            (
+                "revmatch_sat_learned_db_size",
+                "Learned-clause DB size of the most recently sampled solver.",
+                self.sat_learned_db_size(),
+            ),
+        ];
+        for (name, help, value) in sat_gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
         // The evaluation kernel the batch entry points dispatch to, as
         // an info-style gauge (value always 1; the label carries the
         // resolved name, e.g. wide256-avx2).
@@ -776,6 +859,19 @@ impl Metrics {
             out,
             "{name}{{backend=\"{}\"}} 1",
             revmatch_quantum::active_quantum_backend_name()
+        );
+        // The process-wide SAT feature set (lbd/inproc/xor), mirroring
+        // the kernel gauge: override > REVMATCH_SAT_OPTS env > all.
+        let name = "revmatch_sat_opts_info";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Active SAT solver feature set (lbd/inproc/xor)."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(
+            out,
+            "{name}{{opts=\"{}\"}} 1",
+            revmatch_sat::active_sat_opts_label()
         );
         out
     }
@@ -845,6 +941,8 @@ mod tests {
         m.record_reject();
         m.record_sat_verify(false);
         m.record_sat_verify(true);
+        m.record_sat_core(3, 17, 2, 1_500);
+        m.record_sat_core(5, 20, 0, 500);
         m.record_table_cache_hits(4);
         m.record_solver_cache_hit();
         m.record_table_compile(7);
@@ -865,6 +963,11 @@ mod tests {
             "revmatch_sat_unknown_total 1",
             "revmatch_table_cache_hits_total 4",
             "revmatch_solver_cache_hits_total 1",
+            "revmatch_sat_glue_kept 5",
+            "revmatch_sat_learned_db_size 20",
+            "revmatch_sat_xors_extracted_total 2",
+            "revmatch_sat_inprocess_seconds_total 0.002",
+            "revmatch_sat_opts_info{opts=\"",
             "revmatch_jobs_promise_total 1",
             "revmatch_jobs_identify_total 1",
             "revmatch_jobs_identify_failed_total 1",

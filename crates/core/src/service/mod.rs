@@ -81,7 +81,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use rand::SeedableRng;
-use revmatch_sat::{SolveStats, SolverBackend};
+use revmatch_sat::{SatOptions, SolveStats, SolverBackend};
 
 use crate::engine::{
     EngineJob, EnumerateJob, IdentifyJob, JobKind, JobReport, JobSpec, QuantumAlgorithm,
@@ -141,6 +141,12 @@ pub struct ServiceConfig {
     /// yields an explicit [`MiterVerdict::Unknown`] instead of stalling a
     /// worker shard.
     pub miter_budget: usize,
+    /// CDCL feature set (LBD tiers, inprocessing, XOR/Gauss) applied to
+    /// every worker-cached solver. Defaults to the process-wide
+    /// selection ([`SatOptions::active`]: override > `REVMATCH_SAT_OPTS`
+    /// env > all on); an explicit [`ServiceConfig::with_sat_opts`] pin
+    /// wins over both.
+    pub sat_opts: SatOptions,
     /// Span tracing: an explicit [`ServiceConfig::with_trace`] pin wins,
     /// the default defers to the `REVMATCH_TRACE` environment variable
     /// ([`TraceConfig::from_env`]), and unset means off — an untraced
@@ -165,6 +171,7 @@ impl Default for ServiceConfig {
             seed: 0,
             solver_backend: SolverBackend::default(),
             miter_budget: DEFAULT_MITER_BUDGET,
+            sat_opts: SatOptions::active(),
             trace: TraceConfig::from_env(),
         }
     }
@@ -217,6 +224,16 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_miter_budget(mut self, budget: usize) -> Self {
         self.miter_budget = budget.max(1);
+        self
+    }
+
+    /// Pins the CDCL feature set for every worker-cached solver,
+    /// overriding the process-wide selection (`REVMATCH_SAT_OPTS` /
+    /// [`revmatch_sat::set_sat_opts_override`]). Any combination is
+    /// verdict-identical; the options trade raw speed for bookkeeping.
+    #[must_use]
+    pub fn with_sat_opts(mut self, opts: SatOptions) -> Self {
+        self.sat_opts = opts;
         self
     }
 
@@ -361,6 +378,7 @@ struct Shared {
     precompile: bool,
     solver_backend: SolverBackend,
     miter_budget: usize,
+    sat_opts: SatOptions,
     /// Span recorder; `None` when tracing is off, so the cold path costs
     /// one pointer check per job.
     tracer: Option<Tracer>,
@@ -733,7 +751,15 @@ impl Shared {
                     if hit {
                         self.metrics.record_solver_cache_hit();
                     }
-                    sweep_family(solver, &miter, Some(self.miter_budget))
+                    let (xors0, inproc0) = (solver.xors_extracted(), solver.inprocess_micros());
+                    let swept = sweep_family(solver, &miter, Some(self.miter_budget));
+                    self.metrics.record_sat_core(
+                        solver.glue_clauses() as u64,
+                        solver.num_learned() as u64,
+                        (solver.xors_extracted() - xors0) as u64,
+                        solver.inprocess_micros() - inproc0,
+                    );
+                    swept
                 }
                 // Stateless, but under the same per-solve budget: a hard
                 // family must surface as Inconclusive, not pin a shard.
@@ -804,6 +830,7 @@ impl Shared {
                 if hit {
                     self.metrics.record_solver_cache_hit();
                 }
+                let (xors0, inproc0) = (solver.xors_extracted(), solver.inprocess_micros());
                 solver.set_budget(Some(self.miter_budget));
                 let outcome = solver.solve_budgeted();
                 let stats = SolveStats {
@@ -811,6 +838,12 @@ impl Shared {
                     conflicts: solver.conflicts(),
                     propagations: solver.propagations(),
                 };
+                self.metrics.record_sat_core(
+                    solver.glue_clauses() as u64,
+                    solver.num_learned() as u64,
+                    (solver.xors_extracted() - xors0) as u64,
+                    solver.inprocess_micros() - inproc0,
+                );
                 miter.verdict_from(outcome, stats)
             }
         };
@@ -825,7 +858,7 @@ impl Shared {
     /// handful of `Instant` reads per job — so every report carries its
     /// breakdown even with tracing off; only span *recording* is gated.
     fn run_worker(&self, shard: usize) {
-        let mut caches = ShardCaches::new();
+        let mut caches = ShardCaches::new(self.sat_opts);
         let mut idle_since = Instant::now();
         while let Some((req, lane)) = self.intake.pop(shard, |lane, depth| {
             self.metrics.record_dequeue(lane, depth)
@@ -981,6 +1014,7 @@ impl MatchService {
             precompile: config.precompile,
             solver_backend: config.solver_backend,
             miter_budget: config.miter_budget.max(1),
+            sat_opts: config.sat_opts,
             tracer: config
                 .trace
                 .enabled()

@@ -26,6 +26,27 @@ struct Exposition {
     samples: Vec<Sample>,
 }
 
+/// Splits a rendered label set on the commas *between* pairs, never the
+/// ones inside quoted values (`opts="lbd,inproc,xor"` is one pair).
+fn split_label_pairs(labels: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut start, mut quoted) = (0usize, false);
+    for (i, b) in labels.bytes().enumerate() {
+        match b {
+            b'"' => quoted = !quoted,
+            b',' if !quoted => {
+                out.push(&labels[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    out
+}
+
 /// Minimal parser for the subset of the text format `render()` emits:
 /// `# HELP`/`# TYPE` comments and `name{labels} value` samples. Panics
 /// on anything else — a malformed line is exactly the regression this
@@ -61,7 +82,7 @@ fn parse(text: &str) -> Exposition {
         let (name, labels) = match series.split_once('{') {
             Some((name, rest)) => {
                 let labels = rest.strip_suffix('}').expect("unterminated label set");
-                for pair in labels.split(',') {
+                for pair in split_label_pairs(labels) {
                     let (k, v) = pair.split_once('=').expect("label needs key=value");
                     assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
                 }
@@ -88,9 +109,8 @@ impl Exposition {
         let mut groups: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
         for s in self.of(&format!("{family}_bucket")) {
             let mut le = None;
-            let rest: Vec<&str> = s
-                .labels
-                .split(',')
+            let rest: Vec<&str> = split_label_pairs(&s.labels)
+                .into_iter()
                 .filter(|pair| match pair.strip_prefix("le=") {
                     Some(bound) => {
                         le = Some(bound.trim_matches('"').to_string());
@@ -205,6 +225,23 @@ fn exposition_parses_and_is_internally_consistent() {
         value_of(&first, "revmatch_exec_seconds_count", "kind=\"promise\""),
         12.0
     );
+    // The SAT-core introspection series are part of the exposition
+    // contract even on a promise-only workload: the gauges report the
+    // last (possibly zero) sample and the info gauge always carries the
+    // active option set.
+    for series in [
+        "revmatch_sat_glue_kept",
+        "revmatch_sat_learned_db_size",
+        "revmatch_sat_xors_extracted_total",
+        "revmatch_sat_inprocess_seconds_total",
+    ] {
+        assert!(value_of(&first, series, "") >= 0.0, "{series} negative");
+    }
+    let opts_info = first.of("revmatch_sat_opts_info");
+    assert_eq!(opts_info.len(), 1, "one active option set");
+    assert_eq!(opts_info[0].value, 1.0);
+    assert!(opts_info[0].labels.starts_with("opts=\""));
+
     let per_shard_jobs: f64 = (0..2)
         .map(|s| {
             value_of(

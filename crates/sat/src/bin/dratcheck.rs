@@ -1,0 +1,59 @@
+//! `dratcheck` — verify a DRAT refutation against a DIMACS formula.
+//!
+//! ```text
+//! dratcheck FORMULA.cnf PROOF.drat
+//! ```
+//!
+//! Exit code 0 means the proof verifies: every clause addition is a
+//! reverse-unit-propagation consequence of the database built so far,
+//! every deletion names a present clause, and the proof derives the
+//! empty clause. Any other outcome (parse failure, rejected step,
+//! missing conclusion) exits 1 with a diagnostic on stderr. The format
+//! is the standard one, so proofs from [`revmatch_sat::CdclSolver`]
+//! and external DRAT-emitting solvers both check.
+
+use std::process::ExitCode;
+
+use revmatch_sat::{check_drat_unsat, Cnf};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [cnf_path, proof_path] = args.as_slice() else {
+        eprintln!("usage: dratcheck FORMULA.cnf PROOF.drat");
+        return ExitCode::FAILURE;
+    };
+    let cnf_text = match std::fs::read_to_string(cnf_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dratcheck: cannot read {cnf_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let proof = match std::fs::read_to_string(proof_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dratcheck: cannot read {proof_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cnf = match Cnf::from_dimacs(&cnf_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dratcheck: {cnf_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_drat_unsat(&cnf, &proof) {
+        Ok(report) => {
+            println!(
+                "s VERIFIED UNSAT ({} additions, {} deletions)",
+                report.additions, report.deletions
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dratcheck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,6 +24,36 @@
 //!   store is halved (keeping binaries and the most active clauses) when
 //!   it outgrows its budget, which grows geometrically.
 //!
+//! On top of that baseline, three industrial features are gated by
+//! [`SatOptions`] (all on by default, individually addressable for
+//! differential testing — `SatOptions::NONE` reproduces the baseline
+//! core bit for bit):
+//!
+//! * **LBD-tiered clause management** (`lbd`) — every learned clause
+//!   carries its literal-block distance (number of distinct decision
+//!   levels, computed at learning time and min-updated whenever the
+//!   clause participates in conflict analysis). The DB is tiered:
+//!   *core* glue clauses (LBD ≤ 2) are never deleted, the *mid* tier is
+//!   demoted by LBD before activity, and *locals* (LBD > 6) go first
+//!   and in larger proportion. Restarts switch to a Glucose-style
+//!   recent-LBD EMA test (restart while recent conflicts are worse
+//!   than the long-run average) with the Luby schedule as a fallback.
+//! * **Bounded inprocessing** (`inproc`) — between solve calls the
+//!   solver runs occurrence-list subsumption and self-subsuming
+//!   resolution under a strict literal-visit budget, at level 0 only,
+//!   so incremental assumption semantics and `analyze_final` cores
+//!   stay sound ([`CdclSolver::inprocess`] in `inprocess.rs`).
+//! * **XOR/Gauss reasoning** (`xor`) — parity constraints are
+//!   recovered from the CNF (Tseitin miter XORs, Valiant–Vazirani hash
+//!   parities), Gaussian-eliminated, and kept as matrix rows with two
+//!   watched columns each; rows propagate and *explain* exactly like
+//!   clauses, so conflict analysis runs unchanged on top (`xor.rs`).
+//!
+//! Independently, [`CdclSolver::with_proof`] records a DRAT proof of
+//! UNSAT answers (clause additions and deletions) that the in-tree
+//! checker in [`crate::drat`] — or any external DRAT checker — can
+//! verify, making "the solver said UNSAT" independently auditable.
+//!
 //! Clause literals live in one flat arena (`Vec<CLit>` + offset/length
 //! records) rather than one heap allocation per clause: propagation and
 //! analysis walk contiguous memory, and assignments are single-byte
@@ -52,9 +82,12 @@
 //! ```
 
 mod heap;
+mod inprocess;
 mod luby;
+mod xor;
 
 use crate::cnf::{Cnf, Lit, Var};
+use crate::options::SatOptions;
 use crate::solver::{AssumedSolve, BudgetedAssumedSolve, BudgetedSolve, Solve};
 use heap::VarHeap;
 use luby::luby;
@@ -71,6 +104,22 @@ const CLA_RESCALE_LIMIT: f32 = 1e20;
 /// Conflicts before the first restart; later restarts follow
 /// `luby(i) * RESTART_BASE`.
 const RESTART_BASE: u64 = 100;
+/// LBD at or below which a learned clause is *core glue*: never deleted.
+const GLUE_LBD: u32 = 2;
+/// LBD above which a learned clause is *local*: first out, and in larger
+/// proportion, at every DB reduction.
+const LOCAL_LBD: u32 = 6;
+/// Smoothing factors of the Glucose restart EMAs over learned-clause
+/// LBD (fast ≈ last 32 conflicts, slow ≈ last 4096).
+const LBD_EMA_FAST: f64 = 1.0 / 32.0;
+const LBD_EMA_SLOW: f64 = 1.0 / 4096.0;
+/// Restart when the fast EMA exceeds the slow one by this margin.
+const RESTART_MARGIN: f64 = 1.25;
+/// Minimum conflicts between Glucose restarts (lets the EMAs settle).
+const RESTART_MIN_CONFLICTS: u64 = 50;
+/// Reason/conflict references with this bit set denote XOR matrix rows
+/// (`r & !XOR_REASON` is the row index); plain values are clause refs.
+const XOR_REASON: u32 = 1 << 31;
 
 /// An internal literal: `var * 2 + negative`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +172,30 @@ struct ClauseMeta {
     start: u32,
     len: u32,
     activity: f32,
+    /// Literal-block distance at learning time, min-updated on touch
+    /// (0 for problem clauses, and everywhere when `lbd` is off).
+    lbd: u32,
     learned: bool,
+}
+
+/// One recorded DRAT step: a clause the solver derived (add) or
+/// discarded (delete), in external literals.
+#[derive(Debug, Clone)]
+enum ProofStep {
+    Add(Vec<Lit>),
+    Delete(Vec<Lit>),
+}
+
+/// An in-memory DRAT proof under construction.
+#[derive(Debug, Clone, Default)]
+struct ProofLog {
+    steps: Vec<ProofStep>,
+    /// The final empty clause has been emitted.
+    concluded: bool,
+    /// [`CdclSolver::add_clause`] extended the formula after
+    /// construction: the recorded proof no longer refers to the original
+    /// formula alone, so it is withheld rather than mis-verified.
+    tainted: bool,
 }
 
 /// A watch-list entry: the clause plus a cached "blocker" literal whose
@@ -190,10 +262,51 @@ pub struct CdclSolver {
     /// Assumption literals of the current `solve_under` call, placed as
     /// the first decision levels (empty for plain solves).
     assumptions: Vec<CLit>,
+    /// Assumptions of the *previous* incremental call, for trail reuse:
+    /// decision levels whose assumption literal is unchanged stay
+    /// placed and propagated across calls.
+    prev_assumptions: Vec<CLit>,
+    /// Decision levels to keep on the next [`CdclSolver::run`] (computed
+    /// by `run_under` as the shared assumption prefix; consumed once).
+    reuse_level: usize,
+    /// Scratch literal-occurrence counts for the assumption reordering
+    /// in `run_under` (always all-zero between calls).
+    assump_mark: Vec<u32>,
     /// Final-conflict core produced by [`CdclSolver::analyze_final`] when
     /// the assumptions are refuted (empty when the formula itself is
     /// unsatisfiable).
     final_core: Vec<Lit>,
+    /// Feature gates — see [`SatOptions`].
+    opts: SatOptions,
+    /// LBD computation scratch: one stamp per decision level plus a
+    /// generation counter, so each computation is O(clause length).
+    lbd_stamp: Vec<u32>,
+    lbd_gen: u32,
+    /// Glucose restart state: exponential moving averages of the LBD of
+    /// recently learned clauses (lifetime, like the restart counter).
+    lbd_ema_fast: f64,
+    lbd_ema_slow: f64,
+    /// Learned glue clauses (LBD ≤ [`GLUE_LBD`]) currently in the DB.
+    glue_clauses: usize,
+    /// Lifetime solve calls, driving the inprocessing cadence.
+    solves: usize,
+    /// Next `solves` value at which inprocessing runs again.
+    next_inproc: usize,
+    /// Inprocessing lifetime statistics.
+    inproc_runs: usize,
+    inproc_micros: u64,
+    inproc_subsumed: usize,
+    inproc_strengthened: usize,
+    /// The Gauss layer (built lazily on the first solve when `xor` is
+    /// on), its propagation head into the trail, and scratch buffers.
+    xors: Option<xor::XorLayer>,
+    xor_built: bool,
+    xor_qhead: usize,
+    xors_extracted: usize,
+    xor_scratch: Vec<CLit>,
+    xor_events: Vec<xor::XorEvent>,
+    /// DRAT proof log, when [`CdclSolver::with_proof`] was requested.
+    proof: Option<ProofLog>,
 }
 
 impl CdclSolver {
@@ -231,7 +344,29 @@ impl CdclSolver {
             db_reductions: 0,
             budget: None,
             assumptions: Vec::new(),
+            prev_assumptions: Vec::new(),
+            reuse_level: 0,
+            assump_mark: Vec::new(),
             final_core: Vec::new(),
+            opts: SatOptions::active(),
+            lbd_stamp: Vec::new(),
+            lbd_gen: 0,
+            lbd_ema_fast: 0.0,
+            lbd_ema_slow: 0.0,
+            glue_clauses: 0,
+            solves: 0,
+            next_inproc: 0,
+            inproc_runs: 0,
+            inproc_micros: 0,
+            inproc_subsumed: 0,
+            inproc_strengthened: 0,
+            xors: None,
+            xor_built: false,
+            xor_qhead: 0,
+            xors_extracted: 0,
+            xor_scratch: Vec::new(),
+            xor_events: Vec::new(),
+            proof: None,
         };
         for v in 0..n {
             solver.order.insert(v, &solver.activity);
@@ -269,6 +404,44 @@ impl CdclSolver {
     /// the reuse-friendly form of [`CdclSolver::with_budget`].
     pub fn set_budget(&mut self, budget: Option<usize>) {
         self.budget = budget;
+    }
+
+    /// Pins this solver instance to an explicit feature set, overriding
+    /// [`SatOptions::active`] — the per-solver twin of
+    /// [`crate::set_sat_opts_override`], used by differential tests and
+    /// A/B benchmarks. Call before the first solve: the XOR layer is
+    /// (re)built lazily under the new gates.
+    #[must_use]
+    pub fn with_options(mut self, opts: SatOptions) -> Self {
+        self.opts = opts;
+        if self.proof.is_some() {
+            self.opts.xor = false;
+        }
+        self.xors = None;
+        self.xor_built = false;
+        self
+    }
+
+    /// Enables DRAT proof recording: clause additions (learned lemmas,
+    /// inprocessing resolvents) and deletions are logged so an UNSAT
+    /// verdict can be independently re-verified by
+    /// [`crate::drat::check_drat_unsat`] or any external DRAT checker.
+    ///
+    /// Forces the `xor` gate off for this instance: Gauss-derived
+    /// lemmas are implied but not reverse-unit-propagation steps, so a
+    /// proof-carrying solve sticks to clausal reasoning. The proof
+    /// covers the formula given at construction; a later
+    /// [`CdclSolver::add_clause`] taints it ([`CdclSolver::proof_drat`]
+    /// then returns `None`). Assumption solves are fine — lemmas
+    /// learned under assumptions are resolvents of the clause database
+    /// alone.
+    #[must_use]
+    pub fn with_proof(mut self) -> Self {
+        self.proof = Some(ProofLog::default());
+        self.opts.xor = false;
+        self.xors = None;
+        self.xor_built = false;
+        self
     }
 
     /// Seeds the *initial* decision order: hinted variables start with
@@ -331,6 +504,86 @@ impl CdclSolver {
     /// Learned-database reductions performed over the solver's lifetime.
     pub fn db_reductions(&self) -> usize {
         self.db_reductions
+    }
+
+    /// Lowers the learned-DB ceiling so reductions fire immediately —
+    /// cross-module tests use this to exercise deletion paths.
+    #[cfg(test)]
+    pub(crate) fn force_tiny_learnt_cap(&mut self) {
+        self.max_learnts = 1.0;
+    }
+
+    /// The feature set this instance runs with.
+    pub fn options(&self) -> SatOptions {
+        self.opts
+    }
+
+    /// Learned glue clauses (LBD ≤ 2) currently protected in the DB —
+    /// the refutation skeleton that survives every reduction.
+    pub fn glue_clauses(&self) -> usize {
+        self.glue_clauses
+    }
+
+    /// XOR parity constraints recovered from the formula (before
+    /// elimination); 0 until the first solve or with `xor` off.
+    pub fn xors_extracted(&self) -> usize {
+        self.xors_extracted
+    }
+
+    /// Live Gauss rows (after elimination and unit folding).
+    pub fn xor_rows(&self) -> usize {
+        self.xors.as_ref().map_or(0, xor::XorLayer::num_rows)
+    }
+
+    /// Inprocessing passes run over the solver's lifetime.
+    pub fn inprocess_runs(&self) -> usize {
+        self.inproc_runs
+    }
+
+    /// Total time spent inprocessing, in microseconds.
+    pub fn inprocess_micros(&self) -> u64 {
+        self.inproc_micros
+    }
+
+    /// Clauses deleted by inprocessing subsumption.
+    pub fn subsumed_clauses(&self) -> usize {
+        self.inproc_subsumed
+    }
+
+    /// Literals removed by inprocessing self-subsuming resolution.
+    pub fn strengthened_clauses(&self) -> usize {
+        self.inproc_strengthened
+    }
+
+    /// Renders the recorded DRAT proof, or `None` when proof recording
+    /// was not requested or the proof was tainted by a later
+    /// [`CdclSolver::add_clause`]. Meaningful after an UNSAT verdict
+    /// (the proof then ends with the empty clause); lemmas of an
+    /// inconclusive or SAT run are still valid derivations.
+    pub fn proof_drat(&self) -> Option<String> {
+        let proof = self.proof.as_ref()?;
+        if proof.tainted {
+            return None;
+        }
+        let mut out = String::new();
+        for step in &proof.steps {
+            let lits = match step {
+                ProofStep::Add(lits) => lits,
+                ProofStep::Delete(lits) => {
+                    out.push_str("d ");
+                    lits
+                }
+            };
+            for l in lits {
+                if l.negative {
+                    out.push('-');
+                }
+                out.push_str(&(l.var.0 + 1).to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        Some(out)
     }
 
     /// Decides satisfiability, ignoring any configured budget. Callable
@@ -421,8 +674,48 @@ impl CdclSolver {
                 CLit::new(l.var.0, l.negative)
             })
             .collect();
+        // Assumption order is semantically free (any placement order
+        // decides the same formula and yields a sound core), so reorder
+        // each call to follow the previous call's order for every
+        // shared literal: stable assumptions migrate to the front,
+        // recently-changed ones to the back. Family sweeps keep their
+        // constant selectors permanently placed this way.
+        if !self.prev_assumptions.is_empty() && !self.assumptions.is_empty() {
+            if self.assump_mark.len() < 2 * self.num_vars {
+                self.assump_mark.resize(2 * self.num_vars, 0);
+            }
+            for l in &self.assumptions {
+                self.assump_mark[l.idx()] += 1;
+            }
+            let mut ordered = Vec::with_capacity(self.assumptions.len());
+            for i in 0..self.prev_assumptions.len() {
+                let l = self.prev_assumptions[i];
+                if self.assump_mark[l.idx()] > 0 {
+                    self.assump_mark[l.idx()] -= 1;
+                    ordered.push(l);
+                }
+            }
+            for i in 0..self.assumptions.len() {
+                let l = self.assumptions[i];
+                if self.assump_mark[l.idx()] > 0 {
+                    self.assump_mark[l.idx()] -= 1;
+                    ordered.push(l);
+                }
+            }
+            self.assumptions = ordered;
+        }
+        // Trail reuse: decision levels whose assumption is unchanged
+        // stay placed — and propagated, through the CNF watches and the
+        // Gauss layer alike — instead of being peeled off and replayed.
+        self.reuse_level = self
+            .assumptions
+            .iter()
+            .zip(&self.prev_assumptions)
+            .take_while(|(a, b)| a == b)
+            .count()
+            .min(self.decision_level());
         let verdict = self.run();
-        self.assumptions.clear();
+        self.prev_assumptions = std::mem::take(&mut self.assumptions);
         verdict
     }
 
@@ -471,21 +764,116 @@ impl CdclSolver {
                 _ => kept.push(l),
             }
         }
+        if let Some(proof) = &mut self.proof {
+            // The formula the proof refers to no longer matches.
+            proof.tainted = true;
+        }
         self.add_clause_internal(&kept, false);
     }
 
-    /// Shared driver: reset per-call stats, search, and leave the solver
-    /// at level 0 ready for the next call.
+    /// Shared driver: reset per-call stats, refresh the feature layers
+    /// (XOR build, inprocessing) at level 0, search, and leave the
+    /// solver ready for the next call. Incremental calls keep the
+    /// shared assumption-prefix levels placed (`reuse_level`); a due
+    /// feature-layer pass vetoes the reuse because both the XOR build
+    /// and inprocessing require the reason-free level 0.
     fn run(&mut self) -> Search {
         self.decisions = 0;
         self.conflicts = 0;
         self.propagations = 0;
         self.final_core.clear();
-        self.backtrack(0);
+        self.solves += 1;
+        if self.assumptions.is_empty() {
+            // A plain solve leaves search decisions, not assumption
+            // placements, on the trail — the next incremental call must
+            // not mistake them for a reusable prefix.
+            self.prev_assumptions.clear();
+        }
+        let build_xor = self.ok && self.opts.xor && !self.xor_built;
+        let inproc_due =
+            self.ok && self.opts.inproc && (self.solves == 1 || self.solves >= self.next_inproc);
+        let keep = if build_xor || inproc_due {
+            0
+        } else {
+            self.reuse_level
+        };
+        self.reuse_level = 0;
+        self.backtrack(keep);
+        if build_xor {
+            self.build_xor_layer();
+        }
+        if self.ok && inproc_due {
+            self.maybe_inprocess();
+        }
         if !self.ok {
+            self.proof_conclude();
             return Search::Unsat;
         }
         self.search()
+    }
+
+    /// Extracts XOR constraints from the problem clauses, eliminates,
+    /// and installs the Gauss layer (see `xor.rs`). Level-0 facts the
+    /// elimination surfaces are applied immediately.
+    fn build_xor_layer(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.xor_built = true;
+        let built = xor::build(
+            self.num_vars,
+            self.clauses
+                .iter()
+                .filter(|m| !m.learned)
+                .map(|m| self.arena[m.start as usize..(m.start + m.len) as usize].to_vec()),
+            &self.assign,
+        );
+        self.xors_extracted = built.extracted;
+        if built.contradiction {
+            self.ok = false;
+            return;
+        }
+        for l in built.units {
+            match self.lit_value(l) {
+                VAL_TRUE => {}
+                VAL_FALSE => {
+                    self.ok = false;
+                    return;
+                }
+                _ => self.enqueue(l, None),
+            }
+        }
+        self.xors = built.layer;
+        self.xor_qhead = 0;
+    }
+
+    /// Records a derived clause in the DRAT log.
+    fn proof_add(&mut self, lits: &[CLit]) {
+        if let Some(proof) = &mut self.proof {
+            proof
+                .steps
+                .push(ProofStep::Add(lits.iter().map(|l| l.external()).collect()));
+        }
+    }
+
+    /// Records a clause deletion in the DRAT log.
+    fn proof_delete(&mut self, lits: &[CLit]) {
+        if let Some(proof) = &mut self.proof {
+            proof.steps.push(ProofStep::Delete(
+                lits.iter().map(|l| l.external()).collect(),
+            ));
+        }
+    }
+
+    /// Emits the final empty clause once the formula is refuted. At
+    /// every call site level-0 unit propagation over the clause database
+    /// (problem clauses plus recorded lemmas) yields a conflict, so the
+    /// empty clause is a valid RUP step.
+    fn proof_conclude(&mut self) {
+        if let Some(proof) = &mut self.proof {
+            if !proof.concluded {
+                proof.concluded = true;
+                proof.steps.push(ProofStep::Add(Vec::new()));
+            }
+        }
     }
 
     /// Reads the model off a fully-assigned trail, then backtracks so the
@@ -538,6 +926,7 @@ impl CdclSolver {
                     start,
                     len: lits.len() as u32,
                     activity: if learned { self.cla_inc } else { 0.0 },
+                    lbd: 0,
                     learned,
                 });
                 self.learned_clauses += usize::from(learned);
@@ -572,11 +961,79 @@ impl CdclSolver {
         self.trail.truncate(keep);
         self.trail_lim.truncate(target_level);
         self.qhead = self.trail.len();
+        self.xor_qhead = self.xor_qhead.min(self.trail.len());
     }
 
-    /// Two-watched-literal unit propagation to fixpoint. Returns the
-    /// conflicting clause, if any.
+    /// Unit propagation to joint fixpoint across the clause database and
+    /// the XOR layer. Returns the conflicting clause ref (or
+    /// [`XOR_REASON`]-tagged row), if any.
     fn propagate(&mut self) -> Option<u32> {
+        let conflict = loop {
+            if let Some(c) = self.propagate_cnf() {
+                break Some(c);
+            }
+            if self.xors.is_none() || self.xor_qhead >= self.trail.len() {
+                break None;
+            }
+            if let Some(c) = self.propagate_xor() {
+                break Some(c);
+            }
+        };
+        if conflict.is_some() {
+            // Abort any outstanding queue on conflict, like the CNF path.
+            self.qhead = self.trail.len();
+            self.xor_qhead = self.qhead;
+        }
+        conflict
+    }
+
+    /// Drains the XOR propagation head: each newly assigned variable is
+    /// checked against the rows watching its column; unit rows imply
+    /// their last column, fully-assigned rows with the wrong parity
+    /// conflict (tagged with [`XOR_REASON`]).
+    fn propagate_xor(&mut self) -> Option<u32> {
+        while self.xor_qhead < self.trail.len() {
+            let p = self.trail[self.xor_qhead];
+            self.xor_qhead += 1;
+            let mut events = std::mem::take(&mut self.xor_events);
+            events.clear();
+            if let Some(layer) = self.xors.as_mut() {
+                layer.on_assign(p.var(), &self.assign, &mut events);
+            }
+            let mut conflict = None;
+            for ev in &events {
+                match *ev {
+                    // Implications are re-checked at application time: an
+                    // earlier event in the same batch may have assigned
+                    // the variable already.
+                    xor::XorEvent::Imply { lit, row } => match self.lit_value(lit) {
+                        VAL_TRUE => {}
+                        VAL_FALSE => {
+                            conflict = Some(XOR_REASON | row);
+                            break;
+                        }
+                        _ => {
+                            self.propagations += 1;
+                            self.enqueue(lit, Some(XOR_REASON | row));
+                        }
+                    },
+                    xor::XorEvent::Conflict { row } => {
+                        conflict = Some(XOR_REASON | row);
+                        break;
+                    }
+                }
+            }
+            self.xor_events = events;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Two-watched-literal unit propagation to fixpoint over the clause
+    /// database. Returns the conflicting clause, if any.
+    fn propagate_cnf(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -664,10 +1121,10 @@ impl CdclSolver {
     fn bump_clause(&mut self, cref: usize) {
         self.clauses[cref].activity += self.cla_inc;
         if self.clauses[cref].activity > CLA_RESCALE_LIMIT {
-            for c in self.clauses[self.num_problem..]
-                .iter_mut()
-                .filter(|c| c.learned)
-            {
+            // Rescale by flag, not position: inprocessing can delete
+            // problem clauses, after which learned records are no longer
+            // confined to the tail.
+            for c in self.clauses.iter_mut().filter(|c| c.learned) {
                 c.activity *= 1.0 / CLA_RESCALE_LIMIT;
             }
             self.cla_inc *= 1.0 / CLA_RESCALE_LIMIT;
@@ -679,32 +1136,112 @@ impl CdclSolver {
         self.cla_inc *= 1.0 / CLA_DECAY;
     }
 
+    /// Advances the LBD stamp generation, clearing the stamp array on
+    /// wraparound and growing it to cover `max_level`.
+    fn lbd_next_gen(&mut self, max_level: usize) -> u32 {
+        if self.lbd_stamp.len() <= max_level {
+            self.lbd_stamp.resize(max_level + 1, 0);
+        }
+        self.lbd_gen = self.lbd_gen.wrapping_add(1);
+        if self.lbd_gen == 0 {
+            self.lbd_stamp.fill(0);
+            self.lbd_gen = 1;
+        }
+        self.lbd_gen
+    }
+
+    /// Literal-block distance of a (fully assigned) literal set: the
+    /// number of distinct non-zero decision levels among its variables.
+    fn lbd_of(&mut self, lits: &[CLit]) -> u32 {
+        let gen = self.lbd_next_gen(self.decision_level());
+        let mut lbd = 0;
+        for &l in lits {
+            let lev = self.level[l.var()] as usize;
+            if lev > 0 && self.lbd_stamp[lev] != gen {
+                self.lbd_stamp[lev] = gen;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// Recomputes the LBD of a learned clause touched by conflict
+    /// analysis (all its literals are assigned there) and keeps the
+    /// minimum — a clause that proves itself tighter than at learning
+    /// time is promoted, possibly into the protected glue tier.
+    fn touch_lbd(&mut self, cref: usize) {
+        let (start, len, old) = {
+            let m = &self.clauses[cref];
+            (m.start as usize, m.len as usize, m.lbd)
+        };
+        let gen = self.lbd_next_gen(self.decision_level());
+        let mut lbd = 0;
+        for k in 0..len {
+            let lev = self.level[self.arena[start + k].var()] as usize;
+            if lev > 0 && self.lbd_stamp[lev] != gen {
+                self.lbd_stamp[lev] = gen;
+                lbd += 1;
+            }
+        }
+        if lbd < old {
+            if old > GLUE_LBD && lbd <= GLUE_LBD {
+                self.glue_clauses += 1;
+            }
+            self.clauses[cref].lbd = lbd;
+        }
+    }
+
     /// First-UIP conflict analysis: resolves the conflict clause against
     /// reasons back to the first unique implication point, minimizes, and
-    /// returns `(learned clause, backjump level)` with the asserting
+    /// returns `(learned clause, backjump level, LBD)` with the asserting
     /// literal at index 0 and a backjump-level literal at index 1.
-    fn analyze(&mut self, conflict: u32) -> (Vec<CLit>, usize) {
+    /// `conflict` (and any reason met on the way) may be an
+    /// [`XOR_REASON`]-tagged Gauss row, which explains itself as the
+    /// clause it implies under the current assignment.
+    fn analyze(&mut self, conflict: u32) -> (Vec<CLit>, usize, u32) {
         let mut learnt: Vec<CLit> = vec![CLit(0)]; // slot 0 = asserting literal
         let mut to_clear: Vec<usize> = Vec::new();
         let mut path = 0usize; // literals of the conflict level still open
-        let mut confl = conflict as usize;
-        let mut first_round = true;
+        let mut confl = conflict;
+        // The literal the current reason propagated (None for the
+        // conflict itself) — already resolved away, so it is skipped.
+        let mut resolved: Option<CLit> = None;
         let mut idx = self.trail.len();
         let current = self.decision_level();
         loop {
-            if self.clauses[confl].learned {
-                self.bump_clause(confl);
-            }
-            let (start, len) = {
-                let m = &self.clauses[confl];
-                (m.start as usize, m.len as usize)
+            let (from_scratch, start, len) = if confl & XOR_REASON != 0 {
+                // Materialize the row's implied clause (minus the
+                // already-resolved literal) into the scratch buffer.
+                let mut scratch = std::mem::take(&mut self.xor_scratch);
+                self.xors
+                    .as_ref()
+                    .expect("XOR-tagged reason requires the layer")
+                    .explain(confl & !XOR_REASON, None, &self.assign, &mut scratch);
+                if let Some(p) = resolved {
+                    scratch.retain(|&l| l.var() != p.var());
+                }
+                let n = scratch.len();
+                self.xor_scratch = scratch;
+                (true, 0, n)
+            } else {
+                let cref = confl as usize;
+                if self.clauses[cref].learned {
+                    self.bump_clause(cref);
+                    if self.opts.lbd {
+                        self.touch_lbd(cref);
+                    }
+                }
+                let m = &self.clauses[cref];
+                // A reason clause has its propagated literal at slot 0.
+                let skip = usize::from(resolved.is_some());
+                (false, m.start as usize + skip, m.len as usize - skip)
             };
-            // A reason clause has its propagated literal at slot 0 —
-            // already resolved away, so skip it after the first round.
-            let skip = usize::from(!first_round);
-            first_round = false;
-            for k in skip..len {
-                let q = self.arena[start + k];
+            for k in 0..len {
+                let q = if from_scratch {
+                    self.xor_scratch[k]
+                } else {
+                    self.arena[start + k]
+                };
                 let v = q.var();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -731,7 +1268,8 @@ impl CdclSolver {
                 learnt[0] = p.negated();
                 break;
             }
-            confl = self.reason[p.var()].expect("implied literal has a reason") as usize;
+            confl = self.reason[p.var()].expect("implied literal has a reason");
+            resolved = Some(p);
         }
 
         // Basic self-subsumption minimization: a literal implied entirely
@@ -744,6 +1282,11 @@ impl CdclSolver {
             let q = learnt[i];
             let v = q.var();
             let redundant = self.reason[v].is_some_and(|r| {
+                // XOR-implied literals are kept: materializing the row's
+                // clause here costs more than the rare removal saves.
+                if r & XOR_REASON != 0 {
+                    return false;
+                }
                 let (start, len) = {
                     let m = &self.clauses[r as usize];
                     (m.start as usize, m.len as usize)
@@ -763,6 +1306,14 @@ impl CdclSolver {
             self.seen[v] = false;
         }
 
+        // LBD of the minimized clause, while its literals are still all
+        // assigned (record_learned runs after the backjump).
+        let lbd = if self.opts.lbd {
+            self.lbd_of(&learnt)
+        } else {
+            0
+        };
+
         // Backjump to the second-highest decision level in the clause,
         // with a literal of that level in the second watch slot.
         let back_level = if learnt.len() == 1 {
@@ -777,7 +1328,7 @@ impl CdclSolver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var()] as usize
         };
-        (learnt, back_level)
+        (learnt, back_level, lbd)
     }
 
     /// Final-conflict analysis (the assumption-refutation counterpart of
@@ -808,6 +1359,21 @@ impl CdclSolver {
                 // A decision below the failure point is an assumption,
                 // recorded exactly as it was assumed.
                 None => self.final_core.push(p.external()),
+                Some(r) if r & XOR_REASON != 0 => {
+                    // A Gauss row explains with the propagated literal in
+                    // slot 0; mark the antecedent tail like a clause.
+                    let mut scratch = std::mem::take(&mut self.xor_scratch);
+                    self.xors
+                        .as_ref()
+                        .expect("XOR-tagged reason requires the layer")
+                        .explain(r & !XOR_REASON, Some(p), &self.assign, &mut scratch);
+                    for &q in &scratch[1..] {
+                        if self.level[q.var()] > 0 {
+                            self.seen[q.var()] = true;
+                        }
+                    }
+                    self.xor_scratch = scratch;
+                }
                 Some(r) => {
                     let (start, len) = {
                         let m = &self.clauses[r as usize];
@@ -827,9 +1393,10 @@ impl CdclSolver {
         self.seen[failed.var()] = false;
     }
 
-    /// Learns the clause produced by [`CdclSolver::analyze`] and asserts
-    /// its UIP literal.
-    fn record_learned(&mut self, learnt: &[CLit]) {
+    /// Learns the clause produced by [`CdclSolver::analyze`] (tagging it
+    /// with its LBD) and asserts its UIP literal.
+    fn record_learned(&mut self, learnt: &[CLit], lbd: u32) {
+        self.proof_add(learnt);
         let asserting = learnt[0];
         if learnt.len() == 1 {
             debug_assert_eq!(self.decision_level(), 0);
@@ -842,13 +1409,25 @@ impl CdclSolver {
         }
         let cref = self.clauses.len() as u32;
         self.add_clause_internal(learnt, true);
+        if self.opts.lbd {
+            self.clauses[cref as usize].lbd = lbd;
+            if lbd <= GLUE_LBD {
+                self.glue_clauses += 1;
+            }
+        }
         self.enqueue(asserting, Some(cref));
     }
 
-    /// Halves the learned-clause database, keeping binary clauses and the
-    /// most active half. Only called at decision level 0, where no clause
-    /// is the reason for any assignment, so physical compaction (and the
-    /// watch rebuild it forces) is safe.
+    /// Halves the learned-clause database. Only called at decision level
+    /// 0, where no clause is the reason for any assignment, so physical
+    /// compaction (and the watch rebuild it forces) is safe.
+    ///
+    /// Without `lbd` this keeps binary clauses and the most active half
+    /// (the baseline policy, preserved bit for bit). With `lbd` the DB is
+    /// tiered: core glue clauses (LBD ≤ [`GLUE_LBD`]) are never
+    /// candidates, mid-tier clauses are demoted by LBD before activity,
+    /// and locals (LBD > [`LOCAL_LBD`]) are reduced aggressively — they
+    /// go first in the worst-first order and widen the drop target.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
         for l in &self.trail {
@@ -856,30 +1435,64 @@ impl CdclSolver {
         }
         // Candidates by flag, not position: `add_clause` may have
         // appended problem clauses (e.g. blocking clauses) after learned
-        // ones, and those must never be dropped.
-        let mut learned: Vec<usize> = (self.num_problem..self.clauses.len())
-            .filter(|&ci| self.clauses[ci].learned)
+        // ones — and inprocessing may have deleted clauses ahead of them
+        // — so those must never be dropped no matter where they sit.
+        let mut candidates: Vec<usize> = (0..self.clauses.len())
+            .filter(|&ci| {
+                let m = &self.clauses[ci];
+                m.learned && m.len > 2 && (!self.opts.lbd || m.lbd > GLUE_LBD)
+            })
             .collect();
-        learned.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .total_cmp(&self.clauses[b].activity)
-        });
-        let target = learned.len() / 2;
+        let target = if self.opts.lbd {
+            // Worst first: highest LBD, ties broken by lowest activity.
+            candidates.sort_by(|&a, &b| {
+                let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+                cb.lbd
+                    .cmp(&ca.lbd)
+                    .then(ca.activity.total_cmp(&cb.activity))
+            });
+            let locals = candidates
+                .iter()
+                .filter(|&&ci| self.clauses[ci].lbd > LOCAL_LBD)
+                .count();
+            // At least half the candidates; at least ¾ of the locals.
+            (candidates.len() / 2)
+                .max(locals * 3 / 4)
+                .min(candidates.len())
+        } else {
+            candidates.sort_by(|&a, &b| {
+                self.clauses[a]
+                    .activity
+                    .total_cmp(&self.clauses[b].activity)
+            });
+            // The baseline target counts every learned clause (including
+            // the protected binaries) but only drops len > 2 records.
+            self.learned_clauses / 2
+        };
         let mut drop_flag = vec![false; self.clauses.len()];
         let mut dropped = 0;
-        for &ci in &learned {
-            if dropped >= target {
-                break;
-            }
-            if self.clauses[ci].len > 2 {
-                drop_flag[ci] = true;
-                dropped += 1;
+        for &ci in candidates.iter().take(target) {
+            drop_flag[ci] = true;
+            dropped += 1;
+            if self.proof.is_some() {
+                let m = self.clauses[ci];
+                let lits = self.arena[m.start as usize..(m.start + m.len) as usize].to_vec();
+                self.proof_delete(&lits);
             }
         }
-        // Compact the clause records and the literal arena together.
+        self.learned_clauses -= dropped;
+        self.compact(&drop_flag);
+        self.rebuild_watches();
+        self.max_learnts *= 1.1;
+        self.db_reductions += 1;
+    }
+
+    /// Physically removes flagged clauses, compacting the clause records
+    /// and the literal arena together. Callers maintain the learned /
+    /// glue counters and must rebuild watches afterwards.
+    fn compact(&mut self, drop_flag: &[bool]) {
         let mut new_arena = Vec::with_capacity(self.arena.len());
-        let mut new_clauses = Vec::with_capacity(self.clauses.len() - dropped);
+        let mut new_clauses = Vec::with_capacity(self.clauses.len());
         for (ci, meta) in self.clauses.iter().enumerate() {
             if drop_flag[ci] {
                 continue;
@@ -891,10 +1504,13 @@ impl CdclSolver {
         }
         self.arena = new_arena;
         self.clauses = new_clauses;
-        self.learned_clauses -= dropped;
-        self.rebuild_watches();
-        self.max_learnts *= 1.1;
-        self.db_reductions += 1;
+        // Keep the leading-problem-block marker honest after deletions.
+        self.num_problem = self
+            .clauses
+            .iter()
+            .take_while(|c| !c.learned)
+            .count()
+            .min(self.num_problem);
     }
 
     /// Reconstructs every watch list from scratch (after compaction),
@@ -931,8 +1547,10 @@ impl CdclSolver {
             });
         }
         // Re-scan the level-0 trail so units hiding behind the rebuilt
-        // watches are found again.
+        // watches are found again (the XOR layer re-scan is idempotent:
+        // implications re-check literal truth before enqueueing).
         self.qhead = 0;
+        self.xor_qhead = 0;
     }
 
     /// Picks the next decision literal: highest-activity unassigned
@@ -947,7 +1565,11 @@ impl CdclSolver {
     }
 
     /// The main CDCL loop: propagate → (conflict ? analyze/learn/backjump
-    /// : decide), with Luby restarts and DB reductions at restart points.
+    /// : decide), with restarts and DB reductions at restart points.
+    /// Restarts are Luby-scheduled; with `lbd` on, a Glucose-style EMA
+    /// test fires earlier whenever recently learned clauses are worse
+    /// (higher LBD) than the long-run average, with the Luby horizon
+    /// kept as a fallback so restarts never starve.
     fn search(&mut self) -> Search {
         let mut conflicts_since_restart = 0u64;
         let mut restart_limit = luby(self.restarts as u64) * RESTART_BASE;
@@ -957,12 +1579,19 @@ impl CdclSolver {
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.proof_conclude();
                     return Search::Unsat;
                 }
-                let (learnt, back_level) = self.analyze(conflict);
+                let (learnt, back_level, lbd) = self.analyze(conflict);
+                if self.opts.lbd {
+                    let l = f64::from(lbd.max(1));
+                    self.lbd_ema_fast += LBD_EMA_FAST * (l - self.lbd_ema_fast);
+                    self.lbd_ema_slow += LBD_EMA_SLOW * (l - self.lbd_ema_slow);
+                }
                 self.backtrack(back_level);
-                self.record_learned(&learnt);
+                self.record_learned(&learnt, lbd);
                 if !self.ok {
+                    self.proof_conclude();
                     return Search::Unsat;
                 }
                 self.decay_activities();
@@ -971,14 +1600,26 @@ impl CdclSolver {
                     return Search::Out;
                 }
             } else {
-                if conflicts_since_restart >= restart_limit {
-                    self.backtrack(0);
+                let glucose_restart = self.opts.lbd
+                    && conflicts_since_restart >= RESTART_MIN_CONFLICTS
+                    && self.lbd_ema_fast > RESTART_MARGIN * self.lbd_ema_slow;
+                if glucose_restart || conflicts_since_restart >= restart_limit {
+                    // Restart only down to the assumption prefix:
+                    // peeling the assumptions off and re-propagating
+                    // them (with `xor` on, re-running the Gauss layer
+                    // beneath them) on every restart is the dominant
+                    // cost of warm incremental sweeps. A due DB
+                    // reduction still unwinds fully — physical
+                    // compaction needs the reason-free level 0.
+                    if self.num_learned() as f64 > self.max_learnts {
+                        self.backtrack(0);
+                        self.reduce_db();
+                    } else {
+                        self.backtrack(self.assumptions.len().min(self.decision_level()));
+                    }
                     self.restarts += 1;
                     conflicts_since_restart = 0;
                     restart_limit = luby(self.restarts as u64) * RESTART_BASE;
-                    if self.num_learned() as f64 > self.max_learnts {
-                        self.reduce_db();
-                    }
                     continue;
                 }
                 // Re-establish the assumption prefix: assumption `i`
@@ -1456,8 +2097,12 @@ mod tests {
 
     #[test]
     fn solve_under_budgeted_reports_unknown_not_lies() {
+        // Plain core: inprocessing would strengthen this formula into
+        // pure propagation and answer Sat inside a zero budget.
         let f = cnf(&[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[-1, 2]]);
-        let mut s = CdclSolver::new(&f).with_budget(0);
+        let mut s = CdclSolver::new(&f)
+            .with_options(SatOptions::NONE)
+            .with_budget(0);
         assert_eq!(
             s.solve_under_budgeted(&[lit(3)]),
             BudgetedAssumedSolve::Unknown
@@ -1523,6 +2168,46 @@ mod tests {
         let solve = s.solve();
         let w = solve.witness().expect("still satisfiable");
         assert!(g.eval(w) && !(w[0] && w[1]));
+    }
+
+    #[test]
+    fn tiered_reduction_never_drops_appended_problem_clauses() {
+        // Regression for the LBD-tiered reducer under incremental use:
+        // inprocessing may delete problem clauses (shifting records) and
+        // `add_clause` appends new problem clauses *after* learned ones,
+        // so candidate selection must go by the learned flag, not by
+        // record position, and `num_problem` must survive compaction.
+        let f = pigeonhole(5);
+        let mut s = CdclSolver::new(&f).with_options(SatOptions::ALL);
+        s.max_learnts = 1.0;
+        assert_eq!(s.solve(), Solve::Unsat);
+        assert!(s.db_reductions() > 0, "the tiered reducer never fired");
+
+        // Satisfiable incremental run: appended problem clauses must
+        // keep binding through arbitrarily many reductions.
+        let g = cnf(&[&[1, 2, 3], &[4, 5, 6], &[-1, -4], &[-2, -5]]);
+        let mut s = CdclSolver::new(&g).with_options(SatOptions::ALL);
+        s.max_learnts = 1.0;
+        assert!(s.solve().is_sat());
+        s.add_clause(&[lit(-3), lit(-6)]);
+        s.add_clause(&[lit(-1), lit(-6)]);
+        for round in 0..4 {
+            let solve = s.solve();
+            let w = solve.witness().expect("still satisfiable");
+            assert!(g.eval(w), "round {round}: base formula violated");
+            assert!(
+                !(w[2] && w[5]),
+                "round {round}: appended clause ¬x3 ∨ ¬x6 was dropped"
+            );
+            assert!(
+                !(w[0] && w[5]),
+                "round {round}: appended clause ¬x1 ∨ ¬x6 was dropped"
+            );
+        }
+        // The learned flag (not position) decides candidacy: appended
+        // problem records sit after learned ones in the arena.
+        assert!(s.num_problem <= s.clauses.len());
+        assert!(s.clauses.iter().take(s.num_problem).all(|c| !c.learned));
     }
 
     #[test]

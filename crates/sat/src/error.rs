@@ -26,6 +26,19 @@ pub enum SatError {
         /// The unrecognized name.
         name: String,
     },
+    /// A solver-option name did not parse (expected `lbd`, `inproc`,
+    /// `xor`, `all` or `none`).
+    UnknownSatOption {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A DRAT proof failed verification.
+    ProofRejected {
+        /// 0-based index of the offending proof step.
+        step: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SatError {
@@ -39,6 +52,15 @@ impl fmt::Display for SatError {
             }
             Self::UnknownBackend { name } => {
                 write!(f, "unknown solver backend {name:?} (expected dpll or cdcl)")
+            }
+            Self::UnknownSatOption { name } => {
+                write!(
+                    f,
+                    "unknown solver option {name:?} (expected lbd, inproc, xor, all or none)"
+                )
+            }
+            Self::ProofRejected { step, reason } => {
+                write!(f, "DRAT proof rejected at step {step}: {reason}")
             }
         }
     }
