@@ -42,13 +42,17 @@
 //!   --rate 500 --duration-ms 2000 --shards 4 --queue-capacity 64 \
 //!   --job-mix promise:identify:quantum:sat --trace trace.json`
 
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{Shutdown, TcpStream};
 use std::time::{Duration, Instant};
 
 use revmatch::{
-    chrome_trace_json, random_instance, slowest_jobs, EngineJob, EnumerateJob, Equivalence,
-    IdentifyJob, JobKind, JobSpec, MatchService, MatcherConfig, QuantumAlgorithm, QuantumPathJob,
-    SatEquivalenceJob, ServiceConfig, Side, SolverBackend, Stage, SubmitOutcome, TraceConfig,
-    WitnessFamily,
+    chrome_trace_json, random_instance, read_server_frame, slowest_jobs, write_client_frame,
+    AdmissionConfig, ClientFrame, EngineJob, EnumerateJob, Equivalence, IdentifyJob, JobKind,
+    JobSpec, MatchError, MatchService, MatcherConfig, QuantumAlgorithm, QuantumPathJob,
+    SatEquivalenceJob, ServerFrame, ServiceConfig, Side, SolverBackend, Stage, SubmitOutcome,
+    TraceConfig, WitnessFamily,
 };
 use revmatch_bench::{service_flags, Flags};
 use revmatch_quantum::QuantumBackend;
@@ -60,9 +64,11 @@ const USAGE: &str = "usage: loadgen [--rate JOBS_PER_SEC] [--duration-ms MS] \
 [--job-mix KIND[:KIND...]] [--seed N] [--epsilon F] [--sat-verify 0|1] \
 [--backend dpll|cdcl] [--sat-opts lbd,inproc,xor|all|none] \
 [--kernel scalar|sliced64|wide256-portable|wide256] \
-[--quantum-backend dense|sparse|stabilizer] [--trace OUT.json] [--trace-sample N]";
+[--quantum-backend dense|sparse|stabilizer] [--trace OUT.json] [--trace-sample N] \
+[--admission 0|1] [--overload-us N] [--expensive-us N] \
+[--connect HOST:PORT] [--connections N]";
 
-const KNOWN_FLAGS: [&str; 16] = [
+const KNOWN_FLAGS: [&str; 21] = [
     "rate",
     "duration-ms",
     "shards",
@@ -79,7 +85,19 @@ const KNOWN_FLAGS: [&str; 16] = [
     "quantum-backend",
     "trace",
     "trace-sample",
+    "admission",
+    "overload-us",
+    "expensive-us",
+    "connect",
+    "connections",
 ];
+
+/// Prints a usage diagnostic and exits nonzero (malformed flag values
+/// are user errors, not panics).
+fn usage_error(message: &str) -> ! {
+    eprintln!("loadgen: error: {message}\n{USAGE}");
+    std::process::exit(2);
+}
 
 /// Pre-generated jobs per (width, equivalence, kind-entry) cell of the
 /// mix. Every `--job-mix` entry gets its own cells, so repeated kinds
@@ -195,7 +213,9 @@ fn build_pool(
 fn main() {
     let flags = Flags::parse(&KNOWN_FLAGS, USAGE);
     let rate = flags.get_f64("rate", 500.0);
-    assert!(rate > 0.0, "--rate must be positive");
+    if rate.is_nan() || rate <= 0.0 {
+        usage_error("--rate must be positive");
+    }
     let duration = Duration::from_millis(flags.get_u64("duration-ms", 2000));
     let (shards, capacity) = service_flags(&flags);
     let seed = flags.get_u64("seed", 0x10AD);
@@ -204,46 +224,87 @@ fn main() {
     let backend: SolverBackend = flags
         .get_str("backend", "cdcl")
         .parse()
-        .expect("--backend: expected dpll or cdcl");
+        .unwrap_or_else(|_| usage_error("--backend: expected dpll or cdcl"));
     // --trace OUT.json turns span recording on; --trace-sample N keeps
     // every N-th job (1 = all). Without --trace the pin is Off, which
     // also shields the overhead baseline from a stray REVMATCH_TRACE.
     let trace_path = flags.get_str("trace", "");
     let trace_sample = flags.get_u64("trace-sample", 1);
-    assert!(trace_sample > 0, "--trace-sample must be positive");
+    if trace_sample == 0 {
+        usage_error("--trace-sample must be positive");
+    }
     let trace_config = if trace_path.is_empty() {
         TraceConfig::off()
     } else {
         TraceConfig::sampled(trace_sample)
     };
+    // Malformed, zero, or empty entries in the traffic-shape flags are
+    // hard usage errors: a silently-skipped width or kind would change
+    // the offered mix without any signal.
     let widths: Vec<usize> = flags
         .get_str("widths", "5,6")
         .split(',')
-        .map(|s| s.trim().parse().expect("--widths: bad width"))
+        .map(|s| {
+            let w: usize = s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("--widths: bad width {:?}", s.trim())));
+            if w == 0 {
+                usage_error("--widths: width 0 carries no jobs");
+            }
+            w
+        })
         .collect();
+    if widths.is_empty() {
+        usage_error("--widths: at least one width is required");
+    }
     let mix: Vec<Equivalence> = flags
         .get_str("mix", "NP-I,I-P,P-N")
         .split(',')
-        .map(|s| s.trim().parse().expect("--mix: bad equivalence"))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("--mix: bad equivalence {:?}", s.trim())))
+        })
         .collect();
+    if mix.is_empty() {
+        usage_error("--mix: at least one equivalence is required");
+    }
     let kinds: Vec<JobKind> = flags
         .get_str("job-mix", "promise")
         .split(':')
         .map(|s| {
-            s.trim()
-                .parse()
-                .expect("--job-mix: expected promise|identify|quantum|sat")
+            s.trim().parse().unwrap_or_else(|_| {
+                usage_error(&format!(
+                    "--job-mix: unknown kind {:?} (expected promise|identify|quantum|sat|enumerate)",
+                    s.trim()
+                ))
+            })
         })
         .collect();
+    if kinds.is_empty() {
+        usage_error("--job-mix: at least one kind is required");
+    }
+    let admission = flags.get_u64("admission", 0) != 0;
+    let overload_us = flags.get_u64("overload-us", 0);
+    let expensive_us = flags.get_u64("expensive-us", 0);
+    if !admission && (overload_us != 0 || expensive_us != 0) {
+        usage_error("--overload-us/--expensive-us require --admission 1");
+    }
+    let connect = flags.get_str("connect", "");
+    let connections = flags.get_u64("connections", 4) as usize;
+    if connections == 0 {
+        usage_error("--connections must be at least 1");
+    }
     // SAT feature forcing: same shape as --kernel. The override feeds
     // ServiceConfig's default (SatOptions::active), so every
     // worker-cached CDCL solver runs with the requested feature set.
     let sat_opts = flags.get_str("sat-opts", "");
     if !sat_opts.is_empty() {
         revmatch_sat::set_sat_opts_override(Some(
-            sat_opts
-                .parse()
-                .expect("--sat-opts: expected lbd,inproc,xor, all or none"),
+            sat_opts.parse().unwrap_or_else(|_| {
+                usage_error("--sat-opts: expected lbd,inproc,xor, all or none")
+            }),
         ));
     }
     println!("sat opts: {}", revmatch_sat::active_sat_opts_label());
@@ -251,7 +312,9 @@ fn main() {
     // table compile in the service then dispatches through.
     let kernel = flags.get_str("kernel", "");
     if !kernel.is_empty() {
-        revmatch_circuit::set_kernel_override(Some(kernel.parse().expect("--kernel")));
+        revmatch_circuit::set_kernel_override(Some(kernel.parse().unwrap_or_else(|_| {
+            usage_error("--kernel: expected scalar|sliced64|wide256-portable|wide256")
+        })));
     }
     println!("oracle kernel: {}", revmatch_circuit::active_kernel_name());
     // Quantum-backend forcing: same shape as --kernel. Unforced, the
@@ -259,9 +322,9 @@ fn main() {
     // for swap tests) and the summary line reads "auto".
     let qbackend = flags.get_str("quantum-backend", "");
     if !qbackend.is_empty() {
-        revmatch_quantum::set_quantum_backend_override(Some(
-            qbackend.parse().expect("--quantum-backend"),
-        ));
+        revmatch_quantum::set_quantum_backend_override(Some(qbackend.parse().unwrap_or_else(
+            |_| usage_error("--quantum-backend: expected dense|sparse|stabilizer"),
+        )));
     }
     println!(
         "quantum backend: {}",
@@ -289,15 +352,32 @@ fn main() {
         },
     );
 
-    let service = MatchService::start(
-        ServiceConfig::default()
-            .with_shards(shards)
-            .with_queue_capacity(capacity)
-            .with_matcher(MatcherConfig::with_epsilon(epsilon))
-            .with_solver_backend(backend)
-            .with_seed(seed)
-            .with_trace(trace_config),
-    );
+    // Client mode: same open-loop discipline, but the jobs travel the
+    // wire to a running revmatch-server instead of an in-process
+    // service.
+    if !connect.is_empty() {
+        run_connect_mode(&connect, connections, rate, duration, &pool);
+        return;
+    }
+
+    let mut service_config = ServiceConfig::default()
+        .with_shards(shards)
+        .with_queue_capacity(capacity)
+        .with_matcher(MatcherConfig::with_epsilon(epsilon))
+        .with_solver_backend(backend)
+        .with_seed(seed)
+        .with_trace(trace_config);
+    if admission {
+        let mut a = AdmissionConfig::default();
+        if overload_us != 0 {
+            a = a.with_overload_us(overload_us);
+        }
+        if expensive_us != 0 {
+            a = a.with_expensive_us(expensive_us);
+        }
+        service_config = service_config.with_admission(a);
+    }
+    let service = MatchService::start(service_config);
 
     // Open loop: arrival i is due at start + i/rate, slept to — never
     // gated on service progress.
@@ -316,6 +396,7 @@ fn main() {
         match service.submit(job) {
             SubmitOutcome::Enqueued(ticket) => drop(ticket), // streamed elsewhere
             SubmitOutcome::QueueFull(_) => {}                // open loop: drop it
+            SubmitOutcome::Shed(_) => {}                     // admission shed it; counted below
         }
     }
     let offered_elapsed = start.elapsed();
@@ -325,8 +406,13 @@ fn main() {
     let m = service.metrics();
     let accepted = m.jobs_submitted();
     let rejected = m.jobs_rejected();
+    let shed = m.jobs_shed();
     let completed = m.jobs_completed();
-    assert_eq!(offered, accepted + rejected, "every arrival is accounted");
+    assert_eq!(
+        offered,
+        accepted + rejected + shed,
+        "every arrival is accounted"
+    );
     assert_eq!(completed, accepted, "drain completed every accepted job");
     assert_eq!(
         m.jobs_failed(),
@@ -409,10 +495,40 @@ fn main() {
     };
     println!(
         "\noffered {offered} ({:.0}/s) | accepted {accepted} | rejected {rejected} \
-         ({:.1}% backpressure)",
+         ({:.1}% backpressure) | shed {shed}",
         offered as f64 / offered_elapsed.as_secs_f64(),
         100.0 * rejected as f64 / offered as f64,
     );
+    if admission {
+        println!(
+            "admission: shed {} | requeued {} | backlog {}µs at drain",
+            m.jobs_shed(),
+            m.jobs_requeued(),
+            service.admission_backlog_us(),
+        );
+    }
+    // Machine-readable summary for CI smokes: one RESULT line, one
+    // KINDLAT line per requested kind (quantiles in µs, bucket upper
+    // bounds).
+    println!(
+        "RESULT mode=local offered={offered} accepted={accepted} rejected={rejected} \
+         shed={shed} requeued={} completed={completed} throughput_jps={:.1}",
+        m.jobs_requeued(),
+        completed as f64 / drained_elapsed.as_secs_f64(),
+    );
+    for kind in JobKind::ALL {
+        let h = m.latency_of(kind);
+        if let Some(q) = h.summary(&[0.5, 0.99]) {
+            println!(
+                "KINDLAT kind={} count={} p50_us={} p99_us={} max_us={}",
+                kind.as_str(),
+                h.count(),
+                q[0],
+                q[1],
+                h.max(),
+            );
+        }
+    }
     println!(
         "completed {completed} in {:.2}s ({:.0}/s) | {} oracle queries | \
          latency mean {:.1}ms p50 {} p99 {}",
@@ -533,4 +649,213 @@ fn main() {
     println!("\n--- metrics export ---");
     print!("{}", service.metrics_text());
     service.shutdown();
+}
+
+/// One completed wire round-trip, as seen by a connection's reader.
+struct WireReply {
+    client_id: u64,
+    shed: bool,
+    failed: bool,
+    received_at: Instant,
+}
+
+/// What one connection observed end to end.
+struct ConnOutcome {
+    offered: u64,
+    replies: Vec<WireReply>,
+    sent_at: Vec<Instant>,
+    kinds: Vec<JobKind>,
+    metrics_text: Option<String>,
+}
+
+/// Drives a remote `revmatch-server` over `--connections` sockets with
+/// the same open-loop schedule as in-process mode: arrival `i` is due at
+/// `start + i/rate` and goes out on connection `i % connections`. Every
+/// submit gets exactly one report back (admission sheds resolve to an
+/// `Err(Overloaded)` report), so `offered == completed + shed` holds by
+/// protocol; the function asserts it and prints the same RESULT/KINDLAT
+/// machine lines as local mode.
+fn run_connect_mode(
+    addr: &str,
+    connections: usize,
+    rate: f64,
+    duration: Duration,
+    pool: &[JobSpec],
+) {
+    println!("loadgen: connecting {connections} streams to {addr}");
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for conn in 0..connections {
+        let addr = addr.to_string();
+        let pool: Vec<JobSpec> = pool.to_vec();
+        workers.push(std::thread::spawn(move || -> ConnOutcome {
+            let stream = TcpStream::connect(&addr)
+                .unwrap_or_else(|e| usage_error(&format!("--connect {addr}: {e}")));
+            stream.set_nodelay(true).ok();
+            let read_half = stream.try_clone().expect("clone stream");
+            let reader_addr = addr.clone();
+            let reader = std::thread::spawn(move || {
+                let mut input = BufReader::new(read_half);
+                let mut replies = Vec::new();
+                let mut metrics_text = None;
+                loop {
+                    match read_server_frame(&mut input) {
+                        Ok(Some(ServerFrame::Report { client_id, report })) => {
+                            replies.push(WireReply {
+                                client_id,
+                                shed: matches!(report.witness, Err(MatchError::Overloaded)),
+                                failed: report.witness.is_err()
+                                    && !matches!(report.witness, Err(MatchError::Overloaded)),
+                                received_at: Instant::now(),
+                            });
+                        }
+                        Ok(Some(ServerFrame::MetricsText(text))) => metrics_text = Some(text),
+                        Ok(None) => break,
+                        Err(e) => {
+                            eprintln!("loadgen: {reader_addr}: protocol error: {e}");
+                            break;
+                        }
+                    }
+                }
+                (replies, metrics_text)
+            });
+
+            // Open loop over this connection's share of the schedule:
+            // arrival i goes out at start + i*interval for
+            // i ≡ conn (mod connections).
+            let mut out = BufWriter::new(stream.try_clone().expect("clone stream"));
+            let mut offered = 0u64;
+            let mut sent_at = Vec::new();
+            let mut kinds = Vec::new();
+            let mut i = conn as u64;
+            loop {
+                let due = start + interval.mul_f64(i as f64);
+                let now = Instant::now();
+                if now.duration_since(start) >= duration {
+                    break;
+                }
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let job = pool[i as usize % pool.len()].clone();
+                kinds.push(job.kind());
+                let frame = ClientFrame::Submit {
+                    client_id: offered,
+                    seed: None,
+                    job,
+                };
+                sent_at.push(Instant::now());
+                if write_client_frame(&mut out, &frame)
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    eprintln!("loadgen: {addr}: write failed, stopping this connection");
+                    break;
+                }
+                offered += 1;
+                i += connections as u64;
+            }
+            // Connection 0 also grabs one metrics snapshot before the
+            // half-close, so the run can assert on server counters.
+            if conn == 0 {
+                let _ = write_client_frame(&mut out, &ClientFrame::MetricsRequest)
+                    .and_then(|()| out.flush());
+            }
+            // Half-close: the server reader sees EOF, finishes every
+            // accepted job, flushes the reports, then closes its side.
+            let _ = out.flush();
+            drop(out);
+            let _ = stream.shutdown(Shutdown::Write);
+            let (replies, metrics_text) = reader.join().expect("reader thread");
+            ConnOutcome {
+                offered,
+                replies,
+                sent_at,
+                kinds,
+                metrics_text,
+            }
+        }));
+    }
+
+    let outcomes: Vec<ConnOutcome> = workers
+        .into_iter()
+        .map(|w| w.join().expect("connection thread"))
+        .collect();
+    let elapsed = start.elapsed();
+
+    let offered: u64 = outcomes.iter().map(|o| o.offered).sum();
+    let replies: u64 = outcomes.iter().map(|o| o.replies.len() as u64).sum();
+    let shed: u64 = outcomes
+        .iter()
+        .map(|o| o.replies.iter().filter(|r| r.shed).count() as u64)
+        .sum();
+    let failed: u64 = outcomes
+        .iter()
+        .map(|o| o.replies.iter().filter(|r| r.failed).count() as u64)
+        .sum();
+    let completed = replies - shed;
+    assert_eq!(
+        offered, replies,
+        "every submitted job must come back as exactly one report"
+    );
+
+    // Client-observed submit→report latency per kind (exact, not
+    // bucketed: the client holds both timestamps).
+    let mut latencies: HashMap<JobKind, Vec<u64>> = HashMap::new();
+    for o in &outcomes {
+        for r in &o.replies {
+            if r.shed {
+                continue;
+            }
+            let idx = r.client_id as usize;
+            let us = r
+                .received_at
+                .saturating_duration_since(o.sent_at[idx])
+                .as_micros() as u64;
+            latencies.entry(o.kinds[idx]).or_default().push(us);
+        }
+    }
+
+    println!(
+        "\noffered {offered} over {connections} connections in {:.2}s | \
+         completed {completed} | shed {shed} | failed {failed}",
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "RESULT mode=connect offered={offered} completed={completed} shed={shed} \
+         failed={failed} throughput_jps={:.1}",
+        completed as f64 / elapsed.as_secs_f64(),
+    );
+    let quantile = |sorted: &[u64], q: f64| -> u64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    for kind in JobKind::ALL {
+        let Some(samples) = latencies.get_mut(&kind) else {
+            continue;
+        };
+        samples.sort_unstable();
+        println!(
+            "KINDLAT kind={} count={} p50_us={} p99_us={} max_us={}",
+            kind.as_str(),
+            samples.len(),
+            quantile(samples, 0.5),
+            quantile(samples, 0.99),
+            samples[samples.len() - 1],
+        );
+    }
+    if let Some(text) = outcomes.iter().find_map(|o| o.metrics_text.as_deref()) {
+        println!("\n--- server metrics (admission & totals) ---");
+        for line in text.lines().filter(|l| {
+            !l.starts_with('#')
+                && (l.contains("revmatch_admission")
+                    || l.contains("revmatch_jobs_submitted_total")
+                    || l.contains("revmatch_jobs_completed_total")
+                    || l.contains("revmatch_rebalance")
+                    || l.contains("revmatch_workers_lost_total"))
+        }) {
+            println!("{line}");
+        }
+    }
 }

@@ -327,7 +327,7 @@ impl From<EnumerateJob> for JobSpec {
 }
 
 /// Result of one job, uniform across every [`JobSpec`] kind.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct JobReport {
     /// Which job family produced this report.
     pub kind: JobKind,

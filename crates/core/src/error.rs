@@ -71,6 +71,17 @@ pub enum MatchError {
         /// What failed to parse and why.
         reason: String,
     },
+    /// The worker executing this job died mid-flight (a panic inside the
+    /// execute path). The service converts the loss into this clean
+    /// report instead of propagating the panic into the waiter — over a
+    /// network connection the difference is an error frame versus a
+    /// dropped connection.
+    WorkerLost,
+    /// The service shed this job under overload: its estimated cost was
+    /// too high to admit while the backlog exceeded the admission
+    /// controller's threshold. The job was never executed; resubmit when
+    /// the `revmatch_admission_shed_total` rate falls.
+    Overloaded,
     /// An underlying circuit operation failed.
     Circuit(CircuitError),
     /// An underlying quantum operation failed.
@@ -110,6 +121,12 @@ impl fmt::Display for MatchError {
                 write!(f, "no equivalence class explains the pair")
             }
             Self::Parse { reason } => write!(f, "parse error: {reason}"),
+            Self::WorkerLost => {
+                write!(f, "worker thread lost mid-job (panic in the execute path)")
+            }
+            Self::Overloaded => {
+                write!(f, "job shed by admission control under overload")
+            }
             Self::Circuit(e) => write!(f, "circuit error: {e}"),
             Self::Quantum(e) => write!(f, "quantum error: {e}"),
         }

@@ -124,6 +124,7 @@ pub mod oracle;
 pub mod promise;
 pub mod service;
 pub mod verify;
+pub mod wire;
 pub mod witness;
 
 pub use engine::{
@@ -168,10 +169,14 @@ pub use oracle::{
 pub use promise::{random_instance, random_instance_from, random_wide_instance, PromiseInstance};
 pub use revmatch_sat::{SatOptions, SolverBackend};
 pub use service::{
-    job_seed, Histogram, JobTicket, MatchService, Metrics, ServiceConfig, SubmitOutcome,
-    DEFAULT_MITER_BUDGET,
+    job_seed, AdmissionConfig, Histogram, JobTicket, MatchService, Metrics, RebalanceConfig,
+    RebalanceMove, ServiceConfig, SubmitOutcome, DEFAULT_MITER_BUDGET,
 };
 pub use verify::{check_witness, VerifyMode};
+pub use wire::{
+    read_client_frame, read_server_frame, write_client_frame, write_server_frame, ClientFrame,
+    ServerFrame, WireError, MAX_FRAME_LEN,
+};
 pub use witness::MatchWitness;
 
 #[cfg(test)]

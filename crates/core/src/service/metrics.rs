@@ -39,6 +39,9 @@ pub struct Histogram {
     sum: AtomicU64,
     count: AtomicU64,
     max: AtomicU64,
+    /// Smallest sample observed; `u64::MAX` while empty so the first
+    /// `fetch_min` wins unconditionally.
+    min: AtomicU64,
 }
 
 impl Histogram {
@@ -54,6 +57,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -66,6 +70,7 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
     }
 
     /// Total number of samples.
@@ -83,15 +88,30 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// The smallest sample observed (0 when empty).
+    pub fn min(&self) -> u64 {
+        let min = self.min.load(Ordering::Relaxed);
+        if min == u64::MAX {
+            0
+        } else {
+            min
+        }
+    }
+
     /// Upper bound of the bucket holding the `q`-quantile sample
-    /// (`0 < q <= 1`), or `None` when the histogram is empty. Samples
-    /// past the last bound report the **observed maximum** — the old
-    /// `u64::MAX` sentinel forced every consumer to special-case the
-    /// edge and printed as garbage when one forgot.
+    /// (`0 <= q <= 1`), or `None` when the histogram is empty. `q = 0.0`
+    /// reports the **observed minimum** — the rank used to be clamped to
+    /// 1, which silently turned "minimum" into "first occupied bucket's
+    /// upper bound". Samples past the last bound report the **observed
+    /// maximum** — the old `u64::MAX` sentinel forced every consumer to
+    /// special-case the edge and printed as garbage when one forgot.
     pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
         let count = self.count();
         if count == 0 {
             return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min());
         }
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
@@ -164,6 +184,25 @@ impl Histogram {
     }
 }
 
+/// Escapes a label *value* per the Prometheus text exposition format:
+/// backslash, double-quote and newline must be written as `\\`, `\"` and
+/// `\n` inside the quoted value, or the emitted series is unparseable.
+/// Static label values in this registry are already clean; the dynamic
+/// ones (registry entry names, dispatch-resolved kernel/backend/option
+/// labels) pass through here on every render.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Latency bucket bounds in microseconds: 50 µs … ~52 s, doubling.
 fn latency_bounds() -> Vec<u64> {
     (0..21).map(|i| 50u64 << i).collect()
@@ -193,6 +232,14 @@ pub struct Metrics {
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// Jobs shed by admission control under overload (never executed).
+    admission_shed: AtomicU64,
+    /// Jobs deferred (re-queued) by admission control under overload.
+    admission_requeued: AtomicU64,
+    /// Lane moves performed by the shard rebalancer.
+    rebalance_moves: AtomicU64,
+    /// Worker panics converted into `WorkerLost` reports.
+    worker_lost: AtomicU64,
     queries: AtomicU64,
     sat_verified: AtomicU64,
     sat_unknown: AtomicU64,
@@ -255,6 +302,10 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            admission_shed: AtomicU64::new(0),
+            admission_requeued: AtomicU64::new(0),
+            rebalance_moves: AtomicU64::new(0),
+            worker_lost: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             sat_verified: AtomicU64::new(0),
             sat_unknown: AtomicU64::new(0),
@@ -297,6 +348,43 @@ impl Metrics {
 
     pub(crate) fn record_reject(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job shed by admission control (rejected for cost under
+    /// overload, never executed).
+    pub(crate) fn record_admission_shed(&self) {
+        self.admission_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job deferred by admission control: accepted, but parked
+    /// in the deferral buffer until the backlog drains.
+    pub(crate) fn record_admission_requeued(&self) {
+        self.admission_requeued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job accepted straight into the deferral buffer: it is
+    /// submitted (its ticket will resolve) but sits in no lane yet, so
+    /// the depth gauges move only at re-injection.
+    pub(crate) fn record_defer_accept(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-entry of a deferred job into an intake lane: only the depth
+    /// gauge moves — the job was already counted submitted when it was
+    /// first accepted (at deferral time).
+    pub(crate) fn record_requeue_accept(&self, shard: usize, depth_after: usize) {
+        self.shard_depth[shard].store(depth_after as u64, Ordering::Relaxed);
+        self.intake_depth.observe(depth_after as u64);
+    }
+
+    /// Counts one lane move performed by the shard rebalancer.
+    pub(crate) fn record_rebalance_move(&self) {
+        self.rebalance_moves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one worker panic converted into a `WorkerLost` report.
+    pub(crate) fn record_worker_lost(&self) {
+        self.worker_lost.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Called from the queue's `on_pop` hook (under the lane lock), so
@@ -428,6 +516,26 @@ impl Metrics {
     /// Jobs rejected with `QueueFull`.
     pub fn jobs_rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs shed by admission control under overload.
+    pub fn jobs_shed(&self) -> u64 {
+        self.admission_shed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs deferred (re-queued) by admission control under overload.
+    pub fn jobs_requeued(&self) -> u64 {
+        self.admission_requeued.load(Ordering::Relaxed)
+    }
+
+    /// Lane moves performed by the shard rebalancer.
+    pub fn rebalance_moves(&self) -> u64 {
+        self.rebalance_moves.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics converted into `WorkerLost` reports.
+    pub fn workers_lost(&self) -> u64 {
+        self.worker_lost.load(Ordering::Relaxed)
     }
 
     /// Jobs fully executed (their ticket is resolved).
@@ -610,6 +718,26 @@ impl Metrics {
                 self.jobs_completed(),
             ),
             (
+                "revmatch_admission_shed_total",
+                "Jobs shed by admission control under overload (never executed).",
+                self.jobs_shed(),
+            ),
+            (
+                "revmatch_admission_requeued_total",
+                "Jobs deferred by admission control until the backlog drained.",
+                self.jobs_requeued(),
+            ),
+            (
+                "revmatch_rebalance_moves_total",
+                "Lane moves performed by the shard rebalancer.",
+                self.rebalance_moves(),
+            ),
+            (
+                "revmatch_worker_lost_total",
+                "Worker panics converted into WorkerLost job reports.",
+                self.workers_lost(),
+            ),
+            (
                 "revmatch_jobs_failed_total",
                 "Completed jobs whose matcher returned an error.",
                 self.jobs_failed(),
@@ -694,7 +822,7 @@ impl Metrics {
             );
             let _ = writeln!(out, "# TYPE {name} counter");
             for (entry, count) in entries {
-                let _ = writeln!(out, "{name}{{entry=\"{entry}\"}} {count}");
+                let _ = writeln!(out, "{name}{{entry=\"{}\"}} {count}", escape_label(entry));
             }
         }
         let _ = writeln!(
@@ -845,7 +973,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "{name}{{kernel=\"{}\"}} 1",
-            revmatch_circuit::active_kernel_name()
+            escape_label(revmatch_circuit::active_kernel_name())
         );
         // The quantum backend selection mode, mirroring the kernel gauge:
         // a forced backend's name, or "auto" under per-algorithm policy.
@@ -858,7 +986,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "{name}{{backend=\"{}\"}} 1",
-            revmatch_quantum::active_quantum_backend_name()
+            escape_label(revmatch_quantum::active_quantum_backend_name())
         );
         // The process-wide SAT feature set (lbd/inproc/xor), mirroring
         // the kernel gauge: override > REVMATCH_SAT_OPTS env > all.
@@ -871,7 +999,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "{name}{{opts=\"{}\"}} 1",
-            revmatch_sat::active_sat_opts_label()
+            escape_label(&revmatch_sat::active_sat_opts_label())
         );
         out
     }
@@ -933,6 +1061,47 @@ mod tests {
     }
 
     #[test]
+    fn quantile_zero_reports_the_observed_minimum() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        // Empty histogram: every quantile (including the edges) is None.
+        assert_eq!(h.quantile_upper_bound(0.0), None);
+        assert_eq!(h.quantile_upper_bound(1.0), None);
+        for v in [7, 50, 5000] {
+            h.observe(v);
+        }
+        // q=0 is the observed minimum, not the first occupied bucket's
+        // upper bound (10) the old max(1) rank clamp reported.
+        assert_eq!(h.quantile_upper_bound(0.0), Some(7));
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.quantile_upper_bound(1.0), Some(5000));
+        // A negative q clamps to the minimum too instead of panicking.
+        assert_eq!(h.quantile_upper_bound(-0.5), Some(7));
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        assert_eq!(escape_label("plain-name"), "plain-name");
+        assert_eq!(
+            escape_label("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd",
+            "backslash, quote and newline must be escaped"
+        );
+        let m = Metrics::new(1);
+        m.record_entry_completion("bad\\entry\"with\nnoise");
+        let text = m.render();
+        assert!(
+            text.contains(
+                "revmatch_registry_entry_jobs_total{entry=\"bad\\\\entry\\\"with\\nnoise\"} 1"
+            ),
+            "escaped entry series missing:\n{text}"
+        );
+        assert!(
+            !text.contains("with\nnoise"),
+            "raw newline leaked into a label"
+        );
+    }
+
+    #[test]
     fn render_includes_every_family() {
         let m = Metrics::new(2);
         m.record_accept(1, 3);
@@ -952,11 +1121,19 @@ mod tests {
         m.record_execution(0, 1); // shard 0 steals from lane 1
         m.record_shard_busy(0, 250);
         m.record_shard_idle(1, 1_000);
+        m.record_admission_shed();
+        m.record_admission_requeued();
+        m.record_rebalance_move();
+        m.record_worker_lost();
         let text = m.render();
         for needle in [
             "revmatch_jobs_submitted_total 1",
             "revmatch_jobs_rejected_total 1",
             "revmatch_jobs_completed_total 2",
+            "revmatch_admission_shed_total 1",
+            "revmatch_admission_requeued_total 1",
+            "revmatch_rebalance_moves_total 1",
+            "revmatch_worker_lost_total 1",
             "revmatch_jobs_failed_total 1",
             "revmatch_oracle_queries_total 15",
             "revmatch_jobs_sat_verified_total 2",

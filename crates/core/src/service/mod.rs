@@ -68,15 +68,21 @@
 //! service.shutdown();
 //! ```
 
+mod admission;
 mod cache;
 mod metrics;
 mod queue;
+mod rebalance;
 
+pub use admission::AdmissionConfig;
 pub use metrics::{Histogram, Metrics};
+pub use rebalance::{RebalanceConfig, RebalanceMove};
 
+use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -88,6 +94,7 @@ use crate::engine::{
     QuantumPathJob, SatEquivalenceJob,
 };
 use crate::enumerate::{sweep_family, sweep_family_dpll, FamilyMiter, WitnessFamily};
+use crate::equivalence::Equivalence;
 use crate::error::MatchError;
 use crate::identify::{identify_equivalence_with_oracles, IdentifyOptions};
 use crate::matchers::{
@@ -98,8 +105,10 @@ use crate::observe::{Detail, JobTiming, SpanRecord, Stage, TraceConfig, Tracer};
 use crate::oracle::Oracle;
 use crate::verify::VerifyMode;
 use crate::witness::MatchWitness;
+use admission::Admission;
 use cache::ShardCaches;
 use queue::ShardedQueue;
+use rebalance::{LaneHeat, RebalanceState};
 
 /// SplitMix64 increment used to whiten per-job seed indices; shared with
 /// [`crate::engine`] so both paths derive identical seeds.
@@ -152,6 +161,14 @@ pub struct ServiceConfig {
     /// ([`TraceConfig::from_env`]), and unset means off — an untraced
     /// service allocates no recorder at all.
     pub trace: TraceConfig,
+    /// Cost-aware admission control ([`AdmissionConfig`]); `None` (the
+    /// default) admits every job FIFO exactly as before.
+    pub admission: Option<AdmissionConfig>,
+    /// Test-only fault injection: when set, a worker panics before
+    /// executing any job whose accept index the predicate selects —
+    /// exercising the `MatchError::WorkerLost` recovery path.
+    #[doc(hidden)]
+    pub panic_inject: Option<fn(u64) -> bool>,
 }
 
 /// Default per-verification search budget: generous enough for complete
@@ -173,6 +190,8 @@ impl Default for ServiceConfig {
             miter_budget: DEFAULT_MITER_BUDGET,
             sat_opts: SatOptions::active(),
             trace: TraceConfig::from_env(),
+            admission: None,
+            panic_inject: None,
         }
     }
 }
@@ -257,6 +276,26 @@ impl ServiceConfig {
         self.matcher.quantum_backend = Some(backend);
         self
     }
+
+    /// Enables cost-aware admission control: under overload (estimated
+    /// queued work above [`AdmissionConfig::overload_us`]), expensive
+    /// jobs are deferred or shed ([`SubmitOutcome::Shed`]) instead of
+    /// FIFO-blocking cheap ones. Off by default.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Test-only: makes a worker panic before executing any job whose
+    /// accept index the predicate selects (see
+    /// [`MatchError::WorkerLost`]).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_panic_injection(mut self, inject: fn(u64) -> bool) -> Self {
+        self.panic_inject = Some(inject);
+        self
+    }
 }
 
 /// State shared between a ticket and the worker resolving it.
@@ -285,17 +324,36 @@ impl JobTicket {
 
     /// Whether the job has finished (its report is ready).
     pub fn is_done(&self) -> bool {
-        self.state.slot.lock().expect("ticket lock").is_some()
+        // Poison-tolerant: a worker that panicked between taking the
+        // ticket lock and storing the report leaves the slot empty but
+        // consistent — the WorkerLost recovery path fills it afterwards.
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
     }
 
-    /// Blocks until the job completes and returns its report.
+    /// Blocks until the job completes and returns its report. Never
+    /// panics on a poisoned ticket: if the executing worker died
+    /// mid-job, the service resolves the ticket with a clean
+    /// [`MatchError::WorkerLost`] report instead of propagating the
+    /// worker's panic into the waiter.
     pub fn wait(self) -> JobReport {
-        let mut slot = self.state.slot.lock().expect("ticket lock");
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(report) = slot.take() {
                 return report;
             }
-            slot = self.state.done.wait(slot).expect("ticket wait");
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -308,6 +366,11 @@ pub enum SubmitOutcome {
     Enqueued(JobTicket),
     /// Every intake lane is full; the job is returned untouched.
     QueueFull(JobSpec),
+    /// Admission control shed the job: the service is overloaded, the
+    /// job's estimated cost is above the expensive threshold, and the
+    /// deferral buffer is full. The job is returned untouched; only
+    /// services started [`ServiceConfig::with_admission`] produce this.
+    Shed(JobSpec),
 }
 
 impl SubmitOutcome {
@@ -320,7 +383,7 @@ impl SubmitOutcome {
     pub fn ticket(self) -> Option<JobTicket> {
         match self {
             Self::Enqueued(t) => Some(t),
-            Self::QueueFull(_) => None,
+            Self::QueueFull(_) | Self::Shed(_) => None,
         }
     }
 }
@@ -334,7 +397,18 @@ struct Request {
     job: JobSpec,
     seed: u64,
     accepted_at: Instant,
+    /// Admission-control cost estimate stamped at submit (0 with
+    /// admission off); the backlog gauge moves by exactly this amount at
+    /// enqueue and dequeue so it balances even as the model recalibrates.
+    cost_us: u64,
     ticket: Arc<TicketState>,
+}
+
+/// The affinity-routing key: jobs sharing it land on the same shard.
+type RouteKey = (usize, JobKind, Option<Equivalence>);
+
+fn route_key(job: &JobSpec) -> RouteKey {
+    (job.width(), job.kind(), job.equivalence())
 }
 
 /// Per-job observation state threaded through the `execute_*` paths: the
@@ -382,6 +456,20 @@ struct Shared {
     /// Span recorder; `None` when tracing is off, so the cold path costs
     /// one pointer check per job.
     tracer: Option<Tracer>,
+    /// Cost-aware admission controller; `None` (the default) is the
+    /// plain FIFO intake.
+    admission: Option<Admission>,
+    /// Rebalancer route overrides: keys present here route to the mapped
+    /// shard instead of their hash. Read per submit, written only inside
+    /// a pause window.
+    routes: RwLock<HashMap<RouteKey, usize>>,
+    /// Per-key execution heat since the last rebalance move.
+    heat: Mutex<HashMap<RouteKey, LaneHeat>>,
+    /// Rebalancer window snapshots (see [`rebalance`]).
+    rebalancer: Mutex<RebalanceState>,
+    /// Test-only worker fault injection (see
+    /// [`ServiceConfig::with_panic_injection`]).
+    panic_inject: Option<fn(u64) -> bool>,
     /// Accepted-but-unfinished jobs, with a condvar for [`MatchService::drain`].
     in_flight: Mutex<usize>,
     idle: Condvar,
@@ -851,104 +939,246 @@ impl Shared {
         verdict
     }
 
-    /// Worker main loop for shard `shard`: pop, time every lifecycle
-    /// stage, execute, stamp the report's [`JobTiming`], resolve the
-    /// ticket, and (for sampled jobs) emit the `queue_wait → dequeue →
-    /// execute → report` spans. Timing measurement is unconditional — a
-    /// handful of `Instant` reads per job — so every report carries its
-    /// breakdown even with tracing off; only span *recording* is gated.
+    /// The in-flight counter, tolerating poison: a worker panic between
+    /// lock and unlock never wedges `drain` or the submit paths (the
+    /// count itself is updated before/after the unwind-prone sections).
+    fn lock_in_flight(&self) -> MutexGuard<'_, usize> {
+        self.in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The static affinity route for a key (hash modulo shard count).
+    fn default_route(&self, key: &RouteKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.0.hash(&mut h);
+        key.1.hash(&mut h);
+        key.2.hash(&mut h);
+        (h.finish() % self.intake.shards() as u64) as usize
+    }
+
+    /// The preferred shard for a key: a rebalancer override when one
+    /// exists, the static hash otherwise.
+    fn route_of(&self, key: &RouteKey) -> usize {
+        let routes = self.routes.read().unwrap_or_else(PoisonError::into_inner);
+        routes
+            .get(key)
+            .copied()
+            .unwrap_or_else(|| self.default_route(key))
+    }
+
+    /// Accumulates one completed job into the per-key heat table the
+    /// rebalancer ranks lanes by.
+    fn note_heat(&self, key: RouteKey, exec_us: u64) {
+        let mut heat = self.heat.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = heat.entry(key).or_default();
+        entry.jobs += 1;
+        entry.exec_us += exec_us;
+    }
+
+    /// Moves deferred jobs back into the intake once the backlog has
+    /// drained below the low-water mark. Runs at the top of every worker
+    /// iteration — the workers that drained the backlog are exactly the
+    /// ones with capacity for the parked expensive work.
+    fn reinject_deferred(&self, shard: usize) {
+        let Some(adm) = &self.admission else { return };
+        while adm.below_low_water() {
+            let Some(req) = adm.pop_deferred() else {
+                return;
+            };
+            let metrics = &self.metrics;
+            match self.intake.try_push(shard, req, |req, lane, depth| {
+                req.accepted_at = Instant::now();
+                metrics.record_requeue_accept(lane, depth);
+                adm.note_enqueued(req.cost_us);
+            }) {
+                Ok(_) => {}
+                Err(req) => {
+                    // Every lane is full; keep the job parked and let
+                    // this worker chew on the queue instead.
+                    adm.push_front_deferred(req);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Worker main loop for shard `shard`: re-inject deferred work, pop,
+    /// and process until the intake closes and drains; then execute any
+    /// jobs still parked in the deferral buffer inline so shutdown
+    /// resolves every outstanding ticket.
     fn run_worker(&self, shard: usize) {
         let mut caches = ShardCaches::new(self.sat_opts);
         let mut idle_since = Instant::now();
-        while let Some((req, lane)) = self.intake.pop(shard, |lane, depth| {
-            self.metrics.record_dequeue(lane, depth)
-        }) {
-            let dequeued_at = Instant::now();
-            self.metrics.record_shard_idle(
-                shard,
-                dequeued_at
-                    .saturating_duration_since(idle_since)
-                    .as_micros() as u64,
-            );
-            self.metrics.record_execution(shard, lane);
-            let accepted_at = req.accepted_at;
-            let queue_wait = dequeued_at.saturating_duration_since(accepted_at);
-            let kind = req.job.kind();
-            let traced = self.tracer.as_ref().is_some_and(|t| t.traced(req.id));
-            let mut obs = JobObs::new(req.id, shard, traced);
-            let exec_start = Instant::now();
-            let mut report = self.execute(req.job, req.seed, &mut caches, &mut obs);
-            let exec_dur = exec_start.elapsed();
-            report.timing = JobTiming {
-                queue_wait_us: queue_wait.as_micros() as u64,
-                exec_us: exec_dur.as_micros() as u64,
-                cache_hit: obs.cache_hit,
+        loop {
+            self.reinject_deferred(shard);
+            let Some((req, lane)) = self.intake.pop(shard, |lane, depth| {
+                self.metrics.record_dequeue(lane, depth)
+            }) else {
+                break;
             };
-            self.metrics.record_stage_timing(
-                kind,
-                report.timing.queue_wait_us,
-                report.timing.exec_us,
-            );
-            let latency = accepted_at.elapsed().as_micros() as u64;
-            let failed = job_failed(&report);
-            self.metrics
-                .record_completion(report.kind, failed, report.queries, latency);
-            let report_start = Instant::now();
-            *req.ticket.slot.lock().expect("ticket lock") = Some(report);
-            req.ticket.done.notify_all();
-            // Spans land before the in-flight count drops so a
-            // `drain()` returning implies every completed job's spans
-            // are already in the rings — `trace_spans` after a drain is
-            // a consistent cut.
-            if traced {
-                if let Some(tracer) = &self.tracer {
-                    let d = Detail::NONE;
-                    tracer.record(shard, req.id, Stage::QueueWait, kind, d, accepted_at, {
-                        queue_wait
-                    });
-                    tracer.record(
-                        shard,
-                        req.id,
-                        Stage::Dequeue,
-                        kind,
-                        d,
-                        dequeued_at,
-                        exec_start.saturating_duration_since(dequeued_at),
-                    );
-                    tracer.record(
-                        shard,
-                        req.id,
-                        Stage::Execute,
-                        kind,
-                        obs.detail,
-                        exec_start,
-                        exec_dur,
-                    );
-                    tracer.record(
-                        shard,
-                        req.id,
-                        Stage::Report,
-                        kind,
-                        d,
-                        report_start,
-                        report_start.elapsed(),
-                    );
+            if let Some(adm) = &self.admission {
+                adm.note_dequeued(req.cost_us);
+            }
+            self.process_request(req, lane, shard, &mut caches, &mut idle_since);
+        }
+        while let Some(req) = self.admission.as_ref().and_then(Admission::pop_deferred) {
+            self.process_request(req, shard, shard, &mut caches, &mut idle_since);
+        }
+    }
+
+    /// Processes one dequeued request: time every lifecycle stage,
+    /// execute, stamp the report's [`JobTiming`], resolve the ticket, and
+    /// (for sampled jobs) emit the `queue_wait → dequeue → execute →
+    /// report` spans. Timing measurement is unconditional — a handful of
+    /// `Instant` reads per job — so every report carries its breakdown
+    /// even with tracing off; only span *recording* is gated.
+    ///
+    /// The execute path runs under `catch_unwind`: a panic inside a
+    /// matcher (or the test-only injection hook) becomes a clean
+    /// [`MatchError::WorkerLost`] report on this job's ticket instead of
+    /// killing the shard and poisoning the ticket mutex for the waiter.
+    fn process_request(
+        &self,
+        req: Request,
+        lane: usize,
+        shard: usize,
+        caches: &mut ShardCaches,
+        idle_since: &mut Instant,
+    ) {
+        let dequeued_at = Instant::now();
+        self.metrics.record_shard_idle(
+            shard,
+            dequeued_at
+                .saturating_duration_since(*idle_since)
+                .as_micros() as u64,
+        );
+        self.metrics.record_execution(shard, lane);
+        let Request {
+            id,
+            job,
+            seed,
+            accepted_at,
+            cost_us: _,
+            ticket,
+        } = req;
+        let queue_wait = dequeued_at.saturating_duration_since(accepted_at);
+        let kind = job.kind();
+        let key = route_key(&job);
+        let traced = self.tracer.as_ref().is_some_and(|t| t.traced(id));
+        let mut obs = JobObs::new(id, shard, traced);
+        let exec_start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inject) = self.panic_inject {
+                if inject(id) {
+                    panic!("injected worker panic (job {id})");
                 }
             }
-            let mut in_flight = self.in_flight.lock().expect("in_flight lock");
-            *in_flight -= 1;
-            if *in_flight == 0 {
-                self.idle.notify_all();
+            self.execute(job, seed, caches, &mut obs)
+        }));
+        let exec_dur = exec_start.elapsed();
+        let (mut report, lost) = match outcome {
+            Ok(report) => (report, false),
+            Err(_) => {
+                // The unwind may have left the worker's memoization
+                // state (dense tables, miter solvers) mid-mutation —
+                // rebuild it rather than trust it.
+                *caches = ShardCaches::new(self.sat_opts);
+                self.metrics.record_worker_lost();
+                (worker_lost_report(kind), true)
             }
-            drop(in_flight);
-            idle_since = Instant::now();
-            self.metrics.record_shard_busy(
-                shard,
-                idle_since
-                    .saturating_duration_since(dequeued_at)
-                    .as_micros() as u64,
-            );
+        };
+        report.timing = JobTiming {
+            queue_wait_us: queue_wait.as_micros() as u64,
+            exec_us: exec_dur.as_micros() as u64,
+            cache_hit: obs.cache_hit,
+        };
+        self.metrics
+            .record_stage_timing(kind, report.timing.queue_wait_us, report.timing.exec_us);
+        if !lost {
+            // Calibrate the admission cost model with the measured
+            // execute time (panicked jobs would skew it toward zero).
+            if let Some(adm) = &self.admission {
+                adm.observe(kind, key.0, report.timing.exec_us);
+            }
         }
+        self.note_heat(key, report.timing.exec_us);
+        let latency = accepted_at.elapsed().as_micros() as u64;
+        let failed = job_failed(&report);
+        self.metrics
+            .record_completion(report.kind, failed, report.queries, latency);
+        let report_start = Instant::now();
+        *ticket.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+        ticket.done.notify_all();
+        // Spans land before the in-flight count drops so a
+        // `drain()` returning implies every completed job's spans
+        // are already in the rings — `trace_spans` after a drain is
+        // a consistent cut.
+        if traced {
+            if let Some(tracer) = &self.tracer {
+                let d = Detail::NONE;
+                tracer.record(
+                    shard,
+                    id,
+                    Stage::QueueWait,
+                    kind,
+                    d,
+                    accepted_at,
+                    queue_wait,
+                );
+                tracer.record(
+                    shard,
+                    id,
+                    Stage::Dequeue,
+                    kind,
+                    d,
+                    dequeued_at,
+                    exec_start.saturating_duration_since(dequeued_at),
+                );
+                tracer.record(shard, id, Stage::Execute, kind, obs.detail, exec_start, {
+                    exec_dur
+                });
+                tracer.record(
+                    shard,
+                    id,
+                    Stage::Report,
+                    kind,
+                    d,
+                    report_start,
+                    report_start.elapsed(),
+                );
+            }
+        }
+        let mut in_flight = self.lock_in_flight();
+        *in_flight -= 1;
+        if *in_flight == 0 {
+            self.idle.notify_all();
+        }
+        drop(in_flight);
+        *idle_since = Instant::now();
+        self.metrics.record_shard_busy(
+            shard,
+            idle_since
+                .saturating_duration_since(dequeued_at)
+                .as_micros() as u64,
+        );
+    }
+}
+
+/// The clean report a job receives when its worker panicked mid-execute:
+/// the job never completed, so every result field is empty and the error
+/// is [`MatchError::WorkerLost`].
+fn worker_lost_report(kind: JobKind) -> JobReport {
+    JobReport {
+        kind,
+        witness: Err(MatchError::WorkerLost),
+        queries: 0,
+        charged_queries: 0,
+        rounds: 0,
+        identified: None,
+        witness_count: None,
+        miter: None,
+        timing: JobTiming::default(),
     }
 }
 
@@ -1019,6 +1249,11 @@ impl MatchService {
                 .trace
                 .enabled()
                 .then(|| Tracer::new(config.trace, shards)),
+            admission: config.admission.map(Admission::new),
+            routes: RwLock::new(HashMap::new()),
+            heat: Mutex::new(HashMap::new()),
+            rebalancer: Mutex::new(RebalanceState::new(shards)),
+            panic_inject: config.panic_inject,
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
         });
@@ -1082,13 +1317,43 @@ impl MatchService {
 
     /// Routes a job to its preferred shard by `(width, kind,
     /// equivalence)`, so same-shaped work of the same family lands on
-    /// the same shard and its kind-keyed caches stay hot.
+    /// the same shard and its kind-keyed caches stay hot. Rebalancer
+    /// overrides ([`Self::rebalance`]) win over the static hash.
     fn route(&self, job: &JobSpec) -> usize {
-        let mut h = DefaultHasher::new();
-        job.width().hash(&mut h);
-        job.kind().hash(&mut h);
-        job.equivalence().hash(&mut h);
-        (h.finish() % self.shards() as u64) as usize
+        self.shared.route_of(&route_key(job))
+    }
+
+    /// The shard a job would currently be routed to — the static
+    /// affinity hash, adjusted by any rebalancer lane moves. Exposed for
+    /// placement-sensitive tests and operational introspection.
+    pub fn preferred_shard(&self, job: &JobSpec) -> usize {
+        self.route(job)
+    }
+
+    /// The admission controller's current backlog estimate in µs of
+    /// queued execute time (0 with admission off).
+    pub fn admission_backlog_us(&self) -> u64 {
+        self.shared
+            .admission
+            .as_ref()
+            .map_or(0, Admission::backlog_us)
+    }
+
+    /// Jobs currently parked in the admission deferral buffer.
+    pub fn deferred_depth(&self) -> usize {
+        self.shared
+            .admission
+            .as_ref()
+            .map_or(0, Admission::deferred_len)
+    }
+
+    /// The admission cost model's current estimate for a `(kind, width)`
+    /// job in µs (the static seed estimate with admission off).
+    pub fn admission_estimate_us(&self, kind: JobKind, width: usize) -> u64 {
+        match &self.shared.admission {
+            Some(adm) => adm.estimate_us(kind, width),
+            None => 0,
+        }
     }
 
     /// Allocates the next submit index and builds the request/ticket pair.
@@ -1109,6 +1374,8 @@ impl MatchService {
                 // Provisional; re-stamped under the lane lock at the
                 // moment the request actually enters the intake.
                 accepted_at: Instant::now(),
+                // Stamped by the submit paths when admission is on.
+                cost_us: 0,
                 ticket: Arc::clone(&state),
             },
             JobTicket { id, state },
@@ -1150,12 +1417,41 @@ impl MatchService {
     fn submit_inner(&self, job: JobSpec, seed: Option<u64>) -> SubmitOutcome {
         let submit_start = Instant::now();
         let kind = job.kind();
+        let width = job.width();
         let preferred = self.route(&job);
         {
-            let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
+            let mut in_flight = self.shared.lock_in_flight();
             *in_flight += 1;
         }
-        let (request, ticket) = self.make_request(job, seed);
+        let (mut request, ticket) = self.make_request(job, seed);
+        let adm = self.shared.admission.as_ref();
+        if let Some(adm) = adm {
+            request.cost_us = adm.estimate_us(kind, width);
+            // Overload policy: an expensive job meeting a saturated
+            // backlog is parked (requeued) rather than FIFO-blocking
+            // the cheap work behind it — and shed outright when the
+            // parking buffer is full too.
+            if request.cost_us >= adm.config().expensive_us && adm.overloaded() {
+                return match adm.defer(request) {
+                    None => {
+                        self.shared.metrics.record_defer_accept();
+                        self.shared.metrics.record_admission_requeued();
+                        // If the backlog collapsed between the overload
+                        // check and the park (workers drained it and are
+                        // now blocked in pop), nobody would wake to
+                        // re-inject — close the race from this side.
+                        self.shared.reinject_deferred(preferred);
+                        self.record_submit_span(ticket.id(), kind, submit_start);
+                        SubmitOutcome::Enqueued(ticket)
+                    }
+                    Some(request) => {
+                        self.uncount_in_flight();
+                        self.shared.metrics.record_admission_shed();
+                        SubmitOutcome::Shed(request.job)
+                    }
+                };
+            }
+        }
         // The accept hook runs under the lane lock, before the job is
         // poppable: the submitted counter stays monotonic yet can never
         // trail a completion, and the accept timestamp is stamped at the
@@ -1167,21 +1463,29 @@ impl MatchService {
             .try_push(preferred, request, |req, lane, depth| {
                 req.accepted_at = Instant::now();
                 metrics.record_accept(lane, depth);
+                if let Some(adm) = adm {
+                    adm.note_enqueued(req.cost_us);
+                }
             }) {
             Ok(_) => {
                 self.record_submit_span(ticket.id(), kind, submit_start);
                 SubmitOutcome::Enqueued(ticket)
             }
             Err(request) => {
-                let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
-                *in_flight -= 1;
-                if *in_flight == 0 {
-                    self.shared.idle.notify_all();
-                }
-                drop(in_flight);
+                self.uncount_in_flight();
                 self.shared.metrics.record_reject();
                 SubmitOutcome::QueueFull(request.job)
             }
+        }
+    }
+
+    /// Reverses the in-flight increment for a job that was counted but
+    /// never entered the intake (queue-full rejection or admission shed).
+    fn uncount_in_flight(&self) {
+        let mut in_flight = self.shared.lock_in_flight();
+        *in_flight -= 1;
+        if *in_flight == 0 {
+            self.shared.idle.notify_all();
         }
     }
 
@@ -1199,12 +1503,20 @@ impl MatchService {
     fn submit_wait_inner(&self, job: JobSpec, seed: Option<u64>) -> JobTicket {
         let submit_start = Instant::now();
         let kind = job.kind();
+        let width = job.width();
         let preferred = self.route(&job);
         {
-            let mut in_flight = self.shared.in_flight.lock().expect("in_flight lock");
+            let mut in_flight = self.shared.lock_in_flight();
             *in_flight += 1;
         }
-        let (request, ticket) = self.make_request(job, seed);
+        let (mut request, ticket) = self.make_request(job, seed);
+        // A blocking submitter accepts waiting, so admission never sheds
+        // or defers it — but the job's cost still enters the backlog
+        // gauge so concurrent non-blocking submits see a true estimate.
+        let adm = self.shared.admission.as_ref();
+        if let Some(adm) = adm {
+            request.cost_us = adm.estimate_us(kind, width);
+        }
         // As in `submit_inner`: the job is only counted and timestamped
         // at the moment it actually enters a lane — time spent blocked on
         // a full intake is not billed to the job's latency.
@@ -1215,6 +1527,9 @@ impl MatchService {
             .push_wait(preferred, request, |req, lane, depth| {
                 req.accepted_at = Instant::now();
                 metrics.record_accept(lane, depth);
+                if let Some(adm) = adm {
+                    adm.note_enqueued(req.cost_us);
+                }
             }) {
             Ok(_) => {
                 self.record_submit_span(ticket.id(), kind, submit_start);
@@ -1243,6 +1558,98 @@ impl MatchService {
     /// Resumes paused workers.
     pub fn resume(&self) {
         self.shared.intake.resume();
+    }
+
+    /// One step of the adaptive shard rebalancer — see the
+    /// [`rebalance`] module docs for the policy. Call it periodically
+    /// (each call is one observation window); it returns the lane move
+    /// it performed, or `None` when the load is balanced, the imbalance
+    /// is not yet sustained, or the service has a single shard.
+    ///
+    /// A move flips the route table inside a [`Self::pause`]/`resume`
+    /// window and only redirects future submits; it never changes
+    /// results, because job seeds are placement-independent.
+    pub fn rebalance(&self, config: &RebalanceConfig) -> Option<RebalanceMove> {
+        let shards = self.shards();
+        if shards < 2 {
+            return None;
+        }
+        let metrics = &self.shared.metrics;
+        let mut state = self
+            .shared
+            .rebalancer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Window deltas against the last call's snapshots.
+        let mut stolen = vec![0u64; shards];
+        let mut idle = vec![0u64; shards];
+        for shard in 0..shards {
+            let s = metrics.shard_stolen_from(shard);
+            let i = metrics.shard_idle_micros(shard);
+            stolen[shard] = s.saturating_sub(state.last_stolen_from[shard]);
+            idle[shard] = i.saturating_sub(state.last_idle_us[shard]);
+            state.last_stolen_from[shard] = s;
+            state.last_idle_us[shard] = i;
+        }
+        let victim = (0..shards).max_by_key(|&s| stolen[s])?;
+        if stolen[victim] < config.min_steals {
+            state.streak_shard = None;
+            state.streak = 0;
+            return None;
+        }
+        if state.streak_shard == Some(victim) {
+            state.streak += 1;
+        } else {
+            state.streak_shard = Some(victim);
+            state.streak = 1;
+        }
+        if state.streak < config.sustain {
+            return None;
+        }
+        state.streak_shard = None;
+        state.streak = 0;
+        drop(state);
+        // The shard that idled most this window has spare capacity.
+        let beneficiary = (0..shards)
+            .filter(|&s| s != victim)
+            .max_by_key(|&s| idle[s])?;
+        // Move the victim's hottest lane (most execute-µs accumulated
+        // since the last move among keys currently routed to it).
+        let key = {
+            let heat = self
+                .shared
+                .heat
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            heat.iter()
+                .filter(|(k, _)| self.shared.route_of(k) == victim)
+                .max_by_key(|(_, h)| h.exec_us)
+                .map(|(k, _)| *k)?
+        };
+        // Flip the route inside a pause window: no worker is mid-pop
+        // while the table changes, so a lane's jobs never interleave
+        // between two preferred shards within one submit burst.
+        self.pause();
+        self.shared
+            .routes
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, beneficiary);
+        self.resume();
+        self.shared.metrics.record_rebalance_move();
+        // Heat restarts from zero so the next move ranks fresh traffic.
+        self.shared
+            .heat
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        Some(RebalanceMove {
+            width: key.0,
+            kind: key.1,
+            equivalence: key.2,
+            from: victim,
+            to: beneficiary,
+        })
     }
 
     /// Graceful shutdown: closes the intake, completes the backlog, joins

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let job = EngineJob::from_instance(inst, true);
         let ticket = match service.submit(job) {
             SubmitOutcome::Enqueued(t) => t,
-            SubmitOutcome::QueueFull(job) => {
+            SubmitOutcome::QueueFull(job) | SubmitOutcome::Shed(job) => {
                 bounces += 1;
                 service.submit_wait(job)
             }

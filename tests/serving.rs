@@ -110,6 +110,7 @@ fn full_queue_rejects_without_dropping_accepted_jobs() {
                 assert_eq!(handed_back.width(), job.c1.width(), "job returned intact");
                 rejected += 1;
             }
+            SubmitOutcome::Shed(_) => unreachable!("admission control is off"),
         }
     }
     assert_eq!(tickets.len(), capacity, "accepts exactly the capacity");
@@ -362,5 +363,150 @@ fn miter_budget_exhaustion_is_explicit() {
     let m = service.metrics();
     assert_eq!(m.jobs_sat_verified(), jobs.len() as u64);
     assert_eq!(m.jobs_failed(), 0);
+    service.shutdown();
+}
+
+/// The panic-injection hook: a worker dying mid-job resolves that job's
+/// ticket with a clean `Err(WorkerLost)` report — no poisoned mutex, no
+/// hung waiter — and the service keeps serving afterwards.
+#[test]
+fn worker_panic_resolves_ticket_as_worker_lost() {
+    fn inject(id: u64) -> bool {
+        id == 1
+    }
+    let jobs = tractable_jobs(4, 1);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_matcher(MatcherConfig::with_epsilon(1e-6))
+            .with_panic_injection(inject),
+    );
+    let tickets: Vec<JobTicket> = jobs
+        .iter()
+        .map(|job| service.submit_wait(job.clone()))
+        .collect();
+    let reports: Vec<JobReport> = tickets.into_iter().map(JobTicket::wait).collect();
+    let lost: Vec<usize> = reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.witness, Err(revmatch::MatchError::WorkerLost)))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(lost, vec![1], "exactly the injected job is lost");
+    assert_eq!(service.metrics().workers_lost(), 1);
+    for (i, report) in reports.iter().enumerate() {
+        if i != 1 {
+            assert!(report.witness.is_ok(), "job {i} unaffected by the panic");
+        }
+    }
+    // The shard that panicked rebuilt its caches and still serves.
+    let after: Vec<JobReport> = jobs
+        .iter()
+        .map(|job| service.submit_wait(job.clone()))
+        .map(JobTicket::wait)
+        .collect();
+    assert!(after.iter().all(|r| r.witness.is_ok()));
+    service.shutdown();
+}
+
+/// Admission control end to end: under a paused (fully backlogged)
+/// service, expensive jobs defer up to the buffer's capacity, the
+/// overflow sheds, and every accepted job still completes on drain.
+#[test]
+fn admission_defers_then_sheds_under_overload() {
+    use revmatch::AdmissionConfig;
+    let jobs = tractable_jobs(5, 2);
+    assert!(jobs.len() >= 4, "need at least four jobs");
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(8)
+            .with_matcher(MatcherConfig::with_epsilon(1e-6))
+            .with_admission(
+                AdmissionConfig::default()
+                    .with_overload_us(1)
+                    .with_expensive_us(1)
+                    .with_defer_capacity(2),
+            ),
+    );
+    service.pause();
+    let mut tickets = Vec::new();
+    let mut shed = 0;
+    for job in &jobs {
+        match service.submit(job.clone()) {
+            SubmitOutcome::Enqueued(t) => tickets.push(t),
+            SubmitOutcome::Shed(_) => shed += 1,
+            SubmitOutcome::QueueFull(_) => panic!("intake capacity not reached"),
+        }
+    }
+    // First submit lands on an empty backlog (not overloaded); every
+    // later one is expensive-and-overloaded: two defer, the rest shed.
+    assert_eq!(service.metrics().jobs_requeued(), 2);
+    assert_eq!(shed as u64, jobs.len() as u64 - 3);
+    assert_eq!(service.metrics().jobs_shed(), shed as u64);
+    assert_eq!(service.deferred_depth(), 2);
+    service.resume();
+    service.drain();
+    for ticket in tickets {
+        assert!(
+            ticket.wait().witness.is_ok(),
+            "deferred jobs complete after the overload clears"
+        );
+    }
+    let m = service.metrics();
+    assert_eq!(m.jobs_completed(), m.jobs_submitted());
+    assert_eq!(m.jobs_completed(), 3);
+    service.shutdown();
+}
+
+/// The adaptive rebalancer: sustained stealing from one shard's lane
+/// moves its hottest route to the idler shard, inside a pause/resume
+/// window, and the move is visible in routing and metrics.
+#[test]
+fn rebalancer_moves_hot_route_off_stolen_shard() {
+    use revmatch::RebalanceConfig;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0B0E);
+    let inst = random_instance(
+        Equivalence::new(revmatch::Side::I, revmatch::Side::P),
+        4,
+        &mut rng,
+    );
+    let job = EngineJob::from_instance(&inst, true);
+    let service = MatchService::start(
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(64)
+            .with_matcher(MatcherConfig::with_epsilon(1e-6)),
+    );
+    let home = service.preferred_shard(&job.clone().into());
+    // One route carries all traffic, so the other worker's lane stays
+    // empty and it can only steal — a sustained one-sided imbalance.
+    for _ in 0..300 {
+        service.submit_wait(job.clone());
+    }
+    service.drain();
+    let m = service.metrics();
+    assert!(
+        m.shard_stolen_from(home) > 0,
+        "the idle shard must have stolen from the loaded lane"
+    );
+    let config = RebalanceConfig::default()
+        .with_min_steals(1)
+        .with_sustain(1);
+    let moved = service
+        .rebalance(&config)
+        .expect("sustained imbalance triggers a move");
+    assert_eq!(moved.from, home);
+    assert_ne!(moved.to, home);
+    assert_eq!(moved.width, 4);
+    assert_eq!(
+        service.preferred_shard(&job.clone().into()),
+        moved.to,
+        "the hot route now lands on the beneficiary"
+    );
+    assert_eq!(service.metrics().rebalance_moves(), 1);
+    // Jobs still run (and bit-identically route) after the move.
+    let report = service.submit_wait(job).wait();
+    assert!(report.witness.is_ok());
     service.shutdown();
 }
